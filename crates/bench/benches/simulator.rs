@@ -1,0 +1,142 @@
+//! Criterion micro/meso-benchmarks for the simulator's hot paths.
+//!
+//! These are performance benchmarks (the figure reproductions live in
+//! `src/bin/`): wire codecs, the event-driven traceroute walk, session
+//! establishment, routing, the statistics kernels, and the economics
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roam_econ::{median_per_gb_by_country, Crawler, Market, Vantage};
+use roam_geo::Country;
+use roam_measure::Service;
+use roam_netsim::wire::{GtpuHeader, IcmpMessage, Ipv4Header};
+use roam_netsim::TracerouteOpts;
+use roam_stats::test::LeveneCenter;
+use roam_stats::{levene_test, quantile, welch_t_test, Ecdf};
+use roam_world::World;
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let hdr = Ipv4Header {
+        dscp_ecn: 0,
+        total_len: 84,
+        ident: 7,
+        ttl: 64,
+        proto: roam_netsim::wire::IpProto::Icmp,
+        src: "10.0.0.2".parse().expect("static"),
+        dst: "8.8.8.8".parse().expect("static"),
+    };
+    g.bench_function("ipv4_encode_decode", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::with_capacity(20);
+            hdr.encode(&mut buf);
+            black_box(Ipv4Header::decode(&buf).expect("self-encoded"))
+        })
+    });
+    let mut pkt = {
+        let mut buf = bytes::BytesMut::new();
+        hdr.encode(&mut buf);
+        buf.to_vec()
+    };
+    g.bench_function("ttl_decrement", |b| {
+        b.iter(|| {
+            pkt[8] = 64;
+            pkt[10] = 0;
+            pkt[11] = 0;
+            let cksum = roam_netsim::wire::internet_checksum(&pkt[..20]);
+            pkt[10..12].copy_from_slice(&cksum.to_be_bytes());
+            black_box(Ipv4Header::decrement_ttl(&mut pkt).expect("fresh ttl"))
+        })
+    });
+    let echo = IcmpMessage::EchoRequest {
+        ident: 1,
+        seq: 2,
+        payload: bytes::Bytes::from_static(&[0u8; 32]),
+    };
+    g.bench_function("icmp_roundtrip", |b| {
+        b.iter(|| {
+            let enc = echo.encode();
+            black_box(IcmpMessage::decode(&enc).expect("self-encoded"))
+        })
+    });
+    g.bench_function("gtpu_encap_decap", |b| {
+        b.iter(|| {
+            let t = GtpuHeader::encapsulate(0xBEEF, b"payload-of-a-probe");
+            black_box(GtpuHeader::decapsulate(&t).expect("self-encapsulated"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_world(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    g.bench_function("build_world", |b| b.iter(|| black_box(World::build(7))));
+    g.bench_function("attach_esim", |b| {
+        b.iter_batched(
+            || World::build(7),
+            |mut w| black_box(w.attach_esim(Country::DEU)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_measure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measure");
+    g.sample_size(20);
+    let mut world = World::build(7);
+    let ep = world.attach_esim(Country::PAK);
+    let google = world
+        .internet
+        .targets
+        .nearest(&world.net, Service::Google, ep.att.breakout_city)
+        .expect("google edge");
+    g.bench_function("ping", |b| {
+        b.iter(|| black_box(world.net.ping(ep.att.ue, google)))
+    });
+    g.bench_function("traceroute", |b| {
+        b.iter(|| black_box(world.net.traceroute(ep.att.ue, google, TracerouteOpts::default())))
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    let mut rng = SmallRng::seed_from_u64(3);
+    let a: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>() * 100.0).collect();
+    let b2: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>() * 120.0).collect();
+    g.bench_function("quantile_10k", |b| {
+        b.iter(|| black_box(quantile(&a, 0.95).expect("non-empty")))
+    });
+    g.bench_function("ecdf_build_10k", |b| {
+        b.iter(|| black_box(Ecdf::new(&a).expect("non-empty")))
+    });
+    g.bench_function("welch_t_10k", |b| {
+        b.iter(|| black_box(welch_t_test(&a, &b2).expect("enough samples")))
+    });
+    g.bench_function("levene_10k", |b| {
+        b.iter(|| black_box(levene_test(&[&a, &b2], LeveneCenter::Median).expect("groups")))
+    });
+    g.finish();
+}
+
+fn bench_econ(c: &mut Criterion) {
+    let mut g = c.benchmark_group("econ");
+    g.sample_size(10);
+    g.bench_function("generate_market", |b| b.iter(|| black_box(Market::generate(5))));
+    let market = Market::generate(5);
+    let crawler = Crawler::new(Vantage::NewJersey);
+    g.bench_function("daily_crawl", |b| b.iter(|| black_box(crawler.crawl(&market, 40))));
+    let snap = crawler.crawl(&market, 40);
+    g.bench_function("country_medians", |b| {
+        b.iter(|| black_box(median_per_gb_by_country(&snap, market.airalo())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_world, bench_measure, bench_stats, bench_econ);
+criterion_main!(benches);

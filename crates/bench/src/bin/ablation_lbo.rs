@@ -1,0 +1,61 @@
+//! Ablation: what if Airalo realized **Local Breakout**?
+//!
+//! The paper's conclusion names LBO as an evolution path ("…or by realizing
+//! Local Breakouts (LBO) where traffic is directly handled by v-MNOs").
+//! Airalo never uses it ("likely due to a lack of trust among MNOs
+//! regarding roamer records and charges", §4.2) — but the simulator can.
+//! For every roaming country we attach the deployed configuration and a
+//! counterfactual LBO session (breakout at the v-MNO's own gateway) and
+//! compare RTT to Google.
+
+use roam_ipx::{DnsMode, RoamingArch};
+use roam_measure::{mtr, Service};
+use roam_world::World;
+
+fn main() {
+    let mut world = World::build(2024);
+    println!("ablation — deployed breakout vs counterfactual LBO (RTT to Google, ms)\n");
+    println!("{:<8} {:>8} {:>10} {:>10} {:>9}", "country", "deployed", "RTT", "LBO RTT",
+             "saving");
+
+    let mut savings = Vec::new();
+    for country in world.measured_countries() {
+        let plan = world.plan(country).clone();
+        let deployed = world.attach_esim(country);
+        if !deployed.att.arch.is_roaming() {
+            continue; // native eSIMs already break out locally
+        }
+        let deployed_rtt = mtr(&mut world.net, &deployed, &world.internet.targets,
+                               Service::Google)
+            .and_then(|o| o.analysis.final_rtt_ms)
+            .expect("Google reachable");
+
+        let vmno = world.ops.id(plan.v_mno);
+        let local_gw = world.gateways.own_gateway(vmno);
+        let lbo = world.attach_esim_with(country, RoamingArch::LocalBreakout, local_gw,
+                                         DnsMode::OperatorResolver);
+        let lbo_rtt = mtr(&mut world.net, &lbo, &world.internet.targets, Service::Google)
+            .and_then(|o| o.analysis.final_rtt_ms)
+            .expect("Google reachable");
+
+        let saving = (1.0 - lbo_rtt / deployed_rtt) * 100.0;
+        savings.push((deployed.att.arch, saving));
+        println!(
+            "{:<8} {:>8} {:>10.1} {:>10.1} {:>8.0}%",
+            country.alpha3(),
+            deployed.att.arch.label(),
+            deployed_rtt,
+            lbo_rtt,
+            saving
+        );
+    }
+
+    let mean = |arch: RoamingArch| -> f64 {
+        let v: Vec<f64> =
+            savings.iter().filter(|(a, _)| *a == arch).map(|(_, s)| *s).collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    println!("\nmean RTT saving from LBO: over HR {:.0}%, over IHBO {:.0}%",
+             mean(RoamingArch::HomeRouted), mean(RoamingArch::IpxHubBreakout));
+    println!("(the gap the trust problem — roamer records and charging — costs users)");
+}

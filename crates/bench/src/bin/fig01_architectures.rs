@@ -1,0 +1,98 @@
+//! Figure 1: the three roaming data paths for a Poland-issued eSIM used in
+//! Italy — HR (home country breakout), LBO (visited country), IHBO
+//! (third-party hub). Rendered as the measured properties of each path.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use roam_cellular::{BandwidthPolicy, Mno, MnoDirectory, Plmn, Rat};
+use roam_geo::{City, Country};
+use roam_ipx::{
+    attach, AttachParams, DnsMode, IpAssignment, PeeringQuality, PgwProvider, PgwSelection,
+    PgwSite, ProviderDirectory, RoamingArch,
+};
+use roam_netsim::link::LinkClass;
+use roam_netsim::{Asn, Ipv4Net, Network, NodeKind};
+
+fn main() {
+    println!("Figure 1 — roaming architectures for a POL b-MNO / ITA v-MNO eSIM\n");
+
+    let mut mnos = MnoDirectory::new();
+    let policy = BandwidthPolicy::new(30.0, 10.0);
+    let bmno = mnos.add(Mno {
+        name: "Play".into(), country: Country::POL, plmn: Plmn::new(260, 6, 2),
+        asn: Asn(12912), parent: None, native_policy: policy, roamer_policy: policy,
+        youtube_cap_mbps: None, access_loss: 0.001,
+    });
+    let vmno = mnos.add(Mno {
+        name: "TIM".into(), country: Country::ITA, plmn: Plmn::new(222, 1, 2),
+        asn: Asn(3269), parent: None, native_policy: policy, roamer_policy: policy,
+        youtube_cap_mbps: None, access_loss: 0.001,
+    });
+
+    let mut providers = ProviderDirectory::new();
+    let mk = |name: &str, asn: u32, city: City, prefix: &str| PgwProvider {
+        name: name.into(),
+        asn: Asn(asn),
+        sites: vec![PgwSite::new(city, Ipv4Net::parse(prefix).expect("static"), 4)],
+        selection: PgwSelection::Fixed(0),
+        ip_assignment: IpAssignment::Pooled,
+        private_hops: (3, 3),
+        cgnat_icmp_responds: true,
+    };
+    let home = providers.add(mk("Play PGW", 12912, City::Warsaw, "91.200.1.0/24"));
+    let local = providers.add(mk("TIM PGW", 3269, City::Rome, "93.40.1.0/24"));
+    let hub = providers.add(mk("IPX hub PGW", 54825, City::Amsterdam, "147.75.90.0/24"));
+
+    println!(
+        "{:<6} {:>14} {:>12} {:>14} {:>18} {:>14}",
+        "arch", "breakout", "tunnel km", "public IP in", "ASN seen online", "RTT→edge ms"
+    );
+    for (arch, provider) in [
+        (RoamingArch::HomeRouted, home),
+        (RoamingArch::LocalBreakout, local),
+        (RoamingArch::IpxHubBreakout, hub),
+    ] {
+        let mut net = Network::new(1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for (p, prov) in providers.iter() {
+            let site = &prov.sites[0];
+            net.registry_mut().register(site.prefix, prov.asn, &prov.name, site.city);
+            let _ = p;
+        }
+        let att = attach(
+            &mut net,
+            &providers,
+            &mnos,
+            &PeeringQuality::default(),
+            &AttachParams {
+                session_id: 0,
+                ue_city: City::Rome,
+                v_mno: vmno,
+                b_mno: bmno,
+                arch,
+                provider,
+                dns: DnsMode::OperatorResolver,
+                rat: Rat::Lte,
+                imsi: roam_cellular::Imsi::new(Plmn::new(260, 6, 2), 77),
+            },
+            &mut rng,
+        );
+        // A nearby edge server behind the breakout.
+        let edge = net.add_node("edge", NodeKind::SpEdge, att.breakout_city,
+                                "142.250.250.1".parse().expect("static"));
+        net.link_geo(att.cgnat, edge, LinkClass::Peering);
+        let rtt = net.rtt_ms(att.ue, edge).expect("connected");
+        let info = net.registry().lookup(att.public_ip).expect("registered");
+        println!(
+            "{:<6} {:>14} {:>12.0} {:>14} {:>18} {:>14.1}",
+            att.arch.label(),
+            att.breakout_city.name(),
+            att.tunnel_km,
+            info.city.country().alpha3(),
+            format!("{} ({})", info.org, info.asn),
+            rtt
+        );
+    }
+    println!("\npaper shape: HR tunnels home (longest), LBO stays local (shortest),");
+    println!("IHBO lands at the hub — in between, decoupled from both operators.");
+}

@@ -1,0 +1,12 @@
+//! Figure 2: the MNA taxonomy grid — who runs sales, core and RAN under
+//! each operating model. The thick column (MNA + b-MNO core) is the
+//! paper's definitional contribution.
+
+use roam_core::taxonomy::taxonomy_table;
+
+fn main() {
+    println!("Figure 2 — MNA flavours: who runs which network function\n");
+    print!("{}", taxonomy_table());
+    println!("\nlight runs only sales << thick adds a limited core function (the");
+    println!("internet gateway) << full runs the whole core with direct IPX access.");
+}

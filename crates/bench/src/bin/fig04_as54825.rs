@@ -1,0 +1,51 @@
+//! Figure 4: the Packet Host (AS54825) sub-map — which of its two PGW
+//! sites (Amsterdam vs Ashburn) each b-MNO's eSIMs break out at.
+//!
+//! Paper shape: Play and Telna eSIMs (incl. Turkey!) land in Amsterdam;
+//! Polkomtel's France and Uzbekistan eSIMs land in Virginia despite closer
+//! Amsterdam capacity — "the PGW location is decided based on the b-MNO".
+
+use roam_geo::City;
+use roam_netsim::registry::well_known;
+use roam_world::World;
+
+fn main() {
+    let mut world = World::build(2024);
+    println!("Figure 4 — eSIMs breaking out via Packet Host (AS54825)\n");
+    println!("{:<9} {:<14} {:<14} {:>10} {:>14}", "visited", "b-MNO", "PGW site",
+             "tunnel km", "vs AMS km");
+
+    let mut rows = Vec::new();
+    for country in world.measured_countries() {
+        // Attach repeatedly: countries alternating PH/OVH need a PH sample.
+        for _ in 0..8 {
+            let ep = world.attach_esim(country);
+            if world.breakout_asn(&ep) == Some(well_known::PACKET_HOST) {
+                rows.push((country, ep));
+                break;
+            }
+        }
+    }
+    for (country, ep) in &rows {
+        let user = roam_geo::City::sgw_city_for(*country).expect("measured");
+        let ams_km = user.location().distance_km(City::Amsterdam.location());
+        println!(
+            "{:<9} {:<14} {:<14} {:>10.0} {:>14.0}",
+            country.alpha3(),
+            world.plan(*country).b_mno,
+            ep.att.breakout_city.name(),
+            ep.att.tunnel_km,
+            ams_km
+        );
+    }
+
+    let virginia: Vec<&str> = rows
+        .iter()
+        .filter(|(_, ep)| ep.att.breakout_city == City::Ashburn)
+        .map(|(c, _)| c.alpha3())
+        .collect();
+    println!(
+        "\neSIMs breaking out in Virginia: {} (paper: FRA, UZB — both Polkomtel)",
+        virginia.join(", ")
+    );
+}

@@ -1,0 +1,120 @@
+//! Figure 14: (a) Cloudflare download time of jquery.min.js and (b) DNS
+//! lookup time, per country and configuration.
+//!
+//! Paper anchors: HR eSIMs 481% (PAK) / 360% (ARE) slower than physical on
+//! CDN; IHBO averages 1316 ms on Cloudflare — worse than native (306/514)
+//! but far better than HR (3203/1781); HR DNS +610%/+517% medians; IHBO
+//! DNS +103%…+616% (DoH-inflated Google resolvers near the PGW).
+
+use roam_bench::{boxplot_row, run_device};
+use roam_cellular::SimType;
+use roam_geo::Country;
+use roam_ipx::RoamingArch;
+use roam_measure::CdnProvider;
+use roam_stats::{median, Summary};
+
+fn main() {
+    let run = run_device(2024, 0.4);
+
+    println!("Figure 14a — Cloudflare jquery.min.js download time (ms)\n");
+    for spec in roam_world::World::device_campaign_specs() {
+        for (label, t) in [("SIM", SimType::Physical), ("eSIM", SimType::Esim)] {
+            let v: Vec<f64> = run
+                .data
+                .cdns
+                .iter()
+                .filter(|r| r.tag.country == spec.country
+                         && r.tag.sim_type == t
+                         && r.provider == CdnProvider::Cloudflare)
+                .map(|r| r.total_ms)
+                .collect();
+            println!("{}", boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v));
+        }
+    }
+
+    let cf_mean = |arch: RoamingArch| -> f64 {
+        let v: Vec<f64> = run
+            .data
+            .cdns
+            .iter()
+            .filter(|r| r.tag.arch == arch
+                     && r.tag.sim_type == SimType::Esim
+                     && r.provider == CdnProvider::Cloudflare)
+            .map(|r| r.total_ms)
+            .collect();
+        Summary::from(&v).map(|s| s.mean).unwrap_or(f64::NAN)
+    };
+    println!("\nCloudflare mean by eSIM architecture:");
+    println!("  native: {:.0} ms (paper: 306 KOR / 514 THA)", cf_mean(RoamingArch::Native));
+    println!("  IHBO:   {:.0} ms (paper: 1316)", cf_mean(RoamingArch::IpxHubBreakout));
+    println!("  HR:     {:.0} ms (paper: 3203 PAK / 1781 ARE)", cf_mean(RoamingArch::HomeRouted));
+
+    let pct = |c: Country| -> f64 {
+        let m = |t: SimType| {
+            let v: Vec<f64> = run
+                .data
+                .cdns
+                .iter()
+                .filter(|r| r.tag.country == c && r.tag.sim_type == t)
+                .map(|r| r.total_ms)
+                .collect();
+            Summary::from(&v).map(|s| s.mean).unwrap_or(f64::NAN)
+        };
+        (m(SimType::Esim) / m(SimType::Physical) - 1.0) * 100.0
+    };
+    println!("\nall-CDN eSIM-over-SIM increases: PAK +{:.0}% (paper +481%), \
+              ARE +{:.0}% (paper +360%), DEU +{:.0}% (paper +45.4%), QAT +{:.0}% (paper +181%)",
+             pct(Country::PAK), pct(Country::ARE), pct(Country::DEU), pct(Country::QAT));
+
+    println!("\nFigure 14b — DNS lookup times (ms)\n");
+    for spec in roam_world::World::device_campaign_specs() {
+        for (label, t) in [("SIM", SimType::Physical), ("eSIM", SimType::Esim)] {
+            let v: Vec<f64> = run
+                .data
+                .dns
+                .iter()
+                .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
+                .map(|r| r.lookup_ms)
+                .collect();
+            println!("{}", boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v));
+        }
+    }
+
+    let dns_increase = |c: Country| -> f64 {
+        let m = |t: SimType| {
+            let v: Vec<f64> = run
+                .data
+                .dns
+                .iter()
+                .filter(|r| r.tag.country == c && r.tag.sim_type == t)
+                .map(|r| r.lookup_ms)
+                .collect();
+            median(&v).unwrap_or(f64::NAN)
+        };
+        (m(SimType::Esim) / m(SimType::Physical) - 1.0) * 100.0
+    };
+    println!("\nmedian DNS increases, eSIM over SIM: PAK +{:.0}% (paper +610%), \
+              ARE +{:.0}% (paper +517%), DEU +{:.0}% (paper +103%), QAT +{:.0}% (paper +616%)",
+             dns_increase(Country::PAK), dns_increase(Country::ARE),
+             dns_increase(Country::DEU), dns_increase(Country::QAT));
+
+    // Resolver placement for IHBO sessions (the 74% same-country figure).
+    let ihbo_dns: Vec<&roam_measure::DnsRecord> = run
+        .data
+        .dns
+        .iter()
+        .filter(|r| r.tag.arch == RoamingArch::IpxHubBreakout
+                 && r.tag.sim_type == SimType::Esim)
+        .collect();
+    let same_country = ihbo_dns
+        .iter()
+        .filter(|r| {
+            run.esims.iter().any(|e| e.country == r.tag.country
+                && e.att.breakout_city.country() == r.resolver_city.country())
+        })
+        .count();
+    println!(
+        "\nIHBO queries answered in the PGW's country: {:.0}% (paper: 74%)",
+        same_country as f64 / ihbo_dns.len().max(1) as f64 * 100.0
+    );
+}

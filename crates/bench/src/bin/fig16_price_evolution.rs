@@ -1,0 +1,54 @@
+//! Figure 16: evolution of Airalo's median $/GB per continent, February to
+//! May 2024, plus the New-Jersey vantage check.
+//!
+//! Paper anchors: Europe ≈ $4.5/GB ≈ half North America; Asia steps from
+//! ~$5.5 to ~$6.5 around April 1; Africa's 25th percentile rises from ~4.5
+//! to ~6.5; everything else flat; no vantage-point discrimination.
+
+use roam_econ::{continent_boxplots, Crawler, Market, Vantage};
+use roam_geo::Continent;
+
+fn main() {
+    let market = Market::generate(2024);
+    let crawler = Crawler::new(Vantage::AbuDhabi);
+
+    println!("Figure 16 — Airalo median $/GB per continent over time\n");
+    println!("{:<12} Africa   Asia     Europe   N.Am     Oceania  S.Am", "date");
+    for day in [0u32, 16, 32, 47, 62, 77, 92, 107] {
+        let snap = crawler.crawl(&market, day);
+        let boxes = continent_boxplots(&snap, market.airalo());
+        let get = |c: Continent| {
+            boxes
+                .iter()
+                .find(|(x, _)| *x == c)
+                .map(|(_, b)| format!("{:>7.2}", b.median))
+                .unwrap_or_else(|| "      –".into())
+        };
+        println!(
+            "{:<12} {} {} {} {} {} {}",
+            snap.date_label(),
+            get(Continent::Africa),
+            get(Continent::Asia),
+            get(Continent::Europe),
+            get(Continent::NorthAmerica),
+            get(Continent::Oceania),
+            get(Continent::SouthAmerica)
+        );
+    }
+
+    // The quartile movements the paper calls out.
+    let q25_africa = |day: u32| -> f64 {
+        let snap = crawler.crawl(&market, day);
+        let boxes = continent_boxplots(&snap, market.airalo());
+        boxes.iter().find(|(c, _)| *c == Continent::Africa).map(|(_, b)| b.q1).unwrap_or(f64::NAN)
+    };
+    println!("\nAfrica 25th percentile: {:.2} (Feb) → {:.2} (May) — paper: 4.5 → 6.5",
+             q25_africa(0), q25_africa(107));
+
+    // Vantage check (the paper "only report[s] one data-point from NJ,
+    // since no location impact was observed").
+    let nj = Crawler::new(Vantage::NewJersey).crawl(&market, 76);
+    let mad = Crawler::new(Vantage::Madrid).crawl(&market, 76);
+    let identical = nj.records.iter().zip(&mad.records).all(|(a, b)| a.price_usd == b.price_usd);
+    println!("NJ vs Madrid crawls identical: {identical} (paper: no price discrimination)");
+}

@@ -1,0 +1,49 @@
+//! Figure 17: CDF of median $/GB per country for notable providers on the
+//! 2024-05-01 snapshot, plus the volunteer-collected physical-SIM baseline.
+//!
+//! Paper anchors: Airhub $2.3 … Keepgo $16.2; MobiMatter ~60% cheaper than
+//! Airalo with more offers (5% vs 3%); local SIMs have the lowest $/GB but
+//! a higher total outlay.
+
+use roam_econ::{local_sim_offers, provider_comparison, Crawler, Market, Vantage};
+use roam_stats::median;
+
+fn main() {
+    let market = Market::generate(2024);
+    let snap = Crawler::new(Vantage::NewJersey).crawl(&market, 76);
+
+    println!("Figure 17 — median $/GB per country, provider comparison (2024-05-01)\n");
+    let cmp = provider_comparison(&market, &snap, 60);
+    for p in &cmp {
+        let pts: Vec<String> = [0.25, 0.5, 0.75]
+            .iter()
+            .map(|q| format!("p{:.0}={:>5.2}", q * 100.0, p.cdf.inverse(*q)))
+            .collect();
+        println!(
+            "{:<18} ({:>3} countries, {:>4.1}% of offers)  {}",
+            p.name,
+            p.countries,
+            p.offer_share * 100.0,
+            pts.join("  ")
+        );
+    }
+
+    let find = |n: &str| cmp.iter().find(|p| p.name == n).expect("named provider");
+    let airalo = find("Airalo");
+    let mobi = find("MobiMatter");
+    println!("\nanchors: Airhub median ${:.2} (paper 2.3), Keepgo ${:.2} (paper 16.2)",
+             find("Airhub").median_per_gb, find("Keepgo").median_per_gb);
+    println!("MobiMatter discount vs Airalo: {:.0}% (paper ~60%), offer share {:.1}% vs {:.1}%",
+             (1.0 - mobi.median_per_gb / airalo.median_per_gb) * 100.0,
+             mobi.offer_share * 100.0, airalo.offer_share * 100.0);
+
+    let locals = local_sim_offers();
+    let per_gb: Vec<f64> = locals.iter().map(|o| o.per_gb()).collect();
+    let totals: Vec<f64> = locals.iter().map(|o| o.total_usd()).collect();
+    println!(
+        "\nlocal physical SIMs (dashed line): median ${:.2}/GB, median total ${:.2} — \
+         cheapest per GB, but the bundles are big (paper: 40 GB Spain / $15.72 UAE SIM fee)",
+        median(&per_gb).expect("non-empty"),
+        median(&totals).expect("non-empty")
+    );
+}

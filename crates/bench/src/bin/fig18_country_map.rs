@@ -1,0 +1,51 @@
+//! Figure 18: median Airalo $/GB per country, coloured by decile of the
+//! worldwide distribution.
+//!
+//! Paper anchors: deciles run from ≤ $4.33 (dark green) to > $12.25 (dark
+//! red); the worldwide median is ~$7.9; Central America is uniformly in
+//! the expensive tail.
+
+use roam_econ::{decile_thresholds, median_per_gb_by_country, Crawler, Market, Vantage};
+use roam_stats::median;
+
+fn main() {
+    let market = Market::generate(2024);
+    let snap = Crawler::new(Vantage::NewJersey).crawl(&market, 76);
+    let medians = median_per_gb_by_country(&snap, market.airalo());
+    let values: Vec<f64> = medians.values().copied().collect();
+    let cuts = decile_thresholds(&values);
+
+    println!("Figure 18 — Airalo median $/GB per country, decile-coloured\n");
+    println!("decile thresholds ($/GB): {}",
+             cuts.iter().map(|c| format!("{c:.2}")).collect::<Vec<_>>().join("  "));
+    println!("paper thresholds: lowest ≤ 4.33 … highest > 12.25\n");
+
+    let decile_of = |v: f64| cuts.iter().filter(|c| v > **c).count();
+    let mut by_decile: Vec<Vec<String>> = vec![Vec::new(); 10];
+    for (country, v) in &medians {
+        by_decile[decile_of(*v)].push(format!("{}({v:.1})", country.alpha3()));
+    }
+    for (d, countries) in by_decile.iter().enumerate() {
+        if countries.is_empty() {
+            continue;
+        }
+        println!("decile {:>2}: {}", d + 1, countries.join(" "));
+    }
+
+    println!("\nworldwide median: ${:.2}/GB (paper: 7.9)",
+             median(&values).expect("non-empty"));
+    let ca: Vec<f64> = medians
+        .iter()
+        .filter(|(c, _)| c.is_central_america())
+        .map(|(_, v)| *v)
+        .collect();
+    if !ca.is_empty() {
+        println!(
+            "Central America median: ${:.2}/GB — {} of {} countries above the worldwide \
+             median (paper: consistently high)",
+            median(&ca).expect("non-empty"),
+            ca.iter().filter(|v| **v > median(&values).expect("non-empty")).count(),
+            ca.len()
+        );
+    }
+}

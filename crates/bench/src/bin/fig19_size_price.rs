@@ -1,0 +1,56 @@
+//! Figure 19: plan size (GB) versus price ($) for Airalo plans ≤ 5 GB,
+//! grouped by the backing b-MNO.
+//!
+//! Paper anchors: plans sharing a b-MNO price differently across countries
+//! (a Play eSIM in Georgia costs up to twice the Spanish one as size
+//! grows), and the size→price curve is non-linear.
+
+use roam_econ::{size_price_by_bmno, Crawler, Market, Vantage};
+use roam_geo::Country;
+
+const BMNO_NAMES: [&str; 6] =
+    ["Singtel", "Play", "Telna", "Telecom Italia", "Orange", "Polkomtel"];
+
+fn main() {
+    let market = Market::generate(2024);
+    let snap = Crawler::new(Vantage::NewJersey).crawl(&market, 76);
+    let groups = size_price_by_bmno(&snap, market.airalo(), 5.0);
+
+    println!("Figure 19 — size vs price per b-MNO (≤5 GB plans, cheapest per size)\n");
+    for (bmno, countries) in &groups {
+        let name = BMNO_NAMES.get(*bmno as usize).unwrap_or(&"?");
+        println!("b-MNO {name}:");
+        // Show up to 4 representative countries per group.
+        for (country, points) in countries.iter().take(4) {
+            let mut cheapest: std::collections::BTreeMap<u64, f64> = Default::default();
+            for (gb, price) in points {
+                let e = cheapest.entry((*gb * 10.0) as u64).or_insert(f64::INFINITY);
+                *e = e.min(*price);
+            }
+            let series: Vec<String> = cheapest
+                .iter()
+                .map(|(gb, p)| format!("{}GB=${:.2}", *gb as f64 / 10.0, p))
+                .collect();
+            println!("  {:<6} {}", country.alpha3(), series.join("  "));
+        }
+    }
+
+    // The Play Georgia-vs-Spain anchor.
+    if let Some(play) = groups.get(&1) {
+        let price5 = |c: Country| {
+            play.get(&c).and_then(|pts| {
+                pts.iter()
+                    .filter(|(gb, _)| *gb == 5.0)
+                    .map(|(_, p)| *p)
+                    .min_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+            })
+        };
+        if let (Some(geo), Some(esp)) = (price5(Country::GEO), price5(Country::ESP)) {
+            println!(
+                "\nPlay 5 GB plan: Georgia ${geo:.2} vs Spain ${esp:.2} ({:.1}x) — \
+                 paper: same b-MNO, price up to 2x apart",
+                geo / esp
+            );
+        }
+    }
+}

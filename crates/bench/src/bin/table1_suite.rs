@@ -1,0 +1,6 @@
+//! Table 1: the device-campaign measurement suite.
+
+fn main() {
+    println!("Table 1 — network measurements of the device-based campaign\n");
+    print!("{}", roam_measure::measurement_suite());
+}

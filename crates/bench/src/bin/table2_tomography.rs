@@ -1,0 +1,28 @@
+//! Table 2: b-MNO → PGW provider/country/type for the 21 roaming eSIMs.
+//!
+//! Paper shape: 6 b-MNOs; Singtel rows are HR in SGP; Play/Telna alternate
+//! Packet Host (NLD) and OVH (FRA); Telecom Italia → Wireless Logic (GBR);
+//! Orange → Webbing (NLD, USA); Polkomtel → Packet Host (USA).
+
+use roam_bench::survey_all_esims;
+use roam_core::TomographyReport;
+use roam_ipx::RoamingArch;
+
+fn main() {
+    // Several attachments per country so provider alternation is observed.
+    let (world, obs) = survey_all_esims(2024, 6);
+    let report = TomographyReport::build(&obs, world.net.registry());
+
+    println!("Table 2 — PGW providers of the roaming eSIMs (measured)\n");
+    print!("{}", report.table2());
+
+    let native = report.by_arch(RoamingArch::Native).len();
+    let hr = report.by_arch(RoamingArch::HomeRouted).len();
+    let ihbo = report.by_arch(RoamingArch::IpxHubBreakout).len();
+    let lbo = report.by_arch(RoamingArch::LocalBreakout).len();
+    println!("\nclassification: {native} native, {hr} HR, {ihbo} IHBO, {lbo} LBO");
+    println!("paper:          3 native, 5 HR, 16 IHBO, 0 LBO");
+
+    let (far, total) = report.suboptimal_breakouts();
+    println!("\nIHBO breakouts farther than the b-MNO country: {far}/{total} (paper: 8/16)");
+}

@@ -1,0 +1,207 @@
+//! Shared experiment harness for the per-figure/table binaries.
+//!
+//! Every `fig*`/`table*` binary in `src/bin/` reproduces one table or
+//! figure of the paper. The heavy lifting — running the two campaigns at
+//! Table-3/Table-4 scale against the calibrated world — lives here so the
+//! binaries stay declarative.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use roam_core::EsimObservation;
+use roam_geo::{City, Country};
+use roam_measure::{
+    run_device_campaign, run_web_measurement, CampaignData, DeviceCampaignSpec, Endpoint,
+    WebRecord,
+};
+use roam_world::World;
+
+/// Scale factor applied to the Table-4 sample counts. 1.0 is paper scale;
+/// the unit tests of the binaries use ~0.1 for speed.
+#[must_use]
+pub fn scaled(count: u32, scale: f64) -> u32 {
+    ((count as f64 * scale).round() as u32).max(u32::from(count > 0))
+}
+
+fn scale_spec(spec: &DeviceCampaignSpec, scale: f64) -> DeviceCampaignSpec {
+    let s = |pair: (u32, u32)| (scaled(pair.0, scale), scaled(pair.1, scale));
+    DeviceCampaignSpec {
+        ookla: s(spec.ookla),
+        mtr_per_target: s(spec.mtr_per_target),
+        cdn_per_provider: s(spec.cdn_per_provider),
+        dns: s(spec.dns),
+        video: s(spec.video),
+    }
+}
+
+/// Everything a figure binary needs from one full device-campaign run.
+pub struct DeviceCampaignRun {
+    /// The world after the campaign (registry, topology, marketplace…).
+    pub world: World,
+    /// All measurement records, all countries merged.
+    pub data: CampaignData,
+    /// eSIM endpoints, every attachment of every country.
+    pub esims: Vec<Endpoint>,
+    /// One physical endpoint per country.
+    pub sims: Vec<Endpoint>,
+}
+
+/// Run the device campaign across the 10 Table-4 countries.
+///
+/// Each country's eSIM re-attaches every "day chunk" so that the
+/// Packet-Host/OVH alternation of §4.1 shows up in the observed public IPs
+/// — the campaigns saw both providers per eSIM, not per measurement.
+#[must_use]
+pub fn run_device(seed: u64, scale: f64) -> DeviceCampaignRun {
+    let mut world = World::build(seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15C);
+    let mut data = CampaignData::default();
+    let mut esims = Vec::new();
+    let mut sims = Vec::new();
+
+    for spec in World::device_campaign_specs() {
+        let chunks = spec.days.clamp(2, 6);
+        let chunk_spec = scale_spec(&spec.spec, scale / f64::from(chunks));
+        let mut last_sim = None;
+        for _ in 0..chunks {
+            // Both SIMs re-attach per day-chunk: real devices detach
+            // overnight, and per-attachment draws (core depth, PGW pool
+            // slot, provider alternation) must average out on both sides.
+            let sim = world.attach_physical(spec.country);
+            let esim = world.attach_esim(spec.country);
+            let d = run_device_campaign(
+                &mut world.net,
+                &sim,
+                &esim,
+                &chunk_spec,
+                &world.internet.targets,
+                &mut rng,
+            );
+            data.extend(d);
+            esims.push(esim);
+            last_sim = Some(sim);
+        }
+        sims.push(last_sim.expect("at least one chunk"));
+    }
+    DeviceCampaignRun { world, data, esims, sims }
+}
+
+/// Run the web campaign across the 14 Table-3 countries, returning the
+/// per-country records.
+#[must_use]
+pub fn run_web(seed: u64) -> (World, Vec<(Country, Vec<WebRecord>, Endpoint)>) {
+    let mut world = World::build(seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x3EB);
+    let mut out = Vec::new();
+    for spec in World::web_campaign_specs() {
+        let ep = world.attach_esim(spec.country);
+        let mut records = Vec::new();
+        for _ in 0..spec.measurements {
+            if let Some(r) =
+                run_web_measurement(&mut world.net, &ep, &world.internet.targets, &mut rng)
+            {
+                records.push(r);
+            }
+        }
+        out.push((spec.country, records, ep));
+    }
+    (world, out)
+}
+
+/// Build the tomography observations for a set of eSIM endpoints: each
+/// endpoint contributes its country, operator identities and the public IP
+/// its session used; repeated attachments of one country merge their IPs.
+#[must_use]
+pub fn observations_for(world: &World, endpoints: &[Endpoint]) -> Vec<EsimObservation> {
+    let mut by_country: std::collections::BTreeMap<Country, EsimObservation> =
+        std::collections::BTreeMap::new();
+    for ep in endpoints {
+        let b = world.ops.dir.get(ep.att.b_mno);
+        let v = world.ops.dir.get(ep.att.v_mno);
+        let entry = by_country.entry(ep.country).or_insert_with(|| EsimObservation {
+            visited: ep.country,
+            b_mno_name: b.name.clone(),
+            b_mno_country: b.country,
+            b_mno_asn: b.asn,
+            v_mno_asn: v.asn,
+            user_city: City::sgw_city_for(ep.country).expect("measured country"),
+            public_ips: vec![],
+        });
+        if !entry.public_ips.contains(&ep.att.public_ip) {
+            entry.public_ips.push(ep.att.public_ip);
+        }
+    }
+    by_country.into_values().collect()
+}
+
+/// Attach every measured country's eSIM `n` times and collect observations
+/// — the input to Table 2 / Figs. 3–4.
+#[must_use]
+pub fn survey_all_esims(seed: u64, attaches_per_country: u32) -> (World, Vec<EsimObservation>) {
+    let mut world = World::build(seed);
+    let mut endpoints = Vec::new();
+    for country in world.measured_countries() {
+        for _ in 0..attaches_per_country {
+            endpoints.push(world.attach_esim(country));
+        }
+    }
+    let obs = observations_for(&world, &endpoints);
+    (world, obs)
+}
+
+/// Format a boxplot row for the text figures.
+#[must_use]
+pub fn boxplot_row(label: &str, values: &[f64]) -> String {
+    match roam_stats::BoxplotSummary::from(values) {
+        Ok(b) => format!(
+            "{:<22} {:>7.1} [{:>7.1} {:>7.1} {:>7.1}] {:>7.1}  (n={})",
+            label, b.whisker_lo, b.q1, b.median, b.q3, b.whisker_hi, b.n
+        ),
+        Err(_) => format!("{label:<22} (no data)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roam_ipx::RoamingArch;
+
+    #[test]
+    fn small_device_run_covers_all_countries_and_kinds() {
+        let run = run_device(5, 0.02);
+        assert_eq!(run.sims.len(), 10);
+        assert!(run.esims.len() >= 10);
+        assert!(!run.data.speedtests.is_empty());
+        assert!(!run.data.traces.is_empty());
+        assert!(!run.data.cdns.is_empty());
+        assert!(!run.data.dns.is_empty());
+        assert!(!run.data.videos.is_empty());
+    }
+
+    #[test]
+    fn survey_classifies_21_roaming_3_native() {
+        let (world, obs) = survey_all_esims(6, 3);
+        assert_eq!(obs.len(), 24);
+        let report = roam_core::TomographyReport::build(&obs, world.net.registry());
+        assert_eq!(report.rows.len(), 24);
+        assert_eq!(report.by_arch(RoamingArch::Native).len(), 3);
+        assert_eq!(report.by_arch(RoamingArch::HomeRouted).len(), 5);
+        assert_eq!(report.by_arch(RoamingArch::IpxHubBreakout).len(), 16);
+        assert!(report.by_arch(RoamingArch::LocalBreakout).is_empty());
+    }
+
+    #[test]
+    fn web_campaign_produces_table3_counts() {
+        let (_, results) = run_web(7);
+        assert_eq!(results.len(), 14);
+        let total: usize = results.iter().map(|(_, r, _)| r.len()).sum();
+        assert_eq!(total, 116, "Table 3's completed measurements");
+    }
+
+    #[test]
+    fn scaled_keeps_nonzero_counts_alive() {
+        assert_eq!(scaled(10, 0.1), 1);
+        assert_eq!(scaled(3, 0.1), 1);
+        assert_eq!(scaled(0, 0.5), 0);
+        assert_eq!(scaled(100, 1.0), 100);
+    }
+}

@@ -1,0 +1,236 @@
+//! Cellular identifiers: PLMN, IMSI, IMEI and IMSI ranges.
+//!
+//! The v-MNO-visibility experiment of §4.2 works entirely on these: the
+//! partner UK operator sees inbound roamers identified by IMSI, and the
+//! authors recover "potential IMSI ranges that Play allocates to Airalo" by
+//! pattern-matching MCC/MNC prefixes and contiguous MSIN sub-ranges. The
+//! types here make that analysis natural: a [`Plmn`] is the MCC/MNC pair, an
+//! [`Imsi`] is PLMN + MSIN, and an [`ImsiRange`] is a contiguous MSIN block
+//! an operator can lease out.
+
+use std::fmt;
+
+/// A Public Land Mobile Network identity: MCC (3 digits) + MNC (2–3 digits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Plmn {
+    mcc: u16,
+    mnc: u16,
+    mnc_digits: u8,
+}
+
+impl Plmn {
+    /// Build a PLMN. `mnc_digits` is 2 or 3 (both exist in the wild; Poland
+    /// uses 2, the US uses 3).
+    #[must_use]
+    pub fn new(mcc: u16, mnc: u16, mnc_digits: u8) -> Self {
+        assert!((100..=999).contains(&mcc), "MCC must be 3 digits, got {mcc}");
+        assert!(mnc_digits == 2 || mnc_digits == 3, "MNC is 2 or 3 digits");
+        let max = if mnc_digits == 2 { 99 } else { 999 };
+        assert!(mnc <= max, "MNC {mnc} does not fit in {mnc_digits} digits");
+        Plmn { mcc, mnc, mnc_digits }
+    }
+
+    /// Mobile country code.
+    #[must_use]
+    pub fn mcc(&self) -> u16 {
+        self.mcc
+    }
+
+    /// Mobile network code.
+    #[must_use]
+    pub fn mnc(&self) -> u16 {
+        self.mnc
+    }
+
+    /// Parse from the `"MCC-MNC"` form shown in device APN settings, the
+    /// exact string the web campaign asks volunteers to read off (§3.1).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Plmn> {
+        let (mcc, mnc) = s.split_once('-')?;
+        if mcc.len() != 3 || !(mnc.len() == 2 || mnc.len() == 3) {
+            return None;
+        }
+        Some(Plmn::new(mcc.parse().ok()?, mnc.parse().ok()?, mnc.len() as u8))
+    }
+}
+
+impl fmt::Display for Plmn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:03}-{:0width$}", self.mcc, self.mnc, width = self.mnc_digits as usize)
+    }
+}
+
+/// An International Mobile Subscriber Identity: PLMN + MSIN, 15 digits total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Imsi {
+    plmn: Plmn,
+    msin: u64,
+}
+
+impl Imsi {
+    /// Build an IMSI from a PLMN and an MSIN. The MSIN must fit in the
+    /// remaining digits (15 − 3 − mnc_digits).
+    #[must_use]
+    pub fn new(plmn: Plmn, msin: u64) -> Self {
+        let digits = Self::msin_digits(plmn);
+        assert!(msin < 10u64.pow(digits as u32), "MSIN {msin} too long for {plmn}");
+        Imsi { plmn, msin }
+    }
+
+    fn msin_digits(plmn: Plmn) -> u8 {
+        15 - 3 - plmn.mnc_digits
+    }
+
+    /// Home PLMN.
+    #[must_use]
+    pub fn plmn(&self) -> Plmn {
+        self.plmn
+    }
+
+    /// Subscriber part.
+    #[must_use]
+    pub fn msin(&self) -> u64 {
+        self.msin
+    }
+
+    /// Parse a 15-digit IMSI string, given how many digits the MNC has
+    /// (the reader must know the operator's numbering plan, as real
+    /// analysts do).
+    #[must_use]
+    pub fn parse(s: &str, mnc_digits: u8) -> Option<Imsi> {
+        if s.len() != 15 || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mcc: u16 = s[..3].parse().ok()?;
+        let mnc: u16 = s[3..3 + mnc_digits as usize].parse().ok()?;
+        let msin: u64 = s[3 + mnc_digits as usize..].parse().ok()?;
+        Some(Imsi::new(Plmn::new(mcc, mnc, mnc_digits), msin))
+    }
+}
+
+impl fmt::Display for Imsi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:03}{:0mncw$}{:0msinw$}",
+            self.plmn.mcc,
+            self.plmn.mnc,
+            self.msin,
+            mncw = self.plmn.mnc_digits as usize,
+            msinw = Imsi::msin_digits(self.plmn) as usize
+        )
+    }
+}
+
+/// A contiguous block of MSINs under one PLMN — the unit operators lease to
+/// aggregators ("only a limited, pre-determined range of Play IMSIs are
+/// 'rented' to Airalo", §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImsiRange {
+    /// The PLMN the block belongs to.
+    pub plmn: Plmn,
+    /// First MSIN in the block (inclusive).
+    pub start: u64,
+    /// Number of MSINs in the block.
+    pub len: u64,
+}
+
+impl ImsiRange {
+    /// Does this range contain `imsi`?
+    #[must_use]
+    pub fn contains(&self, imsi: Imsi) -> bool {
+        imsi.plmn == self.plmn && (self.start..self.start + self.len).contains(&imsi.msin)
+    }
+
+    /// The `i`-th IMSI of the block.
+    #[must_use]
+    pub fn nth(&self, i: u64) -> Option<Imsi> {
+        (i < self.len).then(|| Imsi::new(self.plmn, self.start + i))
+    }
+}
+
+/// An International Mobile Equipment Identity (device identity). Only the
+/// value matters in-sim; the v-MNO core joins IMEIs it observed to IMSIs,
+/// which is how the authors located their own devices (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Imei(pub u64);
+
+impl fmt::Display for Imei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:015}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plmn_formats_with_leading_zeros() {
+        assert_eq!(Plmn::new(260, 6, 2).to_string(), "260-06"); // Play Poland
+        assert_eq!(Plmn::new(310, 50, 3).to_string(), "310-050");
+    }
+
+    #[test]
+    fn plmn_parse_round_trip() {
+        for s in ["260-06", "310-050", "525-01", "222-88"] {
+            assert_eq!(Plmn::parse(s).unwrap().to_string(), s);
+        }
+        assert!(Plmn::parse("26-06").is_none());
+        assert!(Plmn::parse("2600-6").is_none());
+        assert!(Plmn::parse("260-0606").is_none());
+        assert!(Plmn::parse("garbage").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "MNC 100 does not fit")]
+    fn plmn_rejects_overflowing_mnc() {
+        let _ = Plmn::new(260, 100, 2);
+    }
+
+    #[test]
+    fn imsi_display_is_fifteen_digits() {
+        let plmn = Plmn::new(260, 6, 2);
+        let imsi = Imsi::new(plmn, 42);
+        let s = imsi.to_string();
+        assert_eq!(s.len(), 15);
+        assert_eq!(s, "260060000000042");
+    }
+
+    #[test]
+    fn imsi_parse_round_trip() {
+        let s = "260061234567890";
+        let imsi = Imsi::parse(s, 2).unwrap();
+        assert_eq!(imsi.plmn(), Plmn::new(260, 6, 2));
+        assert_eq!(imsi.msin(), 1_234_567_890);
+        assert_eq!(imsi.to_string(), s);
+        // Same digits read with a 3-digit MNC plan parse differently.
+        let alt = Imsi::parse(s, 3).unwrap();
+        assert_eq!(alt.plmn().mnc(), 61);
+    }
+
+    #[test]
+    fn imsi_parse_rejects_bad_input() {
+        assert!(Imsi::parse("26006123456789", 2).is_none()); // 14 digits
+        assert!(Imsi::parse("2600612345678901", 2).is_none()); // 16 digits
+        assert!(Imsi::parse("26006123456789x", 2).is_none());
+    }
+
+    #[test]
+    fn range_contains_and_nth() {
+        let plmn = Plmn::new(260, 6, 2);
+        let range = ImsiRange { plmn, start: 5_000_000, len: 1000 };
+        assert!(range.contains(Imsi::new(plmn, 5_000_000)));
+        assert!(range.contains(Imsi::new(plmn, 5_000_999)));
+        assert!(!range.contains(Imsi::new(plmn, 5_001_000)));
+        assert!(!range.contains(Imsi::new(Plmn::new(260, 1, 2), 5_000_500)));
+        assert_eq!(range.nth(0).unwrap().msin(), 5_000_000);
+        assert_eq!(range.nth(999).unwrap().msin(), 5_000_999);
+        assert!(range.nth(1000).is_none());
+    }
+
+    #[test]
+    fn imei_is_fifteen_digits() {
+        assert_eq!(Imei(350123450000007).to_string().len(), 15);
+    }
+}

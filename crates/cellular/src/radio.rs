@@ -1,0 +1,214 @@
+//! Radio access model: RAT, CQI, access latency and achievable PHY rate.
+//!
+//! The device campaign records the Radio Access Technology of every test
+//! (the hatching of the Fig. 11/13 boxplots) and filters out measurements
+//! taken in bad channel conditions: "we excluded any measurements with a CQI
+//! below 7, as this threshold corresponds to the QPSK modulation scheme
+//! used in weak network conditions" (§5.1, citing 3GPP TS 36.213). This
+//! module reproduces the CQI table, the filter threshold, a plausible
+//! access-latency model per RAT, and a per-test channel sampler.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Radio access technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rat {
+    /// 4G / LTE.
+    Lte,
+    /// 5G NR.
+    Nr5g,
+}
+
+impl std::fmt::Display for Rat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rat::Lte => write!(f, "4G"),
+            Rat::Nr5g => write!(f, "5G"),
+        }
+    }
+}
+
+/// A Channel Quality Indicator, 1–15 (3GPP TS 36.213 Table 7.2.3-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cqi(u8);
+
+impl Cqi {
+    /// The CQI value below which the paper discards measurements (QPSK
+    /// region, weak signal).
+    pub const QPSK_THRESHOLD: Cqi = Cqi(7);
+
+    /// Construct, panicking outside 1..=15 (CQI 0 means "out of range" and
+    /// never reaches the application layer in the AmiGo pipeline).
+    #[must_use]
+    pub fn new(value: u8) -> Self {
+        assert!((1..=15).contains(&value), "CQI must be 1..=15, got {value}");
+        Cqi(value)
+    }
+
+    /// Raw value.
+    #[must_use]
+    pub fn value(&self) -> u8 {
+        self.0
+    }
+
+    /// The paper's measurement filter: keep only CQI ≥ 7.
+    #[must_use]
+    pub fn passes_quality_filter(&self) -> bool {
+        *self >= Self::QPSK_THRESHOLD
+    }
+}
+
+/// Spectral efficiency (information bits per symbol) for a CQI index, from
+/// 3GPP TS 36.213 Table 7.2.3-1.
+#[must_use]
+pub fn cqi_efficiency(cqi: Cqi) -> f64 {
+    const TABLE: [f64; 15] = [
+        0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223,
+        3.9023, 4.5234, 5.1152, 5.5547,
+    ];
+    TABLE[(cqi.value() - 1) as usize]
+}
+
+/// One-way radio access latency (air interface + backhaul into the core) in
+/// ms: 5G grants are faster than LTE, and a weak channel costs
+/// retransmissions.
+#[must_use]
+pub fn radio_latency_ms(rat: Rat, cqi: Cqi) -> f64 {
+    let base = match rat {
+        Rat::Lte => 14.0,
+        Rat::Nr5g => 7.0,
+    };
+    // HARQ retransmissions under weak channels: up to ~+12 ms at CQI 1.
+    base + (15 - cqi.value()) as f64 * 0.85
+}
+
+/// Achievable downlink PHY rate in Mbps for a channel: efficiency × an
+/// effective bandwidth factor per RAT (20 MHz LTE carrier vs a wider NR
+/// allocation). This caps what any policy can deliver over the air.
+#[must_use]
+pub fn phy_rate_mbps(rat: Rat, cqi: Cqi) -> f64 {
+    let effective_mhz = match rat {
+        Rat::Lte => 15.0,
+        Rat::Nr5g => 45.0,
+    };
+    cqi_efficiency(cqi) * effective_mhz
+}
+
+/// Samples per-test channel conditions for a measurement endpoint.
+///
+/// Real campaigns see mostly-good channels with a weak-signal tail (the 20%
+/// of measurements the paper's CQI filter dropped). The sampler draws CQI
+/// from a triangular-ish distribution whose mode is configurable per
+/// country/operator.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelSampler {
+    /// Most likely CQI (channel quality the volunteer usually had).
+    pub mode_cqi: u8,
+    /// Probability mass shifted into the weak tail (0..1).
+    pub weak_tail: f64,
+}
+
+impl Default for ChannelSampler {
+    fn default() -> Self {
+        ChannelSampler { mode_cqi: 11, weak_tail: 0.2 }
+    }
+}
+
+impl ChannelSampler {
+    /// Draw a CQI for one test.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SmallRng) -> Cqi {
+        debug_assert!((1..=15).contains(&self.mode_cqi));
+        if rng.gen_bool(self.weak_tail.clamp(0.0, 1.0)) {
+            // Weak tail: uniform over 1..7 (the filtered region).
+            Cqi::new(rng.gen_range(1..7))
+        } else {
+            // Good region: mode ± 2, clamped to 7..=15 so "good" really is
+            // above the filter.
+            let lo = self.mode_cqi.saturating_sub(2).max(7);
+            let hi = (self.mode_cqi + 2).min(15);
+            Cqi::new(rng.gen_range(lo..=hi))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cqi_table_is_monotone() {
+        let mut last = 0.0;
+        for v in 1..=15 {
+            let e = cqi_efficiency(Cqi::new(v));
+            assert!(e > last, "efficiency must grow with CQI");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn cqi_seven_is_the_first_non_qpsk() {
+        assert!(!Cqi::new(6).passes_quality_filter());
+        assert!(Cqi::new(7).passes_quality_filter());
+        assert!(Cqi::new(15).passes_quality_filter());
+    }
+
+    #[test]
+    fn spot_check_3gpp_values() {
+        assert!((cqi_efficiency(Cqi::new(1)) - 0.1523).abs() < 1e-9);
+        assert!((cqi_efficiency(Cqi::new(7)) - 1.4766).abs() < 1e-9);
+        assert!((cqi_efficiency(Cqi::new(15)) - 5.5547).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "CQI must be 1..=15")]
+    fn cqi_zero_rejected() {
+        let _ = Cqi::new(0);
+    }
+
+    #[test]
+    fn nr_is_faster_than_lte() {
+        let cqi = Cqi::new(12);
+        assert!(radio_latency_ms(Rat::Nr5g, cqi) < radio_latency_ms(Rat::Lte, cqi));
+        assert!(phy_rate_mbps(Rat::Nr5g, cqi) > phy_rate_mbps(Rat::Lte, cqi));
+    }
+
+    #[test]
+    fn weak_channel_costs_latency() {
+        assert!(
+            radio_latency_ms(Rat::Lte, Cqi::new(3)) > radio_latency_ms(Rat::Lte, Cqi::new(13))
+        );
+    }
+
+    #[test]
+    fn phy_rate_spans_realistic_range() {
+        // CQI 7 LTE ≈ 22 Mbps; CQI 15 NR ≈ 250 Mbps: the envelope within
+        // which v-MNO policy is the binding constraint.
+        let low = phy_rate_mbps(Rat::Lte, Cqi::new(7));
+        let high = phy_rate_mbps(Rat::Nr5g, Cqi::new(15));
+        assert!((15.0..30.0).contains(&low), "{low}");
+        assert!((150.0..300.0).contains(&high), "{high}");
+    }
+
+    #[test]
+    fn sampler_respects_weak_tail_fraction() {
+        let s = ChannelSampler { mode_cqi: 11, weak_tail: 0.2 };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 10_000;
+        let weak = (0..n).filter(|_| !s.sample(&mut rng).passes_quality_filter()).count();
+        let frac = weak as f64 / n as f64;
+        assert!((0.17..0.23).contains(&frac), "weak fraction {frac}");
+    }
+
+    #[test]
+    fn sampler_good_region_is_near_mode() {
+        let s = ChannelSampler { mode_cqi: 12, weak_tail: 0.0 };
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let c = s.sample(&mut rng).value();
+            assert!((10..=14).contains(&c), "got CQI {c}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Bilateral roaming agreements.
+//!
+//! An eSIM issued by a b-MNO only works in a visited country if the b-MNO
+//! has a roaming agreement with some v-MNO there. The thick-MNA trick the
+//! paper documents is to lean on a handful of b-MNOs whose agreement
+//! portfolios already blanket the planet: "This extensive roaming network
+//! allows Airalo to achieve global coverage without lengthy direct
+//! agreements with local operators" (§1).
+
+use crate::mno::MnoId;
+use roam_geo::Country;
+use std::collections::HashMap;
+
+/// One bilateral agreement: subscribers of `home` may attach to `visited`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoamingAgreement {
+    /// The operator that issued the subscriber's profile (b-MNO).
+    pub home: MnoId,
+    /// The operator whose RAN the subscriber attaches to (v-MNO).
+    pub visited: MnoId,
+    /// Whether data service is included (voice-only agreements exist; the
+    /// campaigns only care about data).
+    pub data: bool,
+}
+
+/// The set of agreements in force, indexed for the two queries the
+/// simulation needs: "can this b-MNO's subscriber roam onto this v-MNO?"
+/// and "which v-MNO will serve this b-MNO's subscriber in country X?".
+#[derive(Debug, Default)]
+pub struct RoamingRegistry {
+    by_pair: HashMap<(MnoId, MnoId), RoamingAgreement>,
+    /// For each (home, country): preferred v-MNOs in priority order
+    /// (steering of roaming — operators pin partners per country).
+    steering: HashMap<(MnoId, Country), Vec<MnoId>>,
+}
+
+impl RoamingRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an agreement and place `visited` at the end of `home`'s
+    /// steering list for `visited_country`.
+    pub fn add(&mut self, agreement: RoamingAgreement, visited_country: Country) {
+        self.by_pair.insert((agreement.home, agreement.visited), agreement);
+        self.steering
+            .entry((agreement.home, visited_country))
+            .or_default()
+            .push(agreement.visited);
+    }
+
+    /// Is there a data-roaming agreement between `home` and `visited`?
+    #[must_use]
+    pub fn allows_data(&self, home: MnoId, visited: MnoId) -> bool {
+        self.by_pair.get(&(home, visited)).is_some_and(|a| a.data)
+    }
+
+    /// The v-MNO a subscriber of `home` will be steered to in `country`
+    /// (the first data-capable partner in priority order).
+    #[must_use]
+    pub fn select_vmno(&self, home: MnoId, country: Country) -> Option<MnoId> {
+        self.steering
+            .get(&(home, country))?
+            .iter()
+            .copied()
+            .find(|v| self.allows_data(home, *v))
+    }
+
+    /// Every country where `home` subscribers have data roaming.
+    #[must_use]
+    pub fn footprint(&self, home: MnoId) -> Vec<Country> {
+        let mut countries: Vec<Country> = self
+            .steering
+            .iter()
+            .filter(|((h, _), vs)| *h == home && vs.iter().any(|v| self.allows_data(home, *v)))
+            .map(|((_, c), _)| *c)
+            .collect();
+        countries.sort();
+        countries.dedup();
+        countries
+    }
+
+    /// Total number of agreements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_pair.len()
+    }
+
+    /// Is the registry empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_pair.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLAY: MnoId = MnoId(0);
+    const VODAFONE_DE: MnoId = MnoId(1);
+    const O2_DE: MnoId = MnoId(2);
+    const MAGTI_GE: MnoId = MnoId(3);
+
+    fn registry() -> RoamingRegistry {
+        let mut r = RoamingRegistry::new();
+        r.add(
+            RoamingAgreement { home: PLAY, visited: VODAFONE_DE, data: true },
+            Country::DEU,
+        );
+        r.add(RoamingAgreement { home: PLAY, visited: O2_DE, data: false }, Country::DEU);
+        r.add(RoamingAgreement { home: PLAY, visited: MAGTI_GE, data: true }, Country::GEO);
+        r
+    }
+
+    #[test]
+    fn data_agreement_lookup() {
+        let r = registry();
+        assert!(r.allows_data(PLAY, VODAFONE_DE));
+        assert!(!r.allows_data(PLAY, O2_DE), "voice-only agreement");
+        assert!(!r.allows_data(VODAFONE_DE, PLAY), "agreements are directional");
+    }
+
+    #[test]
+    fn steering_picks_first_data_capable_partner() {
+        let r = registry();
+        assert_eq!(r.select_vmno(PLAY, Country::DEU), Some(VODAFONE_DE));
+        assert_eq!(r.select_vmno(PLAY, Country::GEO), Some(MAGTI_GE));
+        assert_eq!(r.select_vmno(PLAY, Country::FRA), None);
+    }
+
+    #[test]
+    fn steering_skips_voice_only_partner() {
+        let mut r = RoamingRegistry::new();
+        // Voice-only partner listed first; data partner second.
+        r.add(RoamingAgreement { home: PLAY, visited: O2_DE, data: false }, Country::DEU);
+        r.add(
+            RoamingAgreement { home: PLAY, visited: VODAFONE_DE, data: true },
+            Country::DEU,
+        );
+        assert_eq!(r.select_vmno(PLAY, Country::DEU), Some(VODAFONE_DE));
+    }
+
+    #[test]
+    fn footprint_lists_data_countries_only() {
+        let r = registry();
+        let fp = r.footprint(PLAY);
+        assert!(fp.contains(&Country::DEU));
+        assert!(fp.contains(&Country::GEO));
+        assert_eq!(fp.len(), 2);
+        assert!(r.footprint(MAGTI_GE).is_empty());
+    }
+
+    #[test]
+    fn len_counts_pairs() {
+        assert_eq!(registry().len(), 3);
+        assert!(RoamingRegistry::new().is_empty());
+    }
+}

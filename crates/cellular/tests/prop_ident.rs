@@ -1,0 +1,65 @@
+//! Property tests for cellular identifiers and the radio model.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use roam_cellular::{cqi_efficiency, ChannelSampler, Cqi, Imsi, ImsiRange, Plmn};
+
+fn arb_plmn() -> impl Strategy<Value = Plmn> {
+    (100u16..=999, prop_oneof![Just(2u8), Just(3u8)])
+        .prop_flat_map(|(mcc, digits)| {
+            let max = if digits == 2 { 99u16 } else { 999 };
+            (Just(mcc), 0u16..=max, Just(digits))
+        })
+        .prop_map(|(mcc, mnc, digits)| Plmn::new(mcc, mnc, digits))
+}
+
+proptest! {
+    #[test]
+    fn plmn_display_parse_roundtrip(plmn in arb_plmn()) {
+        let s = plmn.to_string();
+        prop_assert_eq!(Plmn::parse(&s).unwrap(), plmn);
+    }
+
+    #[test]
+    fn imsi_display_parse_roundtrip(plmn in arb_plmn(), msin_seed in any::<u64>()) {
+        let digits = 15 - 3 - if plmn.to_string().len() == 6 { 2 } else { 3 };
+        let msin = msin_seed % 10u64.pow(digits as u32);
+        let imsi = Imsi::new(plmn, msin);
+        let s = imsi.to_string();
+        prop_assert_eq!(s.len(), 15, "IMSIs are always 15 digits");
+        let mnc_digits = if plmn.to_string().len() == 6 { 2 } else { 3 };
+        let back = Imsi::parse(&s, mnc_digits).unwrap();
+        prop_assert_eq!(back, imsi);
+    }
+
+    #[test]
+    fn imsi_range_nth_contains(plmn in arb_plmn(), start in 0u64..1_000_000,
+                               len in 1u64..10_000, probe in any::<u64>()) {
+        let range = ImsiRange { plmn, start, len };
+        let i = probe % len;
+        let imsi = range.nth(i).unwrap();
+        prop_assert!(range.contains(imsi));
+        prop_assert!(range.nth(len).is_none());
+        // The IMSI one past the end is outside.
+        let outside = Imsi::new(plmn, start + len);
+        prop_assert!(!range.contains(outside));
+    }
+
+    #[test]
+    fn cqi_efficiency_monotone(a in 1u8..=15, b in 1u8..=15) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(cqi_efficiency(Cqi::new(lo)) <= cqi_efficiency(Cqi::new(hi)));
+    }
+
+    #[test]
+    fn channel_sampler_always_yields_valid_cqi(mode in 7u8..=15, tail in 0.0f64..1.0,
+                                               seed in any::<u64>()) {
+        let s = ChannelSampler { mode_cqi: mode, weak_tail: tail };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let c = s.sample(&mut rng);
+            prop_assert!((1..=15).contains(&c.value()));
+        }
+    }
+}

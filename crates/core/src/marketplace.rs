@@ -1,0 +1,184 @@
+//! The thick-MNA marketplace: a per-country catalogue of eSIM offers.
+//!
+//! This is the Airalo model as the paper reverse-engineers it:
+//!
+//! * for most countries, the aggregator leases an IMSI range from one of a
+//!   handful of b-MNOs with wide roaming footprints, bundles it with a
+//!   pre-arranged breakout configuration (HR through the b-MNO, or IHBO
+//!   through a contracted third-party PGW provider), and sells it as "the
+//!   Japan eSIM", "the Germany eSIM", …;
+//! * for a few countries the aggregator has a *native* (sponsored) deal:
+//!   the local operator issues the profile and the user is simply a native
+//!   subscriber (LG U+ in Korea, Ooredoo in the Maldives, dtac in Thailand,
+//!   §4.1).
+//!
+//! Buying an eSIM redeems an RSP activation code against the SM-DP+ and
+//! hands back a profile plus the offer metadata the attachment layer needs.
+
+use roam_cellular::sim::ActivationCode;
+use roam_cellular::{MnoId, SimProfile, Smdp};
+use roam_geo::Country;
+use roam_ipx::BreakoutConfig;
+use std::collections::BTreeMap;
+
+/// One country's eSIM offer in the catalogue.
+#[derive(Debug, Clone)]
+pub struct CountryOffer {
+    /// Destination country the offer is sold for.
+    pub country: Country,
+    /// The operator issuing the profiles (b-MNO).
+    pub b_mno: MnoId,
+    /// Breakout arrangement subscribers of this offer get.
+    pub config: BreakoutConfig,
+    /// True when the b-MNO is local to `country` (native/sponsored eSIM).
+    pub native: bool,
+    /// Activation-code batch at the SM-DP+.
+    code: ActivationCode,
+}
+
+/// A thick MNA: storefront + SM-DP+ + per-country offers.
+#[derive(Debug)]
+pub struct Aggregator {
+    /// Brand name.
+    pub name: String,
+    smdp: Smdp,
+    offers: BTreeMap<Country, CountryOffer>,
+}
+
+impl Aggregator {
+    /// A new aggregator with an empty catalogue.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Aggregator { name: name.to_string(), smdp: Smdp::new(), offers: BTreeMap::new() }
+    }
+
+    /// List a country offer backed by an IMSI range leased from `b_mno`.
+    ///
+    /// The range is deposited at the SM-DP+; the returned offer's activation
+    /// codes draw from it. Replaces any previous offer for the country.
+    pub fn list_offer(
+        &mut self,
+        country: Country,
+        b_mno: MnoId,
+        b_mno_country: Country,
+        range: roam_cellular::ImsiRange,
+        config: BreakoutConfig,
+    ) {
+        let code = self.smdp.deposit(b_mno, range);
+        let native = b_mno_country == country;
+        self.offers.insert(country, CountryOffer { country, b_mno, config, native, code });
+    }
+
+    /// The catalogue, ordered by country.
+    pub fn offers(&self) -> impl Iterator<Item = &CountryOffer> {
+        self.offers.values()
+    }
+
+    /// Offer for one country.
+    #[must_use]
+    pub fn offer(&self, country: Country) -> Option<&CountryOffer> {
+        self.offers.get(&country)
+    }
+
+    /// Number of countries served.
+    #[must_use]
+    pub fn countries_served(&self) -> usize {
+        self.offers.len()
+    }
+
+    /// Buy an eSIM for `country`: redeems an activation code and returns
+    /// the downloaded profile together with the offer it came from.
+    /// `None` when the country is not served or the lease is exhausted.
+    pub fn buy_esim(&mut self, country: Country) -> Option<(SimProfile, CountryOffer)> {
+        let offer = self.offers.get(&country)?.clone();
+        let profile = self.smdp.redeem(offer.code)?;
+        Some((profile, offer))
+    }
+
+    /// Profiles remaining in a country's lease.
+    #[must_use]
+    pub fn remaining(&self, country: Country) -> u64 {
+        self.offers.get(&country).map(|o| self.smdp.remaining(o.code)).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roam_cellular::{ImsiRange, Plmn};
+    use roam_ipx::PgwProviderId;
+
+    fn range(start: u64, len: u64) -> ImsiRange {
+        ImsiRange { plmn: Plmn::new(260, 6, 2), start, len }
+    }
+
+    fn agg() -> Aggregator {
+        let mut a = Aggregator::new("Airalo");
+        a.list_offer(
+            Country::DEU,
+            MnoId(1),
+            Country::POL,
+            range(1_000_000, 10),
+            BreakoutConfig::ihbo(vec![PgwProviderId(0)]),
+        );
+        a.list_offer(
+            Country::KOR,
+            MnoId(2),
+            Country::KOR,
+            range(2_000_000, 5),
+            BreakoutConfig::home_routed(PgwProviderId(1)),
+        );
+        a
+    }
+
+    #[test]
+    fn catalogue_distinguishes_native_from_roaming() {
+        let a = agg();
+        assert!(!a.offer(Country::DEU).unwrap().native, "Play→Germany is roaming");
+        assert!(a.offer(Country::KOR).unwrap().native, "LG U+→Korea is native");
+        assert_eq!(a.countries_served(), 2);
+        assert!(a.offer(Country::FRA).is_none());
+    }
+
+    #[test]
+    fn buying_redeems_sequential_profiles() {
+        let mut a = agg();
+        let (p1, offer) = a.buy_esim(Country::DEU).unwrap();
+        let (p2, _) = a.buy_esim(Country::DEU).unwrap();
+        assert_eq!(offer.b_mno, MnoId(1));
+        assert_eq!(p1.issuer, MnoId(1));
+        assert_eq!(p1.imsi.msin(), 1_000_000);
+        assert_eq!(p2.imsi.msin(), 1_000_001);
+        assert_eq!(a.remaining(Country::DEU), 8);
+    }
+
+    #[test]
+    fn exhausted_lease_stops_sales() {
+        let mut a = agg();
+        for _ in 0..5 {
+            assert!(a.buy_esim(Country::KOR).is_some());
+        }
+        assert!(a.buy_esim(Country::KOR).is_none());
+        assert_eq!(a.remaining(Country::KOR), 0);
+    }
+
+    #[test]
+    fn unserved_country_returns_none() {
+        let mut a = agg();
+        assert!(a.buy_esim(Country::BRA).is_none());
+    }
+
+    #[test]
+    fn relisting_replaces_the_offer() {
+        let mut a = agg();
+        a.list_offer(
+            Country::DEU,
+            MnoId(9),
+            Country::USA,
+            range(3_000_000, 2),
+            BreakoutConfig::ihbo(vec![PgwProviderId(2)]),
+        );
+        assert_eq!(a.offer(Country::DEU).unwrap().b_mno, MnoId(9));
+        assert_eq!(a.countries_served(), 2, "replacement, not addition");
+    }
+}

@@ -1,0 +1,193 @@
+//! Trip-cost advisor: the downstream-user API of the economics layer.
+//!
+//! The paper's §6 comparison (Airalo vs competitors vs local SIMs) answers
+//! a question every traveller asks: *what should I actually buy for this
+//! trip?* This module operationalises it: given an itinerary (countries and
+//! per-country data needs), rank the options — per-country eSIM plans from
+//! any provider, and the local-SIM baseline where one is known — by total
+//! cost, respecting plan sizes and validity windows.
+
+use crate::crawler::CrawlDay;
+use crate::localsim::{local_sim_offers, LocalSimOffer};
+use crate::market::{Market, ProviderId};
+use roam_geo::Country;
+
+/// One leg of a trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripLeg {
+    /// Destination.
+    pub country: Country,
+    /// Days spent there.
+    pub days: u16,
+    /// Data needed there, GB.
+    pub data_gb: f64,
+}
+
+/// A purchase recommendation for one leg.
+#[derive(Debug, Clone)]
+pub struct LegOption {
+    /// The leg it covers.
+    pub leg: TripLeg,
+    /// Who sells it ("local SIM" for the physical baseline).
+    pub seller: String,
+    /// Plan size bought (may exceed the need: plans are discrete).
+    pub plan_gb: f64,
+    /// Total price, USD.
+    pub price_usd: f64,
+    /// Effective $/GB *of the data actually needed*.
+    pub effective_per_gb: f64,
+}
+
+/// The advisor's answer for a whole trip.
+#[derive(Debug, Clone)]
+pub struct TripPlan {
+    /// Cheapest option per leg, in itinerary order.
+    pub legs: Vec<LegOption>,
+    /// Sum over legs, USD.
+    pub total_usd: f64,
+}
+
+/// Find the cheapest plan a provider sells for `leg` on this crawl day:
+/// the least-cost single plan that covers the data need and the stay.
+fn best_plan_from(
+    day: &CrawlDay,
+    provider: ProviderId,
+    leg: TripLeg,
+) -> Option<(f64, f64)> {
+    day.records
+        .iter()
+        .filter(|r| {
+            r.offer.provider == provider
+                && r.offer.country == leg.country
+                && r.offer.data_gb >= leg.data_gb
+                && u32::from(r.offer.validity_days) >= u32::from(leg.days)
+        })
+        .map(|r| (r.offer.data_gb, r.price_usd))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("prices are never NaN"))
+}
+
+/// Rank all options for one leg, cheapest first.
+#[must_use]
+pub fn leg_options(market: &Market, day: &CrawlDay, leg: TripLeg) -> Vec<LegOption> {
+    assert!(leg.data_gb > 0.0, "a leg needs a positive data requirement");
+    let mut out = Vec::new();
+    for pid in 0..market.provider_count() {
+        let pid = ProviderId(pid as u32);
+        if let Some((plan_gb, price)) = best_plan_from(day, pid, leg) {
+            out.push(LegOption {
+                leg,
+                seller: market.provider(pid).name.clone(),
+                plan_gb,
+                price_usd: price,
+                effective_per_gb: price / leg.data_gb,
+            });
+        }
+    }
+    if let Some(local) = local_sim_offers().iter().find(|o: &&LocalSimOffer| {
+        o.country == leg.country && o.data_gb >= leg.data_gb
+    }) {
+        out.push(LegOption {
+            leg,
+            seller: "local SIM".into(),
+            plan_gb: local.data_gb,
+            price_usd: local.total_usd(),
+            effective_per_gb: local.total_usd() / leg.data_gb,
+        });
+    }
+    out.sort_by(|a, b| a.price_usd.partial_cmp(&b.price_usd).expect("no NaN prices"));
+    out
+}
+
+/// Recommend the cheapest coverage for a whole itinerary. Legs with no
+/// available option are skipped (and absent from the result) — callers can
+/// detect that by comparing lengths.
+#[must_use]
+pub fn plan_trip(market: &Market, day: &CrawlDay, itinerary: &[TripLeg]) -> TripPlan {
+    let mut legs = Vec::new();
+    let mut total = 0.0;
+    for leg in itinerary {
+        if let Some(best) = leg_options(market, day, *leg).into_iter().next() {
+            total += best.price_usd;
+            legs.push(best);
+        }
+    }
+    TripPlan { legs, total_usd: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::{Crawler, Vantage};
+
+    fn setup() -> (Market, CrawlDay) {
+        let m = Market::generate(1);
+        let d = Crawler::new(Vantage::Madrid).crawl(&m, 30);
+        (m, d)
+    }
+
+    #[test]
+    fn options_are_sorted_and_cover_the_need() {
+        let (m, d) = setup();
+        let leg = TripLeg { country: Country::ESP, days: 7, data_gb: 3.0 };
+        let options = leg_options(&m, &d, leg);
+        assert!(options.len() > 10, "most providers serve Spain: {}", options.len());
+        for w in options.windows(2) {
+            assert!(w[0].price_usd <= w[1].price_usd);
+        }
+        for o in &options {
+            assert!(o.plan_gb >= 3.0, "{:?} does not cover the need", o);
+            assert!((o.effective_per_gb - o.price_usd / o.leg.data_gb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn local_sim_appears_and_often_wins_big_bundles() {
+        let (m, d) = setup();
+        let leg = TripLeg { country: Country::ESP, days: 7, data_gb: 20.0 };
+        let options = leg_options(&m, &d, leg);
+        let local = options.iter().find(|o| o.seller == "local SIM").expect("ESP has one");
+        assert_eq!(local.plan_gb, 40.0);
+        // For a 20 GB need the 40 GB/$22.59 local bundle should beat most
+        // aggregator 20 GB plans.
+        let rank = options.iter().position(|o| o.seller == "local SIM").expect("present");
+        assert!(rank <= 3, "local SIM ranked {rank}");
+    }
+
+    #[test]
+    fn validity_window_filters_short_plans() {
+        let (m, d) = setup();
+        // A 30-day stay excludes 7- and 15-day plans.
+        let long = TripLeg { country: Country::DEU, days: 30, data_gb: 1.0 };
+        for o in leg_options(&m, &d, long) {
+            if o.seller != "local SIM" {
+                assert!(o.plan_gb > 0.0);
+            }
+        }
+        // Sanity: a 7-day stay has at least as many options.
+        let short = TripLeg { country: Country::DEU, days: 7, data_gb: 1.0 };
+        assert!(leg_options(&m, &d, short).len() >= leg_options(&m, &d, long).len());
+    }
+
+    #[test]
+    fn trip_totals_add_up() {
+        let (m, d) = setup();
+        let itinerary = [
+            TripLeg { country: Country::ESP, days: 5, data_gb: 2.0 },
+            TripLeg { country: Country::DEU, days: 5, data_gb: 2.0 },
+            TripLeg { country: Country::THA, days: 10, data_gb: 5.0 },
+        ];
+        let plan = plan_trip(&m, &d, &itinerary);
+        assert_eq!(plan.legs.len(), 3);
+        let sum: f64 = plan.legs.iter().map(|l| l.price_usd).sum();
+        assert!((plan.total_usd - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_legs_are_skipped() {
+        let (m, d) = setup();
+        let itinerary = [TripLeg { country: Country::ESP, days: 5, data_gb: 10_000.0 }];
+        let plan = plan_trip(&m, &d, &itinerary);
+        assert!(plan.legs.is_empty());
+        assert_eq!(plan.total_usd, 0.0);
+    }
+}

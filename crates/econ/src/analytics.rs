@@ -1,0 +1,260 @@
+//! Reductions from crawl snapshots to the figures' series.
+
+use crate::crawler::CrawlDay;
+use crate::market::{Market, ProviderId};
+use roam_geo::{Continent, Country};
+use roam_stats::{median, quantile, BoxplotSummary, Ecdf};
+use std::collections::BTreeMap;
+
+/// Median $/GB per destination country for one provider on a crawl day —
+/// the underlying series of Figs. 17 and 18.
+#[must_use]
+pub fn median_per_gb_by_country(day: &CrawlDay, provider: ProviderId) -> BTreeMap<Country, f64> {
+    let mut per_country: BTreeMap<Country, Vec<f64>> = BTreeMap::new();
+    for r in &day.records {
+        if r.offer.provider == provider {
+            per_country.entry(r.offer.country).or_default().push(r.per_gb());
+        }
+    }
+    per_country
+        .into_iter()
+        .map(|(c, v)| (c, median(&v).expect("non-empty country bucket")))
+        .collect()
+}
+
+/// Fig. 16: distribution of per-country median $/GB within each continent.
+#[must_use]
+pub fn continent_boxplots(
+    day: &CrawlDay,
+    provider: ProviderId,
+) -> Vec<(Continent, BoxplotSummary)> {
+    let medians = median_per_gb_by_country(day, provider);
+    let mut by_continent: BTreeMap<Continent, Vec<f64>> = BTreeMap::new();
+    for (country, m) in medians {
+        by_continent.entry(country.continent()).or_default().push(m);
+    }
+    by_continent
+        .into_iter()
+        .filter(|(_, v)| v.len() >= 2)
+        .map(|(c, v)| (c, BoxplotSummary::from(&v).expect("validated above")))
+        .collect()
+}
+
+/// A provider's row in the Fig. 17 comparison.
+#[derive(Debug, Clone)]
+pub struct ProviderSummary {
+    /// Brand name.
+    pub name: String,
+    /// Number of countries with at least one offer.
+    pub countries: usize,
+    /// Share of all offers in the snapshot (the percentages in Fig. 17's
+    /// legend).
+    pub offer_share: f64,
+    /// Median across per-country median $/GB.
+    pub median_per_gb: f64,
+    /// The full per-country-median distribution (for CDF plotting).
+    pub cdf: Ecdf,
+}
+
+/// Fig. 17: compare providers on a snapshot. Providers with fewer than
+/// `min_countries` are skipped (no meaningful CDF).
+#[must_use]
+pub fn provider_comparison(
+    market: &Market,
+    day: &CrawlDay,
+    min_countries: usize,
+) -> Vec<ProviderSummary> {
+    let total = day.records.len() as f64;
+    let mut out = Vec::new();
+    for pid in 0..market.provider_count() {
+        let pid = ProviderId(pid as u32);
+        let medians = median_per_gb_by_country(day, pid);
+        if medians.len() < min_countries {
+            continue;
+        }
+        let values: Vec<f64> = medians.values().copied().collect();
+        let n_offers = day.records.iter().filter(|r| r.offer.provider == pid).count();
+        out.push(ProviderSummary {
+            name: market.provider(pid).name.clone(),
+            countries: medians.len(),
+            offer_share: n_offers as f64 / total,
+            median_per_gb: median(&values).expect("non-empty"),
+            cdf: Ecdf::new(&values).expect("non-empty"),
+        });
+    }
+    out.sort_by(|a, b| a.median_per_gb.partial_cmp(&b.median_per_gb).expect("no NaN"));
+    out
+}
+
+/// Fig. 18: decile thresholds over a set of values (country medians). The
+/// paper colours countries by which decile of the worldwide distribution
+/// they fall into; returns the 9 interior cut points.
+#[must_use]
+pub fn decile_thresholds(values: &[f64]) -> Vec<f64> {
+    (1..10)
+        .map(|d| quantile(values, d as f64 / 10.0).expect("validated input"))
+        .collect()
+}
+
+/// Fig. 19: (size, price) points of one provider's plans ≤ `max_gb`,
+/// grouped by backing b-MNO index, then by country.
+#[must_use]
+pub fn size_price_by_bmno(
+    day: &CrawlDay,
+    provider: ProviderId,
+    max_gb: f64,
+) -> BTreeMap<u8, BTreeMap<Country, Vec<(f64, f64)>>> {
+    let mut out: BTreeMap<u8, BTreeMap<Country, Vec<(f64, f64)>>> = BTreeMap::new();
+    for r in &day.records {
+        if r.offer.provider != provider || r.offer.data_gb > max_gb {
+            continue;
+        }
+        let Some(bmno) = r.offer.bmno else { continue };
+        out.entry(bmno)
+            .or_default()
+            .entry(r.offer.country)
+            .or_default()
+            .push((r.offer.data_gb, r.price_usd));
+    }
+    for countries in out.values_mut() {
+        for points in countries.values_mut() {
+            points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN sizes"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::{Crawler, Vantage};
+
+    fn snapshot(day: u32) -> (Market, CrawlDay) {
+        let m = Market::generate(1);
+        let d = Crawler::new(Vantage::NewJersey).crawl(&m, day);
+        (m, d)
+    }
+
+    #[test]
+    fn europe_is_about_half_of_north_america() {
+        let (m, d) = snapshot(0);
+        let boxes = continent_boxplots(&d, m.airalo());
+        let get = |c: Continent| boxes.iter().find(|(x, _)| *x == c).map(|(_, b)| b.median);
+        let eu = get(Continent::Europe).expect("Europe present");
+        let na = get(Continent::NorthAmerica).expect("NA present");
+        let ratio = na / eu;
+        assert!((1.5..3.2).contains(&ratio), "NA/EU median ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn provider_comparison_is_anchored() {
+        let (m, d) = snapshot(76); // the paper's 05/01 snapshot
+        let cmp = provider_comparison(&m, &d, 20);
+        let find = |n: &str| cmp.iter().find(|p| p.name == n).expect("provider present");
+        let airalo = find("Airalo");
+        let airhub = find("Airhub");
+        let keepgo = find("Keepgo");
+        let mobi = find("MobiMatter");
+        assert!(airhub.median_per_gb < airalo.median_per_gb);
+        assert!(keepgo.median_per_gb > airalo.median_per_gb * 1.5);
+        // MobiMatter ~60% cheaper than Airalo.
+        let discount = 1.0 - mobi.median_per_gb / airalo.median_per_gb;
+        assert!((0.35..0.75).contains(&discount), "MobiMatter discount {discount:.2}");
+        // MobiMatter holds more offers than Airalo.
+        assert!(mobi.offer_share > airalo.offer_share);
+        // Sorted ascending by median.
+        for w in cmp.windows(2) {
+            assert!(w[0].median_per_gb <= w[1].median_per_gb);
+        }
+    }
+
+    #[test]
+    fn worldwide_airalo_median_is_near_paper_value() {
+        let (m, d) = snapshot(76);
+        let medians = median_per_gb_by_country(&d, m.airalo());
+        let values: Vec<f64> = medians.values().copied().collect();
+        let med = median(&values).unwrap();
+        assert!((5.0..11.0).contains(&med), "worldwide median $/GB {med:.2} (paper: 7.9)");
+    }
+
+    #[test]
+    fn central_america_lands_in_top_deciles() {
+        let (m, d) = snapshot(0);
+        let medians = median_per_gb_by_country(&d, m.airalo());
+        let values: Vec<f64> = medians.values().copied().collect();
+        let cuts = decile_thresholds(&values);
+        assert_eq!(cuts.len(), 9);
+        for w in cuts.windows(2) {
+            assert!(w[1] >= w[0], "deciles must be monotone");
+        }
+        let ca: Vec<f64> = medians
+            .iter()
+            .filter(|(c, _)| c.is_central_america())
+            .map(|(_, v)| *v)
+            .collect();
+        if !ca.is_empty() {
+            let ca_med = median(&ca).unwrap();
+            assert!(ca_med > cuts[6], "Central America ({ca_med:.1}) above the 70th pct");
+        }
+    }
+
+    #[test]
+    fn asia_median_moves_between_feb_and_may() {
+        let (m, feb) = snapshot(0);
+        let may = Crawler::new(Vantage::NewJersey).crawl(&m, 80);
+        let med_of = |d: &CrawlDay| {
+            let boxes = continent_boxplots(d, m.airalo());
+            boxes.iter().find(|(c, _)| *c == Continent::Asia).map(|(_, b)| b.median).unwrap()
+        };
+        let delta = med_of(&may) / med_of(&feb);
+        assert!(delta > 1.08, "Asia drift {delta:.3}");
+    }
+
+    #[test]
+    fn size_price_groups_by_bmno_and_is_sorted() {
+        let (m, d) = snapshot(0);
+        let groups = size_price_by_bmno(&d, m.airalo(), 5.0);
+        assert!(!groups.is_empty());
+        for countries in groups.values() {
+            for points in countries.values() {
+                for p in points {
+                    assert!(p.0 <= 5.0, "size filter");
+                }
+                for w in points.windows(2) {
+                    assert!(w[0].0 <= w[1].0, "sorted by size");
+                }
+                // A catalogue can list several plans of the same size
+                // (validity variants); monotonicity holds on the cheapest
+                // plan per size.
+                let mut cheapest: BTreeMap<u64, f64> = BTreeMap::new();
+                for (gb, price) in points {
+                    let key = (*gb * 10.0) as u64;
+                    let e = cheapest.entry(key).or_insert(f64::INFINITY);
+                    *e = e.min(*price);
+                }
+                let mins: Vec<f64> = cheapest.values().copied().collect();
+                for w in mins.windows(2) {
+                    assert!(w[0] < w[1], "cheapest price grows with size: {mins:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_bmno_different_country_prices_differ() {
+        // Fig. 19's point: Play-backed plans cost differently in Georgia
+        // vs Spain.
+        let (m, d) = snapshot(0);
+        let groups = size_price_by_bmno(&d, m.airalo(), 5.0);
+        if let Some(play) = groups.get(&1) {
+            if let (Some(geo), Some(esp)) = (play.get(&Country::GEO), play.get(&Country::ESP)) {
+                let price_of = |pts: &Vec<(f64, f64)>, gb: f64| {
+                    pts.iter().find(|(g, _)| *g == gb).map(|(_, p)| *p)
+                };
+                if let (Some(a), Some(b)) = (price_of(geo, 5.0), price_of(esp, 5.0)) {
+                    assert!((a - b).abs() > 0.01, "same-b-MNO prices should differ");
+                }
+            }
+        }
+    }
+}

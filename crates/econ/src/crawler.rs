@@ -1,0 +1,167 @@
+//! The daily crawler (§3.3).
+//!
+//! The paper "conducted daily retrievals of eSIM offers over a four-month
+//! period from February to May 2024" and additionally crawled "at three
+//! different physical locations (Spain, New Jersey, and UAE) … to
+//! investigate potential price discrimination tactics" — finding none.
+//! The crawler here samples the synthetic market the same way: one snapshot
+//! per day per vantage, where the vantage *could* influence prices but (as
+//! in reality) does not.
+
+use crate::market::Market;
+use crate::offer::EsimOffer;
+use roam_geo::Country;
+
+/// Where the crawler runs from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vantage {
+    /// Madrid, Spain.
+    Madrid,
+    /// Abu Dhabi, UAE.
+    AbuDhabi,
+    /// New Jersey, USA.
+    NewJersey,
+}
+
+impl Vantage {
+    /// All vantage points of the study.
+    pub const ALL: [Vantage; 3] = [Vantage::Madrid, Vantage::AbuDhabi, Vantage::NewJersey];
+
+    /// The country the vantage sits in.
+    #[must_use]
+    pub fn country(&self) -> Country {
+        match self {
+            Vantage::Madrid => Country::ESP,
+            Vantage::AbuDhabi => Country::ARE,
+            Vantage::NewJersey => Country::USA,
+        }
+    }
+}
+
+/// One crawled offer: the catalogue entry plus the price seen that day.
+#[derive(Debug, Clone, Copy)]
+pub struct CrawlRecord {
+    /// The catalogue offer.
+    pub offer: EsimOffer,
+    /// Price observed on the crawl day, USD.
+    pub price_usd: f64,
+}
+
+impl CrawlRecord {
+    /// $/GB at the observed price.
+    #[must_use]
+    pub fn per_gb(&self) -> f64 {
+        self.price_usd / self.offer.data_gb
+    }
+}
+
+/// A full day of crawling.
+#[derive(Debug)]
+pub struct CrawlDay {
+    /// Day index (0 = 2024-02-14).
+    pub day: u32,
+    /// Vantage the crawl ran from.
+    pub vantage: Vantage,
+    /// Everything the aggregator listed that day.
+    pub records: Vec<CrawlRecord>,
+}
+
+impl CrawlDay {
+    /// Human-readable date for the day index (the crawl ran 2024-02-14 to
+    /// 2024-05-31, 108 days).
+    #[must_use]
+    pub fn date_label(&self) -> String {
+        // Days per month from Feb 14: Feb has 16 days left (leap year),
+        // then Mar 31, Apr 30, May 31.
+        let mut d = self.day;
+        for (name, len, first) in
+            [("02", 16u32, 14u32), ("03", 31, 1), ("04", 30, 1), ("05", 31, 1)]
+        {
+            if d < len {
+                return format!("2024-{name}-{:02}", first + d);
+            }
+            d -= len;
+        }
+        format!("2024-06-{:02}", d + 1)
+    }
+}
+
+/// The crawler.
+#[derive(Debug)]
+pub struct Crawler {
+    vantage: Vantage,
+}
+
+impl Crawler {
+    /// A crawler at a vantage point.
+    #[must_use]
+    pub fn new(vantage: Vantage) -> Self {
+        Crawler { vantage }
+    }
+
+    /// Crawl the market on `day`. Prices come from the market's pricing
+    /// function — identical regardless of vantage, which is exactly what
+    /// the discrimination check verifies.
+    #[must_use]
+    pub fn crawl(&self, market: &Market, day: u32) -> CrawlDay {
+        let records = market
+            .offers()
+            .iter()
+            .map(|o| CrawlRecord { offer: *o, price_usd: market.price_on_day(o, day) })
+            .collect();
+        CrawlDay { day, vantage: self.vantage, records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crawl_covers_the_whole_catalogue() {
+        let m = Market::generate(1);
+        let day = Crawler::new(Vantage::NewJersey).crawl(&m, 0);
+        assert_eq!(day.records.len(), m.offers().len());
+    }
+
+    #[test]
+    fn no_price_discrimination_across_vantages() {
+        let m = Market::generate(1);
+        let a = Crawler::new(Vantage::Madrid).crawl(&m, 50);
+        let b = Crawler::new(Vantage::AbuDhabi).crawl(&m, 50);
+        let c = Crawler::new(Vantage::NewJersey).crawl(&m, 50);
+        for ((x, y), z) in a.records.iter().zip(&b.records).zip(&c.records) {
+            assert_eq!(x.price_usd, y.price_usd);
+            assert_eq!(y.price_usd, z.price_usd);
+        }
+    }
+
+    #[test]
+    fn same_day_crawls_are_reproducible() {
+        let m = Market::generate(1);
+        let a = Crawler::new(Vantage::Madrid).crawl(&m, 10);
+        let b = Crawler::new(Vantage::Madrid).crawl(&m, 10);
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.price_usd, y.price_usd);
+        }
+    }
+
+    #[test]
+    fn date_labels_span_feb_to_may() {
+        let mk = |day| CrawlDay { day, vantage: Vantage::Madrid, records: vec![] };
+        assert_eq!(mk(0).date_label(), "2024-02-14");
+        assert_eq!(mk(15).date_label(), "2024-02-29", "2024 is a leap year");
+        assert_eq!(mk(16).date_label(), "2024-03-01");
+        assert_eq!(mk(46).date_label(), "2024-03-31");
+        assert_eq!(mk(47).date_label(), "2024-04-01");
+        assert_eq!(mk(107).date_label(), "2024-05-31");
+    }
+
+    #[test]
+    fn per_gb_uses_observed_price() {
+        let m = Market::generate(1);
+        let day = Crawler::new(Vantage::Madrid).crawl(&m, 80);
+        let r = &day.records[0];
+        assert!((r.per_gb() - r.price_usd / r.offer.data_gb).abs() < 1e-12);
+    }
+}

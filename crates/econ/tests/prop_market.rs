@@ -1,0 +1,44 @@
+//! Property tests for the economics pipeline: prices stay sane on every
+//! crawl day and no vantage ever sees a different price.
+
+use proptest::prelude::*;
+use roam_econ::{Crawler, Market, Vantage};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prices_positive_on_every_day(seed in 0u64..50, day in 0u32..108, idx in any::<usize>()) {
+        let market = Market::generate(seed);
+        let offer = &market.offers()[idx % market.offers().len()];
+        let p = market.price_on_day(offer, day);
+        prop_assert!(p > 0.0);
+        prop_assert!(p < offer.base_price_usd * 2.0, "no runaway drift: {p}");
+        prop_assert!(p > offer.base_price_usd * 0.5);
+    }
+
+    #[test]
+    fn vantage_never_affects_prices(seed in 0u64..20, day in 0u32..108) {
+        let market = Market::generate(seed);
+        let crawls: Vec<_> = Vantage::ALL
+            .iter()
+            .map(|v| Crawler::new(*v).crawl(&market, day))
+            .collect();
+        for w in crawls.windows(2) {
+            for (a, b) in w[0].records.iter().zip(&w[1].records).take(500) {
+                prop_assert_eq!(a.price_usd, b.price_usd);
+            }
+        }
+    }
+
+    #[test]
+    fn prices_never_decrease_over_the_study(seed in 0u64..20, idx in any::<usize>()) {
+        // The calibrated drifts are upward (Asia step, Africa floor rise);
+        // the ±2% wiggle must never mask them into a >5% decline.
+        let market = Market::generate(seed);
+        let offer = &market.offers()[idx % market.offers().len()];
+        let feb = market.price_on_day(offer, 0);
+        let may = market.price_on_day(offer, 107);
+        prop_assert!(may >= feb * 0.95, "feb {feb} → may {may}");
+    }
+}

@@ -1,0 +1,196 @@
+//! City gazetteer: every site that hosts a simulated network element.
+//!
+//! Three kinds of places appear in the paper and therefore here:
+//!
+//! * **volunteer / SGW cities** — where measurements were taken (the black
+//!   triangles of Fig. 3 approximate the SGW inside the v-MNO);
+//! * **PGW / breakout cities** — Amsterdam and Ashburn (Packet Host), Lille
+//!   and Wattrelos (OVH), London (Wireless Logic), Dallas (Webbing),
+//!   Singapore (Singtel HR), Seoul/Goyang/Cheonan (Korean PGWs), Dublin
+//!   (emnify validation, §4.3.1), Tulsa / Fort Worth (Google DNS, §5.1);
+//! * **service-provider edge cities** — where Google/Facebook/Ookla/CDN edge
+//!   nodes sit, "strategically located close to most users" (§5.1).
+
+use crate::{Country, GeoPoint};
+
+macro_rules! cities {
+    ($( $v:ident, $name:literal, $country:ident, $lat:literal, $lon:literal; )+) => {
+        /// A city hosting at least one simulated network element.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub enum City {
+            $(#[doc = $name] $v,)+
+        }
+
+        impl City {
+            /// Every city in the gazetteer.
+            pub const ALL: &'static [City] = &[$(City::$v,)+];
+
+            /// Human-readable name.
+            #[must_use]
+            pub fn name(&self) -> &'static str {
+                match self { $(City::$v => $name,)+ }
+            }
+
+            /// Country the city belongs to.
+            #[must_use]
+            pub fn country(&self) -> Country {
+                match self { $(City::$v => Country::$country,)+ }
+            }
+
+            /// Geographic location.
+            #[must_use]
+            pub fn location(&self) -> GeoPoint {
+                match self { $(City::$v => GeoPoint::new($lat, $lon),)+ }
+            }
+        }
+    };
+}
+
+cities! {
+    // ---- volunteer / SGW cities (one per measured country) ----
+    Dubai,        "Dubai",         ARE,  25.2,  55.3;
+    Tokyo,        "Tokyo",         JPN,  35.7,  139.7;
+    Karachi,      "Karachi",       PAK,  24.9,  67.0;
+    KualaLumpur,  "Kuala Lumpur",  MYS,  3.1,   101.7;
+    Shanghai,     "Shanghai",      CHN,  31.2,  121.5;
+    London,       "London",        GBR,  51.5,  -0.1;
+    Berlin,       "Berlin",        DEU,  52.5,  13.4;
+    Tbilisi,      "Tbilisi",       GEO,  41.7,  44.8;
+    Madrid,       "Madrid",        ESP,  40.4,  -3.7;
+    Doha,         "Doha",          QAT,  25.3,  51.5;
+    Riyadh,       "Riyadh",        SAU,  24.7,  46.7;
+    Istanbul,     "Istanbul",      TUR,  41.0,  29.0;
+    Cairo,        "Cairo",         EGY,  30.0,  31.2;
+    Chisinau,     "Chisinau",      MDA,  47.0,  28.9;
+    Nairobi,      "Nairobi",       KEN,  -1.3,  36.8;
+    Helsinki,     "Helsinki",      FIN,  60.2,  24.9;
+    Baku,         "Baku",          AZE,  40.4,  49.9;
+    Rome,         "Rome",          ITA,  41.9,  12.5;
+    NewYork,      "New York",      USA,  40.7,  -74.0;
+    Paris,        "Paris",         FRA,  48.9,  2.4;
+    Tashkent,     "Tashkent",      UZB,  41.3,  69.2;
+    Seoul,        "Seoul",         KOR,  37.6,  127.0;
+    Male,         "Malé",          MDV,  4.2,   73.5;
+    Bangkok,      "Bangkok",       THA,  13.8,  100.5;
+    // ---- PGW / breakout / core cities ----
+    Singapore,    "Singapore",     SGP,  1.35,  103.82;
+    Amsterdam,    "Amsterdam",     NLD,  52.4,  4.9;
+    Ashburn,      "Ashburn",       USA,  39.0,  -77.5;
+    Lille,        "Lille",         FRA,  50.6,  3.1;
+    Wattrelos,    "Wattrelos",     FRA,  50.7,  3.2;
+    Dallas,       "Dallas",        USA,  32.8,  -96.8;
+    FortWorth,    "Fort Worth",    USA,  32.8,  -97.3;
+    Tulsa,        "Tulsa",         USA,  36.2,  -95.9;
+    Goyang,       "Goyang",        KOR,  37.7,  126.8;
+    Cheonan,      "Cheonan",       KOR,  36.8,  127.1;
+    Dublin,       "Dublin",        IRL,  53.3,  -6.3;
+    Warsaw,       "Warsaw",        POL,  52.2,  21.0;
+    // ---- service-provider edge / transit cities ----
+    Frankfurt,    "Frankfurt",     DEU,  50.1,  8.7;
+    Marseille,    "Marseille",     FRA,  43.3,  5.4;
+    Stockholm,    "Stockholm",     SWE,  59.3,  18.1;
+    Vienna,       "Vienna",        AUT,  48.2,  16.4;
+    Milan,        "Milan",         ITA,  45.5,  9.2;
+    HongKong,     "Hong Kong",     HKG,  22.3,  114.2;
+    Mumbai,       "Mumbai",        IND,  19.1,  72.9;
+    SaoPaulo,     "São Paulo",     BRA,  -23.6, -46.6;
+    Sydney,       "Sydney",        AUS,  -33.9, 151.2;
+    Johannesburg, "Johannesburg",  ZAF,  -26.2, 28.0;
+    LosAngeles,   "Los Angeles",   USA,  34.1,  -118.2;
+    Newark,       "Newark",        USA,  40.7,  -74.2;
+    AbuDhabi,     "Abu Dhabi",     ARE,  24.5,  54.4;
+}
+
+impl City {
+    /// The volunteer / SGW city used for a measured country, i.e. where the
+    /// paper's measurement endpoint sat (Fig. 3 triangles).
+    #[must_use]
+    pub fn sgw_city_for(country: Country) -> Option<City> {
+        Some(match country {
+            Country::ARE => City::Dubai,
+            Country::JPN => City::Tokyo,
+            Country::PAK => City::Karachi,
+            Country::MYS => City::KualaLumpur,
+            Country::CHN => City::Shanghai,
+            Country::GBR => City::London,
+            Country::DEU => City::Berlin,
+            Country::GEO => City::Tbilisi,
+            Country::ESP => City::Madrid,
+            Country::QAT => City::Doha,
+            Country::SAU => City::Riyadh,
+            Country::TUR => City::Istanbul,
+            Country::EGY => City::Cairo,
+            Country::MDA => City::Chisinau,
+            Country::KEN => City::Nairobi,
+            Country::FIN => City::Helsinki,
+            Country::AZE => City::Baku,
+            Country::ITA => City::Rome,
+            Country::USA => City::NewYork,
+            Country::FRA => City::Paris,
+            Country::UZB => City::Tashkent,
+            Country::KOR => City::Seoul,
+            Country::MDV => City::Male,
+            Country::THA => City::Bangkok,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for City {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Continent;
+
+    #[test]
+    fn every_measured_country_has_an_sgw_city() {
+        for c in Country::MEASURED {
+            let city = City::sgw_city_for(c).unwrap_or_else(|| panic!("no SGW city for {c}"));
+            assert_eq!(city.country(), c, "{city} should be in {c}");
+        }
+    }
+
+    #[test]
+    fn unmeasured_country_has_no_sgw_city() {
+        assert_eq!(City::sgw_city_for(Country::BRA), None);
+    }
+
+    #[test]
+    fn pgw_city_locations_are_in_their_countries_continent() {
+        // Coarse sanity: city coordinates should land near their country's
+        // centroid (within ~3500 km; generous for large countries like USA).
+        for city in City::ALL {
+            let d = city.location().distance_km(city.country().centroid());
+            assert!(d < 3500.0, "{city} is {d} km from {} centroid", city.country());
+        }
+    }
+
+    #[test]
+    fn wattrelos_is_near_lille() {
+        let d = City::Wattrelos.location().distance_km(City::Lille.location());
+        assert!(d < 30.0, "Wattrelos–Lille should be adjacent, got {d} km");
+    }
+
+    #[test]
+    fn fort_worth_is_closer_to_dallas_than_tulsa_is() {
+        // §5.1: the Dallas PGW's DNS resolver is sometimes Fort Worth (20 km)
+        // and sometimes Tulsa (~380 km).
+        let dallas = City::Dallas.location();
+        let fw = dallas.distance_km(City::FortWorth.location());
+        let tulsa = dallas.distance_km(City::Tulsa.location());
+        assert!(fw < 80.0, "Fort Worth should be ~20-50 km from Dallas, got {fw}");
+        assert!((250.0..500.0).contains(&tulsa), "Tulsa should be ~380 km, got {tulsa}");
+    }
+
+    #[test]
+    fn europe_pgw_cities_are_in_europe() {
+        for city in [City::Amsterdam, City::Lille, City::London, City::Dublin, City::Warsaw] {
+            assert_eq!(city.country().continent(), Continent::Europe);
+        }
+    }
+}

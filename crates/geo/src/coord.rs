@@ -1,0 +1,150 @@
+//! Geographic coordinates and great-circle geometry.
+
+use crate::EARTH_RADIUS_KM;
+
+/// A point on the Earth's surface, in decimal degrees.
+///
+/// Latitude is positive north, longitude positive east. Construction via
+/// [`GeoPoint::new`] clamps latitude to `[-90, 90]` and normalises longitude
+/// to `(-180, 180]`, so every `GeoPoint` in the system is canonical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Build a canonical point, clamping latitude and wrapping longitude.
+    #[must_use]
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        let lat = lat_deg.clamp(-90.0, 90.0);
+        let mut lon = lon_deg % 360.0;
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon <= -180.0 {
+            lon += 360.0;
+        }
+        Self { lat_deg: lat, lon_deg: lon }
+    }
+
+    /// Latitude in decimal degrees, in `[-90, 90]`.
+    #[must_use]
+    pub fn lat(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in decimal degrees, in `(-180, 180]`.
+    #[must_use]
+    pub fn lon(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    ///
+    /// The haversine form is numerically stable for small angles, which
+    /// matters for co-located PGW/CG-NAT pairs a few km apart.
+    #[must_use]
+    pub fn distance_km(&self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat_deg.to_radians(), self.lon_deg.to_radians());
+        let (lat2, lon2) = (other.lat_deg.to_radians(), other.lon_deg.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().asin();
+        EARTH_RADIUS_KM * c
+    }
+
+    /// Midpoint of the great-circle segment to `other`.
+    ///
+    /// Used to place synthetic intermediate routers along long-haul links so
+    /// traceroute hop geolocations look like real transit paths.
+    #[must_use]
+    pub fn midpoint(&self, other: GeoPoint) -> GeoPoint {
+        let (lat1, lon1) = (self.lat_deg.to_radians(), self.lon_deg.to_radians());
+        let (lat2, lon2) = (other.lat_deg.to_radians(), other.lon_deg.to_radians());
+        let bx = lat2.cos() * (lon2 - lon1).cos();
+        let by = lat2.cos() * (lon2 - lon1).sin();
+        let lat3 = (lat1.sin() + lat2.sin()).atan2(((lat1.cos() + bx).powi(2) + by.powi(2)).sqrt());
+        let lon3 = lon1 + by.atan2(lat1.cos() + bx);
+        GeoPoint::new(lat3.to_degrees(), lon3.to_degrees())
+    }
+}
+
+impl std::fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.lat_deg, self.lon_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon)
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let x = p(48.85, 2.35);
+        assert_eq!(x.distance_km(x), 0.0);
+    }
+
+    #[test]
+    fn known_city_pair_distances() {
+        // Reference values from standard great-circle calculators (±1%).
+        let paris = p(48.85, 2.35);
+        let tokyo = p(35.68, 139.69);
+        let d = paris.distance_km(tokyo);
+        assert!((9700.0..9830.0).contains(&d), "Paris-Tokyo got {d}");
+
+        let sg = p(1.35, 103.82);
+        let khi = p(24.86, 67.01);
+        let d2 = sg.distance_km(khi);
+        assert!((4650.0..4850.0).contains(&d2), "Singapore-Karachi got {d2}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = p(0.0, 0.0);
+        let b = p(0.0, 180.0);
+        let d = a.distance_km(b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "got {d}, expected {half}");
+    }
+
+    #[test]
+    fn longitude_is_normalised() {
+        assert_eq!(p(0.0, 190.0).lon(), -170.0);
+        assert_eq!(p(0.0, -190.0).lon(), 170.0);
+        assert_eq!(p(0.0, 540.0).lon(), 180.0);
+    }
+
+    #[test]
+    fn latitude_is_clamped() {
+        assert_eq!(p(95.0, 0.0).lat(), 90.0);
+        assert_eq!(p(-95.0, 0.0).lat(), -90.0);
+    }
+
+    #[test]
+    fn midpoint_of_equatorial_segment() {
+        let m = p(0.0, 0.0).midpoint(p(0.0, 90.0));
+        assert!(m.lat().abs() < 1e-9);
+        assert!((m.lon() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let a = p(52.2, 21.0); // Warsaw
+        let b = p(1.35, 103.82); // Singapore
+        let m = a.midpoint(b);
+        let da = a.distance_km(m);
+        let db = b.distance_km(m);
+        assert!((da - db).abs() < 1.0, "da={da} db={db}");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(p(1.2345, -103.456).to_string(), "(1.23, -103.46)");
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests: the great-circle distance must behave like a metric on
+//! the sphere, because latency = distance is the simulator's bedrock.
+
+use proptest::prelude::*;
+use roam_geo::{GeoPoint, EARTH_RADIUS_KM};
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..=90.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+const HALF_CIRCUMFERENCE: f64 = std::f64::consts::PI * EARTH_RADIUS_KM;
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a in arb_point(), b in arb_point()) {
+        let d1 = a.distance_km(b);
+        let d2 = b.distance_km(a);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_is_nonnegative_and_bounded(a in arb_point(), b in arb_point()) {
+        let d = a.distance_km(b);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= HALF_CIRCUMFERENCE + 1.0, "no distance beyond antipodal: {d}");
+    }
+
+    #[test]
+    fn distance_to_self_is_zero(a in arb_point()) {
+        prop_assert!(a.distance_km(a) < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let direct = a.distance_km(c);
+        let via = a.distance_km(b) + b.distance_km(c);
+        prop_assert!(direct <= via + 1e-6, "detour shorter than geodesic");
+    }
+
+    #[test]
+    fn midpoint_is_equidistant_and_on_the_way(a in arb_point(), b in arb_point()) {
+        let m = a.midpoint(b);
+        let da = a.distance_km(m);
+        let db = b.distance_km(m);
+        prop_assert!((da - db).abs() < 1.0, "midpoint skewed: {da} vs {db}");
+        let total = a.distance_km(b);
+        prop_assert!((da + db - total).abs() < 1.0, "midpoint off the geodesic");
+    }
+
+    #[test]
+    fn constructed_points_are_canonical(lat in -500.0f64..500.0, lon in -1000.0f64..1000.0) {
+        let p = GeoPoint::new(lat, lon);
+        prop_assert!(p.lat().abs() <= 90.0);
+        prop_assert!(p.lon() > -180.0 && p.lon() <= 180.0);
+    }
+}

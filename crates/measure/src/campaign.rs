@@ -1,0 +1,285 @@
+//! Campaign orchestration: the device-based and web-based campaigns.
+//!
+//! [`run_device_campaign`] mirrors §3.2: a rooted device with a local
+//! physical SIM and an Airalo-style eSIM alternates between them, running
+//! the Table-1 suite with per-country sample counts (Table 4 shows them
+//! as `<physical SIM> // <Airalo eSIM>`). [`run_web_measurement`] mirrors
+//! §3.1: a volunteer's own phone uploads a DNS check plus a fast.com run.
+
+use crate::cdn::{fetch_jquery, CdnOptions, CdnProvider};
+use crate::dns::resolve;
+use crate::endpoint::Endpoint;
+use crate::speedtest::ookla_speedtest;
+use crate::targets::{Service, ServiceTargets};
+use crate::trace::mtr;
+use crate::video::{play_youtube, Resolution};
+use crate::webtest::fastcom_test;
+use rand::rngs::SmallRng;
+use roam_cellular::{Cqi, Rat, SimType};
+use roam_core::PathAnalysis;
+use roam_geo::{City, Country};
+use roam_ipx::RoamingArch;
+use roam_netsim::Network;
+use std::net::Ipv4Addr;
+
+/// Context tag attached to every record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordTag {
+    /// Country the measurement ran in.
+    pub country: Country,
+    /// Physical SIM or eSIM.
+    pub sim_type: SimType,
+    /// Roaming architecture of the session.
+    pub arch: RoamingArch,
+    /// RAT of the attachment.
+    pub rat: Rat,
+}
+
+impl RecordTag {
+    fn of(ep: &Endpoint) -> Self {
+        RecordTag { country: ep.country, sim_type: ep.sim_type, arch: ep.att.arch, rat: ep.rat() }
+    }
+}
+
+/// One Ookla speedtest record.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedtestRecord {
+    /// Context.
+    pub tag: RecordTag,
+    /// Downlink, Mbps.
+    pub down_mbps: f64,
+    /// Uplink, Mbps.
+    pub up_mbps: f64,
+    /// Latency to the selected server, ms.
+    pub latency_ms: f64,
+    /// Channel quality during the test.
+    pub cqi: Cqi,
+}
+
+/// One traceroute record.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Context.
+    pub tag: RecordTag,
+    /// Target service.
+    pub service: Service,
+    /// Path decomposition.
+    pub analysis: PathAnalysis,
+}
+
+/// One CDN fetch record.
+#[derive(Debug, Clone, Copy)]
+pub struct CdnRecord {
+    /// Context.
+    pub tag: RecordTag,
+    /// Provider fetched from.
+    pub provider: CdnProvider,
+    /// Total download time, ms.
+    pub total_ms: f64,
+    /// DNS component, ms.
+    pub dns_ms: f64,
+    /// Cache state at the edge.
+    pub cache_hit: bool,
+}
+
+/// One DNS lookup record.
+#[derive(Debug, Clone, Copy)]
+pub struct DnsRecord {
+    /// Context.
+    pub tag: RecordTag,
+    /// Lookup time, ms.
+    pub lookup_ms: f64,
+    /// Resolver city.
+    pub resolver_city: City,
+    /// DoH in use?
+    pub doh: bool,
+}
+
+/// One video playback record.
+#[derive(Debug, Clone, Copy)]
+pub struct VideoRecord {
+    /// Context.
+    pub tag: RecordTag,
+    /// Resolution settled on.
+    pub resolution: Resolution,
+    /// Buffer underrun?
+    pub rebuffered: bool,
+}
+
+/// All records of a campaign (possibly many countries merged).
+#[derive(Debug, Default, Clone)]
+pub struct CampaignData {
+    /// Speedtests.
+    pub speedtests: Vec<SpeedtestRecord>,
+    /// Traceroutes.
+    pub traces: Vec<TraceRecord>,
+    /// CDN fetches.
+    pub cdns: Vec<CdnRecord>,
+    /// DNS lookups.
+    pub dns: Vec<DnsRecord>,
+    /// Video sessions.
+    pub videos: Vec<VideoRecord>,
+}
+
+impl CampaignData {
+    /// Merge another campaign's records into this one.
+    pub fn extend(&mut self, other: CampaignData) {
+        self.speedtests.extend(other.speedtests);
+        self.traces.extend(other.traces);
+        self.cdns.extend(other.cdns);
+        self.dns.extend(other.dns);
+        self.videos.extend(other.videos);
+    }
+
+    /// Speedtests passing the paper's CQI ≥ 7 filter.
+    #[must_use]
+    pub fn filtered_speedtests(&self) -> Vec<&SpeedtestRecord> {
+        self.speedtests.iter().filter(|r| r.cqi.passes_quality_filter()).collect()
+    }
+}
+
+/// Per-country sample counts, `(physical SIM, eSIM)` — the Table 4 format.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceCampaignSpec {
+    /// Ookla speedtests.
+    pub ookla: (u32, u32),
+    /// `mtr` runs per target service (Google, Facebook, YouTube each).
+    pub mtr_per_target: (u32, u32),
+    /// CDN fetches per provider (five providers each).
+    pub cdn_per_provider: (u32, u32),
+    /// DNS lookups.
+    pub dns: (u32, u32),
+    /// Video playbacks.
+    pub video: (u32, u32),
+}
+
+impl DeviceCampaignSpec {
+    /// A small, fast spec for tests and examples.
+    #[must_use]
+    pub fn smoke() -> Self {
+        DeviceCampaignSpec {
+            ookla: (3, 3),
+            mtr_per_target: (3, 3),
+            cdn_per_provider: (2, 2),
+            dns: (3, 3),
+            video: (2, 2),
+        }
+    }
+}
+
+/// The traceroute targets of the device campaign.
+const MTR_TARGETS: [Service; 3] = [Service::Google, Service::Facebook, Service::YouTube];
+
+/// Run the full device campaign for one country: the given counts on the
+/// physical-SIM endpoint and on the eSIM endpoint, alternating as the real
+/// testbed did.
+pub fn run_device_campaign(
+    net: &mut Network,
+    sim: &Endpoint,
+    esim: &Endpoint,
+    spec: &DeviceCampaignSpec,
+    targets: &ServiceTargets,
+    rng: &mut SmallRng,
+) -> CampaignData {
+    let mut data = CampaignData::default();
+    let endpoints = [(sim, spec_counts_sim(spec)), (esim, spec_counts_esim(spec))];
+    for (ep, counts) in endpoints {
+        let tag = RecordTag::of(ep);
+        for _ in 0..counts.0 {
+            if let Some(r) = ookla_speedtest(net, ep, targets, rng) {
+                data.speedtests.push(SpeedtestRecord {
+                    tag,
+                    down_mbps: r.down_mbps,
+                    up_mbps: r.up_mbps,
+                    latency_ms: r.latency_ms,
+                    cqi: r.cqi,
+                });
+            }
+        }
+        for service in MTR_TARGETS {
+            for _ in 0..counts.1 {
+                if let Some(out) = mtr(net, ep, targets, service) {
+                    data.traces.push(TraceRecord { tag, service, analysis: out.analysis });
+                }
+            }
+        }
+        for provider in CdnProvider::ALL {
+            for _ in 0..counts.2 {
+                if let Some(r) =
+                    fetch_jquery(net, ep, targets, provider, CdnOptions::default(), rng)
+                {
+                    data.cdns.push(CdnRecord {
+                        tag,
+                        provider,
+                        total_ms: r.total_ms,
+                        dns_ms: r.dns_ms,
+                        cache_hit: r.cache_hit,
+                    });
+                }
+            }
+        }
+        for _ in 0..counts.3 {
+            if let Some(r) = resolve(net, ep, targets, "test.nextdns.io", rng) {
+                data.dns.push(DnsRecord {
+                    tag,
+                    lookup_ms: r.lookup_ms,
+                    resolver_city: r.resolver_city,
+                    doh: r.doh,
+                });
+            }
+        }
+        for _ in 0..counts.4 {
+            if let Some(r) = play_youtube(net, ep, targets, rng) {
+                data.videos.push(VideoRecord {
+                    tag,
+                    resolution: r.resolution,
+                    rebuffered: r.rebuffered,
+                });
+            }
+        }
+    }
+    data
+}
+
+fn spec_counts_sim(s: &DeviceCampaignSpec) -> (u32, u32, u32, u32, u32) {
+    (s.ookla.0, s.mtr_per_target.0, s.cdn_per_provider.0, s.dns.0, s.video.0)
+}
+
+fn spec_counts_esim(s: &DeviceCampaignSpec) -> (u32, u32, u32, u32, u32) {
+    (s.ookla.1, s.mtr_per_target.1, s.cdn_per_provider.1, s.dns.1, s.video.1)
+}
+
+/// One completed web-campaign measurement: "the volunteer uploading their
+/// current DNS configuration followed by the result of a fast.com speed
+/// test" (§A.3).
+#[derive(Debug, Clone, Copy)]
+pub struct WebRecord {
+    /// Country the volunteer measured from.
+    pub country: Country,
+    /// fast.com downlink, Mbps.
+    pub down_mbps: f64,
+    /// fast.com latency, ms.
+    pub latency_ms: f64,
+    /// Public IP the test saw (tomography input).
+    pub public_ip: Ipv4Addr,
+    /// Resolver the DNS check identified.
+    pub resolver_city: City,
+}
+
+/// Run one web-campaign measurement on an (eSIM) endpoint.
+pub fn run_web_measurement(
+    net: &mut Network,
+    ep: &Endpoint,
+    targets: &ServiceTargets,
+    rng: &mut SmallRng,
+) -> Option<WebRecord> {
+    let dns = resolve(net, ep, targets, "test.nextdns.io", rng)?;
+    let fast = fastcom_test(net, ep, targets, rng)?;
+    Some(WebRecord {
+        country: ep.country,
+        down_mbps: fast.down_mbps,
+        latency_ms: fast.latency_ms,
+        public_ip: fast.public_ip,
+        resolver_city: dns.resolver_city,
+    })
+}

@@ -1,0 +1,119 @@
+//! A measurement endpoint: an attached SIM/eSIM plus its policy context.
+
+use roam_cellular::{phy_rate_mbps, ChannelSampler, Cqi, Rat, SimType};
+use roam_geo::Country;
+use roam_ipx::Attachment;
+use roam_netsim::Network;
+
+/// Everything a measurement client needs to know about the device it runs
+/// on: the attachment (node handles, breakout, DNS mode) and the resolved
+/// subscriber policy the v-MNO applies to it.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    /// The live attachment in the network.
+    pub att: Attachment,
+    /// Physical SIM or eSIM — the comparison axis of every figure.
+    pub sim_type: SimType,
+    /// Country the endpoint measures from.
+    pub country: Country,
+    /// Label for report rows, e.g. `"PAK eSIM"`.
+    pub label: String,
+    /// Downlink policy rate the serving network enforces, Mbps.
+    pub policy_down_mbps: f64,
+    /// Uplink policy rate, Mbps.
+    pub policy_up_mbps: f64,
+    /// Optional video-service cap (traffic differentiation, §5.2).
+    pub youtube_cap_mbps: Option<f64>,
+    /// End-to-end loss characteristic of the serving access network.
+    pub loss: f64,
+    /// Channel-condition sampler for per-test CQI draws.
+    pub channel: ChannelSampler,
+}
+
+impl Endpoint {
+    /// Effective downlink ceiling for a test taken at channel quality
+    /// `cqi`: the policy rate capped by what the air interface can carry.
+    #[must_use]
+    pub fn effective_down_mbps(&self, cqi: Cqi) -> f64 {
+        self.policy_down_mbps.min(phy_rate_mbps(self.att.rat, cqi))
+    }
+
+    /// Effective uplink ceiling (uplink PHY is roughly half of downlink
+    /// for the TDD/FDD mixes in play).
+    #[must_use]
+    pub fn effective_up_mbps(&self, cqi: Cqi) -> f64 {
+        self.policy_up_mbps.min(phy_rate_mbps(self.att.rat, cqi) * 0.5)
+    }
+
+    /// RAT of the attachment.
+    #[must_use]
+    pub fn rat(&self) -> Rat {
+        self.att.rat
+    }
+
+    /// Base RTT from the device to a node, ms (measured by ping with
+    /// retries).
+    pub fn rtt_to(&self, net: &mut Network, dst: roam_netsim::NodeId) -> Option<f64> {
+        net.rtt_ms(self.att.ue, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roam_ipx::{DnsMode, PgwProviderId, RoamingArch};
+    use roam_netsim::NodeId;
+
+    fn endpoint(rat: Rat, down: f64) -> Endpoint {
+        Endpoint {
+            att: Attachment {
+                ue: NodeId(0),
+                ran: NodeId(1),
+                sgw: NodeId(2),
+                cgnat: NodeId(3),
+                public_ip: "198.51.100.7".parse().unwrap(),
+                arch: RoamingArch::IpxHubBreakout,
+                provider: PgwProviderId(0),
+                breakout_city: roam_geo::City::Amsterdam,
+                tunnel_km: 600.0,
+                dns: DnsMode::GooglePublic { doh: true },
+                teid: 7,
+                v_mno: roam_cellular::MnoId(0),
+                b_mno: roam_cellular::MnoId(1),
+                rat,
+                private_hops: 8,
+            },
+            sim_type: SimType::Esim,
+            country: Country::DEU,
+            label: "DEU eSIM".into(),
+            policy_down_mbps: down,
+            policy_up_mbps: 10.0,
+            youtube_cap_mbps: None,
+            loss: 0.001,
+            channel: ChannelSampler::default(),
+        }
+    }
+
+    #[test]
+    fn policy_binds_when_channel_is_good() {
+        let e = endpoint(Rat::Nr5g, 20.0);
+        // CQI 15 on NR carries ~250 Mbps; policy 20 binds.
+        assert_eq!(e.effective_down_mbps(Cqi::new(15)), 20.0);
+    }
+
+    #[test]
+    fn channel_binds_when_weak() {
+        let e = endpoint(Rat::Lte, 100.0);
+        // CQI 7 on LTE ≈ 22 Mbps < policy 100.
+        let eff = e.effective_down_mbps(Cqi::new(7));
+        assert!(eff < 30.0, "PHY-limited: {eff}");
+    }
+
+    #[test]
+    fn uplink_is_half_phy() {
+        let e = endpoint(Rat::Lte, 100.0);
+        let up = e.effective_up_mbps(Cqi::new(7));
+        let down = e.effective_down_mbps(Cqi::new(7));
+        assert!(up <= down / 2.0 + 1e-9);
+    }
+}

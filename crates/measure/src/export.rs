@@ -1,0 +1,232 @@
+//! Dataset export: flatten campaign records to CSV.
+//!
+//! The paper's artifacts are per-measurement datasets ("our approach
+//! compiles a dataset for each traceroute, detailing path length, PGW
+//! provider, private and public hop counts…", §4.3). These emitters write
+//! the same flat tables so downstream analysis can run in any toolchain.
+//! No third-party CSV crate: the fields are all numeric/enum-like, and the
+//! single free-text column (city names) is quoted defensively.
+
+use crate::campaign::{CampaignData, RecordTag};
+use std::fmt::Write as _;
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn tag_cols(tag: &RecordTag) -> String {
+    format!(
+        "{},{},{},{}",
+        tag.country.alpha3(),
+        match tag.sim_type {
+            roam_cellular::SimType::Physical => "sim",
+            roam_cellular::SimType::Esim => "esim",
+        },
+        tag.arch.label(),
+        tag.rat
+    )
+}
+
+/// Speedtests: `country,sim,arch,rat,down_mbps,up_mbps,latency_ms,cqi`.
+#[must_use]
+pub fn speedtests_csv(data: &CampaignData) -> String {
+    let mut out = String::from("country,sim,arch,rat,down_mbps,up_mbps,latency_ms,cqi\n");
+    for r in &data.speedtests {
+        let _ = writeln!(
+            out,
+            "{},{:.3},{:.3},{:.3},{}",
+            tag_cols(&r.tag),
+            r.down_mbps,
+            r.up_mbps,
+            r.latency_ms,
+            r.cqi.value()
+        );
+    }
+    out
+}
+
+/// Traceroutes: one row per trace with the paper's §4.3 dataset columns.
+#[must_use]
+pub fn traces_csv(data: &CampaignData) -> String {
+    let mut out = String::from(
+        "country,sim,arch,rat,service,private_len,public_len,pgw_ip,pgw_asn,pgw_city,\
+         pgw_rtt_ms,final_rtt_ms,private_share,unique_asns,reached\n",
+    );
+    for r in &data.traces {
+        let a = &r.analysis;
+        let _ = writeln!(
+            out,
+            "{},{:?},{},{},{},{},{},{},{},{},{},{}",
+            tag_cols(&r.tag),
+            r.service,
+            a.private_len,
+            a.public_len,
+            a.pgw_ip.map(|i| i.to_string()).unwrap_or_default(),
+            a.pgw_asn.map(|x| x.0.to_string()).unwrap_or_default(),
+            quote(a.pgw_city.map(|c| c.name()).unwrap_or("")),
+            a.pgw_rtt_ms.map(|v| format!("{v:.3}")).unwrap_or_default(),
+            a.final_rtt_ms.map(|v| format!("{v:.3}")).unwrap_or_default(),
+            a.private_share.map(|v| format!("{v:.4}")).unwrap_or_default(),
+            a.unique_public_asns,
+            a.reached
+        );
+    }
+    out
+}
+
+/// CDN fetches: `country,sim,arch,rat,provider,total_ms,dns_ms,cache`.
+#[must_use]
+pub fn cdn_csv(data: &CampaignData) -> String {
+    let mut out = String::from("country,sim,arch,rat,provider,total_ms,dns_ms,cache\n");
+    for r in &data.cdns {
+        let _ = writeln!(
+            out,
+            "{},{},{:.3},{:.3},{}",
+            tag_cols(&r.tag),
+            quote(r.provider.name()),
+            r.total_ms,
+            r.dns_ms,
+            if r.cache_hit { "HIT" } else { "MISS" }
+        );
+    }
+    out
+}
+
+/// DNS lookups: `country,sim,arch,rat,lookup_ms,resolver_city,doh`.
+#[must_use]
+pub fn dns_csv(data: &CampaignData) -> String {
+    let mut out = String::from("country,sim,arch,rat,lookup_ms,resolver_city,doh\n");
+    for r in &data.dns {
+        let _ = writeln!(
+            out,
+            "{},{:.3},{},{}",
+            tag_cols(&r.tag),
+            r.lookup_ms,
+            quote(r.resolver_city.name()),
+            r.doh
+        );
+    }
+    out
+}
+
+/// Video sessions: `country,sim,arch,rat,resolution,rebuffered`.
+#[must_use]
+pub fn videos_csv(data: &CampaignData) -> String {
+    let mut out = String::from("country,sim,arch,rat,resolution,rebuffered\n");
+    for r in &data.videos {
+        let _ = writeln!(out, "{},{},{}", tag_cols(&r.tag), r.resolution, r.rebuffered);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CdnRecord, SpeedtestRecord, TraceRecord, VideoRecord};
+    use crate::cdn::CdnProvider;
+    use crate::targets::Service;
+    use crate::video::Resolution;
+    use roam_cellular::{Cqi, Rat, SimType};
+    use roam_core::PathAnalysis;
+    use roam_geo::{City, Country};
+    use roam_ipx::RoamingArch;
+
+    fn tag() -> RecordTag {
+        RecordTag {
+            country: Country::PAK,
+            sim_type: SimType::Esim,
+            arch: RoamingArch::HomeRouted,
+            rat: Rat::Lte,
+        }
+    }
+
+    fn data() -> CampaignData {
+        let mut d = CampaignData::default();
+        d.speedtests.push(SpeedtestRecord {
+            tag: tag(),
+            down_mbps: 6.25,
+            up_mbps: 1.5,
+            latency_ms: 361.2,
+            cqi: Cqi::new(11),
+        });
+        d.traces.push(TraceRecord {
+            tag: tag(),
+            service: Service::Google,
+            analysis: PathAnalysis {
+                private_len: 8,
+                public_len: 3,
+                pgw_ip: Some("202.166.126.3".parse().unwrap()),
+                pgw_asn: Some(roam_netsim::Asn(45143)),
+                pgw_city: Some(City::Singapore),
+                pgw_rtt_ms: Some(355.1),
+                final_rtt_ms: Some(361.0),
+                private_share: Some(0.9835),
+                unique_public_asns: 2,
+                reached: true,
+            },
+        });
+        d.cdns.push(CdnRecord {
+            tag: tag(),
+            provider: CdnProvider::Cloudflare,
+            total_ms: 3111.0,
+            dns_ms: 390.0,
+            cache_hit: true,
+        });
+        d.dns.push(crate::campaign::DnsRecord {
+            tag: tag(),
+            lookup_ms: 391.5,
+            resolver_city: City::Singapore,
+            doh: false,
+        });
+        d.videos.push(VideoRecord { tag: tag(), resolution: Resolution::P720,
+                                    rebuffered: false });
+        d
+    }
+
+    #[test]
+    fn every_export_has_header_plus_rows() {
+        let d = data();
+        for (csv, rows) in [
+            (speedtests_csv(&d), 1),
+            (traces_csv(&d), 1),
+            (cdn_csv(&d), 1),
+            (dns_csv(&d), 1),
+            (videos_csv(&d), 1),
+        ] {
+            assert_eq!(csv.lines().count(), rows + 1, "{csv}");
+            let header_cols = csv.lines().next().unwrap().split(',').count();
+            for line in csv.lines().skip(1) {
+                assert_eq!(line.split(',').count(), header_cols, "ragged row: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_row_carries_the_papers_columns() {
+        let csv = traces_csv(&data());
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.starts_with("PAK,esim,HR,4G,"));
+        assert!(row.contains("202.166.126.3"));
+        assert!(row.contains("45143"));
+        assert!(row.contains("Singapore"));
+        assert!(row.contains("0.9835"));
+    }
+
+    #[test]
+    fn quoting_handles_commas() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn empty_campaign_yields_headers_only() {
+        let d = CampaignData::default();
+        assert_eq!(speedtests_csv(&d).lines().count(), 1);
+        assert_eq!(traces_csv(&d).lines().count(), 1);
+    }
+}

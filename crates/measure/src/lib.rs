@@ -1,0 +1,52 @@
+//! Measurement clients and campaign orchestration.
+//!
+//! This crate is the simulator's counterpart of the paper's tooling stack —
+//! the AmiGo-instrumented rooted Androids of the device campaign and the
+//! JavaScript battery of the web campaign:
+//!
+//! | paper tool                | module        | observable                          |
+//! |---------------------------|---------------|-------------------------------------|
+//! | `mtr` to Google/FB/YT     | [`trace`]     | per-hop IP + RTT, path analysis     |
+//! | Ookla speedtest           | [`speedtest`] | down/up Mbps + latency              |
+//! | fast.com in an iframe     | [`webtest`]   | downlink + latency (web campaign)   |
+//! | `curl` of jquery.min.js   | [`cdn`]       | download time, DNS time, HIT/MISS   |
+//! | NextDNS resolver check    | [`dns`]       | resolver identity + lookup time     |
+//! | YouTube stats-for-nerds   | [`video`]     | playback resolution, rebuffering    |
+//!
+//! [`endpoint::Endpoint`] bundles an attachment with the policy and channel
+//! context a measurement needs; [`campaign`] drives the full device-based
+//! and web-based campaigns with per-country sample counts mirroring
+//! Tables 3 and 4.
+
+pub mod amigo;
+pub mod campaign;
+pub mod cdn;
+pub mod dns;
+pub mod endpoint;
+pub mod export;
+pub mod speedtest;
+pub mod suite;
+pub mod targets;
+pub mod trace;
+pub mod video;
+pub mod voip;
+pub mod webtest;
+
+pub use amigo::{
+    ControlServer, DeviceVitals, Instrumentation, MeasurementEndpoint, SimSlot, SkipReason,
+};
+pub use campaign::{
+    run_device_campaign, run_web_measurement, CampaignData, CdnRecord, DeviceCampaignSpec,
+    DnsRecord, SpeedtestRecord, TraceRecord, VideoRecord, WebRecord,
+};
+pub use cdn::{fetch_jquery, CdnProvider, CdnResult};
+pub use dns::{resolve, DnsResult};
+pub use endpoint::Endpoint;
+pub use export::{cdn_csv, dns_csv, speedtests_csv, traces_csv, videos_csv};
+pub use speedtest::{ookla_speedtest, SpeedtestResult};
+pub use suite::{measurement_suite, MeasurementKind};
+pub use targets::{Service, ServiceTargets};
+pub use trace::{mtr, TraceOutcome};
+pub use video::{play_youtube, Resolution, VideoResult};
+pub use voip::{e_model, voip_probe, VoipResult};
+pub use webtest::{fastcom_test, WebTestResult};

@@ -1,0 +1,802 @@
+//! The network graph and its packet-walking engine.
+//!
+//! A [`Network`] is a set of nodes (hosts, routers, CG-NATs, service-provider
+//! edges, DNS servers) joined by [`Link`]s. Probes are real encoded packets:
+//! the traceroute engine builds an IPv4+ICMP echo, and every router on the
+//! way decrements the TTL *in the encoded bytes* (recomputing the checksum),
+//! exactly as `mtr` would experience it. When the TTL expires the router
+//! answers with an ICMP time-exceeded quoting the offending header, and the
+//! probe's RTT is the event-queue timestamp difference — jitter, loss and
+//! unresponsive hops included.
+
+use crate::event::EventQueue;
+use crate::ip::is_private;
+use crate::link::{LatencyModel, Link, LinkClass};
+use crate::registry::IpRegistry;
+use crate::time::SimTime;
+use crate::wire::{IcmpMessage, IpProto, Ipv4Header};
+use bytes::{BufMut, Bytes, BytesMut};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roam_geo::City;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Identifier of a node in a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// What role a node plays. The kind does not change forwarding behaviour —
+/// it exists so scenario builders and reports can reason about topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host (measurement endpoint / UE).
+    Host,
+    /// A forwarding router.
+    Router,
+    /// Carrier-grade NAT: owns the public address the outside world sees.
+    CgNat,
+    /// A service-provider edge (Google, Facebook, CDN, speedtest server).
+    SpEdge,
+    /// A DNS resolver.
+    DnsResolver,
+}
+
+/// A node in the network.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Human-readable name (shows up in traces and error messages).
+    pub name: String,
+    /// Role of the node.
+    pub kind: NodeKind,
+    /// Where the node physically sits.
+    pub city: City,
+    /// The node's address (private hops carry RFC1918/RFC6598 space).
+    pub ip: Ipv4Addr,
+    /// Whether the node answers ICMP (time-exceeded / echo). The paper sees
+    /// silent hops where "the PGW provider's CG-NAT fails to respond
+    /// within the traceroute timeout" (§4.3.3); scenario builders set this
+    /// to false to reproduce that.
+    pub icmp_responds: bool,
+}
+
+/// Result of a ping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingResult {
+    /// Round-trip time in milliseconds.
+    pub rtt_ms: f64,
+}
+
+/// One TTL step of a traceroute.
+#[derive(Debug, Clone)]
+pub struct TraceHop {
+    /// The TTL this row corresponds to (1-based).
+    pub ttl: u8,
+    /// Responding node, when any probe got an answer.
+    pub node: Option<NodeId>,
+    /// Responding address (as reported in the ICMP source).
+    pub ip: Option<Ipv4Addr>,
+    /// RTTs of the probes that were answered, in ms.
+    pub rtts: Vec<f64>,
+}
+
+impl TraceHop {
+    /// Best (minimum) RTT across probes — the value `mtr` reports as "Best"
+    /// and the one the paper uses for PGW RTT CDFs (Figs. 8–9).
+    #[must_use]
+    pub fn best_rtt(&self) -> Option<f64> {
+        self.rtts.iter().copied().min_by(|a, b| a.partial_cmp(b).expect("no NaN rtts"))
+    }
+
+    /// Mean RTT across answered probes — unlike [`TraceHop::best_rtt`],
+    /// this keeps transient congestion in view, which matters when judging
+    /// how much of the end-to-end latency the public path contributes.
+    #[must_use]
+    pub fn avg_rtt(&self) -> Option<f64> {
+        if self.rtts.is_empty() {
+            None
+        } else {
+            Some(self.rtts.iter().sum::<f64>() / self.rtts.len() as f64)
+        }
+    }
+
+    /// Did any probe at this TTL get an answer?
+    #[must_use]
+    pub fn responded(&self) -> bool {
+        self.ip.is_some()
+    }
+}
+
+/// A full traceroute.
+#[derive(Debug, Clone)]
+pub struct Traceroute {
+    /// Hops in TTL order, one entry per TTL probed.
+    pub hops: Vec<TraceHop>,
+    /// True when the destination itself answered.
+    pub reached: bool,
+}
+
+impl Traceroute {
+    /// The responding IPs in order (unresponsive hops skipped).
+    #[must_use]
+    pub fn hop_ips(&self) -> Vec<Ipv4Addr> {
+        self.hops.iter().filter_map(|h| h.ip).collect()
+    }
+
+    /// Index (into `hops`) of the first hop that answered with a public IP —
+    /// the paper's private/public demarcation point (§4.3).
+    #[must_use]
+    pub fn first_public_hop(&self) -> Option<usize> {
+        self.hops.iter().position(|h| h.ip.is_some_and(|ip| !is_private(ip)))
+    }
+
+    /// Best RTT at the final responding hop, ms.
+    #[must_use]
+    pub fn final_rtt(&self) -> Option<f64> {
+        self.hops.iter().rev().find_map(|h| h.best_rtt())
+    }
+
+    /// Mean RTT at the final responding hop, ms.
+    #[must_use]
+    pub fn final_avg_rtt(&self) -> Option<f64> {
+        self.hops.iter().rev().find_map(|h| h.avg_rtt())
+    }
+}
+
+/// Options controlling a traceroute run.
+#[derive(Debug, Clone, Copy)]
+pub struct TracerouteOpts {
+    /// Maximum TTL to probe.
+    pub max_ttl: u8,
+    /// Probes per TTL (mtr default is 3… we follow).
+    pub probes_per_hop: u32,
+}
+
+impl Default for TracerouteOpts {
+    fn default() -> Self {
+        TracerouteOpts { max_ttl: 30, probes_per_hop: 3 }
+    }
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adj: Vec<Vec<u32>>, // node index -> indices into `links`
+    registry: IpRegistry,
+    rng: SmallRng,
+    route_cache: HashMap<(u32, u32), Option<Vec<u32>>>,
+    icmp_ident: u16,
+    trace: Option<Vec<PacketEvent>>,
+}
+
+/// One packet-level event, recorded when tracing is enabled — the
+/// simulator's analogue of a pcap line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Node where it happened.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: PacketEventKind,
+}
+
+/// The kinds of packet events a trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketEventKind {
+    /// Sent from the source host.
+    Sent,
+    /// Forwarded onward with the remaining TTL.
+    Forwarded {
+        /// TTL after decrement.
+        ttl: u8,
+    },
+    /// TTL hit zero here (a time-exceeded answer follows if the node talks).
+    TtlExpired,
+    /// Delivered to the final node.
+    Delivered,
+    /// Dropped by a lossy link leaving this node.
+    Dropped,
+}
+
+impl std::fmt::Display for PacketEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            PacketEventKind::Sent => "sent".to_string(),
+            PacketEventKind::Forwarded { ttl } => format!("forwarded (ttl {ttl})"),
+            PacketEventKind::TtlExpired => "ttl expired".to_string(),
+            PacketEventKind::Delivered => "delivered".to_string(),
+            PacketEventKind::Dropped => "DROPPED".to_string(),
+        };
+        write!(f, "{} node#{} {what}", self.at, self.node.0)
+    }
+}
+
+impl Network {
+    /// An empty network with a deterministic RNG seeded by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            adj: Vec::new(),
+            registry: IpRegistry::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            route_cache: HashMap::new(),
+            icmp_ident: 1,
+            trace: None,
+        }
+    }
+
+    /// Start recording packet events (pcap-style). Any previously recorded
+    /// events are discarded.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stop recording and return everything captured since
+    /// [`Network::enable_tracing`].
+    pub fn take_trace(&mut self) -> Vec<PacketEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    fn record(&mut self, at: SimTime, node: NodeId, kind: PacketEventKind) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(PacketEvent { at, node, kind });
+        }
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, name: &str, kind: NodeKind, city: City, ip: Ipv4Addr) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { name: name.to_string(), kind, city, ip, icmp_responds: true });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Node accessor.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Make a node ICMP-silent (or responsive again).
+    pub fn set_icmp_responds(&mut self, id: NodeId, responds: bool) {
+        self.nodes[id.0 as usize].icmp_responds = responds;
+    }
+
+    /// Connect two nodes with a link whose latency derives from their
+    /// cities' geography and the link class. Returns the link index.
+    pub fn link_geo(&mut self, a: NodeId, b: NodeId, class: LinkClass) -> usize {
+        let model = LatencyModel::from_geo(
+            self.node(a).city.location(),
+            self.node(b).city.location(),
+            class,
+        );
+        self.link_with(a, b, class, model, 0.0)
+    }
+
+    /// Connect two nodes with an explicit latency model and loss rate.
+    pub fn link_with(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        class: LinkClass,
+        latency: LatencyModel,
+        loss: f64,
+    ) -> usize {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        assert_ne!(a, b, "self-links are not allowed");
+        let idx = self.links.len();
+        self.links.push(Link { a: a.0, b: b.0, class, latency, loss });
+        self.adj[a.0 as usize].push(idx as u32);
+        self.adj[b.0 as usize].push(idx as u32);
+        self.route_cache.clear(); // topology changed
+        idx
+    }
+
+    /// Set a link's loss probability (fault injection).
+    pub fn set_link_loss(&mut self, link_idx: usize, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss));
+        self.links[link_idx].loss = loss;
+    }
+
+    /// The IP registry (ipinfo analogue).
+    #[must_use]
+    pub fn registry(&self) -> &IpRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access, for scenario builders.
+    pub fn registry_mut(&mut self) -> &mut IpRegistry {
+        &mut self.registry
+    }
+
+    /// Least-latency route from `src` to `dst` (Dijkstra over base delays),
+    /// inclusive of both endpoints. Cached until the topology changes.
+    pub fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if let Some(cached) = self.route_cache.get(&(src.0, dst.0)) {
+            return cached.as_ref().map(|p| p.iter().map(|&i| NodeId(i)).collect());
+        }
+        let path = self.dijkstra(src.0, dst.0);
+        self.route_cache.insert((src.0, dst.0), path.clone());
+        path.map(|p| p.into_iter().map(NodeId).collect())
+    }
+
+    fn dijkstra(&self, src: u32, dst: u32) -> Option<Vec<u32>> {
+        const UNSEEN: u64 = u64::MAX;
+        let n = self.nodes.len();
+        let mut dist = vec![UNSEEN; n];
+        let mut prev = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[src as usize] = 0;
+        heap.push(std::cmp::Reverse((0, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            if u == dst {
+                break;
+            }
+            for &li in &self.adj[u as usize] {
+                let link = &self.links[li as usize];
+                let v = link.other(u).expect("link in adjacency list");
+                let w = SimTime::from_ms(link.latency.base_ms).as_nanos().max(1);
+                let nd = d.saturating_add(w);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    prev[v as usize] = u;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        if dist[dst as usize] == UNSEEN {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    fn link_between(&self, a: u32, b: u32) -> &Link {
+        self.adj[a as usize]
+            .iter()
+            .map(|&li| &self.links[li as usize])
+            .filter(|l| l.other(a) == Some(b))
+            .min_by(|x, y| x.latency.base_ms.partial_cmp(&y.latency.base_ms).expect("no NaN"))
+            .expect("adjacent nodes must share a link")
+    }
+
+    /// The public address the outside world sees for traffic from `src`
+    /// toward `dst` — the first public IP along the route (the CG-NAT /
+    /// breakout address). This is "the device's public IP" in the paper's
+    /// methodology.
+    pub fn egress_public_ip(&mut self, src: NodeId, dst: NodeId) -> Option<Ipv4Addr> {
+        let path = self.route(src, dst)?;
+        path.iter().map(|&id| self.node(id).ip).find(|ip| !is_private(*ip))
+    }
+
+    /// Sum of base one-way delays along the route, ms (no jitter) — the
+    /// deterministic component of the RTT/2.
+    pub fn base_one_way_ms(&mut self, src: NodeId, dst: NodeId) -> Option<f64> {
+        let path = self.route(src, dst)?;
+        Some(
+            path.windows(2)
+                .map(|w| self.link_between(w[0].0, w[1].0).latency.base_ms)
+                .sum(),
+        )
+    }
+
+    /// ICMP echo from `src` to `dst`. Returns `None` when there is no route
+    /// or the probe (or its reply) is lost.
+    pub fn ping(&mut self, src: NodeId, dst: NodeId) -> Option<PingResult> {
+        // An ICMP-silent destination never answers echo, matching the
+        // traceroute engine's handling of silent hops.
+        if !self.node(dst).icmp_responds {
+            return None;
+        }
+        let path = self.route(src, dst)?;
+        let ident = self.next_ident();
+        let packet = self.build_echo(src, dst, ident, 0, 64);
+        let (arrived, t_fwd, _expired_at) = self.walk(&path, packet, SimTime::ZERO)?;
+        if !arrived {
+            return None;
+        }
+        // Reply retraces the path in reverse.
+        let back: Vec<NodeId> = path.iter().rev().copied().collect();
+        let reply = self.build_echo(dst, src, ident, 1, 64);
+        let (arrived, t_total, _) = self.walk(&back, reply, t_fwd)?;
+        arrived.then_some(PingResult { rtt_ms: t_total.as_ms() })
+    }
+
+    /// `mtr`-style traceroute: probe each TTL, record responder and RTTs.
+    pub fn traceroute(&mut self, src: NodeId, dst: NodeId, opts: TracerouteOpts) -> Traceroute {
+        let Some(path) = self.route(src, dst) else {
+            return Traceroute { hops: vec![], reached: false };
+        };
+        let mut hops = Vec::new();
+        let mut reached = false;
+        // TTL 1 expires at the first node *after* the source.
+        for ttl in 1..=opts.max_ttl {
+            let mut hop = TraceHop { ttl, node: None, ip: None, rtts: vec![] };
+            let mut hit_dst = false;
+            for probe in 0..opts.probes_per_hop {
+                let ident = self.next_ident();
+                let packet = self.build_echo_ttl(src, dst, ident, probe as u16, ttl);
+                let Some((arrived, t_fwd, expired_at)) = self.walk(&path, packet, SimTime::ZERO)
+                else {
+                    continue; // probe lost on the way out
+                };
+                let responder = if arrived { *path.last().expect("non-empty") } else {
+                    match expired_at {
+                        Some(n) => n,
+                        None => continue,
+                    }
+                };
+                let rnode = self.node(responder).clone();
+                if !rnode.icmp_responds {
+                    continue; // silent hop: no time-exceeded, probe times out
+                }
+                // The ICMP answer (echo reply or time exceeded) retraces the
+                // path from the responder back to the source.
+                let pos = path.iter().position(|&n| n == responder).expect("on path");
+                let back: Vec<NodeId> = path[..=pos].iter().rev().copied().collect();
+                let answer = self.build_answer(responder, src, arrived);
+                let Some((back_ok, t_total, _)) = self.walk(&back, answer, t_fwd) else {
+                    continue; // reply lost
+                };
+                if !back_ok {
+                    continue;
+                }
+                hop.node = Some(responder);
+                hop.ip = Some(rnode.ip);
+                hop.rtts.push(t_total.as_ms());
+                if arrived {
+                    hit_dst = true;
+                }
+            }
+            hops.push(hop);
+            if hit_dst {
+                reached = true;
+                break;
+            }
+            // mtr also stops when the path simply ends (host unreachable
+            // beyond the last hop); the TTL walk covers path length anyway.
+            if ttl as usize >= path.len() + 2 {
+                break;
+            }
+        }
+        Traceroute { hops, reached }
+    }
+
+    /// Round-trip time measured by a single ping with retries (up to 3),
+    /// which is how the measurement clients obtain "latency to X".
+    pub fn rtt_ms(&mut self, src: NodeId, dst: NodeId) -> Option<f64> {
+        for _ in 0..3 {
+            if let Some(r) = self.ping(src, dst) {
+                return Some(r.rtt_ms);
+            }
+        }
+        None
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn next_ident(&mut self) -> u16 {
+        self.icmp_ident = self.icmp_ident.wrapping_add(1);
+        self.icmp_ident
+    }
+
+    fn build_echo(&self, src: NodeId, dst: NodeId, ident: u16, seq: u16, ttl: u8) -> Bytes {
+        self.build_echo_ttl(src, dst, ident, seq, ttl)
+    }
+
+    fn build_echo_ttl(&self, src: NodeId, dst: NodeId, ident: u16, seq: u16, ttl: u8) -> Bytes {
+        let icmp = IcmpMessage::EchoRequest { ident, seq, payload: Bytes::from_static(&[0u8; 32]) }
+            .encode();
+        let hdr = Ipv4Header {
+            dscp_ecn: 0,
+            total_len: (Ipv4Header::LEN + icmp.len()) as u16,
+            ident,
+            ttl,
+            proto: IpProto::Icmp,
+            src: self.node(src).ip,
+            dst: self.node(dst).ip,
+        };
+        let mut buf = BytesMut::with_capacity(Ipv4Header::LEN + icmp.len());
+        hdr.encode(&mut buf);
+        buf.put_slice(&icmp);
+        buf.freeze()
+    }
+
+    fn build_answer(&self, from: NodeId, to: NodeId, was_delivered: bool) -> Bytes {
+        let icmp = if was_delivered {
+            IcmpMessage::EchoReply { ident: 0, seq: 0, payload: Bytes::new() }.encode()
+        } else {
+            IcmpMessage::TimeExceeded { original: Bytes::new() }.encode()
+        };
+        let hdr = Ipv4Header {
+            dscp_ecn: 0,
+            total_len: (Ipv4Header::LEN + icmp.len()) as u16,
+            ident: 0,
+            ttl: 64,
+            proto: IpProto::Icmp,
+            src: self.node(from).ip,
+            dst: self.node(to).ip,
+        };
+        let mut buf = BytesMut::with_capacity(Ipv4Header::LEN + icmp.len());
+        hdr.encode(&mut buf);
+        buf.put_slice(&icmp);
+        buf.freeze()
+    }
+
+    /// Walk an encoded packet along `path`, starting at `start` time.
+    ///
+    /// Drives an [`EventQueue`] with one arrival event per hop; each
+    /// intermediate node decrements the TTL in the encoded bytes. Returns
+    /// `None` when a link drops the packet; otherwise
+    /// `(delivered_to_last_node, arrival_time, ttl_expired_at)`.
+    fn walk(
+        &mut self,
+        path: &[NodeId],
+        packet: Bytes,
+        start: SimTime,
+    ) -> Option<(bool, SimTime, Option<NodeId>)> {
+        assert!(!path.is_empty());
+        let mut bytes = packet.to_vec();
+        let mut q: EventQueue<usize> = EventQueue::new();
+        q.schedule(start, 0usize);
+        let mut now = start;
+        while let Some((t, idx)) = q.pop() {
+            now = t;
+            let here = path[idx];
+            if idx == path.len() - 1 {
+                self.record(now, here, PacketEventKind::Delivered);
+                return Some((true, now, None));
+            }
+            // Intermediate forwarding: routers (not the source host itself)
+            // decrement the TTL before sending the packet onward.
+            if idx == 0 {
+                self.record(now, here, PacketEventKind::Sent);
+            } else {
+                match Ipv4Header::decrement_ttl(&mut bytes) {
+                    Ok(0) => {
+                        self.record(now, here, PacketEventKind::TtlExpired);
+                        return Some((false, now, Some(here)));
+                    }
+                    Ok(ttl) => self.record(now, here, PacketEventKind::Forwarded { ttl }),
+                    Err(_) => return Some((false, now, Some(here))),
+                }
+            }
+            let next = path[idx + 1];
+            let link = self.link_between(here.0, next.0);
+            let loss = link.loss;
+            let latency = link.latency;
+            if loss > 0.0 && self.rng.gen_bool(loss) {
+                self.record(now, here, PacketEventKind::Dropped);
+                return None; // dropped on this link
+            }
+            let delay = latency.sample(&mut self.rng);
+            q.schedule(now.after(delay), idx + 1);
+        }
+        Some((false, now, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// A small chain: host(private) - router(private) - cgnat(public) -
+    /// router(public) - spedge(public), with geography spanning Europe.
+    fn chain() -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new(99);
+        let ue = net.add_node("ue", NodeKind::Host, City::Berlin, ip("10.55.0.2"));
+        let r1 = net.add_node("core-r1", NodeKind::Router, City::Berlin, ip("10.55.0.1"));
+        let nat = net.add_node("cgnat", NodeKind::CgNat, City::Amsterdam, ip("131.188.1.1"));
+        let r2 = net.add_node("transit", NodeKind::Router, City::Amsterdam, ip("80.1.2.3"));
+        let sp = net.add_node("google", NodeKind::SpEdge, City::Frankfurt, ip("142.250.1.1"));
+        net.link_with(ue, r1, LinkClass::RadioAccess, LatencyModel::fixed(12.0, 0.0), 0.0);
+        net.link_geo(r1, nat, LinkClass::Backbone);
+        net.link_with(nat, r2, LinkClass::Metro, LatencyModel::fixed(0.4, 0.0), 0.0);
+        net.link_geo(r2, sp, LinkClass::Peering);
+        (net, ue, sp, nat)
+    }
+
+    #[test]
+    fn route_follows_the_chain() {
+        let (mut net, ue, sp, _) = chain();
+        let path = net.route(ue, sp).unwrap();
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[0], ue);
+        assert_eq!(path[4], sp);
+    }
+
+    #[test]
+    fn no_route_between_disconnected_nodes() {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", NodeKind::Host, City::Paris, ip("10.0.0.1"));
+        let b = net.add_node("b", NodeKind::Host, City::London, ip("10.0.0.2"));
+        assert!(net.route(a, b).is_none());
+        assert!(net.ping(a, b).is_none());
+        let tr = net.traceroute(a, b, TracerouteOpts::default());
+        assert!(tr.hops.is_empty() && !tr.reached);
+    }
+
+    #[test]
+    fn ping_rtt_is_about_twice_one_way() {
+        let (mut net, ue, sp, _) = chain();
+        let one_way = net.base_one_way_ms(ue, sp).unwrap();
+        let r = net.ping(ue, sp).unwrap();
+        // RTT within [2*base, 2*base + total jitter bound].
+        assert!(r.rtt_ms >= 2.0 * one_way, "rtt {} vs base {}", r.rtt_ms, one_way);
+        assert!(r.rtt_ms < 2.0 * one_way + 40.0);
+    }
+
+    #[test]
+    fn traceroute_visits_every_hop_in_order() {
+        let (mut net, ue, sp, _) = chain();
+        let tr = net.traceroute(ue, sp, TracerouteOpts::default());
+        assert!(tr.reached);
+        assert_eq!(tr.hops.len(), 4, "four hops beyond the source");
+        let ips = tr.hop_ips();
+        assert_eq!(ips[0], ip("10.55.0.1"));
+        assert_eq!(ips[1], ip("131.188.1.1"));
+        assert_eq!(ips[2], ip("80.1.2.3"));
+        assert_eq!(ips[3], ip("142.250.1.1"));
+        // RTTs are monotonically non-decreasing in expectation; check best
+        // RTTs are at least ordered between first and last hop.
+        assert!(tr.hops[0].best_rtt().unwrap() < tr.hops[3].best_rtt().unwrap());
+    }
+
+    #[test]
+    fn first_public_hop_is_the_cgnat() {
+        let (mut net, ue, sp, nat) = chain();
+        let tr = net.traceroute(ue, sp, TracerouteOpts::default());
+        let idx = tr.first_public_hop().unwrap();
+        assert_eq!(tr.hops[idx].node, Some(nat));
+        assert_eq!(net.egress_public_ip(ue, sp), Some(ip("131.188.1.1")));
+    }
+
+    #[test]
+    fn silent_hop_shows_as_no_response() {
+        let (mut net, ue, sp, nat) = chain();
+        net.set_icmp_responds(nat, false);
+        let tr = net.traceroute(ue, sp, TracerouteOpts::default());
+        assert!(tr.reached, "silent middle hop must not stop the trace");
+        let silent = &tr.hops[1];
+        assert!(!silent.responded());
+        assert!(silent.rtts.is_empty());
+    }
+
+    #[test]
+    fn lossy_link_loses_probes_but_trace_completes() {
+        let (mut net, ue, sp, _) = chain();
+        // 40% loss on the radio link.
+        net.set_link_loss(0, 0.4);
+        let tr = net.traceroute(ue, sp, TracerouteOpts { max_ttl: 30, probes_per_hop: 20 });
+        assert!(tr.reached);
+        let h = &tr.hops[0];
+        assert!(h.rtts.len() < 20, "some probes must be lost");
+        assert!(!h.rtts.is_empty(), "not all probes lost at 40%");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let a = net.add_node("a", NodeKind::Host, City::Paris, ip("10.0.0.1"));
+            let b = net.add_node("b", NodeKind::SpEdge, City::Tokyo, ip("1.2.3.4"));
+            net.link_geo(a, b, LinkClass::Backbone);
+            (0..20).map(|_| net.ping(a, b).unwrap().rtt_ms.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn dijkstra_prefers_lower_latency_path() {
+        let mut net = Network::new(3);
+        let a = net.add_node("a", NodeKind::Host, City::Paris, ip("10.0.0.1"));
+        let m1 = net.add_node("m1", NodeKind::Router, City::Frankfurt, ip("80.0.0.1"));
+        let m2 = net.add_node("m2", NodeKind::Router, City::Tokyo, ip("80.0.0.2"));
+        let b = net.add_node("b", NodeKind::SpEdge, City::Amsterdam, ip("90.0.0.1"));
+        // Fast two-hop path via Frankfurt vs slow detour via Tokyo.
+        net.link_with(a, m1, LinkClass::Backbone, LatencyModel::fixed(5.0, 0.0), 0.0);
+        net.link_with(m1, b, LinkClass::Backbone, LatencyModel::fixed(5.0, 0.0), 0.0);
+        net.link_with(a, m2, LinkClass::Backbone, LatencyModel::fixed(100.0, 0.0), 0.0);
+        net.link_with(m2, b, LinkClass::Backbone, LatencyModel::fixed(100.0, 0.0), 0.0);
+        let path = net.route(a, b).unwrap();
+        assert_eq!(path, vec![a, m1, b]);
+    }
+
+    #[test]
+    fn route_cache_invalidated_by_new_links() {
+        let mut net = Network::new(3);
+        let a = net.add_node("a", NodeKind::Host, City::Paris, ip("10.0.0.1"));
+        let m = net.add_node("m", NodeKind::Router, City::Tokyo, ip("80.0.0.2"));
+        let b = net.add_node("b", NodeKind::SpEdge, City::Amsterdam, ip("90.0.0.1"));
+        net.link_with(a, m, LinkClass::Backbone, LatencyModel::fixed(100.0, 0.0), 0.0);
+        net.link_with(m, b, LinkClass::Backbone, LatencyModel::fixed(100.0, 0.0), 0.0);
+        assert_eq!(net.route(a, b).unwrap().len(), 3);
+        // Add a direct cheap link; the cached 3-hop route must be dropped.
+        net.link_with(a, b, LinkClass::Backbone, LatencyModel::fixed(1.0, 0.0), 0.0);
+        assert_eq!(net.route(a, b).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn pinging_a_silent_node_times_out() {
+        let (mut net, ue, sp, nat) = chain();
+        assert!(net.ping(ue, nat).is_some(), "responsive CG-NAT answers echo");
+        net.set_icmp_responds(nat, false);
+        assert!(net.ping(ue, nat).is_none(), "silent node must not answer");
+        assert!(net.rtt_ms(ue, nat).is_none());
+        // Transit *through* the silent node still works.
+        assert!(net.ping(ue, sp).is_some());
+    }
+
+    #[test]
+    fn tracing_records_the_packet_story() {
+        let (mut net, ue, sp, _) = chain();
+        net.enable_tracing();
+        let r = net.ping(ue, sp);
+        assert!(r.is_some());
+        let events = net.take_trace();
+        // Forward + reply legs: sent, forwards, delivered, twice.
+        let sent = events.iter().filter(|e| e.kind == PacketEventKind::Sent).count();
+        let delivered =
+            events.iter().filter(|e| e.kind == PacketEventKind::Delivered).count();
+        assert_eq!(sent, 2, "echo + reply each get a Sent");
+        assert_eq!(delivered, 2);
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at || w[1].kind == PacketEventKind::Sent),
+                "events within a leg are time-ordered");
+        // Tracing is consumed: a second take is empty and recording stops.
+        assert!(net.take_trace().is_empty());
+        net.ping(ue, sp);
+        assert!(net.take_trace().is_empty(), "no recording without enable");
+        // Display is human-readable.
+        assert!(events[0].to_string().contains("sent"));
+    }
+
+    #[test]
+    fn tracing_shows_ttl_expiry() {
+        let (mut net, ue, sp, _) = chain();
+        net.enable_tracing();
+        let _ = net.traceroute(ue, sp, TracerouteOpts { max_ttl: 1, probes_per_hop: 1 });
+        let events = net.take_trace();
+        assert!(events.iter().any(|e| e.kind == PacketEventKind::TtlExpired),
+                "TTL-1 probe must expire at the first router");
+    }
+
+    #[test]
+    fn rtt_retries_through_loss() {
+        let (mut net, ue, sp, _) = chain();
+        // 20% per-traversal loss; a ping crosses the lossy link twice, so
+        // each attempt succeeds w.p. 0.64 and 3 retries w.p. ~95%.
+        net.set_link_loss(0, 0.2);
+        let mut got = 0;
+        for _ in 0..20 {
+            if net.rtt_ms(ue, sp).is_some() {
+                got += 1;
+            }
+        }
+        assert!(got >= 15, "expected ~19 of 20 successes, got {got}/20");
+    }
+}

@@ -1,0 +1,682 @@
+//! Wire formats: IPv4, UDP, ICMP, GTP-U and DNS.
+//!
+//! The simulator does not shuttle abstract records around — probes are
+//! encoded to bytes, headers are mutated in flight (TTL decrement +
+//! incremental checksum update at every router) and decoded back by the
+//! receiver, in the smoltcp spirit of representation-faithful networking
+//! code. Formats implemented:
+//!
+//! * **IPv4** (RFC 791): fixed 20-byte header, internet checksum;
+//! * **UDP** (RFC 768): 8-byte header (checksum optional, as on the wire);
+//! * **ICMP** (RFC 792): echo request/reply and time-exceeded, the two
+//!   message types `mtr`-style traceroute needs;
+//! * **GTP-U** (3GPP TS 29.281): the 8-byte mandatory header with a G-PDU
+//!   payload — what the SGW↔PGW tunnels of §4.3 actually carry;
+//! * **DNS** (RFC 1035, subset): one-question queries with A-record answers,
+//!   enough for the resolver-discovery experiment of §5.1.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Errors from decoding a wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header requires.
+    Truncated,
+    /// A version/type field had an unsupported value.
+    BadField(&'static str),
+    /// The internet checksum did not verify.
+    BadChecksum,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated packet"),
+            WireError::BadField(name) => write!(f, "bad field: {name}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// RFC 1071 internet checksum over `data` (pads odd length with zero).
+#[must_use]
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+// ---------------------------------------------------------------------------
+// IPv4
+// ---------------------------------------------------------------------------
+
+/// IP protocol numbers the simulator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpProto {
+    /// ICMP (1).
+    Icmp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, kept verbatim.
+    Other(u8),
+}
+
+impl IpProto {
+    /// Protocol number.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        match self {
+            IpProto::Icmp => 1,
+            IpProto::Udp => 17,
+            IpProto::Other(n) => n,
+        }
+    }
+
+    /// From a protocol number.
+    #[must_use]
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            1 => IpProto::Icmp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+/// A fixed (no-options) IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated services byte (kept for completeness).
+    pub dscp_ecn: u8,
+    /// Total length of header + payload in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub ident: u16,
+    /// Time to live — the field traceroute plays with.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub proto: IpProto,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Encoded size (no options).
+    pub const LEN: usize = 20;
+
+    /// Encode the header (checksum computed here) followed by nothing; the
+    /// caller appends the payload.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8(self.dscp_ecn);
+        buf.put_u16(self.total_len);
+        buf.put_u16(self.ident);
+        buf.put_u16(0); // flags/fragment: never fragmented in-sim
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.proto.number());
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(&self.src.octets());
+        buf.put_slice(&self.dst.octets());
+        let cksum = internet_checksum(&buf[start..start + Self::LEN]);
+        buf[start + 10..start + 12].copy_from_slice(&cksum.to_be_bytes());
+    }
+
+    /// Decode and verify a header from the front of `data`.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        let mut b = &data[..Self::LEN];
+        let vihl = b.get_u8();
+        if vihl != 0x45 {
+            return Err(WireError::BadField("version/ihl"));
+        }
+        if internet_checksum(&data[..Self::LEN]) != 0 {
+            return Err(WireError::BadChecksum);
+        }
+        let dscp_ecn = b.get_u8();
+        let total_len = b.get_u16();
+        let ident = b.get_u16();
+        let _flags_frag = b.get_u16();
+        let ttl = b.get_u8();
+        let proto = IpProto::from_number(b.get_u8());
+        let _cksum = b.get_u16();
+        let src = Ipv4Addr::new(b.get_u8(), b.get_u8(), b.get_u8(), b.get_u8());
+        let dst = Ipv4Addr::new(b.get_u8(), b.get_u8(), b.get_u8(), b.get_u8());
+        Ok(Ipv4Header { dscp_ecn, total_len, ident, ttl, proto, src, dst })
+    }
+
+    /// Decrement the TTL of an encoded packet in place, recomputing the
+    /// checksum. Returns the new TTL, or an error if the packet is not a
+    /// valid IPv4 header. This is what every simulated router does.
+    pub fn decrement_ttl(packet: &mut [u8]) -> Result<u8, WireError> {
+        let hdr = Self::decode(packet)?;
+        if hdr.ttl == 0 {
+            return Err(WireError::BadField("ttl already zero"));
+        }
+        let new_ttl = hdr.ttl - 1;
+        packet[8] = new_ttl;
+        packet[10] = 0;
+        packet[11] = 0;
+        let cksum = internet_checksum(&packet[..Self::LEN]);
+        packet[10..12].copy_from_slice(&cksum.to_be_bytes());
+        Ok(new_ttl)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+
+/// A UDP header (checksum left zero, i.e. "not computed", as IPv4 allows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Header + payload length in bytes.
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Encoded size.
+    pub const LEN: usize = 8;
+
+    /// Encode the header.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(self.len);
+        buf.put_u16(0);
+    }
+
+    /// Decode from the front of `data`.
+    pub fn decode(mut data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        let src_port = data.get_u16();
+        let dst_port = data.get_u16();
+        let len = data.get_u16();
+        if (len as usize) < Self::LEN {
+            return Err(WireError::BadField("udp length"));
+        }
+        Ok(UdpHeader { src_port, dst_port, len })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ICMP
+// ---------------------------------------------------------------------------
+
+/// The ICMP messages the simulator speaks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request (type 8): ident, sequence, payload.
+    EchoRequest { ident: u16, seq: u16, payload: Bytes },
+    /// Echo reply (type 0): ident, sequence, payload.
+    EchoReply { ident: u16, seq: u16, payload: Bytes },
+    /// Time exceeded in transit (type 11 code 0), quoting the offending
+    /// packet's IP header + first 8 payload bytes, as real routers do.
+    TimeExceeded { original: Bytes },
+}
+
+impl IcmpMessage {
+    /// Encode to bytes (checksum included).
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            IcmpMessage::EchoRequest { ident, seq, payload } => {
+                buf.put_u8(8);
+                buf.put_u8(0);
+                buf.put_u16(0);
+                buf.put_u16(*ident);
+                buf.put_u16(*seq);
+                buf.put_slice(payload);
+            }
+            IcmpMessage::EchoReply { ident, seq, payload } => {
+                buf.put_u8(0);
+                buf.put_u8(0);
+                buf.put_u16(0);
+                buf.put_u16(*ident);
+                buf.put_u16(*seq);
+                buf.put_slice(payload);
+            }
+            IcmpMessage::TimeExceeded { original } => {
+                buf.put_u8(11);
+                buf.put_u8(0);
+                buf.put_u16(0);
+                buf.put_u32(0); // unused
+                let quote_len = original.len().min(Ipv4Header::LEN + 8);
+                buf.put_slice(&original[..quote_len]);
+            }
+        }
+        let cksum = internet_checksum(&buf);
+        buf[2..4].copy_from_slice(&cksum.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Decode and verify.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        if internet_checksum(data) != 0 {
+            return Err(WireError::BadChecksum);
+        }
+        let ty = data[0];
+        let code = data[1];
+        match (ty, code) {
+            (8, 0) | (0, 0) => {
+                let ident = u16::from_be_bytes([data[4], data[5]]);
+                let seq = u16::from_be_bytes([data[6], data[7]]);
+                let payload = Bytes::copy_from_slice(&data[8..]);
+                Ok(if ty == 8 {
+                    IcmpMessage::EchoRequest { ident, seq, payload }
+                } else {
+                    IcmpMessage::EchoReply { ident, seq, payload }
+                })
+            }
+            (11, 0) => Ok(IcmpMessage::TimeExceeded {
+                original: Bytes::copy_from_slice(&data[8..]),
+            }),
+            _ => Err(WireError::BadField("icmp type/code")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GTP-U
+// ---------------------------------------------------------------------------
+
+/// A GTP-U (GPRS Tunneling Protocol, user plane) header, 3GPP TS 29.281.
+///
+/// The mandatory 8-byte form: version 1, protocol type GTP, message type
+/// G-PDU (0xFF), payload length, and the Tunnel Endpoint Identifier that the
+/// SGW and PGW agreed on. Roaming user traffic between the v-MNO and the
+/// breakout PGW — the "private path" of the paper — travels inside these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtpuHeader {
+    /// Length of the payload following this header, in bytes.
+    pub payload_len: u16,
+    /// Tunnel endpoint identifier.
+    pub teid: u32,
+}
+
+impl GtpuHeader {
+    /// Encoded size (no optional fields).
+    pub const LEN: usize = 8;
+    /// G-PDU message type.
+    pub const MSG_GPDU: u8 = 0xFF;
+
+    /// Encode the header.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(0x30); // version 1, PT=1 (GTP), no optional fields
+        buf.put_u8(Self::MSG_GPDU);
+        buf.put_u16(self.payload_len);
+        buf.put_u32(self.teid);
+    }
+
+    /// Decode from the front of `data`.
+    pub fn decode(mut data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        let flags = data.get_u8();
+        if flags >> 5 != 1 {
+            return Err(WireError::BadField("gtp version"));
+        }
+        if flags & 0x10 == 0 {
+            return Err(WireError::BadField("gtp protocol type"));
+        }
+        let msg = data.get_u8();
+        if msg != Self::MSG_GPDU {
+            return Err(WireError::BadField("gtp message type"));
+        }
+        let payload_len = data.get_u16();
+        let teid = data.get_u32();
+        Ok(GtpuHeader { payload_len, teid })
+    }
+
+    /// Encapsulate an inner (already encoded) IP packet.
+    #[must_use]
+    pub fn encapsulate(teid: u32, inner: &[u8]) -> Bytes {
+        assert!(inner.len() <= u16::MAX as usize,
+                "GTP-U payload length field is 16 bits; fragment before tunnelling");
+        let mut buf = BytesMut::with_capacity(Self::LEN + inner.len());
+        GtpuHeader { payload_len: inner.len() as u16, teid }.encode(&mut buf);
+        buf.put_slice(inner);
+        buf.freeze()
+    }
+
+    /// Strip the tunnel header, returning `(header, inner packet)`.
+    pub fn decapsulate(data: &[u8]) -> Result<(GtpuHeader, Bytes), WireError> {
+        let hdr = Self::decode(data)?;
+        let inner = data.get(Self::LEN..Self::LEN + hdr.payload_len as usize)
+            .ok_or(WireError::Truncated)?;
+        Ok((hdr, Bytes::copy_from_slice(inner)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DNS (subset)
+// ---------------------------------------------------------------------------
+
+/// A DNS message restricted to the shapes the simulator needs: a single
+/// A-type question, optionally answered with A records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsMessage {
+    /// Transaction ID.
+    pub id: u16,
+    /// True for a response, false for a query.
+    pub is_response: bool,
+    /// The queried name (lower-case, dot-separated labels).
+    pub qname: String,
+    /// A-record answers (responses only).
+    pub answers: Vec<Ipv4Addr>,
+}
+
+impl DnsMessage {
+    /// Build a query for `qname`.
+    #[must_use]
+    pub fn query(id: u16, qname: &str) -> Self {
+        DnsMessage { id, is_response: false, qname: qname.to_ascii_lowercase(), answers: vec![] }
+    }
+
+    /// Build the response to `query` carrying `answers`.
+    #[must_use]
+    pub fn response(query: &DnsMessage, answers: Vec<Ipv4Addr>) -> Self {
+        DnsMessage { id: query.id, is_response: true, qname: query.qname.clone(), answers }
+    }
+
+    /// Encode (RFC 1035 header + QD + AN sections; no compression).
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u16(self.id);
+        // QR bit + RD; response also sets RA.
+        buf.put_u16(if self.is_response { 0x8180 } else { 0x0100 });
+        buf.put_u16(1); // QDCOUNT
+        buf.put_u16(self.answers.len() as u16); // ANCOUNT
+        buf.put_u16(0); // NSCOUNT
+        buf.put_u16(0); // ARCOUNT
+        encode_name(&mut buf, &self.qname);
+        buf.put_u16(1); // QTYPE A
+        buf.put_u16(1); // QCLASS IN
+        for a in &self.answers {
+            encode_name(&mut buf, &self.qname);
+            buf.put_u16(1); // TYPE A
+            buf.put_u16(1); // CLASS IN
+            buf.put_u32(0); // TTL 0: the paper exploits NextDNS's zero TTL
+            buf.put_u16(4); // RDLENGTH
+            buf.put_slice(&a.octets());
+        }
+        buf.freeze()
+    }
+
+    /// Decode a message previously produced by [`DnsMessage::encode`].
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        let mut b = data;
+        if b.len() < 12 {
+            return Err(WireError::Truncated);
+        }
+        let id = b.get_u16();
+        let flags = b.get_u16();
+        let qd = b.get_u16();
+        let an = b.get_u16();
+        let _ns = b.get_u16();
+        let _ar = b.get_u16();
+        if qd != 1 {
+            return Err(WireError::BadField("qdcount"));
+        }
+        let qname = decode_name(&mut b)?;
+        if b.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let qtype = b.get_u16();
+        let _qclass = b.get_u16();
+        if qtype != 1 {
+            return Err(WireError::BadField("qtype"));
+        }
+        let mut answers = Vec::with_capacity(an as usize);
+        for _ in 0..an {
+            let _name = decode_name(&mut b)?;
+            if b.len() < 10 {
+                return Err(WireError::Truncated);
+            }
+            let _ty = b.get_u16();
+            let _cl = b.get_u16();
+            let _ttl = b.get_u32();
+            let rdlen = b.get_u16();
+            if rdlen != 4 {
+                return Err(WireError::BadField("rdlength"));
+            }
+            if b.len() < 4 {
+                return Err(WireError::Truncated);
+            }
+            answers.push(Ipv4Addr::new(b.get_u8(), b.get_u8(), b.get_u8(), b.get_u8()));
+        }
+        Ok(DnsMessage { id, is_response: flags & 0x8000 != 0, qname, answers })
+    }
+}
+
+fn encode_name(buf: &mut BytesMut, name: &str) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        assert!(label.len() < 64, "label too long: {label}");
+        buf.put_u8(label.len() as u8);
+        buf.put_slice(label.as_bytes());
+    }
+    buf.put_u8(0);
+}
+
+fn decode_name(b: &mut &[u8]) -> Result<String, WireError> {
+    let mut name = String::new();
+    loop {
+        if b.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        let len = b.get_u8() as usize;
+        if len == 0 {
+            break;
+        }
+        if len >= 64 {
+            return Err(WireError::BadField("label length"));
+        }
+        if b.len() < len {
+            return Err(WireError::Truncated);
+        }
+        if !name.is_empty() {
+            name.push('.');
+        }
+        let label = std::str::from_utf8(&b[..len]).map_err(|_| WireError::BadField("label utf8"))?;
+        name.push_str(label);
+        b.advance(len);
+    }
+    Ok(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn checksum_of_rfc1071_example() {
+        // Classic example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn checksum_odd_length_pads() {
+        let even = internet_checksum(&[0xAB, 0xCD, 0x12, 0x00]);
+        let odd = internet_checksum(&[0xAB, 0xCD, 0x12]);
+        assert_eq!(even, odd);
+    }
+
+    fn sample_ipv4() -> Ipv4Header {
+        Ipv4Header {
+            dscp_ecn: 0,
+            total_len: 84,
+            ident: 0x1234,
+            ttl: 64,
+            proto: IpProto::Icmp,
+            src: ip("10.0.0.2"),
+            dst: ip("8.8.8.8"),
+        }
+    }
+
+    #[test]
+    fn ipv4_round_trip() {
+        let hdr = sample_ipv4();
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), Ipv4Header::LEN);
+        let back = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(back, hdr);
+    }
+
+    #[test]
+    fn ipv4_checksum_verifies_and_detects_corruption() {
+        let mut buf = BytesMut::new();
+        sample_ipv4().encode(&mut buf);
+        assert_eq!(internet_checksum(&buf), 0, "valid header sums to zero");
+        let mut bad = buf.to_vec();
+        bad[12] ^= 0xFF; // flip a source-address byte
+        assert_eq!(Ipv4Header::decode(&bad).unwrap_err(), WireError::BadChecksum);
+    }
+
+    #[test]
+    fn ttl_decrement_keeps_checksum_valid() {
+        let mut buf = BytesMut::new();
+        sample_ipv4().encode(&mut buf);
+        let mut pkt = buf.to_vec();
+        for expect in (0..64).rev() {
+            let got = Ipv4Header::decrement_ttl(&mut pkt).unwrap();
+            assert_eq!(got, expect);
+            assert_eq!(Ipv4Header::decode(&pkt).unwrap().ttl, expect);
+        }
+        // TTL 0: further decrement is an error.
+        assert!(Ipv4Header::decrement_ttl(&mut pkt).is_err());
+    }
+
+    #[test]
+    fn udp_round_trip_and_bad_length() {
+        let h = UdpHeader { src_port: 33434, dst_port: 53, len: 36 };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(UdpHeader::decode(&buf).unwrap(), h);
+        let bad = [0u8, 1, 0, 53, 0, 3, 0, 0]; // len 3 < 8
+        assert_eq!(UdpHeader::decode(&bad).unwrap_err(), WireError::BadField("udp length"));
+    }
+
+    #[test]
+    fn icmp_echo_round_trip() {
+        let msg = IcmpMessage::EchoRequest {
+            ident: 77,
+            seq: 3,
+            payload: Bytes::from_static(b"roamsim-probe"),
+        };
+        let enc = msg.encode();
+        assert_eq!(IcmpMessage::decode(&enc).unwrap(), msg);
+    }
+
+    #[test]
+    fn icmp_time_exceeded_quotes_original() {
+        let mut buf = BytesMut::new();
+        sample_ipv4().encode(&mut buf);
+        buf.put_slice(b"12345678-and-more-than-eight");
+        let te = IcmpMessage::TimeExceeded { original: buf.clone().freeze() };
+        let enc = te.encode();
+        match IcmpMessage::decode(&enc).unwrap() {
+            IcmpMessage::TimeExceeded { original } => {
+                // Quote limited to IP header + 8 bytes, per RFC 792.
+                assert_eq!(original.len(), Ipv4Header::LEN + 8);
+                let quoted = Ipv4Header::decode(&original).unwrap();
+                assert_eq!(quoted.src, ip("10.0.0.2"));
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn icmp_rejects_corruption() {
+        let enc = IcmpMessage::EchoReply { ident: 1, seq: 2, payload: Bytes::new() }.encode();
+        let mut bad = enc.to_vec();
+        bad[4] ^= 0x01;
+        assert_eq!(IcmpMessage::decode(&bad).unwrap_err(), WireError::BadChecksum);
+    }
+
+    #[test]
+    fn gtpu_encapsulation_round_trip() {
+        let mut inner = BytesMut::new();
+        sample_ipv4().encode(&mut inner);
+        let tunnel = GtpuHeader::encapsulate(0xDEADBEEF, &inner);
+        assert_eq!(tunnel.len(), GtpuHeader::LEN + Ipv4Header::LEN);
+        let (hdr, payload) = GtpuHeader::decapsulate(&tunnel).unwrap();
+        assert_eq!(hdr.teid, 0xDEADBEEF);
+        assert_eq!(hdr.payload_len as usize, Ipv4Header::LEN);
+        assert_eq!(&payload[..], &inner[..]);
+    }
+
+    #[test]
+    fn gtpu_rejects_wrong_version_and_type() {
+        let mut buf = BytesMut::new();
+        GtpuHeader { payload_len: 0, teid: 1 }.encode(&mut buf);
+        let mut v = buf.to_vec();
+        v[0] = 0x50; // version 2
+        assert!(GtpuHeader::decode(&v).is_err());
+        v[0] = 0x30;
+        v[1] = 0x01; // echo request, unsupported
+        assert!(GtpuHeader::decode(&v).is_err());
+    }
+
+    #[test]
+    fn dns_query_round_trip() {
+        let q = DnsMessage::query(0xBEEF, "Google.COM");
+        assert_eq!(q.qname, "google.com", "names are canonicalised to lower case");
+        let enc = q.encode();
+        let back = DnsMessage::decode(&enc).unwrap();
+        assert_eq!(back, q);
+        assert!(!back.is_response);
+    }
+
+    #[test]
+    fn dns_response_round_trip_with_answers() {
+        let q = DnsMessage::query(7, "cdn.example.net");
+        let r = DnsMessage::response(&q, vec![ip("93.184.216.34"), ip("93.184.216.35")]);
+        let back = DnsMessage::decode(&r.encode()).unwrap();
+        assert!(back.is_response);
+        assert_eq!(back.id, 7);
+        assert_eq!(back.answers.len(), 2);
+        assert_eq!(back.answers[0], ip("93.184.216.34"));
+    }
+
+    #[test]
+    fn dns_decode_rejects_truncation() {
+        let enc = DnsMessage::query(1, "a.b").encode();
+        for cut in [0, 5, 11, enc.len() - 1] {
+            assert!(DnsMessage::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the wire formats and core netsim data structures.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use proptest::prelude::*;
+use roam_netsim::ip::Ipv4Net;
+use roam_netsim::throughput::{transfer_time_ms, TokenBucket, TransferSpec};
+use roam_netsim::wire::{
+    internet_checksum, DnsMessage, GtpuHeader, IcmpMessage, IpProto, Ipv4Header,
+};
+use roam_netsim::{EventQueue, SimTime};
+use std::net::Ipv4Addr;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    #[test]
+    fn ipv4_roundtrip(dscp in any::<u8>(), total_len in 20u16..9000, ident in any::<u16>(),
+                      ttl in 1u8..=255, proto in any::<u8>(), src in arb_ip(), dst in arb_ip()) {
+        let hdr = Ipv4Header {
+            dscp_ecn: dscp,
+            total_len,
+            ident,
+            ttl,
+            proto: IpProto::from_number(proto),
+            src,
+            dst,
+        };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        prop_assert_eq!(buf.len(), Ipv4Header::LEN);
+        let back = Ipv4Header::decode(&buf).unwrap();
+        prop_assert_eq!(back, hdr);
+        // A valid header checksums to zero.
+        prop_assert_eq!(internet_checksum(&buf), 0);
+    }
+
+    #[test]
+    fn ipv4_detects_any_single_byte_corruption(ttl in 1u8..=255, src in arb_ip(),
+                                               dst in arb_ip(), pos in 0usize..20,
+                                               flip in 1u8..=255) {
+        let hdr = Ipv4Header {
+            dscp_ecn: 0, total_len: 40, ident: 1, ttl,
+            proto: IpProto::Icmp, src, dst,
+        };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        let mut bad = buf.to_vec();
+        bad[pos] ^= flip;
+        // Either the checksum catches it, or the corrupted field is
+        // version/IHL which fails as a bad field. Decode must never
+        // silently return a *different* header claiming validity...
+        match Ipv4Header::decode(&bad) {
+            Err(_) => {}
+            Ok(h) => prop_assert_eq!(h, hdr, "accepted a corrupted header"),
+        }
+    }
+
+    #[test]
+    fn ttl_decrement_runs_to_zero(start in 1u8..=64, src in arb_ip(), dst in arb_ip()) {
+        let hdr = Ipv4Header {
+            dscp_ecn: 0, total_len: 40, ident: 1, ttl: start,
+            proto: IpProto::Udp, src, dst,
+        };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        let mut pkt = buf.to_vec();
+        for expect in (0..start).rev() {
+            let got = Ipv4Header::decrement_ttl(&mut pkt).unwrap();
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(internet_checksum(&pkt[..20]), 0, "checksum stays valid");
+        }
+        prop_assert!(Ipv4Header::decrement_ttl(&mut pkt).is_err());
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip(ident in any::<u16>(), seq in any::<u16>(),
+                           payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let msg = IcmpMessage::EchoRequest { ident, seq, payload: Bytes::from(payload) };
+        let enc = msg.encode();
+        prop_assert_eq!(IcmpMessage::decode(&enc).unwrap(), msg);
+    }
+
+    #[test]
+    fn gtpu_roundtrip(teid in any::<u32>(),
+                      inner in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let t = GtpuHeader::encapsulate(teid, &inner);
+        let (hdr, payload) = GtpuHeader::decapsulate(&t).unwrap();
+        prop_assert_eq!(hdr.teid, teid);
+        prop_assert_eq!(payload.as_ref(), inner.as_slice());
+    }
+
+    #[test]
+    fn dns_roundtrip(id in any::<u16>(),
+                     labels in proptest::collection::vec("[a-z0-9]{1,20}", 1..5),
+                     answers in proptest::collection::vec(any::<u32>(), 0..6)) {
+        let qname = labels.join(".");
+        let q = DnsMessage::query(id, &qname);
+        prop_assert_eq!(DnsMessage::decode(&q.encode()).unwrap(), q.clone());
+        let r = DnsMessage::response(&q, answers.into_iter().map(Ipv4Addr::from).collect());
+        let back = DnsMessage::decode(&r.encode()).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn dns_truncation_never_panics(id in any::<u16>(), cut in 0usize..60) {
+        let enc = DnsMessage::query(id, "probe.example.net").encode();
+        let cut = cut.min(enc.len());
+        let _ = DnsMessage::decode(&enc[..cut]); // must not panic
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_but_pads_consistently(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let c1 = internet_checksum(&data);
+        // Appending a zero byte to even-length data must not change the sum.
+        if data.len() % 2 == 0 {
+            let mut padded = BytesMut::from(&data[..]);
+            padded.put_u8(0);
+            prop_assert_eq!(internet_checksum(&padded), c1);
+        }
+    }
+
+    #[test]
+    fn prefix_nth_stays_inside(addr in any::<u32>(), len in 0u8..=32, idx in any::<u64>()) {
+        let net = Ipv4Net::new(Ipv4Addr::from(addr), len);
+        match net.nth(idx) {
+            Some(ip) => prop_assert!(net.contains(ip)),
+            None => prop_assert!(idx >= net.size()),
+        }
+    }
+
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last, "time went backwards");
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_configured_rate(rate in 1.0f64..100.0,
+                                                  burst in 0.0f64..50_000.0,
+                                                  chunks in proptest::collection::vec(1.0f64..20_000.0, 1..30)) {
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut now = SimTime::ZERO;
+        let total: f64 = chunks.iter().sum();
+        for bytes in &chunks {
+            let wait = tb.consume(*bytes, now);
+            now = now.after(wait);
+        }
+        // Everything beyond the initial burst must take at least
+        // (total - burst) / rate seconds.
+        let min_secs = ((total - burst) / (rate * 1e6 / 8.0)).max(0.0);
+        prop_assert!(now.as_secs_f64() >= min_secs - 1e-6,
+                     "drained {total} bytes in {} s, floor {min_secs}", now.as_secs_f64());
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes(rtt in 5.0f64..400.0, rate in 1.0f64..200.0,
+                                          b1 in 1.0f64..1e7, b2 in 1.0f64..1e7) {
+        let t = |bytes| transfer_time_ms(&TransferSpec {
+            bytes, rtt_ms: rtt, policy_rate_mbps: rate, loss: 0.0, setup_rtts: 2.0,
+            parallel: 1,
+        });
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(t(lo) <= t(hi) + 1e-9);
+    }
+}

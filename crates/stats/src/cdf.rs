@@ -1,0 +1,153 @@
+//! Empirical cumulative distribution functions.
+//!
+//! CDFs are the paper's favourite lens: RTT to PGWs (Figs. 8–9), the share
+//! of latency that is private (Fig. 12), and median $/GB per provider
+//! (Fig. 17) are all presented as CDFs.
+
+use crate::{validate, StatsError};
+
+/// An empirical CDF over a sample.
+///
+/// Stores the sorted sample; evaluation is a binary search, inversion is an
+/// order statistic. Construction rejects NaNs so that ordering is total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build the ECDF of `xs`.
+    pub fn new(xs: &[f64]) -> Result<Self, StatsError> {
+        validate(xs)?;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected by validate"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction requires a non-empty sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// F(x) — fraction of observations ≤ `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of observations strictly greater than `x` — the form used
+    /// for statements like "14.5% of measurements exceeded 150 ms".
+    #[must_use]
+    pub fn frac_above(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// Quantile function F⁻¹(q) (inverse CDF, lower order statistic).
+    #[must_use]
+    pub fn inverse(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// Evenly spaced (x, F(x)) points suitable for plotting or textual dumps
+    /// of the figure series. Always includes both endpoints.
+    #[must_use]
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least the two endpoints");
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Minimum observation.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Ecdf {
+        Ecdf::new(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap()
+    }
+
+    #[test]
+    fn eval_at_and_between_observations() {
+        let e = ramp();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.2);
+        assert_eq!(e.eval(2.5), 0.4);
+        assert_eq!(e.eval(5.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn frac_above_complements_eval() {
+        let e = ramp();
+        assert!((e.frac_above(3.0) - 0.4).abs() < 1e-12);
+        assert_eq!(e.frac_above(0.0), 1.0);
+        assert_eq!(e.frac_above(5.0), 0.0);
+    }
+
+    #[test]
+    fn inverse_hits_order_statistics() {
+        let e = ramp();
+        assert_eq!(e.inverse(0.0), 1.0);
+        assert_eq!(e.inverse(0.2), 1.0);
+        assert_eq!(e.inverse(0.5), 3.0);
+        assert_eq!(e.inverse(1.0), 5.0);
+    }
+
+    #[test]
+    fn ties_are_counted_together() {
+        let e = Ecdf::new(&[2.0, 2.0, 2.0, 8.0]).unwrap();
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(1.9), 0.0);
+    }
+
+    #[test]
+    fn points_cover_range_and_are_monotone() {
+        let e = Ecdf::new(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]).unwrap();
+        let pts = e.points(16);
+        assert_eq!(pts.len(), 16);
+        assert_eq!(pts[0].0, 1.0);
+        assert_eq!(pts[15].0, 9.0);
+        assert_eq!(pts[15].1, 1.0);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone: {pts:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(&[]).is_err());
+        assert!(Ecdf::new(&[1.0, f64::NAN]).is_err());
+    }
+}

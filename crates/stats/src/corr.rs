@@ -1,0 +1,124 @@
+//! Correlation: Pearson's r with its significance test.
+//!
+//! §4.3.2 reports that "statistical analysis did not support physical
+//! distance from the end-user as a factor influencing these latency
+//! differences (p > 0.05)" — a correlation test between SGW↔PGW distance
+//! and observed breakout RTT. This module provides it.
+
+use crate::dist::t_test_p_two_sided;
+use crate::summary::mean;
+use crate::{validate, StatsError};
+
+/// Result of a correlation test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlation {
+    /// Pearson's r in `[-1, 1]`.
+    pub r: f64,
+    /// Two-sided p-value of the null hypothesis r = 0 (t-distribution with
+    /// n − 2 degrees of freedom).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Correlation {
+    /// Conventional α = 0.05 check.
+    #[must_use]
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+}
+
+/// Pearson correlation between paired samples.
+///
+/// Errors on mismatched lengths, fewer than 3 pairs, NaNs, or a
+/// zero-variance side (where r is undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<Correlation, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::TooFewSamples { required: x.len(), got: y.len() });
+    }
+    validate(x)?;
+    validate(y)?;
+    if x.len() < 3 {
+        return Err(StatsError::TooFewSamples { required: 3, got: x.len() });
+    }
+    let mx = mean(x).expect("validated");
+    let my = mean(y).expect("validated");
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::NaN); // r undefined for a constant side
+    }
+    let r = (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0);
+    let n = x.len() as f64;
+    let p_value = if r.abs() >= 1.0 {
+        0.0
+    } else {
+        let t = r * ((n - 2.0) / (1.0 - r * r)).sqrt();
+        t_test_p_two_sided(t, n - 2.0)
+    };
+    Ok(Correlation { r, p_value, n: x.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_relation() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let c = pearson(&x, &y).unwrap();
+        assert!((c.r - 1.0).abs() < 1e-12);
+        assert!(c.p_value < 1e-10, "p = {}", c.p_value);
+        assert!(c.significant());
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        let c2 = pearson(&x, &neg).unwrap();
+        assert!((c2.r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_noise_is_not_significant() {
+        // A fixed, balanced pattern with zero sample correlation.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, -1.0, 1.0];
+        let c = pearson(&x, &y).unwrap();
+        assert!(c.r.abs() < 0.3, "r = {}", c.r);
+        assert!(!c.significant(), "p = {}", c.p_value);
+    }
+
+    #[test]
+    fn reference_value() {
+        // Hand-computed: x=[1,2,3,4,5], y=[1,2,2,3,7]: deviations give
+        // sxy=13, sxx=10, syy=22 → r = 13/√220 ≈ 0.8765.
+        let c = pearson(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 2.0, 2.0, 3.0, 7.0]).unwrap();
+        assert!((c.r - 13.0 / 220.0f64.sqrt()).abs() < 1e-12, "r = {}", c.r);
+        assert!((0.0..=1.0).contains(&c.p_value));
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err(), "length mismatch");
+        assert!(pearson(&[1.0, 2.0], &[1.0, 2.0]).is_err(), "too few pairs");
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err(), "constant side");
+        assert!(pearson(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let y = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0];
+        let a = pearson(&x, &y).unwrap();
+        let b = pearson(&y, &x).unwrap();
+        assert!((a.r - b.r).abs() < 1e-12);
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the statistics kernels.
+
+use proptest::prelude::*;
+use roam_stats::dist::{f_sf, inc_beta, t_test_p_two_sided};
+use roam_stats::test::LeveneCenter;
+use roam_stats::{levene_test, mean, median, quantile, welch_t_test, BoxplotSummary, Ecdf};
+
+fn arb_sample(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, min_len..200)
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_bounded_and_monotone(xs in arb_sample(1), q1 in 0.0f64..=1.0,
+                                        q2 in 0.0f64..=1.0) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v1 = quantile(&xs, q1).unwrap();
+        prop_assert!((lo..=hi).contains(&v1));
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, qa).unwrap() <= quantile(&xs, qb).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn mean_is_between_min_and_max(xs in arb_sample(1)) {
+        let m = mean(&xs).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn boxplot_invariants(xs in arb_sample(1)) {
+        let b = BoxplotSummary::from(&xs).unwrap();
+        // Note: whiskers are *observations* while quartiles are
+        // interpolated, so on tiny samples a whisker may legitimately sit
+        // inside the box; the medians still order everything.
+        prop_assert!(b.whisker_lo <= b.median + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.median <= b.whisker_hi + 1e-9);
+        prop_assert!(b.whisker_lo <= b.whisker_hi + 1e-9);
+        prop_assert_eq!(b.n, xs.len());
+        // Whiskers are actual observations.
+        prop_assert!(xs.iter().any(|x| (x - b.whisker_lo).abs() < 1e-9));
+        prop_assert!(xs.iter().any(|x| (x - b.whisker_hi).abs() < 1e-9));
+    }
+
+    #[test]
+    fn ecdf_is_a_cdf(xs in arb_sample(1), probe in -1e6f64..1e6) {
+        let e = Ecdf::new(&xs).unwrap();
+        let f = e.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+        prop_assert!(e.eval(e.min() - 1.0) == 0.0);
+        // frac_above complements.
+        prop_assert!((e.eval(probe) + e.frac_above(probe) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_inverse_is_consistent(xs in arb_sample(1), q in 0.01f64..=1.0) {
+        let e = Ecdf::new(&xs).unwrap();
+        let v = e.inverse(q);
+        // At least a q-fraction of the sample is ≤ v.
+        prop_assert!(e.eval(v) >= q - 1e-9);
+    }
+
+    #[test]
+    fn welch_is_antisymmetric(a in arb_sample(2), b in arb_sample(2)) {
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let r2 = welch_t_test(&b, &a).unwrap();
+        prop_assert!((r1.statistic + r2.statistic).abs() < 1e-9);
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+    }
+
+    #[test]
+    fn shifting_a_sample_does_not_change_levene(a in arb_sample(3), shift in -1e4f64..1e4) {
+        let shifted: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let r = levene_test(&[&a, &shifted], LeveneCenter::Median).unwrap();
+        // Identical spreads: W ~ 0 (up to fp noise), never significant.
+        prop_assert!(r.p_value > 0.9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn inc_beta_is_a_cdf_in_x(a in 0.2f64..20.0, b in 0.2f64..20.0,
+                              x1 in 0.0f64..=1.0, x2 in 0.0f64..=1.0) {
+        let v1 = inc_beta(a, b, x1);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v1));
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(inc_beta(a, b, lo) <= inc_beta(a, b, hi) + 1e-9);
+    }
+
+    #[test]
+    fn t_p_value_decreases_with_t(df in 1.0f64..200.0, t1 in 0.0f64..20.0, t2 in 0.0f64..20.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(t_test_p_two_sided(hi, df) <= t_test_p_two_sided(lo, df) + 1e-9);
+    }
+
+    #[test]
+    fn f_sf_decreases_with_f(d1 in 1.0f64..50.0, d2 in 1.0f64..50.0,
+                             f1 in 0.0f64..50.0, f2 in 0.0f64..50.0) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(f_sf(hi, d1, d2) <= f_sf(lo, d1, d2) + 1e-9);
+    }
+
+    #[test]
+    fn median_is_the_half_quantile(xs in arb_sample(1)) {
+        prop_assert_eq!(median(&xs).unwrap(), quantile(&xs, 0.5).unwrap());
+    }
+}

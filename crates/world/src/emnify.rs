@@ -1,0 +1,149 @@
+//! The §4.3.1 methodology-validation scenario.
+//!
+//! The authors validated their breakout-geolocation inference against
+//! **emnify**, a thick operator "whose internal setup we could confirm":
+//! an emnify eSIM in London (O2 UK as v-MNO), 219 traceroutes to Google,
+//! YouTube and Facebook, and the methodology's verdict — PGW provider
+//! AS16509 (Amazon) geolocated in Dublin — matched the operator's ground
+//! truth. This module builds that little world so the same check runs here.
+
+use crate::topology::PublicInternet;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use roam_cellular::{
+    BandwidthPolicy, ChannelSampler, Mno, MnoDirectory, Plmn, Rat, SimType,
+};
+use roam_geo::{City, Country};
+use roam_ipx::{
+    attach, AttachParams, DnsMode, IpAssignment, PeeringQuality, PgwProvider, PgwSelection,
+    PgwSite, ProviderDirectory, RoamingArch,
+};
+use roam_measure::Endpoint;
+use roam_netsim::registry::well_known;
+use roam_netsim::{Ipv4Net, Network};
+
+/// The built validation scenario.
+#[derive(Debug)]
+pub struct EmnifyScenario {
+    /// The network.
+    pub net: Network,
+    /// The emnify eSIM endpoint in London.
+    pub endpoint: Endpoint,
+    /// Service targets for the traceroutes.
+    pub internet: PublicInternet,
+    /// Ground truth: the ASN the methodology must find.
+    pub truth_asn: roam_netsim::Asn,
+    /// Ground truth: the breakout city.
+    pub truth_city: City,
+}
+
+impl EmnifyScenario {
+    /// Build the scenario.
+    #[must_use]
+    pub fn build(seed: u64) -> EmnifyScenario {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = Network::new(seed ^ 0x656d_6e69); // "emni"
+
+        let mut mnos = MnoDirectory::new();
+        let o2 = mnos.add(Mno {
+            name: "O2 UK".into(),
+            country: Country::GBR,
+            plmn: Plmn::new(234, 10, 2),
+            asn: roam_netsim::Asn(5089),
+            parent: None,
+            native_policy: BandwidthPolicy::new(40.0, 15.0),
+            roamer_policy: BandwidthPolicy::new(18.0, 8.0),
+            youtube_cap_mbps: None,
+            access_loss: 0.001,
+        });
+        let emnify = mnos.add(Mno {
+            name: "emnify".into(),
+            country: Country::DEU,
+            plmn: Plmn::new(901, 43, 2),
+            asn: roam_netsim::Asn(65010),
+            parent: None,
+            native_policy: BandwidthPolicy::new(20.0, 10.0),
+            roamer_policy: BandwidthPolicy::new(20.0, 10.0),
+            youtube_cap_mbps: None,
+            access_loss: 0.001,
+        });
+
+        // emnify's breakout: AWS Dublin, AS16509.
+        let aws_prefix = Ipv4Net::parse("54.170.10.0/24").expect("static prefix");
+        net.registry_mut().register(aws_prefix, well_known::AMAZON, "Amazon.com, Inc.",
+                                    City::Dublin);
+        let mut providers = ProviderDirectory::new();
+        let aws = providers.add(PgwProvider {
+            name: "Amazon.com, Inc.".into(),
+            asn: well_known::AMAZON,
+            sites: vec![PgwSite::new(City::Dublin, aws_prefix, 4)],
+            selection: PgwSelection::Fixed(0),
+            ip_assignment: IpAssignment::Pooled,
+            private_hops: (4, 5),
+            cgnat_icmp_responds: true,
+        });
+
+        let mut internet =
+            PublicInternet::build(&mut net, &[City::London, City::Dublin], &mut rng);
+
+        let params = AttachParams {
+            session_id: 0,
+            ue_city: City::London,
+            v_mno: o2,
+            b_mno: emnify,
+            arch: RoamingArch::IpxHubBreakout,
+            provider: aws,
+            dns: DnsMode::GooglePublic { doh: false },
+            rat: Rat::Lte,
+            imsi: roam_cellular::Imsi::new(Plmn::new(901, 43, 2), 12_345),
+        };
+        let peering = PeeringQuality::with_default(1.7);
+        let att = attach(&mut net, &providers, &mnos, &peering, &params, &mut rng);
+        internet.connect_breakout(&mut net, &att, &[], &mut rng);
+
+        let endpoint = Endpoint {
+            att,
+            sim_type: SimType::Esim,
+            country: Country::GBR,
+            label: "GBR emnify eSIM".into(),
+            policy_down_mbps: 18.0,
+            policy_up_mbps: 8.0,
+            youtube_cap_mbps: None,
+            loss: 0.001,
+            channel: ChannelSampler::default(),
+        };
+
+        EmnifyScenario {
+            net,
+            endpoint,
+            internet,
+            truth_asn: well_known::AMAZON,
+            truth_city: City::Dublin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roam_measure::{mtr, Service};
+
+    #[test]
+    fn methodology_recovers_the_ground_truth() {
+        let mut s = EmnifyScenario::build(11);
+        for svc in [Service::Google, Service::YouTube, Service::Facebook] {
+            let out = mtr(&mut s.net, &s.endpoint, &s.internet.targets, svc)
+                .expect("edges exist in Dublin");
+            assert!(out.analysis.reached, "{svc:?}");
+            assert_eq!(out.analysis.pgw_asn, Some(s.truth_asn), "{svc:?}");
+            assert_eq!(out.analysis.pgw_city, Some(s.truth_city), "{svc:?}");
+        }
+    }
+
+    #[test]
+    fn breakout_is_in_dublin() {
+        let s = EmnifyScenario::build(12);
+        assert_eq!(s.endpoint.att.breakout_city, City::Dublin);
+        assert!(s.endpoint.att.tunnel_km < 600.0, "London→Dublin is short");
+    }
+}

@@ -1,0 +1,33 @@
+//! The calibrated world of the paper.
+//!
+//! Everything the two measurement campaigns ran against, assembled from the
+//! substrate crates and calibrated to the paper's published observations:
+//!
+//! * [`operators`] — the operator census: Airalo's six roaming b-MNOs and
+//!   three native partners (Table 2, §4.1), the v-MNOs of all 24 measured
+//!   countries, and the local physical-SIM operators of the device
+//!   campaign, each with calibrated bandwidth policies;
+//! * [`gateways`] — the PGW providers: Singtel's home gateway (HR), Packet
+//!   Host, OVH, Wireless Logic and Webbing (IHBO), plus every operator's
+//!   own gateway for native/physical breakout, with address pools
+//!   registered in the IP registry;
+//! * [`topology`] — the public internet: per-city service-provider edges
+//!   (Google/Facebook/YouTube/Ookla/fast.com/five CDNs), Google DNS anycast
+//!   sites, CDN origins and an IX mesh;
+//! * [`world`] — [`world::World`]: buys eSIMs from the Airalo-model
+//!   marketplace, attaches SIMs/eSIMs, and exposes the campaign
+//!   configuration tables (Tables 3 and 4 sample counts);
+//! * [`emnify`] — the §4.3.1 methodology-validation scenario (emnify eSIM
+//!   in London, O2 as v-MNO, breakout at AWS Dublin).
+
+pub mod emnify;
+pub mod gateways;
+pub mod operators;
+pub mod topology;
+pub mod world;
+
+pub use emnify::EmnifyScenario;
+pub use gateways::Gateways;
+pub use operators::Operators;
+pub use topology::PublicInternet;
+pub use world::{CountryPlan, DeviceCountrySpec, WebCountrySpec, World};

@@ -1,0 +1,203 @@
+//! The operator census.
+//!
+//! Policies are calibrated to §5.1's numbers where the paper gives them
+//! (physical-SIM averages of 7.9 Mbps in Pakistan, 8.3 in the UAE, 13.6 in
+//! Germany, 137.2 in Saudi Arabia; eSIM 5G means of 11.2 in Spain, 31.7 in
+//! Georgia, 22.7 in Germany) and to plausible values elsewhere. The
+//! structural facts come from Table 2 and §4.1: six b-MNOs provision the
+//! 21 roaming eSIMs, three local operators provide native eSIMs, and the
+//! Korean physical SIM is an MVNO riding LG U+.
+
+use roam_cellular::{BandwidthPolicy, Mno, MnoDirectory, MnoId, Plmn};
+use roam_geo::Country;
+use roam_netsim::registry::well_known;
+use roam_netsim::Asn;
+use std::collections::HashMap;
+
+/// The built operator directory with name-based lookup.
+#[derive(Debug)]
+pub struct Operators {
+    /// The directory proper.
+    pub dir: MnoDirectory,
+    ids: HashMap<String, MnoId>,
+}
+
+impl Operators {
+    /// Operator id by name. Panics on unknown names: the scenario tables
+    /// are static, so a miss is a construction bug.
+    #[must_use]
+    pub fn id(&self, name: &str) -> MnoId {
+        *self.ids.get(name).unwrap_or_else(|| panic!("unknown operator {name}"))
+    }
+
+    /// Does the census contain `name`?
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.ids.contains_key(name)
+    }
+
+    /// Build the full census.
+    #[must_use]
+    pub fn build() -> Operators {
+        let mut ops = Operators { dir: MnoDirectory::new(), ids: HashMap::new() };
+
+        // --- Airalo's six roaming b-MNOs (Table 2) ------------------------
+        // (name, country, plmn, asn, native (d,u), roamer (d,u), yt cap, loss)
+        ops.add("Singtel", Country::SGP, (525, 1), well_known::SINGTEL.0,
+                (100.0, 50.0), (12.0, 6.0), Some(4.5), 0.002, None);
+        ops.add("Play", Country::POL, (260, 6), 12912,
+                (80.0, 30.0), (15.0, 8.0), None, 0.001, None);
+        ops.add("Telna Mobile", Country::USA, (310, 240), 395354,
+                (60.0, 25.0), (15.0, 8.0), None, 0.001, None);
+        ops.add("Telecom Italia", Country::ITA, (222, 1), 3269,
+                (70.0, 30.0), (14.0, 7.0), None, 0.001, None);
+        ops.add("Orange", Country::FRA, (208, 1), 3215,
+                (90.0, 40.0), (16.0, 8.0), None, 0.001, None);
+        ops.add("Polkomtel", Country::POL, (260, 1), 8374,
+                (70.0, 25.0), (14.0, 7.0), None, 0.001, None);
+
+        // --- native eSIM partners (§4.1) ----------------------------------
+        ops.add("LG U+", Country::KOR, (450, 6), well_known::LG_UPLUS.0,
+                (60.0, 25.0), (20.0, 10.0), None, 0.0005, None);
+        ops.add("Ooredoo Maldives", Country::MDV, (472, 1), 7642,
+                (28.0, 10.0), (10.0, 5.0), None, 0.002, None);
+        ops.add("dtac", Country::THA, (520, 5), well_known::DTAC.0,
+                (25.0, 10.0), (12.0, 6.0), None, 0.002, None);
+
+        // --- device-campaign v-MNOs / physical-SIM operators --------------
+        ops.add("Etisalat", Country::ARE, (424, 2), 8966,
+                (9.0, 6.0), (7.5, 5.0), Some(4.5), 0.002, None);
+        ops.add("Jazz", Country::PAK, (410, 1), well_known::PMCL.0,
+                (8.0, 4.0), (6.5, 2.0), Some(4.5), 0.004, None);
+        ops.add("Magti", Country::GEO, (282, 2), 16010,
+                (45.0, 12.0), (33.0, 3.0), None, 0.001, None);
+        ops.add("Vodafone DE", Country::DEU, (262, 2), 3209,
+                (25.0, 10.0), (24.0, 10.0), None, 0.001, None);
+        ops.add("Movistar", Country::ESP, (214, 7), well_known::TELEFONICA.0,
+                (30.0, 15.0), (11.5, 9.0), None, 0.001, None);
+        ops.add("Ooredoo Qatar", Country::QAT, (427, 1), 8781,
+                (70.0, 25.0), (18.0, 8.0), None, 0.001, None);
+        ops.add("STC", Country::SAU, (420, 1), 25019,
+                (140.0, 30.0), (15.0, 8.0), None, 0.001, None);
+        ops.add("UK Partner", Country::GBR, (234, 30), 12576,
+                (35.0, 12.0), (20.0, 8.0), None, 0.001, None);
+        // The Korean physical SIM: an MVNO riding LG U+, subject to the
+        // parent's traffic differentiation (§4.3.2, §5.1).
+        let parent = ops.id("LG U+");
+        ops.add("U+ UMobile", Country::KOR, (450, 11), well_known::LG_UPLUS.0,
+                (35.0, 15.0), (15.0, 8.0), None, 0.001, Some(parent));
+
+        // --- v-MNOs for the web-only countries -----------------------------
+        for (name, country, plmn, asn) in [
+            ("TIM Italy", Country::ITA, (222, 88), 1267u32),
+            ("China Mobile", Country::CHN, (460, 0), 9808),
+            ("Moldcell", Country::MDA, (259, 2), 31252),
+            ("Orange FR Visited", Country::FRA, (208, 2), 5511),
+            ("Azercell", Country::AZE, (400, 1), 28787),
+            ("Maxis", Country::MYS, (502, 12), 9534),
+            ("Safaricom", Country::KEN, (639, 2), 33771),
+            ("T-Mobile US", Country::USA, (310, 260), 21928),
+            ("Elisa", Country::FIN, (244, 5), 719),
+            ("Vodafone EG", Country::EGY, (602, 2), 24863),
+            ("Turkcell", Country::TUR, (286, 1), 16135),
+            ("Beeline UZ", Country::UZB, (434, 4), 41202),
+            ("NTT Docomo", Country::JPN, (440, 10), 9605),
+        ] {
+            ops.add(name, country, plmn, asn, (45.0, 15.0), (32.0, 12.0), None, 0.002, None);
+        }
+
+        ops
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add(
+        &mut self,
+        name: &str,
+        country: Country,
+        plmn: (u16, u16),
+        asn: u32,
+        native: (f64, f64),
+        roamer: (f64, f64),
+        youtube_cap: Option<f64>,
+        loss: f64,
+        parent: Option<MnoId>,
+    ) {
+        let mnc_digits = if plmn.1 >= 100 { 3 } else { 2 };
+        let id = self.dir.add(Mno {
+            name: name.to_string(),
+            country,
+            plmn: Plmn::new(plmn.0, plmn.1, mnc_digits),
+            asn: Asn(asn),
+            parent,
+            native_policy: BandwidthPolicy::new(native.0, native.1),
+            roamer_policy: BandwidthPolicy::new(roamer.0, roamer.1),
+            youtube_cap_mbps: youtube_cap,
+            access_loss: loss,
+        });
+        self.ids.insert(name.to_string(), id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roam_cellular::SubscriberClass;
+
+    #[test]
+    fn census_contains_the_table2_bmnos() {
+        let ops = Operators::build();
+        for name in ["Singtel", "Play", "Telna Mobile", "Telecom Italia", "Orange", "Polkomtel"] {
+            assert!(ops.contains(name), "missing b-MNO {name}");
+        }
+    }
+
+    #[test]
+    fn native_partners_are_local() {
+        let ops = Operators::build();
+        assert_eq!(ops.dir.get(ops.id("LG U+")).country, Country::KOR);
+        assert_eq!(ops.dir.get(ops.id("Ooredoo Maldives")).country, Country::MDV);
+        assert_eq!(ops.dir.get(ops.id("dtac")).country, Country::THA);
+    }
+
+    #[test]
+    fn korean_physical_sim_is_an_mvno_on_lg_uplus() {
+        let ops = Operators::build();
+        let mvno = ops.dir.get(ops.id("U+ UMobile"));
+        assert_eq!(mvno.parent, Some(ops.id("LG U+")));
+        assert!(mvno.is_mvno());
+    }
+
+    #[test]
+    fn paper_calibrated_policies() {
+        let ops = Operators::build();
+        // Saudi natives are fast, Pakistani natives slow (§5.1).
+        let stc = ops.dir.get(ops.id("STC"));
+        let jazz = ops.dir.get(ops.id("Jazz"));
+        assert!(stc.policy(SubscriberClass::Native).down_mbps > 100.0);
+        assert!(jazz.policy(SubscriberClass::Native).down_mbps < 10.0);
+        // Roamer uplink crushed only in PAK and GEO.
+        let magti = ops.dir.get(ops.id("Magti"));
+        assert!(jazz.policy(SubscriberClass::InboundRoamer).up_mbps <= 2.0);
+        assert!(magti.policy(SubscriberClass::InboundRoamer).up_mbps <= 3.0);
+        let vodafone = ops.dir.get(ops.id("Vodafone DE"));
+        assert!(
+            vodafone.policy(SubscriberClass::InboundRoamer).up_mbps
+                >= vodafone.policy(SubscriberClass::Native).up_mbps * 0.9
+        );
+        // Singtel throttles YouTube (the §5.2 conjecture).
+        assert!(ops.dir.get(ops.id("Singtel")).youtube_cap_mbps.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown operator")]
+    fn unknown_name_panics() {
+        let _ = Operators::build().id("Nonexistent Telecom");
+    }
+
+    #[test]
+    fn all_plmns_are_unique() {
+        // MnoDirectory::add asserts this; building is the test.
+        let ops = Operators::build();
+        assert!(ops.dir.len() >= 30);
+    }
+}

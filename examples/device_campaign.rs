@@ -1,0 +1,106 @@
+//! A scaled-down device campaign: one rooted "phone" per country carrying
+//! both the local physical SIM and the Airalo eSIM, alternating between
+//! them, exactly like §3.2 — then the §5.1 comparison on the results.
+//!
+//! ```sh
+//! cargo run --release --example device_campaign
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use roamsim::geo::Country;
+use roamsim::measure::{run_device_campaign, CampaignData, DeviceCampaignSpec};
+use roamsim::stats::{welch_t_test, Summary};
+use roamsim::world::World;
+
+fn main() {
+    let mut world = World::build(7);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let spec = DeviceCampaignSpec {
+        ookla: (12, 12),
+        mtr_per_target: (6, 6),
+        cdn_per_provider: (4, 4),
+        dns: (8, 8),
+        video: (6, 6),
+    };
+
+    let mut all = CampaignData::default();
+    let countries = [Country::PAK, Country::ARE, Country::DEU, Country::GEO, Country::KOR];
+    for country in countries {
+        let sim = world.attach_physical(country);
+        let esim = world.attach_esim(country);
+        let data = run_device_campaign(
+            &mut world.net,
+            &sim,
+            &esim,
+            &spec,
+            &world.internet.targets,
+            &mut rng,
+        );
+        all.extend(data);
+    }
+
+    println!("{:<6} {:>4}  {:>12} {:>12}  {:>12} {:>12}", "ctry", "kind", "down Mbps",
+             "up Mbps", "latency ms", "n");
+    for country in countries {
+        for sim_type in [roamsim::cellular::SimType::Physical, roamsim::cellular::SimType::Esim] {
+            let rows: Vec<f64> = all
+                .filtered_speedtests()
+                .iter()
+                .filter(|r| r.tag.country == country && r.tag.sim_type == sim_type)
+                .map(|r| r.down_mbps)
+                .collect();
+            let ups: Vec<f64> = all
+                .filtered_speedtests()
+                .iter()
+                .filter(|r| r.tag.country == country && r.tag.sim_type == sim_type)
+                .map(|r| r.up_mbps)
+                .collect();
+            let lats: Vec<f64> = all
+                .speedtests
+                .iter()
+                .filter(|r| r.tag.country == country && r.tag.sim_type == sim_type)
+                .map(|r| r.latency_ms)
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let d = Summary::from(&rows).expect("non-empty");
+            let u = Summary::from(&ups).expect("non-empty");
+            let l = Summary::from(&lats).expect("non-empty");
+            println!(
+                "{:<6} {:>4}  {:>12.1} {:>12.1}  {:>12.1} {:>12}",
+                country.alpha3(),
+                if sim_type == roamsim::cellular::SimType::Esim { "eSIM" } else { "SIM" },
+                d.median,
+                u.median,
+                l.median,
+                d.n
+            );
+        }
+    }
+
+    // The paper's headline test: physical vs eSIM RTT in roaming countries.
+    let sim_rtt: Vec<f64> = all
+        .speedtests
+        .iter()
+        .filter(|r| r.tag.sim_type == roamsim::cellular::SimType::Physical
+                 && r.tag.country != Country::KOR)
+        .map(|r| r.latency_ms)
+        .collect();
+    let esim_rtt: Vec<f64> = all
+        .speedtests
+        .iter()
+        .filter(|r| r.tag.sim_type == roamsim::cellular::SimType::Esim
+                 && r.tag.country != Country::KOR)
+        .map(|r| r.latency_ms)
+        .collect();
+    let t = welch_t_test(&sim_rtt, &esim_rtt).expect("enough samples");
+    println!(
+        "\nWelch t-test, SIM vs eSIM RTT in roaming countries: t = {:.2}, p = {:.2e} \
+         ({}significant)",
+        t.statistic,
+        t.p_value,
+        if t.significant() { "" } else { "not " }
+    );
+}

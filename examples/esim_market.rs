@@ -1,0 +1,66 @@
+//! The economics campaign in miniature (§6): crawl the synthetic eSIM
+//! market from three vantage points, compare providers, and check for
+//! price discrimination.
+//!
+//! ```sh
+//! cargo run --release --example esim_market
+//! ```
+
+use roamsim::econ::{
+    continent_boxplots, local_sim_offers, provider_comparison, Crawler, Market, Vantage,
+};
+
+fn main() {
+    let market = Market::generate(2024);
+    println!(
+        "market: {} providers, {} offers\n",
+        market.provider_count(),
+        market.offers().len()
+    );
+
+    // Fig. 16: continent-level $/GB on the first and last crawl days.
+    for day in [0u32, 107] {
+        let snap = Crawler::new(Vantage::NewJersey).crawl(&market, day);
+        println!("--- Airalo median $/GB by continent, {} ---", snap.date_label());
+        for (continent, b) in continent_boxplots(&snap, market.airalo()) {
+            println!("  {:<14} median {:>5.2}  IQR [{:>5.2}, {:>5.2}]",
+                     continent.name(), b.median, b.q1, b.q3);
+        }
+    }
+
+    // Fig. 17: provider comparison on the May-1 snapshot.
+    let snap = Crawler::new(Vantage::NewJersey).crawl(&market, 76);
+    println!("\n--- provider comparison (2024-05-01 snapshot) ---");
+    for p in provider_comparison(&market, &snap, 60) {
+        println!(
+            "  {:<18} median ${:>5.2}/GB  ({} countries, {:.1}% of offers)",
+            p.name,
+            p.median_per_gb,
+            p.countries,
+            p.offer_share * 100.0
+        );
+    }
+
+    // The dashed line: locally-bought physical SIMs.
+    let locals = local_sim_offers();
+    let per_gb: Vec<f64> = locals.iter().map(|o| o.per_gb()).collect();
+    println!(
+        "\nlocal physical SIMs: median ${:.2}/GB across {} countries \
+         (but higher total outlay: e.g. Spain {} GB for ${:.2})",
+        roamsim::stats::median(&per_gb).expect("non-empty"),
+        locals.len(),
+        locals[0].data_gb,
+        locals[0].total_usd()
+    );
+
+    // No price discrimination across vantage points.
+    let a = Crawler::new(Vantage::Madrid).crawl(&market, 76);
+    let b = Crawler::new(Vantage::AbuDhabi).crawl(&market, 76);
+    let identical = a
+        .records
+        .iter()
+        .zip(&b.records)
+        .all(|(x, y)| x.price_usd == y.price_usd);
+    println!("\nprice discrimination across vantages: {}",
+             if identical { "none observed" } else { "DETECTED (bug!)" });
+}

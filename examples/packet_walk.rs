@@ -1,0 +1,57 @@
+//! Watch a single packet cross the roaming ecosystem, pcap-style.
+//!
+//! Enables the simulator's packet tracing, pings Google from a Home-Routed
+//! eSIM in Pakistan, and prints every hop event — the GTP tunnel to
+//! Singapore shows up as the one enormous time gap.
+//!
+//! ```sh
+//! cargo run --release --example packet_walk
+//! ```
+
+use roamsim::geo::Country;
+use roamsim::measure::Service;
+use roamsim::world::World;
+
+fn main() {
+    let mut world = World::build(99);
+    let esim = world.attach_esim(Country::PAK);
+    let google = world
+        .internet
+        .targets
+        .nearest(&world.net, Service::Google, esim.att.breakout_city)
+        .expect("Google edge exists");
+
+    world.net.enable_tracing();
+    let rtt = world.net.rtt_ms(esim.att.ue, google).expect("reachable");
+    let events = world.net.take_trace();
+
+    println!("one ICMP echo, {} → Google ({} events, RTT {rtt:.1} ms)\n", esim.label,
+             events.len());
+    let mut last_ms = 0.0;
+    for e in &events {
+        let node = world.net.node(e.node);
+        let ms = e.at.as_ms();
+        let gap = ms - last_ms;
+        last_ms = ms;
+        println!(
+            "{:>9.3} ms  (+{:>7.3})  {:<28} {:<16} {}",
+            ms,
+            gap,
+            node.name,
+            node.ip,
+            match e.kind {
+                roamsim::netsim::PacketEventKind::Sent => "sent".to_string(),
+                roamsim::netsim::PacketEventKind::Forwarded { ttl } =>
+                    format!("forwarded, ttl now {ttl}"),
+                roamsim::netsim::PacketEventKind::TtlExpired => "TTL EXPIRED".to_string(),
+                roamsim::netsim::PacketEventKind::Delivered => "delivered".to_string(),
+                roamsim::netsim::PacketEventKind::Dropped => "DROPPED".to_string(),
+            }
+        );
+    }
+    println!(
+        "\nthe big gap is the GTP tunnel: {:.0} km from the SGW to the {} breakout.",
+        esim.att.tunnel_km,
+        esim.att.breakout_city
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: buy an Airalo-style eSIM, attach it abroad, and dissect the
+//! data path the way the paper does.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use roamsim::core::classify_architecture;
+use roamsim::geo::Country;
+use roamsim::measure::{mtr, Service};
+use roamsim::world::World;
+
+fn main() {
+    // The calibrated 24-country world of the paper, fully deterministic.
+    let mut world = World::build(2024);
+
+    for country in [Country::PAK, Country::DEU, Country::THA] {
+        let esim = world.attach_esim(country);
+        println!("=== {} ===", esim.label);
+        println!(
+            "  b-MNO: {:<16} v-MNO: {:<18} architecture: {}",
+            world.plan(country).b_mno,
+            world.plan(country).v_mno,
+            esim.att.arch
+        );
+        println!(
+            "  breakout: {} ({} km from the user), public IP {}",
+            esim.att.breakout_city,
+            esim.att.tunnel_km.round(),
+            esim.att.public_ip
+        );
+
+        // The paper's classification rule: match the public IP's ASN
+        // against the b-MNO's and the v-MNO's.
+        let ip_asn = world.breakout_asn(&esim).expect("registered breakout prefix");
+        let b_asn = world.ops.dir.get(esim.att.b_mno).asn;
+        let v_asn = world.ops.dir.get(esim.att.v_mno).asn;
+        println!(
+            "  classification from ASNs: {} (public {}, b-MNO {}, v-MNO {})",
+            classify_architecture(ip_asn, b_asn, v_asn),
+            ip_asn,
+            b_asn,
+            v_asn
+        );
+
+        // mtr to Google, decomposed at the first public hop.
+        let out = mtr(&mut world.net, &esim, &world.internet.targets, Service::Google)
+            .expect("Google edge exists");
+        let a = &out.analysis;
+        println!(
+            "  traceroute to Google: {} private + {} public hops, PGW {} ({}), \
+             PGW RTT {:.1} ms, total {:.1} ms ({:.0}% private)",
+            a.private_len,
+            a.public_len,
+            a.pgw_ip.map(|ip| ip.to_string()).unwrap_or_else(|| "?".into()),
+            a.pgw_city.map(|c| c.name()).unwrap_or("?"),
+            a.pgw_rtt_ms.unwrap_or(f64::NAN),
+            a.final_rtt_ms.unwrap_or(f64::NAN),
+            a.private_share.unwrap_or(f64::NAN) * 100.0
+        );
+        println!();
+    }
+}

@@ -1,0 +1,75 @@
+//! The §4.2 v-MNO visibility experiment: plant devices with known IMEIs,
+//! recover the IMSI block the b-MNO leases to the aggregator, and compare
+//! the traffic of the three user classes (Fig. 5).
+//!
+//! ```sh
+//! cargo run --release --example vmno_visibility
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use roamsim::core::{
+    infer_class, recover_imsi_ranges, simulate_core_records, CoreRecord, TrafficStats, UserClass,
+    VisibilityExperiment,
+};
+
+fn main() {
+    let exp = VisibilityExperiment::paper_setup();
+    let mut rng = SmallRng::seed_from_u64(31337);
+    let (records, planted) = simulate_core_records(&exp, &mut rng);
+    println!(
+        "v-MNO core: {} subscriber-days ({} natives, {} roamers, {} aggregator users), \
+         {} planted devices",
+        records.len(),
+        exp.n_native,
+        exp.n_roamers,
+        exp.n_aggregator,
+        planted.len()
+    );
+
+    // Step 1: look up the planted IMEIs, pattern-match the IMSI block.
+    let ranges = recover_imsi_ranges(&records, &planted);
+    for r in &ranges {
+        println!(
+            "recovered leased range: PLMN {} MSIN [{}, {}) ({} identities)",
+            r.plmn,
+            r.start,
+            r.start + r.len,
+            r.len
+        );
+    }
+
+    // Step 2: classify everyone with the recovered ranges and compare.
+    let stats_for = |class: UserClass| -> TrafficStats {
+        let rs: Vec<&CoreRecord> = records
+            .iter()
+            .filter(|r| infer_class(r, exp.bmno_plmn, &ranges) == class)
+            .collect();
+        TrafficStats::from_records(&rs).expect("class populated")
+    };
+    println!("\n{:<22} {:>14} {:>18} {:>8}", "inferred class", "median MB/day",
+             "median sig MB/day", "days");
+    for (name, class) in [
+        ("native", UserClass::Native),
+        ("Play roamer", UserClass::BmnoRoamer),
+        ("Airalo (recovered)", UserClass::AggregatorUser),
+    ] {
+        let s = stats_for(class);
+        println!("{:<22} {:>14.1} {:>18.2} {:>8}", name, s.median_data_mb,
+                 s.median_signalling_mb, s.n);
+    }
+
+    // Step 3: validate against ground truth.
+    let correct = records
+        .iter()
+        .filter(|r| infer_class(r, exp.bmno_plmn, &ranges) == r.truth)
+        .count();
+    println!(
+        "\nrecovery accuracy vs ground truth: {:.2}%",
+        correct as f64 / records.len() as f64 * 100.0
+    );
+    println!(
+        "takeaway: the recovered Airalo users consume like natives (data) but sign \
+         slightly more — invisible inside the b-MNO's inbound-roamer bucket otherwise."
+    );
+}

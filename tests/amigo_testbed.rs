@@ -1,0 +1,106 @@
+//! Integration: the AmiGo-style testbed drives the device campaign the way
+//! §3.2 describes — MEs poll a control server, alternate SIM slots, report
+//! vitals, and hit the operational frictions (battery, Ookla rate limits)
+//! that shaped Table 4's counts.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use roamsim::cellular::SimType;
+use roamsim::geo::Country;
+use roamsim::measure::{
+    CampaignData, ControlServer, Instrumentation, MeasurementEndpoint, SkipReason,
+};
+use roamsim::world::World;
+
+fn setup(seed: u64, ookla_limit: u32) -> (World, MeasurementEndpoint, ControlServer) {
+    let mut world = World::build(seed);
+    let sim = world.attach_physical(Country::PAK);
+    let esim = world.attach_esim(Country::PAK);
+    let me = MeasurementEndpoint::new(1, sim, esim);
+    let server = ControlServer::new(ookla_limit);
+    (world, me, server)
+}
+
+#[test]
+fn day_plan_produces_records_on_both_slots() {
+    let (mut world, mut me, mut server) = setup(21, 100);
+    let mut rng = SmallRng::seed_from_u64(21);
+    let mut data = CampaignData::default();
+    server.push_day_plan(me.id, 2);
+    me.run_to_completion(&mut server, &mut world.net, &world.internet.targets, &mut data,
+                         &mut rng);
+
+    for t in [SimType::Physical, SimType::Esim] {
+        assert_eq!(
+            data.speedtests.iter().filter(|r| r.tag.sim_type == t).count(),
+            2,
+            "{t:?} speedtests"
+        );
+        assert_eq!(data.traces.iter().filter(|r| r.tag.sim_type == t).count(), 6);
+        assert_eq!(data.cdns.iter().filter(|r| r.tag.sim_type == t).count(), 10);
+        assert_eq!(data.dns.iter().filter(|r| r.tag.sim_type == t).count(), 2);
+        assert_eq!(data.videos.iter().filter(|r| r.tag.sim_type == t).count(), 2);
+    }
+    // Vitals were reported along the way.
+    let v = server.vitals_of(me.id).expect("status posted");
+    assert!(v.connected);
+    assert!((1..=15).contains(&v.cqi));
+    // The day plan ends with a charge instruction.
+    assert!((99.0..=100.0).contains(&me.battery()) || me.battery() > 90.0,
+            "charged at end of plan: {}", me.battery());
+}
+
+#[test]
+fn battery_floor_skips_work() {
+    let (mut world, mut me, mut server) = setup(22, 100);
+    let mut rng = SmallRng::seed_from_u64(22);
+    let mut data = CampaignData::default();
+    // 12 rounds of the full suite drains well past the floor without a
+    // charge instruction in between.
+    for _ in 0..12 {
+        server.push_job(me.id, Instrumentation::Speedtest);
+        server.push_job(me.id, Instrumentation::Video);
+        for _ in 0..10 {
+            server.push_job(me.id, Instrumentation::Speedtest);
+        }
+    }
+    me.run_to_completion(&mut server, &mut world.net, &world.internet.targets, &mut data,
+                         &mut rng);
+    assert!(me.battery() <= me.battery_floor + 5.0, "drained: {}", me.battery());
+    assert!(
+        server.skips().iter().any(|(_, _, why)| *why == SkipReason::LowBattery),
+        "low-battery skips must be recorded"
+    );
+}
+
+#[test]
+fn ookla_rate_limit_bites_shared_addresses() {
+    // A tight per-IP allowance: the eSIM's pooled breakout addresses rotate
+    // across attachments, but a single attachment's speedtests all come
+    // from one public IP and trip the limiter — the §A.3 failure mode.
+    let (mut world, mut me, mut server) = setup(23, 3);
+    let mut rng = SmallRng::seed_from_u64(23);
+    let mut data = CampaignData::default();
+    for _ in 0..8 {
+        server.push_job(me.id, Instrumentation::Speedtest);
+    }
+    me.run_to_completion(&mut server, &mut world.net, &world.internet.targets, &mut data,
+                         &mut rng);
+    let limited = server
+        .skips()
+        .iter()
+        .filter(|(_, _, why)| *why == SkipReason::RateLimited)
+        .count();
+    assert_eq!(data.speedtests.len(), 3, "allowance consumed");
+    assert_eq!(limited, 5, "the rest rejected");
+}
+
+#[test]
+fn polling_an_empty_queue_returns_none() {
+    let (mut world, mut me, mut server) = setup(24, 10);
+    let mut rng = SmallRng::seed_from_u64(24);
+    let mut data = CampaignData::default();
+    assert!(me
+        .poll(&mut server, &mut world.net, &world.internet.targets, &mut data, &mut rng)
+        .is_none());
+}
