@@ -15,8 +15,10 @@ use roam_world::World;
 fn main() {
     let mut world = World::build(2024);
     println!("ablation — deployed breakout vs counterfactual LBO (RTT to Google, ms)\n");
-    println!("{:<8} {:>8} {:>10} {:>10} {:>9}", "country", "deployed", "RTT", "LBO RTT",
-             "saving");
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>9}",
+        "country", "deployed", "RTT", "LBO RTT", "saving"
+    );
 
     let mut savings = Vec::new();
     for country in world.measured_countries() {
@@ -25,18 +27,31 @@ fn main() {
         if !deployed.att.arch.is_roaming() {
             continue; // native eSIMs already break out locally
         }
-        let deployed_rtt = mtr(&mut world.net, &deployed, &world.internet.targets,
-                               Service::Google)
-            .and_then(|o| o.analysis.final_rtt_ms)
-            .expect("Google reachable");
+        let deployed_rtt = mtr(
+            &mut world.net,
+            &deployed,
+            &world.internet.targets,
+            Service::Google,
+        )
+        .and_then(|o| o.analysis.final_rtt_ms)
+        .expect("Google reachable");
 
         let vmno = world.ops.id(plan.v_mno);
         let local_gw = world.gateways.own_gateway(vmno);
-        let lbo = world.attach_esim_with(country, RoamingArch::LocalBreakout, local_gw,
-                                         DnsMode::OperatorResolver);
-        let lbo_rtt = mtr(&mut world.net, &lbo, &world.internet.targets, Service::Google)
-            .and_then(|o| o.analysis.final_rtt_ms)
-            .expect("Google reachable");
+        let lbo = world.attach_esim_with(
+            country,
+            RoamingArch::LocalBreakout,
+            local_gw,
+            DnsMode::OperatorResolver,
+        );
+        let lbo_rtt = mtr(
+            &mut world.net,
+            &lbo,
+            &world.internet.targets,
+            Service::Google,
+        )
+        .and_then(|o| o.analysis.final_rtt_ms)
+        .expect("Google reachable");
 
         let saving = (1.0 - lbo_rtt / deployed_rtt) * 100.0;
         savings.push((deployed.att.arch, saving));
@@ -51,11 +66,17 @@ fn main() {
     }
 
     let mean = |arch: RoamingArch| -> f64 {
-        let v: Vec<f64> =
-            savings.iter().filter(|(a, _)| *a == arch).map(|(_, s)| *s).collect();
+        let v: Vec<f64> = savings
+            .iter()
+            .filter(|(a, _)| *a == arch)
+            .map(|(_, s)| *s)
+            .collect();
         v.iter().sum::<f64>() / v.len().max(1) as f64
     };
-    println!("\nmean RTT saving from LBO: over HR {:.0}%, over IHBO {:.0}%",
-             mean(RoamingArch::HomeRouted), mean(RoamingArch::IpxHubBreakout));
+    println!(
+        "\nmean RTT saving from LBO: over HR {:.0}%, over IHBO {:.0}%",
+        mean(RoamingArch::HomeRouted),
+        mean(RoamingArch::IpxHubBreakout)
+    );
     println!("(the gap the trust problem — roamer records and charging — costs users)");
 }

@@ -17,8 +17,10 @@ use roam_world::World;
 fn main() {
     let mut world = World::build(2024);
     println!("ablation — static (deployed) vs dynamic nearest-hub PGW selection\n");
-    println!("{:<8} {:>12} {:>9} {:>13} {:>9} {:>9}", "country", "deployed@",
-             "RTT ms", "nearest hub@", "RTT ms", "saving");
+    println!(
+        "{:<8} {:>12} {:>9} {:>13} {:>9} {:>9}",
+        "country", "deployed@", "RTT ms", "nearest hub@", "RTT ms", "saving"
+    );
 
     // The third-party hub sites available to a dynamic selector.
     let hubs: Vec<(PgwProviderId, City)> = [
@@ -30,7 +32,14 @@ fn main() {
     ]
     .iter()
     .flat_map(|pid| {
-        world.gateways.dir.get(*pid).sites.iter().map(|s| (*pid, s.city)).collect::<Vec<_>>()
+        world
+            .gateways
+            .dir
+            .get(*pid)
+            .sites
+            .iter()
+            .map(|s| (*pid, s.city))
+            .collect::<Vec<_>>()
     })
     .collect();
 
@@ -40,10 +49,14 @@ fn main() {
         if deployed.att.arch != RoamingArch::IpxHubBreakout {
             continue;
         }
-        let rtt_deployed = mtr(&mut world.net, &deployed, &world.internet.targets,
-                               Service::Google)
-            .and_then(|o| o.analysis.final_rtt_ms)
-            .expect("Google reachable");
+        let rtt_deployed = mtr(
+            &mut world.net,
+            &deployed,
+            &world.internet.targets,
+            Service::Google,
+        )
+        .and_then(|o| o.analysis.final_rtt_ms)
+        .expect("Google reachable");
 
         // Dynamic selection: nearest hub site to the user.
         let user = City::sgw_city_for(country).expect("measured").location();
@@ -56,12 +69,20 @@ fn main() {
             })
             .copied()
             .expect("hub list non-empty");
-        let dynamic = world.attach_esim_with(country, RoamingArch::IpxHubBreakout, best_pid,
-                                             DnsMode::GooglePublic { doh: true });
-        let rtt_dynamic = mtr(&mut world.net, &dynamic, &world.internet.targets,
-                              Service::Google)
-            .and_then(|o| o.analysis.final_rtt_ms)
-            .expect("Google reachable");
+        let dynamic = world.attach_esim_with(
+            country,
+            RoamingArch::IpxHubBreakout,
+            best_pid,
+            DnsMode::GooglePublic { doh: true },
+        );
+        let rtt_dynamic = mtr(
+            &mut world.net,
+            &dynamic,
+            &world.internet.targets,
+            Service::Google,
+        )
+        .and_then(|o| o.analysis.final_rtt_ms)
+        .expect("Google reachable");
 
         let saving = (1.0 - rtt_dynamic / rtt_deployed) * 100.0;
         savings.push(saving);

@@ -19,21 +19,37 @@ fn main() {
     let mut mnos = MnoDirectory::new();
     let policy = BandwidthPolicy::new(30.0, 10.0);
     let bmno = mnos.add(Mno {
-        name: "Play".into(), country: Country::POL, plmn: Plmn::new(260, 6, 2),
-        asn: Asn(12912), parent: None, native_policy: policy, roamer_policy: policy,
-        youtube_cap_mbps: None, access_loss: 0.001,
+        name: "Play".into(),
+        country: Country::POL,
+        plmn: Plmn::new(260, 6, 2),
+        asn: Asn(12912),
+        parent: None,
+        native_policy: policy,
+        roamer_policy: policy,
+        youtube_cap_mbps: None,
+        access_loss: 0.001,
     });
     let vmno = mnos.add(Mno {
-        name: "TIM".into(), country: Country::ITA, plmn: Plmn::new(222, 1, 2),
-        asn: Asn(3269), parent: None, native_policy: policy, roamer_policy: policy,
-        youtube_cap_mbps: None, access_loss: 0.001,
+        name: "TIM".into(),
+        country: Country::ITA,
+        plmn: Plmn::new(222, 1, 2),
+        asn: Asn(3269),
+        parent: None,
+        native_policy: policy,
+        roamer_policy: policy,
+        youtube_cap_mbps: None,
+        access_loss: 0.001,
     });
 
     let mut providers = ProviderDirectory::new();
     let mk = |name: &str, asn: u32, city: City, prefix: &str| PgwProvider {
         name: name.into(),
         asn: Asn(asn),
-        sites: vec![PgwSite::new(city, Ipv4Net::parse(prefix).expect("static"), 4)],
+        sites: vec![PgwSite::new(
+            city,
+            Ipv4Net::parse(prefix).expect("static"),
+            4,
+        )],
         selection: PgwSelection::Fixed(0),
         ip_assignment: IpAssignment::Pooled,
         private_hops: (3, 3),
@@ -56,7 +72,8 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(2);
         for (p, prov) in providers.iter() {
             let site = &prov.sites[0];
-            net.registry_mut().register(site.prefix, prov.asn, &prov.name, site.city);
+            net.registry_mut()
+                .register(site.prefix, prov.asn, &prov.name, site.city);
             let _ = p;
         }
         let att = attach(
@@ -78,8 +95,12 @@ fn main() {
             &mut rng,
         );
         // A nearby edge server behind the breakout.
-        let edge = net.add_node("edge", NodeKind::SpEdge, att.breakout_city,
-                                "142.250.250.1".parse().expect("static"));
+        let edge = net.add_node(
+            "edge",
+            NodeKind::SpEdge,
+            att.breakout_city,
+            "142.250.250.1".parse().expect("static"),
+        );
         net.link_geo(att.cgnat, edge, LinkClass::Peering);
         let rtt = net.rtt_ms(att.ue, edge).expect("connected");
         let info = net.registry().lookup(att.public_ip).expect("registered");

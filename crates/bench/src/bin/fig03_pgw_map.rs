@@ -29,13 +29,20 @@ fn main() {
             format!("{} ({})", row.b_mno.0, row.b_mno.1.alpha3()),
             provs.join(", "),
             row.tunnel_km,
-            if row.arch == RoamingArch::HomeRouted { "solid" } else { "dashed" },
+            if row.arch == RoamingArch::HomeRouted {
+                "solid"
+            } else {
+                "dashed"
+            },
             row.arch.label()
         );
         total_km += row.tunnel_km;
         n += 1;
     }
-    println!("\n{n} roaming eSIMs, mean GTP tunnel length {:.0} km", total_km / f64::from(n));
+    println!(
+        "\n{n} roaming eSIMs, mean GTP tunnel length {:.0} km",
+        total_km / f64::from(n)
+    );
     let (far, total) = report.suboptimal_breakouts();
     println!("IHBO tunnels longer than the b-MNO distance: {far}/{total} (paper: 8/16)");
 }

@@ -12,8 +12,10 @@ use roam_world::World;
 fn main() {
     let mut world = World::build(2024);
     println!("Figure 4 — eSIMs breaking out via Packet Host (AS54825)\n");
-    println!("{:<9} {:<14} {:<14} {:>10} {:>14}", "visited", "b-MNO", "PGW site",
-             "tunnel km", "vs AMS km");
+    println!(
+        "{:<9} {:<14} {:<14} {:>10} {:>14}",
+        "visited", "b-MNO", "PGW site", "tunnel km", "vs AMS km"
+    );
 
     let mut rows = Vec::new();
     for country in world.measured_countries() {

@@ -16,12 +16,19 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(2024);
     let (records, planted) = simulate_core_records(&exp, &mut rng);
     let ranges = recover_imsi_ranges(&records, &planted);
-    assert!(!ranges.is_empty(), "IMSI recovery must find the leased block");
+    assert!(
+        !ranges.is_empty(),
+        "IMSI recovery must find the leased block"
+    );
 
-    println!("Figure 5 — traffic by inferred class (April-scale month, {} user-days)\n",
-             records.len());
-    println!("{:<22} {:>14} {:>14} {:>16} {:>16}", "class", "med MB/day", "mean MB/day",
-             "med sig MB/day", "mean sig MB/day");
+    println!(
+        "Figure 5 — traffic by inferred class (April-scale month, {} user-days)\n",
+        records.len()
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>16} {:>16}",
+        "class", "med MB/day", "mean MB/day", "med sig MB/day", "mean sig MB/day"
+    );
     let mut rows = Vec::new();
     for (name, class) in [
         ("native", UserClass::Native),
@@ -33,8 +40,10 @@ fn main() {
             .filter(|r| infer_class(r, exp.bmno_plmn, &ranges) == class)
             .collect();
         let s = TrafficStats::from_records(&rs).expect("populated class");
-        println!("{:<22} {:>14.1} {:>14.1} {:>16.2} {:>16.2}", name, s.median_data_mb,
-                 s.mean_data_mb, s.median_signalling_mb, s.mean_signalling_mb);
+        println!(
+            "{:<22} {:>14.1} {:>14.1} {:>16.2} {:>16.2}",
+            name, s.median_data_mb, s.mean_data_mb, s.median_signalling_mb, s.mean_signalling_mb
+        );
         rows.push((name, s));
     }
 

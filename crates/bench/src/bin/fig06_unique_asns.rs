@@ -22,15 +22,19 @@ fn main() {
                     .data
                     .traces
                     .iter()
-                    .filter(|r| r.tag.country == spec.country
-                             && r.tag.sim_type == t
-                             && r.service == service)
+                    .filter(|r| {
+                        r.tag.country == spec.country && r.tag.sim_type == t && r.service == service
+                    })
                     .map(|r| r.analysis.unique_public_asns as f64)
                     .collect();
                 median(&v).unwrap_or(f64::NAN)
             };
-            println!("{:<12} {:>10.1} {:>10.1}", spec.country.alpha3(),
-                     med(SimType::Physical), med(SimType::Esim));
+            println!(
+                "{:<12} {:>10.1} {:>10.1}",
+                spec.country.alpha3(),
+                med(SimType::Physical),
+                med(SimType::Esim)
+            );
         }
         println!();
     }

@@ -14,19 +14,27 @@ fn main() {
     let run = run_device(2024, 0.3);
 
     println!("Figure 7 — private path length (hops before the first public IP)\n");
-    println!("{:<22} {:>7} {:>24} {:>7}", "", "lo", "[q1 median q3]", "hi");
+    println!(
+        "{:<22} {:>7} {:>24} {:>7}",
+        "", "lo", "[q1 median q3]", "hi"
+    );
     for spec in roam_world::World::device_campaign_specs() {
         for (label, t) in [("SIM", SimType::Physical), ("eSIM", SimType::Esim)] {
             let v: Vec<f64> = run
                 .data
                 .traces
                 .iter()
-                .filter(|r| r.tag.country == spec.country
-                         && r.tag.sim_type == t
-                         && r.service == Service::Google)
+                .filter(|r| {
+                    r.tag.country == spec.country
+                        && r.tag.sim_type == t
+                        && r.service == Service::Google
+                })
                 .map(|r| r.analysis.private_len as f64)
                 .collect();
-            println!("{}", boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v));
+            println!(
+                "{}",
+                boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v)
+            );
         }
     }
     println!("\npaper anchors: PAK 4 (SIM) vs 8 (eSIM), KOR eSIM 7, THA 4–10 both.");

@@ -27,8 +27,11 @@ fn main() {
         for (x, f) in cdf.points(9) {
             println!("  {:>7.1} ms  F={:.2}", x, f);
         }
-        println!("  median {:.0} ms, share >150 ms: {:.0}%\n",
-                 cdf.inverse(0.5), cdf.frac_above(150.0) * 100.0);
+        println!(
+            "  median {:.0} ms, share >150 ms: {:.0}%\n",
+            cdf.inverse(0.5),
+            cdf.frac_above(150.0) * 100.0
+        );
     }
     println!("paper shape: ARE < PAK everywhere on the CDF despite the longer");
     println!("geodesic; both entirely above 150 ms.");

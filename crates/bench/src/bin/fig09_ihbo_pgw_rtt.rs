@@ -16,18 +16,24 @@ fn main() {
     let run = run_device(2024, 0.5);
 
     println!("Figure 9 — PGW RTT by provider for Play IHBO eSIMs\n");
-    println!("{:<6} {:<12} {:>7} {:>9} {:>9} {:>9} {:>6}", "ctry", "provider", "n",
-             "median", "p75", "p95", "hops");
+    println!(
+        "{:<6} {:<12} {:>7} {:>9} {:>9} {:>9} {:>6}",
+        "ctry", "provider", "n", "median", "p75", "p95", "hops"
+    );
     for country in [Country::GEO, Country::DEU, Country::ESP] {
-        for (label, asn) in [("OS (OVH)", well_known::OVH), ("PH (PacketHost)",
-                              well_known::PACKET_HOST)] {
+        for (label, asn) in [
+            ("OS (OVH)", well_known::OVH),
+            ("PH (PacketHost)", well_known::PACKET_HOST),
+        ] {
             let rows: Vec<&roam_measure::TraceRecord> = run
                 .data
                 .traces
                 .iter()
-                .filter(|r| r.tag.country == country
-                         && r.tag.sim_type == SimType::Esim
-                         && r.analysis.pgw_asn == Some(asn))
+                .filter(|r| {
+                    r.tag.country == country
+                        && r.tag.sim_type == SimType::Esim
+                        && r.analysis.pgw_asn == Some(asn)
+                })
                 .collect();
             let rtts: Vec<f64> = rows.iter().filter_map(|r| r.analysis.pgw_rtt_ms).collect();
             let hops: Vec<f64> = rows.iter().map(|r| r.analysis.private_len as f64).collect();
@@ -58,21 +64,24 @@ fn main() {
     let mut misaligned = 0;
     let mut total = 0;
     for country in [Country::GEO, Country::DEU, Country::ESP] {
-        let user = roam_geo::City::sgw_city_for(country).expect("measured").location();
+        let user = roam_geo::City::sgw_city_for(country)
+            .expect("measured")
+            .location();
         let med = |asn| {
             let v: Vec<f64> = run
                 .data
                 .traces
                 .iter()
-                .filter(|r| r.tag.country == country
-                         && r.tag.sim_type == SimType::Esim
-                         && r.analysis.pgw_asn == Some(asn))
+                .filter(|r| {
+                    r.tag.country == country
+                        && r.tag.sim_type == SimType::Esim
+                        && r.analysis.pgw_asn == Some(asn)
+                })
                 .filter_map(|r| r.analysis.pgw_rtt_ms)
                 .collect();
             roam_stats::median(&v).ok()
         };
-        let (Some(ovh_rtt), Some(ph_rtt)) =
-            (med(well_known::OVH), med(well_known::PACKET_HOST))
+        let (Some(ovh_rtt), Some(ph_rtt)) = (med(well_known::OVH), med(well_known::PACKET_HOST))
         else {
             continue;
         };

@@ -20,12 +20,15 @@ fn main() {
                     .data
                     .traces
                     .iter()
-                    .filter(|r| r.tag.country == spec.country
-                             && r.tag.sim_type == t
-                             && r.service == service)
+                    .filter(|r| {
+                        r.tag.country == spec.country && r.tag.sim_type == t && r.service == service
+                    })
                     .map(|r| r.analysis.public_len as f64)
                     .collect();
-                println!("{}", boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v));
+                println!(
+                    "{}",
+                    boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v)
+                );
             }
         }
         println!();

@@ -23,9 +23,9 @@ fn main() {
                     .data
                     .traces
                     .iter()
-                    .filter(|r| r.tag.country == spec.country
-                             && r.tag.sim_type == t
-                             && r.service == service)
+                    .filter(|r| {
+                        r.tag.country == spec.country && r.tag.sim_type == t && r.service == service
+                    })
                     .filter_map(|r| r.analysis.final_rtt_ms)
                     .collect();
                 let rat = run
@@ -35,8 +35,10 @@ fn main() {
                     .find(|r| r.tag.country == spec.country && r.tag.sim_type == t)
                     .map(|r| r.tag.rat.to_string())
                     .unwrap_or_default();
-                println!("{}", boxplot_row(
-                    &format!("{} {label} ({rat})", spec.country.alpha3()), &v));
+                println!(
+                    "{}",
+                    boxplot_row(&format!("{} {label} ({rat})", spec.country.alpha3()), &v)
+                );
             }
         }
         println!();
@@ -52,7 +54,10 @@ fn main() {
                 .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
                 .map(|r| r.latency_ms)
                 .collect();
-            println!("{}", boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v));
+            println!(
+                "{}",
+                boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v)
+            );
         }
     }
 
@@ -78,8 +83,9 @@ fn main() {
             .iter()
             .map(|s| s.country)
             .filter(|c| {
-                run.data.traces.iter().any(|r| r.tag.country == *c
-                    && r.tag.sim_type == SimType::Esim && r.tag.arch == arch)
+                run.data.traces.iter().any(|r| {
+                    r.tag.country == *c && r.tag.sim_type == SimType::Esim && r.tag.arch == arch
+                })
             })
             .collect();
         let pool = |t: SimType| -> Vec<f64> {
@@ -96,8 +102,14 @@ fn main() {
     };
     println!("\nlatency inflation of roaming eSIMs over the native (physical) setup");
     println!("(pooled across measurements in the same countries):");
-    println!("  HR:   +{:.0}% (paper: ~+621%)", pooled_increase(RoamingArch::HomeRouted));
-    println!("  IHBO: +{:.0}% (paper: ~+64%)", pooled_increase(RoamingArch::IpxHubBreakout));
+    println!(
+        "  HR:   +{:.0}% (paper: ~+621%)",
+        pooled_increase(RoamingArch::HomeRouted)
+    );
+    println!(
+        "  IHBO: +{:.0}% (paper: ~+64%)",
+        pooled_increase(RoamingArch::IpxHubBreakout)
+    );
     print!("per-country medians:");
     for spec in roam_world::World::device_campaign_specs() {
         if let (Some(e), Some(s)) = (
@@ -131,8 +143,10 @@ fn main() {
     let all_sim: Vec<f64> = rtt_of(SimType::Physical);
     let e150 = Ecdf::new(&all_esim).expect("non-empty").frac_above(150.0) * 100.0;
     let s150 = Ecdf::new(&all_sim).expect("non-empty").frac_above(150.0) * 100.0;
-    println!("\nshare of RTTs above 150 ms: eSIM {e150:.1}% vs SIM {s150:.1}% \
-              (paper: 14.5% vs 3%)");
+    println!(
+        "\nshare of RTTs above 150 ms: eSIM {e150:.1}% vs SIM {s150:.1}% \
+              (paper: 14.5% vs 3%)"
+    );
 
     let roaming_sim: Vec<f64> = run
         .data
@@ -149,8 +163,11 @@ fn main() {
         .filter_map(|r| r.analysis.final_rtt_ms)
         .collect();
     let t1 = welch_t_test(&roaming_sim, &roaming_esim).expect("samples");
-    println!("\nWelch t-test, SIM vs eSIM RTT (roaming countries): p = {:.2e} \
-              (paper: 7.65e-5, significant)", t1.p_value);
+    println!(
+        "\nWelch t-test, SIM vs eSIM RTT (roaming countries): p = {:.2e} \
+              (paper: 7.65e-5, significant)",
+        t1.p_value
+    );
 
     let nat_sim: Vec<f64> = run
         .data
@@ -167,10 +184,15 @@ fn main() {
         .filter_map(|r| r.analysis.final_rtt_ms)
         .collect();
     let t2 = welch_t_test(&nat_sim, &nat_esim).expect("samples");
-    println!("Welch t-test, SIM vs eSIM RTT (native countries):  p = {:.3} \
-              (paper: 0.152, not significant)", t2.p_value);
+    println!(
+        "Welch t-test, SIM vs eSIM RTT (native countries):  p = {:.3} \
+              (paper: 0.152, not significant)",
+        t2.p_value
+    );
 
     let lev = levene_test(&[&all_sim, &all_esim], LeveneCenter::Median).expect("groups");
-    println!("Levene variance test, SIM vs eSIM: p = {:.3} (paper: 0.025 — eSIMs vary more)",
-             lev.p_value);
+    println!(
+        "Levene variance test, SIM vs eSIM: p = {:.3} (paper: 0.025 — eSIMs vary more)",
+        lev.p_value
+    );
 }

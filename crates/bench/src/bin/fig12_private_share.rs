@@ -51,17 +51,26 @@ fn print_panel(name: &str, run: &roam_bench::DeviceCampaignRun, countries: &[Cou
 fn main() {
     let run = run_device(2024, 0.4);
     println!("Figure 12 — % of latency incurred before internet breakout\n");
-    print_panel("(a) native eSIM countries (KOR, THA)", &run,
-                &[Country::KOR, Country::THA]);
-    print_panel("(b) HR eSIM countries (PAK, ARE)", &run, &[Country::PAK, Country::ARE]);
+    print_panel(
+        "(a) native eSIM countries (KOR, THA)",
+        &run,
+        &[Country::KOR, Country::THA],
+    );
+    print_panel(
+        "(b) HR eSIM countries (PAK, ARE)",
+        &run,
+        &[Country::PAK, Country::ARE],
+    );
     let ihbo: Vec<Country> = roam_world::World::device_campaign_specs()
         .iter()
         .map(|s| s.country)
-        .filter(|c| {
-            !matches!(c, Country::KOR | Country::THA | Country::PAK | Country::ARE)
-        })
+        .filter(|c| !matches!(c, Country::KOR | Country::THA | Country::PAK | Country::ARE))
         .collect();
-    print_panel("(c) IHBO eSIM countries (GEO, DEU, QAT, SAU, ESP, GBR)", &run, &ihbo);
+    print_panel(
+        "(c) IHBO eSIM countries (GEO, DEU, QAT, SAU, ESP, GBR)",
+        &run,
+        &ihbo,
+    );
 
     // Aggregate HR vs IHBO "private below public" shares.
     let frac_below_half = |arch: RoamingArch| -> f64 {
@@ -75,7 +84,9 @@ fn main() {
         let below = v.iter().filter(|s| **s < 0.5).count();
         below as f64 / v.len().max(1) as f64 * 100.0
     };
-    println!("private < public (share < 0.5): IHBO {:.0}% vs HR {:.0}% (paper: 15% vs 1%)",
-             frac_below_half(RoamingArch::IpxHubBreakout),
-             frac_below_half(RoamingArch::HomeRouted));
+    println!(
+        "private < public (share < 0.5): IHBO {:.0}% vs HR {:.0}% (paper: 15% vs 1%)",
+        frac_below_half(RoamingArch::IpxHubBreakout),
+        frac_below_half(RoamingArch::HomeRouted)
+    );
 }

@@ -16,8 +16,10 @@ fn main() {
     // ---- (a) web campaign ------------------------------------------------
     let (web_world, web) = run_web(2024);
     println!("Figure 13a — fast.com downlink per web-campaign country (Mbps)\n");
-    println!("{:<8} {:>8} {:>6} {:<22} {:<12}", "country", "median", "n", "b-MNO",
-             "breakout");
+    println!(
+        "{:<8} {:>8} {:>6} {:<22} {:<12}",
+        "country", "median", "n", "b-MNO", "breakout"
+    );
     for (country, records, ep) in &web {
         let v: Vec<f64> = records.iter().map(|r| r.down_mbps).collect();
         println!(
@@ -84,8 +86,10 @@ fn main() {
                 .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
                 .map(|r| r.up_mbps)
                 .collect();
-            println!("down {}", boxplot_row(&format!("{} {label}", spec.country.alpha3()),
-                                            &down));
+            println!(
+                "down {}",
+                boxplot_row(&format!("{} {label}", spec.country.alpha3()), &down)
+            );
             println!("up   {}", boxplot_row("", &up));
         }
     }
@@ -107,12 +111,18 @@ fn main() {
     let (es, ef, en) = bucket(SimType::Esim);
     let (ss, sf, sn) = bucket(SimType::Physical);
     println!("\nroaming-country downlink buckets:");
-    println!("  eSIM: {es:.1}% slow (≤15), {ef:.1}% fast (≥30), n={en} \
-              (paper: 78.8% / 4.5%)");
+    println!(
+        "  eSIM: {es:.1}% slow (≤15), {ef:.1}% fast (≥30), n={en} \
+              (paper: 78.8% / 4.5%)"
+    );
     println!("  SIM:  {ss:.1}% slow, {sf:.1}% fast, n={sn} (paper: 31.9% / 48%)");
 
     // 5G eSIM means the paper quotes.
-    for (c, paper) in [(Country::ESP, 11.2), (Country::GEO, 31.7), (Country::DEU, 22.7)] {
+    for (c, paper) in [
+        (Country::ESP, 11.2),
+        (Country::GEO, 31.7),
+        (Country::DEU, 22.7),
+    ] {
         let v: Vec<f64> = run
             .data
             .filtered_speedtests()
@@ -121,7 +131,10 @@ fn main() {
             .map(|r| r.down_mbps)
             .collect();
         if let Ok((m, ci)) = mean_ci95(&v) {
-            println!("  {} eSIM 5G mean: {m:.1} ± {ci:.2} Mbps (paper: {paper})", c.alpha3());
+            println!(
+                "  {} eSIM 5G mean: {m:.1} ± {ci:.2} Mbps (paper: {paper})",
+                c.alpha3()
+            );
         }
     }
 }

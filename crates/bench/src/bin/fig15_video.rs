@@ -14,8 +14,10 @@ fn main() {
     let run = run_device(2024, 0.6);
 
     println!("Figure 15 — YouTube resolution share per country (%)\n");
-    println!("{:<12} {:>5} {:>7} {:>7} {:>7} {:>7} {:>7} {:>5}", "country", "kind",
-             "480p", "720p", "1080p", "1440p", "2160p", "n");
+    println!(
+        "{:<12} {:>5} {:>7} {:>7} {:>7} {:>7} {:>7} {:>5}",
+        "country", "kind", "480p", "720p", "1080p", "1440p", "2160p", "n"
+    );
     for spec in roam_world::World::device_campaign_specs() {
         if spec.spec.video == (0, 0) {
             continue; // Spain/UK excluded, §A.3
@@ -58,7 +60,12 @@ fn main() {
         .data
         .videos
         .iter()
-        .filter(|r| matches!(r.tag.country, roam_geo::Country::PAK | roam_geo::Country::ARE))
+        .filter(|r| {
+            matches!(
+                r.tag.country,
+                roam_geo::Country::PAK | roam_geo::Country::ARE
+            )
+        })
         .filter(|r| r.resolution > Resolution::P720)
         .count();
     println!("PAK/ARE sessions above 720p: {hr_1080} (paper: none — b-MNO throttles YouTube)");

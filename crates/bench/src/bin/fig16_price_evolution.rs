@@ -13,7 +13,10 @@ fn main() {
     let crawler = Crawler::new(Vantage::AbuDhabi);
 
     println!("Figure 16 — Airalo median $/GB per continent over time\n");
-    println!("{:<12} Africa   Asia     Europe   N.Am     Oceania  S.Am", "date");
+    println!(
+        "{:<12} Africa   Asia     Europe   N.Am     Oceania  S.Am",
+        "date"
+    );
     for day in [0u32, 16, 32, 47, 62, 77, 92, 107] {
         let snap = crawler.crawl(&market, day);
         let boxes = continent_boxplots(&snap, market.airalo());
@@ -40,15 +43,26 @@ fn main() {
     let q25_africa = |day: u32| -> f64 {
         let snap = crawler.crawl(&market, day);
         let boxes = continent_boxplots(&snap, market.airalo());
-        boxes.iter().find(|(c, _)| *c == Continent::Africa).map(|(_, b)| b.q1).unwrap_or(f64::NAN)
+        boxes
+            .iter()
+            .find(|(c, _)| *c == Continent::Africa)
+            .map(|(_, b)| b.q1)
+            .unwrap_or(f64::NAN)
     };
-    println!("\nAfrica 25th percentile: {:.2} (Feb) → {:.2} (May) — paper: 4.5 → 6.5",
-             q25_africa(0), q25_africa(107));
+    println!(
+        "\nAfrica 25th percentile: {:.2} (Feb) → {:.2} (May) — paper: 4.5 → 6.5",
+        q25_africa(0),
+        q25_africa(107)
+    );
 
     // Vantage check (the paper "only report[s] one data-point from NJ,
     // since no location impact was observed").
     let nj = Crawler::new(Vantage::NewJersey).crawl(&market, 76);
     let mad = Crawler::new(Vantage::Madrid).crawl(&market, 76);
-    let identical = nj.records.iter().zip(&mad.records).all(|(a, b)| a.price_usd == b.price_usd);
+    let identical = nj
+        .records
+        .iter()
+        .zip(&mad.records)
+        .all(|(a, b)| a.price_usd == b.price_usd);
     println!("NJ vs Madrid crawls identical: {identical} (paper: no price discrimination)");
 }

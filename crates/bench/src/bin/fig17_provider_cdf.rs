@@ -31,11 +31,17 @@ fn main() {
     let find = |n: &str| cmp.iter().find(|p| p.name == n).expect("named provider");
     let airalo = find("Airalo");
     let mobi = find("MobiMatter");
-    println!("\nanchors: Airhub median ${:.2} (paper 2.3), Keepgo ${:.2} (paper 16.2)",
-             find("Airhub").median_per_gb, find("Keepgo").median_per_gb);
-    println!("MobiMatter discount vs Airalo: {:.0}% (paper ~60%), offer share {:.1}% vs {:.1}%",
-             (1.0 - mobi.median_per_gb / airalo.median_per_gb) * 100.0,
-             mobi.offer_share * 100.0, airalo.offer_share * 100.0);
+    println!(
+        "\nanchors: Airhub median ${:.2} (paper 2.3), Keepgo ${:.2} (paper 16.2)",
+        find("Airhub").median_per_gb,
+        find("Keepgo").median_per_gb
+    );
+    println!(
+        "MobiMatter discount vs Airalo: {:.0}% (paper ~60%), offer share {:.1}% vs {:.1}%",
+        (1.0 - mobi.median_per_gb / airalo.median_per_gb) * 100.0,
+        mobi.offer_share * 100.0,
+        airalo.offer_share * 100.0
+    );
 
     let locals = local_sim_offers();
     let per_gb: Vec<f64> = locals.iter().map(|o| o.per_gb()).collect();

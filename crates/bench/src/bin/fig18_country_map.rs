@@ -16,8 +16,13 @@ fn main() {
     let cuts = decile_thresholds(&values);
 
     println!("Figure 18 — Airalo median $/GB per country, decile-coloured\n");
-    println!("decile thresholds ($/GB): {}",
-             cuts.iter().map(|c| format!("{c:.2}")).collect::<Vec<_>>().join("  "));
+    println!(
+        "decile thresholds ($/GB): {}",
+        cuts.iter()
+            .map(|c| format!("{c:.2}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     println!("paper thresholds: lowest ≤ 4.33 … highest > 12.25\n");
 
     let decile_of = |v: f64| cuts.iter().filter(|c| v > **c).count();
@@ -32,8 +37,10 @@ fn main() {
         println!("decile {:>2}: {}", d + 1, countries.join(" "));
     }
 
-    println!("\nworldwide median: ${:.2}/GB (paper: 7.9)",
-             median(&values).expect("non-empty"));
+    println!(
+        "\nworldwide median: ${:.2}/GB (paper: 7.9)",
+        median(&values).expect("non-empty")
+    );
     let ca: Vec<f64> = medians
         .iter()
         .filter(|(c, _)| c.is_central_america())
@@ -44,7 +51,9 @@ fn main() {
             "Central America median: ${:.2}/GB — {} of {} countries above the worldwide \
              median (paper: consistently high)",
             median(&ca).expect("non-empty"),
-            ca.iter().filter(|v| **v > median(&values).expect("non-empty")).count(),
+            ca.iter()
+                .filter(|v| **v > median(&values).expect("non-empty"))
+                .count(),
             ca.len()
         );
     }

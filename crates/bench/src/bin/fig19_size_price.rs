@@ -8,8 +8,14 @@
 use roam_econ::{size_price_by_bmno, Crawler, Market, Vantage};
 use roam_geo::Country;
 
-const BMNO_NAMES: [&str; 6] =
-    ["Singtel", "Play", "Telna", "Telecom Italia", "Orange", "Polkomtel"];
+const BMNO_NAMES: [&str; 6] = [
+    "Singtel",
+    "Play",
+    "Telna",
+    "Telecom Italia",
+    "Orange",
+    "Polkomtel",
+];
 
 fn main() {
     let market = Market::generate(2024);

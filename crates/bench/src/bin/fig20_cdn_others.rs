@@ -14,8 +14,12 @@ use roam_stats::Summary;
 fn main() {
     let run = run_device(2024, 0.35);
 
-    for provider in [CdnProvider::GoogleCdn, CdnProvider::MicrosoftAjax, CdnProvider::JQuery,
-                     CdnProvider::JsDelivr] {
+    for provider in [
+        CdnProvider::GoogleCdn,
+        CdnProvider::MicrosoftAjax,
+        CdnProvider::JQuery,
+        CdnProvider::JsDelivr,
+    ] {
         println!("--- {} download time (ms) ---", provider.name());
         for spec in roam_world::World::device_campaign_specs() {
             for (label, t) in [("SIM", SimType::Physical), ("eSIM", SimType::Esim)] {
@@ -23,12 +27,17 @@ fn main() {
                     .data
                     .cdns
                     .iter()
-                    .filter(|r| r.tag.country == spec.country
-                             && r.tag.sim_type == t
-                             && r.provider == provider)
+                    .filter(|r| {
+                        r.tag.country == spec.country
+                            && r.tag.sim_type == t
+                            && r.provider == provider
+                    })
                     .map(|r| r.total_ms)
                     .collect();
-                println!("{}", boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v));
+                println!(
+                    "{}",
+                    boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v)
+                );
             }
         }
         // Per-architecture ordering check.
@@ -37,17 +46,19 @@ fn main() {
                 .data
                 .cdns
                 .iter()
-                .filter(|r| r.tag.arch == arch
-                         && r.tag.sim_type == SimType::Esim
-                         && r.provider == provider)
+                .filter(|r| {
+                    r.tag.arch == arch && r.tag.sim_type == SimType::Esim && r.provider == provider
+                })
                 .map(|r| r.total_ms)
                 .collect();
             Summary::from(&v).map(|s| s.mean).unwrap_or(f64::NAN)
         };
-        println!("eSIM means: native {:.0} < IHBO {:.0} < HR {:.0} ms\n",
-                 mean_of(RoamingArch::Native),
-                 mean_of(RoamingArch::IpxHubBreakout),
-                 mean_of(RoamingArch::HomeRouted));
+        println!(
+            "eSIM means: native {:.0} < IHBO {:.0} < HR {:.0} ms\n",
+            mean_of(RoamingArch::Native),
+            mean_of(RoamingArch::IpxHubBreakout),
+            mean_of(RoamingArch::HomeRouted)
+        );
     }
     println!("paper shape: native ≈ SIM << IHBO << HR on all four providers.");
 }

@@ -9,8 +9,10 @@ fn main() {
     let (_, results) = run_web(2024);
 
     println!("Table 3 — web-based campaign overview\n");
-    println!("{:<12} {:>12} {:>16} {:>15}", "Country", "# Volunteers", "Duration (days)",
-             "# Measurements");
+    println!(
+        "{:<12} {:>12} {:>16} {:>15}",
+        "Country", "# Volunteers", "Duration (days)", "# Measurements"
+    );
     let mut total = 0;
     for spec in &specs {
         let completed = results

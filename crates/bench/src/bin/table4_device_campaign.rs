@@ -17,37 +17,51 @@ fn main() {
     );
     for spec in roam_world::World::device_campaign_specs() {
         let c = spec.country;
-        let count = |f: &dyn Fn(SimType) -> usize| format!("{} // {}",
-            f(SimType::Physical), f(SimType::Esim));
+        let count = |f: &dyn Fn(SimType) -> usize| {
+            format!("{} // {}", f(SimType::Physical), f(SimType::Esim))
+        };
         let ookla = count(&|t| {
-            run.data.speedtests.iter().filter(|r| r.tag.country == c && r.tag.sim_type == t).count()
+            run.data
+                .speedtests
+                .iter()
+                .filter(|r| r.tag.country == c && r.tag.sim_type == t)
+                .count()
         });
         let mtr_g = count(&|t| {
             run.data
                 .traces
                 .iter()
-                .filter(|r| r.tag.country == c && r.tag.sim_type == t
-                         && r.service == Service::Google)
+                .filter(|r| {
+                    r.tag.country == c && r.tag.sim_type == t && r.service == Service::Google
+                })
                 .count()
         });
         let mtr_f = count(&|t| {
             run.data
                 .traces
                 .iter()
-                .filter(|r| r.tag.country == c && r.tag.sim_type == t
-                         && r.service == Service::Facebook)
+                .filter(|r| {
+                    r.tag.country == c && r.tag.sim_type == t && r.service == Service::Facebook
+                })
                 .count()
         });
         let cdn = count(&|t| {
             run.data
                 .cdns
                 .iter()
-                .filter(|r| r.tag.country == c && r.tag.sim_type == t
-                         && r.provider == roam_measure::CdnProvider::Cloudflare)
+                .filter(|r| {
+                    r.tag.country == c
+                        && r.tag.sim_type == t
+                        && r.provider == roam_measure::CdnProvider::Cloudflare
+                })
                 .count()
         });
         let video = count(&|t| {
-            run.data.videos.iter().filter(|r| r.tag.country == c && r.tag.sim_type == t).count()
+            run.data
+                .videos
+                .iter()
+                .filter(|r| r.tag.country == c && r.tag.sim_type == t)
+                .count()
         });
         println!(
             "{:<12} {:>12} {:>14} {:>14} {:>14} {:>10}",

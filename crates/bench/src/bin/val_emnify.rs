@@ -17,8 +17,8 @@ fn main() {
     for service in [Service::Google, Service::YouTube, Service::Facebook] {
         for _ in 0..73 {
             // 73 × 3 = 219 traceroutes, as in the paper
-            let out = mtr(&mut s.net, &s.endpoint, &s.internet.targets, service)
-                .expect("edges exist");
+            let out =
+                mtr(&mut s.net, &s.endpoint, &s.internet.targets, service).expect("edges exist");
             total += 1;
             if out.analysis.pgw_asn == Some(s.truth_asn)
                 && out.analysis.pgw_city == Some(s.truth_city)
@@ -28,7 +28,11 @@ fn main() {
         }
     }
     println!("traceroutes: {total} (paper: 219)");
-    println!("PGW inferred as {} in {}: {correct}/{total}", s.truth_asn, s.truth_city.name());
+    println!(
+        "PGW inferred as {} in {}: {correct}/{total}",
+        s.truth_asn,
+        s.truth_city.name()
+    );
     println!("\npaper: \"our methodology identified the PGW provider as AS16509");
     println!("(Amazon.com, Inc.) geolocated in Dublin … match[ing] the ground truth\"");
     assert_eq!(correct, total, "validation must be perfect");

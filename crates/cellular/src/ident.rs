@@ -23,11 +23,18 @@ impl Plmn {
     /// uses 2, the US uses 3).
     #[must_use]
     pub fn new(mcc: u16, mnc: u16, mnc_digits: u8) -> Self {
-        assert!((100..=999).contains(&mcc), "MCC must be 3 digits, got {mcc}");
+        assert!(
+            (100..=999).contains(&mcc),
+            "MCC must be 3 digits, got {mcc}"
+        );
         assert!(mnc_digits == 2 || mnc_digits == 3, "MNC is 2 or 3 digits");
         let max = if mnc_digits == 2 { 99 } else { 999 };
         assert!(mnc <= max, "MNC {mnc} does not fit in {mnc_digits} digits");
-        Plmn { mcc, mnc, mnc_digits }
+        Plmn {
+            mcc,
+            mnc,
+            mnc_digits,
+        }
     }
 
     /// Mobile country code.
@@ -50,13 +57,23 @@ impl Plmn {
         if mcc.len() != 3 || !(mnc.len() == 2 || mnc.len() == 3) {
             return None;
         }
-        Some(Plmn::new(mcc.parse().ok()?, mnc.parse().ok()?, mnc.len() as u8))
+        Some(Plmn::new(
+            mcc.parse().ok()?,
+            mnc.parse().ok()?,
+            mnc.len() as u8,
+        ))
     }
 }
 
 impl fmt::Display for Plmn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:03}-{:0width$}", self.mcc, self.mnc, width = self.mnc_digits as usize)
+        write!(
+            f,
+            "{:03}-{:0width$}",
+            self.mcc,
+            self.mnc,
+            width = self.mnc_digits as usize
+        )
     }
 }
 
@@ -73,7 +90,10 @@ impl Imsi {
     #[must_use]
     pub fn new(plmn: Plmn, msin: u64) -> Self {
         let digits = Self::msin_digits(plmn);
-        assert!(msin < 10u64.pow(digits as u32), "MSIN {msin} too long for {plmn}");
+        assert!(
+            msin < 10u64.pow(digits as u32),
+            "MSIN {msin} too long for {plmn}"
+        );
         Imsi { plmn, msin }
     }
 
@@ -219,7 +239,11 @@ mod tests {
     #[test]
     fn range_contains_and_nth() {
         let plmn = Plmn::new(260, 6, 2);
-        let range = ImsiRange { plmn, start: 5_000_000, len: 1000 };
+        let range = ImsiRange {
+            plmn,
+            start: 5_000_000,
+            len: 1000,
+        };
         assert!(range.contains(Imsi::new(plmn, 5_000_000)));
         assert!(range.contains(Imsi::new(plmn, 5_000_999)));
         assert!(!range.contains(Imsi::new(plmn, 5_001_000)));

@@ -38,7 +38,10 @@ impl BandwidthPolicy {
     /// Convenience constructor.
     #[must_use]
     pub fn new(down_mbps: f64, up_mbps: f64) -> Self {
-        assert!(down_mbps > 0.0 && up_mbps > 0.0, "policy rates must be positive");
+        assert!(
+            down_mbps > 0.0 && up_mbps > 0.0,
+            "policy rates must be positive"
+        );
         BandwidthPolicy { down_mbps, up_mbps }
     }
 }
@@ -112,7 +115,10 @@ impl MnoDirectory {
             mno.name
         );
         if let Some(parent) = mno.parent {
-            assert!((parent.0 as usize) < self.mnos.len(), "MVNO parent must exist first");
+            assert!(
+                (parent.0 as usize) < self.mnos.len(),
+                "MVNO parent must exist first"
+            );
         }
         let id = MnoId(self.mnos.len() as u32);
         self.mnos.push(mno);
@@ -130,18 +136,27 @@ impl MnoDirectory {
     /// Name", §3.1).
     #[must_use]
     pub fn find_by_plmn(&self, plmn: Plmn) -> Option<MnoId> {
-        self.mnos.iter().position(|m| m.plmn == plmn).map(|i| MnoId(i as u32))
+        self.mnos
+            .iter()
+            .position(|m| m.plmn == plmn)
+            .map(|i| MnoId(i as u32))
     }
 
     /// Find an operator by name.
     #[must_use]
     pub fn find_by_name(&self, name: &str) -> Option<MnoId> {
-        self.mnos.iter().position(|m| m.name == name).map(|i| MnoId(i as u32))
+        self.mnos
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| MnoId(i as u32))
     }
 
     /// Iterate over `(id, operator)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (MnoId, &Mno)> {
-        self.mnos.iter().enumerate().map(|(i, m)| (MnoId(i as u32), m))
+        self.mnos
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MnoId(i as u32), m))
     }
 
     /// Number of operators.

@@ -111,7 +111,10 @@ pub struct ChannelSampler {
 
 impl Default for ChannelSampler {
     fn default() -> Self {
-        ChannelSampler { mode_cqi: 11, weak_tail: 0.2 }
+        ChannelSampler {
+            mode_cqi: 11,
+            weak_tail: 0.2,
+        }
     }
 }
 
@@ -177,9 +180,7 @@ mod tests {
 
     #[test]
     fn weak_channel_costs_latency() {
-        assert!(
-            radio_latency_ms(Rat::Lte, Cqi::new(3)) > radio_latency_ms(Rat::Lte, Cqi::new(13))
-        );
+        assert!(radio_latency_ms(Rat::Lte, Cqi::new(3)) > radio_latency_ms(Rat::Lte, Cqi::new(13)));
     }
 
     #[test]
@@ -194,17 +195,25 @@ mod tests {
 
     #[test]
     fn sampler_respects_weak_tail_fraction() {
-        let s = ChannelSampler { mode_cqi: 11, weak_tail: 0.2 };
+        let s = ChannelSampler {
+            mode_cqi: 11,
+            weak_tail: 0.2,
+        };
         let mut rng = SmallRng::seed_from_u64(7);
         let n = 10_000;
-        let weak = (0..n).filter(|_| !s.sample(&mut rng).passes_quality_filter()).count();
+        let weak = (0..n)
+            .filter(|_| !s.sample(&mut rng).passes_quality_filter())
+            .count();
         let frac = weak as f64 / n as f64;
         assert!((0.17..0.23).contains(&frac), "weak fraction {frac}");
     }
 
     #[test]
     fn sampler_good_region_is_near_mode() {
-        let s = ChannelSampler { mode_cqi: 12, weak_tail: 0.0 };
+        let s = ChannelSampler {
+            mode_cqi: 12,
+            weak_tail: 0.0,
+        };
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..1000 {
             let c = s.sample(&mut rng).value();

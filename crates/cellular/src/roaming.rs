@@ -44,7 +44,8 @@ impl RoamingRegistry {
     /// Record an agreement and place `visited` at the end of `home`'s
     /// steering list for `visited_country`.
     pub fn add(&mut self, agreement: RoamingAgreement, visited_country: Country) {
-        self.by_pair.insert((agreement.home, agreement.visited), agreement);
+        self.by_pair
+            .insert((agreement.home, agreement.visited), agreement);
         self.steering
             .entry((agreement.home, visited_country))
             .or_default()
@@ -107,11 +108,29 @@ mod tests {
     fn registry() -> RoamingRegistry {
         let mut r = RoamingRegistry::new();
         r.add(
-            RoamingAgreement { home: PLAY, visited: VODAFONE_DE, data: true },
+            RoamingAgreement {
+                home: PLAY,
+                visited: VODAFONE_DE,
+                data: true,
+            },
             Country::DEU,
         );
-        r.add(RoamingAgreement { home: PLAY, visited: O2_DE, data: false }, Country::DEU);
-        r.add(RoamingAgreement { home: PLAY, visited: MAGTI_GE, data: true }, Country::GEO);
+        r.add(
+            RoamingAgreement {
+                home: PLAY,
+                visited: O2_DE,
+                data: false,
+            },
+            Country::DEU,
+        );
+        r.add(
+            RoamingAgreement {
+                home: PLAY,
+                visited: MAGTI_GE,
+                data: true,
+            },
+            Country::GEO,
+        );
         r
     }
 
@@ -120,7 +139,10 @@ mod tests {
         let r = registry();
         assert!(r.allows_data(PLAY, VODAFONE_DE));
         assert!(!r.allows_data(PLAY, O2_DE), "voice-only agreement");
-        assert!(!r.allows_data(VODAFONE_DE, PLAY), "agreements are directional");
+        assert!(
+            !r.allows_data(VODAFONE_DE, PLAY),
+            "agreements are directional"
+        );
     }
 
     #[test]
@@ -135,9 +157,20 @@ mod tests {
     fn steering_skips_voice_only_partner() {
         let mut r = RoamingRegistry::new();
         // Voice-only partner listed first; data partner second.
-        r.add(RoamingAgreement { home: PLAY, visited: O2_DE, data: false }, Country::DEU);
         r.add(
-            RoamingAgreement { home: PLAY, visited: VODAFONE_DE, data: true },
+            RoamingAgreement {
+                home: PLAY,
+                visited: O2_DE,
+                data: false,
+            },
+            Country::DEU,
+        );
+        r.add(
+            RoamingAgreement {
+                home: PLAY,
+                visited: VODAFONE_DE,
+                data: true,
+            },
             Country::DEU,
         );
         assert_eq!(r.select_vmno(PLAY, Country::DEU), Some(VODAFONE_DE));

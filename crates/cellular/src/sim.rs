@@ -93,7 +93,11 @@ impl Euicc {
             return false;
         }
         for (p, state) in &mut self.profiles {
-            *state = if p.iccid == iccid { ProfileState::Enabled } else { ProfileState::Disabled };
+            *state = if p.iccid == iccid {
+                ProfileState::Enabled
+            } else {
+                ProfileState::Disabled
+            };
         }
         true
     }
@@ -134,7 +138,11 @@ impl Smdp {
     /// An empty SM-DP+.
     #[must_use]
     pub fn new() -> Self {
-        Smdp { inventory: HashMap::new(), next_iccid: 8_988_000_000_000_000, next_batch: 0 }
+        Smdp {
+            inventory: HashMap::new(),
+            next_iccid: 8_988_000_000_000_000,
+            next_batch: 0,
+        }
     }
 
     /// An operator deposits a leased IMSI range, receiving a batch handle
@@ -177,7 +185,11 @@ mod tests {
     use super::*;
 
     fn range() -> ImsiRange {
-        ImsiRange { plmn: Plmn::new(260, 6, 2), start: 7_000_000, len: 3 }
+        ImsiRange {
+            plmn: Plmn::new(260, 6, 2),
+            start: 7_000_000,
+            len: 3,
+        }
     }
 
     fn physical(iccid: u64) -> SimProfile {
@@ -237,7 +249,10 @@ mod tests {
         assert_ne!(p1.iccid, p2.iccid);
         assert_eq!(p1.issuer, MnoId(4));
         assert_eq!(p1.sim_type, SimType::Esim);
-        assert!(p1.data_roaming_enabled, "thick-MNA eSIMs ship with roaming on");
+        assert!(
+            p1.data_roaming_enabled,
+            "thick-MNA eSIMs ship with roaming on"
+        );
         assert!(smdp.redeem(code).is_none(), "range exhausted");
         assert_eq!(smdp.remaining(code), 0);
     }

@@ -31,6 +31,6 @@ pub use path_analysis::{analyze_traceroute, PathAnalysis};
 pub use taxonomy::{MnaFlavor, NetworkRole, RoleOwner};
 pub use tomography::{classify_architecture, EsimObservation, TomographyReport, TomographyRow};
 pub use vmno_visibility::{
-    infer_class, SignallingProfile, recover_imsi_ranges, simulate_core_records, CoreRecord, TrafficStats, UserClass,
-    VisibilityExperiment,
+    infer_class, recover_imsi_ranges, simulate_core_records, CoreRecord, SignallingProfile,
+    TrafficStats, UserClass, VisibilityExperiment,
 };

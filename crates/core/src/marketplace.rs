@@ -49,7 +49,11 @@ impl Aggregator {
     /// A new aggregator with an empty catalogue.
     #[must_use]
     pub fn new(name: &str) -> Self {
-        Aggregator { name: name.to_string(), smdp: Smdp::new(), offers: BTreeMap::new() }
+        Aggregator {
+            name: name.to_string(),
+            smdp: Smdp::new(),
+            offers: BTreeMap::new(),
+        }
     }
 
     /// List a country offer backed by an IMSI range leased from `b_mno`.
@@ -66,7 +70,16 @@ impl Aggregator {
     ) {
         let code = self.smdp.deposit(b_mno, range);
         let native = b_mno_country == country;
-        self.offers.insert(country, CountryOffer { country, b_mno, config, native, code });
+        self.offers.insert(
+            country,
+            CountryOffer {
+                country,
+                b_mno,
+                config,
+                native,
+                code,
+            },
+        );
     }
 
     /// The catalogue, ordered by country.
@@ -98,7 +111,10 @@ impl Aggregator {
     /// Profiles remaining in a country's lease.
     #[must_use]
     pub fn remaining(&self, country: Country) -> u64 {
-        self.offers.get(&country).map(|o| self.smdp.remaining(o.code)).unwrap_or(0)
+        self.offers
+            .get(&country)
+            .map(|o| self.smdp.remaining(o.code))
+            .unwrap_or(0)
     }
 }
 
@@ -109,7 +125,11 @@ mod tests {
     use roam_ipx::PgwProviderId;
 
     fn range(start: u64, len: u64) -> ImsiRange {
-        ImsiRange { plmn: Plmn::new(260, 6, 2), start, len }
+        ImsiRange {
+            plmn: Plmn::new(260, 6, 2),
+            start,
+            len,
+        }
     }
 
     fn agg() -> Aggregator {
@@ -134,8 +154,14 @@ mod tests {
     #[test]
     fn catalogue_distinguishes_native_from_roaming() {
         let a = agg();
-        assert!(!a.offer(Country::DEU).unwrap().native, "Play→Germany is roaming");
-        assert!(a.offer(Country::KOR).unwrap().native, "LG U+→Korea is native");
+        assert!(
+            !a.offer(Country::DEU).unwrap().native,
+            "Play→Germany is roaming"
+        );
+        assert!(
+            a.offer(Country::KOR).unwrap().native,
+            "LG U+→Korea is native"
+        );
         assert_eq!(a.countries_served(), 2);
         assert!(a.offer(Country::FRA).is_none());
     }

@@ -111,11 +111,35 @@ mod tests {
         let nat = net.add_node("nat", NodeKind::CgNat, City::Amsterdam, ip("147.75.81.9"));
         let t = net.add_node("t", NodeKind::Router, City::Amsterdam, ip("147.75.82.1"));
         let sp = net.add_node("sp", NodeKind::SpEdge, City::Frankfurt, ip("142.250.1.1"));
-        net.link_with(h, r1, LinkClass::RadioAccess, LatencyModel::fixed(15.0, 0.0), 0.0);
-        net.link_with(r1, r2, LinkClass::Tunnel, LatencyModel::fixed(20.0, 0.0), 0.0);
-        net.link_with(r2, nat, LinkClass::Metro, LatencyModel::fixed(0.4, 0.0), 0.0);
+        net.link_with(
+            h,
+            r1,
+            LinkClass::RadioAccess,
+            LatencyModel::fixed(15.0, 0.0),
+            0.0,
+        );
+        net.link_with(
+            r1,
+            r2,
+            LinkClass::Tunnel,
+            LatencyModel::fixed(20.0, 0.0),
+            0.0,
+        );
+        net.link_with(
+            r2,
+            nat,
+            LinkClass::Metro,
+            LatencyModel::fixed(0.4, 0.0),
+            0.0,
+        );
         net.link_with(nat, t, LinkClass::Metro, LatencyModel::fixed(0.4, 0.0), 0.0);
-        net.link_with(t, sp, LinkClass::Peering, LatencyModel::fixed(3.0, 0.0), 0.0);
+        net.link_with(
+            t,
+            sp,
+            LinkClass::Peering,
+            LatencyModel::fixed(3.0, 0.0),
+            0.0,
+        );
         let reg = net.registry_mut();
         reg.register(
             Ipv4Net::parse("147.75.80.0/22").unwrap(),

@@ -20,8 +20,11 @@ pub enum NetworkRole {
 
 impl NetworkRole {
     /// All roles, in the paper's row order.
-    pub const ALL: [NetworkRole; 3] =
-        [NetworkRole::Sales, NetworkRole::CoreNetwork, NetworkRole::RadioAccess];
+    pub const ALL: [NetworkRole; 3] = [
+        NetworkRole::Sales,
+        NetworkRole::CoreNetwork,
+        NetworkRole::RadioAccess,
+    ];
 
     /// Display name.
     #[must_use]
@@ -158,9 +161,15 @@ mod tests {
 
     #[test]
     fn thick_mna_splits_the_core() {
-        assert_eq!(MnaFlavor::Thick.owner(NetworkRole::CoreNetwork), RoleOwner::MnaAndBMno);
+        assert_eq!(
+            MnaFlavor::Thick.owner(NetworkRole::CoreNetwork),
+            RoleOwner::MnaAndBMno
+        );
         assert_eq!(MnaFlavor::Thick.owner(NetworkRole::Sales), RoleOwner::Mna);
-        assert_eq!(MnaFlavor::Thick.owner(NetworkRole::RadioAccess), RoleOwner::VMno);
+        assert_eq!(
+            MnaFlavor::Thick.owner(NetworkRole::RadioAccess),
+            RoleOwner::VMno
+        );
     }
 
     #[test]
@@ -168,8 +177,14 @@ mod tests {
         assert!(!MnaFlavor::Light.runs_core_function());
         assert!(MnaFlavor::Thick.runs_core_function());
         assert!(MnaFlavor::Full.runs_core_function());
-        assert_eq!(MnaFlavor::Full.owner(NetworkRole::CoreNetwork), RoleOwner::Mna);
-        assert_eq!(MnaFlavor::Light.owner(NetworkRole::CoreNetwork), RoleOwner::BMno);
+        assert_eq!(
+            MnaFlavor::Full.owner(NetworkRole::CoreNetwork),
+            RoleOwner::Mna
+        );
+        assert_eq!(
+            MnaFlavor::Light.owner(NetworkRole::CoreNetwork),
+            RoleOwner::BMno
+        );
     }
 
     #[test]
@@ -195,7 +210,10 @@ mod tests {
         for r in NetworkRole::ALL {
             assert!(t.contains(r.name()), "missing row {}", r.name());
         }
-        assert!(t.contains("MNA + b-MNO"), "the thick core cell is the point of the figure");
+        assert!(
+            t.contains("MNA + b-MNO"),
+            "the thick core cell is the point of the figure"
+        );
         assert_eq!(t.lines().count(), 4);
     }
 }

@@ -92,14 +92,21 @@ impl TomographyReport {
     }
 
     fn classify_one(obs: &EsimObservation, registry: &IpRegistry) -> Option<TomographyRow> {
-        let infos: Vec<_> = obs.public_ips.iter().filter_map(|ip| registry.lookup(*ip)).collect();
+        let infos: Vec<_> = obs
+            .public_ips
+            .iter()
+            .filter_map(|ip| registry.lookup(*ip))
+            .collect();
         let first = infos.first()?;
         let arch = classify_architecture(first.asn, obs.b_mno_asn, obs.v_mno_asn);
 
         // Distinct providers across the observation's measurements.
         let mut providers: Vec<(String, Asn, City)> = Vec::new();
         for info in &infos {
-            if !providers.iter().any(|(_, asn, city)| *asn == info.asn && *city == info.city) {
+            if !providers
+                .iter()
+                .any(|(_, asn, city)| *asn == info.asn && *city == info.city)
+            {
                 providers.push((info.org.clone(), info.asn, info.city));
             }
         }
@@ -113,8 +120,7 @@ impl TomographyReport {
             pgw_providers: providers,
             arch,
             tunnel_km,
-            breakout_farther_than_home: arch == RoamingArch::IpxHubBreakout
-                && tunnel_km > home_km,
+            breakout_farther_than_home: arch == RoamingArch::IpxHubBreakout && tunnel_km > home_km,
         })
     }
 
@@ -299,11 +305,19 @@ mod tests {
     fn alternating_providers_both_appear() {
         let reg = registry();
         let report = TomographyReport::build(
-            &[ihbo_obs(Country::DEU, City::Berlin, &["147.75.81.2", "141.95.3.4"])],
+            &[ihbo_obs(
+                Country::DEU,
+                City::Berlin,
+                &["147.75.81.2", "141.95.3.4"],
+            )],
             &reg,
         );
         let row = &report.rows[0];
-        assert_eq!(row.pgw_providers.len(), 2, "Packet Host and OVH both observed");
+        assert_eq!(
+            row.pgw_providers.len(),
+            2,
+            "Packet Host and OVH both observed"
+        );
     }
 
     #[test]

@@ -113,7 +113,11 @@ impl VisibilityExperiment {
             days: 30,
             native_plmn: Plmn::new(234, 30, 2), // a UK PLMN
             bmno_plmn,
-            leased_range: ImsiRange { plmn: bmno_plmn, start: 7_700_000_000, len: 1_000_000 },
+            leased_range: ImsiRange {
+                plmn: bmno_plmn,
+                start: 7_700_000_000,
+                len: 1_000_000,
+            },
             planted_devices: 10,
         }
     }
@@ -185,8 +189,8 @@ impl SignallingProfile {
             std::net::Ipv4Addr::new(10, 0, 0, 10),
             std::net::Ipv4Addr::new(100, 64, 0, 1),
         ) as f64;
-        let kb = attaches * (self.kb_per_attach + gtpc_bytes / 1024.0)
-            + rrc * self.kb_per_rrc_event;
+        let kb =
+            attaches * (self.kb_per_attach + gtpc_bytes / 1024.0) + rrc * self.kb_per_rrc_event;
         kb / 1024.0
     }
 }
@@ -216,11 +220,11 @@ pub fn simulate_core_records(
     };
 
     let push_user = |rng: &mut SmallRng,
-                         records: &mut Vec<CoreRecord>,
-                         imsi: Imsi,
-                         imei: Imei,
-                         truth: UserClass,
-                         days: usize| {
+                     records: &mut Vec<CoreRecord>,
+                     imsi: Imsi,
+                     imei: Imei,
+                     truth: UserClass,
+                     days: usize| {
         let profile = SignallingProfile::for_class(truth);
         for _ in 0..days {
             let data = match truth {
@@ -232,7 +236,13 @@ pub fn simulate_core_records(
                 UserClass::BmnoRoamer => lognorm(rng, 120.0, 1.1),
             };
             let sig = profile.daily_volume_mb(imsi, rng);
-            records.push(CoreRecord { imsi, imei, data_mb: data, signalling_mb: sig, truth });
+            records.push(CoreRecord {
+                imsi,
+                imei,
+                data_mb: data,
+                signalling_mb: sig,
+                truth,
+            });
         }
     };
 
@@ -249,7 +259,14 @@ pub fn simulate_core_records(
         debug_assert!(!exp.leased_range.contains(imsi));
         let imei = Imei(next_imei);
         next_imei += 1;
-        push_user(rng, &mut records, imsi, imei, UserClass::BmnoRoamer, exp.days);
+        push_user(
+            rng,
+            &mut records,
+            imsi,
+            imei,
+            UserClass::BmnoRoamer,
+            exp.days,
+        );
     }
     for i in 0..exp.n_aggregator {
         let imsi = exp
@@ -261,7 +278,14 @@ pub fn simulate_core_records(
         if planted_imeis.len() < exp.planted_devices {
             planted_imeis.push(imei);
         }
-        push_user(rng, &mut records, imsi, imei, UserClass::AggregatorUser, exp.days);
+        push_user(
+            rng,
+            &mut records,
+            imsi,
+            imei,
+            UserClass::AggregatorUser,
+            exp.days,
+        );
     }
     (records, planted_imeis)
 }
@@ -290,8 +314,10 @@ pub fn recover_imsi_ranges(records: &[CoreRecord], planted: &[Imei]) -> Vec<Imsi
     }
     // MSIN width for this PLMN: derive from a formatted IMSI.
     let msin_width = seeds[0].to_string().len() - 3 - 2; // mcc + 2-digit mnc
-    let strings: Vec<String> =
-        seeds.iter().map(|s| format!("{:0width$}", s.msin(), width = msin_width)).collect();
+    let strings: Vec<String> = seeds
+        .iter()
+        .map(|s| format!("{:0width$}", s.msin(), width = msin_width))
+        .collect();
     let mut prefix_len = strings[0].len();
     for s in &strings[1..] {
         let common = strings[0]
@@ -306,7 +332,11 @@ pub fn recover_imsi_ranges(records: &[CoreRecord], planted: &[Imei]) -> Vec<Imsi
     }
     let prefix: u64 = strings[0][..prefix_len].parse().expect("digits");
     let block = 10u64.pow((msin_width - prefix_len) as u32);
-    vec![ImsiRange { plmn, start: prefix * block, len: block }]
+    vec![ImsiRange {
+        plmn,
+        start: prefix * block,
+        len: block,
+    }]
 }
 
 /// Classify every record using recovered ranges, as the v-MNO analysis
@@ -368,7 +398,10 @@ mod tests {
         let range = ranges[0];
         assert_eq!(range.plmn, exp.bmno_plmn);
         // Every aggregator record must fall inside the recovered range.
-        for r in records.iter().filter(|r| r.truth == UserClass::AggregatorUser) {
+        for r in records
+            .iter()
+            .filter(|r| r.truth == UserClass::AggregatorUser)
+        {
             assert!(range.contains(r.imsi), "missed aggregator IMSI {}", r.imsi);
         }
     }
@@ -422,8 +455,14 @@ mod tests {
         let native = mean_of(UserClass::Native, &mut rng);
         let agg = mean_of(UserClass::AggregatorUser, &mut rng);
         let roam = mean_of(UserClass::BmnoRoamer, &mut rng);
-        assert!(native < agg, "aggregator users sign slightly more: {native} vs {agg}");
-        assert!(agg < roam, "ordinary roamers churn hardest: {agg} vs {roam}");
+        assert!(
+            native < agg,
+            "aggregator users sign slightly more: {native} vs {agg}"
+        );
+        assert!(
+            agg < roam,
+            "ordinary roamers churn hardest: {agg} vs {roam}"
+        );
         // All in the single-digit-MB/day regime the v-MNO core reports.
         for v in [native, agg, roam] {
             assert!((0.5..10.0).contains(&v), "implausible volume {v}");

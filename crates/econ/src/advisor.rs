@@ -49,11 +49,7 @@ pub struct TripPlan {
 
 /// Find the cheapest plan a provider sells for `leg` on this crawl day:
 /// the least-cost single plan that covers the data need and the stay.
-fn best_plan_from(
-    day: &CrawlDay,
-    provider: ProviderId,
-    leg: TripLeg,
-) -> Option<(f64, f64)> {
+fn best_plan_from(day: &CrawlDay, provider: ProviderId, leg: TripLeg) -> Option<(f64, f64)> {
     day.records
         .iter()
         .filter(|r| {
@@ -83,9 +79,10 @@ pub fn leg_options(market: &Market, day: &CrawlDay, leg: TripLeg) -> Vec<LegOpti
             });
         }
     }
-    if let Some(local) = local_sim_offers().iter().find(|o: &&LocalSimOffer| {
-        o.country == leg.country && o.data_gb >= leg.data_gb
-    }) {
+    if let Some(local) = local_sim_offers()
+        .iter()
+        .find(|o: &&LocalSimOffer| o.country == leg.country && o.data_gb >= leg.data_gb)
+    {
         out.push(LegOption {
             leg,
             seller: "local SIM".into(),
@@ -94,7 +91,11 @@ pub fn leg_options(market: &Market, day: &CrawlDay, leg: TripLeg) -> Vec<LegOpti
             effective_per_gb: local.total_usd() / leg.data_gb,
         });
     }
-    out.sort_by(|a, b| a.price_usd.partial_cmp(&b.price_usd).expect("no NaN prices"));
+    out.sort_by(|a, b| {
+        a.price_usd
+            .partial_cmp(&b.price_usd)
+            .expect("no NaN prices")
+    });
     out
 }
 
@@ -111,7 +112,10 @@ pub fn plan_trip(market: &Market, day: &CrawlDay, itinerary: &[TripLeg]) -> Trip
             legs.push(best);
         }
     }
-    TripPlan { legs, total_usd: total }
+    TripPlan {
+        legs,
+        total_usd: total,
+    }
 }
 
 #[cfg(test)]
@@ -128,9 +132,17 @@ mod tests {
     #[test]
     fn options_are_sorted_and_cover_the_need() {
         let (m, d) = setup();
-        let leg = TripLeg { country: Country::ESP, days: 7, data_gb: 3.0 };
+        let leg = TripLeg {
+            country: Country::ESP,
+            days: 7,
+            data_gb: 3.0,
+        };
         let options = leg_options(&m, &d, leg);
-        assert!(options.len() > 10, "most providers serve Spain: {}", options.len());
+        assert!(
+            options.len() > 10,
+            "most providers serve Spain: {}",
+            options.len()
+        );
         for w in options.windows(2) {
             assert!(w[0].price_usd <= w[1].price_usd);
         }
@@ -143,13 +155,23 @@ mod tests {
     #[test]
     fn local_sim_appears_and_often_wins_big_bundles() {
         let (m, d) = setup();
-        let leg = TripLeg { country: Country::ESP, days: 7, data_gb: 20.0 };
+        let leg = TripLeg {
+            country: Country::ESP,
+            days: 7,
+            data_gb: 20.0,
+        };
         let options = leg_options(&m, &d, leg);
-        let local = options.iter().find(|o| o.seller == "local SIM").expect("ESP has one");
+        let local = options
+            .iter()
+            .find(|o| o.seller == "local SIM")
+            .expect("ESP has one");
         assert_eq!(local.plan_gb, 40.0);
         // For a 20 GB need the 40 GB/$22.59 local bundle should beat most
         // aggregator 20 GB plans.
-        let rank = options.iter().position(|o| o.seller == "local SIM").expect("present");
+        let rank = options
+            .iter()
+            .position(|o| o.seller == "local SIM")
+            .expect("present");
         assert!(rank <= 3, "local SIM ranked {rank}");
     }
 
@@ -157,14 +179,22 @@ mod tests {
     fn validity_window_filters_short_plans() {
         let (m, d) = setup();
         // A 30-day stay excludes 7- and 15-day plans.
-        let long = TripLeg { country: Country::DEU, days: 30, data_gb: 1.0 };
+        let long = TripLeg {
+            country: Country::DEU,
+            days: 30,
+            data_gb: 1.0,
+        };
         for o in leg_options(&m, &d, long) {
             if o.seller != "local SIM" {
                 assert!(o.plan_gb > 0.0);
             }
         }
         // Sanity: a 7-day stay has at least as many options.
-        let short = TripLeg { country: Country::DEU, days: 7, data_gb: 1.0 };
+        let short = TripLeg {
+            country: Country::DEU,
+            days: 7,
+            data_gb: 1.0,
+        };
         assert!(leg_options(&m, &d, short).len() >= leg_options(&m, &d, long).len());
     }
 
@@ -172,9 +202,21 @@ mod tests {
     fn trip_totals_add_up() {
         let (m, d) = setup();
         let itinerary = [
-            TripLeg { country: Country::ESP, days: 5, data_gb: 2.0 },
-            TripLeg { country: Country::DEU, days: 5, data_gb: 2.0 },
-            TripLeg { country: Country::THA, days: 10, data_gb: 5.0 },
+            TripLeg {
+                country: Country::ESP,
+                days: 5,
+                data_gb: 2.0,
+            },
+            TripLeg {
+                country: Country::DEU,
+                days: 5,
+                data_gb: 2.0,
+            },
+            TripLeg {
+                country: Country::THA,
+                days: 10,
+                data_gb: 5.0,
+            },
         ];
         let plan = plan_trip(&m, &d, &itinerary);
         assert_eq!(plan.legs.len(), 3);
@@ -185,7 +227,11 @@ mod tests {
     #[test]
     fn impossible_legs_are_skipped() {
         let (m, d) = setup();
-        let itinerary = [TripLeg { country: Country::ESP, days: 5, data_gb: 10_000.0 }];
+        let itinerary = [TripLeg {
+            country: Country::ESP,
+            days: 5,
+            data_gb: 10_000.0,
+        }];
         let plan = plan_trip(&m, &d, &itinerary);
         assert!(plan.legs.is_empty());
         assert_eq!(plan.total_usd, 0.0);

@@ -13,7 +13,10 @@ pub fn median_per_gb_by_country(day: &CrawlDay, provider: ProviderId) -> BTreeMa
     let mut per_country: BTreeMap<Country, Vec<f64>> = BTreeMap::new();
     for r in &day.records {
         if r.offer.provider == provider {
-            per_country.entry(r.offer.country).or_default().push(r.per_gb());
+            per_country
+                .entry(r.offer.country)
+                .or_default()
+                .push(r.per_gb());
         }
     }
     per_country
@@ -73,7 +76,11 @@ pub fn provider_comparison(
             continue;
         }
         let values: Vec<f64> = medians.values().copied().collect();
-        let n_offers = day.records.iter().filter(|r| r.offer.provider == pid).count();
+        let n_offers = day
+            .records
+            .iter()
+            .filter(|r| r.offer.provider == pid)
+            .count();
         out.push(ProviderSummary {
             name: market.provider(pid).name.clone(),
             countries: medians.len(),
@@ -82,7 +89,11 @@ pub fn provider_comparison(
             cdf: Ecdf::new(&values).expect("non-empty"),
         });
     }
-    out.sort_by(|a, b| a.median_per_gb.partial_cmp(&b.median_per_gb).expect("no NaN"));
+    out.sort_by(|a, b| {
+        a.median_per_gb
+            .partial_cmp(&b.median_per_gb)
+            .expect("no NaN")
+    });
     out
 }
 
@@ -159,7 +170,10 @@ mod tests {
         assert!(keepgo.median_per_gb > airalo.median_per_gb * 1.5);
         // MobiMatter ~60% cheaper than Airalo.
         let discount = 1.0 - mobi.median_per_gb / airalo.median_per_gb;
-        assert!((0.35..0.75).contains(&discount), "MobiMatter discount {discount:.2}");
+        assert!(
+            (0.35..0.75).contains(&discount),
+            "MobiMatter discount {discount:.2}"
+        );
         // MobiMatter holds more offers than Airalo.
         assert!(mobi.offer_share > airalo.offer_share);
         // Sorted ascending by median.
@@ -174,7 +188,10 @@ mod tests {
         let medians = median_per_gb_by_country(&d, m.airalo());
         let values: Vec<f64> = medians.values().copied().collect();
         let med = median(&values).unwrap();
-        assert!((5.0..11.0).contains(&med), "worldwide median $/GB {med:.2} (paper: 7.9)");
+        assert!(
+            (5.0..11.0).contains(&med),
+            "worldwide median $/GB {med:.2} (paper: 7.9)"
+        );
     }
 
     #[test]
@@ -194,7 +211,10 @@ mod tests {
             .collect();
         if !ca.is_empty() {
             let ca_med = median(&ca).unwrap();
-            assert!(ca_med > cuts[6], "Central America ({ca_med:.1}) above the 70th pct");
+            assert!(
+                ca_med > cuts[6],
+                "Central America ({ca_med:.1}) above the 70th pct"
+            );
         }
     }
 
@@ -204,7 +224,11 @@ mod tests {
         let may = Crawler::new(Vantage::NewJersey).crawl(&m, 80);
         let med_of = |d: &CrawlDay| {
             let boxes = continent_boxplots(d, m.airalo());
-            boxes.iter().find(|(c, _)| *c == Continent::Asia).map(|(_, b)| b.median).unwrap()
+            boxes
+                .iter()
+                .find(|(c, _)| *c == Continent::Asia)
+                .map(|(_, b)| b.median)
+                .unwrap()
         };
         let delta = med_of(&may) / med_of(&feb);
         assert!(delta > 1.08, "Asia drift {delta:.3}");

@@ -74,9 +74,12 @@ impl CrawlDay {
         // Days per month from Feb 14: Feb has 16 days left (leap year),
         // then Mar 31, Apr 30, May 31.
         let mut d = self.day;
-        for (name, len, first) in
-            [("02", 16u32, 14u32), ("03", 31, 1), ("04", 30, 1), ("05", 31, 1)]
-        {
+        for (name, len, first) in [
+            ("02", 16u32, 14u32),
+            ("03", 31, 1),
+            ("04", 30, 1),
+            ("05", 31, 1),
+        ] {
             if d < len {
                 return format!("2024-{name}-{:02}", first + d);
             }
@@ -107,9 +110,16 @@ impl Crawler {
         let records = market
             .offers()
             .iter()
-            .map(|o| CrawlRecord { offer: *o, price_usd: market.price_on_day(o, day) })
+            .map(|o| CrawlRecord {
+                offer: *o,
+                price_usd: market.price_on_day(o, day),
+            })
             .collect();
-        CrawlDay { day, vantage: self.vantage, records }
+        CrawlDay {
+            day,
+            vantage: self.vantage,
+            records,
+        }
     }
 }
 
@@ -148,7 +158,11 @@ mod tests {
 
     #[test]
     fn date_labels_span_feb_to_may() {
-        let mk = |day| CrawlDay { day, vantage: Vantage::Madrid, records: vec![] };
+        let mk = |day| CrawlDay {
+            day,
+            vantage: Vantage::Madrid,
+            records: vec![],
+        };
         assert_eq!(mk(0).date_label(), "2024-02-14");
         assert_eq!(mk(15).date_label(), "2024-02-29", "2024 is a leap year");
         assert_eq!(mk(16).date_label(), "2024-03-01");

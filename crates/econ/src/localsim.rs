@@ -42,17 +42,67 @@ impl LocalSimOffer {
 pub fn local_sim_offers() -> Vec<LocalSimOffer> {
     vec![
         // The paper's two explicit data points:
-        LocalSimOffer { country: Country::ESP, plan_usd: 22.59, sim_fee_usd: 0.0, data_gb: 40.0 },
-        LocalSimOffer { country: Country::ARE, plan_usd: 13.60, sim_fee_usd: 15.72, data_gb: 6.0 },
+        LocalSimOffer {
+            country: Country::ESP,
+            plan_usd: 22.59,
+            sim_fee_usd: 0.0,
+            data_gb: 40.0,
+        },
+        LocalSimOffer {
+            country: Country::ARE,
+            plan_usd: 13.60,
+            sim_fee_usd: 15.72,
+            data_gb: 6.0,
+        },
         // Plausible local bundles for the remaining campaign countries.
-        LocalSimOffer { country: Country::GEO, plan_usd: 9.50, sim_fee_usd: 1.80, data_gb: 25.0 },
-        LocalSimOffer { country: Country::DEU, plan_usd: 19.99, sim_fee_usd: 0.0, data_gb: 20.0 },
-        LocalSimOffer { country: Country::KOR, plan_usd: 27.00, sim_fee_usd: 0.0, data_gb: 30.0 },
-        LocalSimOffer { country: Country::PAK, plan_usd: 4.30, sim_fee_usd: 0.70, data_gb: 25.0 },
-        LocalSimOffer { country: Country::QAT, plan_usd: 13.70, sim_fee_usd: 8.20, data_gb: 12.0 },
-        LocalSimOffer { country: Country::SAU, plan_usd: 16.00, sim_fee_usd: 9.30, data_gb: 15.0 },
-        LocalSimOffer { country: Country::THA, plan_usd: 8.50, sim_fee_usd: 1.50, data_gb: 30.0 },
-        LocalSimOffer { country: Country::GBR, plan_usd: 15.00, sim_fee_usd: 0.0, data_gb: 25.0 },
+        LocalSimOffer {
+            country: Country::GEO,
+            plan_usd: 9.50,
+            sim_fee_usd: 1.80,
+            data_gb: 25.0,
+        },
+        LocalSimOffer {
+            country: Country::DEU,
+            plan_usd: 19.99,
+            sim_fee_usd: 0.0,
+            data_gb: 20.0,
+        },
+        LocalSimOffer {
+            country: Country::KOR,
+            plan_usd: 27.00,
+            sim_fee_usd: 0.0,
+            data_gb: 30.0,
+        },
+        LocalSimOffer {
+            country: Country::PAK,
+            plan_usd: 4.30,
+            sim_fee_usd: 0.70,
+            data_gb: 25.0,
+        },
+        LocalSimOffer {
+            country: Country::QAT,
+            plan_usd: 13.70,
+            sim_fee_usd: 8.20,
+            data_gb: 12.0,
+        },
+        LocalSimOffer {
+            country: Country::SAU,
+            plan_usd: 16.00,
+            sim_fee_usd: 9.30,
+            data_gb: 15.0,
+        },
+        LocalSimOffer {
+            country: Country::THA,
+            plan_usd: 8.50,
+            sim_fee_usd: 1.50,
+            data_gb: 30.0,
+        },
+        LocalSimOffer {
+            country: Country::GBR,
+            plan_usd: 15.00,
+            sim_fee_usd: 0.0,
+            data_gb: 25.0,
+        },
     ]
 }
 
@@ -87,13 +137,20 @@ mod tests {
         let offers = local_sim_offers();
         let per_gb: Vec<f64> = offers.iter().map(LocalSimOffer::per_gb).collect();
         let med = median(&per_gb).unwrap();
-        assert!(med < 2.5, "local SIM median $/GB {med:.2} must undercut aggregators");
+        assert!(
+            med < 2.5,
+            "local SIM median $/GB {med:.2} must undercut aggregators"
+        );
     }
 
     #[test]
     fn totals_include_sim_fee() {
-        let o = LocalSimOffer { country: Country::ARE, plan_usd: 10.0, sim_fee_usd: 15.72,
-                                data_gb: 5.0 };
+        let o = LocalSimOffer {
+            country: Country::ARE,
+            plan_usd: 10.0,
+            sim_fee_usd: 15.72,
+            data_gb: 5.0,
+        };
         assert_eq!(o.total_usd(), 25.72);
         assert!((o.per_gb() - 5.144).abs() < 1e-9);
     }

@@ -94,9 +94,12 @@ impl Market {
                     // Sub-linear size→price: bigger plans are cheaper per
                     // GB, with per-country exponent wobble that produces
                     // Fig. 19's "unjustified" spread.
-                    let exponent = 0.78 + (u32::from(country.alpha2().as_bytes()[0]) % 7) as f64
-                        * 0.02;
-                    let price = LEVEL * spec.median_per_gb * factor * gb.powf(exponent)
+                    let exponent =
+                        0.78 + (u32::from(country.alpha2().as_bytes()[0]) % 7) as f64 * 0.02;
+                    let price = LEVEL
+                        * spec.median_per_gb
+                        * factor
+                        * gb.powf(exponent)
                         * rng.gen_range(0.85..1.15);
                     offers.push(EsimOffer {
                         provider: pid,
@@ -109,7 +112,11 @@ impl Market {
                 }
             }
         }
-        Market { providers, offers, airalo }
+        Market {
+            providers,
+            offers,
+            airalo,
+        }
     }
 
     /// All offers.
@@ -133,7 +140,10 @@ impl Market {
     /// Find a provider by name.
     #[must_use]
     pub fn find_provider(&self, name: &str) -> Option<ProviderId> {
-        self.providers.iter().position(|p| p.name == name).map(|i| ProviderId(i as u32))
+        self.providers
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ProviderId(i as u32))
     }
 
     /// The Airalo provider id.
@@ -161,11 +171,10 @@ impl Market {
             }
             // The cheap-African-plans floor rise (Fig. 16): applies to the
             // bottom of the distribution (below ~LEVEL × $5/GB).
-            Continent::Africa
-                if offer.per_gb() < 5.0 * LEVEL => {
-                    let ramp = ((day.saturating_sub(30)) as f64 / 45.0).clamp(0.0, 1.0);
-                    price *= 1.0 + 0.40 * ramp;
-                }
+            Continent::Africa if offer.per_gb() < 5.0 * LEVEL => {
+                let ramp = ((day.saturating_sub(30)) as f64 / 45.0).clamp(0.0, 1.0);
+                price *= 1.0 + 0.40 * ramp;
+            }
             _ => {}
         }
         // Deterministic per-(offer, day) wiggle, ±2%.
@@ -224,7 +233,11 @@ fn country_factor(is_airalo: bool, country: Country, rng: &mut SmallRng) -> f64 
         Continent::Oceania => 1.00,
         Continent::SouthAmerica => 0.92,
     };
-    let spread = if is_airalo { rng.gen_range(0.72..1.55) } else { rng.gen_range(0.7..1.4) };
+    let spread = if is_airalo {
+        rng.gen_range(0.72..1.55)
+    } else {
+        rng.gen_range(0.7..1.4)
+    };
     continent * spread
 }
 
@@ -254,15 +267,24 @@ mod tests {
         let n = m.offers().len();
         assert!((40_000..110_000).contains(&n), "offer count {n}");
         // Airalo's catalogue is thousands of plans.
-        let airalo_offers = m.offers().iter().filter(|o| o.provider == m.airalo()).count();
-        assert!((800..3000).contains(&airalo_offers), "airalo offers {airalo_offers}");
+        let airalo_offers = m
+            .offers()
+            .iter()
+            .filter(|o| o.provider == m.airalo())
+            .count();
+        assert!(
+            (800..3000).contains(&airalo_offers),
+            "airalo offers {airalo_offers}"
+        );
     }
 
     #[test]
     fn named_providers_exist_with_anchored_medians() {
         let m = Market::generate(1);
         for (name, med) in [("Airhub", 2.3), ("Keepgo", 16.2), ("MobiMatter", 3.2)] {
-            let id = m.find_provider(name).unwrap_or_else(|| panic!("{name} missing"));
+            let id = m
+                .find_provider(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(m.provider(id).median_per_gb, med);
         }
     }
@@ -334,7 +356,10 @@ mod tests {
         for o in m.offers().iter().take(5000) {
             assert!(o.base_price_usd > 0.0);
             let per_gb = o.per_gb();
-            assert!((0.1..200.0).contains(&per_gb), "absurd $/GB {per_gb} for {o:?}");
+            assert!(
+                (0.1..200.0).contains(&per_gb),
+                "absurd $/GB {per_gb} for {o:?}"
+            );
         }
     }
 }

@@ -166,13 +166,19 @@ mod tests {
         // centroid (within ~3500 km; generous for large countries like USA).
         for city in City::ALL {
             let d = city.location().distance_km(city.country().centroid());
-            assert!(d < 3500.0, "{city} is {d} km from {} centroid", city.country());
+            assert!(
+                d < 3500.0,
+                "{city} is {d} km from {} centroid",
+                city.country()
+            );
         }
     }
 
     #[test]
     fn wattrelos_is_near_lille() {
-        let d = City::Wattrelos.location().distance_km(City::Lille.location());
+        let d = City::Wattrelos
+            .location()
+            .distance_km(City::Lille.location());
         assert!(d < 30.0, "Wattrelos–Lille should be adjacent, got {d} km");
     }
 
@@ -183,13 +189,25 @@ mod tests {
         let dallas = City::Dallas.location();
         let fw = dallas.distance_km(City::FortWorth.location());
         let tulsa = dallas.distance_km(City::Tulsa.location());
-        assert!(fw < 80.0, "Fort Worth should be ~20-50 km from Dallas, got {fw}");
-        assert!((250.0..500.0).contains(&tulsa), "Tulsa should be ~380 km, got {tulsa}");
+        assert!(
+            fw < 80.0,
+            "Fort Worth should be ~20-50 km from Dallas, got {fw}"
+        );
+        assert!(
+            (250.0..500.0).contains(&tulsa),
+            "Tulsa should be ~380 km, got {tulsa}"
+        );
     }
 
     #[test]
     fn europe_pgw_cities_are_in_europe() {
-        for city in [City::Amsterdam, City::Lille, City::London, City::Dublin, City::Warsaw] {
+        for city in [
+            City::Amsterdam,
+            City::Lille,
+            City::London,
+            City::Dublin,
+            City::Warsaw,
+        ] {
             assert_eq!(city.country().continent(), Continent::Europe);
         }
     }

@@ -24,7 +24,10 @@ impl GeoPoint {
         } else if lon <= -180.0 {
             lon += 360.0;
         }
-        Self { lat_deg: lat, lon_deg: lon }
+        Self {
+            lat_deg: lat,
+            lon_deg: lon,
+        }
     }
 
     /// Latitude in decimal degrees, in `[-90, 90]`.

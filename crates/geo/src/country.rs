@@ -245,11 +245,30 @@ impl Country {
     /// The 24 countries where the paper measured an Airalo eSIM (both
     /// campaigns combined; §1 "24 of its 219 served countries").
     pub const MEASURED: [Country; 24] = [
-        Country::ARE, Country::JPN, Country::PAK, Country::MYS, Country::CHN,
-        Country::GBR, Country::DEU, Country::GEO, Country::ESP, Country::QAT,
-        Country::SAU, Country::TUR, Country::EGY, Country::MDA, Country::KEN,
-        Country::FIN, Country::AZE, Country::ITA, Country::USA, Country::FRA,
-        Country::UZB, Country::KOR, Country::MDV, Country::THA,
+        Country::ARE,
+        Country::JPN,
+        Country::PAK,
+        Country::MYS,
+        Country::CHN,
+        Country::GBR,
+        Country::DEU,
+        Country::GEO,
+        Country::ESP,
+        Country::QAT,
+        Country::SAU,
+        Country::TUR,
+        Country::EGY,
+        Country::MDA,
+        Country::KEN,
+        Country::FIN,
+        Country::AZE,
+        Country::ITA,
+        Country::USA,
+        Country::FRA,
+        Country::UZB,
+        Country::KOR,
+        Country::MDV,
+        Country::THA,
     ];
 
     /// True when this country is in the Central-America price cluster the
@@ -301,7 +320,10 @@ mod tests {
     fn gazetteer_is_reasonably_broad() {
         assert!(Country::ALL.len() >= 120, "got {}", Country::ALL.len());
         for cont in Continent::ALL {
-            let n = Country::ALL.iter().filter(|c| c.continent() == cont).count();
+            let n = Country::ALL
+                .iter()
+                .filter(|c| c.continent() == cont)
+                .count();
             assert!(n >= 2, "{cont} has only {n} countries");
         }
     }

@@ -63,7 +63,9 @@ mod tests {
     #[test]
     fn transatlantic_delay_is_plausible() {
         // London -> New York is ~5570 km; one-way fiber floor ~27 ms.
-        let d = City::London.location().distance_km(City::NewYork.location());
+        let d = City::London
+            .location()
+            .distance_km(City::NewYork.location());
         let ms = fiber_delay_ms(d);
         assert!((25.0..31.0).contains(&ms), "got {ms} ms over {d} km");
     }

@@ -135,8 +135,12 @@ impl GtpcMessage {
 
     /// The accepting Create Session Response from a PGW.
     #[must_use]
-    pub fn accept(request: &GtpcMessage, pgw_teid: u32, pgw_addr: Ipv4Addr,
-                  public_ip: Ipv4Addr) -> Self {
+    pub fn accept(
+        request: &GtpcMessage,
+        pgw_teid: u32,
+        pgw_addr: Ipv4Addr,
+        public_ip: Ipv4Addr,
+    ) -> Self {
         GtpcMessage {
             msg_type: GtpcMessageType::CreateSessionResponse,
             sequence: request.sequence,
@@ -175,7 +179,13 @@ impl GtpcMessage {
             // keeping a numbering-plan database.
             let digits = imsi.to_string();
             let mut v = Vec::with_capacity(16);
-            v.push(if digits.len() == 15 && imsi.plmn().to_string().len() == 7 { 3 } else { 2 });
+            v.push(
+                if digits.len() == 15 && imsi.plmn().to_string().len() == 7 {
+                    3
+                } else {
+                    2
+                },
+            );
             v.extend_from_slice(digits.as_bytes());
             put_ie(&mut body, IE_IMSI, &v);
         }
@@ -194,7 +204,10 @@ impl GtpcMessage {
             v.extend_from_slice(&addr.octets());
             put_ie(&mut body, IE_FTEID, &v);
         }
-        assert!(self.sequence < (1 << 24), "GTP-C sequence numbers are 3 bytes");
+        assert!(
+            self.sequence < (1 << 24),
+            "GTP-C sequence numbers are 3 bytes"
+        );
         let mut buf = BytesMut::with_capacity(8 + body.len());
         buf.put_u8(0x40); // version 2, P=0, T=0
         buf.put_u8(self.msg_type.code());
@@ -263,8 +276,7 @@ impl GtpcMessage {
                 }
                 IE_CAUSE => {
                     let code = *val.first().ok_or(WireError::Truncated)?;
-                    msg.cause =
-                        Some(Cause::from_code(code).ok_or(WireError::BadField("cause"))?);
+                    msg.cause = Some(Cause::from_code(code).ok_or(WireError::BadField("cause"))?);
                 }
                 IE_APN => {
                     msg.apn = Some(
@@ -305,8 +317,12 @@ fn put_ie(buf: &mut BytesMut, ty: u8, val: &[u8]) {
 /// observed encoded sizes, plus the echo/keepalive budget per session) —
 /// the quantity the Fig. 5 signalling model charges per attach.
 #[must_use]
-pub fn signalling_bytes_per_attach(imsi: Imsi, sgw: Ipv4Addr, pgw: Ipv4Addr,
-                                   public_ip: Ipv4Addr) -> usize {
+pub fn signalling_bytes_per_attach(
+    imsi: Imsi,
+    sgw: Ipv4Addr,
+    pgw: Ipv4Addr,
+    public_ip: Ipv4Addr,
+) -> usize {
     let req = GtpcMessage::create_session_request(1, imsi, "internet", 0x10, sgw);
     let resp = GtpcMessage::accept(&req, 0x20, pgw, public_ip);
     req.encode().len() + resp.encode().len()
@@ -327,8 +343,13 @@ mod tests {
 
     #[test]
     fn create_session_round_trip() {
-        let req = GtpcMessage::create_session_request(0xABCDE, imsi(), "internet", 0x1234,
-                                                      addr("10.9.0.3"));
+        let req = GtpcMessage::create_session_request(
+            0xABCDE,
+            imsi(),
+            "internet",
+            0x1234,
+            addr("10.9.0.3"),
+        );
         let back = GtpcMessage::decode(&req.encode()).unwrap();
         assert_eq!(back, req);
         assert_eq!(back.sequence, 0xABCDE);
@@ -339,21 +360,21 @@ mod tests {
 
     #[test]
     fn accept_response_assigns_the_public_address() {
-        let req = GtpcMessage::create_session_request(7, imsi(), "internet", 1,
-                                                      addr("10.0.0.3"));
-        let resp = GtpcMessage::accept(&req, 0x99, addr("202.166.126.1"),
-                                       addr("202.166.126.9"));
+        let req = GtpcMessage::create_session_request(7, imsi(), "internet", 1, addr("10.0.0.3"));
+        let resp = GtpcMessage::accept(&req, 0x99, addr("202.166.126.1"), addr("202.166.126.9"));
         let back = GtpcMessage::decode(&resp.encode()).unwrap();
         assert_eq!(back.sequence, 7, "responses echo the request sequence");
         assert_eq!(back.cause, Some(Cause::Accepted));
-        assert_eq!(back.paa, Some(addr("202.166.126.9")),
-                   "the PAA is the IP the tomography will classify");
+        assert_eq!(
+            back.paa,
+            Some(addr("202.166.126.9")),
+            "the PAA is the IP the tomography will classify"
+        );
     }
 
     #[test]
     fn rejection_round_trip() {
-        let req = GtpcMessage::create_session_request(9, imsi(), "internet", 1,
-                                                      addr("10.0.0.3"));
+        let req = GtpcMessage::create_session_request(9, imsi(), "internet", 1, addr("10.0.0.3"));
         for cause in [Cause::NoResources, Cause::AccessDenied] {
             let resp = GtpcMessage::reject(&req, cause);
             let back = GtpcMessage::decode(&resp.encode()).unwrap();
@@ -365,15 +386,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "failure cause")]
     fn accepting_via_reject_is_a_bug() {
-        let req = GtpcMessage::create_session_request(9, imsi(), "internet", 1,
-                                                      addr("10.0.0.3"));
+        let req = GtpcMessage::create_session_request(9, imsi(), "internet", 1, addr("10.0.0.3"));
         let _ = GtpcMessage::reject(&req, Cause::Accepted);
     }
 
     #[test]
     fn truncation_and_version_errors() {
-        let req = GtpcMessage::create_session_request(3, imsi(), "internet", 1,
-                                                      addr("10.0.0.3"));
+        let req = GtpcMessage::create_session_request(3, imsi(), "internet", 1, addr("10.0.0.3"));
         let enc = req.encode();
         for cut in [0, 4, 7, enc.len() - 1] {
             assert!(GtpcMessage::decode(&enc[..cut]).is_err(), "cut {cut}");
@@ -387,8 +406,7 @@ mod tests {
     fn three_digit_mnc_imsi_round_trips() {
         // Telna-style PLMN (310-240) must survive encode/decode intact.
         let imsi3 = Imsi::new(Plmn::new(310, 240, 3), 123_456_789);
-        let req = GtpcMessage::create_session_request(5, imsi3, "internet", 9,
-                                                      addr("10.0.0.3"));
+        let req = GtpcMessage::create_session_request(5, imsi3, "internet", 9, addr("10.0.0.3"));
         let back = GtpcMessage::decode(&req.encode()).unwrap();
         assert_eq!(back.imsi, Some(imsi3));
     }
@@ -396,8 +414,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "3 bytes")]
     fn oversized_sequence_is_a_programming_error() {
-        let req = GtpcMessage::create_session_request(1 << 24, imsi(), "internet", 1,
-                                                      addr("10.0.0.3"));
+        let req =
+            GtpcMessage::create_session_request(1 << 24, imsi(), "internet", 1, addr("10.0.0.3"));
         let _ = req.encode();
     }
 
@@ -415,8 +433,12 @@ mod tests {
 
     #[test]
     fn signalling_budget_is_plausible() {
-        let bytes = signalling_bytes_per_attach(imsi(), addr("10.0.0.3"),
-                                                addr("147.75.80.1"), addr("147.75.80.3"));
+        let bytes = signalling_bytes_per_attach(
+            imsi(),
+            addr("10.0.0.3"),
+            addr("147.75.80.1"),
+            addr("147.75.80.3"),
+        );
         // Two small control messages: tens of bytes, not kilobytes.
         assert!((40..200).contains(&bytes), "got {bytes}");
     }

@@ -27,5 +27,7 @@ pub mod session;
 
 pub use breakout::{BreakoutConfig, DnsMode, RoamingArch};
 pub use gtpc::{signalling_bytes_per_attach, Cause, GtpcMessage, GtpcMessageType};
-pub use provider::{IpAssignment, PgwProvider, PgwProviderId, PgwSelection, PgwSite, ProviderDirectory};
+pub use provider::{
+    IpAssignment, PgwProvider, PgwProviderId, PgwSelection, PgwSite, ProviderDirectory,
+};
 pub use session::{attach, AttachParams, Attachment, PeeringQuality};

@@ -31,8 +31,10 @@ impl PgwSite {
     /// A site with a sanity-checked pool size.
     #[must_use]
     pub fn new(city: City, prefix: Ipv4Net, pool: u64) -> Self {
-        assert!(pool >= 1 && pool <= prefix.size().saturating_sub(2),
-                "pool {pool} does not fit prefix {prefix}");
+        assert!(
+            pool >= 1 && pool <= prefix.size().saturating_sub(2),
+            "pool {pool} does not fit prefix {prefix}"
+        );
         PgwSite { city, prefix, pool }
     }
 }
@@ -92,17 +94,28 @@ pub struct PgwProvider {
 impl PgwProvider {
     /// Pick the site for a new session of `bmno`.
     pub fn select_site(&self, bmno: MnoId, rng: &mut SmallRng) -> usize {
-        assert!(!self.sites.is_empty(), "provider {} has no sites", self.name);
+        assert!(
+            !self.sites.is_empty(),
+            "provider {} has no sites",
+            self.name
+        );
         match &self.selection {
             PgwSelection::Fixed(i) => {
                 assert!(*i < self.sites.len());
                 *i
             }
             PgwSelection::ByBmno(map) => {
-                let i = map.iter().find(|(m, _)| *m == bmno).map(|(_, i)| *i).unwrap_or(0);
-                assert!(i < self.sites.len(),
-                        "ByBmno maps {bmno:?} to site {i} but {} has {} sites",
-                        self.name, self.sites.len());
+                let i = map
+                    .iter()
+                    .find(|(m, _)| *m == bmno)
+                    .map(|(_, i)| *i)
+                    .unwrap_or(0);
+                assert!(
+                    i < self.sites.len(),
+                    "ByBmno maps {bmno:?} to site {i} but {} has {} sites",
+                    self.name,
+                    self.sites.len()
+                );
                 i
             }
             PgwSelection::LoadBalanced => rng.gen_range(0..self.sites.len()),
@@ -136,7 +149,10 @@ impl ProviderDirectory {
 
     /// Register a provider.
     pub fn add(&mut self, provider: PgwProvider) -> PgwProviderId {
-        assert!(!provider.sites.is_empty(), "provider needs at least one site");
+        assert!(
+            !provider.sites.is_empty(),
+            "provider needs at least one site"
+        );
         let id = PgwProviderId(self.providers.len() as u32);
         self.providers.push(provider);
         id
@@ -151,12 +167,18 @@ impl ProviderDirectory {
     /// Find by ASN (the reverse lookup the tomography performs).
     #[must_use]
     pub fn find_by_asn(&self, asn: Asn) -> Option<PgwProviderId> {
-        self.providers.iter().position(|p| p.asn == asn).map(|i| PgwProviderId(i as u32))
+        self.providers
+            .iter()
+            .position(|p| p.asn == asn)
+            .map(|i| PgwProviderId(i as u32))
     }
 
     /// Iterate `(id, provider)`.
     pub fn iter(&self) -> impl Iterator<Item = (PgwProviderId, &PgwProvider)> {
-        self.providers.iter().enumerate().map(|(i, p)| (PgwProviderId(i as u32), p))
+        self.providers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PgwProviderId(i as u32), p))
     }
 
     /// Number of providers.
@@ -183,7 +205,11 @@ mod tests {
             name: "Packet Host".into(),
             asn: well_known::PACKET_HOST,
             sites: vec![
-                PgwSite::new(City::Amsterdam, Ipv4Net::parse("147.75.80.0/22").unwrap(), 4),
+                PgwSite::new(
+                    City::Amsterdam,
+                    Ipv4Net::parse("147.75.80.0/22").unwrap(),
+                    4,
+                ),
                 PgwSite::new(City::Ashburn, Ipv4Net::parse("147.28.128.0/22").unwrap(), 4),
             ],
             selection: PgwSelection::LoadBalanced,
@@ -209,7 +235,11 @@ mod tests {
         p.selection = PgwSelection::ByBmno(vec![(MnoId(7), 1)]);
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(p.select_site(MnoId(7), &mut rng), 1);
-        assert_eq!(p.select_site(MnoId(9), &mut rng), 0, "unlisted b-MNO falls back");
+        assert_eq!(
+            p.select_site(MnoId(9), &mut rng),
+            0,
+            "unlisted b-MNO falls back"
+        );
     }
 
     #[test]

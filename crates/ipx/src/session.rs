@@ -47,7 +47,10 @@ pub struct PeeringQuality {
 
 impl Default for PeeringQuality {
     fn default() -> Self {
-        PeeringQuality { map: HashMap::new(), default: 1.9 }
+        PeeringQuality {
+            map: HashMap::new(),
+            default: 1.9,
+        }
     }
 }
 
@@ -55,8 +58,14 @@ impl PeeringQuality {
     /// A quality table with the given default circuitousness.
     #[must_use]
     pub fn with_default(default: f64) -> Self {
-        assert!(default >= 1.0, "circuitousness cannot beat the great circle");
-        PeeringQuality { map: HashMap::new(), default }
+        assert!(
+            default >= 1.0,
+            "circuitousness cannot beat the great circle"
+        );
+        PeeringQuality {
+            map: HashMap::new(),
+            default,
+        }
     }
 
     /// Record the quality of the (v-MNO, carrier) pair.
@@ -158,16 +167,34 @@ pub fn attach(
 
     // --- UE, RAN, SGW on the visited side ---------------------------------
     let label = format!("s{}", s);
-    let ue = net.add_node(&format!("{label}-ue"), NodeKind::Host, params.ue_city, priv_ip(2));
-    let ran = net.add_node(&format!("{label}-ran"), NodeKind::Router, params.ue_city, priv_ip(1));
-    let sgw = net.add_node(&format!("{label}-sgw"), NodeKind::Router, params.ue_city, priv_ip(3));
+    let ue = net.add_node(
+        &format!("{label}-ue"),
+        NodeKind::Host,
+        params.ue_city,
+        priv_ip(2),
+    );
+    let ran = net.add_node(
+        &format!("{label}-ran"),
+        NodeKind::Router,
+        params.ue_city,
+        priv_ip(1),
+    );
+    let sgw = net.add_node(
+        &format!("{label}-sgw"),
+        NodeKind::Router,
+        params.ue_city,
+        priv_ip(3),
+    );
 
     // Radio link: latency from the RAT at a typical good channel; per-test
     // channel variation is applied by the measurement layer on throughput.
-    let radio = LatencyModel::fixed(radio_latency_ms(params.rat, Cqi::new(11)), match params.rat {
-        Rat::Lte => 9.0,
-        Rat::Nr5g => 4.0,
-    })
+    let radio = LatencyModel::fixed(
+        radio_latency_ms(params.rat, Cqi::new(11)),
+        match params.rat {
+            Rat::Lte => 9.0,
+            Rat::Nr5g => 4.0,
+        },
+    )
     // Rare outage-scale stalls (HARQ storms, cell handovers): the source of
     // the small >150 ms tail even physical SIMs show (§5.1: ~3%).
     .with_spikes(0.03, 280.0);
@@ -236,17 +263,15 @@ pub fn attach(
     // carries the tunnel endpoint and — crucially for the tomography — the
     // PDN Address Allocation, i.e. the public IP the outside world sees.
     let sgw_teid = rng.gen::<u32>() | 1;
-    let request = GtpcMessage::create_session_request(
-        s + 1,
-        params.imsi,
-        "internet",
-        sgw_teid,
-        priv_ip(3),
-    );
+    let request =
+        GtpcMessage::create_session_request(s + 1, params.imsi, "internet", sgw_teid, priv_ip(3));
     let pgw_teid = rng.gen::<u32>() | 1;
     let response = GtpcMessage::accept(&request, pgw_teid, priv_ip(10), public_ip);
     let response = GtpcMessage::decode(&response.encode()).expect("self-encoded response");
-    assert_eq!(response.sequence, request.sequence, "response matches request");
+    assert_eq!(
+        response.sequence, request.sequence,
+        "response matches request"
+    );
     let teid = response.fteid.expect("accepted session has an F-TEID").0;
     assert_eq!(
         response.paa,
@@ -350,14 +375,26 @@ mod tests {
     fn hr_attachment_builds_expected_chain() {
         let mut net = Network::new(1);
         let mut rng = SmallRng::seed_from_u64(2);
-        let att = attach(&mut net, &providers(), &mnos(), &PeeringQuality::default(),
-                         &params(0), &mut rng);
+        let att = attach(
+            &mut net,
+            &providers(),
+            &mnos(),
+            &PeeringQuality::default(),
+            &params(0),
+            &mut rng,
+        );
         assert_eq!(att.arch, RoamingArch::HomeRouted);
         assert_eq!(att.breakout_city, City::Singapore);
-        assert!(att.tunnel_km > 4000.0, "Karachi→Singapore: {} km", att.tunnel_km);
+        assert!(
+            att.tunnel_km > 4000.0,
+            "Karachi→Singapore: {} km",
+            att.tunnel_km
+        );
         assert_eq!(att.private_hops, 8, "RAN + SGW + 6 Singtel core hops");
         // Public IP from the Singtel /24.
-        assert!(Ipv4Net::parse("202.166.126.0/24").unwrap().contains(att.public_ip));
+        assert!(Ipv4Net::parse("202.166.126.0/24")
+            .unwrap()
+            .contains(att.public_ip));
         assert!(att.teid != 0);
     }
 
@@ -365,17 +402,29 @@ mod tests {
     fn traceroute_from_ue_shows_private_then_public() {
         let mut net = Network::new(1);
         let mut rng = SmallRng::seed_from_u64(2);
-        let att = attach(&mut net, &providers(), &mnos(), &PeeringQuality::default(),
-                         &params(0), &mut rng);
+        let att = attach(
+            &mut net,
+            &providers(),
+            &mnos(),
+            &PeeringQuality::default(),
+            &params(0),
+            &mut rng,
+        );
         // Add a public destination behind the CG-NAT.
-        let sp = net.add_node("google-sg", NodeKind::SpEdge, City::Singapore,
-                              "142.250.4.100".parse().unwrap());
+        let sp = net.add_node(
+            "google-sg",
+            NodeKind::SpEdge,
+            City::Singapore,
+            "142.250.4.100".parse().unwrap(),
+        );
         net.link_geo(att.cgnat, sp, LinkClass::Peering);
         let tr = net.traceroute(att.ue, sp, TracerouteOpts::default());
         assert!(tr.reached);
         let demarcation = tr.first_public_hop().unwrap();
-        assert_eq!(demarcation, att.private_hops as usize,
-                   "first public hop right after the private path");
+        assert_eq!(
+            demarcation, att.private_hops as usize,
+            "first public hop right after the private path"
+        );
         assert_eq!(tr.hops[demarcation].ip, Some(att.public_ip));
         assert_eq!(net.egress_public_ip(att.ue, sp), Some(att.public_ip));
     }
@@ -388,8 +437,12 @@ mod tests {
             let mut pq = PeeringQuality::default();
             pq.set(MnoId(0), PgwProviderId(0), circ);
             let att = attach(&mut net, &providers(), &mnos(), &pq, &params(0), &mut rng);
-            let sp = net.add_node("sp", NodeKind::SpEdge, City::Singapore,
-                                  "142.250.4.100".parse().unwrap());
+            let sp = net.add_node(
+                "sp",
+                NodeKind::SpEdge,
+                City::Singapore,
+                "142.250.4.100".parse().unwrap(),
+            );
             net.link_geo(att.cgnat, sp, LinkClass::Peering);
             net.base_one_way_ms(att.ue, sp).unwrap()
         };
@@ -402,10 +455,22 @@ mod tests {
     fn sessions_use_disjoint_private_space() {
         let mut net = Network::new(1);
         let mut rng = SmallRng::seed_from_u64(2);
-        let a = attach(&mut net, &providers(), &mnos(), &PeeringQuality::default(),
-                       &params(0), &mut rng);
-        let b = attach(&mut net, &providers(), &mnos(), &PeeringQuality::default(),
-                       &params(1), &mut rng);
+        let a = attach(
+            &mut net,
+            &providers(),
+            &mnos(),
+            &PeeringQuality::default(),
+            &params(0),
+            &mut rng,
+        );
+        let b = attach(
+            &mut net,
+            &providers(),
+            &mnos(),
+            &PeeringQuality::default(),
+            &params(1),
+            &mut rng,
+        );
         assert_ne!(net.node(a.ue).ip, net.node(b.ue).ip);
         assert_ne!(net.node(a.sgw).ip, net.node(b.sgw).ip);
     }
@@ -416,8 +481,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut ips = std::collections::HashSet::new();
         for s in 0..50 {
-            let att = attach(&mut net, &providers(), &mnos(), &PeeringQuality::default(),
-                             &params(s), &mut rng);
+            let att = attach(
+                &mut net,
+                &providers(),
+                &mnos(),
+                &PeeringQuality::default(),
+                &params(s),
+                &mut rng,
+            );
             ips.insert(att.public_ip);
         }
         assert!(ips.len() <= 6, "pooled PGW addresses: got {}", ips.len());
@@ -449,12 +520,25 @@ mod tests {
             b_mno: MnoId(0),
             ..params(0)
         };
-        let att = attach(&mut net, &providers_dir, &mnos(), &PeeringQuality::default(),
-                         &p, &mut rng);
+        let att = attach(
+            &mut net,
+            &providers_dir,
+            &mnos(),
+            &PeeringQuality::default(),
+            &p,
+            &mut rng,
+        );
         assert!(att.tunnel_km < 50.0);
-        assert_eq!(att.private_hops, 4, "RAN + SGW + 2 core hops, the PAK SIM value");
-        let sp = net.add_node("sp", NodeKind::SpEdge, City::Karachi,
-                              "142.250.9.9".parse().unwrap());
+        assert_eq!(
+            att.private_hops, 4,
+            "RAN + SGW + 2 core hops, the PAK SIM value"
+        );
+        let sp = net.add_node(
+            "sp",
+            NodeKind::SpEdge,
+            City::Karachi,
+            "142.250.9.9".parse().unwrap(),
+        );
         net.link_geo(att.cgnat, sp, LinkClass::Peering);
         let rtt = net.rtt_ms(att.ue, sp).unwrap();
         assert!(rtt < 90.0, "native path must be fast, got {rtt:.1} ms");

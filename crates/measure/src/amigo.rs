@@ -320,17 +320,15 @@ impl MeasurementEndpoint {
                     None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
                 }
             }
-            Instrumentation::DnsCheck => {
-                match resolve(net, &ep, targets, "test.nextdns.io", rng) {
-                    Some(r) => data.dns.push(crate::campaign::DnsRecord {
-                        tag,
-                        lookup_ms: r.lookup_ms,
-                        resolver_city: r.resolver_city,
-                        doh: r.doh,
-                    }),
-                    None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
-                }
-            }
+            Instrumentation::DnsCheck => match resolve(net, &ep, targets, "test.nextdns.io", rng) {
+                Some(r) => data.dns.push(crate::campaign::DnsRecord {
+                    tag,
+                    lookup_ms: r.lookup_ms,
+                    resolver_city: r.resolver_city,
+                    doh: r.doh,
+                }),
+                None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
+            },
             Instrumentation::Video => match play_youtube(net, &ep, targets, rng) {
                 Some(r) => data.videos.push(crate::campaign::VideoRecord {
                     tag,

@@ -37,7 +37,12 @@ pub struct RecordTag {
 
 impl RecordTag {
     fn of(ep: &Endpoint) -> Self {
-        RecordTag { country: ep.country, sim_type: ep.sim_type, arch: ep.att.arch, rat: ep.rat() }
+        RecordTag {
+            country: ep.country,
+            sim_type: ep.sim_type,
+            arch: ep.att.arch,
+            rat: ep.rat(),
+        }
     }
 }
 
@@ -134,7 +139,10 @@ impl CampaignData {
     /// Speedtests passing the paper's CQI ≥ 7 filter.
     #[must_use]
     pub fn filtered_speedtests(&self) -> Vec<&SpeedtestRecord> {
-        self.speedtests.iter().filter(|r| r.cqi.passes_quality_filter()).collect()
+        self.speedtests
+            .iter()
+            .filter(|r| r.cqi.passes_quality_filter())
+            .collect()
     }
 }
 
@@ -199,7 +207,11 @@ pub fn run_device_campaign(
         for service in MTR_TARGETS {
             for _ in 0..counts.1 {
                 if let Some(out) = mtr(net, ep, targets, service) {
-                    data.traces.push(TraceRecord { tag, service, analysis: out.analysis });
+                    data.traces.push(TraceRecord {
+                        tag,
+                        service,
+                        analysis: out.analysis,
+                    });
                 }
             }
         }
@@ -242,11 +254,23 @@ pub fn run_device_campaign(
 }
 
 fn spec_counts_sim(s: &DeviceCampaignSpec) -> (u32, u32, u32, u32, u32) {
-    (s.ookla.0, s.mtr_per_target.0, s.cdn_per_provider.0, s.dns.0, s.video.0)
+    (
+        s.ookla.0,
+        s.mtr_per_target.0,
+        s.cdn_per_provider.0,
+        s.dns.0,
+        s.video.0,
+    )
 }
 
 fn spec_counts_esim(s: &DeviceCampaignSpec) -> (u32, u32, u32, u32, u32) {
-    (s.ookla.1, s.mtr_per_target.1, s.cdn_per_provider.1, s.dns.1, s.video.1)
+    (
+        s.ookla.1,
+        s.mtr_per_target.1,
+        s.cdn_per_provider.1,
+        s.dns.1,
+        s.video.1,
+    )
 }
 
 /// One completed web-campaign measurement: "the volunteer uploading their

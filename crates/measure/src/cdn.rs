@@ -113,8 +113,7 @@ pub fn fetch_jquery(
     rng: &mut SmallRng,
 ) -> Option<CdnResult> {
     let dns = resolve(net, endpoint, targets, provider.hostname(), rng)?;
-    let edge =
-        targets.nearest(net, Service::Cdn(provider), endpoint.att.breakout_city)?;
+    let edge = targets.nearest(net, Service::Cdn(provider), endpoint.att.breakout_city)?;
     let rtt = net.rtt_ms(endpoint.att.ue, edge)?;
     let cqi = endpoint.channel.sample(rng);
 
@@ -134,9 +133,8 @@ pub fn fetch_jquery(
         if let Some(origin) = targets.origin(provider) {
             let edge_city = net.node(edge).city.location();
             let origin_city = net.node(origin).city.location();
-            let origin_rtt = 2.0 * roam_geo::fiber_delay_ms(edge_city.distance_km(origin_city))
-                * 1.4
-                + 2.0;
+            let origin_rtt =
+                2.0 * roam_geo::fiber_delay_ms(edge_city.distance_km(origin_city)) * 1.4 + 2.0;
             total += 1.5 * origin_rtt; // connect reuse + object fetch
         } else {
             total += 120.0; // no origin registered: generic penalty
@@ -164,18 +162,57 @@ mod tests {
 
     fn world(tunnel_ms: f64) -> (Network, Endpoint, ServiceTargets) {
         let mut net = Network::new(21);
-        let ue = net.add_node("ue", NodeKind::Host, City::Karachi, "10.0.0.2".parse().unwrap());
-        let nat = net.add_node("nat", NodeKind::CgNat, City::Singapore,
-                               "202.166.126.7".parse().unwrap());
-        net.link_with(ue, nat, LinkClass::Tunnel, LatencyModel::fixed(tunnel_ms, 1.0), 0.0);
-        let edge = net.add_node("cf-sgp", NodeKind::SpEdge, City::Singapore,
-                                "104.16.1.1".parse().unwrap());
-        let origin = net.add_node("cf-origin", NodeKind::SpEdge, City::Ashburn,
-                                  "104.16.9.9".parse().unwrap());
-        let dns_node = net.add_node("op-dns", NodeKind::DnsResolver, City::Singapore,
-                                    "165.21.83.88".parse().unwrap());
-        net.link_with(nat, edge, LinkClass::Peering, LatencyModel::fixed(1.0, 0.2), 0.0);
-        net.link_with(nat, dns_node, LinkClass::Metro, LatencyModel::fixed(0.8, 0.1), 0.0);
+        let ue = net.add_node(
+            "ue",
+            NodeKind::Host,
+            City::Karachi,
+            "10.0.0.2".parse().unwrap(),
+        );
+        let nat = net.add_node(
+            "nat",
+            NodeKind::CgNat,
+            City::Singapore,
+            "202.166.126.7".parse().unwrap(),
+        );
+        net.link_with(
+            ue,
+            nat,
+            LinkClass::Tunnel,
+            LatencyModel::fixed(tunnel_ms, 1.0),
+            0.0,
+        );
+        let edge = net.add_node(
+            "cf-sgp",
+            NodeKind::SpEdge,
+            City::Singapore,
+            "104.16.1.1".parse().unwrap(),
+        );
+        let origin = net.add_node(
+            "cf-origin",
+            NodeKind::SpEdge,
+            City::Ashburn,
+            "104.16.9.9".parse().unwrap(),
+        );
+        let dns_node = net.add_node(
+            "op-dns",
+            NodeKind::DnsResolver,
+            City::Singapore,
+            "165.21.83.88".parse().unwrap(),
+        );
+        net.link_with(
+            nat,
+            edge,
+            LinkClass::Peering,
+            LatencyModel::fixed(1.0, 0.2),
+            0.0,
+        );
+        net.link_with(
+            nat,
+            dns_node,
+            LinkClass::Metro,
+            LatencyModel::fixed(0.8, 0.1),
+            0.0,
+        );
         net.link_geo(edge, origin, LinkClass::Backbone);
         let mut targets = ServiceTargets::new();
         targets.add(Service::Cdn(CdnProvider::Cloudflare), edge);
@@ -206,7 +243,10 @@ mod tests {
             policy_up_mbps: 6.0,
             youtube_cap_mbps: None,
             loss: 0.0,
-            channel: ChannelSampler { mode_cqi: 12, weak_tail: 0.0 },
+            channel: ChannelSampler {
+                mode_cqi: 12,
+                weak_tail: 0.0,
+            },
         };
         (net, ep, targets)
     }
@@ -217,15 +257,31 @@ mod tests {
         let opts = CdnOptions { miss_rate: 0.0 };
         let (mut fast_net, fast_ep, t1) = world(10.0);
         let (mut slow_net, slow_ep, t2) = world(180.0);
-        let fast =
-            fetch_jquery(&mut fast_net, &fast_ep, &t1, CdnProvider::Cloudflare, opts, &mut rng)
-                .unwrap();
-        let slow =
-            fetch_jquery(&mut slow_net, &slow_ep, &t2, CdnProvider::Cloudflare, opts, &mut rng)
-                .unwrap();
+        let fast = fetch_jquery(
+            &mut fast_net,
+            &fast_ep,
+            &t1,
+            CdnProvider::Cloudflare,
+            opts,
+            &mut rng,
+        )
+        .unwrap();
+        let slow = fetch_jquery(
+            &mut slow_net,
+            &slow_ep,
+            &t2,
+            CdnProvider::Cloudflare,
+            opts,
+            &mut rng,
+        )
+        .unwrap();
         let ratio = slow.total_ms / fast.total_ms;
         assert!(ratio > 3.0, "HR-scale RTT inflation: {ratio:.1}x");
-        assert!(slow.total_ms > 1500.0, "HR CDN fetches take seconds: {}", slow.total_ms);
+        assert!(
+            slow.total_ms > 1500.0,
+            "HR CDN fetches take seconds: {}",
+            slow.total_ms
+        );
     }
 
     #[test]
@@ -235,9 +291,15 @@ mod tests {
         let mut hit_times = vec![];
         let mut miss_times = vec![];
         for _ in 0..300 {
-            let r = fetch_jquery(&mut net, &ep, &targets, CdnProvider::Cloudflare,
-                                 CdnOptions { miss_rate: 0.3 }, &mut rng)
-                .unwrap();
+            let r = fetch_jquery(
+                &mut net,
+                &ep,
+                &targets,
+                CdnProvider::Cloudflare,
+                CdnOptions { miss_rate: 0.3 },
+                &mut rng,
+            )
+            .unwrap();
             if r.cache_hit {
                 hit_times.push(r.total_ms);
             } else {
@@ -246,17 +308,27 @@ mod tests {
         }
         assert!(!miss_times.is_empty() && !hit_times.is_empty());
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(avg(&miss_times) > avg(&hit_times) + 100.0,
-                "origin fetch must hurt: hit {:.0} vs miss {:.0}", avg(&hit_times), avg(&miss_times));
+        assert!(
+            avg(&miss_times) > avg(&hit_times) + 100.0,
+            "origin fetch must hurt: hit {:.0} vs miss {:.0}",
+            avg(&hit_times),
+            avg(&miss_times)
+        );
     }
 
     #[test]
     fn dns_time_is_part_of_total() {
         let mut rng = SmallRng::seed_from_u64(3);
         let (mut net, ep, targets) = world(10.0);
-        let r = fetch_jquery(&mut net, &ep, &targets, CdnProvider::Cloudflare,
-                             CdnOptions { miss_rate: 0.0 }, &mut rng)
-            .unwrap();
+        let r = fetch_jquery(
+            &mut net,
+            &ep,
+            &targets,
+            CdnProvider::Cloudflare,
+            CdnOptions { miss_rate: 0.0 },
+            &mut rng,
+        )
+        .unwrap();
         assert!(r.dns_ms > 0.0 && r.dns_ms < r.total_ms);
         assert_eq!(r.edge_city, City::Singapore);
     }
@@ -274,8 +346,14 @@ mod tests {
     fn unreachable_cdn_returns_none() {
         let mut rng = SmallRng::seed_from_u64(4);
         let (mut net, ep, targets) = world(10.0);
-        assert!(fetch_jquery(&mut net, &ep, &targets, CdnProvider::JsDelivr,
-                             CdnOptions::default(), &mut rng)
-            .is_none());
+        assert!(fetch_jquery(
+            &mut net,
+            &ep,
+            &targets,
+            CdnProvider::JsDelivr,
+            CdnOptions::default(),
+            &mut rng
+        )
+        .is_none());
     }
 }

@@ -42,7 +42,8 @@ impl Endpoint {
     /// for the TDD/FDD mixes in play).
     #[must_use]
     pub fn effective_up_mbps(&self, cqi: Cqi) -> f64 {
-        self.policy_up_mbps.min(phy_rate_mbps(self.att.rat, cqi) * 0.5)
+        self.policy_up_mbps
+            .min(phy_rate_mbps(self.att.rat, cqi) * 0.5)
     }
 
     /// RAT of the attachment.

@@ -87,16 +87,51 @@ mod tests {
 
     fn world(tunnel_ms: f64, down: f64) -> (Network, Endpoint, ServiceTargets) {
         let mut net = Network::new(9);
-        let ue = net.add_node("ue", NodeKind::Host, City::Karachi, "10.0.0.2".parse().unwrap());
-        let nat = net.add_node("nat", NodeKind::CgNat, City::Singapore,
-                               "202.166.126.5".parse().unwrap());
-        net.link_with(ue, nat, LinkClass::Tunnel, LatencyModel::fixed(tunnel_ms, 0.5), 0.0);
-        let ookla_sgp = net.add_node("ookla-sgp", NodeKind::SpEdge, City::Singapore,
-                                     "202.150.1.1".parse().unwrap());
-        let ookla_khi = net.add_node("ookla-khi", NodeKind::SpEdge, City::Karachi,
-                                     "119.160.1.1".parse().unwrap());
-        net.link_with(nat, ookla_sgp, LinkClass::Peering, LatencyModel::fixed(1.0, 0.2), 0.0);
-        net.link_with(nat, ookla_khi, LinkClass::Backbone, LatencyModel::fixed(40.0, 1.0), 0.0);
+        let ue = net.add_node(
+            "ue",
+            NodeKind::Host,
+            City::Karachi,
+            "10.0.0.2".parse().unwrap(),
+        );
+        let nat = net.add_node(
+            "nat",
+            NodeKind::CgNat,
+            City::Singapore,
+            "202.166.126.5".parse().unwrap(),
+        );
+        net.link_with(
+            ue,
+            nat,
+            LinkClass::Tunnel,
+            LatencyModel::fixed(tunnel_ms, 0.5),
+            0.0,
+        );
+        let ookla_sgp = net.add_node(
+            "ookla-sgp",
+            NodeKind::SpEdge,
+            City::Singapore,
+            "202.150.1.1".parse().unwrap(),
+        );
+        let ookla_khi = net.add_node(
+            "ookla-khi",
+            NodeKind::SpEdge,
+            City::Karachi,
+            "119.160.1.1".parse().unwrap(),
+        );
+        net.link_with(
+            nat,
+            ookla_sgp,
+            LinkClass::Peering,
+            LatencyModel::fixed(1.0, 0.2),
+            0.0,
+        );
+        net.link_with(
+            nat,
+            ookla_khi,
+            LinkClass::Backbone,
+            LatencyModel::fixed(40.0, 1.0),
+            0.0,
+        );
         let mut targets = ServiceTargets::new();
         targets.add(Service::Ookla, ookla_sgp);
         targets.add(Service::Ookla, ookla_khi);
@@ -125,7 +160,10 @@ mod tests {
             policy_up_mbps: down / 2.0,
             youtube_cap_mbps: None,
             loss: 0.0,
-            channel: ChannelSampler { mode_cqi: 12, weak_tail: 0.0 },
+            channel: ChannelSampler {
+                mode_cqi: 12,
+                weak_tail: 0.0,
+            },
         };
         (net, endpoint, targets)
     }
@@ -135,8 +173,11 @@ mod tests {
         let (mut net, ep, targets) = world(150.0, 10.0);
         let mut rng = SmallRng::seed_from_u64(1);
         let r = ookla_speedtest(&mut net, &ep, &targets, &mut rng).unwrap();
-        assert_eq!(r.server_city, City::Singapore,
-                   "HR eSIM must test against a server near the PGW");
+        assert_eq!(
+            r.server_city,
+            City::Singapore,
+            "HR eSIM must test against a server near the PGW"
+        );
         assert!(r.latency_ms > 290.0, "tunnel dominates: {}", r.latency_ms);
     }
 
@@ -147,8 +188,12 @@ mod tests {
         let (mut long_net, long_ep, t2) = world(200.0, 20.0);
         let fast = ookla_speedtest(&mut short_net, &short_ep, &t1, &mut rng).unwrap();
         let slow = ookla_speedtest(&mut long_net, &long_ep, &t2, &mut rng).unwrap();
-        assert!(slow.down_mbps < fast.down_mbps,
-                "long RTT must cost goodput: {} vs {}", slow.down_mbps, fast.down_mbps);
+        assert!(
+            slow.down_mbps < fast.down_mbps,
+            "long RTT must cost goodput: {} vs {}",
+            slow.down_mbps,
+            fast.down_mbps
+        );
     }
 
     #[test]
@@ -156,7 +201,11 @@ mod tests {
         let (mut net, ep, targets) = world(5.0, 15.0);
         let mut rng = SmallRng::seed_from_u64(3);
         let r = ookla_speedtest(&mut net, &ep, &targets, &mut rng).unwrap();
-        assert!((10.0..15.2).contains(&r.down_mbps), "goodput {}", r.down_mbps);
+        assert!(
+            (10.0..15.2).contains(&r.down_mbps),
+            "goodput {}",
+            r.down_mbps
+        );
         assert!(r.up_mbps < r.down_mbps);
     }
 
@@ -170,7 +219,10 @@ mod tests {
     #[test]
     fn cqi_is_recorded_for_filtering() {
         let (mut net, mut ep, targets) = world(5.0, 15.0);
-        ep.channel = ChannelSampler { mode_cqi: 8, weak_tail: 0.5 };
+        ep.channel = ChannelSampler {
+            mode_cqi: 8,
+            weak_tail: 0.5,
+        };
         let mut rng = SmallRng::seed_from_u64(5);
         let mut weak = 0;
         for _ in 0..100 {
@@ -179,14 +231,19 @@ mod tests {
                 weak += 1;
             }
         }
-        assert!(weak > 20, "weak-channel tests must appear for the filter to matter");
+        assert!(
+            weak > 20,
+            "weak-channel tests must appear for the filter to matter"
+        );
     }
 
     #[test]
     fn resolved_node_matches_netsim_equivalent_ids() {
         // Guard against NodeId confusion between crates.
         let (net, _, targets) = world(5.0, 15.0);
-        let n = targets.nearest(&net, Service::Ookla, City::Singapore).unwrap();
+        let n = targets
+            .nearest(&net, Service::Ookla, City::Singapore)
+            .unwrap();
         assert_eq!(n, NodeId(2));
     }
 }

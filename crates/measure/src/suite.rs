@@ -29,13 +29,9 @@ impl MeasurementKind {
     #[must_use]
     pub fn description(&self) -> &'static str {
         match self {
-            MeasurementKind::Speedtest => {
-                "Speedtest to an Ookla server near user's IP-geolocation"
-            }
+            MeasurementKind::Speedtest => "Speedtest to an Ookla server near user's IP-geolocation",
             MeasurementKind::Traceroute => "Traceroute to Google/Facebook/YouTube via mtr",
-            MeasurementKind::Cdn => {
-                "Download jquery.min.js (v3.6.0) from different CDN providers"
-            }
+            MeasurementKind::Cdn => "Download jquery.min.js (v3.6.0) from different CDN providers",
             MeasurementKind::Dns => "Retrieve the current DNS resolver via NextDNS",
             MeasurementKind::YouTube => {
                 "Collect video-streaming info from YouTube's stats-for-nerds while playing 4K video"
@@ -72,9 +68,17 @@ impl MeasurementKind {
 #[must_use]
 pub fn measurement_suite() -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<12} {:<72} {}\n", "Measurement", "Description", "Visibility"));
+    out.push_str(&format!(
+        "{:<12} {:<72} {}\n",
+        "Measurement", "Description", "Visibility"
+    ));
     for k in MeasurementKind::ALL {
-        out.push_str(&format!("{:<12} {:<72} {}\n", k.name(), k.description(), k.visibility()));
+        out.push_str(&format!(
+            "{:<12} {:<72} {}\n",
+            k.name(),
+            k.description(),
+            k.visibility()
+        ));
     }
     out
 }
@@ -97,6 +101,8 @@ mod tests {
     fn descriptions_match_paper_wording() {
         assert!(MeasurementKind::Cdn.description().contains("jquery.min.js"));
         assert!(MeasurementKind::Dns.description().contains("NextDNS"));
-        assert!(MeasurementKind::YouTube.visibility().contains("Buffer Occupancy"));
+        assert!(MeasurementKind::YouTube
+            .visibility()
+            .contains("Buffer Occupancy"));
     }
 }

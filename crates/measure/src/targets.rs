@@ -124,10 +124,18 @@ mod tests {
 
     fn net_with_edges() -> (Network, ServiceTargets, NodeId, NodeId) {
         let mut net = Network::new(1);
-        let fra = net.add_node("g-fra", NodeKind::SpEdge, City::Frankfurt,
-                               "142.250.1.1".parse().unwrap());
-        let sgp = net.add_node("g-sgp", NodeKind::SpEdge, City::Singapore,
-                               "142.250.2.1".parse().unwrap());
+        let fra = net.add_node(
+            "g-fra",
+            NodeKind::SpEdge,
+            City::Frankfurt,
+            "142.250.1.1".parse().unwrap(),
+        );
+        let sgp = net.add_node(
+            "g-sgp",
+            NodeKind::SpEdge,
+            City::Singapore,
+            "142.250.2.1".parse().unwrap(),
+        );
         let mut t = ServiceTargets::new();
         t.add(Service::Google, fra);
         t.add(Service::Google, sgp);
@@ -138,7 +146,10 @@ mod tests {
     fn nearest_picks_by_geography() {
         let (net, t, fra, sgp) = net_with_edges();
         assert_eq!(t.nearest(&net, Service::Google, City::Berlin), Some(fra));
-        assert_eq!(t.nearest(&net, Service::Google, City::KualaLumpur), Some(sgp));
+        assert_eq!(
+            t.nearest(&net, Service::Google, City::KualaLumpur),
+            Some(sgp)
+        );
     }
 
     #[test]
@@ -151,10 +162,18 @@ mod tests {
     #[test]
     fn google_dns_ordering() {
         let mut net = Network::new(1);
-        let ams = net.add_node("dns-ams", NodeKind::DnsResolver, City::Amsterdam,
-                               "8.8.8.1".parse().unwrap());
-        let sgp = net.add_node("dns-sgp", NodeKind::DnsResolver, City::Singapore,
-                               "8.8.8.2".parse().unwrap());
+        let ams = net.add_node(
+            "dns-ams",
+            NodeKind::DnsResolver,
+            City::Amsterdam,
+            "8.8.8.1".parse().unwrap(),
+        );
+        let sgp = net.add_node(
+            "dns-sgp",
+            NodeKind::DnsResolver,
+            City::Singapore,
+            "8.8.8.2".parse().unwrap(),
+        );
         let mut t = ServiceTargets::new();
         t.add_google_dns(ams);
         t.add_google_dns(sgp);
@@ -167,8 +186,12 @@ mod tests {
     #[test]
     fn operator_dns_lookup() {
         let mut net = Network::new(1);
-        let r = net.add_node("singtel-dns", NodeKind::DnsResolver, City::Singapore,
-                             "165.21.83.88".parse().unwrap());
+        let r = net.add_node(
+            "singtel-dns",
+            NodeKind::DnsResolver,
+            City::Singapore,
+            "165.21.83.88".parse().unwrap(),
+        );
         let mut t = ServiceTargets::new();
         t.set_operator_dns(roam_cellular::MnoId(4), r);
         assert_eq!(t.operator_dns(roam_cellular::MnoId(4)), Some(r));

@@ -28,7 +28,11 @@ pub fn mtr(
     let dst = targets.nearest(net, service, endpoint.att.breakout_city)?;
     let traceroute = net.traceroute(endpoint.att.ue, dst, TracerouteOpts::default());
     let analysis = analyze_traceroute(&traceroute, net.registry());
-    Some(TraceOutcome { service, traceroute, analysis })
+    Some(TraceOutcome {
+        service,
+        traceroute,
+        analysis,
+    })
 }
 
 #[cfg(test)]
@@ -44,20 +48,57 @@ mod tests {
     #[test]
     fn mtr_produces_consistent_analysis() {
         let mut net = Network::new(41);
-        let ue = net.add_node("ue", NodeKind::Host, City::Doha, "10.0.0.2".parse().unwrap());
-        let core = net.add_node("core", NodeKind::Router, City::Lille,
-                                "10.0.0.9".parse().unwrap());
-        let nat = net.add_node("nat", NodeKind::CgNat, City::Lille,
-                               "141.95.2.2".parse().unwrap());
-        let g = net.add_node("g-par", NodeKind::SpEdge, City::Paris,
-                             "142.250.3.3".parse().unwrap());
-        net.link_with(ue, core, LinkClass::Tunnel, LatencyModel::fixed(45.0, 2.0), 0.0);
-        net.link_with(core, nat, LinkClass::Metro, LatencyModel::fixed(0.4, 0.1), 0.0);
+        let ue = net.add_node(
+            "ue",
+            NodeKind::Host,
+            City::Doha,
+            "10.0.0.2".parse().unwrap(),
+        );
+        let core = net.add_node(
+            "core",
+            NodeKind::Router,
+            City::Lille,
+            "10.0.0.9".parse().unwrap(),
+        );
+        let nat = net.add_node(
+            "nat",
+            NodeKind::CgNat,
+            City::Lille,
+            "141.95.2.2".parse().unwrap(),
+        );
+        let g = net.add_node(
+            "g-par",
+            NodeKind::SpEdge,
+            City::Paris,
+            "142.250.3.3".parse().unwrap(),
+        );
+        net.link_with(
+            ue,
+            core,
+            LinkClass::Tunnel,
+            LatencyModel::fixed(45.0, 2.0),
+            0.0,
+        );
+        net.link_with(
+            core,
+            nat,
+            LinkClass::Metro,
+            LatencyModel::fixed(0.4, 0.1),
+            0.0,
+        );
         net.link_geo(nat, g, LinkClass::Peering);
-        net.registry_mut().register(Ipv4Net::parse("141.95.0.0/16").unwrap(),
-                                    well_known::OVH, "OVH SAS", City::Lille);
-        net.registry_mut().register(Ipv4Net::parse("142.250.0.0/16").unwrap(),
-                                    well_known::GOOGLE, "Google", City::Paris);
+        net.registry_mut().register(
+            Ipv4Net::parse("141.95.0.0/16").unwrap(),
+            well_known::OVH,
+            "OVH SAS",
+            City::Lille,
+        );
+        net.registry_mut().register(
+            Ipv4Net::parse("142.250.0.0/16").unwrap(),
+            well_known::GOOGLE,
+            "Google",
+            City::Paris,
+        );
         let mut targets = ServiceTargets::new();
         targets.add(Service::Google, g);
         let ep = Endpoint {

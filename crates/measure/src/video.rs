@@ -117,7 +117,11 @@ pub fn play_youtube(
     // Rebuffering when even the chosen rung has <5% headroom.
     let rebuffered = bw < resolution.bitrate_mbps() * 1.05;
 
-    Some(VideoResult { resolution, estimated_bw_mbps: bw, rebuffered })
+    Some(VideoResult {
+        resolution,
+        estimated_bw_mbps: bw,
+        rebuffered,
+    })
 }
 
 #[cfg(test)]
@@ -132,13 +136,38 @@ mod tests {
 
     fn world(down: f64, cap: Option<f64>) -> (Network, Endpoint, ServiceTargets) {
         let mut net = Network::new(31);
-        let ue = net.add_node("ue", NodeKind::Host, City::Berlin, "10.0.0.2".parse().unwrap());
-        let nat = net.add_node("nat", NodeKind::CgNat, City::Amsterdam,
-                               "147.75.81.2".parse().unwrap());
-        net.link_with(ue, nat, LinkClass::Tunnel, LatencyModel::fixed(25.0, 1.0), 0.0);
-        let yt = net.add_node("yt-ams", NodeKind::SpEdge, City::Amsterdam,
-                              "142.250.9.1".parse().unwrap());
-        net.link_with(nat, yt, LinkClass::Peering, LatencyModel::fixed(1.0, 0.2), 0.0);
+        let ue = net.add_node(
+            "ue",
+            NodeKind::Host,
+            City::Berlin,
+            "10.0.0.2".parse().unwrap(),
+        );
+        let nat = net.add_node(
+            "nat",
+            NodeKind::CgNat,
+            City::Amsterdam,
+            "147.75.81.2".parse().unwrap(),
+        );
+        net.link_with(
+            ue,
+            nat,
+            LinkClass::Tunnel,
+            LatencyModel::fixed(25.0, 1.0),
+            0.0,
+        );
+        let yt = net.add_node(
+            "yt-ams",
+            NodeKind::SpEdge,
+            City::Amsterdam,
+            "142.250.9.1".parse().unwrap(),
+        );
+        net.link_with(
+            nat,
+            yt,
+            LinkClass::Peering,
+            LatencyModel::fixed(1.0, 0.2),
+            0.0,
+        );
         let mut targets = ServiceTargets::new();
         targets.add(Service::YouTube, yt);
         let ep = Endpoint {
@@ -166,7 +195,10 @@ mod tests {
             policy_up_mbps: 10.0,
             youtube_cap_mbps: cap,
             loss: 0.0,
-            channel: ChannelSampler { mode_cqi: 13, weak_tail: 0.0 },
+            channel: ChannelSampler {
+                mode_cqi: 13,
+                weak_tail: 0.0,
+            },
         };
         (net, ep, targets)
     }
@@ -185,7 +217,10 @@ mod tests {
     #[test]
     fn ample_bandwidth_reaches_high_rungs() {
         let m = mode_resolution(80.0, None, 1);
-        assert!(m >= Resolution::P1440, "80 Mbps should stream ≥1440p, got {m}");
+        assert!(
+            m >= Resolution::P1440,
+            "80 Mbps should stream ≥1440p, got {m}"
+        );
     }
 
     #[test]

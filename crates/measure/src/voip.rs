@@ -104,13 +104,19 @@ pub fn voip_probe(
         });
     }
     let mean = rtts.iter().sum::<f64>() / rtts.len() as f64;
-    let jitter = rtts.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
-        / (rtts.len() - 1) as f64;
+    let jitter =
+        rtts.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (rtts.len() - 1) as f64;
     let loss = f64::from(lost) / f64::from(probes);
     // The access network's residual loss applies even to delivered bursts.
     let loss = (loss + endpoint.loss).min(1.0);
     let (r_factor, mos) = e_model(mean, jitter, loss);
-    Some(VoipResult { rtt_ms: mean, jitter_ms: jitter, loss, r_factor, mos })
+    Some(VoipResult {
+        rtt_ms: mean,
+        jitter_ms: jitter,
+        loss,
+        r_factor,
+        mos,
+    })
 }
 
 #[cfg(test)]
@@ -125,9 +131,18 @@ mod tests {
         let (_, lossy) = e_model(40.0, 2.0, 0.05);
         let (_, jittery) = e_model(40.0, 40.0, 0.001);
         assert!(good > 4.0, "clean short path is 'good': {good}");
-        assert!(hr < good - 0.3, "HR-scale delay noticeably degrades calls: {hr}");
-        assert!(extreme < good - 0.8, "extreme delay wrecks calls: {extreme}");
-        assert!(lossy < good - 0.5, "5% loss degrades calls even with PLC: {lossy}");
+        assert!(
+            hr < good - 0.3,
+            "HR-scale delay noticeably degrades calls: {hr}"
+        );
+        assert!(
+            extreme < good - 0.8,
+            "extreme delay wrecks calls: {extreme}"
+        );
+        assert!(
+            lossy < good - 0.5,
+            "5% loss degrades calls even with PLC: {lossy}"
+        );
         assert!(jittery < good, "jitter charges the de-jitter buffer");
     }
 
@@ -142,7 +157,13 @@ mod tests {
 
     #[test]
     fn verdict_buckets() {
-        let mk = |mos| VoipResult { rtt_ms: 0.0, jitter_ms: 0.0, loss: 0.0, r_factor: 0.0, mos };
+        let mk = |mos| VoipResult {
+            rtt_ms: 0.0,
+            jitter_ms: 0.0,
+            loss: 0.0,
+            r_factor: 0.0,
+            mos,
+        };
         assert_eq!(mk(4.2).verdict(), "good");
         assert_eq!(mk(3.8).verdict(), "fair");
         assert_eq!(mk(3.3).verdict(), "degraded");
@@ -157,6 +178,9 @@ mod tests {
         let (r3, _) = e_model(480.0, 0.0, 0.0); // one-way ≈ 265 (well past knee)
         let gentle = r1 - r2;
         let steep = r2 - r3;
-        assert!(steep > gentle * 2.0, "gentle {gentle:.2} vs steep {steep:.2}");
+        assert!(
+            steep > gentle * 2.0,
+            "gentle {gentle:.2} vs steep {steep:.2}"
+        );
     }
 }

@@ -69,13 +69,38 @@ mod tests {
 
     fn world() -> (Network, Endpoint, ServiceTargets) {
         let mut net = Network::new(11);
-        let ue = net.add_node("ue", NodeKind::Host, City::Paris, "10.0.0.2".parse().unwrap());
-        let nat = net.add_node("nat", NodeKind::CgNat, City::Ashburn,
-                               "147.28.128.9".parse().unwrap());
-        net.link_with(ue, nat, LinkClass::Tunnel, LatencyModel::fixed(55.0, 1.0), 0.0);
-        let nfx = net.add_node("nflx-iad", NodeKind::SpEdge, City::Ashburn,
-                               "45.57.1.1".parse().unwrap());
-        net.link_with(nat, nfx, LinkClass::Peering, LatencyModel::fixed(1.0, 0.2), 0.0);
+        let ue = net.add_node(
+            "ue",
+            NodeKind::Host,
+            City::Paris,
+            "10.0.0.2".parse().unwrap(),
+        );
+        let nat = net.add_node(
+            "nat",
+            NodeKind::CgNat,
+            City::Ashburn,
+            "147.28.128.9".parse().unwrap(),
+        );
+        net.link_with(
+            ue,
+            nat,
+            LinkClass::Tunnel,
+            LatencyModel::fixed(55.0, 1.0),
+            0.0,
+        );
+        let nfx = net.add_node(
+            "nflx-iad",
+            NodeKind::SpEdge,
+            City::Ashburn,
+            "45.57.1.1".parse().unwrap(),
+        );
+        net.link_with(
+            nat,
+            nfx,
+            LinkClass::Peering,
+            LatencyModel::fixed(1.0, 0.2),
+            0.0,
+        );
         let mut targets = ServiceTargets::new();
         targets.add(Service::FastCom, nfx);
         let ep = Endpoint {
@@ -103,7 +128,10 @@ mod tests {
             policy_up_mbps: 10.0,
             youtube_cap_mbps: None,
             loss: 0.0005,
-            channel: ChannelSampler { mode_cqi: 12, weak_tail: 0.0 },
+            channel: ChannelSampler {
+                mode_cqi: 12,
+                weak_tail: 0.0,
+            },
         };
         (net, ep, targets)
     }
@@ -113,10 +141,22 @@ mod tests {
         let (mut net, ep, targets) = world();
         let mut rng = SmallRng::seed_from_u64(1);
         let r = fastcom_test(&mut net, &ep, &targets, &mut rng).unwrap();
-        assert_eq!(r.server_city, City::Ashburn, "France eSIM broke out in Virginia");
+        assert_eq!(
+            r.server_city,
+            City::Ashburn,
+            "France eSIM broke out in Virginia"
+        );
         assert_eq!(r.public_ip, "147.28.128.9".parse::<Ipv4Addr>().unwrap());
-        assert!(r.latency_ms > 100.0, "transatlantic tunnel RTT: {}", r.latency_ms);
-        assert!(r.down_mbps > 1.0 && r.down_mbps < 30.0, "goodput {}", r.down_mbps);
+        assert!(
+            r.latency_ms > 100.0,
+            "transatlantic tunnel RTT: {}",
+            r.latency_ms
+        );
+        assert!(
+            r.down_mbps > 1.0 && r.down_mbps < 30.0,
+            "goodput {}",
+            r.down_mbps
+        );
     }
 
     #[test]

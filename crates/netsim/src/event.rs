@@ -51,7 +51,11 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current simulation time: the timestamp of the last popped event.
@@ -66,10 +70,17 @@ impl<E> EventQueue<E> {
     /// simulation (causality violation); this panics rather than silently
     /// reordering history.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule at {at} before now {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at} before now {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { key: Reverse((at, seq)), event });
+        self.heap.push(Entry {
+            key: Reverse((at, seq)),
+            event,
+        });
     }
 
     /// Schedule `event` after a relative delay from now.

@@ -23,7 +23,10 @@ impl Ipv4Net {
     pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Self {
         assert!(prefix_len <= 32, "prefix length {prefix_len} > 32");
         let masked = u32::from(addr) & Self::mask_bits(prefix_len);
-        Ipv4Net { addr: Ipv4Addr::from(masked), prefix_len }
+        Ipv4Net {
+            addr: Ipv4Addr::from(masked),
+            prefix_len,
+        }
     }
 
     fn mask_bits(prefix_len: u8) -> u32 {
@@ -112,16 +115,34 @@ mod tests {
 
     #[test]
     fn private_ranges() {
-        for p in ["10.0.0.1", "10.255.255.254", "172.16.0.1", "172.31.9.9", "192.168.1.1",
-                  "100.64.0.1", "100.127.255.1", "127.0.0.1", "169.254.10.10"] {
+        for p in [
+            "10.0.0.1",
+            "10.255.255.254",
+            "172.16.0.1",
+            "172.31.9.9",
+            "192.168.1.1",
+            "100.64.0.1",
+            "100.127.255.1",
+            "127.0.0.1",
+            "169.254.10.10",
+        ] {
             assert!(is_private(ip(p)), "{p} should be private");
         }
     }
 
     #[test]
     fn public_ranges() {
-        for p in ["8.8.8.8", "202.166.126.1", "172.15.0.1", "172.32.0.1", "100.63.0.1",
-                  "100.128.0.1", "192.169.0.1", "11.0.0.1", "54.82.5.1"] {
+        for p in [
+            "8.8.8.8",
+            "202.166.126.1",
+            "172.15.0.1",
+            "172.32.0.1",
+            "100.63.0.1",
+            "100.128.0.1",
+            "192.169.0.1",
+            "11.0.0.1",
+            "54.82.5.1",
+        ] {
             assert!(!is_private(ip(p)), "{p} should be public");
         }
     }

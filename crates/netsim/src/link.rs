@@ -134,7 +134,12 @@ impl LatencyModel {
     /// A fixed-delay model (no geography), for radio access and loopbacks.
     #[must_use]
     pub fn fixed(base_ms: f64, jitter_ms: f64) -> Self {
-        LatencyModel { base_ms, jitter_ms, spike_prob: 0.0, spike_ms: 0.0 }
+        LatencyModel {
+            base_ms,
+            jitter_ms,
+            spike_prob: 0.0,
+            spike_ms: 0.0,
+        }
     }
 
     /// Add a heavy-tailed congestion-spike term: with probability `prob`
@@ -150,7 +155,11 @@ impl LatencyModel {
     /// Sample one traversal's delay.
     #[must_use]
     pub fn sample(&self, rng: &mut SmallRng) -> SimTime {
-        let jitter = if self.jitter_ms > 0.0 { rng.gen_range(0.0..self.jitter_ms) } else { 0.0 };
+        let jitter = if self.jitter_ms > 0.0 {
+            rng.gen_range(0.0..self.jitter_ms)
+        } else {
+            0.0
+        };
         let spike = if self.spike_prob > 0.0 && rng.gen_bool(self.spike_prob) {
             rng.gen_range(0.0..self.spike_ms.max(f64::MIN_POSITIVE))
         } else {
@@ -245,7 +254,9 @@ mod tests {
         let m = LatencyModel::fixed(1.0, 9.0);
         let run = |seed| {
             let mut rng = SmallRng::seed_from_u64(seed);
-            (0..32).map(|_| m.sample(&mut rng).as_nanos()).collect::<Vec<_>>()
+            (0..32)
+                .map(|_| m.sample(&mut rng).as_nanos())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

@@ -96,7 +96,12 @@ impl IpRegistry {
     /// Register a prefix. Later registrations may be more or less specific
     /// than earlier ones; lookup always prefers the longest match.
     pub fn register(&mut self, net: Ipv4Net, asn: Asn, org: &str, city: City) {
-        self.prefixes.push(PrefixInfo { net, asn, org: org.to_string(), city });
+        self.prefixes.push(PrefixInfo {
+            net,
+            asn,
+            org: org.to_string(),
+            city,
+        });
     }
 
     /// Longest-prefix-match lookup.
@@ -150,7 +155,12 @@ mod tests {
     #[test]
     fn lookup_matches_registered_prefix() {
         let mut r = IpRegistry::new();
-        r.register(net("202.166.126.0/24"), well_known::SINGTEL, "Singtel", City::Singapore);
+        r.register(
+            net("202.166.126.0/24"),
+            well_known::SINGTEL,
+            "Singtel",
+            City::Singapore,
+        );
         let info = r.lookup(ip("202.166.126.42")).unwrap();
         assert_eq!(info.asn, well_known::SINGTEL);
         assert_eq!(info.org, "Singtel");
@@ -161,8 +171,18 @@ mod tests {
     #[test]
     fn longest_prefix_wins() {
         let mut r = IpRegistry::new();
-        r.register(net("54.0.0.0/8"), well_known::AMAZON, "Amazon", City::Ashburn);
-        r.register(net("54.82.0.0/16"), well_known::AMAZON, "Amazon EU", City::Dublin);
+        r.register(
+            net("54.0.0.0/8"),
+            well_known::AMAZON,
+            "Amazon",
+            City::Ashburn,
+        );
+        r.register(
+            net("54.82.0.0/16"),
+            well_known::AMAZON,
+            "Amazon EU",
+            City::Dublin,
+        );
         assert_eq!(r.lookup(ip("54.82.1.1")).unwrap().city, City::Dublin);
         assert_eq!(r.lookup(ip("54.1.1.1")).unwrap().city, City::Ashburn);
     }

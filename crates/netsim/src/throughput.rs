@@ -131,8 +131,9 @@ pub fn mathis_cap_mbps(rtt_ms: f64, loss: f64) -> f64 {
 pub fn transfer_time_ms(spec: &TransferSpec) -> f64 {
     assert!(spec.bytes >= 0.0 && spec.rtt_ms > 0.0 && spec.policy_rate_mbps > 0.0);
     let streams = f64::from(spec.parallel.max(1));
-    let effective_mbps =
-        spec.policy_rate_mbps.min(streams * mathis_cap_mbps(spec.rtt_ms, spec.loss));
+    let effective_mbps = spec
+        .policy_rate_mbps
+        .min(streams * mathis_cap_mbps(spec.rtt_ms, spec.loss));
     let rate_bytes_per_ms = effective_mbps * 1e6 / 8.0 / 1e3;
     let bdp_bytes = rate_bytes_per_ms * spec.rtt_ms; // bandwidth-delay product
 
@@ -178,7 +179,10 @@ mod tests {
         let d0 = tb.consume(10_000.0, SimTime::ZERO);
         assert_eq!(d0, SimTime::ZERO, "burst absorbs the first 10 kB");
         let d1 = tb.consume(10_000.0, SimTime::ZERO);
-        assert!((d1.as_ms() - 10.0).abs() < 0.01, "10 kB at 1 MB/s = 10 ms, got {d1}");
+        assert!(
+            (d1.as_ms() - 10.0).abs() < 0.01,
+            "10 kB at 1 MB/s = 10 ms, got {d1}"
+        );
     }
 
     #[test]
@@ -194,8 +198,8 @@ mod tests {
     fn stale_timestamps_do_not_double_credit() {
         let mut tb = TokenBucket::new(8.0, 10_000.0); // 1 MB/s = 1000 B/ms
         tb.consume(10_000.0, SimTime::from_ms(100.0)); // bucket empty at t=100
-        // A late-arriving consume with an older timestamp must not rewind
-        // the refill clock…
+                                                       // A late-arriving consume with an older timestamp must not rewind
+                                                       // the refill clock…
         tb.consume(0.0, SimTime::from_ms(50.0));
         // …otherwise the next refill would double-credit [50,100).
         let d = tb.consume(10_000.0, SimTime::from_ms(101.0));
@@ -233,11 +237,22 @@ mod tests {
 
     #[test]
     fn parallel_streams_defeat_the_loss_ceiling() {
-        let single = TransferSpec { loss: 0.002, parallel: 1, ..spec(50e6, 80.0, 100.0) };
-        let pooled = TransferSpec { loss: 0.002, parallel: 8, ..spec(50e6, 80.0, 100.0) };
+        let single = TransferSpec {
+            loss: 0.002,
+            parallel: 1,
+            ..spec(50e6, 80.0, 100.0)
+        };
+        let pooled = TransferSpec {
+            loss: 0.002,
+            parallel: 8,
+            ..spec(50e6, 80.0, 100.0)
+        };
         let g1 = goodput_mbps(&single);
         let g8 = goodput_mbps(&pooled);
-        assert!(g8 > g1 * 3.0, "8 streams must lift the cap: {g1:.1} vs {g8:.1}");
+        assert!(
+            g8 > g1 * 3.0,
+            "8 streams must lift the cap: {g1:.1} vs {g8:.1}"
+        );
         assert!(g8 <= 100.0 + 1e-9, "policy still binds");
     }
 
@@ -264,8 +279,14 @@ mod tests {
 
     #[test]
     fn loss_caps_long_rtt_paths_harder() {
-        let short = TransferSpec { loss: 0.005, ..spec(20e6, 40.0, 100.0) };
-        let long = TransferSpec { loss: 0.005, ..spec(20e6, 400.0, 100.0) };
+        let short = TransferSpec {
+            loss: 0.005,
+            ..spec(20e6, 40.0, 100.0)
+        };
+        let long = TransferSpec {
+            loss: 0.005,
+            ..spec(20e6, 400.0, 100.0)
+        };
         let g_short = goodput_mbps(&short);
         let g_long = goodput_mbps(&long);
         assert!(g_long < g_short / 5.0, "g_short={g_short} g_long={g_long}");
@@ -273,8 +294,14 @@ mod tests {
 
     #[test]
     fn setup_rtts_add_latency_not_rate() {
-        let no_setup = TransferSpec { setup_rtts: 0.0, ..spec(30_000.0, 100.0, 20.0) };
-        let with_setup = TransferSpec { setup_rtts: 3.0, ..spec(30_000.0, 100.0, 20.0) };
+        let no_setup = TransferSpec {
+            setup_rtts: 0.0,
+            ..spec(30_000.0, 100.0, 20.0)
+        };
+        let with_setup = TransferSpec {
+            setup_rtts: 3.0,
+            ..spec(30_000.0, 100.0, 20.0)
+        };
         let dt = transfer_time_ms(&with_setup) - transfer_time_ms(&no_setup);
         assert!((dt - 300.0).abs() < 1e-6, "3 setup RTTs at 100 ms: {dt}");
     }

@@ -119,7 +119,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_sum_works() {
-        let ts = [SimTime::from_ms(3.0), SimTime::from_ms(1.0), SimTime::from_ms(2.0)];
+        let ts = [
+            SimTime::from_ms(3.0),
+            SimTime::from_ms(1.0),
+            SimTime::from_ms(2.0),
+        ];
         let total: SimTime = ts.iter().copied().sum();
         assert_eq!(total.as_ms(), 6.0);
         assert!(ts[1] < ts[2] && ts[2] < ts[0]);

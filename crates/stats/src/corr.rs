@@ -35,12 +35,18 @@ impl Correlation {
 /// zero-variance side (where r is undefined).
 pub fn pearson(x: &[f64], y: &[f64]) -> Result<Correlation, StatsError> {
     if x.len() != y.len() {
-        return Err(StatsError::TooFewSamples { required: x.len(), got: y.len() });
+        return Err(StatsError::TooFewSamples {
+            required: x.len(),
+            got: y.len(),
+        });
     }
     validate(x)?;
     validate(y)?;
     if x.len() < 3 {
-        return Err(StatsError::TooFewSamples { required: 3, got: x.len() });
+        return Err(StatsError::TooFewSamples {
+            required: 3,
+            got: x.len(),
+        });
     }
     let mx = mean(x).expect("validated");
     let my = mean(y).expect("validated");
@@ -65,7 +71,11 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<Correlation, StatsError> {
         let t = r * ((n - 2.0) / (1.0 - r * r)).sqrt();
         t_test_p_two_sided(t, n - 2.0)
     };
-    Ok(Correlation { r, p_value, n: x.len() })
+    Ok(Correlation {
+        r,
+        p_value,
+        n: x.len(),
+    })
 }
 
 #[cfg(test)]
@@ -108,7 +118,10 @@ mod tests {
     fn errors_on_bad_input() {
         assert!(pearson(&[1.0, 2.0], &[1.0]).is_err(), "length mismatch");
         assert!(pearson(&[1.0, 2.0], &[1.0, 2.0]).is_err(), "too few pairs");
-        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err(), "constant side");
+        assert!(
+            pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err(),
+            "constant side"
+        );
         assert!(pearson(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).is_err());
     }
 

@@ -140,7 +140,13 @@ mod tests {
     #[test]
     fn ln_gamma_of_integers_matches_factorials() {
         // Γ(n) = (n-1)!
-        let cases = [(1.0, 1.0_f64), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (8.0, 5040.0)];
+        let cases = [
+            (1.0, 1.0_f64),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (8.0, 5040.0),
+        ];
         for (x, fact) in cases {
             assert!((ln_gamma(x) - fact.ln()).abs() < 1e-10, "Γ({x})");
         }

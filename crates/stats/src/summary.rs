@@ -15,7 +15,10 @@ pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
 pub fn variance(xs: &[f64]) -> Result<f64, StatsError> {
     validate(xs)?;
     if xs.len() < 2 {
-        return Err(StatsError::TooFewSamples { required: 2, got: xs.len() });
+        return Err(StatsError::TooFewSamples {
+            required: 2,
+            got: xs.len(),
+        });
     }
     let mut mean = 0.0;
     let mut m2 = 0.0;
@@ -48,7 +51,10 @@ pub fn mean_ci95(xs: &[f64]) -> Result<(f64, f64), StatsError> {
 /// numpy/R default). `q` must be in `[0, 1]`.
 pub fn quantile(xs: &[f64], q: f64) -> Result<f64, StatsError> {
     validate(xs)?;
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected by validate"));
     Ok(quantile_sorted(&sorted, q))
@@ -117,7 +123,14 @@ impl BoxplotSummary {
             .rev()
             .find(|&&x| x <= hi_fence)
             .expect("non-empty and q3 <= hi_fence guarantees a match");
-        Ok(BoxplotSummary { whisker_lo, q1, median: med, q3, whisker_hi, n: sorted.len() })
+        Ok(BoxplotSummary {
+            whisker_lo,
+            q1,
+            median: med,
+            q3,
+            whisker_hi,
+            n: sorted.len(),
+        })
     }
 
     /// Interquartile range.
@@ -207,7 +220,10 @@ mod tests {
     fn variance_needs_two_samples() {
         assert_eq!(
             variance(&[1.0]).unwrap_err(),
-            StatsError::TooFewSamples { required: 2, got: 1 }
+            StatsError::TooFewSamples {
+                required: 2,
+                got: 1
+            }
         );
     }
 
@@ -263,7 +279,10 @@ mod tests {
         let mut xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         xs.push(10_000.0); // wild outlier
         let b = BoxplotSummary::from(&xs).unwrap();
-        assert!(b.whisker_hi <= 200.0, "outlier must not stretch whisker: {b}");
+        assert!(
+            b.whisker_hi <= 200.0,
+            "outlier must not stretch whisker: {b}"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TestResult, StatsError> {
     validate(a)?;
     validate(b)?;
     if a.len() < 2 || b.len() < 2 {
-        return Err(StatsError::TooFewSamples { required: 2, got: a.len().min(b.len()) });
+        return Err(StatsError::TooFewSamples {
+            required: 2,
+            got: a.len().min(b.len()),
+        });
     }
     let (ma, mb) = (mean(a)?, mean(b)?);
     let (va, vb) = (variance(a)?, variance(b)?);
@@ -52,9 +55,12 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TestResult, StatsError> {
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
-    Ok(TestResult { statistic: t, p_value: t_test_p_two_sided(t, df), df: (df, 0.0) })
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    Ok(TestResult {
+        statistic: t,
+        p_value: t_test_p_two_sided(t, df),
+        df: (df, 0.0),
+    })
 }
 
 /// Which center Levene's test deviates from.
@@ -74,12 +80,18 @@ pub enum LeveneCenter {
 /// to physical SIMs."
 pub fn levene_test(groups: &[&[f64]], center: LeveneCenter) -> Result<TestResult, StatsError> {
     if groups.len() < 2 {
-        return Err(StatsError::TooFewSamples { required: 2, got: groups.len() });
+        return Err(StatsError::TooFewSamples {
+            required: 2,
+            got: groups.len(),
+        });
     }
     for g in groups {
         validate(g)?;
         if g.len() < 2 {
-            return Err(StatsError::TooFewSamples { required: 2, got: g.len() });
+            return Err(StatsError::TooFewSamples {
+                required: 2,
+                got: g.len(),
+            });
         }
     }
     let k = groups.len() as f64;
@@ -126,7 +138,11 @@ pub fn levene_test(groups: &[&[f64]], center: LeveneCenter) -> Result<TestResult
         });
     }
     let w = numer / denom;
-    Ok(TestResult { statistic: w, p_value: f_sf(w, d1, d2), df: (d1, d2) })
+    Ok(TestResult {
+        statistic: w,
+        p_value: f_sf(w, d1, d2),
+        df: (d1, d2),
+    })
 }
 
 #[cfg(test)]
@@ -160,7 +176,11 @@ mod tests {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0];
         let b = [2.0, 3.0, 4.0, 5.0, 7.0];
         let r = welch_t_test(&a, &b).unwrap();
-        assert!((r.statistic - (-1.07763)).abs() < 1e-4, "t = {}", r.statistic);
+        assert!(
+            (r.statistic - (-1.07763)).abs() < 1e-4,
+            "t = {}",
+            r.statistic
+        );
         assert!((r.df.0 - 7.711).abs() < 0.01, "df = {}", r.df.0);
         assert!((0.30..0.33).contains(&r.p_value), "p = {}", r.p_value);
     }
@@ -205,7 +225,11 @@ mod tests {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
         let b = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0];
         let r = levene_test(&[&a, &b], LeveneCenter::Median).unwrap();
-        assert!((r.statistic - 56.0 / 12.0).abs() < 1e-9, "W = {}", r.statistic);
+        assert!(
+            (r.statistic - 56.0 / 12.0).abs() < 1e-9,
+            "W = {}",
+            r.statistic
+        );
         assert!((0.045..0.052).contains(&r.p_value), "p = {}", r.p_value);
         assert_eq!(r.df, (1.0, 14.0));
     }

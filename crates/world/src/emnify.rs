@@ -10,9 +10,7 @@
 use crate::topology::PublicInternet;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use roam_cellular::{
-    BandwidthPolicy, ChannelSampler, Mno, MnoDirectory, Plmn, Rat, SimType,
-};
+use roam_cellular::{BandwidthPolicy, ChannelSampler, Mno, MnoDirectory, Plmn, Rat, SimType};
 use roam_geo::{City, Country};
 use roam_ipx::{
     attach, AttachParams, DnsMode, IpAssignment, PeeringQuality, PgwProvider, PgwSelection,
@@ -70,8 +68,12 @@ impl EmnifyScenario {
 
         // emnify's breakout: AWS Dublin, AS16509.
         let aws_prefix = Ipv4Net::parse("54.170.10.0/24").expect("static prefix");
-        net.registry_mut().register(aws_prefix, well_known::AMAZON, "Amazon.com, Inc.",
-                                    City::Dublin);
+        net.registry_mut().register(
+            aws_prefix,
+            well_known::AMAZON,
+            "Amazon.com, Inc.",
+            City::Dublin,
+        );
         let mut providers = ProviderDirectory::new();
         let aws = providers.add(PgwProvider {
             name: "Amazon.com, Inc.".into(),
@@ -83,8 +85,7 @@ impl EmnifyScenario {
             cgnat_icmp_responds: true,
         });
 
-        let mut internet =
-            PublicInternet::build(&mut net, &[City::London, City::Dublin], &mut rng);
+        let mut internet = PublicInternet::build(&mut net, &[City::London, City::Dublin], &mut rng);
 
         let params = AttachParams {
             session_id: 0,

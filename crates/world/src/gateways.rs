@@ -21,7 +21,9 @@
 use crate::operators::Operators;
 use roam_cellular::MnoId;
 use roam_geo::{City, Country};
-use roam_ipx::{IpAssignment, PgwProvider, PgwProviderId, PgwSelection, PgwSite, ProviderDirectory};
+use roam_ipx::{
+    IpAssignment, PgwProvider, PgwProviderId, PgwSelection, PgwSite, ProviderDirectory,
+};
 use roam_netsim::registry::well_known;
 use roam_netsim::{Asn, IpRegistry, Ipv4Net};
 use std::collections::HashMap;
@@ -63,7 +65,10 @@ impl Gateways {
     /// peering fabric (usually empty).
     #[must_use]
     pub fn transit_of(&self, provider: PgwProviderId) -> &[(String, Asn)] {
-        self.transit.get(&provider.0).map(Vec::as_slice).unwrap_or(&[])
+        self.transit
+            .get(&provider.0)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Build the provider directory, registering every breakout prefix in
@@ -81,8 +86,18 @@ impl Gateways {
         // --- third-party IHBO providers ------------------------------------
         let ph_ams = Ipv4Net::parse("147.75.80.0/24").expect("static prefix");
         let ph_iad = Ipv4Net::parse("147.28.128.0/24").expect("static prefix");
-        registry.register(ph_ams, well_known::PACKET_HOST, "Packet Host", City::Amsterdam);
-        registry.register(ph_iad, well_known::PACKET_HOST, "Packet Host", City::Ashburn);
+        registry.register(
+            ph_ams,
+            well_known::PACKET_HOST,
+            "Packet Host",
+            City::Amsterdam,
+        );
+        registry.register(
+            ph_iad,
+            well_known::PACKET_HOST,
+            "Packet Host",
+            City::Ashburn,
+        );
         let packet_host = dir.add(PgwProvider {
             name: "Packet Host".into(),
             asn: well_known::PACKET_HOST,
@@ -116,7 +131,12 @@ impl Gateways {
         });
 
         let wl_lon = Ipv4Net::parse("45.86.162.0/24").expect("static prefix");
-        registry.register(wl_lon, well_known::WIRELESS_LOGIC, "Wireless Logic", City::London);
+        registry.register(
+            wl_lon,
+            well_known::WIRELESS_LOGIC,
+            "Wireless Logic",
+            City::London,
+        );
         let wireless_logic = dir.add(PgwProvider {
             name: "Wireless Logic".into(),
             asn: well_known::WIRELESS_LOGIC,
@@ -155,8 +175,8 @@ impl Gateways {
         let mut next_block: u8 = 1;
         for (id, mno) in ops.dir.iter() {
             let city = home_city(mno.country);
-            let prefix = Ipv4Net::parse(&format!("198.18.{next_block}.0/24"))
-                .expect("generated prefix");
+            let prefix =
+                Ipv4Net::parse(&format!("198.18.{next_block}.0/24")).expect("generated prefix");
             next_block = next_block.checked_add(1).expect("fewer than 255 operators");
             registry.register(prefix, mno.asn, &mno.name, city);
             let (hops, pool) = own_gateway_shape(&mno.name);
@@ -195,7 +215,12 @@ impl Gateways {
         // one so HR classification sees AS45143 at 202.166.126.0/24.
         let singtel = ops.id("Singtel");
         let singtel_prefix = Ipv4Net::parse("202.166.126.0/24").expect("static prefix");
-        registry.register(singtel_prefix, well_known::SINGTEL, "Singtel", City::Singapore);
+        registry.register(
+            singtel_prefix,
+            well_known::SINGTEL,
+            "Singtel",
+            City::Singapore,
+        );
         let singtel_gw = dir.add(PgwProvider {
             name: "Singtel".into(),
             asn: well_known::SINGTEL,
@@ -207,7 +232,16 @@ impl Gateways {
         });
         own.insert(singtel.0, singtel_gw);
 
-        Gateways { dir, own, packet_host, ovh, wireless_logic, webbing_eu, webbing_us, transit }
+        Gateways {
+            dir,
+            own,
+            packet_host,
+            ovh,
+            wireless_logic,
+            webbing_eu,
+            webbing_us,
+            transit,
+        }
     }
 }
 
@@ -215,11 +249,11 @@ impl Gateways {
 /// calibrated to §4.3.2 where the paper reports them.
 fn own_gateway_shape(name: &str) -> ((u8, u8), u64) {
     match name {
-        "Jazz" => ((2, 2), 6),          // PAK SIM: stable 4 private hops total
-        "dtac" => ((2, 8), 15),         // THA: 4–10 hops, 15 PGW IPs
-        "LG U+" => ((5, 5), 16),        // KOR eSIM: constant 7 hops, 16 IPs
-        "U+ UMobile" => ((5, 7), 35),   // KOR SIM: 7–9 hops, 35 IPs
-        "Singtel" => ((6, 6), 4),       // HR: 8 total, 4 IPs
+        "Jazz" => ((2, 2), 6),        // PAK SIM: stable 4 private hops total
+        "dtac" => ((2, 8), 15),       // THA: 4–10 hops, 15 PGW IPs
+        "LG U+" => ((5, 5), 16),      // KOR eSIM: constant 7 hops, 16 IPs
+        "U+ UMobile" => ((5, 7), 35), // KOR SIM: 7–9 hops, 35 IPs
+        "Singtel" => ((6, 6), 4),     // HR: 8 total, 4 IPs
         _ => ((2, 4), 8),
     }
 }
@@ -229,8 +263,7 @@ fn home_city(country: Country) -> City {
     match country {
         Country::SGP => City::Singapore,
         Country::POL => City::Warsaw,
-        other => City::sgw_city_for(other)
-            .unwrap_or_else(|| panic!("no gateway city for {other}")),
+        other => City::sgw_city_for(other).unwrap_or_else(|| panic!("no gateway city for {other}")),
     }
 }
 
@@ -273,12 +306,18 @@ mod tests {
         let ph = gw.dir.get(gw.packet_host);
         let mut rng = SmallRng::seed_from_u64(1);
         // Play and Telna → Amsterdam; Polkomtel → Ashburn.
-        assert_eq!(ph.sites[ph.select_site(ops.id("Play"), &mut rng)].city, City::Amsterdam);
+        assert_eq!(
+            ph.sites[ph.select_site(ops.id("Play"), &mut rng)].city,
+            City::Amsterdam
+        );
         assert_eq!(
             ph.sites[ph.select_site(ops.id("Telna Mobile"), &mut rng)].city,
             City::Amsterdam
         );
-        assert_eq!(ph.sites[ph.select_site(ops.id("Polkomtel"), &mut rng)].city, City::Ashburn);
+        assert_eq!(
+            ph.sites[ph.select_site(ops.id("Polkomtel"), &mut rng)].city,
+            City::Ashburn
+        );
     }
 
     #[test]
@@ -287,7 +326,10 @@ mod tests {
         assert_eq!(gw.dir.get(gw.ovh).private_hops, (3, 3));
         assert_eq!(gw.dir.get(gw.packet_host).private_hops, (6, 7));
         assert_eq!(gw.dir.get(gw.ovh).ip_assignment, IpAssignment::ByBmno);
-        assert_eq!(gw.dir.get(gw.packet_host).ip_assignment, IpAssignment::Pooled);
+        assert_eq!(
+            gw.dir.get(gw.packet_host).ip_assignment,
+            IpAssignment::Pooled
+        );
     }
 
     #[test]
@@ -322,10 +364,27 @@ mod tests {
     #[test]
     fn calibrated_core_depths() {
         let (ops, gw, _) = build();
-        assert_eq!(gw.dir.get(gw.own_gateway(ops.id("Jazz"))).private_hops, (2, 2));
-        assert_eq!(gw.dir.get(gw.own_gateway(ops.id("dtac"))).private_hops, (2, 8));
-        assert_eq!(gw.dir.get(gw.own_gateway(ops.id("LG U+"))).private_hops, (5, 5));
-        assert_eq!(gw.dir.get(gw.own_gateway(ops.id("U+ UMobile"))).private_hops, (5, 7));
-        assert_eq!(gw.dir.get(gw.own_gateway(ops.id("U+ UMobile"))).sites[0].pool, 35);
+        assert_eq!(
+            gw.dir.get(gw.own_gateway(ops.id("Jazz"))).private_hops,
+            (2, 2)
+        );
+        assert_eq!(
+            gw.dir.get(gw.own_gateway(ops.id("dtac"))).private_hops,
+            (2, 8)
+        );
+        assert_eq!(
+            gw.dir.get(gw.own_gateway(ops.id("LG U+"))).private_hops,
+            (5, 5)
+        );
+        assert_eq!(
+            gw.dir
+                .get(gw.own_gateway(ops.id("U+ UMobile")))
+                .private_hops,
+            (5, 7)
+        );
+        assert_eq!(
+            gw.dir.get(gw.own_gateway(ops.id("U+ UMobile"))).sites[0].pool,
+            35
+        );
     }
 }

@@ -27,7 +27,10 @@ impl Operators {
     /// are static, so a miss is a construction bug.
     #[must_use]
     pub fn id(&self, name: &str) -> MnoId {
-        *self.ids.get(name).unwrap_or_else(|| panic!("unknown operator {name}"))
+        *self
+            .ids
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown operator {name}"))
     }
 
     /// Does the census contain `name`?
@@ -39,53 +42,218 @@ impl Operators {
     /// Build the full census.
     #[must_use]
     pub fn build() -> Operators {
-        let mut ops = Operators { dir: MnoDirectory::new(), ids: HashMap::new() };
+        let mut ops = Operators {
+            dir: MnoDirectory::new(),
+            ids: HashMap::new(),
+        };
 
         // --- Airalo's six roaming b-MNOs (Table 2) ------------------------
         // (name, country, plmn, asn, native (d,u), roamer (d,u), yt cap, loss)
-        ops.add("Singtel", Country::SGP, (525, 1), well_known::SINGTEL.0,
-                (100.0, 50.0), (12.0, 6.0), Some(4.5), 0.002, None);
-        ops.add("Play", Country::POL, (260, 6), 12912,
-                (80.0, 30.0), (15.0, 8.0), None, 0.001, None);
-        ops.add("Telna Mobile", Country::USA, (310, 240), 395354,
-                (60.0, 25.0), (15.0, 8.0), None, 0.001, None);
-        ops.add("Telecom Italia", Country::ITA, (222, 1), 3269,
-                (70.0, 30.0), (14.0, 7.0), None, 0.001, None);
-        ops.add("Orange", Country::FRA, (208, 1), 3215,
-                (90.0, 40.0), (16.0, 8.0), None, 0.001, None);
-        ops.add("Polkomtel", Country::POL, (260, 1), 8374,
-                (70.0, 25.0), (14.0, 7.0), None, 0.001, None);
+        ops.add(
+            "Singtel",
+            Country::SGP,
+            (525, 1),
+            well_known::SINGTEL.0,
+            (100.0, 50.0),
+            (12.0, 6.0),
+            Some(4.5),
+            0.002,
+            None,
+        );
+        ops.add(
+            "Play",
+            Country::POL,
+            (260, 6),
+            12912,
+            (80.0, 30.0),
+            (15.0, 8.0),
+            None,
+            0.001,
+            None,
+        );
+        ops.add(
+            "Telna Mobile",
+            Country::USA,
+            (310, 240),
+            395354,
+            (60.0, 25.0),
+            (15.0, 8.0),
+            None,
+            0.001,
+            None,
+        );
+        ops.add(
+            "Telecom Italia",
+            Country::ITA,
+            (222, 1),
+            3269,
+            (70.0, 30.0),
+            (14.0, 7.0),
+            None,
+            0.001,
+            None,
+        );
+        ops.add(
+            "Orange",
+            Country::FRA,
+            (208, 1),
+            3215,
+            (90.0, 40.0),
+            (16.0, 8.0),
+            None,
+            0.001,
+            None,
+        );
+        ops.add(
+            "Polkomtel",
+            Country::POL,
+            (260, 1),
+            8374,
+            (70.0, 25.0),
+            (14.0, 7.0),
+            None,
+            0.001,
+            None,
+        );
 
         // --- native eSIM partners (§4.1) ----------------------------------
-        ops.add("LG U+", Country::KOR, (450, 6), well_known::LG_UPLUS.0,
-                (60.0, 25.0), (20.0, 10.0), None, 0.0005, None);
-        ops.add("Ooredoo Maldives", Country::MDV, (472, 1), 7642,
-                (28.0, 10.0), (10.0, 5.0), None, 0.002, None);
-        ops.add("dtac", Country::THA, (520, 5), well_known::DTAC.0,
-                (25.0, 10.0), (12.0, 6.0), None, 0.002, None);
+        ops.add(
+            "LG U+",
+            Country::KOR,
+            (450, 6),
+            well_known::LG_UPLUS.0,
+            (60.0, 25.0),
+            (20.0, 10.0),
+            None,
+            0.0005,
+            None,
+        );
+        ops.add(
+            "Ooredoo Maldives",
+            Country::MDV,
+            (472, 1),
+            7642,
+            (28.0, 10.0),
+            (10.0, 5.0),
+            None,
+            0.002,
+            None,
+        );
+        ops.add(
+            "dtac",
+            Country::THA,
+            (520, 5),
+            well_known::DTAC.0,
+            (25.0, 10.0),
+            (12.0, 6.0),
+            None,
+            0.002,
+            None,
+        );
 
         // --- device-campaign v-MNOs / physical-SIM operators --------------
-        ops.add("Etisalat", Country::ARE, (424, 2), 8966,
-                (9.0, 6.0), (7.5, 5.0), Some(4.5), 0.002, None);
-        ops.add("Jazz", Country::PAK, (410, 1), well_known::PMCL.0,
-                (8.0, 4.0), (6.5, 2.0), Some(4.5), 0.004, None);
-        ops.add("Magti", Country::GEO, (282, 2), 16010,
-                (45.0, 12.0), (33.0, 3.0), None, 0.001, None);
-        ops.add("Vodafone DE", Country::DEU, (262, 2), 3209,
-                (25.0, 10.0), (24.0, 10.0), None, 0.001, None);
-        ops.add("Movistar", Country::ESP, (214, 7), well_known::TELEFONICA.0,
-                (30.0, 15.0), (11.5, 9.0), None, 0.001, None);
-        ops.add("Ooredoo Qatar", Country::QAT, (427, 1), 8781,
-                (70.0, 25.0), (18.0, 8.0), None, 0.001, None);
-        ops.add("STC", Country::SAU, (420, 1), 25019,
-                (140.0, 30.0), (15.0, 8.0), None, 0.001, None);
-        ops.add("UK Partner", Country::GBR, (234, 30), 12576,
-                (35.0, 12.0), (20.0, 8.0), None, 0.001, None);
+        ops.add(
+            "Etisalat",
+            Country::ARE,
+            (424, 2),
+            8966,
+            (9.0, 6.0),
+            (7.5, 5.0),
+            Some(4.5),
+            0.002,
+            None,
+        );
+        ops.add(
+            "Jazz",
+            Country::PAK,
+            (410, 1),
+            well_known::PMCL.0,
+            (8.0, 4.0),
+            (6.5, 2.0),
+            Some(4.5),
+            0.004,
+            None,
+        );
+        ops.add(
+            "Magti",
+            Country::GEO,
+            (282, 2),
+            16010,
+            (45.0, 12.0),
+            (33.0, 3.0),
+            None,
+            0.001,
+            None,
+        );
+        ops.add(
+            "Vodafone DE",
+            Country::DEU,
+            (262, 2),
+            3209,
+            (25.0, 10.0),
+            (24.0, 10.0),
+            None,
+            0.001,
+            None,
+        );
+        ops.add(
+            "Movistar",
+            Country::ESP,
+            (214, 7),
+            well_known::TELEFONICA.0,
+            (30.0, 15.0),
+            (11.5, 9.0),
+            None,
+            0.001,
+            None,
+        );
+        ops.add(
+            "Ooredoo Qatar",
+            Country::QAT,
+            (427, 1),
+            8781,
+            (70.0, 25.0),
+            (18.0, 8.0),
+            None,
+            0.001,
+            None,
+        );
+        ops.add(
+            "STC",
+            Country::SAU,
+            (420, 1),
+            25019,
+            (140.0, 30.0),
+            (15.0, 8.0),
+            None,
+            0.001,
+            None,
+        );
+        ops.add(
+            "UK Partner",
+            Country::GBR,
+            (234, 30),
+            12576,
+            (35.0, 12.0),
+            (20.0, 8.0),
+            None,
+            0.001,
+            None,
+        );
         // The Korean physical SIM: an MVNO riding LG U+, subject to the
         // parent's traffic differentiation (§4.3.2, §5.1).
         let parent = ops.id("LG U+");
-        ops.add("U+ UMobile", Country::KOR, (450, 11), well_known::LG_UPLUS.0,
-                (35.0, 15.0), (15.0, 8.0), None, 0.001, Some(parent));
+        ops.add(
+            "U+ UMobile",
+            Country::KOR,
+            (450, 11),
+            well_known::LG_UPLUS.0,
+            (35.0, 15.0),
+            (15.0, 8.0),
+            None,
+            0.001,
+            Some(parent),
+        );
 
         // --- v-MNOs for the web-only countries -----------------------------
         for (name, country, plmn, asn) in [
@@ -103,7 +271,17 @@ impl Operators {
             ("Beeline UZ", Country::UZB, (434, 4), 41202),
             ("NTT Docomo", Country::JPN, (440, 10), 9605),
         ] {
-            ops.add(name, country, plmn, asn, (45.0, 15.0), (32.0, 12.0), None, 0.002, None);
+            ops.add(
+                name,
+                country,
+                plmn,
+                asn,
+                (45.0, 15.0),
+                (32.0, 12.0),
+                None,
+                0.002,
+                None,
+            );
         }
 
         ops
@@ -146,7 +324,14 @@ mod tests {
     #[test]
     fn census_contains_the_table2_bmnos() {
         let ops = Operators::build();
-        for name in ["Singtel", "Play", "Telna Mobile", "Telecom Italia", "Orange", "Polkomtel"] {
+        for name in [
+            "Singtel",
+            "Play",
+            "Telna Mobile",
+            "Telecom Italia",
+            "Orange",
+            "Polkomtel",
+        ] {
             assert!(ops.contains(name), "missing b-MNO {name}");
         }
     }
@@ -155,7 +340,10 @@ mod tests {
     fn native_partners_are_local() {
         let ops = Operators::build();
         assert_eq!(ops.dir.get(ops.id("LG U+")).country, Country::KOR);
-        assert_eq!(ops.dir.get(ops.id("Ooredoo Maldives")).country, Country::MDV);
+        assert_eq!(
+            ops.dir.get(ops.id("Ooredoo Maldives")).country,
+            Country::MDV
+        );
         assert_eq!(ops.dir.get(ops.id("dtac")).country, Country::THA);
     }
 

@@ -87,8 +87,12 @@ impl PublicInternet {
         self.city_index.insert(city, i);
 
         // --- IX, meshed to every existing IX -------------------------------
-        let ix = net.add_node(&format!("ix-{city}"), NodeKind::Router, city,
-                              Ipv4Addr::new(80, 81, i, 1));
+        let ix = net.add_node(
+            &format!("ix-{city}"),
+            NodeKind::Router,
+            city,
+            Ipv4Addr::new(80, 81, i, 1),
+        );
         net.registry_mut().register(
             Ipv4Net::new(Ipv4Addr::new(80, 81, i, 0), 24),
             Asn(1299),
@@ -110,8 +114,18 @@ impl PublicInternet {
         // --- traceroute-able SPs: border → internals → front ---------------
         let sps: [(Service, [u8; 2], Asn, &str); 3] = [
             (Service::Google, [142, 250], well_known::GOOGLE, "Google"),
-            (Service::Facebook, [157, 240], well_known::FACEBOOK, "Facebook"),
-            (Service::YouTube, [208, 65], well_known::GOOGLE, "Google (YouTube)"),
+            (
+                Service::Facebook,
+                [157, 240],
+                well_known::FACEBOOK,
+                "Facebook",
+            ),
+            (
+                Service::YouTube,
+                [208, 65],
+                well_known::GOOGLE,
+                "Google (YouTube)",
+            ),
         ];
         for (service, octets, asn, org) in sps {
             let prefix = Ipv4Net::new(Ipv4Addr::new(octets[0], octets[1], i, 0), 24);
@@ -122,8 +136,13 @@ impl PublicInternet {
                 city,
                 Ipv4Addr::new(octets[0], octets[1], i, 1),
             );
-            net.link_with(border, ix, LinkClass::Metro,
-                          LatencyModel::fixed(0.5, 0.2).with_spikes(0.015, 180.0), 0.0);
+            net.link_with(
+                border,
+                ix,
+                LinkClass::Metro,
+                LatencyModel::fixed(0.5, 0.2).with_spikes(0.015, 180.0),
+                0.0,
+            );
             // SP-internal routing depth varies per (city, SP): the source
             // of the public-path-length variance of Fig. 10.
             let depth = rng.gen_range(0..=2u8);
@@ -135,8 +154,13 @@ impl PublicInternet {
                     city,
                     Ipv4Addr::new(octets[0], octets[1], i, 2 + d),
                 );
-                net.link_with(prev, r, LinkClass::Metro,
-                              LatencyModel::fixed(0.4, 0.2).with_spikes(0.01, 120.0), 0.0);
+                net.link_with(
+                    prev,
+                    r,
+                    LinkClass::Metro,
+                    LatencyModel::fixed(0.4, 0.2).with_spikes(0.01, 120.0),
+                    0.0,
+                );
                 prev = r;
             }
             let front = net.add_node(
@@ -145,8 +169,13 @@ impl PublicInternet {
                 city,
                 Ipv4Addr::new(octets[0], octets[1], i, 100),
             );
-            net.link_with(prev, front, LinkClass::Metro,
-                          LatencyModel::fixed(0.4, 0.2).with_spikes(0.01, 120.0), 0.0);
+            net.link_with(
+                prev,
+                front,
+                LinkClass::Metro,
+                LatencyModel::fixed(0.4, 0.2).with_spikes(0.01, 120.0),
+                0.0,
+            );
             self.targets.add(service, front);
         }
 
@@ -154,13 +183,36 @@ impl PublicInternet {
         let singles: [(Service, [u8; 2], Asn, &str); 7] = [
             (Service::Ookla, [151, 101], Asn(21837), "Ookla host"),
             (Service::FastCom, [45, 57], Asn(2906), "Netflix"),
-            (Service::Cdn(CdnProvider::Cloudflare), [104, 16], well_known::CLOUDFLARE,
-             "Cloudflare"),
-            (Service::Cdn(CdnProvider::GoogleCdn), [172, 217], well_known::GOOGLE, "Google CDN"),
-            (Service::Cdn(CdnProvider::JsDelivr), [151, 102], well_known::FASTLY, "Fastly"),
-            (Service::Cdn(CdnProvider::JQuery), [69, 16], Asn(12989), "StackPath"),
-            (Service::Cdn(CdnProvider::MicrosoftAjax), [13, 107], well_known::MICROSOFT,
-             "Microsoft"),
+            (
+                Service::Cdn(CdnProvider::Cloudflare),
+                [104, 16],
+                well_known::CLOUDFLARE,
+                "Cloudflare",
+            ),
+            (
+                Service::Cdn(CdnProvider::GoogleCdn),
+                [172, 217],
+                well_known::GOOGLE,
+                "Google CDN",
+            ),
+            (
+                Service::Cdn(CdnProvider::JsDelivr),
+                [151, 102],
+                well_known::FASTLY,
+                "Fastly",
+            ),
+            (
+                Service::Cdn(CdnProvider::JQuery),
+                [69, 16],
+                Asn(12989),
+                "StackPath",
+            ),
+            (
+                Service::Cdn(CdnProvider::MicrosoftAjax),
+                [13, 107],
+                well_known::MICROSOFT,
+                "Microsoft",
+            ),
         ];
         for (service, octets, asn, org) in singles {
             let prefix = Ipv4Net::new(Ipv4Addr::new(octets[0], octets[1], i, 0), 24);
@@ -171,22 +223,34 @@ impl PublicInternet {
                 city,
                 Ipv4Addr::new(octets[0], octets[1], i, 10),
             );
-            net.link_with(node, ix, LinkClass::Metro,
-                          LatencyModel::fixed(0.6, 0.3).with_spikes(0.015, 180.0), 0.0);
+            net.link_with(
+                node,
+                ix,
+                LinkClass::Metro,
+                LatencyModel::fixed(0.6, 0.3).with_spikes(0.015, 180.0),
+                0.0,
+            );
             self.targets.add(service, node);
         }
 
         // --- Google DNS anycast sites --------------------------------------
         if GOOGLE_DNS_CITIES.contains(&city) {
             let prefix = Ipv4Net::new(Ipv4Addr::new(74, 125, i, 0), 24);
-            net.registry_mut().register(prefix, well_known::GOOGLE, "Google DNS", city);
+            net.registry_mut()
+                .register(prefix, well_known::GOOGLE, "Google DNS", city);
             let dns = net.add_node(
                 &format!("gdns-{city}"),
                 NodeKind::DnsResolver,
                 city,
                 Ipv4Addr::new(74, 125, i, 10),
             );
-            net.link_with(dns, ix, LinkClass::Metro, LatencyModel::fixed(0.5, 0.2), 0.0);
+            net.link_with(
+                dns,
+                ix,
+                LinkClass::Metro,
+                LatencyModel::fixed(0.5, 0.2),
+                0.0,
+            );
             self.targets.add_google_dns(dns);
         }
 
@@ -199,7 +263,13 @@ impl PublicInternet {
                     city,
                     Ipv4Addr::new(198, 41, 200, 10 + k as u8),
                 );
-                net.link_with(origin, ix, LinkClass::Metro, LatencyModel::fixed(0.8, 0.3), 0.0);
+                net.link_with(
+                    origin,
+                    ix,
+                    LinkClass::Metro,
+                    LatencyModel::fixed(0.8, 0.3),
+                    0.0,
+                );
                 self.targets.set_origin(*provider, origin);
             }
             net.registry_mut().register(
@@ -232,10 +302,21 @@ impl PublicInternet {
         for (j, (org, asn)) in transit.iter().enumerate() {
             let i = self.city_index[&city];
             let ip = Ipv4Addr::new(62, 40, i, 10 + j as u8 + (att.teid % 40) as u8);
-            net.registry_mut().register(Ipv4Net::new(ip, 32), *asn, org, city);
-            let node = net.add_node(&format!("{org}-transit-{}", att.teid), NodeKind::Router,
-                                    city, ip);
-            net.link_with(exit, node, LinkClass::Metro, LatencyModel::fixed(0.7, 0.4), 0.0);
+            net.registry_mut()
+                .register(Ipv4Net::new(ip, 32), *asn, org, city);
+            let node = net.add_node(
+                &format!("{org}-transit-{}", att.teid),
+                NodeKind::Router,
+                city,
+                ip,
+            );
+            net.link_with(
+                exit,
+                node,
+                LinkClass::Metro,
+                LatencyModel::fixed(0.7, 0.4),
+                0.0,
+            );
             exit = node;
         }
 
@@ -243,12 +324,22 @@ impl PublicInternet {
         // prefers these two-AS paths for the traceroute targets, giving the
         // Fig. 6 "two unique ASNs" shape.
         for border in self.borders_of(net, city) {
-            net.link_with(exit, border, LinkClass::Peering,
-                          LatencyModel::fixed(0.9, 0.4).with_spikes(0.02, 220.0), 0.0);
+            net.link_with(
+                exit,
+                border,
+                LinkClass::Peering,
+                LatencyModel::fixed(0.9, 0.4).with_spikes(0.02, 220.0),
+                0.0,
+            );
         }
         // IX uplink for everything else (DNS, distant services, origins).
-        net.link_with(exit, ix, LinkClass::Metro,
-                      LatencyModel::fixed(0.8, 0.4).with_spikes(0.02, 180.0), 0.0);
+        net.link_with(
+            exit,
+            ix,
+            LinkClass::Metro,
+            LatencyModel::fixed(0.8, 0.4).with_spikes(0.02, 180.0),
+            0.0,
+        );
     }
 
     /// The SP border routers of a city (addresses `x.y.i.1` of the three
@@ -277,13 +368,27 @@ mod tests {
         let mut net = Network::new(7);
         let mut rng = SmallRng::seed_from_u64(7);
         let pi = PublicInternet::build(&mut net, &[City::Amsterdam, City::Singapore], &mut rng);
-        for svc in [Service::Google, Service::Facebook, Service::YouTube, Service::Ookla,
-                    Service::FastCom] {
-            assert!(pi.targets.nearest(&net, svc, City::Amsterdam).is_some(), "{svc:?}");
+        for svc in [
+            Service::Google,
+            Service::Facebook,
+            Service::YouTube,
+            Service::Ookla,
+            Service::FastCom,
+        ] {
+            assert!(
+                pi.targets.nearest(&net, svc, City::Amsterdam).is_some(),
+                "{svc:?}"
+            );
         }
         for p in CdnProvider::ALL {
-            assert!(pi.targets.nearest(&net, Service::Cdn(p), City::Singapore).is_some());
-            assert!(pi.targets.origin(p).is_some(), "origins built with GOOGLE_DNS_CITIES");
+            assert!(pi
+                .targets
+                .nearest(&net, Service::Cdn(p), City::Singapore)
+                .is_some());
+            assert!(
+                pi.targets.origin(p).is_some(),
+                "origins built with GOOGLE_DNS_CITIES"
+            );
         }
         assert!(pi.ix(City::Amsterdam).is_some());
         assert!(pi.ix(City::Berlin).is_none());
@@ -331,7 +436,10 @@ mod tests {
         let mut net = Network::new(7);
         let mut rng = SmallRng::seed_from_u64(7);
         let pi = PublicInternet::build(&mut net, &[City::Amsterdam], &mut rng);
-        let google = pi.targets.nearest(&net, Service::Google, City::Amsterdam).unwrap();
+        let google = pi
+            .targets
+            .nearest(&net, Service::Google, City::Amsterdam)
+            .unwrap();
         let ip = net.node(google).ip;
         let info = net.registry().lookup(ip).expect("registered");
         assert_eq!(info.asn, well_known::GOOGLE);

@@ -55,7 +55,10 @@ pub struct CountryPlan {
 }
 
 fn ch(mode_cqi: u8, weak_tail: f64) -> ChannelSampler {
-    ChannelSampler { mode_cqi, weak_tail }
+    ChannelSampler {
+        mode_cqi,
+        weak_tail,
+    }
 }
 
 /// The 24 measured countries' plans.
@@ -64,40 +67,221 @@ fn country_plans() -> Vec<CountryPlan> {
     use Country::*;
     use Rat::*;
     let p = |country, v_mno, b_mno, rat, arrangement, physical, channel| CountryPlan {
-        country, v_mno, b_mno, rat, arrangement, physical, channel,
+        country,
+        v_mno,
+        b_mno,
+        rat,
+        arrangement,
+        physical,
+        channel,
     };
     vec![
         // --- Singtel HR group (Table 2 row 1) ---
-        p(ARE, "Etisalat", "Singtel", Lte, SingtelHr, Some("Etisalat"), ch(11, 0.2)),
-        p(JPN, "NTT Docomo", "Singtel", Nr5g, SingtelHr, None, ch(12, 0.15)),
-        p(PAK, "Jazz", "Singtel", Lte, SingtelHr, Some("Jazz"), ch(10, 0.25)),
+        p(
+            ARE,
+            "Etisalat",
+            "Singtel",
+            Lte,
+            SingtelHr,
+            Some("Etisalat"),
+            ch(11, 0.2),
+        ),
+        p(
+            JPN,
+            "NTT Docomo",
+            "Singtel",
+            Nr5g,
+            SingtelHr,
+            None,
+            ch(12, 0.15),
+        ),
+        p(
+            PAK,
+            "Jazz",
+            "Singtel",
+            Lte,
+            SingtelHr,
+            Some("Jazz"),
+            ch(10, 0.25),
+        ),
         p(MYS, "Maxis", "Singtel", Lte, SingtelHr, None, ch(11, 0.2)),
-        p(CHN, "China Mobile", "Singtel", Nr5g, SingtelHr, None, ch(12, 0.15)),
+        p(
+            CHN,
+            "China Mobile",
+            "Singtel",
+            Nr5g,
+            SingtelHr,
+            None,
+            ch(12, 0.15),
+        ),
         // --- Play IHBO group ---
-        p(GBR, "UK Partner", "Play", Lte, PacketHostOrOvh, Some("UK Partner"), ch(11, 0.2)),
-        p(DEU, "Vodafone DE", "Play", Nr5g, PacketHostOrOvh, Some("Vodafone DE"), ch(12, 0.2)),
-        p(GEO, "Magti", "Play", Nr5g, PacketHostOrOvh, Some("Magti"), ch(12, 0.2)),
-        p(ESP, "Movistar", "Play", Nr5g, PacketHostOrOvh, Some("Movistar"), ch(12, 0.2)),
+        p(
+            GBR,
+            "UK Partner",
+            "Play",
+            Lte,
+            PacketHostOrOvh,
+            Some("UK Partner"),
+            ch(11, 0.2),
+        ),
+        p(
+            DEU,
+            "Vodafone DE",
+            "Play",
+            Nr5g,
+            PacketHostOrOvh,
+            Some("Vodafone DE"),
+            ch(12, 0.2),
+        ),
+        p(
+            GEO,
+            "Magti",
+            "Play",
+            Nr5g,
+            PacketHostOrOvh,
+            Some("Magti"),
+            ch(12, 0.2),
+        ),
+        p(
+            ESP,
+            "Movistar",
+            "Play",
+            Nr5g,
+            PacketHostOrOvh,
+            Some("Movistar"),
+            ch(12, 0.2),
+        ),
         // --- Telna IHBO group ---
-        p(QAT, "Ooredoo Qatar", "Telna Mobile", Nr5g, PacketHostOrOvh, Some("Ooredoo Qatar"),
-          ch(12, 0.15)),
-        p(SAU, "STC", "Telna Mobile", Nr5g, PacketHostOnly, Some("STC"), ch(13, 0.15)),
-        p(TUR, "Turkcell", "Telna Mobile", Lte, PacketHostOrOvh, None, ch(11, 0.2)),
-        p(EGY, "Vodafone EG", "Telna Mobile", Lte, PacketHostOrOvh, None, ch(10, 0.25)),
+        p(
+            QAT,
+            "Ooredoo Qatar",
+            "Telna Mobile",
+            Nr5g,
+            PacketHostOrOvh,
+            Some("Ooredoo Qatar"),
+            ch(12, 0.15),
+        ),
+        p(
+            SAU,
+            "STC",
+            "Telna Mobile",
+            Nr5g,
+            PacketHostOnly,
+            Some("STC"),
+            ch(13, 0.15),
+        ),
+        p(
+            TUR,
+            "Turkcell",
+            "Telna Mobile",
+            Lte,
+            PacketHostOrOvh,
+            None,
+            ch(11, 0.2),
+        ),
+        p(
+            EGY,
+            "Vodafone EG",
+            "Telna Mobile",
+            Lte,
+            PacketHostOrOvh,
+            None,
+            ch(10, 0.25),
+        ),
         // --- Telecom Italia IHBO group ---
-        p(MDA, "Moldcell", "Telecom Italia", Lte, WirelessLogic, None, ch(11, 0.2)),
-        p(KEN, "Safaricom", "Telecom Italia", Lte, WirelessLogic, None, ch(10, 0.25)),
-        p(FIN, "Elisa", "Telecom Italia", Nr5g, WirelessLogic, None, ch(13, 0.1)),
-        p(AZE, "Azercell", "Telecom Italia", Lte, WirelessLogic, None, ch(11, 0.2)),
+        p(
+            MDA,
+            "Moldcell",
+            "Telecom Italia",
+            Lte,
+            WirelessLogic,
+            None,
+            ch(11, 0.2),
+        ),
+        p(
+            KEN,
+            "Safaricom",
+            "Telecom Italia",
+            Lte,
+            WirelessLogic,
+            None,
+            ch(10, 0.25),
+        ),
+        p(
+            FIN,
+            "Elisa",
+            "Telecom Italia",
+            Nr5g,
+            WirelessLogic,
+            None,
+            ch(13, 0.1),
+        ),
+        p(
+            AZE,
+            "Azercell",
+            "Telecom Italia",
+            Lte,
+            WirelessLogic,
+            None,
+            ch(11, 0.2),
+        ),
         // --- Orange IHBO group ---
-        p(ITA, "TIM Italy", "Orange", Lte, WebbingEu, None, ch(11, 0.2)),
-        p(USA, "T-Mobile US", "Orange", Nr5g, WebbingUs, None, ch(12, 0.15)),
+        p(
+            ITA,
+            "TIM Italy",
+            "Orange",
+            Lte,
+            WebbingEu,
+            None,
+            ch(11, 0.2),
+        ),
+        p(
+            USA,
+            "T-Mobile US",
+            "Orange",
+            Nr5g,
+            WebbingUs,
+            None,
+            ch(12, 0.15),
+        ),
         // --- Polkomtel IHBO group (pinned to Ashburn) ---
-        p(FRA, "Orange FR Visited", "Polkomtel", Nr5g, PacketHostOnly, None, ch(12, 0.15)),
-        p(UZB, "Beeline UZ", "Polkomtel", Lte, PacketHostOnly, None, ch(10, 0.25)),
+        p(
+            FRA,
+            "Orange FR Visited",
+            "Polkomtel",
+            Nr5g,
+            PacketHostOnly,
+            None,
+            ch(12, 0.15),
+        ),
+        p(
+            UZB,
+            "Beeline UZ",
+            "Polkomtel",
+            Lte,
+            PacketHostOnly,
+            None,
+            ch(10, 0.25),
+        ),
         // --- native partners (§4.1) ---
-        p(KOR, "LG U+", "LG U+", Nr5g, Native, Some("U+ UMobile"), ch(13, 0.15)),
-        p(MDV, "Ooredoo Maldives", "Ooredoo Maldives", Lte, Native, None, ch(10, 0.25)),
+        p(
+            KOR,
+            "LG U+",
+            "LG U+",
+            Nr5g,
+            Native,
+            Some("U+ UMobile"),
+            ch(13, 0.15),
+        ),
+        p(
+            MDV,
+            "Ooredoo Maldives",
+            "Ooredoo Maldives",
+            Lte,
+            Native,
+            None,
+            ch(10, 0.25),
+        ),
         p(THA, "dtac", "dtac", Lte, Native, Some("dtac"), ch(11, 0.2)),
     ]
 }
@@ -276,16 +460,25 @@ impl World {
     /// as the campaigns observed).
     pub fn attach_esim(&mut self, country: Country) -> Endpoint {
         let plan = self.plan(country).clone();
-        let (profile, offer) =
-            self.airalo.buy_esim(country).expect("catalogue covers measured countries");
+        let (profile, offer) = self
+            .airalo
+            .buy_esim(country)
+            .expect("catalogue covers measured countries");
         let v = self.ops.id(plan.v_mno);
         // Providers *iterate* across attachments (§4.1: Play/Telna eSIMs
         // alternated between Packet Host and OVH) — round-robin per country.
         let count = self.attach_counts.entry(country).or_insert(0);
         let provider = offer.config.providers[*count as usize % offer.config.providers.len()];
         *count += 1;
-        self.attach_profile(&profile, &plan, v, offer.config.arch, provider, offer.config.dns,
-                            SimType::Esim)
+        self.attach_profile(
+            &profile,
+            &plan,
+            v,
+            offer.config.arch,
+            provider,
+            offer.config.dns,
+            SimType::Esim,
+        )
     }
 
     /// Attach an Airalo-style eSIM with an *overridden* breakout — the
@@ -299,8 +492,10 @@ impl World {
         dns: DnsMode,
     ) -> Endpoint {
         let plan = self.plan(country).clone();
-        let (profile, _offer) =
-            self.airalo.buy_esim(country).expect("catalogue covers measured countries");
+        let (profile, _offer) = self
+            .airalo
+            .buy_esim(country)
+            .expect("catalogue covers measured countries");
         let v = self.ops.id(plan.v_mno);
         self.attach_profile(&profile, &plan, v, arch, provider, dns, SimType::Esim)
     }
@@ -320,8 +515,15 @@ impl World {
         };
         let mut plan2 = plan.clone();
         plan2.v_mno = op_name;
-        self.attach_profile(&profile, &plan2, op, RoamingArch::Native, provider,
-                            DnsMode::OperatorResolver, SimType::Physical)
+        self.attach_profile(
+            &profile,
+            &plan2,
+            op,
+            RoamingArch::Native,
+            provider,
+            DnsMode::OperatorResolver,
+            SimType::Physical,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -356,9 +558,9 @@ impl World {
             &params,
             &mut self.rng,
         );
-        let transit: Vec<(String, roam_netsim::Asn)> =
-            self.gateways.transit_of(provider).to_vec();
-        self.internet.connect_breakout(&mut self.net, &att, &transit, &mut self.rng);
+        let transit: Vec<(String, roam_netsim::Asn)> = self.gateways.transit_of(provider).to_vec();
+        self.internet
+            .connect_breakout(&mut self.net, &att, &transit, &mut self.rng);
 
         // Resolve the policy the serving network applies.
         let serving = self.ops.dir.get(v_mno);
@@ -384,7 +586,11 @@ impl World {
             label: format!(
                 "{} {}",
                 plan.country.alpha3(),
-                if sim_type == SimType::Esim { "eSIM" } else { "SIM" }
+                if sim_type == SimType::Esim {
+                    "eSIM"
+                } else {
+                    "SIM"
+                }
             ),
             policy_down_mbps: policy.down_mbps,
             policy_up_mbps: policy.up_mbps,
@@ -507,7 +713,10 @@ mod tests {
         assert_eq!(ep.att.arch, RoamingArch::HomeRouted);
         assert_eq!(ep.att.breakout_city, City::Singapore);
         assert_eq!(w.breakout_asn(&ep), Some(well_known::SINGTEL));
-        assert_eq!(ep.att.private_hops, 8, "the stable 8-hop PAK eSIM private path");
+        assert_eq!(
+            ep.att.private_hops, 8,
+            "the stable 8-hop PAK eSIM private path"
+        );
     }
 
     #[test]
@@ -517,7 +726,10 @@ mod tests {
         assert_eq!(ep.att.arch, RoamingArch::Native);
         assert_eq!(ep.att.breakout_city, City::Karachi);
         assert_eq!(w.breakout_asn(&ep), Some(well_known::PMCL));
-        assert_eq!(ep.att.private_hops, 4, "the stable 4-hop PAK SIM private path");
+        assert_eq!(
+            ep.att.private_hops, 4,
+            "the stable 4-hop PAK SIM private path"
+        );
     }
 
     #[test]
@@ -603,8 +815,14 @@ mod tests {
     fn campaign_tables_match_paper_shapes() {
         let dev = World::device_campaign_specs();
         assert_eq!(dev.len(), 10);
-        let total_web: u32 = World::web_campaign_specs().iter().map(|w| w.measurements).sum();
-        assert_eq!(total_web, 116, "Table 3 sums to ~117 completed measurements");
+        let total_web: u32 = World::web_campaign_specs()
+            .iter()
+            .map(|w| w.measurements)
+            .sum();
+        assert_eq!(
+            total_web, 116,
+            "Table 3 sums to ~117 completed measurements"
+        );
         let deu = dev.iter().find(|d| d.country == Country::DEU).unwrap();
         assert_eq!(deu.spec.ookla, (154, 136));
         let esp = dev.iter().find(|d| d.country == Country::ESP).unwrap();

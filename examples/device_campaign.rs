@@ -25,7 +25,13 @@ fn main() {
     };
 
     let mut all = CampaignData::default();
-    let countries = [Country::PAK, Country::ARE, Country::DEU, Country::GEO, Country::KOR];
+    let countries = [
+        Country::PAK,
+        Country::ARE,
+        Country::DEU,
+        Country::GEO,
+        Country::KOR,
+    ];
     for country in countries {
         let sim = world.attach_physical(country);
         let esim = world.attach_esim(country);
@@ -40,10 +46,15 @@ fn main() {
         all.extend(data);
     }
 
-    println!("{:<6} {:>4}  {:>12} {:>12}  {:>12} {:>12}", "ctry", "kind", "down Mbps",
-             "up Mbps", "latency ms", "n");
+    println!(
+        "{:<6} {:>4}  {:>12} {:>12}  {:>12} {:>12}",
+        "ctry", "kind", "down Mbps", "up Mbps", "latency ms", "n"
+    );
     for country in countries {
-        for sim_type in [roamsim::cellular::SimType::Physical, roamsim::cellular::SimType::Esim] {
+        for sim_type in [
+            roamsim::cellular::SimType::Physical,
+            roamsim::cellular::SimType::Esim,
+        ] {
             let rows: Vec<f64> = all
                 .filtered_speedtests()
                 .iter()
@@ -71,7 +82,11 @@ fn main() {
             println!(
                 "{:<6} {:>4}  {:>12.1} {:>12.1}  {:>12.1} {:>12}",
                 country.alpha3(),
-                if sim_type == roamsim::cellular::SimType::Esim { "eSIM" } else { "SIM" },
+                if sim_type == roamsim::cellular::SimType::Esim {
+                    "eSIM"
+                } else {
+                    "SIM"
+                },
                 d.median,
                 u.median,
                 l.median,
@@ -84,15 +99,17 @@ fn main() {
     let sim_rtt: Vec<f64> = all
         .speedtests
         .iter()
-        .filter(|r| r.tag.sim_type == roamsim::cellular::SimType::Physical
-                 && r.tag.country != Country::KOR)
+        .filter(|r| {
+            r.tag.sim_type == roamsim::cellular::SimType::Physical && r.tag.country != Country::KOR
+        })
         .map(|r| r.latency_ms)
         .collect();
     let esim_rtt: Vec<f64> = all
         .speedtests
         .iter()
-        .filter(|r| r.tag.sim_type == roamsim::cellular::SimType::Esim
-                 && r.tag.country != Country::KOR)
+        .filter(|r| {
+            r.tag.sim_type == roamsim::cellular::SimType::Esim && r.tag.country != Country::KOR
+        })
         .map(|r| r.latency_ms)
         .collect();
     let t = welch_t_test(&sim_rtt, &esim_rtt).expect("enough samples");

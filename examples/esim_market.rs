@@ -21,10 +21,18 @@ fn main() {
     // Fig. 16: continent-level $/GB on the first and last crawl days.
     for day in [0u32, 107] {
         let snap = Crawler::new(Vantage::NewJersey).crawl(&market, day);
-        println!("--- Airalo median $/GB by continent, {} ---", snap.date_label());
+        println!(
+            "--- Airalo median $/GB by continent, {} ---",
+            snap.date_label()
+        );
         for (continent, b) in continent_boxplots(&snap, market.airalo()) {
-            println!("  {:<14} median {:>5.2}  IQR [{:>5.2}, {:>5.2}]",
-                     continent.name(), b.median, b.q1, b.q3);
+            println!(
+                "  {:<14} median {:>5.2}  IQR [{:>5.2}, {:>5.2}]",
+                continent.name(),
+                b.median,
+                b.q1,
+                b.q3
+            );
         }
     }
 
@@ -61,6 +69,12 @@ fn main() {
         .iter()
         .zip(&b.records)
         .all(|(x, y)| x.price_usd == y.price_usd);
-    println!("\nprice discrimination across vantages: {}",
-             if identical { "none observed" } else { "DETECTED (bug!)" });
+    println!(
+        "\nprice discrimination across vantages: {}",
+        if identical {
+            "none observed"
+        } else {
+            "DETECTED (bug!)"
+        }
+    );
 }

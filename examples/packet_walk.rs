@@ -25,8 +25,11 @@ fn main() {
     let rtt = world.net.rtt_ms(esim.att.ue, google).expect("reachable");
     let events = world.net.take_trace();
 
-    println!("one ICMP echo, {} → Google ({} events, RTT {rtt:.1} ms)\n", esim.label,
-             events.len());
+    println!(
+        "one ICMP echo, {} → Google ({} events, RTT {rtt:.1} ms)\n",
+        esim.label,
+        events.len()
+    );
     let mut last_ms = 0.0;
     for e in &events {
         let node = world.net.node(e.node);
@@ -51,7 +54,6 @@ fn main() {
     }
     println!(
         "\nthe big gap is the GTP tunnel: {:.0} km from the SGW to the {} breakout.",
-        esim.att.tunnel_km,
-        esim.att.breakout_city
+        esim.att.tunnel_km, esim.att.breakout_city
     );
 }

@@ -32,7 +32,9 @@ fn main() {
 
         // The paper's classification rule: match the public IP's ASN
         // against the b-MNO's and the v-MNO's.
-        let ip_asn = world.breakout_asn(&esim).expect("registered breakout prefix");
+        let ip_asn = world
+            .breakout_asn(&esim)
+            .expect("registered breakout prefix");
         let b_asn = world.ops.dir.get(esim.att.b_mno).asn;
         let v_asn = world.ops.dir.get(esim.att.v_mno).asn;
         println!(
@@ -44,15 +46,22 @@ fn main() {
         );
 
         // mtr to Google, decomposed at the first public hop.
-        let out = mtr(&mut world.net, &esim, &world.internet.targets, Service::Google)
-            .expect("Google edge exists");
+        let out = mtr(
+            &mut world.net,
+            &esim,
+            &world.internet.targets,
+            Service::Google,
+        )
+        .expect("Google edge exists");
         let a = &out.analysis;
         println!(
             "  traceroute to Google: {} private + {} public hops, PGW {} ({}), \
              PGW RTT {:.1} ms, total {:.1} ms ({:.0}% private)",
             a.private_len,
             a.public_len,
-            a.pgw_ip.map(|ip| ip.to_string()).unwrap_or_else(|| "?".into()),
+            a.pgw_ip
+                .map(|ip| ip.to_string())
+                .unwrap_or_else(|| "?".into()),
             a.pgw_city.map(|c| c.name()).unwrap_or("?"),
             a.pgw_rtt_ms.unwrap_or(f64::NAN),
             a.final_rtt_ms.unwrap_or(f64::NAN),

@@ -14,16 +14,41 @@ fn main() {
     let snapshot = Crawler::new(Vantage::Madrid).crawl(&market, 76);
 
     let itinerary = [
-        TripLeg { country: Country::ESP, days: 6, data_gb: 4.0 },
-        TripLeg { country: Country::DEU, days: 4, data_gb: 3.0 },
-        TripLeg { country: Country::THA, days: 12, data_gb: 8.0 },
-        TripLeg { country: Country::PAK, days: 7, data_gb: 5.0 },
+        TripLeg {
+            country: Country::ESP,
+            days: 6,
+            data_gb: 4.0,
+        },
+        TripLeg {
+            country: Country::DEU,
+            days: 4,
+            data_gb: 3.0,
+        },
+        TripLeg {
+            country: Country::THA,
+            days: 12,
+            data_gb: 8.0,
+        },
+        TripLeg {
+            country: Country::PAK,
+            days: 7,
+            data_gb: 5.0,
+        },
     ];
 
     println!("itinerary pricing (2024-05-01 snapshot)\n");
     for leg in &itinerary {
-        println!("— {} for {} days, {} GB:", leg.country.name(), leg.days, leg.data_gb);
-        for (i, o) in leg_options(&market, &snapshot, *leg).iter().take(4).enumerate() {
+        println!(
+            "— {} for {} days, {} GB:",
+            leg.country.name(),
+            leg.days,
+            leg.data_gb
+        );
+        for (i, o) in leg_options(&market, &snapshot, *leg)
+            .iter()
+            .take(4)
+            .enumerate()
+        {
             println!(
                 "   {}. {:<18} {:>4} GB plan  ${:>6.2}  (${:.2}/GB used)",
                 i + 1,
@@ -38,8 +63,13 @@ fn main() {
     let plan = plan_trip(&market, &snapshot, &itinerary);
     println!("\ncheapest full trip: ${:.2}", plan.total_usd);
     for l in &plan.legs {
-        println!("  {} → {} ({} GB for ${:.2})", l.leg.country.alpha3(), l.seller,
-                 l.plan_gb, l.price_usd);
+        println!(
+            "  {} → {} ({} GB for ${:.2})",
+            l.leg.country.alpha3(),
+            l.seller,
+            l.plan_gb,
+            l.price_usd
+        );
     }
     println!("\nthe paper's takeaway in action: aggregators win on *total outlay* for");
     println!("small needs, local SIMs win on $/GB once the bundles get big.");

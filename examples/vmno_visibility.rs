@@ -47,16 +47,20 @@ fn main() {
             .collect();
         TrafficStats::from_records(&rs).expect("class populated")
     };
-    println!("\n{:<22} {:>14} {:>18} {:>8}", "inferred class", "median MB/day",
-             "median sig MB/day", "days");
+    println!(
+        "\n{:<22} {:>14} {:>18} {:>8}",
+        "inferred class", "median MB/day", "median sig MB/day", "days"
+    );
     for (name, class) in [
         ("native", UserClass::Native),
         ("Play roamer", UserClass::BmnoRoamer),
         ("Airalo (recovered)", UserClass::AggregatorUser),
     ] {
         let s = stats_for(class);
-        println!("{:<22} {:>14.1} {:>18.2} {:>8}", name, s.median_data_mb,
-                 s.median_signalling_mb, s.n);
+        println!(
+            "{:<22} {:>14.1} {:>18.2} {:>8}",
+            name, s.median_data_mb, s.median_signalling_mb, s.n
+        );
     }
 
     // Step 3: validate against ground truth.

@@ -27,27 +27,44 @@ fn day_plan_produces_records_on_both_slots() {
     let mut rng = SmallRng::seed_from_u64(21);
     let mut data = CampaignData::default();
     server.push_day_plan(me.id, 2);
-    me.run_to_completion(&mut server, &mut world.net, &world.internet.targets, &mut data,
-                         &mut rng);
+    me.run_to_completion(
+        &mut server,
+        &mut world.net,
+        &world.internet.targets,
+        &mut data,
+        &mut rng,
+    );
 
     for t in [SimType::Physical, SimType::Esim] {
         assert_eq!(
-            data.speedtests.iter().filter(|r| r.tag.sim_type == t).count(),
+            data.speedtests
+                .iter()
+                .filter(|r| r.tag.sim_type == t)
+                .count(),
             2,
             "{t:?} speedtests"
         );
-        assert_eq!(data.traces.iter().filter(|r| r.tag.sim_type == t).count(), 6);
+        assert_eq!(
+            data.traces.iter().filter(|r| r.tag.sim_type == t).count(),
+            6
+        );
         assert_eq!(data.cdns.iter().filter(|r| r.tag.sim_type == t).count(), 10);
         assert_eq!(data.dns.iter().filter(|r| r.tag.sim_type == t).count(), 2);
-        assert_eq!(data.videos.iter().filter(|r| r.tag.sim_type == t).count(), 2);
+        assert_eq!(
+            data.videos.iter().filter(|r| r.tag.sim_type == t).count(),
+            2
+        );
     }
     // Vitals were reported along the way.
     let v = server.vitals_of(me.id).expect("status posted");
     assert!(v.connected);
     assert!((1..=15).contains(&v.cqi));
     // The day plan ends with a charge instruction.
-    assert!((99.0..=100.0).contains(&me.battery()) || me.battery() > 90.0,
-            "charged at end of plan: {}", me.battery());
+    assert!(
+        (99.0..=100.0).contains(&me.battery()) || me.battery() > 90.0,
+        "charged at end of plan: {}",
+        me.battery()
+    );
 }
 
 #[test]
@@ -64,11 +81,23 @@ fn battery_floor_skips_work() {
             server.push_job(me.id, Instrumentation::Speedtest);
         }
     }
-    me.run_to_completion(&mut server, &mut world.net, &world.internet.targets, &mut data,
-                         &mut rng);
-    assert!(me.battery() <= me.battery_floor + 5.0, "drained: {}", me.battery());
+    me.run_to_completion(
+        &mut server,
+        &mut world.net,
+        &world.internet.targets,
+        &mut data,
+        &mut rng,
+    );
     assert!(
-        server.skips().iter().any(|(_, _, why)| *why == SkipReason::LowBattery),
+        me.battery() <= me.battery_floor + 5.0,
+        "drained: {}",
+        me.battery()
+    );
+    assert!(
+        server
+            .skips()
+            .iter()
+            .any(|(_, _, why)| *why == SkipReason::LowBattery),
         "low-battery skips must be recorded"
     );
 }
@@ -84,8 +113,13 @@ fn ookla_rate_limit_bites_shared_addresses() {
     for _ in 0..8 {
         server.push_job(me.id, Instrumentation::Speedtest);
     }
-    me.run_to_completion(&mut server, &mut world.net, &world.internet.targets, &mut data,
-                         &mut rng);
+    me.run_to_completion(
+        &mut server,
+        &mut world.net,
+        &world.internet.targets,
+        &mut data,
+        &mut rng,
+    );
     let limited = server
         .skips()
         .iter()
@@ -101,6 +135,12 @@ fn polling_an_empty_queue_returns_none() {
     let mut rng = SmallRng::seed_from_u64(24);
     let mut data = CampaignData::default();
     assert!(me
-        .poll(&mut server, &mut world.net, &world.internet.targets, &mut data, &mut rng)
+        .poll(
+            &mut server,
+            &mut world.net,
+            &world.internet.targets,
+            &mut data,
+            &mut rng
+        )
         .is_none());
 }

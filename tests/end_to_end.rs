@@ -8,8 +8,8 @@ use roamsim::core::TomographyReport;
 use roamsim::geo::{City, Country};
 use roamsim::ipx::RoamingArch;
 use roamsim::measure::{
-    fetch_jquery, mtr, ookla_speedtest, play_youtube, resolve, run_device_campaign,
-    CdnProvider, DeviceCampaignSpec, Service,
+    fetch_jquery, mtr, ookla_speedtest, play_youtube, resolve, run_device_campaign, CdnProvider,
+    DeviceCampaignSpec, Service,
 };
 use roamsim::stats::median;
 use roamsim::world::World;
@@ -19,9 +19,14 @@ fn hr_ihbo_native_latency_ordering_holds() {
     let mut world = World::build(11);
     let mut rtt = |country: Country| {
         let ep = world.attach_esim(country);
-        mtr(&mut world.net, &ep, &world.internet.targets, Service::Google)
-            .and_then(|o| o.analysis.final_rtt_ms)
-            .expect("Google reachable")
+        mtr(
+            &mut world.net,
+            &ep,
+            &world.internet.targets,
+            Service::Google,
+        )
+        .and_then(|o| o.analysis.final_rtt_ms)
+        .expect("Google reachable")
     };
     let hr = rtt(Country::PAK);
     let ihbo = rtt(Country::DEU);
@@ -45,15 +50,17 @@ fn classification_of_all_24_countries_matches_table2() {
     for ep in &endpoints {
         let b = world.ops.dir.get(ep.att.b_mno);
         let v = world.ops.dir.get(ep.att.v_mno);
-        let e = obs.entry(ep.country).or_insert_with(|| roamsim::core::EsimObservation {
-            visited: ep.country,
-            b_mno_name: b.name.clone(),
-            b_mno_country: b.country,
-            b_mno_asn: b.asn,
-            v_mno_asn: v.asn,
-            user_city: City::sgw_city_for(ep.country).expect("measured"),
-            public_ips: vec![],
-        });
+        let e = obs
+            .entry(ep.country)
+            .or_insert_with(|| roamsim::core::EsimObservation {
+                visited: ep.country,
+                b_mno_name: b.name.clone(),
+                b_mno_country: b.country,
+                b_mno_asn: b.asn,
+                v_mno_asn: v.asn,
+                user_city: City::sgw_city_for(ep.country).expect("measured"),
+                public_ips: vec![],
+            });
         e.public_ips.push(ep.att.public_ip);
     }
     let observations: Vec<_> = obs.into_values().collect();
@@ -62,7 +69,10 @@ fn classification_of_all_24_countries_matches_table2() {
     assert_eq!(report.by_arch(RoamingArch::Native).len(), 3);
     assert_eq!(report.by_arch(RoamingArch::HomeRouted).len(), 5);
     assert_eq!(report.by_arch(RoamingArch::IpxHubBreakout).len(), 16);
-    assert!(report.by_arch(RoamingArch::LocalBreakout).is_empty(), "no LBO observed");
+    assert!(
+        report.by_arch(RoamingArch::LocalBreakout).is_empty(),
+        "no LBO observed"
+    );
     assert_eq!(report.suboptimal_breakouts(), (8, 16), "the §4.2 headline");
 }
 
@@ -88,8 +98,12 @@ fn device_campaign_produces_coherent_records() {
     assert_eq!(data.videos.len(), 4);
     // SIM faster than HR eSIM on every axis (paper's core comparison).
     let m = |t: SimType, f: &dyn Fn(&roamsim::measure::TraceRecord) -> Option<f64>| {
-        let v: Vec<f64> =
-            data.traces.iter().filter(|r| r.tag.sim_type == t).filter_map(f).collect();
+        let v: Vec<f64> = data
+            .traces
+            .iter()
+            .filter(|r| r.tag.sim_type == t)
+            .filter_map(f)
+            .collect();
         median(&v).expect("non-empty")
     };
     let rtt = |r: &roamsim::measure::TraceRecord| r.analysis.final_rtt_ms;
@@ -107,14 +121,26 @@ fn measurement_clients_work_on_every_archetype() {
             "{country} speedtest"
         );
         assert!(
-            fetch_jquery(&mut world.net, &ep, &world.internet.targets, CdnProvider::Cloudflare,
-                         Default::default(), &mut rng)
-                .is_some(),
+            fetch_jquery(
+                &mut world.net,
+                &ep,
+                &world.internet.targets,
+                CdnProvider::Cloudflare,
+                Default::default(),
+                &mut rng
+            )
+            .is_some(),
             "{country} cdn"
         );
         assert!(
-            resolve(&mut world.net, &ep, &world.internet.targets, "example.org", &mut rng)
-                .is_some(),
+            resolve(
+                &mut world.net,
+                &ep,
+                &world.internet.targets,
+                "example.org",
+                &mut rng
+            )
+            .is_some(),
             "{country} dns"
         );
         assert!(
@@ -130,18 +156,37 @@ fn dns_mode_follows_architecture() {
     let mut rng = SmallRng::seed_from_u64(15);
     // HR: operator resolver in Singapore.
     let hr = world.attach_esim(Country::PAK);
-    let r = resolve(&mut world.net, &hr, &world.internet.targets, "x.org", &mut rng)
-        .expect("resolver reachable");
+    let r = resolve(
+        &mut world.net,
+        &hr,
+        &world.internet.targets,
+        "x.org",
+        &mut rng,
+    )
+    .expect("resolver reachable");
     assert!(!r.doh);
-    assert_eq!(r.resolver_city, City::Singapore, "HR resolves in the b-MNO's core");
+    assert_eq!(
+        r.resolver_city,
+        City::Singapore,
+        "HR resolves in the b-MNO's core"
+    );
     // IHBO: Google DoH near the PGW.
     let ihbo = world.attach_esim(Country::GEO);
-    let r2 = resolve(&mut world.net, &ihbo, &world.internet.targets, "x.org", &mut rng)
-        .expect("resolver reachable");
+    let r2 = resolve(
+        &mut world.net,
+        &ihbo,
+        &world.internet.targets,
+        "x.org",
+        &mut rng,
+    )
+    .expect("resolver reachable");
     assert!(r2.doh, "IHBO uses DoH (the forgotten Android default)");
     let pgw_country = ihbo.att.breakout_city.country();
     // Anycast may flip to the second-nearest site, but it stays regional.
-    let d = r2.resolver_city.location().distance_km(ihbo.att.breakout_city.location());
+    let d = r2
+        .resolver_city
+        .location()
+        .distance_km(ihbo.att.breakout_city.location());
     assert!(
         r2.resolver_city.country() == pgw_country || d < 1200.0,
         "resolver {} too far from PGW {}",
@@ -159,7 +204,10 @@ fn hr_video_is_pinned_at_720p_despite_bandwidth() {
     for _ in 0..20 {
         let v = play_youtube(&mut world.net, &ep, &world.internet.targets, &mut rng)
             .expect("edge reachable");
-        assert!(v.resolution <= roamsim::measure::Resolution::P720,
-                "HR video must not exceed 720p, got {}", v.resolution);
+        assert!(
+            v.resolution <= roamsim::measure::Resolution::P720,
+            "HR video must not exceed 720p, got {}",
+            v.resolution
+        );
     }
 }
