@@ -8,9 +8,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use roam_bench::{run_device_mode, run_device_shard};
 use roam_econ::{median_per_gb_by_country, Crawler, Market, Vantage};
 use roam_geo::Country;
-use roam_measure::Service;
+use roam_measure::{RunMode, Service};
 use roam_netsim::wire::{GtpuHeader, IcmpMessage, Ipv4Header};
 use roam_netsim::TracerouteOpts;
 use roam_stats::test::LeveneCenter;
@@ -99,7 +100,66 @@ fn bench_measure(c: &mut Criterion) {
         b.iter(|| black_box(world.net.ping(ep.att.ue, google)))
     });
     g.bench_function("traceroute", |b| {
-        b.iter(|| black_box(world.net.traceroute(ep.att.ue, google, TracerouteOpts::default())))
+        b.iter(|| {
+            black_box(
+                world
+                    .net
+                    .traceroute(ep.att.ue, google, TracerouteOpts::default()),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// The netsim hot paths the allocation-elimination work targets: the
+/// cached route lookup (an `Arc` bump, no Vec clone) and the full
+/// ping walk (packets built in reusable scratch buffers, TTL mutated
+/// in place, no event-queue churn).
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    let mut world = World::build(7);
+    let ep = world.attach_esim(Country::PAK);
+    let google = world
+        .internet
+        .targets
+        .nearest(&world.net, Service::Google, ep.att.breakout_city)
+        .expect("google edge");
+    // Prime the cache so the lookup benchmark measures the steady state.
+    let _ = world.net.route(ep.att.ue, google);
+    g.bench_function("route_lookup", |b| {
+        b.iter(|| black_box(world.net.route(ep.att.ue, google)))
+    });
+    g.bench_function("packet_forward", |b| {
+        b.iter(|| black_box(world.net.ping(ep.att.ue, google)))
+    });
+    g.bench_function("traceroute_walk", |b| {
+        b.iter(|| {
+            black_box(
+                world
+                    .net
+                    .traceroute(ep.att.ue, google, TracerouteOpts::default()),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Campaign-level benchmarks: one country's full device shard, and the
+/// whole Table-4 campaign sequentially vs. on four workers. The two
+/// full-campaign runs produce bit-identical data; the ratio of their
+/// times is the wall-clock speedup on this host.
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    let specs = World::device_campaign_specs();
+    g.bench_function("device_country_shard", |b| {
+        b.iter(|| black_box(run_device_shard(7, 0.1, &specs[0])))
+    });
+    g.bench_function("device_campaign_seq", |b| {
+        b.iter(|| black_box(run_device_mode(7, 0.1, RunMode::Sequential)))
+    });
+    g.bench_function("device_campaign_par4", |b| {
+        b.iter(|| black_box(run_device_mode(7, 0.1, RunMode::Parallel(4))))
     });
     g.finish();
 }
@@ -127,10 +187,14 @@ fn bench_stats(c: &mut Criterion) {
 fn bench_econ(c: &mut Criterion) {
     let mut g = c.benchmark_group("econ");
     g.sample_size(10);
-    g.bench_function("generate_market", |b| b.iter(|| black_box(Market::generate(5))));
+    g.bench_function("generate_market", |b| {
+        b.iter(|| black_box(Market::generate(5)))
+    });
     let market = Market::generate(5);
     let crawler = Crawler::new(Vantage::NewJersey);
-    g.bench_function("daily_crawl", |b| b.iter(|| black_box(crawler.crawl(&market, 40))));
+    g.bench_function("daily_crawl", |b| {
+        b.iter(|| black_box(crawler.crawl(&market, 40)))
+    });
     let snap = crawler.crawl(&market, 40);
     g.bench_function("country_medians", |b| {
         b.iter(|| black_box(median_per_gb_by_country(&snap, market.airalo())))
@@ -138,5 +202,14 @@ fn bench_econ(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_wire, bench_world, bench_measure, bench_stats, bench_econ);
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_world,
+    bench_measure,
+    bench_netsim,
+    bench_campaign,
+    bench_stats,
+    bench_econ
+);
 criterion_main!(benches);

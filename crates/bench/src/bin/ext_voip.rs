@@ -7,25 +7,28 @@
 
 use roam_bench::run_device;
 use roam_measure::voip_probe;
-use roam_world::World;
 
 fn main() {
-    let run = run_device(2024, 0.05);
-    let mut world = run.world;
+    let mut run = run_device(2024, 0.05);
 
     println!("extension — VoIP quality (E-model MOS) per country/configuration\n");
-    println!("{:<12} {:>6} {:>9} {:>10} {:>7} {:>6} {:>6}  verdict", "country", "kind",
-             "RTT ms", "jitter ms", "loss%", "R", "MOS");
-    for spec in World::device_campaign_specs() {
-        let sim = world.attach_physical(spec.country);
-        let esim = world.attach_esim(spec.country);
+    println!(
+        "{:<12} {:>6} {:>9} {:>10} {:>7} {:>6} {:>6}  verdict",
+        "country", "kind", "RTT ms", "jitter ms", "loss%", "R", "MOS"
+    );
+    // Endpoint node ids live in their own shard's world, so the probes
+    // run against each country's shard world.
+    for shard in &mut run.shards {
+        let world = &mut shard.world;
+        let sim = world.attach_physical(shard.country);
+        let esim = world.attach_esim(shard.country);
         for (label, ep) in [("SIM", &sim), ("eSIM", &esim)] {
             let Some(v) = voip_probe(&mut world.net, ep, &world.internet.targets, 40) else {
                 continue;
             };
             println!(
                 "{:<12} {:>6} {:>9.1} {:>10.2} {:>7.2} {:>6.1} {:>6.2}  {} ({})",
-                spec.country.alpha3(),
+                shard.country.alpha3(),
                 label,
                 v.rtt_ms,
                 v.jitter_ms,

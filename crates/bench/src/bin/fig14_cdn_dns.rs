@@ -23,12 +23,17 @@ fn main() {
                 .data
                 .cdns
                 .iter()
-                .filter(|r| r.tag.country == spec.country
-                         && r.tag.sim_type == t
-                         && r.provider == CdnProvider::Cloudflare)
+                .filter(|r| {
+                    r.tag.country == spec.country
+                        && r.tag.sim_type == t
+                        && r.provider == CdnProvider::Cloudflare
+                })
                 .map(|r| r.total_ms)
                 .collect();
-            println!("{}", boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v));
+            println!(
+                "{}",
+                boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v)
+            );
         }
     }
 
@@ -37,17 +42,28 @@ fn main() {
             .data
             .cdns
             .iter()
-            .filter(|r| r.tag.arch == arch
-                     && r.tag.sim_type == SimType::Esim
-                     && r.provider == CdnProvider::Cloudflare)
+            .filter(|r| {
+                r.tag.arch == arch
+                    && r.tag.sim_type == SimType::Esim
+                    && r.provider == CdnProvider::Cloudflare
+            })
             .map(|r| r.total_ms)
             .collect();
         Summary::from(&v).map(|s| s.mean).unwrap_or(f64::NAN)
     };
     println!("\nCloudflare mean by eSIM architecture:");
-    println!("  native: {:.0} ms (paper: 306 KOR / 514 THA)", cf_mean(RoamingArch::Native));
-    println!("  IHBO:   {:.0} ms (paper: 1316)", cf_mean(RoamingArch::IpxHubBreakout));
-    println!("  HR:     {:.0} ms (paper: 3203 PAK / 1781 ARE)", cf_mean(RoamingArch::HomeRouted));
+    println!(
+        "  native: {:.0} ms (paper: 306 KOR / 514 THA)",
+        cf_mean(RoamingArch::Native)
+    );
+    println!(
+        "  IHBO:   {:.0} ms (paper: 1316)",
+        cf_mean(RoamingArch::IpxHubBreakout)
+    );
+    println!(
+        "  HR:     {:.0} ms (paper: 3203 PAK / 1781 ARE)",
+        cf_mean(RoamingArch::HomeRouted)
+    );
 
     let pct = |c: Country| -> f64 {
         let m = |t: SimType| {
@@ -62,9 +78,14 @@ fn main() {
         };
         (m(SimType::Esim) / m(SimType::Physical) - 1.0) * 100.0
     };
-    println!("\nall-CDN eSIM-over-SIM increases: PAK +{:.0}% (paper +481%), \
+    println!(
+        "\nall-CDN eSIM-over-SIM increases: PAK +{:.0}% (paper +481%), \
               ARE +{:.0}% (paper +360%), DEU +{:.0}% (paper +45.4%), QAT +{:.0}% (paper +181%)",
-             pct(Country::PAK), pct(Country::ARE), pct(Country::DEU), pct(Country::QAT));
+        pct(Country::PAK),
+        pct(Country::ARE),
+        pct(Country::DEU),
+        pct(Country::QAT)
+    );
 
     println!("\nFigure 14b — DNS lookup times (ms)\n");
     for spec in roam_world::World::device_campaign_specs() {
@@ -76,7 +97,10 @@ fn main() {
                 .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
                 .map(|r| r.lookup_ms)
                 .collect();
-            println!("{}", boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v));
+            println!(
+                "{}",
+                boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v)
+            );
         }
     }
 
@@ -93,24 +117,29 @@ fn main() {
         };
         (m(SimType::Esim) / m(SimType::Physical) - 1.0) * 100.0
     };
-    println!("\nmedian DNS increases, eSIM over SIM: PAK +{:.0}% (paper +610%), \
+    println!(
+        "\nmedian DNS increases, eSIM over SIM: PAK +{:.0}% (paper +610%), \
               ARE +{:.0}% (paper +517%), DEU +{:.0}% (paper +103%), QAT +{:.0}% (paper +616%)",
-             dns_increase(Country::PAK), dns_increase(Country::ARE),
-             dns_increase(Country::DEU), dns_increase(Country::QAT));
+        dns_increase(Country::PAK),
+        dns_increase(Country::ARE),
+        dns_increase(Country::DEU),
+        dns_increase(Country::QAT)
+    );
 
     // Resolver placement for IHBO sessions (the 74% same-country figure).
     let ihbo_dns: Vec<&roam_measure::DnsRecord> = run
         .data
         .dns
         .iter()
-        .filter(|r| r.tag.arch == RoamingArch::IpxHubBreakout
-                 && r.tag.sim_type == SimType::Esim)
+        .filter(|r| r.tag.arch == RoamingArch::IpxHubBreakout && r.tag.sim_type == SimType::Esim)
         .collect();
     let same_country = ihbo_dns
         .iter()
         .filter(|r| {
-            run.esims.iter().any(|e| e.country == r.tag.country
-                && e.att.breakout_city.country() == r.resolver_city.country())
+            run.esims().any(|e| {
+                e.country == r.tag.country
+                    && e.att.breakout_city.country() == r.resolver_city.country()
+            })
         })
         .count();
     println!(

@@ -4,16 +4,25 @@
 //! figure of the paper. The heavy lifting — running the two campaigns at
 //! Table-3/Table-4 scale against the calibrated world — lives here so the
 //! binaries stay declarative.
+//!
+//! Campaigns execute as **per-country shards** through
+//! [`roam_measure::parallel`]: every shard builds its own world from the
+//! master seed and draws from an RNG keyed by `campaign/country`, so the
+//! merged output is bit-identical whether shards run on one thread
+//! ([`RunMode::Sequential`]) or many ([`RunMode::Parallel`]). The plain
+//! [`run_device`]/[`run_web`]/[`survey_all_esims`] entry points read the
+//! worker count from `ROAM_PARALLEL` (default sequential) — safe because
+//! the mode cannot change the bytes, only the wall clock.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use roam_core::EsimObservation;
 use roam_geo::{City, Country};
 use roam_measure::{
-    run_device_campaign, run_web_measurement, CampaignData, DeviceCampaignSpec, Endpoint,
-    WebRecord,
+    run_device_campaign, run_shards, run_web_measurement, shard_seed, CampaignData,
+    DeviceCampaignSpec, Endpoint, RunMode, WebRecord,
 };
-use roam_world::World;
+use roam_world::{DeviceCountrySpec, World};
 
 /// Scale factor applied to the Table-4 sample counts. 1.0 is paper scale;
 /// the unit tests of the binaries use ~0.1 for speed.
@@ -33,16 +42,87 @@ fn scale_spec(spec: &DeviceCampaignSpec, scale: f64) -> DeviceCampaignSpec {
     }
 }
 
+/// One country's completed slice of the device campaign.
+///
+/// The endpoints' node ids are only meaningful inside [`Self::world`] —
+/// each shard attaches into its own copy of the seeded world. Binaries
+/// that re-probe endpoints live (e.g. the VoIP extension) must pair each
+/// endpoint with the world of its own shard.
+pub struct DeviceCountryRun {
+    /// The campaign country.
+    pub country: Country,
+    /// The shard's world after its attachments and measurements.
+    pub world: World,
+    /// eSIM endpoints, one per day-chunk re-attachment.
+    pub esims: Vec<Endpoint>,
+    /// The physical SIM endpoint of the last day-chunk.
+    pub sim: Endpoint,
+}
+
 /// Everything a figure binary needs from one full device-campaign run.
 pub struct DeviceCampaignRun {
-    /// The world after the campaign (registry, topology, marketplace…).
-    pub world: World,
-    /// All measurement records, all countries merged.
+    /// Per-country shard results, in Table-4 order. Each carries the
+    /// world its endpoints live in.
+    pub shards: Vec<DeviceCountryRun>,
+    /// All measurement records, all countries merged in Table-4 order.
     pub data: CampaignData,
-    /// eSIM endpoints, every attachment of every country.
-    pub esims: Vec<Endpoint>,
-    /// One physical endpoint per country.
-    pub sims: Vec<Endpoint>,
+}
+
+impl DeviceCampaignRun {
+    /// eSIM endpoints of every shard, flattened in Table-4 order.
+    pub fn esims(&self) -> impl Iterator<Item = &Endpoint> {
+        self.shards.iter().flat_map(|s| s.esims.iter())
+    }
+
+    /// One physical endpoint per country, in Table-4 order.
+    pub fn sims(&self) -> impl Iterator<Item = &Endpoint> {
+        self.shards.iter().map(|s| &s.sim)
+    }
+}
+
+/// Run one country's device-campaign shard: its own world built from the
+/// master seed, its own RNG derived from the stable `device/<country>`
+/// shard key — never from execution order, so shard results do not depend
+/// on which worker ran them, or when.
+#[must_use]
+pub fn run_device_shard(
+    seed: u64,
+    scale: f64,
+    spec: &DeviceCountrySpec,
+) -> (DeviceCountryRun, CampaignData) {
+    let mut world = World::build(seed);
+    let key = format!("device/{}", spec.country.alpha3());
+    let mut rng = SmallRng::seed_from_u64(shard_seed(seed, &key));
+    let mut data = CampaignData::default();
+    let mut esims = Vec::new();
+    let chunks = spec.days.clamp(2, 6);
+    let chunk_spec = scale_spec(&spec.spec, scale / f64::from(chunks));
+    let mut last_sim = None;
+    for _ in 0..chunks {
+        // Both SIMs re-attach per day-chunk: real devices detach
+        // overnight, and per-attachment draws (core depth, PGW pool
+        // slot, provider alternation) must average out on both sides.
+        let sim = world.attach_physical(spec.country);
+        let esim = world.attach_esim(spec.country);
+        let d = run_device_campaign(
+            &mut world.net,
+            &sim,
+            &esim,
+            &chunk_spec,
+            &world.internet.targets,
+            &mut rng,
+        );
+        data.extend(d);
+        esims.push(esim);
+        last_sim = Some(sim);
+    }
+    let run = DeviceCountryRun {
+        country: spec.country,
+        world,
+        esims,
+        sim: last_sim.expect("at least one chunk"),
+    };
+    (run, data)
 }
 
 /// Run the device campaign across the 10 Table-4 countries.
@@ -51,48 +131,40 @@ pub struct DeviceCampaignRun {
 /// Packet-Host/OVH alternation of §4.1 shows up in the observed public IPs
 /// — the campaigns saw both providers per eSIM, not per measurement.
 #[must_use]
-pub fn run_device(seed: u64, scale: f64) -> DeviceCampaignRun {
-    let mut world = World::build(seed);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15C);
+pub fn run_device_mode(seed: u64, scale: f64, mode: RunMode) -> DeviceCampaignRun {
+    let specs = World::device_campaign_specs();
+    let results = run_shards(mode, specs.len(), |i| {
+        run_device_shard(seed, scale, &specs[i])
+    });
     let mut data = CampaignData::default();
-    let mut esims = Vec::new();
-    let mut sims = Vec::new();
-
-    for spec in World::device_campaign_specs() {
-        let chunks = spec.days.clamp(2, 6);
-        let chunk_spec = scale_spec(&spec.spec, scale / f64::from(chunks));
-        let mut last_sim = None;
-        for _ in 0..chunks {
-            // Both SIMs re-attach per day-chunk: real devices detach
-            // overnight, and per-attachment draws (core depth, PGW pool
-            // slot, provider alternation) must average out on both sides.
-            let sim = world.attach_physical(spec.country);
-            let esim = world.attach_esim(spec.country);
-            let d = run_device_campaign(
-                &mut world.net,
-                &sim,
-                &esim,
-                &chunk_spec,
-                &world.internet.targets,
-                &mut rng,
-            );
-            data.extend(d);
-            esims.push(esim);
-            last_sim = Some(sim);
-        }
-        sims.push(last_sim.expect("at least one chunk"));
+    let mut shards = Vec::with_capacity(results.len());
+    for (shard, shard_data) in results {
+        data.extend(shard_data);
+        shards.push(shard);
     }
-    DeviceCampaignRun { world, data, esims, sims }
+    DeviceCampaignRun { shards, data }
+}
+
+/// [`run_device_mode`] with the worker count taken from `ROAM_PARALLEL`.
+#[must_use]
+pub fn run_device(seed: u64, scale: f64) -> DeviceCampaignRun {
+    run_device_mode(seed, scale, RunMode::from_env())
 }
 
 /// Run the web campaign across the 14 Table-3 countries, returning the
 /// per-country records.
+///
+/// The returned [`World`] is a fresh build of the master seed for static
+/// lookups (country plans, registry); the endpoints' node ids belong to
+/// their shard worlds, which are dropped with the shards.
 #[must_use]
-pub fn run_web(seed: u64) -> (World, Vec<(Country, Vec<WebRecord>, Endpoint)>) {
-    let mut world = World::build(seed);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x3EB);
-    let mut out = Vec::new();
-    for spec in World::web_campaign_specs() {
+pub fn run_web_mode(seed: u64, mode: RunMode) -> (World, Vec<(Country, Vec<WebRecord>, Endpoint)>) {
+    let specs = World::web_campaign_specs();
+    let out = run_shards(mode, specs.len(), |i| {
+        let spec = &specs[i];
+        let mut world = World::build(seed);
+        let key = format!("web/{}", spec.country.alpha3());
+        let mut rng = SmallRng::seed_from_u64(shard_seed(seed, &key));
         let ep = world.attach_esim(spec.country);
         let mut records = Vec::new();
         for _ in 0..spec.measurements {
@@ -102,9 +174,15 @@ pub fn run_web(seed: u64) -> (World, Vec<(Country, Vec<WebRecord>, Endpoint)>) {
                 records.push(r);
             }
         }
-        out.push((spec.country, records, ep));
-    }
-    (world, out)
+        (spec.country, records, ep)
+    });
+    (World::build(seed), out)
+}
+
+/// [`run_web_mode`] with the worker count taken from `ROAM_PARALLEL`.
+#[must_use]
+pub fn run_web(seed: u64) -> (World, Vec<(Country, Vec<WebRecord>, Endpoint)>) {
+    run_web_mode(seed, RunMode::from_env())
 }
 
 /// Build the tomography observations for a set of eSIM endpoints: each
@@ -117,15 +195,17 @@ pub fn observations_for(world: &World, endpoints: &[Endpoint]) -> Vec<EsimObserv
     for ep in endpoints {
         let b = world.ops.dir.get(ep.att.b_mno);
         let v = world.ops.dir.get(ep.att.v_mno);
-        let entry = by_country.entry(ep.country).or_insert_with(|| EsimObservation {
-            visited: ep.country,
-            b_mno_name: b.name.clone(),
-            b_mno_country: b.country,
-            b_mno_asn: b.asn,
-            v_mno_asn: v.asn,
-            user_city: City::sgw_city_for(ep.country).expect("measured country"),
-            public_ips: vec![],
-        });
+        let entry = by_country
+            .entry(ep.country)
+            .or_insert_with(|| EsimObservation {
+                visited: ep.country,
+                b_mno_name: b.name.clone(),
+                b_mno_country: b.country,
+                b_mno_asn: b.asn,
+                v_mno_asn: v.asn,
+                user_city: City::sgw_city_for(ep.country).expect("measured country"),
+                public_ips: vec![],
+            });
         if !entry.public_ips.contains(&ep.att.public_ip) {
             entry.public_ips.push(ep.att.public_ip);
         }
@@ -134,18 +214,35 @@ pub fn observations_for(world: &World, endpoints: &[Endpoint]) -> Vec<EsimObserv
 }
 
 /// Attach every measured country's eSIM `n` times and collect observations
-/// — the input to Table 2 / Figs. 3–4.
+/// — the input to Table 2 / Figs. 3–4. One shard per country; the
+/// returned world is a fresh build of the master seed (its IP registry is
+/// populated entirely at build time, so it resolves every shard's
+/// observations).
 #[must_use]
-pub fn survey_all_esims(seed: u64, attaches_per_country: u32) -> (World, Vec<EsimObservation>) {
-    let mut world = World::build(seed);
-    let mut endpoints = Vec::new();
-    for country in world.measured_countries() {
-        for _ in 0..attaches_per_country {
-            endpoints.push(world.attach_esim(country));
-        }
-    }
+pub fn survey_all_esims_mode(
+    seed: u64,
+    attaches_per_country: u32,
+    mode: RunMode,
+) -> (World, Vec<EsimObservation>) {
+    let world = World::build(seed);
+    let countries = world.measured_countries();
+    let endpoint_sets = run_shards(mode, countries.len(), |i| {
+        let country = countries[i];
+        let mut shard_world = World::build(seed);
+        (0..attaches_per_country)
+            .map(|_| shard_world.attach_esim(country))
+            .collect::<Vec<_>>()
+    });
+    let endpoints: Vec<Endpoint> = endpoint_sets.into_iter().flatten().collect();
     let obs = observations_for(&world, &endpoints);
     (world, obs)
+}
+
+/// [`survey_all_esims_mode`] with the worker count taken from
+/// `ROAM_PARALLEL`.
+#[must_use]
+pub fn survey_all_esims(seed: u64, attaches_per_country: u32) -> (World, Vec<EsimObservation>) {
+    survey_all_esims_mode(seed, attaches_per_country, RunMode::from_env())
 }
 
 /// Format a boxplot row for the text figures.
@@ -167,9 +264,9 @@ mod tests {
 
     #[test]
     fn small_device_run_covers_all_countries_and_kinds() {
-        let run = run_device(5, 0.02);
-        assert_eq!(run.sims.len(), 10);
-        assert!(run.esims.len() >= 10);
+        let run = run_device_mode(5, 0.02, RunMode::Sequential);
+        assert_eq!(run.sims().count(), 10);
+        assert!(run.esims().count() >= 10);
         assert!(!run.data.speedtests.is_empty());
         assert!(!run.data.traces.is_empty());
         assert!(!run.data.cdns.is_empty());
@@ -179,7 +276,7 @@ mod tests {
 
     #[test]
     fn survey_classifies_21_roaming_3_native() {
-        let (world, obs) = survey_all_esims(6, 3);
+        let (world, obs) = survey_all_esims_mode(6, 3, RunMode::Sequential);
         assert_eq!(obs.len(), 24);
         let report = roam_core::TomographyReport::build(&obs, world.net.registry());
         assert_eq!(report.rows.len(), 24);
@@ -191,7 +288,7 @@ mod tests {
 
     #[test]
     fn web_campaign_produces_table3_counts() {
-        let (_, results) = run_web(7);
+        let (_, results) = run_web_mode(7, RunMode::Sequential);
         assert_eq!(results.len(), 14);
         let total: usize = results.iter().map(|(_, r, _)| r.len()).sum();
         assert_eq!(total, 116, "Table 3's completed measurements");

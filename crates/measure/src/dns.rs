@@ -60,7 +60,11 @@ pub fn select_resolver(
             match ordered.len() {
                 0 => None,
                 1 => Some(ordered[0]),
-                _ => Some(if rng.gen_bool(0.25) { ordered[1] } else { ordered[0] }),
+                _ => Some(if rng.gen_bool(0.25) {
+                    ordered[1]
+                } else {
+                    ordered[0]
+                }),
             }
         }
     }
@@ -93,16 +97,25 @@ pub fn resolve(
     // but Android keeps the DoH connection warm, so only a fraction of
     // lookups pay the full setup; warm queries pay record-layer overhead.
     let doh_ms = if doh {
-        if rng.gen_bool(0.4) { 2.0 * rtt + 4.0 } else { 4.0 }
+        if rng.gen_bool(0.4) {
+            2.0 * rtt + 4.0
+        } else {
+            4.0
+        }
     } else {
         0.0
     };
-    let node = net.node(resolver).clone();
+    // Only two fields of the node are needed — copy them instead of
+    // cloning the whole node (its name is a heap String) per lookup.
+    let (resolver_ip, resolver_city) = {
+        let n = net.node(resolver);
+        (n.ip, n.city)
+    };
     Some(DnsResult {
         lookup_ms: rtt + server_ms + doh_ms,
         resolver,
-        resolver_ip: node.ip,
-        resolver_city: node.city,
+        resolver_ip,
+        resolver_city,
         doh,
         answers: decoded.answers,
     })
@@ -121,19 +134,64 @@ mod tests {
     /// Build: ue —(20ms)— cgnat(AMS) —— resolvers in AMS + SGP.
     fn world(dns: DnsMode) -> (Network, Endpoint, ServiceTargets) {
         let mut net = Network::new(5);
-        let ue = net.add_node("ue", NodeKind::Host, City::Berlin, "10.0.0.2".parse().unwrap());
-        let nat = net.add_node("nat", NodeKind::CgNat, City::Amsterdam,
-                               "147.75.81.1".parse().unwrap());
-        net.link_with(ue, nat, LinkClass::Tunnel, LatencyModel::fixed(20.0, 0.0), 0.0);
-        let dns_ams = net.add_node("gdns-ams", NodeKind::DnsResolver, City::Amsterdam,
-                                   "8.8.8.10".parse().unwrap());
-        let dns_sgp = net.add_node("gdns-sgp", NodeKind::DnsResolver, City::Singapore,
-                                   "8.8.8.20".parse().unwrap());
-        let op_dns = net.add_node("op-dns", NodeKind::DnsResolver, City::Amsterdam,
-                                  "165.21.83.88".parse().unwrap());
-        net.link_with(nat, dns_ams, LinkClass::Metro, LatencyModel::fixed(1.0, 0.0), 0.0);
-        net.link_with(nat, dns_sgp, LinkClass::Backbone, LatencyModel::fixed(80.0, 0.0), 0.0);
-        net.link_with(nat, op_dns, LinkClass::Metro, LatencyModel::fixed(1.0, 0.0), 0.0);
+        let ue = net.add_node(
+            "ue",
+            NodeKind::Host,
+            City::Berlin,
+            "10.0.0.2".parse().unwrap(),
+        );
+        let nat = net.add_node(
+            "nat",
+            NodeKind::CgNat,
+            City::Amsterdam,
+            "147.75.81.1".parse().unwrap(),
+        );
+        net.link_with(
+            ue,
+            nat,
+            LinkClass::Tunnel,
+            LatencyModel::fixed(20.0, 0.0),
+            0.0,
+        );
+        let dns_ams = net.add_node(
+            "gdns-ams",
+            NodeKind::DnsResolver,
+            City::Amsterdam,
+            "8.8.8.10".parse().unwrap(),
+        );
+        let dns_sgp = net.add_node(
+            "gdns-sgp",
+            NodeKind::DnsResolver,
+            City::Singapore,
+            "8.8.8.20".parse().unwrap(),
+        );
+        let op_dns = net.add_node(
+            "op-dns",
+            NodeKind::DnsResolver,
+            City::Amsterdam,
+            "165.21.83.88".parse().unwrap(),
+        );
+        net.link_with(
+            nat,
+            dns_ams,
+            LinkClass::Metro,
+            LatencyModel::fixed(1.0, 0.0),
+            0.0,
+        );
+        net.link_with(
+            nat,
+            dns_sgp,
+            LinkClass::Backbone,
+            LatencyModel::fixed(80.0, 0.0),
+            0.0,
+        );
+        net.link_with(
+            nat,
+            op_dns,
+            LinkClass::Metro,
+            LatencyModel::fixed(1.0, 0.0),
+            0.0,
+        );
         let mut targets = ServiceTargets::new();
         targets.add_google_dns(dns_ams);
         targets.add_google_dns(dns_sgp);
@@ -217,8 +275,12 @@ mod tests {
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         // Cold DoH setups (≈40% of lookups) average out to a clear penalty
         // over a 20 ms resolver path.
-        assert!(avg(&doh_times) > avg(&plain_times) + 12.0,
-                "DoH {:.1} vs Do53 {:.1}", avg(&doh_times), avg(&plain_times));
+        assert!(
+            avg(&doh_times) > avg(&plain_times) + 12.0,
+            "DoH {:.1} vs Do53 {:.1}",
+            avg(&doh_times),
+            avg(&plain_times)
+        );
     }
 
     #[test]

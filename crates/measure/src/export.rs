@@ -8,27 +8,62 @@
 //! single free-text column (city names) is quoted defensively.
 
 use crate::campaign::{CampaignData, RecordTag};
-use std::fmt::Write as _;
+use std::fmt::{self, Display, Write as _};
 
-fn quote(field: &str) -> String {
-    if field.contains(',') || field.contains('"') {
-        format!("\"{}\"", field.replace('"', "\"\""))
-    } else {
-        field.to_string()
+/// A CSV field, quoted on the fly only when it needs to be — no per-row
+/// `String`: the emitters run once per measurement record, and the old
+/// `quote()`/`tag_cols()` helpers allocated several strings per row.
+struct Csv<'a>(&'a str);
+
+impl Display for Csv<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.contains(',') || self.0.contains('"') {
+            f.write_char('"')?;
+            for ch in self.0.chars() {
+                if ch == '"' {
+                    f.write_str("\"\"")?;
+                } else {
+                    f.write_char(ch)?;
+                }
+            }
+            f.write_char('"')
+        } else {
+            f.write_str(self.0)
+        }
     }
 }
 
-fn tag_cols(tag: &RecordTag) -> String {
-    format!(
-        "{},{},{},{}",
-        tag.country.alpha3(),
-        match tag.sim_type {
-            roam_cellular::SimType::Physical => "sim",
-            roam_cellular::SimType::Esim => "esim",
-        },
-        tag.arch.label(),
-        tag.rat
-    )
+/// An optional field: the value (with the caller's format spec, e.g.
+/// `{:.3}`) or the empty string.
+struct Opt<T>(Option<T>);
+
+impl<T: Display> Display for Opt<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(v) => v.fmt(f),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The shared `country,sim,arch,rat` prefix, written straight into the
+/// output buffer.
+struct TagCols<'a>(&'a RecordTag);
+
+impl Display for TagCols<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{},{},{},{}",
+            self.0.country.alpha3(),
+            match self.0.sim_type {
+                roam_cellular::SimType::Physical => "sim",
+                roam_cellular::SimType::Esim => "esim",
+            },
+            self.0.arch.label(),
+            self.0.rat
+        )
+    }
 }
 
 /// Speedtests: `country,sim,arch,rat,down_mbps,up_mbps,latency_ms,cqi`.
@@ -39,7 +74,7 @@ pub fn speedtests_csv(data: &CampaignData) -> String {
         let _ = writeln!(
             out,
             "{},{:.3},{:.3},{:.3},{}",
-            tag_cols(&r.tag),
+            TagCols(&r.tag),
             r.down_mbps,
             r.up_mbps,
             r.latency_ms,
@@ -60,17 +95,17 @@ pub fn traces_csv(data: &CampaignData) -> String {
         let a = &r.analysis;
         let _ = writeln!(
             out,
-            "{},{:?},{},{},{},{},{},{},{},{},{},{}",
-            tag_cols(&r.tag),
+            "{},{:?},{},{},{},{},{},{:.3},{:.3},{:.4},{},{}",
+            TagCols(&r.tag),
             r.service,
             a.private_len,
             a.public_len,
-            a.pgw_ip.map(|i| i.to_string()).unwrap_or_default(),
-            a.pgw_asn.map(|x| x.0.to_string()).unwrap_or_default(),
-            quote(a.pgw_city.map(|c| c.name()).unwrap_or("")),
-            a.pgw_rtt_ms.map(|v| format!("{v:.3}")).unwrap_or_default(),
-            a.final_rtt_ms.map(|v| format!("{v:.3}")).unwrap_or_default(),
-            a.private_share.map(|v| format!("{v:.4}")).unwrap_or_default(),
+            Opt(a.pgw_ip),
+            Opt(a.pgw_asn.map(|x| x.0)),
+            Csv(a.pgw_city.map(|c| c.name()).unwrap_or("")),
+            Opt(a.pgw_rtt_ms),
+            Opt(a.final_rtt_ms),
+            Opt(a.private_share),
             a.unique_public_asns,
             a.reached
         );
@@ -86,8 +121,8 @@ pub fn cdn_csv(data: &CampaignData) -> String {
         let _ = writeln!(
             out,
             "{},{},{:.3},{:.3},{}",
-            tag_cols(&r.tag),
-            quote(r.provider.name()),
+            TagCols(&r.tag),
+            Csv(r.provider.name()),
             r.total_ms,
             r.dns_ms,
             if r.cache_hit { "HIT" } else { "MISS" }
@@ -104,9 +139,9 @@ pub fn dns_csv(data: &CampaignData) -> String {
         let _ = writeln!(
             out,
             "{},{:.3},{},{}",
-            tag_cols(&r.tag),
+            TagCols(&r.tag),
             r.lookup_ms,
-            quote(r.resolver_city.name()),
+            Csv(r.resolver_city.name()),
             r.doh
         );
     }
@@ -118,7 +153,7 @@ pub fn dns_csv(data: &CampaignData) -> String {
 pub fn videos_csv(data: &CampaignData) -> String {
     let mut out = String::from("country,sim,arch,rat,resolution,rebuffered\n");
     for r in &data.videos {
-        let _ = writeln!(out, "{},{},{}", tag_cols(&r.tag), r.resolution, r.rebuffered);
+        let _ = writeln!(out, "{},{},{}", TagCols(&r.tag), r.resolution, r.rebuffered);
     }
     out
 }
@@ -182,8 +217,11 @@ mod tests {
             resolver_city: City::Singapore,
             doh: false,
         });
-        d.videos.push(VideoRecord { tag: tag(), resolution: Resolution::P720,
-                                    rebuffered: false });
+        d.videos.push(VideoRecord {
+            tag: tag(),
+            resolution: Resolution::P720,
+            rebuffered: false,
+        });
         d
     }
 
@@ -218,9 +256,16 @@ mod tests {
 
     #[test]
     fn quoting_handles_commas() {
-        assert_eq!(quote("plain"), "plain");
-        assert_eq!(quote("a,b"), "\"a,b\"");
-        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(Csv("plain").to_string(), "plain");
+        assert_eq!(Csv("a,b").to_string(), "\"a,b\"");
+        assert_eq!(Csv("say \"hi\"").to_string(), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn optional_fields_respect_precision_and_absence() {
+        assert_eq!(format!("{:.3}", Opt(Some(355.1))), "355.100");
+        assert_eq!(format!("{:.3}", Opt::<f64>(None)), "");
+        assert_eq!(format!("{}", Opt(Some(42))), "42");
     }
 
     #[test]

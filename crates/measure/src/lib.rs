@@ -16,7 +16,9 @@
 //! [`endpoint::Endpoint`] bundles an attachment with the policy and channel
 //! context a measurement needs; [`campaign`] drives the full device-based
 //! and web-based campaigns with per-country sample counts mirroring
-//! Tables 3 and 4.
+//! Tables 3 and 4. [`parallel`] is the deterministic shard runner the
+//! campaign harness uses to spread per-country shards across worker
+//! threads while keeping seeded output bit-identical to a sequential run.
 
 pub mod amigo;
 pub mod campaign;
@@ -24,6 +26,7 @@ pub mod cdn;
 pub mod dns;
 pub mod endpoint;
 pub mod export;
+pub mod parallel;
 pub mod speedtest;
 pub mod suite;
 pub mod targets;
@@ -43,6 +46,7 @@ pub use cdn::{fetch_jquery, CdnProvider, CdnResult};
 pub use dns::{resolve, DnsResult};
 pub use endpoint::Endpoint;
 pub use export::{cdn_csv, dns_csv, speedtests_csv, traces_csv, videos_csv};
+pub use parallel::{run_shards, shard_seed, RunMode};
 pub use speedtest::{ookla_speedtest, SpeedtestResult};
 pub use suite::{measurement_suite, MeasurementKind};
 pub use targets::{Service, ServiceTargets};

@@ -1,0 +1,179 @@
+//! Deterministic shard execution for campaign runs.
+//!
+//! The paper's campaigns are embarrassingly parallel across countries: each
+//! country's measurements touch only that country's attachments. The shard
+//! runner exploits that while keeping the simulator's core guarantee —
+//! **bit-identical output for a given seed** — regardless of how many
+//! worker threads execute the shards:
+//!
+//! 1. every shard derives its RNG seed from the master seed and a *stable
+//!    shard key* (country + campaign kind), never from execution order;
+//! 2. shards share no mutable state — each builds its own world from the
+//!    master seed;
+//! 3. results are merged in shard-key order, not completion order.
+//!
+//! With those three rules, [`RunMode::Sequential`] and
+//! [`RunMode::Parallel`]`(n)` produce the same bytes for every `n`, so
+//! parallelism is purely a wall-clock knob. Workers are plain
+//! [`std::thread::scope`] threads — no third-party runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How to execute a set of independent campaign shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Run shards one after another on the calling thread.
+    Sequential,
+    /// Run shards on up to `n` scoped worker threads. Output is
+    /// bit-identical to [`RunMode::Sequential`] for any `n`.
+    Parallel(usize),
+}
+
+impl RunMode {
+    /// Worker count this mode will use for `shards` shards.
+    #[must_use]
+    pub fn workers(self, shards: usize) -> usize {
+        match self {
+            RunMode::Sequential => 1,
+            RunMode::Parallel(n) => n.max(1).min(shards.max(1)),
+        }
+    }
+
+    /// Read the mode from the `ROAM_PARALLEL` environment variable:
+    /// unset, empty, `0` or `1` mean sequential; `auto` means one worker
+    /// per available core; any other integer is the worker count.
+    #[must_use]
+    pub fn from_env() -> RunMode {
+        match std::env::var("ROAM_PARALLEL") {
+            Err(_) => RunMode::Sequential,
+            Ok(v) => match v.trim() {
+                "" | "0" | "1" => RunMode::Sequential,
+                "auto" => RunMode::Parallel(
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+                ),
+                other => match other.parse::<usize>() {
+                    Ok(n) if n > 1 => RunMode::Parallel(n),
+                    _ => RunMode::Sequential,
+                },
+            },
+        }
+    }
+}
+
+/// Derive a shard's RNG seed from the master seed and its stable key.
+///
+/// The key names *what* the shard measures (`"device/PAK"`,
+/// `"web/DEU"`…), so adding, removing or reordering shards never changes
+/// another shard's stream. FNV-1a absorbs the key and the master seed;
+/// a SplitMix64 finalizer scrambles the result so related keys (and
+/// low-entropy master seeds) land far apart in seed space.
+#[must_use]
+pub fn shard_seed(master: u64, key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for &b in key.as_bytes().iter().chain(&master.to_le_bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run `count` independent shards and return their results in shard order.
+///
+/// `f(i)` must be a pure function of the shard index (plus captured
+/// immutable state): it is called exactly once per index, possibly from a
+/// worker thread. Results come back as `vec![f(0), f(1), …]` no matter
+/// which worker finished first, which is what makes parallel runs
+/// bit-identical to sequential ones.
+///
+/// # Panics
+/// Propagates a panic from any shard.
+pub fn run_shards<T, F>(mode: RunMode, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = mode.workers(count);
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    // Work-stealing by atomic counter: threads grab the next unclaimed
+    // shard, so a slow country does not stall the queue behind it.
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_seed_is_stable_and_key_sensitive() {
+        assert_eq!(shard_seed(7, "device/PAK"), shard_seed(7, "device/PAK"));
+        assert_ne!(shard_seed(7, "device/PAK"), shard_seed(7, "device/DEU"));
+        assert_ne!(shard_seed(7, "device/PAK"), shard_seed(8, "device/PAK"));
+        assert_ne!(shard_seed(7, "web/PAK"), shard_seed(7, "device/PAK"));
+    }
+
+    #[test]
+    fn shard_seed_spreads_adjacent_masters() {
+        // SplitMix finalisation: consecutive master seeds must not yield
+        // consecutive shard seeds.
+        let a = shard_seed(1, "x");
+        let b = shard_seed(2, "x");
+        assert!(a.abs_diff(b) > 1 << 32, "{a} vs {b}");
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_in_order() {
+        let work = |i: usize| {
+            // Uneven workloads so completion order differs from index order.
+            let spin = (13 * (i % 7)) % 5;
+            let mut acc = i as u64;
+            for _ in 0..spin * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        };
+        let seq = run_shards(RunMode::Sequential, 25, work);
+        for n in [2, 4, 16, 64] {
+            assert_eq!(run_shards(RunMode::Parallel(n), 25, work), seq, "n={n}");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_shard_edge_cases() {
+        assert!(run_shards(RunMode::Parallel(8), 0, |i| i).is_empty());
+        assert_eq!(run_shards(RunMode::Parallel(8), 1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn workers_clamp_to_shard_count() {
+        assert_eq!(RunMode::Parallel(64).workers(3), 3);
+        assert_eq!(RunMode::Parallel(0).workers(3), 1);
+        assert_eq!(RunMode::Sequential.workers(100), 1);
+    }
+}

@@ -9,7 +9,6 @@
 //! probe's RTT is the event-queue timestamp difference — jitter, loss and
 //! unresponsive hops included.
 
-use crate::event::EventQueue;
 use crate::ip::is_private;
 use crate::link::{LatencyModel, Link, LinkClass};
 use crate::registry::IpRegistry;
@@ -21,6 +20,7 @@ use rand::{Rng, SeedableRng};
 use roam_geo::City;
 use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Identifier of a node in a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,7 +85,10 @@ impl TraceHop {
     /// and the one the paper uses for PGW RTT CDFs (Figs. 8–9).
     #[must_use]
     pub fn best_rtt(&self) -> Option<f64> {
-        self.rtts.iter().copied().min_by(|a, b| a.partial_cmp(b).expect("no NaN rtts"))
+        self.rtts
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN rtts"))
     }
 
     /// Mean RTT across answered probes — unlike [`TraceHop::best_rtt`],
@@ -127,7 +130,9 @@ impl Traceroute {
     /// the paper's private/public demarcation point (§4.3).
     #[must_use]
     pub fn first_public_hop(&self) -> Option<usize> {
-        self.hops.iter().position(|h| h.ip.is_some_and(|ip| !is_private(ip)))
+        self.hops
+            .iter()
+            .position(|h| h.ip.is_some_and(|ip| !is_private(ip)))
     }
 
     /// Best RTT at the final responding hop, ms.
@@ -154,8 +159,66 @@ pub struct TracerouteOpts {
 
 impl Default for TracerouteOpts {
     fn default() -> Self {
-        TracerouteOpts { max_ttl: 30, probes_per_hop: 3 }
+        TracerouteOpts {
+            max_ttl: 30,
+            probes_per_hop: 3,
+        }
     }
+}
+
+/// An immutable resolved route: the node sequence plus, for every
+/// consecutive pair, the index of the link a packet traverses. Shared
+/// behind an [`Arc`] so cache hits and probe loops never copy the path.
+#[derive(Debug, PartialEq, Eq)]
+struct RouteEntry {
+    nodes: Vec<NodeId>,
+    /// `hop_links[i]` joins `nodes[i]` and `nodes[i + 1]` (the
+    /// lowest-latency link when parallel links exist).
+    hop_links: Vec<u32>,
+}
+
+/// A handle to a cached route. Cheap to clone (it is an [`Arc`] bump) and
+/// derefs to the node sequence, so slice operations (`len`, indexing,
+/// `iter`, `windows`) work directly on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutePath {
+    entry: Arc<RouteEntry>,
+}
+
+impl RoutePath {
+    /// The node sequence, source and destination inclusive.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.entry.nodes
+    }
+}
+
+impl std::ops::Deref for RoutePath {
+    type Target = [NodeId];
+    fn deref(&self) -> &[NodeId] {
+        &self.entry.nodes
+    }
+}
+
+impl PartialEq<Vec<NodeId>> for RoutePath {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        self.entry.nodes == *other
+    }
+}
+
+impl PartialEq<[NodeId]> for RoutePath {
+    fn eq(&self, other: &[NodeId]) -> bool {
+        self.entry.nodes == other
+    }
+}
+
+/// Which way a packet walks a [`RouteEntry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WalkDir {
+    /// `nodes[0] → nodes[upto]`.
+    Forward,
+    /// `nodes[upto] → nodes[0]` (ICMP answers retrace the path).
+    Reverse,
 }
 
 /// The simulated network.
@@ -164,11 +227,18 @@ pub struct Network {
     nodes: Vec<Node>,
     links: Vec<Link>,
     adj: Vec<Vec<u32>>, // node index -> indices into `links`
+    name_to_id: HashMap<String, u32>,
     registry: IpRegistry,
     rng: SmallRng,
-    route_cache: HashMap<(u32, u32), Option<Vec<u32>>>,
+    route_cache: HashMap<(u32, u32), Option<RoutePath>>,
     icmp_ident: u16,
     trace: Option<Vec<PacketEvent>>,
+    /// Reusable packet buffer: probes are encoded here and mutated in
+    /// place while walking, so the hot loops never allocate.
+    pkt_buf: BytesMut,
+    /// Reusable scratch for ICMP bodies (encoded before the IP header,
+    /// whose `total_len` needs the body length).
+    icmp_buf: BytesMut,
 }
 
 /// One packet-level event, recorded when tracing is enabled — the
@@ -222,11 +292,14 @@ impl Network {
             nodes: Vec::new(),
             links: Vec::new(),
             adj: Vec::new(),
+            name_to_id: HashMap::new(),
             registry: IpRegistry::new(),
             rng: SmallRng::seed_from_u64(seed),
             route_cache: HashMap::new(),
             icmp_ident: 1,
             trace: None,
+            pkt_buf: BytesMut::with_capacity(128),
+            icmp_buf: BytesMut::with_capacity(64),
         }
     }
 
@@ -248,12 +321,27 @@ impl Network {
         }
     }
 
-    /// Add a node.
+    /// Add a node. The name is interned in a lookup table, so scenario
+    /// builders resolve names to dense ids once instead of scanning.
     pub fn add_node(&mut self, name: &str, kind: NodeKind, city: City, ip: Ipv4Addr) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { name: name.to_string(), kind, city, ip, icmp_responds: true });
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind,
+            city,
+            ip,
+            icmp_responds: true,
+        });
         self.adj.push(Vec::new());
+        self.name_to_id.insert(name.to_string(), id.0);
         id
+    }
+
+    /// Resolve a node name to its id (O(1); last writer wins when names
+    /// repeat).
+    #[must_use]
+    pub fn node_id_by_name(&self, name: &str) -> Option<NodeId> {
+        self.name_to_id.get(name).copied().map(NodeId)
     }
 
     /// Node accessor.
@@ -296,7 +384,13 @@ impl Network {
         assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
         assert_ne!(a, b, "self-links are not allowed");
         let idx = self.links.len();
-        self.links.push(Link { a: a.0, b: b.0, class, latency, loss });
+        self.links.push(Link {
+            a: a.0,
+            b: b.0,
+            class,
+            latency,
+            loss,
+        });
         self.adj[a.0 as usize].push(idx as u32);
         self.adj[b.0 as usize].push(idx as u32);
         self.route_cache.clear(); // topology changed
@@ -321,14 +415,26 @@ impl Network {
     }
 
     /// Least-latency route from `src` to `dst` (Dijkstra over base delays),
-    /// inclusive of both endpoints. Cached until the topology changes.
-    pub fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    /// inclusive of both endpoints. Cached until the topology changes;
+    /// cache hits hand back a shared handle without copying the path.
+    pub fn route(&mut self, src: NodeId, dst: NodeId) -> Option<RoutePath> {
         if let Some(cached) = self.route_cache.get(&(src.0, dst.0)) {
-            return cached.as_ref().map(|p| p.iter().map(|&i| NodeId(i)).collect());
+            return cached.clone();
         }
-        let path = self.dijkstra(src.0, dst.0);
-        self.route_cache.insert((src.0, dst.0), path.clone());
-        path.map(|p| p.into_iter().map(NodeId).collect())
+        let entry = self.dijkstra(src.0, dst.0).map(|p| {
+            let hop_links = p
+                .windows(2)
+                .map(|w| self.best_link_index(w[0], w[1]))
+                .collect();
+            RoutePath {
+                entry: Arc::new(RouteEntry {
+                    nodes: p.into_iter().map(NodeId).collect(),
+                    hop_links,
+                }),
+            }
+        });
+        self.route_cache.insert((src.0, dst.0), entry.clone());
+        entry
     }
 
     fn dijkstra(&self, src: u32, dst: u32) -> Option<Vec<u32>> {
@@ -371,12 +477,21 @@ impl Network {
         Some(path)
     }
 
-    fn link_between(&self, a: u32, b: u32) -> &Link {
+    /// Index of the lowest-latency link joining two adjacent nodes.
+    /// Resolved once per route (the result lives in the route cache's
+    /// `hop_links`), not once per forwarded packet.
+    fn best_link_index(&self, a: u32, b: u32) -> u32 {
         self.adj[a as usize]
             .iter()
-            .map(|&li| &self.links[li as usize])
-            .filter(|l| l.other(a) == Some(b))
-            .min_by(|x, y| x.latency.base_ms.partial_cmp(&y.latency.base_ms).expect("no NaN"))
+            .copied()
+            .filter(|&li| self.links[li as usize].other(a) == Some(b))
+            .min_by(|&x, &y| {
+                let (lx, ly) = (&self.links[x as usize], &self.links[y as usize]);
+                lx.latency
+                    .base_ms
+                    .partial_cmp(&ly.latency.base_ms)
+                    .expect("no NaN")
+            })
             .expect("adjacent nodes must share a link")
     }
 
@@ -386,7 +501,9 @@ impl Network {
     /// methodology.
     pub fn egress_public_ip(&mut self, src: NodeId, dst: NodeId) -> Option<Ipv4Addr> {
         let path = self.route(src, dst)?;
-        path.iter().map(|&id| self.node(id).ip).find(|ip| !is_private(*ip))
+        path.iter()
+            .map(|&id| self.node(id).ip)
+            .find(|ip| !is_private(*ip))
     }
 
     /// Sum of base one-way delays along the route, ms (no jitter) — the
@@ -394,8 +511,10 @@ impl Network {
     pub fn base_one_way_ms(&mut self, src: NodeId, dst: NodeId) -> Option<f64> {
         let path = self.route(src, dst)?;
         Some(
-            path.windows(2)
-                .map(|w| self.link_between(w[0].0, w[1].0).latency.base_ms)
+            path.entry
+                .hop_links
+                .iter()
+                .map(|&li| self.links[li as usize].latency.base_ms)
                 .sum(),
         )
     }
@@ -410,59 +529,106 @@ impl Network {
         }
         let path = self.route(src, dst)?;
         let ident = self.next_ident();
-        let packet = self.build_echo(src, dst, ident, 0, 64);
-        let (arrived, t_fwd, _expired_at) = self.walk(&path, packet, SimTime::ZERO)?;
+        let mut pkt = std::mem::take(&mut self.pkt_buf);
+        let result = self.ping_with(&path, ident, &mut pkt);
+        self.pkt_buf = pkt;
+        result
+    }
+
+    fn ping_with(
+        &mut self,
+        path: &RoutePath,
+        ident: u16,
+        pkt: &mut BytesMut,
+    ) -> Option<PingResult> {
+        let last = path.len() - 1;
+        let (src, dst) = (path[0], path[last]);
+        self.build_echo_into(pkt, src, dst, ident, 0, 64);
+        let (arrived, t_fwd, _expired_at) =
+            self.walk(path, last, WalkDir::Forward, pkt, SimTime::ZERO)?;
         if !arrived {
             return None;
         }
         // Reply retraces the path in reverse.
-        let back: Vec<NodeId> = path.iter().rev().copied().collect();
-        let reply = self.build_echo(dst, src, ident, 1, 64);
-        let (arrived, t_total, _) = self.walk(&back, reply, t_fwd)?;
-        arrived.then_some(PingResult { rtt_ms: t_total.as_ms() })
+        self.build_echo_into(pkt, dst, src, ident, 1, 64);
+        let (arrived, t_total, _) = self.walk(path, last, WalkDir::Reverse, pkt, t_fwd)?;
+        arrived.then_some(PingResult {
+            rtt_ms: t_total.as_ms(),
+        })
     }
 
     /// `mtr`-style traceroute: probe each TTL, record responder and RTTs.
     pub fn traceroute(&mut self, src: NodeId, dst: NodeId, opts: TracerouteOpts) -> Traceroute {
         let Some(path) = self.route(src, dst) else {
-            return Traceroute { hops: vec![], reached: false };
+            return Traceroute {
+                hops: vec![],
+                reached: false,
+            };
         };
+        let mut pkt = std::mem::take(&mut self.pkt_buf);
+        let result = self.traceroute_with(&path, opts, &mut pkt);
+        self.pkt_buf = pkt;
+        result
+    }
+
+    fn traceroute_with(
+        &mut self,
+        path: &RoutePath,
+        opts: TracerouteOpts,
+        pkt: &mut BytesMut,
+    ) -> Traceroute {
+        let last = path.len() - 1;
+        let (src, dst) = (path[0], path[last]);
         let mut hops = Vec::new();
         let mut reached = false;
         // TTL 1 expires at the first node *after* the source.
         for ttl in 1..=opts.max_ttl {
-            let mut hop = TraceHop { ttl, node: None, ip: None, rtts: vec![] };
+            let mut hop = TraceHop {
+                ttl,
+                node: None,
+                ip: None,
+                rtts: vec![],
+            };
             let mut hit_dst = false;
             for probe in 0..opts.probes_per_hop {
                 let ident = self.next_ident();
-                let packet = self.build_echo_ttl(src, dst, ident, probe as u16, ttl);
-                let Some((arrived, t_fwd, expired_at)) = self.walk(&path, packet, SimTime::ZERO)
+                self.build_echo_into(pkt, src, dst, ident, probe as u16, ttl);
+                let Some((arrived, t_fwd, expired_at)) =
+                    self.walk(path, last, WalkDir::Forward, pkt, SimTime::ZERO)
                 else {
                     continue; // probe lost on the way out
                 };
-                let responder = if arrived { *path.last().expect("non-empty") } else {
+                // `pos` is the responder's index on the path: the walk
+                // reports where the TTL ran out, so no scan is needed.
+                let pos = if arrived {
+                    last
+                } else {
                     match expired_at {
                         Some(n) => n,
                         None => continue,
                     }
                 };
-                let rnode = self.node(responder).clone();
-                if !rnode.icmp_responds {
+                let responder = path[pos];
+                let (r_ip, r_responds) = {
+                    let n = self.node(responder);
+                    (n.ip, n.icmp_responds)
+                };
+                if !r_responds {
                     continue; // silent hop: no time-exceeded, probe times out
                 }
                 // The ICMP answer (echo reply or time exceeded) retraces the
                 // path from the responder back to the source.
-                let pos = path.iter().position(|&n| n == responder).expect("on path");
-                let back: Vec<NodeId> = path[..=pos].iter().rev().copied().collect();
-                let answer = self.build_answer(responder, src, arrived);
-                let Some((back_ok, t_total, _)) = self.walk(&back, answer, t_fwd) else {
+                self.build_answer_into(pkt, responder, src, arrived);
+                let Some((back_ok, t_total, _)) =
+                    self.walk(path, pos, WalkDir::Reverse, pkt, t_fwd)
+                else {
                     continue; // reply lost
                 };
                 if !back_ok {
                     continue;
                 }
                 hop.node = Some(responder);
-                hop.ip = Some(rnode.ip);
+                hop.ip = Some(r_ip);
                 hop.rtts.push(t_total.as_ms());
                 if arrived {
                     hit_dst = true;
@@ -500,13 +666,26 @@ impl Network {
         self.icmp_ident
     }
 
-    fn build_echo(&self, src: NodeId, dst: NodeId, ident: u16, seq: u16, ttl: u8) -> Bytes {
-        self.build_echo_ttl(src, dst, ident, seq, ttl)
-    }
-
-    fn build_echo_ttl(&self, src: NodeId, dst: NodeId, ident: u16, seq: u16, ttl: u8) -> Bytes {
-        let icmp = IcmpMessage::EchoRequest { ident, seq, payload: Bytes::from_static(&[0u8; 32]) }
-            .encode();
+    /// Encode an IPv4+ICMP echo request into `pkt` (replacing its
+    /// contents). Uses the persistent ICMP scratch buffer, so steady-state
+    /// probe construction performs no allocation.
+    fn build_echo_into(
+        &mut self,
+        pkt: &mut BytesMut,
+        src: NodeId,
+        dst: NodeId,
+        ident: u16,
+        seq: u16,
+        ttl: u8,
+    ) {
+        let mut icmp = std::mem::take(&mut self.icmp_buf);
+        icmp.clear();
+        IcmpMessage::EchoRequest {
+            ident,
+            seq,
+            payload: Bytes::from_static(&[0u8; 32]),
+        }
+        .encode_into(&mut icmp);
         let hdr = Ipv4Header {
             dscp_ecn: 0,
             total_len: (Ipv4Header::LEN + icmp.len()) as u16,
@@ -516,18 +695,36 @@ impl Network {
             src: self.node(src).ip,
             dst: self.node(dst).ip,
         };
-        let mut buf = BytesMut::with_capacity(Ipv4Header::LEN + icmp.len());
-        hdr.encode(&mut buf);
-        buf.put_slice(&icmp);
-        buf.freeze()
+        pkt.clear();
+        hdr.encode(pkt);
+        pkt.put_slice(&icmp);
+        self.icmp_buf = icmp;
     }
 
-    fn build_answer(&self, from: NodeId, to: NodeId, was_delivered: bool) -> Bytes {
-        let icmp = if was_delivered {
-            IcmpMessage::EchoReply { ident: 0, seq: 0, payload: Bytes::new() }.encode()
+    /// Encode the ICMP answer a responder sends (echo reply when the probe
+    /// was delivered, time-exceeded when its TTL ran out) into `pkt`.
+    fn build_answer_into(
+        &mut self,
+        pkt: &mut BytesMut,
+        from: NodeId,
+        to: NodeId,
+        was_delivered: bool,
+    ) {
+        let mut icmp = std::mem::take(&mut self.icmp_buf);
+        icmp.clear();
+        if was_delivered {
+            IcmpMessage::EchoReply {
+                ident: 0,
+                seq: 0,
+                payload: Bytes::new(),
+            }
+            .encode_into(&mut icmp);
         } else {
-            IcmpMessage::TimeExceeded { original: Bytes::new() }.encode()
-        };
+            IcmpMessage::TimeExceeded {
+                original: Bytes::new(),
+            }
+            .encode_into(&mut icmp);
+        }
         let hdr = Ipv4Header {
             dscp_ecn: 0,
             total_len: (Ipv4Header::LEN + icmp.len()) as u16,
@@ -537,52 +734,62 @@ impl Network {
             src: self.node(from).ip,
             dst: self.node(to).ip,
         };
-        let mut buf = BytesMut::with_capacity(Ipv4Header::LEN + icmp.len());
-        hdr.encode(&mut buf);
-        buf.put_slice(&icmp);
-        buf.freeze()
+        pkt.clear();
+        hdr.encode(pkt);
+        pkt.put_slice(&icmp);
+        self.icmp_buf = icmp;
     }
 
-    /// Walk an encoded packet along `path`, starting at `start` time.
+    /// Walk the encoded packet in `bytes` along `route`, starting at
+    /// `start` time.
     ///
-    /// Drives an [`EventQueue`] with one arrival event per hop; each
-    /// intermediate node decrements the TTL in the encoded bytes. Returns
-    /// `None` when a link drops the packet; otherwise
-    /// `(delivered_to_last_node, arrival_time, ttl_expired_at)`.
+    /// `Forward` visits `nodes[0..=upto]` in order; `Reverse` visits
+    /// `nodes[upto..=0]` (how ICMP answers retrace the path) — neither
+    /// direction materializes a path copy. Each intermediate node
+    /// decrements the TTL in the encoded bytes in place. A walk has
+    /// exactly one packet in flight, so arrival times chain directly
+    /// instead of going through an event heap. Returns `None` when a link
+    /// drops the packet; otherwise `(delivered_to_last_node, arrival_time,
+    /// path_index_where_ttl_expired)`.
     fn walk(
         &mut self,
-        path: &[NodeId],
-        packet: Bytes,
+        route: &RoutePath,
+        upto: usize,
+        dir: WalkDir,
+        bytes: &mut [u8],
         start: SimTime,
-    ) -> Option<(bool, SimTime, Option<NodeId>)> {
-        assert!(!path.is_empty());
-        let mut bytes = packet.to_vec();
-        let mut q: EventQueue<usize> = EventQueue::new();
-        q.schedule(start, 0usize);
+    ) -> Option<(bool, SimTime, Option<usize>)> {
+        let entry = &*route.entry;
         let mut now = start;
-        while let Some((t, idx)) = q.pop() {
-            now = t;
-            let here = path[idx];
-            if idx == path.len() - 1 {
+        for step in 0..=upto {
+            let phys = match dir {
+                WalkDir::Forward => step,
+                WalkDir::Reverse => upto - step,
+            };
+            let here = entry.nodes[phys];
+            if step == upto {
                 self.record(now, here, PacketEventKind::Delivered);
                 return Some((true, now, None));
             }
             // Intermediate forwarding: routers (not the source host itself)
             // decrement the TTL before sending the packet onward.
-            if idx == 0 {
+            if step == 0 {
                 self.record(now, here, PacketEventKind::Sent);
             } else {
-                match Ipv4Header::decrement_ttl(&mut bytes) {
+                match Ipv4Header::decrement_ttl(bytes) {
                     Ok(0) => {
                         self.record(now, here, PacketEventKind::TtlExpired);
-                        return Some((false, now, Some(here)));
+                        return Some((false, now, Some(phys)));
                     }
                     Ok(ttl) => self.record(now, here, PacketEventKind::Forwarded { ttl }),
-                    Err(_) => return Some((false, now, Some(here))),
+                    Err(_) => return Some((false, now, Some(phys))),
                 }
             }
-            let next = path[idx + 1];
-            let link = self.link_between(here.0, next.0);
+            let li = match dir {
+                WalkDir::Forward => entry.hop_links[step],
+                WalkDir::Reverse => entry.hop_links[upto - 1 - step],
+            };
+            let link = &self.links[li as usize];
             let loss = link.loss;
             let latency = link.latency;
             if loss > 0.0 && self.rng.gen_bool(loss) {
@@ -590,7 +797,7 @@ impl Network {
                 return None; // dropped on this link
             }
             let delay = latency.sample(&mut self.rng);
-            q.schedule(now.after(delay), idx + 1);
+            now = now.after(delay);
         }
         Some((false, now, None))
     }
@@ -612,10 +819,27 @@ mod tests {
         let r1 = net.add_node("core-r1", NodeKind::Router, City::Berlin, ip("10.55.0.1"));
         let nat = net.add_node("cgnat", NodeKind::CgNat, City::Amsterdam, ip("131.188.1.1"));
         let r2 = net.add_node("transit", NodeKind::Router, City::Amsterdam, ip("80.1.2.3"));
-        let sp = net.add_node("google", NodeKind::SpEdge, City::Frankfurt, ip("142.250.1.1"));
-        net.link_with(ue, r1, LinkClass::RadioAccess, LatencyModel::fixed(12.0, 0.0), 0.0);
+        let sp = net.add_node(
+            "google",
+            NodeKind::SpEdge,
+            City::Frankfurt,
+            ip("142.250.1.1"),
+        );
+        net.link_with(
+            ue,
+            r1,
+            LinkClass::RadioAccess,
+            LatencyModel::fixed(12.0, 0.0),
+            0.0,
+        );
         net.link_geo(r1, nat, LinkClass::Backbone);
-        net.link_with(nat, r2, LinkClass::Metro, LatencyModel::fixed(0.4, 0.0), 0.0);
+        net.link_with(
+            nat,
+            r2,
+            LinkClass::Metro,
+            LatencyModel::fixed(0.4, 0.0),
+            0.0,
+        );
         net.link_geo(r2, sp, LinkClass::Peering);
         (net, ue, sp, nat)
     }
@@ -646,7 +870,12 @@ mod tests {
         let one_way = net.base_one_way_ms(ue, sp).unwrap();
         let r = net.ping(ue, sp).unwrap();
         // RTT within [2*base, 2*base + total jitter bound].
-        assert!(r.rtt_ms >= 2.0 * one_way, "rtt {} vs base {}", r.rtt_ms, one_way);
+        assert!(
+            r.rtt_ms >= 2.0 * one_way,
+            "rtt {} vs base {}",
+            r.rtt_ms,
+            one_way
+        );
         assert!(r.rtt_ms < 2.0 * one_way + 40.0);
     }
 
@@ -691,7 +920,14 @@ mod tests {
         let (mut net, ue, sp, _) = chain();
         // 40% loss on the radio link.
         net.set_link_loss(0, 0.4);
-        let tr = net.traceroute(ue, sp, TracerouteOpts { max_ttl: 30, probes_per_hop: 20 });
+        let tr = net.traceroute(
+            ue,
+            sp,
+            TracerouteOpts {
+                max_ttl: 30,
+                probes_per_hop: 20,
+            },
+        );
         assert!(tr.reached);
         let h = &tr.hops[0];
         assert!(h.rtts.len() < 20, "some probes must be lost");
@@ -705,7 +941,9 @@ mod tests {
             let a = net.add_node("a", NodeKind::Host, City::Paris, ip("10.0.0.1"));
             let b = net.add_node("b", NodeKind::SpEdge, City::Tokyo, ip("1.2.3.4"));
             net.link_geo(a, b, LinkClass::Backbone);
-            (0..20).map(|_| net.ping(a, b).unwrap().rtt_ms.to_bits()).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| net.ping(a, b).unwrap().rtt_ms.to_bits())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
@@ -719,10 +957,34 @@ mod tests {
         let m2 = net.add_node("m2", NodeKind::Router, City::Tokyo, ip("80.0.0.2"));
         let b = net.add_node("b", NodeKind::SpEdge, City::Amsterdam, ip("90.0.0.1"));
         // Fast two-hop path via Frankfurt vs slow detour via Tokyo.
-        net.link_with(a, m1, LinkClass::Backbone, LatencyModel::fixed(5.0, 0.0), 0.0);
-        net.link_with(m1, b, LinkClass::Backbone, LatencyModel::fixed(5.0, 0.0), 0.0);
-        net.link_with(a, m2, LinkClass::Backbone, LatencyModel::fixed(100.0, 0.0), 0.0);
-        net.link_with(m2, b, LinkClass::Backbone, LatencyModel::fixed(100.0, 0.0), 0.0);
+        net.link_with(
+            a,
+            m1,
+            LinkClass::Backbone,
+            LatencyModel::fixed(5.0, 0.0),
+            0.0,
+        );
+        net.link_with(
+            m1,
+            b,
+            LinkClass::Backbone,
+            LatencyModel::fixed(5.0, 0.0),
+            0.0,
+        );
+        net.link_with(
+            a,
+            m2,
+            LinkClass::Backbone,
+            LatencyModel::fixed(100.0, 0.0),
+            0.0,
+        );
+        net.link_with(
+            m2,
+            b,
+            LinkClass::Backbone,
+            LatencyModel::fixed(100.0, 0.0),
+            0.0,
+        );
         let path = net.route(a, b).unwrap();
         assert_eq!(path, vec![a, m1, b]);
     }
@@ -733,18 +995,39 @@ mod tests {
         let a = net.add_node("a", NodeKind::Host, City::Paris, ip("10.0.0.1"));
         let m = net.add_node("m", NodeKind::Router, City::Tokyo, ip("80.0.0.2"));
         let b = net.add_node("b", NodeKind::SpEdge, City::Amsterdam, ip("90.0.0.1"));
-        net.link_with(a, m, LinkClass::Backbone, LatencyModel::fixed(100.0, 0.0), 0.0);
-        net.link_with(m, b, LinkClass::Backbone, LatencyModel::fixed(100.0, 0.0), 0.0);
+        net.link_with(
+            a,
+            m,
+            LinkClass::Backbone,
+            LatencyModel::fixed(100.0, 0.0),
+            0.0,
+        );
+        net.link_with(
+            m,
+            b,
+            LinkClass::Backbone,
+            LatencyModel::fixed(100.0, 0.0),
+            0.0,
+        );
         assert_eq!(net.route(a, b).unwrap().len(), 3);
         // Add a direct cheap link; the cached 3-hop route must be dropped.
-        net.link_with(a, b, LinkClass::Backbone, LatencyModel::fixed(1.0, 0.0), 0.0);
+        net.link_with(
+            a,
+            b,
+            LinkClass::Backbone,
+            LatencyModel::fixed(1.0, 0.0),
+            0.0,
+        );
         assert_eq!(net.route(a, b).unwrap(), vec![a, b]);
     }
 
     #[test]
     fn pinging_a_silent_node_times_out() {
         let (mut net, ue, sp, nat) = chain();
-        assert!(net.ping(ue, nat).is_some(), "responsive CG-NAT answers echo");
+        assert!(
+            net.ping(ue, nat).is_some(),
+            "responsive CG-NAT answers echo"
+        );
         net.set_icmp_responds(nat, false);
         assert!(net.ping(ue, nat).is_none(), "silent node must not answer");
         assert!(net.rtt_ms(ue, nat).is_none());
@@ -760,13 +1043,22 @@ mod tests {
         assert!(r.is_some());
         let events = net.take_trace();
         // Forward + reply legs: sent, forwards, delivered, twice.
-        let sent = events.iter().filter(|e| e.kind == PacketEventKind::Sent).count();
-        let delivered =
-            events.iter().filter(|e| e.kind == PacketEventKind::Delivered).count();
+        let sent = events
+            .iter()
+            .filter(|e| e.kind == PacketEventKind::Sent)
+            .count();
+        let delivered = events
+            .iter()
+            .filter(|e| e.kind == PacketEventKind::Delivered)
+            .count();
         assert_eq!(sent, 2, "echo + reply each get a Sent");
         assert_eq!(delivered, 2);
-        assert!(events.windows(2).all(|w| w[0].at <= w[1].at || w[1].kind == PacketEventKind::Sent),
-                "events within a leg are time-ordered");
+        assert!(
+            events
+                .windows(2)
+                .all(|w| w[0].at <= w[1].at || w[1].kind == PacketEventKind::Sent),
+            "events within a leg are time-ordered"
+        );
         // Tracing is consumed: a second take is empty and recording stops.
         assert!(net.take_trace().is_empty());
         net.ping(ue, sp);
@@ -779,10 +1071,19 @@ mod tests {
     fn tracing_shows_ttl_expiry() {
         let (mut net, ue, sp, _) = chain();
         net.enable_tracing();
-        let _ = net.traceroute(ue, sp, TracerouteOpts { max_ttl: 1, probes_per_hop: 1 });
+        let _ = net.traceroute(
+            ue,
+            sp,
+            TracerouteOpts {
+                max_ttl: 1,
+                probes_per_hop: 1,
+            },
+        );
         let events = net.take_trace();
-        assert!(events.iter().any(|e| e.kind == PacketEventKind::TtlExpired),
-                "TTL-1 probe must expire at the first router");
+        assert!(
+            events.iter().any(|e| e.kind == PacketEventKind::TtlExpired),
+            "TTL-1 probe must expire at the first router"
+        );
     }
 
     #[test]

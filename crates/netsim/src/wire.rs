@@ -158,7 +158,15 @@ impl Ipv4Header {
         let _cksum = b.get_u16();
         let src = Ipv4Addr::new(b.get_u8(), b.get_u8(), b.get_u8(), b.get_u8());
         let dst = Ipv4Addr::new(b.get_u8(), b.get_u8(), b.get_u8(), b.get_u8());
-        Ok(Ipv4Header { dscp_ecn, total_len, ident, ttl, proto, src, dst })
+        Ok(Ipv4Header {
+            dscp_ecn,
+            total_len,
+            ident,
+            ttl,
+            proto,
+            src,
+            dst,
+        })
     }
 
     /// Decrement the TTL of an encoded packet in place, recomputing the
@@ -217,7 +225,11 @@ impl UdpHeader {
         if (len as usize) < Self::LEN {
             return Err(WireError::BadField("udp length"));
         }
-        Ok(UdpHeader { src_port, dst_port, len })
+        Ok(UdpHeader {
+            src_port,
+            dst_port,
+            len,
+        })
     }
 }
 
@@ -229,9 +241,17 @@ impl UdpHeader {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IcmpMessage {
     /// Echo request (type 8): ident, sequence, payload.
-    EchoRequest { ident: u16, seq: u16, payload: Bytes },
+    EchoRequest {
+        ident: u16,
+        seq: u16,
+        payload: Bytes,
+    },
     /// Echo reply (type 0): ident, sequence, payload.
-    EchoReply { ident: u16, seq: u16, payload: Bytes },
+    EchoReply {
+        ident: u16,
+        seq: u16,
+        payload: Bytes,
+    },
     /// Time exceeded in transit (type 11 code 0), quoting the offending
     /// packet's IP header + first 8 payload bytes, as real routers do.
     TimeExceeded { original: Bytes },
@@ -242,8 +262,21 @@ impl IcmpMessage {
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Append the encoded message (checksum included) to `buf`. The
+    /// allocation-free path: callers with a reusable scratch buffer
+    /// (e.g. the packet walker) encode without touching the heap.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        let start = buf.len();
         match self {
-            IcmpMessage::EchoRequest { ident, seq, payload } => {
+            IcmpMessage::EchoRequest {
+                ident,
+                seq,
+                payload,
+            } => {
                 buf.put_u8(8);
                 buf.put_u8(0);
                 buf.put_u16(0);
@@ -251,7 +284,11 @@ impl IcmpMessage {
                 buf.put_u16(*seq);
                 buf.put_slice(payload);
             }
-            IcmpMessage::EchoReply { ident, seq, payload } => {
+            IcmpMessage::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
                 buf.put_u8(0);
                 buf.put_u8(0);
                 buf.put_u16(0);
@@ -268,9 +305,8 @@ impl IcmpMessage {
                 buf.put_slice(&original[..quote_len]);
             }
         }
-        let cksum = internet_checksum(&buf);
-        buf[2..4].copy_from_slice(&cksum.to_be_bytes());
-        buf.freeze()
+        let cksum = internet_checksum(&buf[start..]);
+        buf[start + 2..start + 4].copy_from_slice(&cksum.to_be_bytes());
     }
 
     /// Decode and verify.
@@ -289,9 +325,17 @@ impl IcmpMessage {
                 let seq = u16::from_be_bytes([data[6], data[7]]);
                 let payload = Bytes::copy_from_slice(&data[8..]);
                 Ok(if ty == 8 {
-                    IcmpMessage::EchoRequest { ident, seq, payload }
+                    IcmpMessage::EchoRequest {
+                        ident,
+                        seq,
+                        payload,
+                    }
                 } else {
-                    IcmpMessage::EchoReply { ident, seq, payload }
+                    IcmpMessage::EchoReply {
+                        ident,
+                        seq,
+                        payload,
+                    }
                 })
             }
             (11, 0) => Ok(IcmpMessage::TimeExceeded {
@@ -358,10 +402,16 @@ impl GtpuHeader {
     /// Encapsulate an inner (already encoded) IP packet.
     #[must_use]
     pub fn encapsulate(teid: u32, inner: &[u8]) -> Bytes {
-        assert!(inner.len() <= u16::MAX as usize,
-                "GTP-U payload length field is 16 bits; fragment before tunnelling");
+        assert!(
+            inner.len() <= u16::MAX as usize,
+            "GTP-U payload length field is 16 bits; fragment before tunnelling"
+        );
         let mut buf = BytesMut::with_capacity(Self::LEN + inner.len());
-        GtpuHeader { payload_len: inner.len() as u16, teid }.encode(&mut buf);
+        GtpuHeader {
+            payload_len: inner.len() as u16,
+            teid,
+        }
+        .encode(&mut buf);
         buf.put_slice(inner);
         buf.freeze()
     }
@@ -369,7 +419,8 @@ impl GtpuHeader {
     /// Strip the tunnel header, returning `(header, inner packet)`.
     pub fn decapsulate(data: &[u8]) -> Result<(GtpuHeader, Bytes), WireError> {
         let hdr = Self::decode(data)?;
-        let inner = data.get(Self::LEN..Self::LEN + hdr.payload_len as usize)
+        let inner = data
+            .get(Self::LEN..Self::LEN + hdr.payload_len as usize)
             .ok_or(WireError::Truncated)?;
         Ok((hdr, Bytes::copy_from_slice(inner)))
     }
@@ -397,13 +448,23 @@ impl DnsMessage {
     /// Build a query for `qname`.
     #[must_use]
     pub fn query(id: u16, qname: &str) -> Self {
-        DnsMessage { id, is_response: false, qname: qname.to_ascii_lowercase(), answers: vec![] }
+        DnsMessage {
+            id,
+            is_response: false,
+            qname: qname.to_ascii_lowercase(),
+            answers: vec![],
+        }
     }
 
     /// Build the response to `query` carrying `answers`.
     #[must_use]
     pub fn response(query: &DnsMessage, answers: Vec<Ipv4Addr>) -> Self {
-        DnsMessage { id: query.id, is_response: true, qname: query.qname.clone(), answers }
+        DnsMessage {
+            id: query.id,
+            is_response: true,
+            qname: query.qname.clone(),
+            answers,
+        }
     }
 
     /// Encode (RFC 1035 header + QD + AN sections; no compression).
@@ -471,9 +532,19 @@ impl DnsMessage {
             if b.len() < 4 {
                 return Err(WireError::Truncated);
             }
-            answers.push(Ipv4Addr::new(b.get_u8(), b.get_u8(), b.get_u8(), b.get_u8()));
+            answers.push(Ipv4Addr::new(
+                b.get_u8(),
+                b.get_u8(),
+                b.get_u8(),
+                b.get_u8(),
+            ));
         }
-        Ok(DnsMessage { id, is_response: flags & 0x8000 != 0, qname, answers })
+        Ok(DnsMessage {
+            id,
+            is_response: flags & 0x8000 != 0,
+            qname,
+            answers,
+        })
     }
 }
 
@@ -505,7 +576,8 @@ fn decode_name(b: &mut &[u8]) -> Result<String, WireError> {
         if !name.is_empty() {
             name.push('.');
         }
-        let label = std::str::from_utf8(&b[..len]).map_err(|_| WireError::BadField("label utf8"))?;
+        let label =
+            std::str::from_utf8(&b[..len]).map_err(|_| WireError::BadField("label utf8"))?;
         name.push_str(label);
         b.advance(len);
     }
@@ -563,7 +635,10 @@ mod tests {
         assert_eq!(internet_checksum(&buf), 0, "valid header sums to zero");
         let mut bad = buf.to_vec();
         bad[12] ^= 0xFF; // flip a source-address byte
-        assert_eq!(Ipv4Header::decode(&bad).unwrap_err(), WireError::BadChecksum);
+        assert_eq!(
+            Ipv4Header::decode(&bad).unwrap_err(),
+            WireError::BadChecksum
+        );
     }
 
     #[test]
@@ -582,12 +657,19 @@ mod tests {
 
     #[test]
     fn udp_round_trip_and_bad_length() {
-        let h = UdpHeader { src_port: 33434, dst_port: 53, len: 36 };
+        let h = UdpHeader {
+            src_port: 33434,
+            dst_port: 53,
+            len: 36,
+        };
         let mut buf = BytesMut::new();
         h.encode(&mut buf);
         assert_eq!(UdpHeader::decode(&buf).unwrap(), h);
         let bad = [0u8, 1, 0, 53, 0, 3, 0, 0]; // len 3 < 8
-        assert_eq!(UdpHeader::decode(&bad).unwrap_err(), WireError::BadField("udp length"));
+        assert_eq!(
+            UdpHeader::decode(&bad).unwrap_err(),
+            WireError::BadField("udp length")
+        );
     }
 
     #[test]
@@ -606,7 +688,9 @@ mod tests {
         let mut buf = BytesMut::new();
         sample_ipv4().encode(&mut buf);
         buf.put_slice(b"12345678-and-more-than-eight");
-        let te = IcmpMessage::TimeExceeded { original: buf.clone().freeze() };
+        let te = IcmpMessage::TimeExceeded {
+            original: buf.clone().freeze(),
+        };
         let enc = te.encode();
         match IcmpMessage::decode(&enc).unwrap() {
             IcmpMessage::TimeExceeded { original } => {
@@ -621,10 +705,18 @@ mod tests {
 
     #[test]
     fn icmp_rejects_corruption() {
-        let enc = IcmpMessage::EchoReply { ident: 1, seq: 2, payload: Bytes::new() }.encode();
+        let enc = IcmpMessage::EchoReply {
+            ident: 1,
+            seq: 2,
+            payload: Bytes::new(),
+        }
+        .encode();
         let mut bad = enc.to_vec();
         bad[4] ^= 0x01;
-        assert_eq!(IcmpMessage::decode(&bad).unwrap_err(), WireError::BadChecksum);
+        assert_eq!(
+            IcmpMessage::decode(&bad).unwrap_err(),
+            WireError::BadChecksum
+        );
     }
 
     #[test]
@@ -642,7 +734,11 @@ mod tests {
     #[test]
     fn gtpu_rejects_wrong_version_and_type() {
         let mut buf = BytesMut::new();
-        GtpuHeader { payload_len: 0, teid: 1 }.encode(&mut buf);
+        GtpuHeader {
+            payload_len: 0,
+            teid: 1,
+        }
+        .encode(&mut buf);
         let mut v = buf.to_vec();
         v[0] = 0x50; // version 2
         assert!(GtpuHeader::decode(&v).is_err());
@@ -654,7 +750,10 @@ mod tests {
     #[test]
     fn dns_query_round_trip() {
         let q = DnsMessage::query(0xBEEF, "Google.COM");
-        assert_eq!(q.qname, "google.com", "names are canonicalised to lower case");
+        assert_eq!(
+            q.qname, "google.com",
+            "names are canonicalised to lower case"
+        );
         let enc = q.encode();
         let back = DnsMessage::decode(&enc).unwrap();
         assert_eq!(back, q);

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run the Criterion suite and flatten the estimates into BENCH_netsim.json
+# at the repo root: one entry per benchmark (mean/median/std-dev in ns)
+# plus the derived sequential-vs-Parallel(4) campaign speedup. The two
+# campaign modes produce bit-identical data, so the ratio of their mean
+# times is a pure wall-clock number — it scales with the host's cores
+# (on a single-core host it sits near 1.0), which is why the host CPU
+# count is recorded next to it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p roam-bench --offline "$@"
+
+crit=target/criterion
+out=BENCH_netsim.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+for est in "$crit"/*/*/new/estimates.json; do
+    [ -f "$est" ] || continue
+    name_dir=$(dirname "$(dirname "$est")")
+    group=$(basename "$(dirname "$name_dir")")
+    name=$(basename "$name_dir")
+    jq --arg id "$group/$name" \
+       '{($id): {mean_ns: .mean.point_estimate,
+                 median_ns: .median.point_estimate,
+                 std_dev_ns: .std_dev.point_estimate}}' "$est"
+done | jq -s 'add // {}' > "$tmp"
+
+jq -n \
+   --slurpfile b "$tmp" \
+   --argjson cpus "$(nproc)" \
+   '($b[0]."campaign/device_campaign_seq".mean_ns) as $seq
+    | ($b[0]."campaign/device_campaign_par4".mean_ns) as $par
+    | {schema: "roamsim-bench-v1",
+       host: {cpus: $cpus},
+       parallel: {
+         note: "seq and par4 runs export bit-identical data; speedup is wall-clock only and scales with host cores",
+         device_campaign_seq_ns: $seq,
+         device_campaign_par4_ns: $par,
+         speedup_seq_over_par4: (if $seq != null and $par != null then ($seq / $par) else null end)
+       },
+       benchmarks: $b[0]}' > "$out"
+
+echo "wrote $out"
+jq '.parallel' "$out"

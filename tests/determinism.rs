@@ -19,12 +19,16 @@ fn fingerprint(seed: u64) -> Vec<u64> {
         let ep = world.attach_esim(country);
         out.push(u64::from(u32::from(ep.att.public_ip)));
         out.push(ep.att.tunnel_km.to_bits());
-        if let Some(o) = mtr(&mut world.net, &ep, &world.internet.targets, Service::Google) {
+        if let Some(o) = mtr(
+            &mut world.net,
+            &ep,
+            &world.internet.targets,
+            Service::Google,
+        ) {
             out.push(o.analysis.private_len as u64);
             out.push(o.analysis.final_rtt_ms.unwrap_or(0.0).to_bits());
         }
-        if let Some(s) = ookla_speedtest(&mut world.net, &ep, &world.internet.targets, &mut rng)
-        {
+        if let Some(s) = ookla_speedtest(&mut world.net, &ep, &world.internet.targets, &mut rng) {
             out.push(s.down_mbps.to_bits());
             out.push(s.latency_ms.to_bits());
         }
@@ -41,6 +45,32 @@ fn same_seed_bit_identical() {
 #[test]
 fn different_seeds_differ() {
     assert_ne!(fingerprint(42), fingerprint(43));
+}
+
+/// The tentpole guarantee of the shard runner: a parallel campaign run is
+/// not merely "statistically equivalent" to a sequential one — the
+/// exported datasets are the same bytes, because every shard's RNG is
+/// keyed by what it measures, never by which worker ran it when.
+#[test]
+fn parallel_campaigns_export_identical_bytes() {
+    use roam_bench::{run_device_mode, run_web_mode, survey_all_esims_mode};
+    use roamsim::measure::{cdn_csv, dns_csv, speedtests_csv, traces_csv, videos_csv, RunMode};
+
+    let seq = run_device_mode(11, 0.03, RunMode::Sequential);
+    let par = run_device_mode(11, 0.03, RunMode::Parallel(4));
+    assert_eq!(speedtests_csv(&seq.data), speedtests_csv(&par.data));
+    assert_eq!(traces_csv(&seq.data), traces_csv(&par.data));
+    assert_eq!(cdn_csv(&seq.data), cdn_csv(&par.data));
+    assert_eq!(dns_csv(&seq.data), dns_csv(&par.data));
+    assert_eq!(videos_csv(&seq.data), videos_csv(&par.data));
+
+    let (_, web_seq) = run_web_mode(11, RunMode::Sequential);
+    let (_, web_par) = run_web_mode(11, RunMode::Parallel(4));
+    assert_eq!(format!("{web_seq:?}"), format!("{web_par:?}"));
+
+    let (_, obs_seq) = survey_all_esims_mode(11, 2, RunMode::Sequential);
+    let (_, obs_par) = survey_all_esims_mode(11, 2, RunMode::Parallel(4));
+    assert_eq!(format!("{obs_seq:?}"), format!("{obs_par:?}"));
 }
 
 #[test]

@@ -1,0 +1,559 @@
+//! Offline, dependency-free re-implementation of the subset of the `bytes`
+//! 1.x API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the byte-buffer surface it depends on: [`Bytes`] (cheaply
+//! clonable shared buffer), [`BytesMut`] (growable buffer), and the
+//! big-endian cursor traits [`Buf`] / [`BufMut`]. Semantics follow the
+//! real crate for every operation used here; the internals are simpler
+//! (an `Arc<[u8]>` with an offset window instead of a hand-rolled vtable).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable, contiguous slice of memory.
+#[derive(Clone)]
+pub struct Bytes {
+    inner: Inner,
+    start: usize,
+    end: usize,
+}
+
+#[derive(Clone)]
+enum Inner {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    #[must_use]
+    pub const fn new() -> Self {
+        Bytes {
+            inner: Inner::Static(&[]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wrap a `'static` slice without copying.
+    #[must_use]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            inner: Inner::Static(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Copy a slice into a new shared buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view sharing the same backing storage.
+    #[must_use]
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice out of bounds");
+        Bytes {
+            inner: self.inner.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        let all = match &self.inner {
+            Inner::Static(s) => s,
+            Inner::Shared(a) => &a[..],
+        };
+        &all[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let arc: Arc<[u8]> = v.into();
+        let end = arc.len();
+        Bytes {
+            inner: Inner::Shared(arc),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// A unique, growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub const fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Length of the initialized contents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Drop all contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Shorten to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Grow or shrink to `new_len`, filling with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.buf.extend_from_slice(extend);
+    }
+
+    /// Split off and return the first `at` bytes.
+    #[must_use]
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.buf.split_off(at);
+        BytesMut {
+            buf: std::mem::replace(&mut self.buf, rest),
+        }
+    }
+
+    /// Split off and return everything from `at` onward.
+    #[must_use]
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            buf: self.buf.split_off(at),
+        }
+    }
+
+    /// Convert into an immutable, shareable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.buf {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.buf.extend(iter);
+    }
+}
+
+/// Read cursor over a byte source; all multi-byte getters are big-endian.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The current unread window.
+    fn chunk(&self) -> &[u8];
+    /// Skip `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "Buf::get_u8: buffer exhausted");
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice_checked(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice_checked(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice_checked(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Copy exactly `dst.len()` bytes out, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        self.copy_to_slice_checked(dst);
+    }
+
+    #[doc(hidden)]
+    fn copy_to_slice_checked(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "Buf::copy_to_slice: buffer exhausted"
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "Buf::advance past end");
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "Buf::advance past end");
+        self.start += cnt;
+    }
+}
+
+/// Write cursor; all multi-byte putters are big-endian.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.buf.resize(self.buf.len() + cnt, val);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0102_0304_0506_0708);
+        let frozen = buf.freeze();
+        let mut rd: &[u8] = &frozen;
+        assert_eq!(rd.get_u8(), 0xAB);
+        assert_eq!(rd.get_u16(), 0x1234);
+        assert_eq!(rd.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_slice_shares_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let mid = b.slice(1..4);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(b.len(), 5);
+        let tail = mid.slice(2..);
+        assert_eq!(&tail[..], &[4]);
+    }
+
+    #[test]
+    fn bytes_advance_narrows_view() {
+        let mut b = Bytes::from(vec![9u8, 8, 7]);
+        b.advance(2);
+        assert_eq!(&b[..], &[7]);
+    }
+
+    #[test]
+    fn split_to_returns_prefix() {
+        let mut m = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        let head = m.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&m[..], &[3, 4]);
+    }
+
+    #[test]
+    fn equality_across_types() {
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(b, b"abc"[..]);
+        assert_eq!(b, vec![b'a', b'b', b'c']);
+        assert_eq!(b, Bytes::from_static(b"abc"));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer exhausted")]
+    fn get_past_end_panics() {
+        let mut rd: &[u8] = &[1];
+        let _ = rd.get_u16();
+    }
+}

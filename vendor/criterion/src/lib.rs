@@ -1,0 +1,410 @@
+//! Offline, dependency-free re-implementation of the subset of the
+//! `criterion` 0.5 API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the benchmarking surface it depends on: `Criterion`,
+//! `BenchmarkGroup` (with `sample_size`), `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Results are written where the real crate puts them —
+//! `target/criterion/<group>/<bench>/new/estimates.json` with
+//! `mean`/`median`/`std_dev` point estimates in nanoseconds — so tooling
+//! that consumes Criterion's JSON (e.g. `scripts/bench_json.sh`) works
+//! unchanged. Statistical machinery is simpler: fixed warm-up, calibrated
+//! iterations per sample, and plain sample statistics without bootstrap
+//! confidence intervals.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between setup calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many small inputs per batch.
+    SmallInput,
+    /// Few large inputs per batch.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+    /// Explicit number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    output_root: PathBuf,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            output_root: criterion_output_root(),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build a driver configured from the process arguments (`--test`
+    /// from `cargo test`, an optional positional name filter from
+    /// `cargo bench <filter>`).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        c.configure_from_args();
+        c
+    }
+
+    /// Apply CLI arguments to an existing driver.
+    pub fn configure_from_args(&mut self) -> &mut Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags with a value we accept and ignore.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size"
+                | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                a if a.starts_with('-') => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Override the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_bench(None, id, 100, f);
+        self
+    }
+
+    fn run_bench<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: Option<&str>,
+        id: &str,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let full_id = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{full_id}: test passed");
+            return;
+        }
+        let est = Estimates::from_samples(&b.samples_ns);
+        println!(
+            "{full_id:<40} time: [{} {} {}]",
+            format_ns(est.min),
+            format_ns(est.mean),
+            format_ns(est.max),
+        );
+        let mut dir = self.output_root.clone();
+        if let Some(g) = group {
+            dir.push(sanitize(g));
+        }
+        dir.push(sanitize(id));
+        dir.push("new");
+        if let Err(e) = est.write_json(&dir) {
+            eprintln!("criterion: could not write {}: {e}", dir.display());
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample_size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let (group, sample_size) = (self.name.clone(), self.sample_size);
+        self.criterion.run_bench(Some(&group), id, sample_size, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Times the benchmarked routine.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmark a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up + calibration: how long does one call take?
+        let per_iter_ns = {
+            let start = Instant::now();
+            let mut n = 0u64;
+            while start.elapsed() < Duration::from_millis(50) && n < 10_000 {
+                black_box(routine());
+                n += 1;
+            }
+            (start.elapsed().as_nanos() as f64 / n as f64).max(1.0)
+        };
+        let (samples, iters) = self.plan(per_iter_ns);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Benchmark a routine with per-batch setup excluded from timing.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let per_iter_ns = {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            (start.elapsed().as_nanos() as f64).max(1.0)
+        };
+        let (samples, iters) = self.plan(per_iter_ns);
+        for _ in 0..samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Choose (samples, iterations per sample) so the run fits the
+    /// measurement budget while keeping samples long enough to time.
+    fn plan(&self, per_iter_ns: f64) -> (usize, u64) {
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        // Aim for samples of at least 1 ms so Instant resolution noise
+        // stays under ~0.1 %.
+        let iters = (1_000_000.0 / per_iter_ns).ceil().max(1.0) as u64;
+        let per_sample = per_iter_ns * iters as f64;
+        let affordable = (budget_ns / per_sample).floor() as usize;
+        let samples = self.sample_size.min(affordable).max(5);
+        (samples, iters)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Estimates {
+    mean: f64,
+    median: f64,
+    std_dev: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Estimates {
+    fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "benchmark produced no samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        Estimates {
+            mean,
+            median,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    fn write_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join("estimates.json"))?;
+        let entry = |point: f64| {
+            format!(
+                concat!(
+                    "{{\"confidence_interval\":{{\"confidence_level\":0.95,",
+                    "\"lower_bound\":{lo},\"upper_bound\":{hi}}},",
+                    "\"point_estimate\":{pt},\"standard_error\":{se}}}"
+                ),
+                lo = self.min,
+                hi = self.max,
+                pt = point,
+                se = self.std_dev,
+            )
+        };
+        write!(
+            f,
+            "{{\"mean\":{},\"median\":{},\"std_dev\":{}}}",
+            entry(self.mean),
+            entry(self.median),
+            entry(self.std_dev),
+        )
+    }
+}
+
+fn sanitize(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c == '/' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Locate `<target>/criterion` by walking up from the bench executable
+/// (which lives in `<target>/<profile>/deps/`).
+fn criterion_output_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("criterion");
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut cur = exe.as_path();
+        while let Some(parent) = cur.parent() {
+            if parent.file_name().is_some_and(|n| n == "target") {
+                return parent.join("criterion");
+            }
+            cur = parent;
+        }
+    }
+    PathBuf::from("target").join("criterion")
+}
+
+/// Define a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            criterion.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_are_sane() {
+        let est = Estimates::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((est.mean - 2.5).abs() < 1e-12);
+        assert!((est.median - 2.5).abs() < 1e-12);
+        assert_eq!(est.min, 1.0);
+        assert_eq!(est.max, 4.0);
+    }
+
+    #[test]
+    fn json_is_written_with_point_estimates() {
+        let dir = std::env::temp_dir().join("roamsim-criterion-test/new");
+        let est = Estimates::from_samples(&[10.0, 20.0]);
+        est.write_json(&dir).expect("writable temp dir");
+        let body = std::fs::read_to_string(dir.join("estimates.json")).expect("written");
+        assert!(body.contains("\"mean\""));
+        assert!(body.contains("\"point_estimate\":15"));
+        std::fs::remove_dir_all(dir.parent().expect("has parent")).ok();
+    }
+
+    #[test]
+    fn sanitize_replaces_separators() {
+        assert_eq!(sanitize("a/b c"), "a_b_c");
+    }
+}

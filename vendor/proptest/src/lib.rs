@@ -1,0 +1,175 @@
+//! Offline, dependency-free re-implementation of the subset of the
+//! `proptest` 1.x API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the property-testing surface it depends on: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, [`collection::vec`], a regex-subset string
+//! strategy (`[class]{m,n}` patterns), and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: case generation is deterministic
+//! (seeded from the test name), and failing cases panic immediately
+//! instead of shrinking. Properties that hold for all inputs pass
+//! identically; failures lose minimization, not detection.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config: $crate::ProptestConfig = $config;
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __pt_case in 0..__pt_config.cases {
+                    let _ = __pt_case;
+                    $(let $arg = $crate::strategy::Strategy::generate(
+                        &$strat, &mut __pt_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u8, u8)> {
+        (0u8..10, 0u8..10).prop_map(|(a, b)| (a.min(b), a.max(b)))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u32..25, y in -3i64..=3, f in 0.25f64..0.75) {
+            prop_assert!((5..25).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn mapped_pairs_are_ordered(p in arb_pair()) {
+            prop_assert!(p.0 <= p.1);
+        }
+
+        #[test]
+        fn oneof_picks_only_listed(v in prop_oneof![Just(2u8), Just(3u8)]) {
+            prop_assert!(v == 2 || v == 3);
+        }
+
+        #[test]
+        fn vec_respects_size(xs in crate::collection::vec(0u8..5, 2..7)) {
+            prop_assert!((2..7).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn string_pattern_subset(s in "[a-z0-9]{1,20}") {
+            prop_assert!((1..=20).contains(&s.len()));
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+        }
+
+        #[test]
+        fn flat_map_respects_dependency(pair in (1u16..50).prop_flat_map(|n| (Just(n), 0u16..n))) {
+            prop_assert!(pair.1 < pair.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_override_is_accepted(x in any::<u64>()) {
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// A strategy behind a vtable (what [`crate::prop_oneof!`] arms become).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Erase a strategy's concrete type.
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among strategies with the same value type.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from pre-boxed arms (at least one).
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Full-domain generation, the backing of [`any`].
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_from_u64 {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_from_u64!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T` (`any::<u32>()` etc.).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = rng.below(span as u64);
+                (self.start as i128 + off as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Whole 64-bit domain: a raw draw is uniform.
+                    return rng.next_u64() as $ty;
+                }
+                let off = rng.below(span as u64);
+                (*self.start() as i128 + off as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $ty;
+                let res = self.start + unit * (self.end - self.start);
+                if res < self.end { res } else {
+                    // Rounding hit the open bound; fall back to the start.
+                    self.start
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let unit = rng.unit_f64() as $ty;
+                let res = self.start() + unit * (self.end() - self.start());
+                res.clamp(*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `&str` regex-subset strategy: `[class]{m,n}` patterns (plus plain
+/// literals), the forms used by this workspace's tests.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, min, max) = parse_pattern(self);
+        match class {
+            None => (*self).to_string(),
+            Some(chars) => {
+                let len = min + rng.below((max - min + 1) as u64) as usize;
+                (0..len)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Parse `[class]{m,n}` / `[class]{m}` / `[class]`; anything else is a
+/// literal (returns `None` for the class).
+fn parse_pattern(pattern: &str) -> (Option<Vec<char>>, usize, usize) {
+    let rest = match pattern.strip_prefix('[') {
+        Some(r) => r,
+        None => return (None, 1, 1),
+    };
+    let close = rest
+        .find(']')
+        .unwrap_or_else(|| panic!("string strategy {pattern:?}: unclosed character class"));
+    let class_src = &rest[..close];
+    let tail = &rest[close + 1..];
+
+    let mut chars = Vec::new();
+    let src: Vec<char> = class_src.chars().collect();
+    let mut i = 0;
+    while i < src.len() {
+        if i + 2 < src.len() && src[i + 1] == '-' {
+            let (lo, hi) = (src[i], src[i + 2]);
+            assert!(lo <= hi, "string strategy {pattern:?}: inverted range");
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(src[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        !chars.is_empty(),
+        "string strategy {pattern:?}: empty character class"
+    );
+
+    let (min, max) = if tail.is_empty() {
+        (1, 1)
+    } else {
+        let inner = tail
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("string strategy {pattern:?}: expected {{m,n}} repetition"));
+        match inner.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().expect("repetition lower bound"),
+                n.trim().parse().expect("repetition upper bound"),
+            ),
+            None => {
+                let k = inner.trim().parse().expect("repetition count");
+                (k, k)
+            }
+        }
+    };
+    assert!(min <= max, "string strategy {pattern:?}: min > max");
+    (Some(chars), min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_parser_handles_the_supported_forms() {
+        let (class, min, max) = parse_pattern("[a-c]{2,4}");
+        assert_eq!(class.unwrap(), vec!['a', 'b', 'c']);
+        assert_eq!((min, max), (2, 4));
+
+        let (class, min, max) = parse_pattern("[xy0-1]");
+        assert_eq!(class.unwrap(), vec!['x', 'y', '0', '1']);
+        assert_eq!((min, max), (1, 1));
+
+        let (class, ..) = parse_pattern("literal.example");
+        assert!(class.is_none());
+    }
+}

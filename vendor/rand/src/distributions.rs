@@ -1,0 +1,280 @@
+//! Distributions: `Standard` conversions and the uniform samplers, matching
+//! rand 0.8.5 bit for bit on 64-bit platforms.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: full integer range, `[0, 1)` for
+/// floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int_from_u32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+
+macro_rules! standard_int_from_u64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+standard_int_from_u32!(u8, i8, u16, i16, u32, i32);
+standard_int_from_u64!(u64, i64, usize, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        // rand 0.8: low word first.
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit precision multiply method.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Sign test against the most significant bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Uniform samplers over ranges.
+pub mod uniform {
+    use crate::{Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Sized {
+        /// Uniform draw from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range shapes accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(
+                self.start() <= self.end(),
+                "gen_range: empty inclusive range"
+            );
+            T::sample_single_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    /// Widening multiply returning `(high_word, low_word)`.
+    trait WideningMul: Copy {
+        fn wmul(self, other: Self) -> (Self, Self);
+    }
+
+    impl WideningMul for u32 {
+        #[inline]
+        fn wmul(self, other: Self) -> (Self, Self) {
+            let t = (self as u64) * (other as u64);
+            ((t >> 32) as u32, t as u32)
+        }
+    }
+
+    impl WideningMul for u64 {
+        #[inline]
+        fn wmul(self, other: Self) -> (Self, Self) {
+            let t = (self as u128) * (other as u128);
+            ((t >> 64) as u64, t as u64)
+        }
+    }
+
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    // rand 0.8.5 delegates the exclusive case to the
+                    // inclusive sampler with `high - 1`.
+                    Self::sample_single_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = (high as $unsigned)
+                        .wrapping_sub(low as $unsigned)
+                        .wrapping_add(1) as $u_large;
+                    if range == 0 {
+                        // The whole domain: any draw is uniform.
+                        return rng.gen();
+                    }
+                    let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                        // Small types compute the exact rejection zone.
+                        let unsigned_max: $u_large = <$u_large>::MAX;
+                        let ints_to_reject = (unsigned_max - range + 1) % range;
+                        unsigned_max - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl!(u8, u8, u32);
+    uniform_int_impl!(i8, u8, u32);
+    uniform_int_impl!(u16, u16, u32);
+    uniform_int_impl!(i16, u16, u32);
+    uniform_int_impl!(u32, u32, u32);
+    uniform_int_impl!(i32, u32, u32);
+    uniform_int_impl!(u64, u64, u64);
+    uniform_int_impl!(i64, u64, u64);
+    uniform_int_impl!(usize, usize, u64);
+    uniform_int_impl!(isize, usize, u64);
+
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    let mut scale = high - low;
+                    loop {
+                        // Mantissa bits give a value in [1, 2); shift to
+                        // [0, 1) then scale — rand 0.8's exact sequence.
+                        let mant = rng.gen::<$uty>() >> $bits_to_discard;
+                        let one_bits = <$ty>::to_bits(1.0);
+                        let value1_2 = <$ty>::from_bits(one_bits | mant);
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        if res < high {
+                            return res;
+                        }
+                        // Pathological rounding: shrink the scale one ULP
+                        // and retry (rand's decrease_masked edge handling).
+                        scale = <$ty>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    // Largest value0_1 can take is 1 - ε/2; dividing the
+                    // span by it makes `high` reachable.
+                    let max_rand: $ty = 1.0 - <$ty>::EPSILON / 2.0;
+                    let mut scale = (high - low) / max_rand;
+                    loop {
+                        let mant = rng.gen::<$uty>() >> $bits_to_discard;
+                        let one_bits = <$ty>::to_bits(1.0);
+                        let value1_2 = <$ty>::from_bits(one_bits | mant);
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        if res <= high {
+                            return res;
+                        }
+                        scale = <$ty>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_float_impl!(f64, u64, 12);
+    uniform_float_impl!(f32, u32, 9);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn standard_f64_uses_53_bits() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let raw = {
+            let mut probe = SmallRng::seed_from_u64(1);
+            probe.next_u64()
+        };
+        let expect = (raw >> 11) as f64 / (1u64 << 53) as f64;
+        let got: f64 = rng.gen();
+        assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn inclusive_covers_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2_000 {
+            match u8::sample_single_inclusive(0, 3, &mut rng) {
+                0 => seen_lo = true,
+                3 => seen_hi = true,
+                _ => {}
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn full_domain_inclusive_is_a_plain_draw() {
+        let mut a = SmallRng::seed_from_u64(4);
+        let mut b = SmallRng::seed_from_u64(4);
+        let x = u8::sample_single_inclusive(0, u8::MAX, &mut a);
+        let y: u8 = b.gen::<u32>() as u8;
+        assert_eq!(x, y);
+    }
+}

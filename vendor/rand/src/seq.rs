@@ -1,0 +1,64 @@
+//! Sequence helpers (`SliceRandom` subset): uniform element choice and
+//! Fisher–Yates shuffling, matching rand 0.8.5 draw-for-draw.
+
+use crate::distributions::uniform::SampleUniform;
+use crate::RngCore;
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Uniformly choose one element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffle in place (Fisher–Yates, walking down from the end, exactly
+    /// as rand 0.8.5 does).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let idx = usize::sample_single(0, self.len(), rng);
+            self.get(idx)
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_single_inclusive(0, i, rng);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_is_none_on_empty_and_some_otherwise() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let xs = [1u8, 2, 3];
+        assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.as_mut_slice().shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
