@@ -12,8 +12,9 @@ use roam_bench::{run_device_mode, run_device_shard};
 use roam_econ::{median_per_gb_by_country, Crawler, Market, Vantage};
 use roam_geo::Country;
 use roam_measure::{RunMode, Service};
+use roam_netsim::engine::{flow_seed, ClosedFormTransport, EngineSteppedTransport, Transport};
 use roam_netsim::wire::{GtpuHeader, IcmpMessage, Ipv4Header};
-use roam_netsim::TracerouteOpts;
+use roam_netsim::{EventQueue, SimTime, TracerouteOpts, TransferSpec};
 use roam_stats::test::LeveneCenter;
 use roam_stats::{levene_test, quantile, welch_t_test, Ecdf};
 use roam_world::World;
@@ -164,6 +165,54 @@ fn bench_campaign(c: &mut Criterion) {
     g.finish();
 }
 
+/// The flow-engine layer: seed derivation, event-calendar churn, and the
+/// two transports timing the same bulk transfer. Closed-form and
+/// engine-stepped agree to sub-microsecond on the result; the bench pair
+/// shows what stepping the calendar costs over evaluating the formula.
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("flow_seed", |b| {
+        b.iter(|| {
+            black_box(flow_seed(
+                black_box(7),
+                black_box("flow/s3/410012345/ookla/0"),
+            ))
+        })
+    });
+    g.bench_function("event_queue_1k_churn", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..1_000u32 {
+                // Knuth-hash the index so insertion order fights heap order.
+                q.schedule(
+                    SimTime::from_nanos(u64::from(i.wrapping_mul(2_654_435_761))),
+                    i,
+                );
+            }
+            let mut popped = 0;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            black_box(popped)
+        })
+    });
+    let spec = TransferSpec {
+        bytes: 50e6,
+        rtt_ms: 80.0,
+        policy_rate_mbps: 100.0,
+        loss: 0.002,
+        setup_rtts: 3.0,
+        parallel: 8,
+    };
+    g.bench_function("transfer_closed_form", |b| {
+        b.iter(|| black_box(ClosedFormTransport.transfer_ms(black_box(&spec))))
+    });
+    g.bench_function("transfer_engine_stepped", |b| {
+        b.iter(|| black_box(EngineSteppedTransport.transfer_ms(black_box(&spec))))
+    });
+    g.finish();
+}
+
 fn bench_stats(c: &mut Criterion) {
     let mut g = c.benchmark_group("stats");
     let mut rng = SmallRng::seed_from_u64(3);
@@ -209,6 +258,7 @@ criterion_group!(
     bench_measure,
     bench_netsim,
     bench_campaign,
+    bench_engine,
     bench_stats,
     bench_econ
 );

@@ -23,7 +23,8 @@ fn main() {
         let sim = world.attach_physical(shard.country);
         let esim = world.attach_esim(shard.country);
         for (label, ep) in [("SIM", &sim), ("eSIM", &esim)] {
-            let Some(v) = voip_probe(&mut world.net, ep, &world.internet.targets, 40) else {
+            let flow = format!("voip/{}/{label}", shard.country.alpha3());
+            let Some(v) = voip_probe(&mut world.net, ep, &world.internet.targets, 40, &flow) else {
                 continue;
             };
             println!(

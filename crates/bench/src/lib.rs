@@ -7,20 +7,20 @@
 //!
 //! Campaigns execute as **per-country shards** through
 //! [`roam_measure::parallel`]: every shard builds its own world from the
-//! master seed and draws from an RNG keyed by `campaign/country`, so the
-//! merged output is bit-identical whether shards run on one thread
-//! ([`RunMode::Sequential`]) or many ([`RunMode::Parallel`]). The plain
+//! master seed, and every measurement inside a shard runs on its own flow
+//! derived from the attachment's flow stamp and the measurement's label —
+//! never from execution order. The merged output is therefore bit-identical
+//! whether shards run on one thread ([`RunMode::Sequential`]) or many
+//! ([`RunMode::Parallel`]). The plain
 //! [`run_device`]/[`run_web`]/[`survey_all_esims`] entry points read the
 //! worker count from `ROAM_PARALLEL` (default sequential) — safe because
 //! the mode cannot change the bytes, only the wall clock.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use roam_core::EsimObservation;
 use roam_geo::{City, Country};
 use roam_measure::{
-    run_device_campaign, run_shards, run_web_measurement, shard_seed, CampaignData,
-    DeviceCampaignSpec, Endpoint, RunMode, WebRecord,
+    run_device_campaign, run_shards, run_web_measurement, CampaignData, DeviceCampaignSpec,
+    Endpoint, RunMode, WebRecord,
 };
 use roam_world::{DeviceCountrySpec, World};
 
@@ -81,9 +81,9 @@ impl DeviceCampaignRun {
 }
 
 /// Run one country's device-campaign shard: its own world built from the
-/// master seed, its own RNG derived from the stable `device/<country>`
-/// shard key — never from execution order, so shard results do not depend
-/// on which worker ran them, or when.
+/// master seed. Every measurement runs on a flow keyed by its day-chunk
+/// attachment and its plan label — never by execution order, so shard
+/// results do not depend on which worker ran them, or when.
 #[must_use]
 pub fn run_device_shard(
     seed: u64,
@@ -91,8 +91,6 @@ pub fn run_device_shard(
     spec: &DeviceCountrySpec,
 ) -> (DeviceCountryRun, CampaignData) {
     let mut world = World::build(seed);
-    let key = format!("device/{}", spec.country.alpha3());
-    let mut rng = SmallRng::seed_from_u64(shard_seed(seed, &key));
     let mut data = CampaignData::default();
     let mut esims = Vec::new();
     let chunks = spec.days.clamp(2, 6);
@@ -102,6 +100,8 @@ pub fn run_device_shard(
         // Both SIMs re-attach per day-chunk: real devices detach
         // overnight, and per-attachment draws (core depth, PGW pool
         // slot, provider alternation) must average out on both sides.
+        // Each attachment carries a fresh flow stamp, so repeated plan
+        // labels across chunks still name distinct flows.
         let sim = world.attach_physical(spec.country);
         let esim = world.attach_esim(spec.country);
         let d = run_device_campaign(
@@ -110,7 +110,6 @@ pub fn run_device_shard(
             &esim,
             &chunk_spec,
             &world.internet.targets,
-            &mut rng,
         );
         data.extend(d);
         esims.push(esim);
@@ -163,14 +162,15 @@ pub fn run_web_mode(seed: u64, mode: RunMode) -> (World, Vec<(Country, Vec<WebRe
     let out = run_shards(mode, specs.len(), |i| {
         let spec = &specs[i];
         let mut world = World::build(seed);
-        let key = format!("web/{}", spec.country.alpha3());
-        let mut rng = SmallRng::seed_from_u64(shard_seed(seed, &key));
         let ep = world.attach_esim(spec.country);
         let mut records = Vec::new();
-        for _ in 0..spec.measurements {
-            if let Some(r) =
-                run_web_measurement(&mut world.net, &ep, &world.internet.targets, &mut rng)
-            {
+        for m in 0..spec.measurements {
+            if let Some(r) = run_web_measurement(
+                &mut world.net,
+                &ep,
+                &world.internet.targets,
+                &format!("web/{m}"),
+            ) {
                 records.push(r);
             }
         }

@@ -140,6 +140,12 @@ pub struct Attachment {
     /// Number of private hops a traceroute will record (RAN + SGW +
     /// provider core).
     pub private_hops: u8,
+    /// Seed stamped on the session at attach, from which every measurement
+    /// run on this attachment derives its per-flow RNG stream (see
+    /// [`roam_netsim::engine::flow_seed`]). Keyed by session id, IMSI and
+    /// UE city, so no two attachments — across shards or within one —
+    /// share a stream.
+    pub flow_stamp: u64,
 }
 
 /// Establish a session, building its subgraph inside `net`.
@@ -283,6 +289,11 @@ pub fn attach(
     let (hdr, _) = GtpuHeader::decapsulate(&probe).expect("self-encapsulated probe");
     assert_eq!(hdr.teid, teid, "TEID must survive the tunnel");
 
+    let flow_stamp = roam_netsim::engine::flow_seed(
+        net.master_seed(),
+        &format!("flow/{label}/{}/{:?}", params.imsi, params.ue_city),
+    );
+
     Attachment {
         ue,
         ran,
@@ -299,6 +310,7 @@ pub fn attach(
         b_mno: params.b_mno,
         rat: params.rat,
         private_hops: 2 + core_hops, // RAN + SGW + provider core
+        flow_stamp,
     }
 }
 

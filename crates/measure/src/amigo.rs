@@ -26,7 +26,7 @@ use crate::dns::resolve;
 use crate::endpoint::Endpoint;
 use crate::speedtest::ookla_speedtest;
 use crate::targets::{Service, ServiceTargets};
-use crate::trace::mtr;
+use crate::trace::mtr_run;
 use crate::video::play_youtube;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -192,6 +192,8 @@ pub struct MeasurementEndpoint {
     battery_pct: f64,
     /// MEs stop measuring below this battery level.
     pub battery_floor: f64,
+    /// Jobs executed so far — names each job's measurement flow.
+    jobs_run: u64,
 }
 
 /// Battery cost per job, percent.
@@ -218,6 +220,7 @@ impl MeasurementEndpoint {
             active: SimSlot::Physical,
             battery_pct: 100.0,
             battery_floor: 15.0,
+            jobs_run: 0,
         }
     }
 
@@ -282,34 +285,41 @@ impl MeasurementEndpoint {
             arch: ep.att.arch,
             rat: ep.att.rat,
         };
+        // Each executed job is its own flow: the label carries the ME id
+        // and a monotone job counter.
+        let label = format!("amigo/{}/{}", self.id, self.jobs_run);
+        self.jobs_run += 1;
         match job {
             Instrumentation::SwitchSim(slot) => self.active = slot,
             Instrumentation::Charge => self.battery_pct = 100.0,
             Instrumentation::Speedtest => {
                 if !server.admit_speedtest(ep.att.public_ip) {
                     server.record_skip(self.id, job, SkipReason::RateLimited);
-                } else if let Some(r) = ookla_speedtest(net, &ep, targets, rng) {
+                } else if let Some(r) = ookla_speedtest(net, &ep, targets, &label) {
                     data.speedtests.push(SpeedtestRecord {
                         tag,
                         down_mbps: r.down_mbps,
                         up_mbps: r.up_mbps,
                         latency_ms: r.latency_ms,
+                        attempts: r.attempts,
                         cqi: r.cqi,
                     });
                 } else {
                     server.record_skip(self.id, job, SkipReason::NetworkFailure);
                 }
             }
-            Instrumentation::Traceroute(service) => match mtr(net, &ep, targets, service) {
-                Some(out) => data.traces.push(TraceRecord {
-                    tag,
-                    service,
-                    analysis: out.analysis,
-                }),
-                None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
-            },
+            Instrumentation::Traceroute(service) => {
+                match mtr_run(net, &ep, targets, service, self.jobs_run as u32) {
+                    Some(out) => data.traces.push(TraceRecord {
+                        tag,
+                        service,
+                        analysis: out.analysis,
+                    }),
+                    None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
+                }
+            }
             Instrumentation::CdnFetch(provider) => {
-                match fetch_jquery(net, &ep, targets, provider, CdnOptions::default(), rng) {
+                match fetch_jquery(net, &ep, targets, provider, CdnOptions::default(), &label) {
                     Some(r) => data.cdns.push(crate::campaign::CdnRecord {
                         tag,
                         provider,
@@ -320,16 +330,19 @@ impl MeasurementEndpoint {
                     None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
                 }
             }
-            Instrumentation::DnsCheck => match resolve(net, &ep, targets, "test.nextdns.io", rng) {
-                Some(r) => data.dns.push(crate::campaign::DnsRecord {
-                    tag,
-                    lookup_ms: r.lookup_ms,
-                    resolver_city: r.resolver_city,
-                    doh: r.doh,
-                }),
-                None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
-            },
-            Instrumentation::Video => match play_youtube(net, &ep, targets, rng) {
+            Instrumentation::DnsCheck => {
+                match resolve(net, &ep, targets, "test.nextdns.io", &label) {
+                    Some(r) => data.dns.push(crate::campaign::DnsRecord {
+                        tag,
+                        lookup_ms: r.lookup_ms,
+                        attempts: r.attempts,
+                        resolver_city: r.resolver_city,
+                        doh: r.doh,
+                    }),
+                    None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
+                }
+            }
+            Instrumentation::Video => match play_youtube(net, &ep, targets, &label) {
                 Some(r) => data.videos.push(crate::campaign::VideoRecord {
                     tag,
                     resolution: r.resolution,

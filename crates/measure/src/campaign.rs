@@ -11,10 +11,9 @@ use crate::dns::resolve;
 use crate::endpoint::Endpoint;
 use crate::speedtest::ookla_speedtest;
 use crate::targets::{Service, ServiceTargets};
-use crate::trace::mtr;
+use crate::trace::mtr_run;
 use crate::video::{play_youtube, Resolution};
 use crate::webtest::fastcom_test;
-use rand::rngs::SmallRng;
 use roam_cellular::{Cqi, Rat, SimType};
 use roam_core::PathAnalysis;
 use roam_geo::{City, Country};
@@ -57,6 +56,8 @@ pub struct SpeedtestRecord {
     pub up_mbps: f64,
     /// Latency to the selected server, ms.
     pub latency_ms: f64,
+    /// Echo attempts the latency phase consumed (probe loss).
+    pub attempts: u32,
     /// Channel quality during the test.
     pub cqi: Cqi,
 }
@@ -94,6 +95,8 @@ pub struct DnsRecord {
     pub tag: RecordTag,
     /// Lookup time, ms.
     pub lookup_ms: f64,
+    /// Echo attempts the resolver RTT phase consumed.
+    pub attempts: u32,
     /// Resolver city.
     pub resolver_city: City,
     /// DoH in use?
@@ -178,6 +181,126 @@ impl DeviceCampaignSpec {
 /// The traceroute targets of the device campaign.
 const MTR_TARGETS: [Service; 3] = [Service::Google, Service::Facebook, Service::YouTube];
 
+/// One planned measurement of the device campaign. The repetition index is
+/// part of the plan entry, so every measurement names its own flow and the
+/// outcome is a function of the entry alone — not of how many measurements
+/// ran before it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedMeasurement {
+    /// The `i`-th Ookla speedtest.
+    Ookla(u32),
+    /// The `i`-th `mtr` run toward a service.
+    Mtr(Service, u32),
+    /// The `i`-th fetch from a CDN provider.
+    Cdn(CdnProvider, u32),
+    /// The `i`-th DNS check.
+    Dns(u32),
+    /// The `i`-th video playback.
+    Video(u32),
+}
+
+impl DeviceCampaignSpec {
+    /// Expand the per-country counts into the ordered measurement plan for
+    /// one endpoint (`sim` selects the physical-SIM or eSIM column).
+    #[must_use]
+    pub fn plan(&self, sim: SimType) -> Vec<PlannedMeasurement> {
+        let pick = |c: (u32, u32)| match sim {
+            SimType::Physical => c.0,
+            SimType::Esim => c.1,
+        };
+        let mut plan = Vec::new();
+        for i in 0..pick(self.ookla) {
+            plan.push(PlannedMeasurement::Ookla(i));
+        }
+        for service in MTR_TARGETS {
+            for i in 0..pick(self.mtr_per_target) {
+                plan.push(PlannedMeasurement::Mtr(service, i));
+            }
+        }
+        for provider in CdnProvider::ALL {
+            for i in 0..pick(self.cdn_per_provider) {
+                plan.push(PlannedMeasurement::Cdn(provider, i));
+            }
+        }
+        for i in 0..pick(self.dns) {
+            plan.push(PlannedMeasurement::Dns(i));
+        }
+        for i in 0..pick(self.video) {
+            plan.push(PlannedMeasurement::Video(i));
+        }
+        plan
+    }
+}
+
+/// Execute one planned measurement on `ep`, appending any record it
+/// produces to `data`. Each entry runs on its own flow, so a plan may be
+/// executed in any order — the records come out the same.
+pub fn run_measurement(
+    net: &mut Network,
+    ep: &Endpoint,
+    targets: &ServiceTargets,
+    m: PlannedMeasurement,
+    data: &mut CampaignData,
+) {
+    let tag = RecordTag::of(ep);
+    match m {
+        PlannedMeasurement::Ookla(i) => {
+            if let Some(r) = ookla_speedtest(net, ep, targets, &format!("ookla/{i}")) {
+                data.speedtests.push(SpeedtestRecord {
+                    tag,
+                    down_mbps: r.down_mbps,
+                    up_mbps: r.up_mbps,
+                    latency_ms: r.latency_ms,
+                    attempts: r.attempts,
+                    cqi: r.cqi,
+                });
+            }
+        }
+        PlannedMeasurement::Mtr(service, run) => {
+            if let Some(out) = mtr_run(net, ep, targets, service, run) {
+                data.traces.push(TraceRecord {
+                    tag,
+                    service,
+                    analysis: out.analysis,
+                });
+            }
+        }
+        PlannedMeasurement::Cdn(provider, i) => {
+            let label = format!("cdn/{provider:?}/{i}");
+            if let Some(r) = fetch_jquery(net, ep, targets, provider, CdnOptions::default(), &label)
+            {
+                data.cdns.push(CdnRecord {
+                    tag,
+                    provider,
+                    total_ms: r.total_ms,
+                    dns_ms: r.dns_ms,
+                    cache_hit: r.cache_hit,
+                });
+            }
+        }
+        PlannedMeasurement::Dns(i) => {
+            if let Some(r) = resolve(net, ep, targets, "test.nextdns.io", &format!("dns/{i}")) {
+                data.dns.push(DnsRecord {
+                    tag,
+                    lookup_ms: r.lookup_ms,
+                    attempts: r.attempts,
+                    resolver_city: r.resolver_city,
+                    doh: r.doh,
+                });
+            }
+        }
+        PlannedMeasurement::Video(i) => {
+            if let Some(r) = play_youtube(net, ep, targets, &format!("video/{i}")) {
+                data.videos.push(VideoRecord {
+                    tag,
+                    resolution: r.resolution,
+                    rebuffered: r.rebuffered,
+                });
+            }
+        }
+    }
+}
+
 /// Run the full device campaign for one country: the given counts on the
 /// physical-SIM endpoint and on the eSIM endpoint, alternating as the real
 /// testbed did.
@@ -187,90 +310,14 @@ pub fn run_device_campaign(
     esim: &Endpoint,
     spec: &DeviceCampaignSpec,
     targets: &ServiceTargets,
-    rng: &mut SmallRng,
 ) -> CampaignData {
     let mut data = CampaignData::default();
-    let endpoints = [(sim, spec_counts_sim(spec)), (esim, spec_counts_esim(spec))];
-    for (ep, counts) in endpoints {
-        let tag = RecordTag::of(ep);
-        for _ in 0..counts.0 {
-            if let Some(r) = ookla_speedtest(net, ep, targets, rng) {
-                data.speedtests.push(SpeedtestRecord {
-                    tag,
-                    down_mbps: r.down_mbps,
-                    up_mbps: r.up_mbps,
-                    latency_ms: r.latency_ms,
-                    cqi: r.cqi,
-                });
-            }
-        }
-        for service in MTR_TARGETS {
-            for _ in 0..counts.1 {
-                if let Some(out) = mtr(net, ep, targets, service) {
-                    data.traces.push(TraceRecord {
-                        tag,
-                        service,
-                        analysis: out.analysis,
-                    });
-                }
-            }
-        }
-        for provider in CdnProvider::ALL {
-            for _ in 0..counts.2 {
-                if let Some(r) =
-                    fetch_jquery(net, ep, targets, provider, CdnOptions::default(), rng)
-                {
-                    data.cdns.push(CdnRecord {
-                        tag,
-                        provider,
-                        total_ms: r.total_ms,
-                        dns_ms: r.dns_ms,
-                        cache_hit: r.cache_hit,
-                    });
-                }
-            }
-        }
-        for _ in 0..counts.3 {
-            if let Some(r) = resolve(net, ep, targets, "test.nextdns.io", rng) {
-                data.dns.push(DnsRecord {
-                    tag,
-                    lookup_ms: r.lookup_ms,
-                    resolver_city: r.resolver_city,
-                    doh: r.doh,
-                });
-            }
-        }
-        for _ in 0..counts.4 {
-            if let Some(r) = play_youtube(net, ep, targets, rng) {
-                data.videos.push(VideoRecord {
-                    tag,
-                    resolution: r.resolution,
-                    rebuffered: r.rebuffered,
-                });
-            }
+    for ep in [sim, esim] {
+        for m in spec.plan(ep.sim_type) {
+            run_measurement(net, ep, targets, m, &mut data);
         }
     }
     data
-}
-
-fn spec_counts_sim(s: &DeviceCampaignSpec) -> (u32, u32, u32, u32, u32) {
-    (
-        s.ookla.0,
-        s.mtr_per_target.0,
-        s.cdn_per_provider.0,
-        s.dns.0,
-        s.video.0,
-    )
-}
-
-fn spec_counts_esim(s: &DeviceCampaignSpec) -> (u32, u32, u32, u32, u32) {
-    (
-        s.ookla.1,
-        s.mtr_per_target.1,
-        s.cdn_per_provider.1,
-        s.dns.1,
-        s.video.1,
-    )
 }
 
 /// One completed web-campaign measurement: "the volunteer uploading their
@@ -290,15 +337,16 @@ pub struct WebRecord {
     pub resolver_city: City,
 }
 
-/// Run one web-campaign measurement on an (eSIM) endpoint.
+/// Run one web-campaign measurement on an (eSIM) endpoint as the flow
+/// family named by `label`.
 pub fn run_web_measurement(
     net: &mut Network,
     ep: &Endpoint,
     targets: &ServiceTargets,
-    rng: &mut SmallRng,
+    label: &str,
 ) -> Option<WebRecord> {
-    let dns = resolve(net, ep, targets, "test.nextdns.io", rng)?;
-    let fast = fastcom_test(net, ep, targets, rng)?;
+    let dns = resolve(net, ep, targets, "test.nextdns.io", &format!("{label}/dns"))?;
+    let fast = fastcom_test(net, ep, targets, label)?;
     Some(WebRecord {
         country: ep.country,
         down_mbps: fast.down_mbps,

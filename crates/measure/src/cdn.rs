@@ -9,10 +9,9 @@
 use crate::dns::resolve;
 use crate::endpoint::Endpoint;
 use crate::targets::{Service, ServiceTargets};
-use rand::rngs::SmallRng;
 use rand::Rng;
 use roam_geo::City;
-use roam_netsim::throughput::{transfer_time_ms, TransferSpec};
+use roam_netsim::throughput::TransferSpec;
 use roam_netsim::Network;
 
 /// Compressed transfer size of jquery.min.js v3.6.0 (~30 kB gzipped).
@@ -102,32 +101,41 @@ impl Default for CdnOptions {
     }
 }
 
-/// Fetch jquery.min.js from `provider`. `None` when DNS fails or no edge is
-/// reachable.
+/// Fetch jquery.min.js from `provider` as the flow named by `label` (the
+/// DNS lookup runs as its own `{label}/dns` sub-flow). `None` when DNS
+/// fails or no edge is reachable.
 pub fn fetch_jquery(
     net: &mut Network,
     endpoint: &Endpoint,
     targets: &ServiceTargets,
     provider: CdnProvider,
     opts: CdnOptions,
-    rng: &mut SmallRng,
+    label: &str,
 ) -> Option<CdnResult> {
-    let dns = resolve(net, endpoint, targets, provider.hostname(), rng)?;
+    let dns = resolve(
+        net,
+        endpoint,
+        targets,
+        provider.hostname(),
+        &format!("{label}/dns"),
+    )?;
     let edge = targets.nearest(net, Service::Cdn(provider), endpoint.att.breakout_city)?;
-    let rtt = net.rtt_ms(endpoint.att.ue, edge)?;
-    let cqi = endpoint.channel.sample(rng);
+
+    let mut probe = endpoint.probe(net, label);
+    let rtt = probe.rtt(edge)?;
+    let cqi = endpoint.channel.sample(probe.rng());
 
     let mut total = dns.lookup_ms
-        + transfer_time_ms(&TransferSpec {
+        + probe.transfer_ms(&TransferSpec {
             bytes: JQUERY_BYTES,
-            rtt_ms: rtt,
+            rtt_ms: rtt.rtt_ms,
             policy_rate_mbps: endpoint.effective_down_mbps(cqi),
             loss: endpoint.loss,
             setup_rtts: 3.0, // TCP + TLS
             parallel: 1,     // curl fetches one object on one connection
         });
 
-    let cache_hit = !rng.gen_bool(opts.miss_rate.clamp(0.0, 1.0));
+    let cache_hit = !probe.rng().gen_bool(opts.miss_rate.clamp(0.0, 1.0));
     if !cache_hit {
         // Edge→origin fetch before the first byte reaches the client.
         if let Some(origin) = targets.origin(provider) {
@@ -153,7 +161,6 @@ pub fn fetch_jquery(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use roam_cellular::{ChannelSampler, MnoId, Rat, SimType};
     use roam_geo::Country;
     use roam_ipx::{Attachment, DnsMode, PgwProviderId, RoamingArch};
@@ -235,6 +242,7 @@ mod tests {
                 b_mno: MnoId(1),
                 rat: Rat::Lte,
                 private_hops: 8,
+                flow_stamp: 0xCD4,
             },
             sim_type: SimType::Esim,
             country: Country::PAK,
@@ -253,7 +261,6 @@ mod tests {
 
     #[test]
     fn long_tunnel_multiplies_download_time() {
-        let mut rng = SmallRng::seed_from_u64(1);
         let opts = CdnOptions { miss_rate: 0.0 };
         let (mut fast_net, fast_ep, t1) = world(10.0);
         let (mut slow_net, slow_ep, t2) = world(180.0);
@@ -263,7 +270,7 @@ mod tests {
             &t1,
             CdnProvider::Cloudflare,
             opts,
-            &mut rng,
+            "cdn/0",
         )
         .unwrap();
         let slow = fetch_jquery(
@@ -272,7 +279,7 @@ mod tests {
             &t2,
             CdnProvider::Cloudflare,
             opts,
-            &mut rng,
+            "cdn/0",
         )
         .unwrap();
         let ratio = slow.total_ms / fast.total_ms;
@@ -286,18 +293,17 @@ mod tests {
 
     #[test]
     fn misses_cost_more_than_hits() {
-        let mut rng = SmallRng::seed_from_u64(2);
         let (mut net, ep, targets) = world(10.0);
         let mut hit_times = vec![];
         let mut miss_times = vec![];
-        for _ in 0..300 {
+        for i in 0..300 {
             let r = fetch_jquery(
                 &mut net,
                 &ep,
                 &targets,
                 CdnProvider::Cloudflare,
                 CdnOptions { miss_rate: 0.3 },
-                &mut rng,
+                &format!("cdn/{i}"),
             )
             .unwrap();
             if r.cache_hit {
@@ -318,7 +324,6 @@ mod tests {
 
     #[test]
     fn dns_time_is_part_of_total() {
-        let mut rng = SmallRng::seed_from_u64(3);
         let (mut net, ep, targets) = world(10.0);
         let r = fetch_jquery(
             &mut net,
@@ -326,7 +331,7 @@ mod tests {
             &targets,
             CdnProvider::Cloudflare,
             CdnOptions { miss_rate: 0.0 },
-            &mut rng,
+            "cdn/0",
         )
         .unwrap();
         assert!(r.dns_ms > 0.0 && r.dns_ms < r.total_ms);
@@ -344,7 +349,6 @@ mod tests {
 
     #[test]
     fn unreachable_cdn_returns_none() {
-        let mut rng = SmallRng::seed_from_u64(4);
         let (mut net, ep, targets) = world(10.0);
         assert!(fetch_jquery(
             &mut net,
@@ -352,7 +356,7 @@ mod tests {
             &targets,
             CdnProvider::JsDelivr,
             CdnOptions::default(),
-            &mut rng
+            "cdn/0"
         )
         .is_none());
     }

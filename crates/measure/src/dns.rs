@@ -28,6 +28,8 @@ use std::net::Ipv4Addr;
 pub struct DnsResult {
     /// Total lookup time, ms.
     pub lookup_ms: f64,
+    /// Echo attempts the resolver RTT phase consumed.
+    pub attempts: u32,
     /// The resolver that answered.
     pub resolver: NodeId,
     /// Resolver's (unicast) address — what the NextDNS trick uncovers.
@@ -70,19 +72,26 @@ pub fn select_resolver(
     }
 }
 
-/// Resolve `qname` from the endpoint, returning timing and resolver
-/// identity. `None` when no resolver is reachable.
+/// Resolve `qname` from the endpoint as the flow named by `label`,
+/// returning timing and resolver identity. `None` when no resolver is
+/// reachable.
 pub fn resolve(
     net: &mut Network,
     endpoint: &Endpoint,
     targets: &ServiceTargets,
     qname: &str,
-    rng: &mut SmallRng,
+    label: &str,
 ) -> Option<DnsResult> {
-    let resolver = select_resolver(net, endpoint, targets, rng)?;
-    let rtt = net.rtt_ms(endpoint.att.ue, resolver)?;
+    let mut probe = endpoint.probe(net, label);
+    let resolver = {
+        let (net_ref, flow) = probe.parts();
+        select_resolver(net_ref, endpoint, targets, flow.rng())?
+    };
+    let sample = probe.rtt(resolver)?;
+    let rtt = sample.rtt_ms;
 
     // Encode the query and the response through the real codec.
+    let rng = probe.rng();
     let query = DnsMessage::query(rng.gen(), qname);
     let wire = query.encode();
     let parsed = DnsMessage::decode(&wire).expect("self-encoded query");
@@ -108,11 +117,13 @@ pub fn resolve(
     // Only two fields of the node are needed — copy them instead of
     // cloning the whole node (its name is a heap String) per lookup.
     let (resolver_ip, resolver_city) = {
-        let n = net.node(resolver);
+        let (net_ref, _) = probe.parts();
+        let n = net_ref.node(resolver);
         (n.ip, n.city)
     };
     Some(DnsResult {
         lookup_ms: rtt + server_ms + doh_ms,
+        attempts: sample.attempts,
         resolver,
         resolver_ip,
         resolver_city,
@@ -124,7 +135,6 @@ pub fn resolve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use roam_cellular::{ChannelSampler, MnoId, Rat, SimType};
     use roam_geo::Country;
     use roam_ipx::{Attachment, PgwProviderId, RoamingArch};
@@ -213,6 +223,7 @@ mod tests {
                 b_mno: MnoId(1),
                 rat: Rat::Lte,
                 private_hops: 3,
+                flow_stamp: 0xD45,
             },
             sim_type: SimType::Esim,
             country: Country::DEU,
@@ -229,11 +240,10 @@ mod tests {
     #[test]
     fn ihbo_uses_google_resolver_near_pgw() {
         let (mut net, ep, targets) = world(DnsMode::GooglePublic { doh: false });
-        let mut rng = SmallRng::seed_from_u64(1);
         let mut ams = 0;
         let mut sgp = 0;
-        for _ in 0..200 {
-            let r = resolve(&mut net, &ep, &targets, "google.com", &mut rng).unwrap();
+        for i in 0..200 {
+            let r = resolve(&mut net, &ep, &targets, "google.com", &format!("d/{i}")).unwrap();
             match r.resolver_city {
                 City::Amsterdam => ams += 1,
                 City::Singapore => sgp += 1,
@@ -247,27 +257,26 @@ mod tests {
     #[test]
     fn operator_mode_uses_bmno_resolver() {
         let (mut net, ep, targets) = world(DnsMode::OperatorResolver);
-        let mut rng = SmallRng::seed_from_u64(1);
-        let r = resolve(&mut net, &ep, &targets, "google.com", &mut rng).unwrap();
+        let r = resolve(&mut net, &ep, &targets, "google.com", "d/0").unwrap();
         assert_eq!(r.resolver_ip, "165.21.83.88".parse::<Ipv4Addr>().unwrap());
         assert!(!r.doh, "operator resolvers do not speak DoH");
+        assert_eq!(r.attempts, 1, "lossless resolver path needs one echo");
     }
 
     #[test]
     fn doh_costs_extra_round_trips() {
         let (mut net, ep_doh, targets) = world(DnsMode::GooglePublic { doh: true });
-        let mut rng = SmallRng::seed_from_u64(2);
         let mut doh_times = vec![];
         let mut plain_times = vec![];
-        for _ in 0..50 {
-            let r = resolve(&mut net, &ep_doh, &targets, "x.com", &mut rng).unwrap();
+        for i in 0..50 {
+            let r = resolve(&mut net, &ep_doh, &targets, "x.com", &format!("doh/{i}")).unwrap();
             if r.resolver_city == City::Amsterdam {
                 doh_times.push(r.lookup_ms);
             }
         }
         let (mut net2, ep_plain, targets2) = world(DnsMode::GooglePublic { doh: false });
-        for _ in 0..50 {
-            let r = resolve(&mut net2, &ep_plain, &targets2, "x.com", &mut rng).unwrap();
+        for i in 0..50 {
+            let r = resolve(&mut net2, &ep_plain, &targets2, "x.com", &format!("p/{i}")).unwrap();
             if r.resolver_city == City::Amsterdam {
                 plain_times.push(r.lookup_ms);
             }
@@ -286,8 +295,7 @@ mod tests {
     #[test]
     fn answers_survive_the_wire_codec() {
         let (mut net, ep, targets) = world(DnsMode::GooglePublic { doh: false });
-        let mut rng = SmallRng::seed_from_u64(3);
-        let r = resolve(&mut net, &ep, &targets, "cdn.example.org", &mut rng).unwrap();
+        let r = resolve(&mut net, &ep, &targets, "cdn.example.org", "d/0").unwrap();
         assert_eq!(r.answers.len(), 1);
     }
 
@@ -295,7 +303,6 @@ mod tests {
     fn missing_resolver_returns_none() {
         let (mut net, ep, _) = world(DnsMode::OperatorResolver);
         let empty = ServiceTargets::new();
-        let mut rng = SmallRng::seed_from_u64(4);
-        assert!(resolve(&mut net, &ep, &empty, "x.com", &mut rng).is_none());
+        assert!(resolve(&mut net, &ep, &empty, "x.com", "d/0").is_none());
     }
 }

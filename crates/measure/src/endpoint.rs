@@ -1,9 +1,14 @@
-//! A measurement endpoint: an attached SIM/eSIM plus its policy context.
+//! A measurement endpoint: an attached SIM/eSIM plus its policy context,
+//! and the probe API every measurement client opens its flows through.
 
+use rand::rngs::SmallRng;
 use roam_cellular::{phy_rate_mbps, ChannelSampler, Cqi, Rat, SimType};
 use roam_geo::Country;
 use roam_ipx::Attachment;
-use roam_netsim::Network;
+use roam_netsim::engine::{flow_seed, Flow, FlowId, Transport, TransportKind};
+use roam_netsim::{
+    Network, NodeId, PingResult, RttSample, Traceroute, TracerouteOpts, TransferSpec,
+};
 
 /// Everything a measurement client needs to know about the device it runs
 /// on: the attachment (node handles, breakout, DNS mode) and the resolved
@@ -52,10 +57,77 @@ impl Endpoint {
         self.att.rat
     }
 
-    /// Base RTT from the device to a node, ms (measured by ping with
-    /// retries).
-    pub fn rtt_to(&self, net: &mut Network, dst: roam_netsim::NodeId) -> Option<f64> {
-        net.rtt_ms(self.att.ue, dst)
+    /// Open a measurement flow on this endpoint. `label` names the
+    /// measurement (`"ookla/0"`, `"cdn/Cloudflare/2"`…); together with the
+    /// attachment's flow stamp it determines the flow's entire RNG stream,
+    /// so the probe's results do not depend on what ran before it.
+    pub fn probe<'n>(&self, net: &'n mut Network, label: &str) -> Probe<'n> {
+        Probe {
+            ue: self.att.ue,
+            flow: Flow::open(flow_seed(self.att.flow_stamp, label)),
+            transport: TransportKind::from_env().transport(),
+            net,
+        }
+    }
+}
+
+/// One measurement flow in flight: the endpoint's UE, a private RNG
+/// stream, and the transport that times bulk transfers. All network I/O a
+/// client performs — pings, traceroutes, transfers, server think-time
+/// draws — goes through here; clients never touch the network's shared
+/// RNG or the throughput formulas directly.
+pub struct Probe<'n> {
+    net: &'n mut Network,
+    ue: NodeId,
+    flow: Flow,
+    transport: &'static dyn Transport,
+}
+
+impl Probe<'_> {
+    /// The flow's identity (its derived seed).
+    #[must_use]
+    pub fn flow_id(&self) -> FlowId {
+        self.flow.id()
+    }
+
+    /// RTT to `dst` with retries, reporting the echo attempts consumed.
+    pub fn rtt(&mut self, dst: NodeId) -> Option<RttSample> {
+        self.net.rtt_probe(self.ue, dst, &mut self.flow)
+    }
+
+    /// A single echo exchange with `dst`.
+    pub fn ping(&mut self, dst: NodeId) -> Option<PingResult> {
+        self.net.ping_flow(self.ue, dst, &mut self.flow)
+    }
+
+    /// TTL-walk toward `dst`.
+    pub fn traceroute(&mut self, dst: NodeId, opts: TracerouteOpts) -> Traceroute {
+        self.net.traceroute_flow(self.ue, dst, opts, &mut self.flow)
+    }
+
+    /// Completion time of a bulk transfer under the selected transport, ms.
+    #[must_use]
+    pub fn transfer_ms(&self, spec: &TransferSpec) -> f64 {
+        self.transport.transfer_ms(spec)
+    }
+
+    /// Goodput of a bulk transfer under the selected transport, Mbps.
+    #[must_use]
+    pub fn goodput_mbps(&self, spec: &TransferSpec) -> f64 {
+        self.transport.goodput_mbps(spec)
+    }
+
+    /// The flow's private RNG, for application-level draws (server think
+    /// time, cache luck, channel quality).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.flow.rng()
+    }
+
+    /// Split borrow: the network and the flow at once, for clients that
+    /// need both (e.g. resolver selection reads topology while drawing
+    /// from the flow's stream).
+    pub fn parts(&mut self) -> (&mut Network, &mut Flow) {
+        (&mut *self.net, &mut self.flow)
     }
 }
 
@@ -83,6 +155,7 @@ mod tests {
                 b_mno: roam_cellular::MnoId(1),
                 rat,
                 private_hops: 8,
+                flow_stamp: 0x00A1_1A10,
             },
             sim_type: SimType::Esim,
             country: Country::DEU,

@@ -8,6 +8,7 @@
 //! single free-text column (city names) is quoted defensively.
 
 use crate::campaign::{CampaignData, RecordTag};
+use crate::voip::VoipResult;
 use std::fmt::{self, Display, Write as _};
 
 /// A CSV field, quoted on the fly only when it needs to be — no per-row
@@ -46,6 +47,22 @@ impl<T: Display> Display for Opt<T> {
     }
 }
 
+/// A float field that must stay machine-readable: finite values forward
+/// the caller's format spec; `inf`/`NaN` (e.g. a dead-path VoIP probe's
+/// RTT) become the empty field instead of a literal `inf` that chokes
+/// downstream parsers.
+struct Fin(f64);
+
+impl Display for Fin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_finite() {
+            self.0.fmt(f)
+        } else {
+            Ok(())
+        }
+    }
+}
+
 /// The shared `country,sim,arch,rat` prefix, written straight into the
 /// output buffer.
 struct TagCols<'a>(&'a RecordTag);
@@ -66,18 +83,20 @@ impl Display for TagCols<'_> {
     }
 }
 
-/// Speedtests: `country,sim,arch,rat,down_mbps,up_mbps,latency_ms,cqi`.
+/// Speedtests:
+/// `country,sim,arch,rat,down_mbps,up_mbps,latency_ms,attempts,cqi`.
 #[must_use]
 pub fn speedtests_csv(data: &CampaignData) -> String {
-    let mut out = String::from("country,sim,arch,rat,down_mbps,up_mbps,latency_ms,cqi\n");
+    let mut out = String::from("country,sim,arch,rat,down_mbps,up_mbps,latency_ms,attempts,cqi\n");
     for r in &data.speedtests {
         let _ = writeln!(
             out,
-            "{},{:.3},{:.3},{:.3},{}",
+            "{},{:.3},{:.3},{:.3},{},{}",
             TagCols(&r.tag),
-            r.down_mbps,
-            r.up_mbps,
-            r.latency_ms,
+            Fin(r.down_mbps),
+            Fin(r.up_mbps),
+            Fin(r.latency_ms),
+            r.attempts,
             r.cqi.value()
         );
     }
@@ -131,16 +150,17 @@ pub fn cdn_csv(data: &CampaignData) -> String {
     out
 }
 
-/// DNS lookups: `country,sim,arch,rat,lookup_ms,resolver_city,doh`.
+/// DNS lookups: `country,sim,arch,rat,lookup_ms,attempts,resolver_city,doh`.
 #[must_use]
 pub fn dns_csv(data: &CampaignData) -> String {
-    let mut out = String::from("country,sim,arch,rat,lookup_ms,resolver_city,doh\n");
+    let mut out = String::from("country,sim,arch,rat,lookup_ms,attempts,resolver_city,doh\n");
     for r in &data.dns {
         let _ = writeln!(
             out,
-            "{},{:.3},{},{}",
+            "{},{:.3},{},{},{}",
             TagCols(&r.tag),
-            r.lookup_ms,
+            Fin(r.lookup_ms),
+            r.attempts,
             Csv(r.resolver_city.name()),
             r.doh
         );
@@ -154,6 +174,37 @@ pub fn videos_csv(data: &CampaignData) -> String {
     let mut out = String::from("country,sim,arch,rat,resolution,rebuffered\n");
     for r in &data.videos {
         let _ = writeln!(out, "{},{},{}", TagCols(&r.tag), r.resolution, r.rebuffered);
+    }
+    out
+}
+
+/// One scored VoIP probe burst with its context tag.
+#[derive(Debug, Clone, Copy)]
+pub struct VoipRecord {
+    /// Context.
+    pub tag: RecordTag,
+    /// The burst's transport metrics and E-model score.
+    pub result: VoipResult,
+}
+
+/// VoIP probes: `country,sim,arch,rat,rtt_ms,jitter_ms,loss,r_factor,mos`.
+/// Dead-path bursts report `rtt_ms = jitter_ms = ∞`; those fields are
+/// emitted empty so the table stays parseable.
+#[must_use]
+pub fn voip_csv(records: &[VoipRecord]) -> String {
+    let mut out = String::from("country,sim,arch,rat,rtt_ms,jitter_ms,loss,r_factor,mos\n");
+    for r in records {
+        let v = &r.result;
+        let _ = writeln!(
+            out,
+            "{},{:.3},{:.3},{:.4},{:.2},{:.2}",
+            TagCols(&r.tag),
+            Fin(v.rtt_ms),
+            Fin(v.jitter_ms),
+            Fin(v.loss),
+            Fin(v.r_factor),
+            Fin(v.mos)
+        );
     }
     out
 }
@@ -186,6 +237,7 @@ mod tests {
             down_mbps: 6.25,
             up_mbps: 1.5,
             latency_ms: 361.2,
+            attempts: 2,
             cqi: Cqi::new(11),
         });
         d.traces.push(TraceRecord {
@@ -214,6 +266,7 @@ mod tests {
         d.dns.push(crate::campaign::DnsRecord {
             tag: tag(),
             lookup_ms: 391.5,
+            attempts: 1,
             resolver_city: City::Singapore,
             doh: false,
         });
@@ -266,6 +319,50 @@ mod tests {
         assert_eq!(format!("{:.3}", Opt(Some(355.1))), "355.100");
         assert_eq!(format!("{:.3}", Opt::<f64>(None)), "");
         assert_eq!(format!("{}", Opt(Some(42))), "42");
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_empty_fields() {
+        // Regression: a dead-path VoIP burst reports rtt = jitter = ∞; the
+        // CSV must emit empty fields, not "inf".
+        let rec = VoipRecord {
+            tag: tag(),
+            result: crate::voip::VoipResult {
+                rtt_ms: f64::INFINITY,
+                jitter_ms: f64::INFINITY,
+                loss: 1.0,
+                r_factor: 0.0,
+                mos: 1.0,
+            },
+        };
+        let csv = voip_csv(&[rec]);
+        assert!(!csv.contains("inf"), "non-finite leaked: {csv}");
+        let row = csv.lines().nth(1).unwrap();
+        assert_eq!(row, "PAK,esim,HR,4G,,,1.0000,0.00,1.00");
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        assert_eq!(row.split(',').count(), header_cols);
+        // NaN is swallowed the same way.
+        assert_eq!(format!("{:.3}", Fin(f64::NAN)), "");
+        assert_eq!(format!("{:.3}", Fin(1.5)), "1.500");
+    }
+
+    #[test]
+    fn voip_rows_with_finite_metrics_are_fully_populated() {
+        let (r_factor, mos) = crate::voip::e_model(80.0, 3.0, 0.01);
+        let rec = VoipRecord {
+            tag: tag(),
+            result: crate::voip::VoipResult {
+                rtt_ms: 80.0,
+                jitter_ms: 3.0,
+                loss: 0.01,
+                r_factor,
+                mos,
+            },
+        };
+        let csv = voip_csv(&[rec]);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.contains("80.000") && row.contains("3.000"));
+        assert!(!row.contains(",,"), "no empty fields expected: {row}");
     }
 
     #[test]

@@ -39,18 +39,19 @@ pub use amigo::{
     ControlServer, DeviceVitals, Instrumentation, MeasurementEndpoint, SimSlot, SkipReason,
 };
 pub use campaign::{
-    run_device_campaign, run_web_measurement, CampaignData, CdnRecord, DeviceCampaignSpec,
-    DnsRecord, SpeedtestRecord, TraceRecord, VideoRecord, WebRecord,
+    run_device_campaign, run_measurement, run_web_measurement, CampaignData, CdnRecord,
+    DeviceCampaignSpec, DnsRecord, PlannedMeasurement, SpeedtestRecord, TraceRecord, VideoRecord,
+    WebRecord,
 };
 pub use cdn::{fetch_jquery, CdnProvider, CdnResult};
 pub use dns::{resolve, DnsResult};
-pub use endpoint::Endpoint;
-pub use export::{cdn_csv, dns_csv, speedtests_csv, traces_csv, videos_csv};
+pub use endpoint::{Endpoint, Probe};
+pub use export::{cdn_csv, dns_csv, speedtests_csv, traces_csv, videos_csv, voip_csv, VoipRecord};
 pub use parallel::{run_shards, shard_seed, RunMode};
 pub use speedtest::{ookla_speedtest, SpeedtestResult};
 pub use suite::{measurement_suite, MeasurementKind};
 pub use targets::{Service, ServiceTargets};
-pub use trace::{mtr, TraceOutcome};
+pub use trace::{mtr, mtr_run, TraceOutcome};
 pub use video::{play_youtube, Resolution, VideoResult};
 pub use voip::{e_model, voip_probe, VoipResult};
 pub use webtest::{fastcom_test, WebTestResult};

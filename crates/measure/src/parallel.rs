@@ -64,19 +64,13 @@ impl RunMode {
 ///
 /// The key names *what* the shard measures (`"device/PAK"`,
 /// `"web/DEU"`…), so adding, removing or reordering shards never changes
-/// another shard's stream. FNV-1a absorbs the key and the master seed;
-/// a SplitMix64 finalizer scrambles the result so related keys (and
-/// low-entropy master seeds) land far apart in seed space.
+/// another shard's stream. Shard seeds and per-measurement flow seeds are
+/// the same derivation — [`roam_netsim::engine::flow_seed`] — applied at
+/// different granularities, so the whole campaign hangs off one master
+/// seed through stable string keys.
 #[must_use]
 pub fn shard_seed(master: u64, key: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
-    for &b in key.as_bytes().iter().chain(&master.to_le_bytes()) {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
-    }
-    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    roam_netsim::engine::flow_seed(master, key)
 }
 
 /// Run `count` independent shards and return their results in shard order.

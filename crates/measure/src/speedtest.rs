@@ -4,14 +4,14 @@
 //! geolocation** — for roaming eSIMs that is the breakout site, which is why
 //! Fig. 11(c) is titled "latency to the nearest Ookla Speedtest server from
 //! the PGW". Throughput is the policy/PHY-capped TCP transfer of the
-//! simulator's throughput model; latency is a real ping.
+//! selected [`roam_netsim::engine::Transport`]; latency is a real ping on
+//! the measurement's own flow.
 
 use crate::endpoint::Endpoint;
 use crate::targets::{Service, ServiceTargets};
-use rand::rngs::SmallRng;
 use roam_cellular::{Cqi, Rat};
 use roam_geo::City;
-use roam_netsim::throughput::{goodput_mbps, TransferSpec};
+use roam_netsim::throughput::TransferSpec;
 use roam_netsim::Network;
 
 /// Bytes moved by the downlink phase (Ookla-scale bulk transfer).
@@ -28,6 +28,8 @@ pub struct SpeedtestResult {
     pub up_mbps: f64,
     /// Latency to the selected server, ms.
     pub latency_ms: f64,
+    /// Echo attempts the latency phase consumed (probe loss shows up here).
+    pub attempts: u32,
     /// Where the selected server sits.
     pub server_city: City,
     /// Channel quality during the test (the CQI the paper filters on).
@@ -36,29 +38,31 @@ pub struct SpeedtestResult {
     pub rat: Rat,
 }
 
-/// Run a speedtest. `None` when no server is reachable.
+/// Run a speedtest as the flow named by `label`. `None` when no server is
+/// reachable.
 pub fn ookla_speedtest(
     net: &mut Network,
     endpoint: &Endpoint,
     targets: &ServiceTargets,
-    rng: &mut SmallRng,
+    label: &str,
 ) -> Option<SpeedtestResult> {
     // Server selection by public-IP geolocation = breakout city.
     let server = targets.nearest(net, Service::Ookla, endpoint.att.breakout_city)?;
-    let latency_ms = net.rtt_ms(endpoint.att.ue, server)?;
-    let cqi = endpoint.channel.sample(rng);
+    let mut probe = endpoint.probe(net, label);
+    let latency = probe.rtt(server)?;
+    let cqi = endpoint.channel.sample(probe.rng());
 
-    let down = goodput_mbps(&TransferSpec {
+    let down = probe.goodput_mbps(&TransferSpec {
         bytes: DOWN_BYTES,
-        rtt_ms: latency_ms,
+        rtt_ms: latency.rtt_ms,
         policy_rate_mbps: endpoint.effective_down_mbps(cqi),
         loss: endpoint.loss,
         setup_rtts: 1.0, // one TCP handshake; the tool reuses it for the test
         parallel: 8,     // Ookla's multi-connection measurement
     });
-    let up = goodput_mbps(&TransferSpec {
+    let up = probe.goodput_mbps(&TransferSpec {
         bytes: UP_BYTES,
-        rtt_ms: latency_ms,
+        rtt_ms: latency.rtt_ms,
         policy_rate_mbps: endpoint.effective_up_mbps(cqi),
         loss: endpoint.loss,
         setup_rtts: 1.0,
@@ -68,7 +72,8 @@ pub fn ookla_speedtest(
     Some(SpeedtestResult {
         down_mbps: down,
         up_mbps: up,
-        latency_ms,
+        latency_ms: latency.rtt_ms,
+        attempts: latency.attempts,
         server_city: net.node(server).city,
         cqi,
         rat: endpoint.rat(),
@@ -78,7 +83,6 @@ pub fn ookla_speedtest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use roam_cellular::{ChannelSampler, MnoId, SimType};
     use roam_geo::Country;
     use roam_ipx::{Attachment, DnsMode, PgwProviderId, RoamingArch};
@@ -152,6 +156,7 @@ mod tests {
                 b_mno: MnoId(1),
                 rat: Rat::Lte,
                 private_hops: 8,
+                flow_stamp: 0x5EED,
             },
             sim_type: SimType::Esim,
             country: Country::PAK,
@@ -171,23 +176,22 @@ mod tests {
     #[test]
     fn server_selected_near_breakout_not_user() {
         let (mut net, ep, targets) = world(150.0, 10.0);
-        let mut rng = SmallRng::seed_from_u64(1);
-        let r = ookla_speedtest(&mut net, &ep, &targets, &mut rng).unwrap();
+        let r = ookla_speedtest(&mut net, &ep, &targets, "t/0").unwrap();
         assert_eq!(
             r.server_city,
             City::Singapore,
             "HR eSIM must test against a server near the PGW"
         );
         assert!(r.latency_ms > 290.0, "tunnel dominates: {}", r.latency_ms);
+        assert_eq!(r.attempts, 1, "lossless path needs one echo");
     }
 
     #[test]
     fn long_tunnel_degrades_goodput_at_same_policy() {
-        let mut rng = SmallRng::seed_from_u64(2);
         let (mut short_net, short_ep, t1) = world(10.0, 20.0);
         let (mut long_net, long_ep, t2) = world(200.0, 20.0);
-        let fast = ookla_speedtest(&mut short_net, &short_ep, &t1, &mut rng).unwrap();
-        let slow = ookla_speedtest(&mut long_net, &long_ep, &t2, &mut rng).unwrap();
+        let fast = ookla_speedtest(&mut short_net, &short_ep, &t1, "t/0").unwrap();
+        let slow = ookla_speedtest(&mut long_net, &long_ep, &t2, "t/0").unwrap();
         assert!(
             slow.down_mbps < fast.down_mbps,
             "long RTT must cost goodput: {} vs {}",
@@ -199,8 +203,7 @@ mod tests {
     #[test]
     fn policy_rate_is_approached_on_short_paths() {
         let (mut net, ep, targets) = world(5.0, 15.0);
-        let mut rng = SmallRng::seed_from_u64(3);
-        let r = ookla_speedtest(&mut net, &ep, &targets, &mut rng).unwrap();
+        let r = ookla_speedtest(&mut net, &ep, &targets, "t/0").unwrap();
         assert!(
             (10.0..15.2).contains(&r.down_mbps),
             "goodput {}",
@@ -212,8 +215,7 @@ mod tests {
     #[test]
     fn no_server_no_result() {
         let (mut net, ep, _) = world(5.0, 15.0);
-        let mut rng = SmallRng::seed_from_u64(4);
-        assert!(ookla_speedtest(&mut net, &ep, &ServiceTargets::new(), &mut rng).is_none());
+        assert!(ookla_speedtest(&mut net, &ep, &ServiceTargets::new(), "t/0").is_none());
     }
 
     #[test]
@@ -223,10 +225,9 @@ mod tests {
             mode_cqi: 8,
             weak_tail: 0.5,
         };
-        let mut rng = SmallRng::seed_from_u64(5);
         let mut weak = 0;
-        for _ in 0..100 {
-            let r = ookla_speedtest(&mut net, &ep, &targets, &mut rng).unwrap();
+        for i in 0..100 {
+            let r = ookla_speedtest(&mut net, &ep, &targets, &format!("t/{i}")).unwrap();
             if !r.cqi.passes_quality_filter() {
                 weak += 1;
             }
@@ -235,6 +236,18 @@ mod tests {
             weak > 20,
             "weak-channel tests must appear for the filter to matter"
         );
+    }
+
+    #[test]
+    fn same_label_same_result_regardless_of_history() {
+        let (mut net, ep, targets) = world(5.0, 15.0);
+        let a = ookla_speedtest(&mut net, &ep, &targets, "t/7").unwrap();
+        // Interleave other flows; the repeat must be bit-identical.
+        let _ = ookla_speedtest(&mut net, &ep, &targets, "t/8");
+        let b = ookla_speedtest(&mut net, &ep, &targets, "t/7").unwrap();
+        assert_eq!(a.latency_ms.to_bits(), b.latency_ms.to_bits());
+        assert_eq!(a.down_mbps.to_bits(), b.down_mbps.to_bits());
+        assert_eq!(a.cqi, b.cqi);
     }
 
     #[test]

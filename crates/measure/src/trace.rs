@@ -19,14 +19,31 @@ pub struct TraceOutcome {
 /// Run `mtr` from the endpoint to the nearest edge of `service` (edge
 /// selection is anycast-like: nearest to the breakout, where the client's
 /// DNS resolves it). `None` when no edge is registered.
+///
+/// Convenience wrapper for a single run; campaigns that repeat the trace
+/// use [`mtr_run`] so each repetition gets its own flow.
 pub fn mtr(
     net: &mut Network,
     endpoint: &Endpoint,
     targets: &ServiceTargets,
     service: Service,
 ) -> Option<TraceOutcome> {
+    mtr_run(net, endpoint, targets, service, 0)
+}
+
+/// Run the `run`-th `mtr` repetition toward `service` on its own flow
+/// (`"mtr/{service}/{run}"`).
+pub fn mtr_run(
+    net: &mut Network,
+    endpoint: &Endpoint,
+    targets: &ServiceTargets,
+    service: Service,
+    run: u32,
+) -> Option<TraceOutcome> {
     let dst = targets.nearest(net, service, endpoint.att.breakout_city)?;
-    let traceroute = net.traceroute(endpoint.att.ue, dst, TracerouteOpts::default());
+    let label = format!("mtr/{service:?}/{run}");
+    let mut probe = endpoint.probe(net, &label);
+    let traceroute = probe.traceroute(dst, TracerouteOpts::default());
     let analysis = analyze_traceroute(&traceroute, net.registry());
     Some(TraceOutcome {
         service,
@@ -118,6 +135,7 @@ mod tests {
                 b_mno: MnoId(1),
                 rat: Rat::Lte,
                 private_hops: 2,
+                flow_stamp: 0x0071_24CE,
             },
             sim_type: SimType::Esim,
             country: Country::QAT,

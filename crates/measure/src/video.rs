@@ -11,7 +11,6 @@
 
 use crate::endpoint::Endpoint;
 use crate::targets::{Service, ServiceTargets};
-use rand::rngs::SmallRng;
 use rand::Rng;
 use roam_netsim::Network;
 
@@ -86,17 +85,18 @@ pub struct VideoResult {
 /// `bandwidth / HEADROOM`.
 const HEADROOM: f64 = 1.25;
 
-/// Play the 4K test video from the endpoint. `None` when no YouTube edge is
-/// reachable.
+/// Play the 4K test video from the endpoint as the flow named by `label`.
+/// `None` when no YouTube edge is reachable.
 pub fn play_youtube(
     net: &mut Network,
     endpoint: &Endpoint,
     targets: &ServiceTargets,
-    rng: &mut SmallRng,
+    label: &str,
 ) -> Option<VideoResult> {
     let edge = targets.nearest(net, Service::YouTube, endpoint.att.breakout_city)?;
-    let rtt = net.rtt_ms(endpoint.att.ue, edge)?;
-    let cqi = endpoint.channel.sample(rng);
+    let mut probe = endpoint.probe(net, label);
+    let rtt = probe.rtt(edge)?.rtt_ms;
+    let cqi = endpoint.channel.sample(probe.rng());
 
     // Long RTT also hurts the ABR's achievable throughput (chunk fetches
     // are request/response bound): apply a mild RTT discount.
@@ -106,7 +106,7 @@ pub fn play_youtube(
         bw = bw.min(cap);
     }
     // Per-session utilisation wobble (cross traffic, pacing).
-    let bw = bw * rng.gen_range(0.7..0.98);
+    let bw = bw * probe.rng().gen_range(0.7..0.98);
 
     let resolution = Resolution::LADDER
         .iter()
@@ -127,7 +127,6 @@ pub fn play_youtube(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use roam_cellular::{ChannelSampler, MnoId, Rat, SimType};
     use roam_geo::{City, Country};
     use roam_ipx::{Attachment, DnsMode, PgwProviderId, RoamingArch};
@@ -187,6 +186,7 @@ mod tests {
                 b_mno: MnoId(1),
                 rat: Rat::Nr5g,
                 private_hops: 8,
+                flow_stamp: 0x0007_1DE0,
             },
             sim_type: SimType::Esim,
             country: Country::DEU,
@@ -205,10 +205,9 @@ mod tests {
 
     fn mode_resolution(down: f64, cap: Option<f64>, seed: u64) -> Resolution {
         let (mut net, ep, targets) = world(down, cap);
-        let mut rng = SmallRng::seed_from_u64(seed);
         let mut counts = std::collections::HashMap::new();
-        for _ in 0..60 {
-            let r = play_youtube(&mut net, &ep, &targets, &mut rng).unwrap();
+        for i in 0..60 {
+            let r = play_youtube(&mut net, &ep, &targets, &format!("v/{seed}/{i}")).unwrap();
             *counts.entry(r.resolution).or_insert(0) += 1;
         }
         counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
@@ -241,8 +240,7 @@ mod tests {
     fn starved_session_rebuffers_at_bottom_rung() {
         let (mut net, mut ep, targets) = world(1.0, None);
         ep.policy_down_mbps = 1.0;
-        let mut rng = SmallRng::seed_from_u64(4);
-        let r = play_youtube(&mut net, &ep, &targets, &mut rng).unwrap();
+        let r = play_youtube(&mut net, &ep, &targets, "v/starved").unwrap();
         assert_eq!(r.resolution, Resolution::P480);
         assert!(r.rebuffered, "1 Mbps cannot sustain 480p at 1.2 Mbps");
     }
@@ -259,7 +257,6 @@ mod tests {
     #[test]
     fn no_edge_returns_none() {
         let (mut net, ep, _) = world(10.0, None);
-        let mut rng = SmallRng::seed_from_u64(5);
-        assert!(play_youtube(&mut net, &ep, &ServiceTargets::new(), &mut rng).is_none());
+        assert!(play_youtube(&mut net, &ep, &ServiceTargets::new(), "v/0").is_none());
     }
 }

@@ -75,20 +75,23 @@ pub fn e_model(rtt_ms: f64, jitter_ms: f64, loss: f64) -> (f64, f64) {
     (r, mos.clamp(1.0, 4.5))
 }
 
-/// Probe the nearest Google edge with `probes` pings and score the path
-/// for VoIP. `None` when no edge is reachable at all.
+/// Probe the nearest Google edge with `probes` pings as the flow named by
+/// `label`, and score the path for VoIP. `None` when no edge is reachable
+/// at all.
 pub fn voip_probe(
     net: &mut Network,
     endpoint: &Endpoint,
     targets: &ServiceTargets,
     probes: u32,
+    label: &str,
 ) -> Option<VoipResult> {
     assert!(probes >= 2, "jitter needs at least two samples");
     let dst = targets.nearest(net, Service::Google, endpoint.att.breakout_city)?;
+    let mut probe = endpoint.probe(net, label);
     let mut rtts = Vec::new();
     let mut lost = 0u32;
     for _ in 0..probes {
-        match net.ping(endpoint.att.ue, dst) {
+        match probe.ping(dst) {
             Some(r) => rtts.push(r.rtt_ms),
             None => lost += 1,
         }

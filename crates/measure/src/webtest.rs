@@ -9,9 +9,8 @@
 
 use crate::endpoint::Endpoint;
 use crate::targets::{Service, ServiceTargets};
-use rand::rngs::SmallRng;
 use roam_geo::City;
-use roam_netsim::throughput::{goodput_mbps, TransferSpec};
+use roam_netsim::throughput::TransferSpec;
 use roam_netsim::Network;
 use std::net::Ipv4Addr;
 
@@ -31,19 +30,21 @@ pub struct WebTestResult {
     pub public_ip: Ipv4Addr,
 }
 
-/// Run the browser speedtest. `None` when no server is reachable.
+/// Run the browser speedtest as the flow named by `label`. `None` when no
+/// server is reachable.
 pub fn fastcom_test(
     net: &mut Network,
     endpoint: &Endpoint,
     targets: &ServiceTargets,
-    rng: &mut SmallRng,
+    label: &str,
 ) -> Option<WebTestResult> {
     let server = targets.nearest(net, Service::FastCom, endpoint.att.breakout_city)?;
-    let latency_ms = net.rtt_ms(endpoint.att.ue, server)?;
-    let cqi = endpoint.channel.sample(rng);
-    let down = goodput_mbps(&TransferSpec {
+    let mut probe = endpoint.probe(net, label);
+    let latency = probe.rtt(server)?;
+    let cqi = endpoint.channel.sample(probe.rng());
+    let down = probe.goodput_mbps(&TransferSpec {
         bytes: TEST_BYTES,
-        rtt_ms: latency_ms,
+        rtt_ms: latency.rtt_ms,
         policy_rate_mbps: endpoint.effective_down_mbps(cqi),
         loss: endpoint.loss,
         setup_rtts: 3.0, // TCP + TLS from a cold browser context
@@ -51,7 +52,7 @@ pub fn fastcom_test(
     });
     Some(WebTestResult {
         down_mbps: down,
-        latency_ms,
+        latency_ms: latency.rtt_ms,
         server_city: net.node(server).city,
         public_ip: endpoint.att.public_ip,
     })
@@ -60,7 +61,6 @@ pub fn fastcom_test(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use roam_cellular::{ChannelSampler, MnoId, Rat, SimType};
     use roam_geo::Country;
     use roam_ipx::{Attachment, DnsMode, PgwProviderId, RoamingArch};
@@ -120,6 +120,7 @@ mod tests {
                 b_mno: MnoId(1),
                 rat: Rat::Lte,
                 private_hops: 8,
+                flow_stamp: 0xFA57,
             },
             sim_type: SimType::Esim,
             country: Country::FRA,
@@ -139,8 +140,7 @@ mod tests {
     #[test]
     fn records_public_ip_and_breakout_server() {
         let (mut net, ep, targets) = world();
-        let mut rng = SmallRng::seed_from_u64(1);
-        let r = fastcom_test(&mut net, &ep, &targets, &mut rng).unwrap();
+        let r = fastcom_test(&mut net, &ep, &targets, "web/0").unwrap();
         assert_eq!(
             r.server_city,
             City::Ashburn,
@@ -162,7 +162,6 @@ mod tests {
     #[test]
     fn no_server_gives_none() {
         let (mut net, ep, _) = world();
-        let mut rng = SmallRng::seed_from_u64(2);
-        assert!(fastcom_test(&mut net, &ep, &ServiceTargets::new(), &mut rng).is_none());
+        assert!(fastcom_test(&mut net, &ep, &ServiceTargets::new(), "web/0").is_none());
     }
 }

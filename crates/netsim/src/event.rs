@@ -88,6 +88,15 @@ impl<E> EventQueue<E> {
         self.schedule(self.now.after(delay), event);
     }
 
+    /// Rewind to an empty calendar at time zero, keeping the heap's
+    /// allocation. This is what lets a persistent queue drive one packet
+    /// walk after another without reallocating per walk.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+    }
+
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
@@ -160,6 +169,20 @@ mod tests {
         q.schedule(SimTime::from_ms(10.0), ());
         q.pop();
         q.schedule(SimTime::from_ms(1.0), ());
+    }
+
+    #[test]
+    fn reset_rewinds_time_and_clears_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(10.0), "a");
+        q.pop();
+        q.schedule(SimTime::from_ms(20.0), "b");
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        // Scheduling at t=0 is legal again after a reset.
+        q.schedule(SimTime::ZERO, "c");
+        assert_eq!(q.pop(), Some((SimTime::ZERO, "c")));
     }
 
     #[test]

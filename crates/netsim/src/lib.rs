@@ -25,6 +25,7 @@
 //! seed and the same call sequence produce bit-identical results — a
 //! property the integration suite checks explicitly.
 
+pub mod engine;
 pub mod event;
 pub mod ip;
 pub mod link;
@@ -34,12 +35,15 @@ pub mod throughput;
 pub mod time;
 pub mod wire;
 
+pub use engine::{
+    flow_seed, ClosedFormTransport, EngineSteppedTransport, Flow, FlowId, Transport, TransportKind,
+};
 pub use event::EventQueue;
 pub use ip::{is_private, Ipv4Net};
 pub use link::{LatencyModel, Link, LinkClass};
 pub use net::{
-    Network, NodeId, NodeKind, PacketEvent, PacketEventKind, PingResult, TraceHop, Traceroute,
-    TracerouteOpts,
+    Network, NodeId, NodeKind, PacketEvent, PacketEventKind, PingResult, RttSample, TraceHop,
+    Traceroute, TracerouteOpts,
 };
 pub use registry::{Asn, IpRegistry, PrefixInfo};
 pub use throughput::{transfer_time_ms, TokenBucket, TransferSpec};

@@ -9,6 +9,8 @@
 //! probe's RTT is the event-queue timestamp difference — jitter, loss and
 //! unresponsive hops included.
 
+use crate::engine::Flow;
+use crate::event::EventQueue;
 use crate::ip::is_private;
 use crate::link::{LatencyModel, Link, LinkClass};
 use crate::registry::IpRegistry;
@@ -65,6 +67,17 @@ pub struct Node {
 pub struct PingResult {
     /// Round-trip time in milliseconds.
     pub rtt_ms: f64,
+}
+
+/// An RTT measurement with its probe cost: how many echo attempts the
+/// client needed before one round trip survived. Probe loss is data — the
+/// campaign CSVs report it rather than silently absorbing retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttSample {
+    /// Round-trip time of the successful echo, milliseconds.
+    pub rtt_ms: f64,
+    /// Echo attempts consumed, including the successful one (1..=3).
+    pub attempts: u32,
 }
 
 /// One TTL step of a traceroute.
@@ -230,9 +243,13 @@ pub struct Network {
     name_to_id: HashMap<String, u32>,
     registry: IpRegistry,
     rng: SmallRng,
+    master_seed: u64,
     route_cache: HashMap<(u32, u32), Option<RoutePath>>,
     icmp_ident: u16,
     trace: Option<Vec<PacketEvent>>,
+    /// Persistent calendar driving packet walks: reset (allocation kept)
+    /// at the start of each walk, so hop scheduling never reallocates.
+    walk_queue: EventQueue<usize>,
     /// Reusable packet buffer: probes are encoded here and mutated in
     /// place while walking, so the hot loops never allocate.
     pkt_buf: BytesMut,
@@ -295,12 +312,21 @@ impl Network {
             name_to_id: HashMap::new(),
             registry: IpRegistry::new(),
             rng: SmallRng::seed_from_u64(seed),
+            master_seed: seed,
             route_cache: HashMap::new(),
             icmp_ident: 1,
             trace: None,
+            walk_queue: EventQueue::new(),
             pkt_buf: BytesMut::with_capacity(128),
             icmp_buf: BytesMut::with_capacity(64),
         }
+    }
+
+    /// The seed this network was built from — the master every flow key
+    /// derives its stream from (see [`crate::engine::flow_seed`]).
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
     }
 
     /// Start recording packet events (pcap-style). Any previously recorded
@@ -521,6 +547,9 @@ impl Network {
 
     /// ICMP echo from `src` to `dst`. Returns `None` when there is no route
     /// or the probe (or its reply) is lost.
+    ///
+    /// Draws loss/jitter from the network's shared RNG — results depend on
+    /// call order. Measurement clients use [`Network::ping_flow`] instead.
     pub fn ping(&mut self, src: NodeId, dst: NodeId) -> Option<PingResult> {
         // An ICMP-silent destination never answers echo, matching the
         // traceroute engine's handling of silent hops.
@@ -530,7 +559,23 @@ impl Network {
         let path = self.route(src, dst)?;
         let ident = self.next_ident();
         let mut pkt = std::mem::take(&mut self.pkt_buf);
-        let result = self.ping_with(&path, ident, &mut pkt);
+        let mut rng = self.rng.clone();
+        let result = self.ping_with(&path, ident, &mut pkt, &mut rng);
+        self.rng = rng;
+        self.pkt_buf = pkt;
+        result
+    }
+
+    /// [`Network::ping`] on a flow's private RNG stream: the result is a
+    /// function of the flow, not of whatever ran before it.
+    pub fn ping_flow(&mut self, src: NodeId, dst: NodeId, flow: &mut Flow) -> Option<PingResult> {
+        if !self.node(dst).icmp_responds {
+            return None;
+        }
+        let path = self.route(src, dst)?;
+        let ident = self.next_ident();
+        let mut pkt = std::mem::take(&mut self.pkt_buf);
+        let result = self.ping_with(&path, ident, &mut pkt, flow.rng());
         self.pkt_buf = pkt;
         result
     }
@@ -540,24 +585,28 @@ impl Network {
         path: &RoutePath,
         ident: u16,
         pkt: &mut BytesMut,
+        rng: &mut SmallRng,
     ) -> Option<PingResult> {
         let last = path.len() - 1;
         let (src, dst) = (path[0], path[last]);
         self.build_echo_into(pkt, src, dst, ident, 0, 64);
         let (arrived, t_fwd, _expired_at) =
-            self.walk(path, last, WalkDir::Forward, pkt, SimTime::ZERO)?;
+            self.walk(path, last, WalkDir::Forward, pkt, SimTime::ZERO, rng)?;
         if !arrived {
             return None;
         }
         // Reply retraces the path in reverse.
         self.build_echo_into(pkt, dst, src, ident, 1, 64);
-        let (arrived, t_total, _) = self.walk(path, last, WalkDir::Reverse, pkt, t_fwd)?;
+        let (arrived, t_total, _) = self.walk(path, last, WalkDir::Reverse, pkt, t_fwd, rng)?;
         arrived.then_some(PingResult {
             rtt_ms: t_total.as_ms(),
         })
     }
 
     /// `mtr`-style traceroute: probe each TTL, record responder and RTTs.
+    ///
+    /// Shared-RNG variant; see [`Network::traceroute_flow`] for the
+    /// order-insensitive one the measurement clients use.
     pub fn traceroute(&mut self, src: NodeId, dst: NodeId, opts: TracerouteOpts) -> Traceroute {
         let Some(path) = self.route(src, dst) else {
             return Traceroute {
@@ -566,7 +615,29 @@ impl Network {
             };
         };
         let mut pkt = std::mem::take(&mut self.pkt_buf);
-        let result = self.traceroute_with(&path, opts, &mut pkt);
+        let mut rng = self.rng.clone();
+        let result = self.traceroute_with(&path, opts, &mut pkt, &mut rng);
+        self.rng = rng;
+        self.pkt_buf = pkt;
+        result
+    }
+
+    /// [`Network::traceroute`] on a flow's private RNG stream.
+    pub fn traceroute_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        opts: TracerouteOpts,
+        flow: &mut Flow,
+    ) -> Traceroute {
+        let Some(path) = self.route(src, dst) else {
+            return Traceroute {
+                hops: vec![],
+                reached: false,
+            };
+        };
+        let mut pkt = std::mem::take(&mut self.pkt_buf);
+        let result = self.traceroute_with(&path, opts, &mut pkt, flow.rng());
         self.pkt_buf = pkt;
         result
     }
@@ -576,6 +647,7 @@ impl Network {
         path: &RoutePath,
         opts: TracerouteOpts,
         pkt: &mut BytesMut,
+        rng: &mut SmallRng,
     ) -> Traceroute {
         let last = path.len() - 1;
         let (src, dst) = (path[0], path[last]);
@@ -594,7 +666,7 @@ impl Network {
                 let ident = self.next_ident();
                 self.build_echo_into(pkt, src, dst, ident, probe as u16, ttl);
                 let Some((arrived, t_fwd, expired_at)) =
-                    self.walk(path, last, WalkDir::Forward, pkt, SimTime::ZERO)
+                    self.walk(path, last, WalkDir::Forward, pkt, SimTime::ZERO, rng)
                 else {
                     continue; // probe lost on the way out
                 };
@@ -620,7 +692,7 @@ impl Network {
                 // path from the responder back to the source.
                 self.build_answer_into(pkt, responder, src, arrived);
                 let Some((back_ok, t_total, _)) =
-                    self.walk(path, pos, WalkDir::Reverse, pkt, t_fwd)
+                    self.walk(path, pos, WalkDir::Reverse, pkt, t_fwd, rng)
                 else {
                     continue; // reply lost
                 };
@@ -648,12 +720,29 @@ impl Network {
         Traceroute { hops, reached }
     }
 
-    /// Round-trip time measured by a single ping with retries (up to 3),
-    /// which is how the measurement clients obtain "latency to X".
+    /// Round-trip time measured by a single ping with retries (up to 3).
+    /// Shared-RNG variant retained for scenario tooling; measurement
+    /// clients use [`Network::rtt_probe`], which also reports how many
+    /// probes the retries burned.
     pub fn rtt_ms(&mut self, src: NodeId, dst: NodeId) -> Option<f64> {
         for _ in 0..3 {
             if let Some(r) = self.ping(src, dst) {
                 return Some(r.rtt_ms);
+            }
+        }
+        None
+    }
+
+    /// RTT with retries (up to 3) on a flow's private stream, reporting the
+    /// attempt count so probe loss surfaces in campaign datasets instead of
+    /// being silently swallowed.
+    pub fn rtt_probe(&mut self, src: NodeId, dst: NodeId, flow: &mut Flow) -> Option<RttSample> {
+        for attempt in 1..=3 {
+            if let Some(r) = self.ping_flow(src, dst, flow) {
+                return Some(RttSample {
+                    rtt_ms: r.rtt_ms,
+                    attempts: attempt,
+                });
             }
         }
         None
@@ -741,16 +830,18 @@ impl Network {
     }
 
     /// Walk the encoded packet in `bytes` along `route`, starting at
-    /// `start` time.
+    /// `start` time, drawing loss/jitter from `rng`.
     ///
     /// `Forward` visits `nodes[0..=upto]` in order; `Reverse` visits
     /// `nodes[upto..=0]` (how ICMP answers retrace the path) — neither
     /// direction materializes a path copy. Each intermediate node
-    /// decrements the TTL in the encoded bytes in place. A walk has
-    /// exactly one packet in flight, so arrival times chain directly
-    /// instead of going through an event heap. Returns `None` when a link
-    /// drops the packet; otherwise `(delivered_to_last_node, arrival_time,
-    /// path_index_where_ttl_expired)`.
+    /// decrements the TTL in the encoded bytes in place. Hop arrivals go
+    /// through the persistent event calendar: each traversed link
+    /// schedules the arrival at the next node, and popping the heap
+    /// advances the clock — the discrete-event core that future work
+    /// extends with competing in-flight packets. Returns `None` when a
+    /// link drops the packet; otherwise `(delivered_to_last_node,
+    /// arrival_time, path_index_where_ttl_expired)`.
     fn walk(
         &mut self,
         route: &RoutePath,
@@ -758,10 +849,14 @@ impl Network {
         dir: WalkDir,
         bytes: &mut [u8],
         start: SimTime,
+        rng: &mut SmallRng,
     ) -> Option<(bool, SimTime, Option<usize>)> {
         let entry = &*route.entry;
-        let mut now = start;
-        for step in 0..=upto {
+        let mut q = std::mem::take(&mut self.walk_queue);
+        q.reset();
+        q.schedule(start, 0usize); // the packet leaves the first node
+        let mut outcome: Option<Option<(bool, SimTime, Option<usize>)>> = None;
+        while let Some((now, step)) = q.pop() {
             let phys = match dir {
                 WalkDir::Forward => step,
                 WalkDir::Reverse => upto - step,
@@ -769,7 +864,8 @@ impl Network {
             let here = entry.nodes[phys];
             if step == upto {
                 self.record(now, here, PacketEventKind::Delivered);
-                return Some((true, now, None));
+                outcome = Some(Some((true, now, None)));
+                break;
             }
             // Intermediate forwarding: routers (not the source host itself)
             // decrement the TTL before sending the packet onward.
@@ -779,10 +875,14 @@ impl Network {
                 match Ipv4Header::decrement_ttl(bytes) {
                     Ok(0) => {
                         self.record(now, here, PacketEventKind::TtlExpired);
-                        return Some((false, now, Some(phys)));
+                        outcome = Some(Some((false, now, Some(phys))));
+                        break;
                     }
                     Ok(ttl) => self.record(now, here, PacketEventKind::Forwarded { ttl }),
-                    Err(_) => return Some((false, now, Some(phys))),
+                    Err(_) => {
+                        outcome = Some(Some((false, now, Some(phys))));
+                        break;
+                    }
                 }
             }
             let li = match dir {
@@ -792,14 +892,17 @@ impl Network {
             let link = &self.links[li as usize];
             let loss = link.loss;
             let latency = link.latency;
-            if loss > 0.0 && self.rng.gen_bool(loss) {
+            if loss > 0.0 && rng.gen_bool(loss) {
                 self.record(now, here, PacketEventKind::Dropped);
-                return None; // dropped on this link
+                outcome = Some(None); // dropped on this link
+                break;
             }
-            let delay = latency.sample(&mut self.rng);
-            now = now.after(delay);
+            let delay = latency.sample(rng);
+            q.schedule_after(delay, step + 1);
         }
-        Some((false, now, None))
+        let result = outcome.unwrap_or(Some((false, q.now(), None)));
+        self.walk_queue = q;
+        result
     }
 }
 
@@ -1084,6 +1187,25 @@ mod tests {
             events.iter().any(|e| e.kind == PacketEventKind::TtlExpired),
             "TTL-1 probe must expire at the first router"
         );
+    }
+
+    #[test]
+    fn flow_probes_are_order_insensitive() {
+        use crate::engine::{flow_seed, Flow};
+        let (mut net, ue, sp, _) = chain();
+        net.set_link_loss(0, 0.2);
+        let open = |key: &str| Flow::open(flow_seed(99, key));
+        let first = net.ping_flow(ue, sp, &mut open("p/a"));
+        // Perturb the shared stream and run unrelated flows in between:
+        // the repeat of flow "p/a" must not notice.
+        let _ = net.ping(ue, sp);
+        let _ = net.ping_flow(ue, sp, &mut open("p/b"));
+        let _ = net.rtt_probe(ue, sp, &mut open("p/c"));
+        let again = net.ping_flow(ue, sp, &mut open("p/a"));
+        assert_eq!(first, again);
+        let s1 = net.rtt_probe(ue, sp, &mut open("p/c"));
+        let s2 = net.rtt_probe(ue, sp, &mut open("p/c"));
+        assert_eq!(s1, s2);
     }
 
     #[test]

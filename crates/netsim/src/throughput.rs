@@ -104,9 +104,9 @@ pub struct TransferSpec {
 }
 
 /// TCP segment size assumed by the window model, bytes.
-const MSS: f64 = 1460.0;
+pub(crate) const MSS: f64 = 1460.0;
 /// Initial congestion window (RFC 6928), segments.
-const INIT_CWND_SEGMENTS: f64 = 10.0;
+pub(crate) const INIT_CWND_SEGMENTS: f64 = 10.0;
 
 /// Steady-state TCP throughput cap from the Mathis et al. model,
 /// `rate ≈ (MSS/RTT) · 1.22/√loss`, returned in Mbps. Infinite at zero loss.

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use roam_netsim::ip::Ipv4Net;
 use roam_netsim::throughput::{transfer_time_ms, TokenBucket, TransferSpec};
 use roam_netsim::wire::{
-    internet_checksum, DnsMessage, GtpuHeader, IcmpMessage, IpProto, Ipv4Header,
+    internet_checksum, DnsMessage, GtpuHeader, IcmpMessage, IpProto, Ipv4Header, UdpHeader,
 };
 use roam_netsim::{EventQueue, SimTime};
 use std::net::Ipv4Addr;
@@ -72,6 +72,32 @@ proptest! {
             prop_assert_eq!(internet_checksum(&pkt[..20]), 0, "checksum stays valid");
         }
         prop_assert!(Ipv4Header::decrement_ttl(&mut pkt).is_err());
+    }
+
+    #[test]
+    fn udp_roundtrip(src_port in any::<u16>(), dst_port in any::<u16>(),
+                     len in UdpHeader::LEN as u16..=u16::MAX) {
+        let hdr = UdpHeader { src_port, dst_port, len };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        prop_assert_eq!(buf.len(), UdpHeader::LEN);
+        prop_assert_eq!(UdpHeader::decode(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn udp_rejects_short_input_and_bad_length(src_port in any::<u16>(), dst_port in any::<u16>(),
+                                              len in 0u16..UdpHeader::LEN as u16,
+                                              cut in 0usize..UdpHeader::LEN) {
+        // A datagram shorter than the header is truncated, never a panic.
+        let hdr = UdpHeader { src_port, dst_port, len: 512 };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        prop_assert!(UdpHeader::decode(&buf[..cut]).is_err());
+        // A length field below the header size is a bad field.
+        let bad = UdpHeader { src_port, dst_port, len };
+        let mut buf = BytesMut::new();
+        bad.encode(&mut buf);
+        prop_assert!(UdpHeader::decode(&buf).is_err());
     }
 
     #[test]

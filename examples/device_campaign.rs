@@ -6,8 +6,6 @@
 //! cargo run --release --example device_campaign
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use roamsim::geo::Country;
 use roamsim::measure::{run_device_campaign, CampaignData, DeviceCampaignSpec};
 use roamsim::stats::{welch_t_test, Summary};
@@ -15,7 +13,6 @@ use roamsim::world::World;
 
 fn main() {
     let mut world = World::build(7);
-    let mut rng = SmallRng::seed_from_u64(7);
     let spec = DeviceCampaignSpec {
         ookla: (12, 12),
         mtr_per_target: (6, 6),
@@ -35,14 +32,7 @@ fn main() {
     for country in countries {
         let sim = world.attach_physical(country);
         let esim = world.attach_esim(country);
-        let data = run_device_campaign(
-            &mut world.net,
-            &sim,
-            &esim,
-            &spec,
-            &world.internet.targets,
-            &mut rng,
-        );
+        let data = run_device_campaign(&mut world.net, &sim, &esim, &spec, &world.internet.targets);
         all.extend(data);
     }
 

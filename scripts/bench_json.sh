@@ -32,6 +32,8 @@ jq -n \
    --argjson cpus "$(nproc)" \
    '($b[0]."campaign/device_campaign_seq".mean_ns) as $seq
     | ($b[0]."campaign/device_campaign_par4".mean_ns) as $par
+    | ($b[0]."engine/transfer_closed_form".mean_ns) as $cf
+    | ($b[0]."engine/transfer_engine_stepped".mean_ns) as $es
     | {schema: "roamsim-bench-v1",
        host: {cpus: $cpus},
        parallel: {
@@ -40,7 +42,13 @@ jq -n \
          device_campaign_par4_ns: $par,
          speedup_seq_over_par4: (if $seq != null and $par != null then ($seq / $par) else null end)
        },
+       engine: {
+         note: "both transports time the same transfer to sub-microsecond agreement; the ratio is what stepping the event calendar costs over the closed form",
+         transfer_closed_form_ns: $cf,
+         transfer_engine_stepped_ns: $es,
+         engine_over_closed_form: (if $cf != null and $es != null then ($es / $cf) else null end)
+       },
        benchmarks: $b[0]}' > "$out"
 
 echo "wrote $out"
-jq '.parallel' "$out"
+jq '.parallel, .engine' "$out"

@@ -13,7 +13,6 @@ use roamsim::world::World;
 /// Fingerprint a short measurement session.
 fn fingerprint(seed: u64) -> Vec<u64> {
     let mut world = World::build(seed);
-    let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for country in [Country::PAK, Country::DEU, Country::KOR, Country::FRA] {
         let ep = world.attach_esim(country);
@@ -28,7 +27,8 @@ fn fingerprint(seed: u64) -> Vec<u64> {
             out.push(o.analysis.private_len as u64);
             out.push(o.analysis.final_rtt_ms.unwrap_or(0.0).to_bits());
         }
-        if let Some(s) = ookla_speedtest(&mut world.net, &ep, &world.internet.targets, &mut rng) {
+        let label = format!("fp/{}", country.alpha3());
+        if let Some(s) = ookla_speedtest(&mut world.net, &ep, &world.internet.targets, &label) {
             out.push(s.down_mbps.to_bits());
             out.push(s.latency_ms.to_bits());
         }

@@ -1,8 +1,6 @@
 //! Cross-crate integration: the full pipeline from marketplace to paper
 //! findings, at reduced sample counts.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use roamsim::cellular::SimType;
 use roamsim::core::TomographyReport;
 use roamsim::geo::{City, Country};
@@ -79,7 +77,6 @@ fn classification_of_all_24_countries_matches_table2() {
 #[test]
 fn device_campaign_produces_coherent_records() {
     let mut world = World::build(13);
-    let mut rng = SmallRng::seed_from_u64(13);
     let sim = world.attach_physical(Country::PAK);
     let esim = world.attach_esim(Country::PAK);
     let data = run_device_campaign(
@@ -88,7 +85,6 @@ fn device_campaign_produces_coherent_records() {
         &esim,
         &DeviceCampaignSpec::smoke(),
         &world.internet.targets,
-        &mut rng,
     );
     // Counts: 2 endpoints × spec.
     assert_eq!(data.speedtests.len(), 6);
@@ -113,11 +109,10 @@ fn device_campaign_produces_coherent_records() {
 #[test]
 fn measurement_clients_work_on_every_archetype() {
     let mut world = World::build(14);
-    let mut rng = SmallRng::seed_from_u64(14);
     for country in [Country::PAK, Country::DEU, Country::KOR] {
         let ep = world.attach_esim(country);
         assert!(
-            ookla_speedtest(&mut world.net, &ep, &world.internet.targets, &mut rng).is_some(),
+            ookla_speedtest(&mut world.net, &ep, &world.internet.targets, "e2e/st").is_some(),
             "{country} speedtest"
         );
         assert!(
@@ -127,7 +122,7 @@ fn measurement_clients_work_on_every_archetype() {
                 &world.internet.targets,
                 CdnProvider::Cloudflare,
                 Default::default(),
-                &mut rng
+                "e2e/cdn"
             )
             .is_some(),
             "{country} cdn"
@@ -138,13 +133,13 @@ fn measurement_clients_work_on_every_archetype() {
                 &ep,
                 &world.internet.targets,
                 "example.org",
-                &mut rng
+                "e2e/dns"
             )
             .is_some(),
             "{country} dns"
         );
         assert!(
-            play_youtube(&mut world.net, &ep, &world.internet.targets, &mut rng).is_some(),
+            play_youtube(&mut world.net, &ep, &world.internet.targets, "e2e/video").is_some(),
             "{country} video"
         );
     }
@@ -153,17 +148,10 @@ fn measurement_clients_work_on_every_archetype() {
 #[test]
 fn dns_mode_follows_architecture() {
     let mut world = World::build(15);
-    let mut rng = SmallRng::seed_from_u64(15);
     // HR: operator resolver in Singapore.
     let hr = world.attach_esim(Country::PAK);
-    let r = resolve(
-        &mut world.net,
-        &hr,
-        &world.internet.targets,
-        "x.org",
-        &mut rng,
-    )
-    .expect("resolver reachable");
+    let r = resolve(&mut world.net, &hr, &world.internet.targets, "x.org", "d/0")
+        .expect("resolver reachable");
     assert!(!r.doh);
     assert_eq!(
         r.resolver_city,
@@ -177,7 +165,7 @@ fn dns_mode_follows_architecture() {
         &ihbo,
         &world.internet.targets,
         "x.org",
-        &mut rng,
+        "d/1",
     )
     .expect("resolver reachable");
     assert!(r2.doh, "IHBO uses DoH (the forgotten Android default)");
@@ -198,12 +186,16 @@ fn dns_mode_follows_architecture() {
 #[test]
 fn hr_video_is_pinned_at_720p_despite_bandwidth() {
     let mut world = World::build(16);
-    let mut rng = SmallRng::seed_from_u64(16);
     let ep = world.attach_esim(Country::ARE);
     assert!(ep.youtube_cap_mbps.is_some(), "Singtel throttles video");
-    for _ in 0..20 {
-        let v = play_youtube(&mut world.net, &ep, &world.internet.targets, &mut rng)
-            .expect("edge reachable");
+    for i in 0..20 {
+        let v = play_youtube(
+            &mut world.net,
+            &ep,
+            &world.internet.targets,
+            &format!("v/{i}"),
+        )
+        .expect("edge reachable");
         assert!(
             v.resolution <= roamsim::measure::Resolution::P720,
             "HR video must not exceed 720p, got {}",

@@ -3,8 +3,6 @@
 //! smoltcp discipline: adverse conditions are part of the test matrix, not
 //! an afterthought.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use roamsim::core::analyze_traceroute;
 use roamsim::geo::{City, Country};
 use roamsim::measure::{mtr, ookla_speedtest, Service};
@@ -103,11 +101,15 @@ fn silent_cgnat_degrades_gracefully() {
 #[test]
 fn lossy_access_reduces_goodput_not_correctness() {
     let mut world = World::build(79);
-    let mut rng = SmallRng::seed_from_u64(79);
     let ep = world.attach_esim(Country::PAK); // Jazz: loss-prone access
     let mut got = 0;
-    for _ in 0..10 {
-        if let Some(r) = ookla_speedtest(&mut world.net, &ep, &world.internet.targets, &mut rng) {
+    for i in 0..10 {
+        if let Some(r) = ookla_speedtest(
+            &mut world.net,
+            &ep,
+            &world.internet.targets,
+            &format!("ft/{i}"),
+        ) {
             assert!(r.down_mbps > 0.0 && r.down_mbps < 50.0);
             assert!(r.latency_ms > 100.0, "HR latency survives loss");
             got += 1;
@@ -123,8 +125,7 @@ fn unreachable_service_returns_none_not_panic() {
     // A service with no nodes registered anywhere.
     let empty = roamsim::measure::ServiceTargets::new();
     assert!(mtr(&mut world.net, &ep, &empty, Service::Google).is_none());
-    let mut rng = SmallRng::seed_from_u64(80);
-    assert!(ookla_speedtest(&mut world.net, &ep, &empty, &mut rng).is_none());
+    assert!(ookla_speedtest(&mut world.net, &ep, &empty, "ft/0").is_none());
 }
 
 #[test]

@@ -1,0 +1,96 @@
+//! Order insensitivity: every measurement in a device-campaign plan runs
+//! on its own flow, keyed by the attachment's flow stamp and the plan
+//! entry's label — never by execution order. Permuting the plan must
+//! therefore permute the records and change nothing else, under both the
+//! closed-form transport and the discrete-event engine.
+
+use roamsim::geo::Country;
+use roamsim::measure::{
+    cdn_csv, dns_csv, run_measurement, speedtests_csv, traces_csv, videos_csv, CampaignData,
+    DeviceCampaignSpec, Endpoint, PlannedMeasurement,
+};
+use roamsim::netsim::Network;
+use roamsim::world::World;
+
+/// Run one plan entry in isolation and serialize whatever it produced.
+/// The CSV exporters cover every record field, so two entries with equal
+/// serializations produced byte-identical records.
+fn run_one(
+    net: &mut Network,
+    ep: &Endpoint,
+    targets: &roamsim::measure::ServiceTargets,
+    m: PlannedMeasurement,
+) -> String {
+    let mut data = CampaignData::default();
+    run_measurement(net, ep, targets, m, &mut data);
+    format!(
+        "{}{}{}{}{}",
+        speedtests_csv(&data),
+        traces_csv(&data),
+        cdn_csv(&data),
+        dns_csv(&data),
+        videos_csv(&data),
+    )
+}
+
+/// Execute `plan` in the given order, returning each entry's serialized
+/// records keyed by the entry itself.
+fn run_plan(
+    world: &mut World,
+    ep: &Endpoint,
+    plan: &[PlannedMeasurement],
+) -> Vec<(PlannedMeasurement, String)> {
+    plan.iter()
+        .map(|&m| (m, run_one(&mut world.net, ep, &world.internet.targets, m)))
+        .collect()
+}
+
+fn check_permutation_invariance() {
+    let mut world = World::build(29);
+    let ep = world.attach_esim(Country::PAK);
+    let spec = DeviceCampaignSpec {
+        ookla: (2, 2),
+        mtr_per_target: (1, 1),
+        cdn_per_provider: (1, 1),
+        dns: (2, 2),
+        video: (2, 2),
+    };
+    let plan = spec.plan(ep.sim_type);
+    assert!(plan.len() > 8, "plan is large enough to permute");
+
+    let forward = run_plan(&mut world, &ep, &plan);
+
+    // Reversal and rotation together exercise every relative reordering
+    // class that matters: first-vs-last swaps and mid-plan shifts.
+    let mut reversed_plan = plan.clone();
+    reversed_plan.reverse();
+    let mut rotated_plan = plan.clone();
+    rotated_plan.rotate_left(plan.len() / 2);
+
+    for permuted_plan in [reversed_plan, rotated_plan] {
+        let permuted = run_plan(&mut world, &ep, &permuted_plan);
+        for (m, bytes) in &forward {
+            let (_, permuted_bytes) = permuted
+                .iter()
+                .find(|(pm, _)| pm == m)
+                .expect("permutation preserves the entry set");
+            assert_eq!(
+                bytes, permuted_bytes,
+                "records for {m:?} changed when the plan order changed"
+            );
+        }
+    }
+}
+
+#[test]
+fn permuted_plan_yields_identical_records_per_flow_key() {
+    // Closed-form transport (the default).
+    std::env::remove_var("ROAM_TRANSPORT");
+    check_permutation_invariance();
+
+    // Discrete-event engine transport. `TransportKind::from_env` reads the
+    // variable per probe, so flipping it mid-test takes effect immediately.
+    std::env::set_var("ROAM_TRANSPORT", "engine");
+    check_permutation_invariance();
+    std::env::remove_var("ROAM_TRANSPORT");
+}
