@@ -8,10 +8,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use roam_bench::{run_device_mode, run_device_shard};
+use roam_bench::{run_device_shard, CampaignRunner};
 use roam_econ::{median_per_gb_by_country, Crawler, Market, Vantage};
 use roam_geo::Country;
-use roam_measure::{RunMode, Service};
+use roam_measure::Service;
 use roam_netsim::engine::{flow_seed, ClosedFormTransport, EngineSteppedTransport, Transport};
 use roam_netsim::wire::{GtpuHeader, IcmpMessage, Ipv4Header};
 use roam_netsim::{EventQueue, SimTime, TracerouteOpts, TransferSpec};
@@ -157,10 +157,68 @@ fn bench_campaign(c: &mut Criterion) {
         b.iter(|| black_box(run_device_shard(7, 0.1, &specs[0])))
     });
     g.bench_function("device_campaign_seq", |b| {
-        b.iter(|| black_box(run_device_mode(7, 0.1, RunMode::Sequential)))
+        b.iter(|| black_box(CampaignRunner::new(7).scale(0.1).run()))
     });
     g.bench_function("device_campaign_par4", |b| {
-        b.iter(|| black_box(run_device_mode(7, 0.1, RunMode::Parallel(4))))
+        b.iter(|| black_box(CampaignRunner::new(7).scale(0.1).parallel(4).run()))
+    });
+    g.finish();
+}
+
+/// The telemetry plane's two promises, measured: recording off must cost
+/// one predictable branch on the ping hot path (compare `ping_recorder_off`
+/// with `netsim/packet_forward` — same work, same numbers), and the no-op
+/// sink must vanish entirely under static dispatch (compare the two
+/// `sink_*` loops). `ping_recorder_summary` shows what turning counters on
+/// actually buys/costs.
+fn bench_telemetry(c: &mut Criterion) {
+    use roam_telemetry::{Counter, Hist, NoopSink, Recorder, Sink, TelemetryMode};
+    let mut g = c.benchmark_group("telemetry");
+    let mut world = World::build(7);
+    let ep = world.attach_esim(Country::PAK);
+    let google = world
+        .internet
+        .targets
+        .nearest(&world.net, Service::Google, ep.att.breakout_city)
+        .expect("google edge");
+    world.net.set_telemetry_mode(TelemetryMode::Off);
+    g.bench_function("ping_recorder_off", |b| {
+        b.iter(|| black_box(world.net.ping(ep.att.ue, google)))
+    });
+    world.net.set_telemetry_mode(TelemetryMode::Summary);
+    g.bench_function("ping_recorder_summary", |b| {
+        b.iter(|| black_box(world.net.ping(ep.att.ue, google)))
+    });
+    world.net.set_telemetry_mode(TelemetryMode::Off);
+    g.bench_function("sink_noop_1k", |b| {
+        b.iter(|| {
+            let mut s = NoopSink;
+            for i in 0..1_000u64 {
+                s.add(Counter::PacketsSent, i);
+                s.observe(Hist::ProbeRttMs, i as f64);
+            }
+            black_box(s.active())
+        })
+    });
+    g.bench_function("sink_recorder_off_1k", |b| {
+        b.iter(|| {
+            let mut s = Recorder::off();
+            for i in 0..1_000u64 {
+                s.add(Counter::PacketsSent, i);
+                s.observe(Hist::ProbeRttMs, i as f64);
+            }
+            black_box(s.active())
+        })
+    });
+    g.bench_function("sink_recorder_summary_1k", |b| {
+        b.iter(|| {
+            let mut s = Recorder::new(TelemetryMode::Summary);
+            for i in 0..1_000u64 {
+                s.add(Counter::PacketsSent, i);
+                s.observe(Hist::ProbeRttMs, i as f64);
+            }
+            black_box(s.take())
+        })
     });
     g.finish();
 }
@@ -258,6 +316,7 @@ criterion_group!(
     bench_measure,
     bench_netsim,
     bench_campaign,
+    bench_telemetry,
     bench_engine,
     bench_stats,
     bench_econ

@@ -4,14 +4,17 @@
 //! Packet Host (NLD) and OVH (FRA); Telecom Italia → Wireless Logic (GBR);
 //! Orange → Webbing (NLD, USA); Polkomtel → Packet Host (USA).
 
-use roam_bench::survey_all_esims;
+use roam_bench::CampaignRunner;
 use roam_core::TomographyReport;
 use roam_ipx::RoamingArch;
 
 fn main() {
     // Several attachments per country so provider alternation is observed.
-    let (world, obs) = survey_all_esims(2024, 6);
-    let report = TomographyReport::build(&obs, world.net.registry());
+    // All knobs (ROAM_PARALLEL / ROAM_TRANSPORT / ROAM_TELEMETRY) come from
+    // the environment; none of them may change a byte of this output.
+    let run = CampaignRunner::from_env(2024).run_survey(6);
+    let (world, obs) = (&run.world, &run.observations);
+    let report = TomographyReport::build(obs, world.net.registry());
 
     println!("Table 2 — PGW providers of the roaming eSIMs (measured)\n");
     print!("{}", report.table2());
@@ -25,4 +28,7 @@ fn main() {
 
     let (far, total) = report.suboptimal_breakouts();
     println!("\nIHBO breakouts farther than the b-MNO country: {far}/{total} (paper: 8/16)");
+
+    // Empty string when ROAM_TELEMETRY is off/unset.
+    print!("{}", run.telemetry.render());
 }

@@ -1,12 +1,13 @@
 //! Table 3: the web-based campaign overview (14 countries, completed
 //! measurements = successful DNS + fast.com uploads per country).
 
-use roam_bench::run_web;
+use roam_bench::CampaignRunner;
 use roam_world::World;
 
 fn main() {
     let specs = World::web_campaign_specs();
-    let (_, results) = run_web(2024);
+    let run = CampaignRunner::from_env(2024).run_web();
+    let results = &run.results;
 
     println!("Table 3 — web-based campaign overview\n");
     println!(
@@ -30,4 +31,5 @@ fn main() {
         );
     }
     println!("\ntotal completed measurements: {total} (paper: 116)");
+    print!("{}", run.telemetry.render());
 }

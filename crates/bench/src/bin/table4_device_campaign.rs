@@ -1,14 +1,14 @@
 //! Table 4: the device-based campaign overview — successful test counts per
 //! country, formatted `<physical SIM> // <Airalo eSIM>` like the paper.
 
-use roam_bench::run_device;
+use roam_bench::CampaignRunner;
 use roam_cellular::SimType;
 use roam_measure::Service;
 
 fn main() {
     // Scale 0.25 keeps the run quick while preserving the per-country
     // ratios; pass-through of the real counts is in the spec table itself.
-    let run = run_device(2024, 0.25);
+    let run = CampaignRunner::from_env(2024).scale(0.25).run();
 
     println!("Table 4 — device-based campaign overview (scaled ×0.25)\n");
     println!(
@@ -74,4 +74,5 @@ fn main() {
         );
     }
     println!("\n(Spain and the UK report no video sessions, as in §A.3.)");
+    print!("{}", run.telemetry.render());
 }

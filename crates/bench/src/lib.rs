@@ -11,10 +11,17 @@
 //! derived from the attachment's flow stamp and the measurement's label —
 //! never from execution order. The merged output is therefore bit-identical
 //! whether shards run on one thread ([`RunMode::Sequential`]) or many
-//! ([`RunMode::Parallel`]). The plain
-//! [`run_device`]/[`run_web`]/[`survey_all_esims`] entry points read the
-//! worker count from `ROAM_PARALLEL` (default sequential) — safe because
-//! the mode cannot change the bytes, only the wall clock.
+//! ([`RunMode::Parallel`]).
+//!
+//! [`CampaignRunner`] is the one configuration surface: seed, scale,
+//! worker count, transport backend and telemetry mode, applied uniformly
+//! to the device campaign ([`CampaignRunner::run`]), the web campaign
+//! ([`CampaignRunner::run_web`]) and the eSIM survey
+//! ([`CampaignRunner::run_survey`]). The plain
+//! [`run_device`]/[`run_web`]/[`survey_all_esims`] entry points are
+//! `CampaignRunner::from_env` shorthands — they read `ROAM_PARALLEL`,
+//! `ROAM_TRANSPORT` and `ROAM_TELEMETRY` (safe because none of the knobs
+//! can change the bytes, only the wall clock and what gets reported).
 
 use roam_core::EsimObservation;
 use roam_geo::{City, Country};
@@ -22,7 +29,10 @@ use roam_measure::{
     run_device_campaign, run_shards, run_web_measurement, CampaignData, DeviceCampaignSpec,
     Endpoint, RunMode, WebRecord,
 };
+use roam_netsim::TransportKind;
+use roam_telemetry::{merge_shards, TelemetryMode, TelemetryReport, TelemetrySnapshot};
 use roam_world::{DeviceCountrySpec, World};
+use std::time::Instant;
 
 /// Scale factor applied to the Table-4 sample counts. 1.0 is paper scale;
 /// the unit tests of the binaries use ~0.1 for speed.
@@ -59,6 +69,17 @@ pub struct DeviceCountryRun {
     pub sim: Endpoint,
 }
 
+/// Wall-clock cost of one shard. Wall time is the one non-deterministic
+/// quantity a run reports; it lives here, outside the byte-stable
+/// [`TelemetryReport`], so the report stays comparable across machines.
+#[derive(Debug, Clone)]
+pub struct ShardTiming {
+    /// The shard's stable key (`"device/PAK"`, `"web/DEU"`, …).
+    pub key: String,
+    /// Wall-clock milliseconds the shard took on its worker.
+    pub wall_ms: f64,
+}
+
 /// Everything a figure binary needs from one full device-campaign run.
 pub struct DeviceCampaignRun {
     /// Per-country shard results, in Table-4 order. Each carries the
@@ -66,6 +87,10 @@ pub struct DeviceCampaignRun {
     pub shards: Vec<DeviceCountryRun>,
     /// All measurement records, all countries merged in Table-4 order.
     pub data: CampaignData,
+    /// Telemetry merged in shard-key order (empty when the mode is off).
+    pub telemetry: TelemetryReport,
+    /// Per-shard wall time, in merge order (not byte-stable).
+    pub timings: Vec<ShardTiming>,
 }
 
 impl DeviceCampaignRun {
@@ -90,7 +115,24 @@ pub fn run_device_shard(
     scale: f64,
     spec: &DeviceCountrySpec,
 ) -> (DeviceCountryRun, CampaignData) {
+    let (run, data, _, _) = run_device_shard_with(seed, scale, spec, TelemetryMode::Off);
+    (run, data)
+}
+
+/// [`run_device_shard`] with a telemetry mode, also returning the shard's
+/// telemetry snapshot and its wall-clock milliseconds. This is the unit
+/// the [`CampaignRunner`] merges: snapshots fold together in shard-key
+/// order, wall times stay outside the byte-stable report.
+#[must_use]
+pub fn run_device_shard_with(
+    seed: u64,
+    scale: f64,
+    spec: &DeviceCountrySpec,
+    telemetry: TelemetryMode,
+) -> (DeviceCountryRun, CampaignData, TelemetrySnapshot, f64) {
+    let started = Instant::now();
     let mut world = World::build(seed);
+    world.net.set_telemetry_mode(telemetry);
     let mut data = CampaignData::default();
     let mut esims = Vec::new();
     let chunks = spec.days.clamp(2, 6);
@@ -115,74 +157,302 @@ pub fn run_device_shard(
         esims.push(esim);
         last_sim = Some(sim);
     }
+    let snap = world.net.take_telemetry();
     let run = DeviceCountryRun {
         country: spec.country,
         world,
         esims,
         sim: last_sim.expect("at least one chunk"),
     };
-    (run, data)
+    (run, data, snap, started.elapsed().as_secs_f64() * 1e3)
 }
 
-/// Run the device campaign across the 10 Table-4 countries.
+/// One full web-campaign run: per-country records plus the run's
+/// telemetry.
+pub struct WebCampaignRun {
+    /// A fresh build of the master seed for static lookups (country
+    /// plans, registry); the endpoints' node ids belong to their shard
+    /// worlds, which are dropped with the shards.
+    pub world: World,
+    /// `(country, completed measurements, endpoint)` per Table-3 country.
+    pub results: Vec<(Country, Vec<WebRecord>, Endpoint)>,
+    /// Telemetry merged in shard-key order.
+    pub telemetry: TelemetryReport,
+    /// Per-shard wall time (not byte-stable).
+    pub timings: Vec<ShardTiming>,
+}
+
+/// One eSIM survey run: the tomography observations plus telemetry.
+pub struct SurveyRun {
+    /// A fresh build of the master seed; resolves every observation.
+    pub world: World,
+    /// Per-country observations, the input to Table 2 / Figs. 3–4.
+    pub observations: Vec<EsimObservation>,
+    /// Telemetry merged in shard-key order.
+    pub telemetry: TelemetryReport,
+    /// Per-shard wall time (not byte-stable).
+    pub timings: Vec<ShardTiming>,
+}
+
+/// The one way to configure a campaign: seed in, then builder-style knobs
+/// for scale, worker count, transport backend and telemetry, shared by all
+/// three campaign shapes.
 ///
-/// Each country's eSIM re-attaches every "day chunk" so that the
-/// Packet-Host/OVH alternation of §4.1 shows up in the observed public IPs
-/// — the campaigns saw both providers per eSIM, not per measurement.
+/// ```no_run
+/// use roam_bench::CampaignRunner;
+/// use roam_netsim::TransportKind;
+/// use roam_telemetry::TelemetryMode;
+///
+/// let run = CampaignRunner::new(42)
+///     .scale(0.1)
+///     .parallel(4)
+///     .transport(TransportKind::Engine)
+///     .telemetry(TelemetryMode::Summary)
+///     .run();
+/// print!("{}", run.telemetry.render());
+/// ```
+///
+/// None of the knobs can change a campaign's bytes — shards merge in
+/// shard-key order and the transports agree on every recorded observable —
+/// so the builder only chooses cost and reporting, never results.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignRunner {
+    seed: u64,
+    scale: f64,
+    mode: RunMode,
+    transport: Option<TransportKind>,
+    telemetry: TelemetryMode,
+}
+
+impl CampaignRunner {
+    /// A sequential, full-scale, telemetry-off runner for `seed`, with the
+    /// transport left to `ROAM_TRANSPORT`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        CampaignRunner {
+            seed,
+            scale: 1.0,
+            mode: RunMode::Sequential,
+            transport: None,
+            telemetry: TelemetryMode::Off,
+        }
+    }
+
+    /// A runner configured from the environment: worker count from
+    /// `ROAM_PARALLEL`, telemetry from `ROAM_TELEMETRY`; the transport is
+    /// resolved per probe from `ROAM_TRANSPORT` (no override installed).
+    #[must_use]
+    pub fn from_env(seed: u64) -> Self {
+        CampaignRunner {
+            mode: RunMode::from_env(),
+            telemetry: TelemetryMode::from_env(),
+            ..CampaignRunner::new(seed)
+        }
+    }
+
+    /// Scale factor on the Table-4 sample counts (1.0 = paper scale).
+    #[must_use]
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Spread shards over `workers` threads (`<= 1` means sequential).
+    #[must_use]
+    pub fn parallel(mut self, workers: usize) -> Self {
+        self.mode = if workers <= 1 {
+            RunMode::Sequential
+        } else {
+            RunMode::Parallel(workers)
+        };
+        self
+    }
+
+    /// Set the shard execution mode directly.
+    #[must_use]
+    pub fn run_mode(mut self, mode: RunMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Pin the transport backend for the run, overriding `ROAM_TRANSPORT`
+    /// (restored when the run finishes).
+    #[must_use]
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = Some(kind);
+        self
+    }
+
+    /// Select what the run's telemetry plane records.
+    #[must_use]
+    pub fn telemetry(mut self, mode: TelemetryMode) -> Self {
+        self.telemetry = mode;
+        self
+    }
+
+    fn pin_transport(&self) -> TransportPin {
+        TransportPin(
+            self.transport
+                .map(|k| TransportKind::override_transport(Some(k))),
+        )
+    }
+
+    /// Run the device campaign across the 10 Table-4 countries.
+    ///
+    /// Each country's eSIM re-attaches every "day chunk" so that the
+    /// Packet-Host/OVH alternation of §4.1 shows up in the observed public
+    /// IPs — the campaigns saw both providers per eSIM, not per
+    /// measurement.
+    #[must_use]
+    pub fn run(&self) -> DeviceCampaignRun {
+        let _pin = self.pin_transport();
+        let specs = World::device_campaign_specs();
+        let results = run_shards(self.mode, specs.len(), |i| {
+            run_device_shard_with(self.seed, self.scale, &specs[i], self.telemetry)
+        });
+        let mut data = CampaignData::default();
+        let mut shards = Vec::with_capacity(results.len());
+        let mut snaps = Vec::with_capacity(results.len());
+        let mut timings = Vec::with_capacity(results.len());
+        for (shard, shard_data, snap, wall_ms) in results {
+            let key = format!("device/{}", shard.country.alpha3());
+            data.extend(shard_data);
+            snaps.push((key.clone(), snap));
+            timings.push(ShardTiming { key, wall_ms });
+            shards.push(shard);
+        }
+        let telemetry = merge_shards(self.telemetry, snaps);
+        DeviceCampaignRun {
+            shards,
+            data,
+            telemetry,
+            timings,
+        }
+    }
+
+    /// Run the web campaign across the 14 Table-3 countries. The scale
+    /// knob does not apply — Table 3's completed-measurement counts are
+    /// what the campaign reproduces.
+    #[must_use]
+    pub fn run_web(&self) -> WebCampaignRun {
+        let _pin = self.pin_transport();
+        let specs = World::web_campaign_specs();
+        let out = run_shards(self.mode, specs.len(), |i| {
+            let started = Instant::now();
+            let spec = &specs[i];
+            let mut world = World::build(self.seed);
+            world.net.set_telemetry_mode(self.telemetry);
+            let ep = world.attach_esim(spec.country);
+            let mut records = Vec::new();
+            for m in 0..spec.measurements {
+                if let Some(r) = run_web_measurement(
+                    &mut world.net,
+                    &ep,
+                    &world.internet.targets,
+                    &format!("web/{m}"),
+                ) {
+                    records.push(r);
+                }
+            }
+            let snap = world.net.take_telemetry();
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            (spec.country, records, ep, snap, wall_ms)
+        });
+        let mut results = Vec::with_capacity(out.len());
+        let mut snaps = Vec::with_capacity(out.len());
+        let mut timings = Vec::with_capacity(out.len());
+        for (country, records, ep, snap, wall_ms) in out {
+            let key = format!("web/{}", country.alpha3());
+            snaps.push((key.clone(), snap));
+            timings.push(ShardTiming { key, wall_ms });
+            results.push((country, records, ep));
+        }
+        WebCampaignRun {
+            world: World::build(self.seed),
+            results,
+            telemetry: merge_shards(self.telemetry, snaps),
+            timings,
+        }
+    }
+
+    /// Attach every measured country's eSIM `attaches_per_country` times
+    /// and collect observations — the input to Table 2 / Figs. 3–4. One
+    /// shard per country.
+    #[must_use]
+    pub fn run_survey(&self, attaches_per_country: u32) -> SurveyRun {
+        let _pin = self.pin_transport();
+        let world = World::build(self.seed);
+        let countries = world.measured_countries();
+        let out = run_shards(self.mode, countries.len(), |i| {
+            let started = Instant::now();
+            let country = countries[i];
+            let mut shard_world = World::build(self.seed);
+            shard_world.net.set_telemetry_mode(self.telemetry);
+            let eps: Vec<Endpoint> = (0..attaches_per_country)
+                .map(|_| shard_world.attach_esim(country))
+                .collect();
+            let snap = shard_world.net.take_telemetry();
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            (country, eps, snap, wall_ms)
+        });
+        let mut endpoints = Vec::new();
+        let mut snaps = Vec::with_capacity(out.len());
+        let mut timings = Vec::with_capacity(out.len());
+        for (country, eps, snap, wall_ms) in out {
+            let key = format!("survey/{}", country.alpha3());
+            snaps.push((key.clone(), snap));
+            timings.push(ShardTiming { key, wall_ms });
+            endpoints.extend(eps);
+        }
+        let observations = observations_for(&world, &endpoints);
+        SurveyRun {
+            world,
+            observations,
+            telemetry: merge_shards(self.telemetry, snaps),
+            timings,
+        }
+    }
+}
+
+/// Restores the previous process-wide transport override when a pinned
+/// run finishes (even on unwind).
+struct TransportPin(Option<Option<TransportKind>>);
+
+impl Drop for TransportPin {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            TransportKind::override_transport(prev);
+        }
+    }
+}
+
+/// Run the device campaign with explicit knobs.
+#[deprecated(note = "use `CampaignRunner::new(seed).scale(scale).run_mode(mode).run()`")]
 #[must_use]
 pub fn run_device_mode(seed: u64, scale: f64, mode: RunMode) -> DeviceCampaignRun {
-    let specs = World::device_campaign_specs();
-    let results = run_shards(mode, specs.len(), |i| {
-        run_device_shard(seed, scale, &specs[i])
-    });
-    let mut data = CampaignData::default();
-    let mut shards = Vec::with_capacity(results.len());
-    for (shard, shard_data) in results {
-        data.extend(shard_data);
-        shards.push(shard);
-    }
-    DeviceCampaignRun { shards, data }
+    CampaignRunner::new(seed).scale(scale).run_mode(mode).run()
 }
 
-/// [`run_device_mode`] with the worker count taken from `ROAM_PARALLEL`.
+/// [`CampaignRunner::run`] with every knob taken from the environment.
 #[must_use]
 pub fn run_device(seed: u64, scale: f64) -> DeviceCampaignRun {
-    run_device_mode(seed, scale, RunMode::from_env())
+    CampaignRunner::from_env(seed).scale(scale).run()
 }
 
-/// Run the web campaign across the 14 Table-3 countries, returning the
-/// per-country records.
-///
-/// The returned [`World`] is a fresh build of the master seed for static
-/// lookups (country plans, registry); the endpoints' node ids belong to
-/// their shard worlds, which are dropped with the shards.
+/// Run the web campaign with an explicit worker mode.
+#[deprecated(note = "use `CampaignRunner::new(seed).run_mode(mode).run_web()`")]
 #[must_use]
 pub fn run_web_mode(seed: u64, mode: RunMode) -> (World, Vec<(Country, Vec<WebRecord>, Endpoint)>) {
-    let specs = World::web_campaign_specs();
-    let out = run_shards(mode, specs.len(), |i| {
-        let spec = &specs[i];
-        let mut world = World::build(seed);
-        let ep = world.attach_esim(spec.country);
-        let mut records = Vec::new();
-        for m in 0..spec.measurements {
-            if let Some(r) = run_web_measurement(
-                &mut world.net,
-                &ep,
-                &world.internet.targets,
-                &format!("web/{m}"),
-            ) {
-                records.push(r);
-            }
-        }
-        (spec.country, records, ep)
-    });
-    (World::build(seed), out)
+    let run = CampaignRunner::new(seed).run_mode(mode).run_web();
+    (run.world, run.results)
 }
 
-/// [`run_web_mode`] with the worker count taken from `ROAM_PARALLEL`.
+/// [`CampaignRunner::run_web`] with every knob taken from the environment,
+/// in the legacy tuple shape.
 #[must_use]
 pub fn run_web(seed: u64) -> (World, Vec<(Country, Vec<WebRecord>, Endpoint)>) {
-    run_web_mode(seed, RunMode::from_env())
+    let run = CampaignRunner::from_env(seed).run_web();
+    (run.world, run.results)
 }
 
 /// Build the tomography observations for a set of eSIM endpoints: each
@@ -213,36 +483,26 @@ pub fn observations_for(world: &World, endpoints: &[Endpoint]) -> Vec<EsimObserv
     by_country.into_values().collect()
 }
 
-/// Attach every measured country's eSIM `n` times and collect observations
-/// — the input to Table 2 / Figs. 3–4. One shard per country; the
-/// returned world is a fresh build of the master seed (its IP registry is
-/// populated entirely at build time, so it resolves every shard's
-/// observations).
+/// Run the eSIM survey with an explicit worker mode.
+#[deprecated(note = "use `CampaignRunner::new(seed).run_mode(mode).run_survey(n)`")]
 #[must_use]
 pub fn survey_all_esims_mode(
     seed: u64,
     attaches_per_country: u32,
     mode: RunMode,
 ) -> (World, Vec<EsimObservation>) {
-    let world = World::build(seed);
-    let countries = world.measured_countries();
-    let endpoint_sets = run_shards(mode, countries.len(), |i| {
-        let country = countries[i];
-        let mut shard_world = World::build(seed);
-        (0..attaches_per_country)
-            .map(|_| shard_world.attach_esim(country))
-            .collect::<Vec<_>>()
-    });
-    let endpoints: Vec<Endpoint> = endpoint_sets.into_iter().flatten().collect();
-    let obs = observations_for(&world, &endpoints);
-    (world, obs)
+    let run = CampaignRunner::new(seed)
+        .run_mode(mode)
+        .run_survey(attaches_per_country);
+    (run.world, run.observations)
 }
 
-/// [`survey_all_esims_mode`] with the worker count taken from
-/// `ROAM_PARALLEL`.
+/// [`CampaignRunner::run_survey`] with every knob taken from the
+/// environment, in the legacy tuple shape.
 #[must_use]
 pub fn survey_all_esims(seed: u64, attaches_per_country: u32) -> (World, Vec<EsimObservation>) {
-    survey_all_esims_mode(seed, attaches_per_country, RunMode::from_env())
+    let run = CampaignRunner::from_env(seed).run_survey(attaches_per_country);
+    (run.world, run.observations)
 }
 
 /// Format a boxplot row for the text figures.
@@ -264,7 +524,7 @@ mod tests {
 
     #[test]
     fn small_device_run_covers_all_countries_and_kinds() {
-        let run = run_device_mode(5, 0.02, RunMode::Sequential);
+        let run = CampaignRunner::new(5).scale(0.02).run();
         assert_eq!(run.sims().count(), 10);
         assert!(run.esims().count() >= 10);
         assert!(!run.data.speedtests.is_empty());
@@ -272,11 +532,20 @@ mod tests {
         assert!(!run.data.cdns.is_empty());
         assert!(!run.data.dns.is_empty());
         assert!(!run.data.videos.is_empty());
+        // Telemetry is off by default: nothing recorded, nothing rendered.
+        assert!(run.telemetry.render().is_empty());
+        assert_eq!(
+            run.telemetry.counter(roam_telemetry::Counter::PacketsSent),
+            0
+        );
+        assert_eq!(run.timings.len(), 10);
+        assert!(run.timings[0].key.starts_with("device/"));
     }
 
     #[test]
     fn survey_classifies_21_roaming_3_native() {
-        let (world, obs) = survey_all_esims_mode(6, 3, RunMode::Sequential);
+        let run = CampaignRunner::new(6).run_survey(3);
+        let (world, obs) = (run.world, run.observations);
         assert_eq!(obs.len(), 24);
         let report = roam_core::TomographyReport::build(&obs, world.net.registry());
         assert_eq!(report.rows.len(), 24);
@@ -288,10 +557,50 @@ mod tests {
 
     #[test]
     fn web_campaign_produces_table3_counts() {
-        let (_, results) = run_web_mode(7, RunMode::Sequential);
-        assert_eq!(results.len(), 14);
-        let total: usize = results.iter().map(|(_, r, _)| r.len()).sum();
+        let run = CampaignRunner::new(7).run_web();
+        assert_eq!(run.results.len(), 14);
+        let total: usize = run.results.iter().map(|(_, r, _)| r.len()).sum();
         assert_eq!(total, 116, "Table 3's completed measurements");
+    }
+
+    #[test]
+    fn deprecated_mode_wrappers_still_deliver() {
+        #[allow(deprecated)]
+        let run = run_device_mode(5, 0.02, RunMode::Sequential);
+        let new = CampaignRunner::new(5).scale(0.02).run();
+        assert_eq!(run.data.len(), new.data.len());
+    }
+
+    #[test]
+    fn telemetry_report_is_mode_and_worker_invariant() {
+        use roam_telemetry::{Counter, TelemetryMode};
+        let serial = CampaignRunner::new(9)
+            .scale(0.02)
+            .telemetry(TelemetryMode::Jsonl)
+            .run();
+        let parallel = CampaignRunner::new(9)
+            .scale(0.02)
+            .parallel(4)
+            .telemetry(TelemetryMode::Jsonl)
+            .run();
+        assert!(serial.telemetry.counter(Counter::PacketsSent) > 0);
+        assert!(serial.telemetry.counter(Counter::PlansExecuted) > 0);
+        assert_eq!(serial.telemetry.counter(Counter::ShardsMerged), 10);
+        assert_eq!(serial.telemetry.render(), parallel.telemetry.render());
+    }
+
+    #[test]
+    fn pinned_transport_restores_the_override() {
+        use roam_netsim::TransportKind;
+        let before = TransportKind::override_transport(None);
+        TransportKind::override_transport(before);
+        let _ = CampaignRunner::new(5)
+            .scale(0.02)
+            .transport(TransportKind::Engine)
+            .run();
+        let after = TransportKind::override_transport(None);
+        TransportKind::override_transport(after);
+        assert_eq!(before, after, "pin must restore the previous override");
     }
 
     #[test]

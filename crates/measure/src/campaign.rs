@@ -19,6 +19,7 @@ use roam_core::PathAnalysis;
 use roam_geo::{City, Country};
 use roam_ipx::RoamingArch;
 use roam_netsim::Network;
+use roam_telemetry::{Counter, Event, EventScope, Sink};
 use std::net::Ipv4Addr;
 
 /// Context tag attached to every record.
@@ -147,6 +148,22 @@ impl CampaignData {
             .filter(|r| r.cqi.passes_quality_filter())
             .collect()
     }
+
+    /// Total records across every dataset.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.speedtests.len()
+            + self.traces.len()
+            + self.cdns.len()
+            + self.dns.len()
+            + self.videos.len()
+    }
+
+    /// No records at all?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Per-country sample counts, `(physical SIM, eSIM)` — the Table 4 format.
@@ -243,6 +260,32 @@ pub fn run_measurement(
     data: &mut CampaignData,
 ) {
     let tag = RecordTag::of(ep);
+    let before = data.len();
+    execute_measurement(net, ep, targets, m, data, tag);
+    let emitted = (data.len() - before) as u64;
+    let t = net.telemetry_mut();
+    t.add(Counter::PlansExecuted, 1);
+    t.add(Counter::RecordsEmitted, emitted);
+    if t.wants_events() {
+        t.push_event(Event {
+            at_ns: 0,
+            scope: EventScope::Shard(format!("{:?}/{:?}", tag.country, tag.sim_type)),
+            kind: "plan",
+            label: format!("{m:?}"),
+            value: Some(emitted as f64),
+            attempts: None,
+        });
+    }
+}
+
+fn execute_measurement(
+    net: &mut Network,
+    ep: &Endpoint,
+    targets: &ServiceTargets,
+    m: PlannedMeasurement,
+    data: &mut CampaignData,
+    tag: RecordTag,
+) {
     match m {
         PlannedMeasurement::Ookla(i) => {
             if let Some(r) = ookla_speedtest(net, ep, targets, &format!("ookla/{i}")) {

@@ -9,6 +9,7 @@ use roam_netsim::engine::{flow_seed, Flow, FlowId, Transport, TransportKind};
 use roam_netsim::{
     Network, NodeId, PingResult, RttSample, Traceroute, TracerouteOpts, TransferSpec,
 };
+use roam_telemetry::{Counter, Event, EventScope, Hist, Sink};
 
 /// Everything a measurement client needs to know about the device it runs
 /// on: the attachment (node handles, breakout, DNS mode) and the resolved
@@ -62,10 +63,19 @@ impl Endpoint {
     /// attachment's flow stamp it determines the flow's entire RNG stream,
     /// so the probe's results do not depend on what ran before it.
     pub fn probe<'n>(&self, net: &'n mut Network, label: &str) -> Probe<'n> {
+        net.telemetry_mut().add(Counter::FlowsOpened, 1);
+        // The event label is only materialised when the run keeps an event
+        // stream — the disabled path must not allocate.
+        let ev_label = if net.telemetry().wants_events() {
+            Some(label.to_string())
+        } else {
+            None
+        };
         Probe {
             ue: self.att.ue,
             flow: Flow::open(flow_seed(self.att.flow_stamp, label)),
-            transport: TransportKind::from_env().transport(),
+            transport: TransportKind::current().transport(),
+            ev_label,
             net,
         }
     }
@@ -81,6 +91,7 @@ pub struct Probe<'n> {
     ue: NodeId,
     flow: Flow,
     transport: &'static dyn Transport,
+    ev_label: Option<String>,
 }
 
 impl Probe<'_> {
@@ -91,29 +102,70 @@ impl Probe<'_> {
     }
 
     /// RTT to `dst` with retries, reporting the echo attempts consumed.
+    ///
+    /// Successful samples land in the [`Hist::ProbeRttMs`] histogram and —
+    /// in `jsonl` mode — as a flow-scoped `rtt` event. RTTs are walked
+    /// packet-by-packet, independent of the transport backend, so they are
+    /// safe observables for the byte-stable telemetry plane.
     pub fn rtt(&mut self, dst: NodeId) -> Option<RttSample> {
-        self.net.rtt_probe(self.ue, dst, &mut self.flow)
+        let sample = self.net.rtt_probe(self.ue, dst, &mut self.flow);
+        if let Some(s) = sample {
+            self.net.telemetry_mut().observe(Hist::ProbeRttMs, s.rtt_ms);
+            if let Some(label) = &self.ev_label {
+                let ev = Event {
+                    at_ns: 0,
+                    scope: EventScope::Flow(self.flow.id().0),
+                    kind: "rtt",
+                    label: label.clone(),
+                    value: Some(s.rtt_ms),
+                    attempts: Some(s.attempts),
+                };
+                self.net.telemetry_mut().push_event(ev);
+            }
+        }
+        sample
     }
 
     /// A single echo exchange with `dst`.
     pub fn ping(&mut self, dst: NodeId) -> Option<PingResult> {
-        self.net.ping_flow(self.ue, dst, &mut self.flow)
+        let r = self.net.ping_flow(self.ue, dst, &mut self.flow);
+        if let Some(p) = &r {
+            self.net.telemetry_mut().observe(Hist::ProbeRttMs, p.rtt_ms);
+        }
+        r
     }
 
     /// TTL-walk toward `dst`.
     pub fn traceroute(&mut self, dst: NodeId, opts: TracerouteOpts) -> Traceroute {
-        self.net.traceroute_flow(self.ue, dst, opts, &mut self.flow)
+        let trace = self.net.traceroute_flow(self.ue, dst, opts, &mut self.flow);
+        let t = self.net.telemetry_mut();
+        t.add(Counter::TracerouteRuns, 1);
+        t.observe(Hist::TraceHops, trace.hops.len() as f64);
+        trace
     }
 
     /// Completion time of a bulk transfer under the selected transport, ms.
+    ///
+    /// The byte count enters [`Counter::TransferBytes`]; the *duration*
+    /// deliberately does not reach the telemetry plane — the two transports
+    /// agree only to sub-microsecond rounding, and durations would break
+    /// the byte-identical-across-`ROAM_TRANSPORT` guarantee.
     #[must_use]
-    pub fn transfer_ms(&self, spec: &TransferSpec) -> f64 {
+    pub fn transfer_ms(&mut self, spec: &TransferSpec) -> f64 {
+        self.net
+            .telemetry_mut()
+            .add(Counter::TransferBytes, spec.bytes as u64);
         self.transport.transfer_ms(spec)
     }
 
     /// Goodput of a bulk transfer under the selected transport, Mbps.
+    /// Same telemetry rule as [`Probe::transfer_ms`]: bytes are counted,
+    /// the transport-dependent rate is not recorded.
     #[must_use]
-    pub fn goodput_mbps(&self, spec: &TransferSpec) -> f64 {
+    pub fn goodput_mbps(&mut self, spec: &TransferSpec) -> f64 {
+        self.net
+            .telemetry_mut()
+            .add(Counter::TransferBytes, spec.bytes as u64);
         self.transport.goodput_mbps(spec)
     }
 

@@ -6,6 +6,12 @@
 //! the same flat tables so downstream analysis can run in any toolchain.
 //! No third-party CSV crate: the fields are all numeric/enum-like, and the
 //! single free-text column (city names) is quoted defensively.
+//!
+//! The API surface is the [`Exporter`] trait over the [`Dataset`] enum:
+//! `data.export(Dataset::Speedtests)` names the table, `datasets()` lists
+//! what a container can emit, and every table is discoverable through
+//! [`Dataset::ALL`]. The six pre-trait free functions (`speedtests_csv`
+//! and friends) remain as deprecated wrappers.
 
 use crate::campaign::{CampaignData, RecordTag};
 use crate::voip::VoipResult;
@@ -83,11 +89,134 @@ impl Display for TagCols<'_> {
     }
 }
 
-/// Speedtests:
-/// `country,sim,arch,rat,down_mbps,up_mbps,latency_ms,attempts,cqi`.
-#[must_use]
-pub fn speedtests_csv(data: &CampaignData) -> String {
-    let mut out = String::from("country,sim,arch,rat,down_mbps,up_mbps,latency_ms,attempts,cqi\n");
+/// One of the flat tables a campaign can emit — the paper's
+/// per-measurement datasets, one variant per table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Ookla speedtests.
+    Speedtests,
+    /// Traceroutes with the §4.3 path decomposition.
+    Traces,
+    /// CDN object fetches.
+    Cdn,
+    /// DNS lookups.
+    Dns,
+    /// Video playback sessions.
+    Videos,
+    /// Scored VoIP probe bursts.
+    Voip,
+}
+
+impl Dataset {
+    /// Every dataset, in the stable order exports are enumerated in.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::Speedtests,
+        Dataset::Traces,
+        Dataset::Cdn,
+        Dataset::Dns,
+        Dataset::Videos,
+        Dataset::Voip,
+    ];
+
+    /// File-name stem for artifact directories (`speedtests.csv`, …).
+    #[must_use]
+    pub fn file_stem(self) -> &'static str {
+        match self {
+            Dataset::Speedtests => "speedtests",
+            Dataset::Traces => "traces",
+            Dataset::Cdn => "cdn",
+            Dataset::Dns => "dns",
+            Dataset::Videos => "videos",
+            Dataset::Voip => "voip",
+        }
+    }
+
+    /// The table's CSV header row (no trailing newline).
+    #[must_use]
+    pub fn header(self) -> &'static str {
+        match self {
+            Dataset::Speedtests => "country,sim,arch,rat,down_mbps,up_mbps,latency_ms,attempts,cqi",
+            Dataset::Traces => {
+                "country,sim,arch,rat,service,private_len,public_len,pgw_ip,pgw_asn,pgw_city,\
+                 pgw_rtt_ms,final_rtt_ms,private_share,unique_asns,reached"
+            }
+            Dataset::Cdn => "country,sim,arch,rat,provider,total_ms,dns_ms,cache",
+            Dataset::Dns => "country,sim,arch,rat,lookup_ms,attempts,resolver_city,doh",
+            Dataset::Videos => "country,sim,arch,rat,resolution,rebuffered",
+            Dataset::Voip => "country,sim,arch,rat,rtt_ms,jitter_ms,loss,r_factor,mos",
+        }
+    }
+
+    /// A header-only table (what a container exports for a dataset it does
+    /// not hold).
+    fn header_only(self) -> String {
+        let mut out = String::with_capacity(self.header().len() + 1);
+        out.push_str(self.header());
+        out.push('\n');
+        out
+    }
+}
+
+/// Anything that can flatten (some of) its records into the canonical CSV
+/// tables. The one export entry point: `data.export(Dataset::Speedtests)`.
+pub trait Exporter {
+    /// The datasets this container actually holds records for.
+    fn datasets(&self) -> &'static [Dataset];
+
+    /// The full CSV table for `ds`: header plus one row per record. A
+    /// dataset outside [`Exporter::datasets`] yields the header alone, so
+    /// artifact layouts stay uniform across container types.
+    fn export(&self, ds: Dataset) -> String;
+
+    /// Every held dataset with its rendered table, in [`Dataset::ALL`]
+    /// order.
+    fn export_all(&self) -> Vec<(Dataset, String)> {
+        self.datasets()
+            .iter()
+            .map(|&ds| (ds, self.export(ds)))
+            .collect()
+    }
+}
+
+impl Exporter for CampaignData {
+    fn datasets(&self) -> &'static [Dataset] {
+        &[
+            Dataset::Speedtests,
+            Dataset::Traces,
+            Dataset::Cdn,
+            Dataset::Dns,
+            Dataset::Videos,
+        ]
+    }
+
+    fn export(&self, ds: Dataset) -> String {
+        match ds {
+            Dataset::Speedtests => speedtest_rows(self),
+            Dataset::Traces => trace_rows(self),
+            Dataset::Cdn => cdn_rows(self),
+            Dataset::Dns => dns_rows(self),
+            Dataset::Videos => video_rows(self),
+            // VoIP bursts live outside CampaignData (see [`VoipRecord`]).
+            Dataset::Voip => ds.header_only(),
+        }
+    }
+}
+
+impl Exporter for [VoipRecord] {
+    fn datasets(&self) -> &'static [Dataset] {
+        &[Dataset::Voip]
+    }
+
+    fn export(&self, ds: Dataset) -> String {
+        match ds {
+            Dataset::Voip => voip_rows(self),
+            other => other.header_only(),
+        }
+    }
+}
+
+fn speedtest_rows(data: &CampaignData) -> String {
+    let mut out = Dataset::Speedtests.header_only();
     for r in &data.speedtests {
         let _ = writeln!(
             out,
@@ -103,13 +232,8 @@ pub fn speedtests_csv(data: &CampaignData) -> String {
     out
 }
 
-/// Traceroutes: one row per trace with the paper's §4.3 dataset columns.
-#[must_use]
-pub fn traces_csv(data: &CampaignData) -> String {
-    let mut out = String::from(
-        "country,sim,arch,rat,service,private_len,public_len,pgw_ip,pgw_asn,pgw_city,\
-         pgw_rtt_ms,final_rtt_ms,private_share,unique_asns,reached\n",
-    );
+fn trace_rows(data: &CampaignData) -> String {
+    let mut out = Dataset::Traces.header_only();
     for r in &data.traces {
         let a = &r.analysis;
         let _ = writeln!(
@@ -132,10 +256,8 @@ pub fn traces_csv(data: &CampaignData) -> String {
     out
 }
 
-/// CDN fetches: `country,sim,arch,rat,provider,total_ms,dns_ms,cache`.
-#[must_use]
-pub fn cdn_csv(data: &CampaignData) -> String {
-    let mut out = String::from("country,sim,arch,rat,provider,total_ms,dns_ms,cache\n");
+fn cdn_rows(data: &CampaignData) -> String {
+    let mut out = Dataset::Cdn.header_only();
     for r in &data.cdns {
         let _ = writeln!(
             out,
@@ -150,10 +272,8 @@ pub fn cdn_csv(data: &CampaignData) -> String {
     out
 }
 
-/// DNS lookups: `country,sim,arch,rat,lookup_ms,attempts,resolver_city,doh`.
-#[must_use]
-pub fn dns_csv(data: &CampaignData) -> String {
-    let mut out = String::from("country,sim,arch,rat,lookup_ms,attempts,resolver_city,doh\n");
+fn dns_rows(data: &CampaignData) -> String {
+    let mut out = Dataset::Dns.header_only();
     for r in &data.dns {
         let _ = writeln!(
             out,
@@ -168,10 +288,8 @@ pub fn dns_csv(data: &CampaignData) -> String {
     out
 }
 
-/// Video sessions: `country,sim,arch,rat,resolution,rebuffered`.
-#[must_use]
-pub fn videos_csv(data: &CampaignData) -> String {
-    let mut out = String::from("country,sim,arch,rat,resolution,rebuffered\n");
+fn video_rows(data: &CampaignData) -> String {
+    let mut out = Dataset::Videos.header_only();
     for r in &data.videos {
         let _ = writeln!(out, "{},{},{}", TagCols(&r.tag), r.resolution, r.rebuffered);
     }
@@ -187,12 +305,10 @@ pub struct VoipRecord {
     pub result: VoipResult,
 }
 
-/// VoIP probes: `country,sim,arch,rat,rtt_ms,jitter_ms,loss,r_factor,mos`.
 /// Dead-path bursts report `rtt_ms = jitter_ms = ∞`; those fields are
 /// emitted empty so the table stays parseable.
-#[must_use]
-pub fn voip_csv(records: &[VoipRecord]) -> String {
-    let mut out = String::from("country,sim,arch,rat,rtt_ms,jitter_ms,loss,r_factor,mos\n");
+fn voip_rows(records: &[VoipRecord]) -> String {
+    let mut out = Dataset::Voip.header_only();
     for r in records {
         let v = &r.result;
         let _ = writeln!(
@@ -207,6 +323,48 @@ pub fn voip_csv(records: &[VoipRecord]) -> String {
         );
     }
     out
+}
+
+/// Speedtests table.
+#[deprecated(note = "use `data.export(Dataset::Speedtests)` via the `Exporter` trait")]
+#[must_use]
+pub fn speedtests_csv(data: &CampaignData) -> String {
+    data.export(Dataset::Speedtests)
+}
+
+/// Traceroutes table.
+#[deprecated(note = "use `data.export(Dataset::Traces)` via the `Exporter` trait")]
+#[must_use]
+pub fn traces_csv(data: &CampaignData) -> String {
+    data.export(Dataset::Traces)
+}
+
+/// CDN fetches table.
+#[deprecated(note = "use `data.export(Dataset::Cdn)` via the `Exporter` trait")]
+#[must_use]
+pub fn cdn_csv(data: &CampaignData) -> String {
+    data.export(Dataset::Cdn)
+}
+
+/// DNS lookups table.
+#[deprecated(note = "use `data.export(Dataset::Dns)` via the `Exporter` trait")]
+#[must_use]
+pub fn dns_csv(data: &CampaignData) -> String {
+    data.export(Dataset::Dns)
+}
+
+/// Video sessions table.
+#[deprecated(note = "use `data.export(Dataset::Videos)` via the `Exporter` trait")]
+#[must_use]
+pub fn videos_csv(data: &CampaignData) -> String {
+    data.export(Dataset::Videos)
+}
+
+/// VoIP probes table.
+#[deprecated(note = "use `records.export(Dataset::Voip)` via the `Exporter` trait")]
+#[must_use]
+pub fn voip_csv(records: &[VoipRecord]) -> String {
+    records.export(Dataset::Voip)
 }
 
 #[cfg(test)]
@@ -281,15 +439,10 @@ mod tests {
     #[test]
     fn every_export_has_header_plus_rows() {
         let d = data();
-        for (csv, rows) in [
-            (speedtests_csv(&d), 1),
-            (traces_csv(&d), 1),
-            (cdn_csv(&d), 1),
-            (dns_csv(&d), 1),
-            (videos_csv(&d), 1),
-        ] {
-            assert_eq!(csv.lines().count(), rows + 1, "{csv}");
-            let header_cols = csv.lines().next().unwrap().split(',').count();
+        for (ds, csv) in d.export_all() {
+            assert_eq!(csv.lines().count(), 2, "{ds:?}: {csv}");
+            assert_eq!(csv.lines().next().unwrap(), ds.header());
+            let header_cols = ds.header().split(',').count();
             for line in csv.lines().skip(1) {
                 assert_eq!(line.split(',').count(), header_cols, "ragged row: {line}");
             }
@@ -297,8 +450,30 @@ mod tests {
     }
 
     #[test]
+    fn campaign_data_holds_five_of_the_six_datasets() {
+        let d = data();
+        assert_eq!(d.datasets().len(), 5);
+        assert!(!d.datasets().contains(&Dataset::Voip));
+        // Asking anyway yields the uniform header-only table.
+        assert_eq!(
+            d.export(Dataset::Voip),
+            format!("{}\n", Dataset::Voip.header())
+        );
+        assert_eq!(Dataset::ALL.len(), 6);
+        assert_eq!(Dataset::Voip.file_stem(), "voip");
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_the_trait() {
+        let d = data();
+        #[allow(deprecated)]
+        let old = speedtests_csv(&d);
+        assert_eq!(old, d.export(Dataset::Speedtests));
+    }
+
+    #[test]
     fn trace_row_carries_the_papers_columns() {
-        let csv = traces_csv(&data());
+        let csv = data().export(Dataset::Traces);
         let row = csv.lines().nth(1).unwrap();
         assert!(row.starts_with("PAK,esim,HR,4G,"));
         assert!(row.contains("202.166.126.3"));
@@ -335,7 +510,7 @@ mod tests {
                 mos: 1.0,
             },
         };
-        let csv = voip_csv(&[rec]);
+        let csv = [rec].export(Dataset::Voip);
         assert!(!csv.contains("inf"), "non-finite leaked: {csv}");
         let row = csv.lines().nth(1).unwrap();
         assert_eq!(row, "PAK,esim,HR,4G,,,1.0000,0.00,1.00");
@@ -359,7 +534,7 @@ mod tests {
                 mos,
             },
         };
-        let csv = voip_csv(&[rec]);
+        let csv = [rec].export(Dataset::Voip);
         let row = csv.lines().nth(1).unwrap();
         assert!(row.contains("80.000") && row.contains("3.000"));
         assert!(!row.contains(",,"), "no empty fields expected: {row}");
@@ -368,7 +543,8 @@ mod tests {
     #[test]
     fn empty_campaign_yields_headers_only() {
         let d = CampaignData::default();
-        assert_eq!(speedtests_csv(&d).lines().count(), 1);
-        assert_eq!(traces_csv(&d).lines().count(), 1);
+        for ds in Dataset::ALL {
+            assert_eq!(d.export(ds).lines().count(), 1, "{ds:?}");
+        }
     }
 }

@@ -24,13 +24,16 @@
 //!   flows for congestion coupling.
 //!
 //! Select with `ROAM_TRANSPORT=engine` (anything else, or unset, means
-//! closed form) via [`TransportKind::from_env`].
+//! closed form) via [`TransportKind::from_env`], or programmatically with
+//! [`TransportKind::override_transport`]; measurement code should resolve
+//! the effective choice through [`TransportKind::current`].
 
 use crate::event::EventQueue;
 use crate::throughput::{mathis_cap_mbps, TransferSpec, INIT_CWND_SEGMENTS, MSS};
 use crate::time::SimTime;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Derive a flow's RNG seed from the master seed and its stable key.
 ///
@@ -217,6 +220,35 @@ impl TransportKind {
         }
     }
 
+    /// Install (or clear, with `None`) a process-wide override that takes
+    /// precedence over `ROAM_TRANSPORT`. Returns the previous override so
+    /// callers can restore it — the campaign runner's `.transport(..)`
+    /// builder uses this with a restore guard.
+    pub fn override_transport(kind: Option<TransportKind>) -> Option<TransportKind> {
+        let encode = |k: Option<TransportKind>| match k {
+            None => 0u8,
+            Some(TransportKind::ClosedForm) => 1,
+            Some(TransportKind::Engine) => 2,
+        };
+        let prev = TRANSPORT_OVERRIDE.swap(encode(kind), Ordering::SeqCst);
+        match prev {
+            1 => Some(TransportKind::ClosedForm),
+            2 => Some(TransportKind::Engine),
+            _ => None,
+        }
+    }
+
+    /// The effective kind for this call: the process-wide override if one
+    /// is installed, otherwise whatever `ROAM_TRANSPORT` says.
+    #[must_use]
+    pub fn current() -> Self {
+        match TRANSPORT_OVERRIDE.load(Ordering::SeqCst) {
+            1 => TransportKind::ClosedForm,
+            2 => TransportKind::Engine,
+            _ => TransportKind::from_env(),
+        }
+    }
+
     /// The transport this kind names.
     #[must_use]
     pub fn transport(self) -> &'static dyn Transport {
@@ -228,6 +260,9 @@ impl TransportKind {
         }
     }
 }
+
+/// 0 = no override (follow the env), 1 = closed form, 2 = engine.
+static TRANSPORT_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
 #[cfg(test)]
 mod tests {
@@ -308,5 +343,18 @@ mod tests {
             TransportKind::transport(TransportKind::ClosedForm).name(),
             "closed-form"
         );
+    }
+
+    #[test]
+    fn override_beats_env_while_installed() {
+        // Only assert while the override is pinned: other tests in this
+        // binary mutate ROAM_TRANSPORT concurrently, so the env-following
+        // path is exercised in transport_kind_reads_env_per_call, not here.
+        let prev = TransportKind::override_transport(Some(TransportKind::Engine));
+        assert_eq!(TransportKind::current(), TransportKind::Engine);
+        let inner = TransportKind::override_transport(Some(TransportKind::ClosedForm));
+        assert_eq!(inner, Some(TransportKind::Engine));
+        assert_eq!(TransportKind::current(), TransportKind::ClosedForm);
+        TransportKind::override_transport(prev);
     }
 }

@@ -20,6 +20,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use roam_geo::City;
+use roam_telemetry::{Counter, Hist, Recorder, Sink, TelemetryMode, TelemetrySnapshot};
 use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -246,7 +247,10 @@ pub struct Network {
     master_seed: u64,
     route_cache: HashMap<(u32, u32), Option<RoutePath>>,
     icmp_ident: u16,
-    trace: Option<Vec<PacketEvent>>,
+    /// The telemetry plane: counters, histograms, events and the packet
+    /// story all accumulate here. Disabled by default (one branch per
+    /// call site, no allocation).
+    telemetry: Recorder,
     /// Persistent calendar driving packet walks: reset (allocation kept)
     /// at the start of each walk, so hop scheduling never reallocates.
     walk_queue: EventQueue<usize>,
@@ -288,6 +292,41 @@ pub enum PacketEventKind {
     Dropped,
 }
 
+impl PacketEventKind {
+    /// Encode as the `(code, arg)` pair the telemetry plane stores.
+    fn code(self) -> (u8, u8) {
+        match self {
+            PacketEventKind::Sent => (0, 0),
+            PacketEventKind::Forwarded { ttl } => (1, ttl),
+            PacketEventKind::TtlExpired => (2, 0),
+            PacketEventKind::Delivered => (3, 0),
+            PacketEventKind::Dropped => (4, 0),
+        }
+    }
+
+    /// Decode from a stored `(code, arg)` pair.
+    fn from_code(code: u8, arg: u8) -> Self {
+        match code {
+            0 => PacketEventKind::Sent,
+            1 => PacketEventKind::Forwarded { ttl: arg },
+            2 => PacketEventKind::TtlExpired,
+            3 => PacketEventKind::Delivered,
+            _ => PacketEventKind::Dropped,
+        }
+    }
+
+    /// The counter this packet event bumps.
+    fn counter(self) -> Counter {
+        match self {
+            PacketEventKind::Sent => Counter::PacketsSent,
+            PacketEventKind::Forwarded { .. } => Counter::PacketsForwarded,
+            PacketEventKind::TtlExpired => Counter::TtlExpired,
+            PacketEventKind::Delivered => Counter::PacketsDelivered,
+            PacketEventKind::Dropped => Counter::PacketsDropped,
+        }
+    }
+}
+
 impl std::fmt::Display for PacketEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let what = match self.kind {
@@ -315,7 +354,7 @@ impl Network {
             master_seed: seed,
             route_cache: HashMap::new(),
             icmp_ident: 1,
-            trace: None,
+            telemetry: Recorder::off(),
             walk_queue: EventQueue::new(),
             pkt_buf: BytesMut::with_capacity(128),
             icmp_buf: BytesMut::with_capacity(64),
@@ -330,21 +369,64 @@ impl Network {
     }
 
     /// Start recording packet events (pcap-style). Any previously recorded
-    /// events are discarded.
+    /// events are discarded. The story flows through the telemetry sink:
+    /// unlike the old consume-once buffer, reading it does not erase it.
     pub fn enable_tracing(&mut self) {
-        self.trace = Some(Vec::new());
+        self.telemetry.enable_packet_trace();
     }
 
-    /// Stop recording and return everything captured since
-    /// [`Network::enable_tracing`].
+    /// Stop recording packet events. The captured story remains readable
+    /// through [`Network::take_trace`].
+    pub fn disable_tracing(&mut self) {
+        self.telemetry.disable_packet_trace();
+    }
+
+    /// The packet story captured since [`Network::enable_tracing`].
+    ///
+    /// Historically this consumed the trace buffer — a second call was
+    /// silently empty. The records now live in the telemetry sink, so the
+    /// call is repeatable: it returns everything captured so far, and
+    /// recording continues until [`Network::disable_tracing`]. The name is
+    /// kept for API continuity.
     pub fn take_trace(&mut self) -> Vec<PacketEvent> {
-        self.trace.take().unwrap_or_default()
+        self.telemetry
+            .packet_records()
+            .iter()
+            .map(|r| PacketEvent {
+                at: SimTime::from_nanos(r.at_ns),
+                node: NodeId(r.node),
+                kind: PacketEventKind::from_code(r.code, r.arg),
+            })
+            .collect()
+    }
+
+    /// Select what the telemetry plane records (counters/histograms/events).
+    pub fn set_telemetry_mode(&mut self, mode: TelemetryMode) {
+        self.telemetry.set_mode(mode);
+    }
+
+    /// Read access to the recorder (mode checks, packet story).
+    #[must_use]
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// Write access to the recorder, for the layers above (probes record
+    /// their latencies and events through the network they run on).
+    pub fn telemetry_mut(&mut self) -> &mut Recorder {
+        &mut self.telemetry
+    }
+
+    /// Drain the accumulated telemetry into a mergeable snapshot (the
+    /// shard hand-off point). The recorder's mode and packet story stay.
+    pub fn take_telemetry(&mut self) -> TelemetrySnapshot {
+        self.telemetry.take()
     }
 
     fn record(&mut self, at: SimTime, node: NodeId, kind: PacketEventKind) {
-        if let Some(t) = self.trace.as_mut() {
-            t.push(PacketEvent { at, node, kind });
-        }
+        self.telemetry.add(kind.counter(), 1);
+        let (code, arg) = kind.code();
+        self.telemetry.packet(at.as_nanos(), node.0, code, arg);
     }
 
     /// Add a node. The name is interned in a lookup table, so scenario
@@ -725,11 +807,18 @@ impl Network {
     /// clients use [`Network::rtt_probe`], which also reports how many
     /// probes the retries burned.
     pub fn rtt_ms(&mut self, src: NodeId, dst: NodeId) -> Option<f64> {
-        for _ in 0..3 {
+        for attempt in 1..=3u32 {
             if let Some(r) = self.ping(src, dst) {
+                self.telemetry
+                    .add(Counter::EchoAttempts, u64::from(attempt));
+                self.telemetry
+                    .add(Counter::ProbeRetransmits, u64::from(attempt - 1));
                 return Some(r.rtt_ms);
             }
         }
+        self.telemetry.add(Counter::EchoAttempts, 3);
+        self.telemetry.add(Counter::ProbeRetransmits, 2);
+        self.telemetry.add(Counter::ProbesLost, 1);
         None
     }
 
@@ -737,14 +826,21 @@ impl Network {
     /// attempt count so probe loss surfaces in campaign datasets instead of
     /// being silently swallowed.
     pub fn rtt_probe(&mut self, src: NodeId, dst: NodeId, flow: &mut Flow) -> Option<RttSample> {
-        for attempt in 1..=3 {
+        for attempt in 1..=3u32 {
             if let Some(r) = self.ping_flow(src, dst, flow) {
+                self.telemetry
+                    .add(Counter::EchoAttempts, u64::from(attempt));
+                self.telemetry
+                    .add(Counter::ProbeRetransmits, u64::from(attempt - 1));
                 return Some(RttSample {
                     rtt_ms: r.rtt_ms,
                     attempts: attempt,
                 });
             }
         }
+        self.telemetry.add(Counter::EchoAttempts, 3);
+        self.telemetry.add(Counter::ProbeRetransmits, 2);
+        self.telemetry.add(Counter::ProbesLost, 1);
         None
     }
 
@@ -899,6 +995,10 @@ impl Network {
             }
             let delay = latency.sample(rng);
             q.schedule_after(delay, step + 1);
+            if self.telemetry.active() {
+                self.telemetry.add(Counter::CalendarEvents, 1);
+                self.telemetry.observe(Hist::CalendarDepth, q.len() as f64);
+            }
         }
         let result = outcome.unwrap_or(Some((false, q.now(), None)));
         self.walk_queue = q;
@@ -1162,12 +1262,37 @@ mod tests {
                 .all(|w| w[0].at <= w[1].at || w[1].kind == PacketEventKind::Sent),
             "events within a leg are time-ordered"
         );
-        // Tracing is consumed: a second take is empty and recording stops.
-        assert!(net.take_trace().is_empty());
+        // The trace is repeatable: a second take tells the same story.
+        assert_eq!(net.take_trace(), events);
+        // Further traffic extends it while tracing stays on.
         net.ping(ue, sp);
-        assert!(net.take_trace().is_empty(), "no recording without enable");
+        assert!(net.take_trace().len() > events.len());
+        // disable_tracing freezes the story: still readable, no longer fed.
+        net.disable_tracing();
+        let frozen = net.take_trace();
+        net.ping(ue, sp);
+        assert_eq!(net.take_trace(), frozen, "no recording after disable");
         // Display is human-readable.
         assert!(events[0].to_string().contains("sent"));
+    }
+
+    #[test]
+    fn telemetry_counts_packets_and_probes() {
+        use roam_telemetry::TelemetryMode;
+        let (mut net, ue, sp, _) = chain();
+        net.set_telemetry_mode(TelemetryMode::Summary);
+        assert!(net.ping(ue, sp).is_some());
+        assert!(net.rtt_ms(ue, sp).is_some());
+        let snap = net.take_telemetry();
+        assert_eq!(snap.counters[Counter::PacketsSent as usize], 4);
+        assert_eq!(snap.counters[Counter::PacketsDelivered as usize], 4);
+        assert!(snap.counters[Counter::CalendarEvents as usize] > 0);
+        assert!(snap.counters[Counter::EchoAttempts as usize] >= 1);
+        assert_eq!(snap.counters[Counter::ProbesLost as usize], 0);
+        // Taking resets the tallies but keeps recording.
+        assert!(net.ping(ue, sp).is_some());
+        let again = net.take_telemetry();
+        assert_eq!(again.counters[Counter::PacketsSent as usize], 2);
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! The recorder: counters, histograms, packet records and events.
+
+use crate::TelemetryMode;
+
+/// Monotonic counters, one per observable. The enum order is the render
+/// order, so adding a counter never reshuffles existing report lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Packets injected by a source host.
+    PacketsSent,
+    /// Packets forwarded by an intermediate node.
+    PacketsForwarded,
+    /// Packets delivered to their final node.
+    PacketsDelivered,
+    /// Packets dropped by a lossy link.
+    PacketsDropped,
+    /// TTLs that hit zero mid-path.
+    TtlExpired,
+    /// Events pushed onto a packet-walk calendar.
+    CalendarEvents,
+    /// Measurement flows opened through `Endpoint::probe`.
+    FlowsOpened,
+    /// Echo attempts consumed by RTT probes (including successes).
+    EchoAttempts,
+    /// Echo attempts beyond the first (retries after loss).
+    ProbeRetransmits,
+    /// RTT probes that exhausted every retry.
+    ProbesLost,
+    /// Traceroute runs.
+    TracerouteRuns,
+    /// Bytes moved by bulk transfers (spec bytes, not wire bytes).
+    TransferBytes,
+    /// Planned measurements executed by the campaign driver.
+    PlansExecuted,
+    /// Campaign records the executed plans produced.
+    RecordsEmitted,
+    /// Shards merged into the final report, in key order.
+    ShardsMerged,
+}
+
+impl Counter {
+    /// Every counter, in render order.
+    pub const ALL: [Counter; 15] = [
+        Counter::PacketsSent,
+        Counter::PacketsForwarded,
+        Counter::PacketsDelivered,
+        Counter::PacketsDropped,
+        Counter::TtlExpired,
+        Counter::CalendarEvents,
+        Counter::FlowsOpened,
+        Counter::EchoAttempts,
+        Counter::ProbeRetransmits,
+        Counter::ProbesLost,
+        Counter::TracerouteRuns,
+        Counter::TransferBytes,
+        Counter::PlansExecuted,
+        Counter::RecordsEmitted,
+        Counter::ShardsMerged,
+    ];
+
+    /// Stable snake_case name used in the summary report.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PacketsSent => "packets_sent",
+            Counter::PacketsForwarded => "packets_forwarded",
+            Counter::PacketsDelivered => "packets_delivered",
+            Counter::PacketsDropped => "packets_dropped",
+            Counter::TtlExpired => "ttl_expired",
+            Counter::CalendarEvents => "calendar_events",
+            Counter::FlowsOpened => "flows_opened",
+            Counter::EchoAttempts => "echo_attempts",
+            Counter::ProbeRetransmits => "probe_retransmits",
+            Counter::ProbesLost => "probes_lost",
+            Counter::TracerouteRuns => "traceroute_runs",
+            Counter::TransferBytes => "transfer_bytes",
+            Counter::PlansExecuted => "plans_executed",
+            Counter::RecordsEmitted => "records_emitted",
+            Counter::ShardsMerged => "shards_merged",
+        }
+    }
+}
+
+/// The histogram series the recorder keeps. Buckets are fixed at compile
+/// time — the precondition for bit-identical merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Successful probe round-trip times, milliseconds.
+    ProbeRttMs,
+    /// Hops recorded per traceroute.
+    TraceHops,
+    /// Pending events in the walk calendar after a schedule.
+    CalendarDepth,
+}
+
+impl Hist {
+    /// Every series, in render order.
+    pub const ALL: [Hist; 3] = [Hist::ProbeRttMs, Hist::TraceHops, Hist::CalendarDepth];
+
+    /// Stable snake_case name used in the summary report.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::ProbeRttMs => "probe_rtt_ms",
+            Hist::TraceHops => "trace_hops",
+            Hist::CalendarDepth => "calendar_depth",
+        }
+    }
+
+    /// Inclusive upper bounds of the finite buckets; one overflow bucket
+    /// follows implicitly.
+    #[must_use]
+    pub fn bounds(self) -> &'static [f64] {
+        match self {
+            Hist::ProbeRttMs => &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0, 800.0],
+            Hist::TraceHops => &[2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0],
+            Hist::CalendarDepth => &[1.0, 2.0, 4.0, 8.0, 16.0],
+        }
+    }
+}
+
+/// A fixed-bucket histogram: integer bucket counts plus a sum for mean
+/// reporting. The sum is a float but stays deterministic because every
+/// observation sequence that feeds it is shard-sequential and merges
+/// happen in shard-key order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    series: Hist,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// An empty histogram for `series`.
+    #[must_use]
+    pub fn new(series: Hist) -> Self {
+        Histogram {
+            series,
+            counts: vec![0; series.bounds().len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// The series this histogram tracks.
+    #[must_use]
+    pub fn series(&self) -> Hist {
+        self.series
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let bounds = self.series.bounds();
+        let idx = bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Bucket counts, one per finite bound plus the overflow bucket.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fold another histogram of the same series into this one.
+    ///
+    /// # Panics
+    /// When the series differ — merging incompatible buckets would
+    /// silently corrupt the report.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.series, other.series, "histogram series mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// What an [`Event`] is about.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventScope {
+    /// A measurement flow, identified by its derived seed.
+    Flow(u64),
+    /// A campaign shard, identified by its stable key (`"device/PAK"`).
+    Shard(String),
+}
+
+/// One structured telemetry event — a JSONL line in `jsonl` mode.
+///
+/// `at_ns` is sim-time (the completion time of the observation inside its
+/// flow's walk), never wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Sim-time anchor in nanoseconds (0 for events with no clock).
+    pub at_ns: u64,
+    /// The flow or shard this event belongs to.
+    pub scope: EventScope,
+    /// Event kind (`"rtt"`, `"traceroute"`, `"measurement"`, `"shard"`).
+    pub kind: &'static str,
+    /// Free-form detail: measurement label, shard key…
+    pub label: String,
+    /// Primary value (RTT ms, hop count, merge index…), when meaningful.
+    pub value: Option<f64>,
+    /// Attempt count, when meaningful.
+    pub attempts: Option<u32>,
+}
+
+impl Event {
+    /// Render the event as one JSON object, stable field order.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"ev\":\"");
+        out.push_str(self.kind);
+        out.push('"');
+        match &self.scope {
+            EventScope::Flow(id) => {
+                let _ = write!(out, ",\"flow\":\"{id:#018x}\"");
+            }
+            EventScope::Shard(key) => {
+                let _ = write!(out, ",\"shard\":\"{}\"", escape_json(key));
+            }
+        }
+        let _ = write!(out, ",\"label\":\"{}\"", escape_json(&self.label));
+        if self.at_ns != 0 {
+            let _ = write!(out, ",\"at_ns\":{}", self.at_ns);
+        }
+        if let Some(v) = self.value {
+            if v.is_finite() {
+                let _ = write!(out, ",\"value\":{v}");
+            } else {
+                out.push_str(",\"value\":null");
+            }
+        }
+        if let Some(a) = self.attempts {
+            let _ = write!(out, ",\"attempts\":{a}");
+        }
+        out.push('}');
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One packet-level record — the simulator's pcap line, kept as plain
+/// integers so the telemetry crate needs no knowledge of netsim's types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Sim-time of the event, nanoseconds.
+    pub at_ns: u64,
+    /// Node index where it happened.
+    pub node: u32,
+    /// Kind code (the network layer owns the mapping).
+    pub code: u8,
+    /// Kind argument (e.g. remaining TTL for a forward).
+    pub arg: u8,
+}
+
+/// The statically-dispatched recording surface. [`Recorder`] implements it
+/// for real; [`NoopSink`] implements it as empty inline bodies, which is
+/// what the disabled-telemetry Criterion comparison in `crates/bench`
+/// measures against.
+pub trait Sink {
+    /// Add `n` to a counter.
+    fn add(&mut self, c: Counter, n: u64);
+    /// Record one histogram observation.
+    fn observe(&mut self, h: Hist, value: f64);
+    /// Record a structured event.
+    fn push_event(&mut self, ev: Event);
+    /// Is anything being recorded?
+    fn active(&self) -> bool;
+}
+
+/// The no-op recorder: every method compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    #[inline(always)]
+    fn add(&mut self, _c: Counter, _n: u64) {}
+    #[inline(always)]
+    fn observe(&mut self, _h: Hist, _value: f64) {}
+    #[inline(always)]
+    fn push_event(&mut self, _ev: Event) {}
+    #[inline(always)]
+    fn active(&self) -> bool {
+        false
+    }
+}
+
+/// Everything one recorder accumulated: the unit of cross-shard merging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Counter values, indexed by [`Counter`] discriminant.
+    pub counters: [u64; Counter::ALL.len()],
+    /// Histograms, indexed by [`Hist`] discriminant.
+    pub hists: Vec<Histogram>,
+    /// Structured events in recording order.
+    pub events: Vec<Event>,
+}
+
+impl Default for TelemetrySnapshot {
+    fn default() -> Self {
+        TelemetrySnapshot {
+            counters: [0; Counter::ALL.len()],
+            hists: Hist::ALL.iter().map(|&h| Histogram::new(h)).collect(),
+            events: Vec::new(),
+        }
+    }
+}
+
+/// The concrete recorder a [`Network`](../../roam_netsim/net/struct.Network.html)
+/// (and everything above it) writes into.
+///
+/// The mode gates accumulation: `Off` makes every method a single branch.
+/// Packet tracing is a separate switch — the packet story is opt-in per
+/// network because it records per hop, and it must work even with the
+/// campaign-level mode off (that is how `Network::enable_tracing` keeps
+/// its pre-telemetry behaviour).
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    mode: TelemetryMode,
+    trace_packets: bool,
+    snap: TelemetrySnapshot,
+    packets: Vec<PacketRecord>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl Recorder {
+    /// A disabled recorder — the zero-cost default.
+    #[must_use]
+    pub fn off() -> Self {
+        Recorder::new(TelemetryMode::Off)
+    }
+
+    /// A recorder in the given mode.
+    #[must_use]
+    pub fn new(mode: TelemetryMode) -> Self {
+        Recorder {
+            mode,
+            trace_packets: false,
+            snap: TelemetrySnapshot::default(),
+            packets: Vec::new(),
+        }
+    }
+
+    /// The current mode.
+    #[must_use]
+    pub fn mode(&self) -> TelemetryMode {
+        self.mode
+    }
+
+    /// Switch modes in place (accumulated data is kept).
+    pub fn set_mode(&mut self, mode: TelemetryMode) {
+        self.mode = mode;
+    }
+
+    /// Should call sites bother constructing events?
+    #[must_use]
+    pub fn wants_events(&self) -> bool {
+        self.mode.wants_events()
+    }
+
+    /// Start (or restart) the packet story. Previously captured packet
+    /// records are discarded; counters and histograms are untouched.
+    pub fn enable_packet_trace(&mut self) {
+        self.trace_packets = true;
+        self.packets.clear();
+    }
+
+    /// Stop recording packet records (the captured story is kept).
+    pub fn disable_packet_trace(&mut self) {
+        self.trace_packets = false;
+    }
+
+    /// The packet story captured so far. Unlike the pre-telemetry
+    /// consume-once buffer, reading does not erase it.
+    #[must_use]
+    pub fn packet_records(&self) -> &[PacketRecord] {
+        &self.packets
+    }
+
+    /// Record one packet-level event (no-op unless tracing is enabled).
+    #[inline]
+    pub fn packet(&mut self, at_ns: u64, node: u32, code: u8, arg: u8) {
+        if self.trace_packets {
+            self.packets.push(PacketRecord {
+                at_ns,
+                node,
+                code,
+                arg,
+            });
+        }
+    }
+
+    /// Drain the accumulated counters, histograms and events into a
+    /// snapshot, leaving the recorder empty (mode and packet story are
+    /// kept). This is the shard hand-off point.
+    pub fn take(&mut self) -> TelemetrySnapshot {
+        std::mem::take(&mut self.snap)
+    }
+}
+
+impl Sink for Recorder {
+    #[inline]
+    fn add(&mut self, c: Counter, n: u64) {
+        if self.mode.enabled() {
+            self.snap.counters[c as usize] += n;
+        }
+    }
+
+    #[inline]
+    fn observe(&mut self, h: Hist, value: f64) {
+        if self.mode.enabled() {
+            self.snap.hists[h as usize].observe(value);
+        }
+    }
+
+    #[inline]
+    fn push_event(&mut self, ev: Event) {
+        if self.mode.wants_events() {
+            self.snap.events.push(ev);
+        }
+    }
+
+    #[inline]
+    fn active(&self) -> bool {
+        self.mode.enabled() || self.trace_packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_only_when_enabled() {
+        let mut off = Recorder::off();
+        off.add(Counter::PacketsSent, 3);
+        assert_eq!(off.take().counters[Counter::PacketsSent as usize], 0);
+
+        let mut on = Recorder::new(TelemetryMode::Summary);
+        on.add(Counter::PacketsSent, 3);
+        on.add(Counter::PacketsSent, 2);
+        assert_eq!(on.take().counters[Counter::PacketsSent as usize], 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_merge() {
+        let mut a = Histogram::new(Hist::ProbeRttMs);
+        a.observe(0.5);
+        a.observe(7.0);
+        a.observe(5000.0); // overflow bucket
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[3], 1); // (5, 10]
+        assert_eq!(*a.buckets().last().unwrap(), 1);
+
+        let mut b = Histogram::new(Hist::ProbeRttMs);
+        b.observe(7.5);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.buckets()[3], 2);
+        assert!((a.sum() - (0.5 + 7.0 + 5000.0 + 7.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "series mismatch")]
+    fn merging_different_series_panics() {
+        let mut a = Histogram::new(Hist::ProbeRttMs);
+        a.merge(&Histogram::new(Hist::TraceHops));
+    }
+
+    #[test]
+    fn events_only_in_jsonl_mode() {
+        let ev = Event {
+            at_ns: 0,
+            scope: EventScope::Flow(7),
+            kind: "rtt",
+            label: "ookla/0".into(),
+            value: Some(12.5),
+            attempts: Some(1),
+        };
+        let mut summary = Recorder::new(TelemetryMode::Summary);
+        summary.push_event(ev.clone());
+        assert!(summary.take().events.is_empty());
+
+        let mut jsonl = Recorder::new(TelemetryMode::Jsonl);
+        jsonl.push_event(ev);
+        assert_eq!(jsonl.take().events.len(), 1);
+    }
+
+    #[test]
+    fn event_json_is_stable_and_escaped() {
+        let mut out = String::new();
+        Event {
+            at_ns: 42,
+            scope: EventScope::Shard("device/\"X\"".into()),
+            kind: "shard",
+            label: "a,b".into(),
+            value: Some(1.0),
+            attempts: None,
+        }
+        .write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"ev\":\"shard\",\"shard\":\"device/\\\"X\\\"\",\"label\":\"a,b\",\
+             \"at_ns\":42,\"value\":1}"
+        );
+        let mut flow = String::new();
+        Event {
+            at_ns: 0,
+            scope: EventScope::Flow(0xABCD),
+            kind: "rtt",
+            label: String::new(),
+            value: Some(f64::INFINITY),
+            attempts: Some(3),
+        }
+        .write_json(&mut flow);
+        assert!(flow.contains("\"flow\":\"0x000000000000abcd\""));
+        assert!(flow.contains("\"value\":null"));
+        assert!(flow.contains("\"attempts\":3"));
+    }
+
+    #[test]
+    fn packet_trace_is_repeatable_not_consume_once() {
+        let mut r = Recorder::off();
+        r.packet(1, 0, 0, 0); // tracing not enabled: dropped
+        assert!(r.packet_records().is_empty());
+        r.enable_packet_trace();
+        r.packet(1, 0, 0, 0);
+        r.packet(2, 1, 1, 63);
+        assert_eq!(r.packet_records().len(), 2);
+        // Reading again sees the same story.
+        assert_eq!(r.packet_records().len(), 2);
+        // Re-enabling restarts it.
+        r.enable_packet_trace();
+        assert!(r.packet_records().is_empty());
+    }
+
+    #[test]
+    fn take_resets_but_keeps_mode() {
+        let mut r = Recorder::new(TelemetryMode::Summary);
+        r.add(Counter::FlowsOpened, 1);
+        r.observe(Hist::ProbeRttMs, 3.0);
+        let snap = r.take();
+        assert_eq!(snap.counters[Counter::FlowsOpened as usize], 1);
+        assert_eq!(snap.hists[Hist::ProbeRttMs as usize].count(), 1);
+        let empty = r.take();
+        assert_eq!(empty.counters[Counter::FlowsOpened as usize], 0);
+        assert_eq!(r.mode(), TelemetryMode::Summary);
+    }
+
+    #[test]
+    fn noop_sink_is_inert() {
+        let mut s = NoopSink;
+        s.add(Counter::PacketsSent, 1);
+        s.observe(Hist::ProbeRttMs, 1.0);
+        assert!(!s.active());
+    }
+}

@@ -2,26 +2,26 @@
 //! both the local physical SIM and the Airalo eSIM, alternating between
 //! them, exactly like §3.2 — then the §5.1 comparison on the results.
 //!
+//! The campaign runs through [`CampaignRunner`]: seed in, builder knobs
+//! for scale / workers / telemetry, merged records out. The knobs choose
+//! cost and reporting only — the records are the same bytes either way.
+//!
 //! ```sh
 //! cargo run --release --example device_campaign
 //! ```
 
+use roam_bench::CampaignRunner;
 use roamsim::geo::Country;
-use roamsim::measure::{run_device_campaign, CampaignData, DeviceCampaignSpec};
 use roamsim::stats::{welch_t_test, Summary};
-use roamsim::world::World;
+use roamsim::telemetry::TelemetryMode;
 
 fn main() {
-    let mut world = World::build(7);
-    let spec = DeviceCampaignSpec {
-        ookla: (12, 12),
-        mtr_per_target: (6, 6),
-        cdn_per_provider: (4, 4),
-        dns: (8, 8),
-        video: (6, 6),
-    };
-
-    let mut all = CampaignData::default();
+    let run = CampaignRunner::new(7)
+        .scale(0.4)
+        .parallel(4)
+        .telemetry(TelemetryMode::Summary)
+        .run();
+    let all = &run.data;
     let countries = [
         Country::PAK,
         Country::ARE,
@@ -29,12 +29,6 @@ fn main() {
         Country::GEO,
         Country::KOR,
     ];
-    for country in countries {
-        let sim = world.attach_physical(country);
-        let esim = world.attach_esim(country);
-        let data = run_device_campaign(&mut world.net, &sim, &esim, &spec, &world.internet.targets);
-        all.extend(data);
-    }
 
     println!(
         "{:<6} {:>4}  {:>12} {:>12}  {:>12} {:>12}",
@@ -110,4 +104,8 @@ fn main() {
         t.p_value,
         if t.significant() { "" } else { "not " }
     );
+
+    // What the run cost, from the deterministic telemetry plane.
+    println!();
+    print!("{}", run.telemetry.render());
 }

@@ -34,8 +34,21 @@ jq -n \
     | ($b[0]."campaign/device_campaign_par4".mean_ns) as $par
     | ($b[0]."engine/transfer_closed_form".mean_ns) as $cf
     | ($b[0]."engine/transfer_engine_stepped".mean_ns) as $es
+    | ($b[0]."telemetry/ping_recorder_off".mean_ns) as $toff
+    | ($b[0]."telemetry/ping_recorder_summary".mean_ns) as $tsum
+    | ($b[0]."netsim/packet_forward".mean_ns) as $fwd
+    | ($b[0]."telemetry/sink_noop_1k".mean_ns) as $noop
+    | ($b[0]."telemetry/sink_recorder_off_1k".mean_ns) as $roff
     | {schema: "roamsim-bench-v1",
        host: {cpus: $cpus},
+       telemetry: {
+         note: "recorder-off ping over the bare packet_forward path gates the disabled-telemetry overhead (~1.0 = free); summary_over_off is what turning counters on costs; recorder_off_over_noop_1k compares the mode-gated recorder against the statically-dispatched empty sink",
+         ping_recorder_off_ns: $toff,
+         ping_recorder_summary_ns: $tsum,
+         off_over_bare_ping: (if $toff != null and $fwd != null then ($toff / $fwd) else null end),
+         summary_over_off: (if $tsum != null and $toff != null then ($tsum / $toff) else null end),
+         recorder_off_over_noop_1k: (if $roff != null and $noop != null then ($roff / $noop) else null end)
+       },
        parallel: {
          note: "seq and par4 runs export bit-identical data; speedup is wall-clock only and scales with host cores",
          device_campaign_seq_ns: $seq,
@@ -51,4 +64,4 @@ jq -n \
        benchmarks: $b[0]}' > "$out"
 
 echo "wrote $out"
-jq '.parallel, .engine' "$out"
+jq '.parallel, .engine, .telemetry' "$out"

@@ -22,6 +22,7 @@
 //! | [`ipx`] | `roam-ipx` | PGW providers, HR/LBO/IHBO, GTP sessions |
 //! | [`core`] | `roam-core` | thick-MNA model + tomography (the paper's contribution) |
 //! | [`measure`] | `roam-measure` | traceroute/speedtest/CDN/DNS/video clients, campaigns |
+//! | [`telemetry`] | `roam-telemetry` | deterministic counters/histograms/events (`ROAM_TELEMETRY`) |
 //! | [`econ`] | `roam-econ` | eSIM market, crawler, price analytics |
 //! | [`world`] | `roam-world` | the calibrated 24-country scenario + emnify validation |
 //!
@@ -53,4 +54,5 @@ pub use roam_ipx as ipx;
 pub use roam_measure as measure;
 pub use roam_netsim as netsim;
 pub use roam_stats as stats;
+pub use roam_telemetry as telemetry;
 pub use roam_world as world;

@@ -53,24 +53,28 @@ fn different_seeds_differ() {
 /// keyed by what it measures, never by which worker ran it when.
 #[test]
 fn parallel_campaigns_export_identical_bytes() {
-    use roam_bench::{run_device_mode, run_web_mode, survey_all_esims_mode};
-    use roamsim::measure::{cdn_csv, dns_csv, speedtests_csv, traces_csv, videos_csv, RunMode};
+    use roam_bench::CampaignRunner;
+    use roamsim::measure::Exporter;
 
-    let seq = run_device_mode(11, 0.03, RunMode::Sequential);
-    let par = run_device_mode(11, 0.03, RunMode::Parallel(4));
-    assert_eq!(speedtests_csv(&seq.data), speedtests_csv(&par.data));
-    assert_eq!(traces_csv(&seq.data), traces_csv(&par.data));
-    assert_eq!(cdn_csv(&seq.data), cdn_csv(&par.data));
-    assert_eq!(dns_csv(&seq.data), dns_csv(&par.data));
-    assert_eq!(videos_csv(&seq.data), videos_csv(&par.data));
+    let seq = CampaignRunner::new(11).scale(0.03).run();
+    let par = CampaignRunner::new(11).scale(0.03).parallel(4).run();
+    for (ds, csv) in seq.data.export_all() {
+        assert_eq!(csv, par.data.export(ds), "{ds:?} diverged across workers");
+    }
 
-    let (_, web_seq) = run_web_mode(11, RunMode::Sequential);
-    let (_, web_par) = run_web_mode(11, RunMode::Parallel(4));
-    assert_eq!(format!("{web_seq:?}"), format!("{web_par:?}"));
+    let web_seq = CampaignRunner::new(11).run_web();
+    let web_par = CampaignRunner::new(11).parallel(4).run_web();
+    assert_eq!(
+        format!("{:?}", web_seq.results),
+        format!("{:?}", web_par.results)
+    );
 
-    let (_, obs_seq) = survey_all_esims_mode(11, 2, RunMode::Sequential);
-    let (_, obs_par) = survey_all_esims_mode(11, 2, RunMode::Parallel(4));
-    assert_eq!(format!("{obs_seq:?}"), format!("{obs_par:?}"));
+    let obs_seq = CampaignRunner::new(11).run_survey(2);
+    let obs_par = CampaignRunner::new(11).parallel(4).run_survey(2);
+    assert_eq!(
+        format!("{:?}", obs_seq.observations),
+        format!("{:?}", obs_par.observations)
+    );
 }
 
 #[test]

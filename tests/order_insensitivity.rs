@@ -6,8 +6,7 @@
 
 use roamsim::geo::Country;
 use roamsim::measure::{
-    cdn_csv, dns_csv, run_measurement, speedtests_csv, traces_csv, videos_csv, CampaignData,
-    DeviceCampaignSpec, Endpoint, PlannedMeasurement,
+    run_measurement, CampaignData, DeviceCampaignSpec, Endpoint, Exporter, PlannedMeasurement,
 };
 use roamsim::netsim::Network;
 use roamsim::world::World;
@@ -23,14 +22,10 @@ fn run_one(
 ) -> String {
     let mut data = CampaignData::default();
     run_measurement(net, ep, targets, m, &mut data);
-    format!(
-        "{}{}{}{}{}",
-        speedtests_csv(&data),
-        traces_csv(&data),
-        cdn_csv(&data),
-        dns_csv(&data),
-        videos_csv(&data),
-    )
+    data.export_all()
+        .into_iter()
+        .map(|(_, csv)| csv)
+        .collect::<String>()
 }
 
 /// Execute `plan` in the given order, returning each entry's serialized
