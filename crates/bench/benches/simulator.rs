@@ -309,6 +309,42 @@ fn bench_econ(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fleet(c: &mut Criterion) {
+    use roam_fleet::FleetRunner;
+
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+    // 2k users end-to-end; scripts/bench_json.sh divides USERS by the mean
+    // run time to report the users/sec headline.
+    const USERS: u64 = 2_000;
+    g.bench_function("run_2k_users_sequential", |b| {
+        b.iter(|| black_box(FleetRunner::new(11).users(USERS).shards(1).run()))
+    });
+    g.bench_function("run_2k_users_4_shards_parallel", |b| {
+        b.iter(|| {
+            black_box(
+                FleetRunner::new(11)
+                    .users(USERS)
+                    .shards(4)
+                    .parallel(4)
+                    .run(),
+            )
+        })
+    });
+    let shard = FleetRunner::new(11).users(USERS).shards(4).run();
+    g.bench_function("report_merge_and_render", |b| {
+        b.iter_batched(
+            || shard.report.clone(),
+            |mut r| {
+                r.merge(&shard.report);
+                black_box(r.render())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_wire,
@@ -319,6 +355,7 @@ criterion_group!(
     bench_telemetry,
     bench_engine,
     bench_stats,
-    bench_econ
+    bench_econ,
+    bench_fleet
 );
 criterion_main!(benches);

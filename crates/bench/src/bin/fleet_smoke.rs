@@ -1,0 +1,47 @@
+//! Population-scale smoke harness for the fleet generator.
+//!
+//! Stdout carries *only* the byte-stable [`FleetReport`] render, so CI can
+//! diff two invocations directly:
+//!
+//! ```sh
+//! ROAM_FLEET_USERS=100000 ROAM_FLEET_SHARDS=1 fleet_smoke > a.txt
+//! ROAM_FLEET_USERS=100000 ROAM_FLEET_SHARDS=8 ROAM_PARALLEL=4 fleet_smoke > b.txt
+//! cmp a.txt b.txt
+//! ```
+//!
+//! Throughput (users/sec) and per-shard wall times go to stderr — they are
+//! real wall-clock measurements and must stay out of the comparable bytes.
+//!
+//! Knobs: `ROAM_FLEET_USERS/SHARDS/DAYS/SAMPLE/MIX`, `ROAM_PARALLEL`,
+//! `ROAM_TRANSPORT`, `ROAM_TELEMETRY`, `ROAM_SEED`.
+
+use roam_fleet::FleetRunner;
+use std::time::Instant;
+
+fn main() {
+    let seed = std::env::var("ROAM_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(42);
+    let runner = FleetRunner::from_env(seed);
+    let users = runner.population();
+
+    let started = Instant::now();
+    let run = runner.run();
+    let wall = started.elapsed().as_secs_f64();
+
+    print!("{}", run.report.render());
+
+    eprintln!(
+        "fleet_smoke: {users} users in {wall:.2}s = {:.0} users/sec across {} shard(s)",
+        users as f64 / wall.max(1e-9),
+        run.timings.len()
+    );
+    for t in &run.timings {
+        eprintln!("  {} {:.1} ms", t.key, t.wall_ms);
+    }
+    let telemetry = run.telemetry.render();
+    if !telemetry.is_empty() {
+        eprint!("{telemetry}");
+    }
+}

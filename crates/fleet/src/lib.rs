@@ -1,0 +1,38 @@
+//! roam-fleet: population-scale deterministic workload generation.
+//!
+//! The measurement crates replay the paper's *campaigns* — a few hundred
+//! carefully-planned tests. This crate asks the scaling question behind
+//! the Airalo ecosystem instead: what does the marketplace + IPX stack
+//! look like under a whole *population* of roamers? It synthesizes
+//! 10⁴–10⁷ subscribers, gives each an itinerary, walks every leg through
+//! a marketplace purchase ([`roam_econ`]) and a churn of eSIM
+//! measurement sessions ([`roam_measure`]), and streams every observable
+//! into mergeable sketches ([`roam_stats::stream`]) so memory stays
+//! O(shards × sketch) no matter the population.
+//!
+//! The module split mirrors the pipeline:
+//!
+//! | module         | role                                                |
+//! |----------------|-----------------------------------------------------|
+//! | [`config`]     | sizing knobs + `ROAM_FLEET_*` environment parsing   |
+//! | [`population`] | per-user deterministic synthesis (class, itinerary) |
+//! | [`runner`]     | sharded execution through the full stack            |
+//! | [`report`]     | exactly-mergeable aggregates + stable render        |
+//!
+//! # Determinism
+//!
+//! [`FleetReport::render`] is byte-identical across `ROAM_PARALLEL`
+//! (worker threads), `ROAM_FLEET_SHARDS` (population partitioning) and
+//! `ROAM_TRANSPORT` (closed-form vs event-engine backend). See the
+//! module docs on [`runner`] for the three-part contract, and
+//! `tests/fleet_determinism.rs` at the workspace root for the pin.
+
+pub mod config;
+pub mod population;
+pub mod report;
+pub mod runner;
+
+pub use config::{FleetConfig, SessionMix};
+pub use population::{synthesize, user_rng, Leg, TravelerClass, UserId, UserProfile};
+pub use report::{FleetReport, JourneySample};
+pub use runner::{FleetRun, FleetRunner, FleetShardTiming};

@@ -1,0 +1,245 @@
+//! The fleet run's aggregate output: counters, sketches, and a
+//! deterministic journey sample.
+//!
+//! Everything in here merges exactly — integer counters, fixed-point
+//! spend, [`QuantileSketch`]es with integral state, and a bottom-k
+//! [`KeyedReservoir`] — so a report assembled from any number of shards,
+//! in any merge order, renders the same bytes. That property is the
+//! second half of the fleet determinism contract (the first is per-user
+//! RNG streams) and is pinned by `tests/fleet_determinism.rs`.
+
+use crate::population::TravelerClass;
+use roam_stats::{KeyedReservoir, QuantileSketch};
+use std::fmt::Write as _;
+
+/// One sampled subscriber journey, kept by the report's deterministic
+/// reservoir for spot-checking a run without buffering the population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JourneySample {
+    /// The subscriber.
+    pub uid: u64,
+    /// Archetype label (`"tourist"`…).
+    pub class: &'static str,
+    /// Itinerary length.
+    pub legs: u32,
+    /// First destination (alpha-3).
+    pub first: &'static str,
+    /// Total marketplace spend, micro-USD.
+    pub spend_micro_usd: u128,
+}
+
+/// Format micro-USD exactly, without going through floats.
+fn usd(micro: u128) -> String {
+    format!("{}.{:06}", micro / 1_000_000, micro % 1_000_000)
+}
+
+/// Aggregates for one fleet run (or one shard of it — the type is its own
+/// merge unit). Memory is O(sketch + sample), independent of population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Users simulated.
+    pub users: u64,
+    /// Users per archetype, in [`TravelerClass`] order (tourist,
+    /// business, iot).
+    pub class_counts: [u64; 3],
+    /// Marketplace purchases.
+    pub purchases: u64,
+    /// Total spend across all purchases, micro-USD (exact).
+    pub spend_micro_usd: u128,
+    /// Data sessions churned through.
+    pub sessions: u64,
+    /// RTT probe sessions that delivered a sample.
+    pub rtt_probes: u64,
+    /// DNS lookup sessions that resolved.
+    pub dns_lookups: u64,
+    /// Bulk-transfer sessions completed.
+    pub transfers: u64,
+    /// Sessions whose probe died on a lossy path.
+    pub lost_sessions: u64,
+    /// Probe round-trip times, ms.
+    pub rtt_ms: QuantileSketch,
+    /// DNS lookup times, ms.
+    pub dns_ms: QuantileSketch,
+    /// Purchased plan prices per GB, USD.
+    pub price_per_gb: QuantileSketch,
+    /// Per-session transfer sizes, MB (the drawn workload, not the
+    /// transport-timed duration — durations are transport-dependent and
+    /// never enter the report).
+    pub session_mb: QuantileSketch,
+    /// Deterministic journey sample, keyed by user id.
+    pub journeys: KeyedReservoir<JourneySample>,
+}
+
+impl FleetReport {
+    /// An empty report whose journey reservoir holds `sample` entries.
+    #[must_use]
+    pub fn new(sample: usize) -> Self {
+        FleetReport {
+            users: 0,
+            class_counts: [0; 3],
+            purchases: 0,
+            spend_micro_usd: 0,
+            sessions: 0,
+            rtt_probes: 0,
+            dns_lookups: 0,
+            transfers: 0,
+            lost_sessions: 0,
+            rtt_ms: QuantileSketch::log_spaced(0.5, 2_000.0, 10),
+            dns_ms: QuantileSketch::log_spaced(0.5, 2_000.0, 10),
+            price_per_gb: QuantileSketch::log_spaced(0.05, 500.0, 10),
+            session_mb: QuantileSketch::log_spaced(0.01, 10_000.0, 10),
+            journeys: KeyedReservoir::new(sample),
+        }
+    }
+
+    /// Count one user of `class`.
+    pub fn count_user(&mut self, class: TravelerClass) {
+        self.users += 1;
+        self.class_counts[match class {
+            TravelerClass::Tourist => 0,
+            TravelerClass::Business => 1,
+            TravelerClass::IotDevice => 2,
+        }] += 1;
+    }
+
+    /// Fold another report in. Exact and order-free: every piece of state
+    /// merges associatively.
+    pub fn merge(&mut self, other: &FleetReport) {
+        self.users += other.users;
+        for (a, b) in self.class_counts.iter_mut().zip(&other.class_counts) {
+            *a += b;
+        }
+        self.purchases += other.purchases;
+        self.spend_micro_usd += other.spend_micro_usd;
+        self.sessions += other.sessions;
+        self.rtt_probes += other.rtt_probes;
+        self.dns_lookups += other.dns_lookups;
+        self.transfers += other.transfers;
+        self.lost_sessions += other.lost_sessions;
+        self.rtt_ms.merge(&other.rtt_ms);
+        self.dns_ms.merge(&other.dns_ms);
+        self.price_per_gb.merge(&other.price_per_gb);
+        self.session_mb.merge(&other.session_mb);
+        self.journeys.merge(&other.journeys);
+    }
+
+    /// The fixed-layout textual report. Shard count, worker count,
+    /// transport backend and wall time are deliberately absent — this
+    /// render is the byte-identity boundary the determinism tests compare.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== roam-fleet report ==");
+        let _ = writeln!(out, "users                {}", self.users);
+        for (i, label) in ["tourist", "business", "iot"].iter().enumerate() {
+            let _ = writeln!(out, "  {:<18} {}", label, self.class_counts[i]);
+        }
+        let _ = writeln!(out, "purchases            {}", self.purchases);
+        let _ = writeln!(out, "spend_usd            {}", usd(self.spend_micro_usd));
+        let _ = writeln!(out, "sessions             {}", self.sessions);
+        let _ = writeln!(out, "  rtt_probes         {}", self.rtt_probes);
+        let _ = writeln!(out, "  dns_lookups        {}", self.dns_lookups);
+        let _ = writeln!(out, "  transfers          {}", self.transfers);
+        let _ = writeln!(out, "  lost               {}", self.lost_sessions);
+        let _ = writeln!(out, "metrics:");
+        for (name, s) in [
+            ("rtt_ms", &self.rtt_ms),
+            ("dns_ms", &self.dns_ms),
+            ("price_per_gb", &self.price_per_gb),
+            ("session_mb", &self.session_mb),
+        ] {
+            let q = |p: f64| s.quantile(p).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "  {:<18} count={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} \
+                 min={:.3} max={:.3} dropped={}",
+                name,
+                s.count(),
+                s.mean(),
+                q(0.5),
+                q(0.9),
+                q(0.99),
+                if s.count() > 0 { s.min() } else { 0.0 },
+                if s.count() > 0 { s.max() } else { 0.0 },
+                s.dropped()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "journeys (sample of {} by stable priority):",
+            self.journeys.cap()
+        );
+        for j in self.journeys.items() {
+            let _ = writeln!(
+                out,
+                "  u{:<10} {:<8} legs={} first={} spend_usd={}",
+                j.uid,
+                j.class,
+                j.legs,
+                j.first,
+                usd(j.spend_micro_usd)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(range: std::ops::Range<u64>) -> FleetReport {
+        let mut r = FleetReport::new(4);
+        for uid in range {
+            r.count_user(TravelerClass::Tourist);
+            r.sessions += 2;
+            r.rtt_probes += 1;
+            r.purchases += 1;
+            r.spend_micro_usd += u128::from(uid) * 1_250_000;
+            r.rtt_ms.observe(20.0 + uid as f64);
+            r.price_per_gb.observe(2.0 + (uid % 7) as f64);
+            r.journeys.offer(
+                uid.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                uid,
+                JourneySample {
+                    uid,
+                    class: "tourist",
+                    legs: 1,
+                    first: "PAK",
+                    spend_micro_usd: 1_250_000,
+                },
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn merge_is_partition_invariant_and_render_is_stable() {
+        let whole = filled(0..100);
+        let mut split = filled(0..37);
+        split.merge(&filled(37..100));
+        assert_eq!(whole, split);
+        assert_eq!(whole.render(), split.render());
+        // Merging the shards the other way round renders the same bytes.
+        let mut reversed = filled(37..100);
+        reversed.merge(&filled(0..37));
+        assert_eq!(whole.render(), reversed.render());
+    }
+
+    #[test]
+    fn spend_formats_exactly() {
+        assert_eq!(usd(0), "0.000000");
+        assert_eq!(usd(1_250_000), "1.250000");
+        assert_eq!(usd(12_345_678_901), "12345.678901");
+    }
+
+    #[test]
+    fn render_layout_survives_an_empty_run() {
+        let r = FleetReport::new(8);
+        let s = r.render();
+        assert!(s.contains("users                0"));
+        assert!(s.contains("rtt_ms"));
+        assert!(s.contains("mean=0.000"));
+        assert!(s.ends_with("priority):\n"));
+    }
+}

@@ -1,0 +1,481 @@
+//! The fleet runner: partition the population, drive every subscriber
+//! through the full stack, merge the shards.
+//!
+//! The determinism contract has three legs:
+//!
+//! 1. **Identical stages.** Every shard builds the same seeded
+//!    [`World`] and attaches the same fixed endpoint pool (two eSIMs per
+//!    measured country, in country order) *before* touching any user, so
+//!    the world RNG and per-country provider alternation are consumed
+//!    identically no matter which user range the shard owns.
+//! 2. **Per-user streams.** Everything about user `u` — profile,
+//!    purchases, session mix, measurement flows — derives from
+//!    `flow_seed(master, "fleet/…/u")`, never from execution order.
+//! 3. **Exact aggregation.** Shard reports merge through integer
+//!    counters, fixed-point sums and mergeable sketches
+//!    ([`FleetReport::merge`]), so the fold is associative.
+//!
+//! Together these make [`FleetReport::render`] byte-identical across
+//! `ROAM_PARALLEL` (worker count), `ROAM_FLEET_SHARDS` (partitioning)
+//! and `ROAM_TRANSPORT` (only transport-independent observables are
+//! recorded: packet-walk RTTs, resolver lookups, drawn workload sizes).
+
+use crate::config::{FleetConfig, SessionMix};
+use crate::population::{synthesize, TravelerClass, UserId};
+use crate::report::{FleetReport, JourneySample};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roam_econ::{EsimOffer, Market};
+use roam_geo::Country;
+use roam_measure::{resolve, run_shards, Endpoint, RunMode, Service};
+use roam_netsim::engine::flow_seed;
+use roam_netsim::{NodeId, TransferSpec, TransportKind};
+use roam_telemetry::{merge_shards, Counter, Sink, TelemetryMode, TelemetryReport};
+use roam_world::World;
+use std::time::Instant;
+
+/// Wall-clock cost of one fleet shard — the only non-deterministic output
+/// of a run, kept outside the byte-stable report.
+#[derive(Debug, Clone)]
+pub struct FleetShardTiming {
+    /// Stable shard key (`"fleet/000"`…).
+    pub key: String,
+    /// Wall-clock milliseconds on its worker.
+    pub wall_ms: f64,
+}
+
+/// Everything a fleet run returns.
+pub struct FleetRun {
+    /// The shard-merged population report (byte-stable).
+    pub report: FleetReport,
+    /// Telemetry merged in shard-key order. Note: unlike the report this
+    /// *does* see the shard structure (`shards_merged`, per-shard events),
+    /// so it is worker- and transport-invariant but not shard-count
+    /// invariant.
+    pub telemetry: TelemetryReport,
+    /// Per-shard wall time, in merge order (not byte-stable).
+    pub timings: Vec<FleetShardTiming>,
+}
+
+/// Builder for fleet runs, mirroring `CampaignRunner`: seed in,
+/// builder-style knobs for population, partitioning, workers, transport
+/// and telemetry. None of the knobs except `users`/`days`/`mix`/`sample`
+/// can change the report's bytes.
+///
+/// ```no_run
+/// use roam_fleet::FleetRunner;
+///
+/// let run = FleetRunner::new(42).users(100_000).shards(8).parallel(4).run();
+/// print!("{}", run.report.render());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRunner {
+    seed: u64,
+    config: FleetConfig,
+    mode: RunMode,
+    transport: Option<TransportKind>,
+    telemetry: TelemetryMode,
+}
+
+impl FleetRunner {
+    /// A sequential, default-sized, telemetry-off runner for `seed`, with
+    /// the transport left to `ROAM_TRANSPORT`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FleetRunner {
+            seed,
+            config: FleetConfig::default(),
+            mode: RunMode::Sequential,
+            transport: None,
+            telemetry: TelemetryMode::Off,
+        }
+    }
+
+    /// A runner configured from the environment: population knobs from
+    /// `ROAM_FLEET_*`, workers from `ROAM_PARALLEL`, telemetry from
+    /// `ROAM_TELEMETRY`; the transport resolves per probe from
+    /// `ROAM_TRANSPORT`.
+    #[must_use]
+    pub fn from_env(seed: u64) -> Self {
+        FleetRunner {
+            config: FleetConfig::from_env(),
+            mode: RunMode::from_env(),
+            telemetry: TelemetryMode::from_env(),
+            ..FleetRunner::new(seed)
+        }
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn users(mut self, users: u64) -> Self {
+        self.config.users = users.max(1);
+        self
+    }
+
+    /// Number of shards the population splits into.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards.max(1);
+        self
+    }
+
+    /// Calendar window, days.
+    #[must_use]
+    pub fn days(mut self, days: u32) -> Self {
+        self.config.days = days.max(1);
+        self
+    }
+
+    /// Journey-sample capacity.
+    #[must_use]
+    pub fn sample(mut self, sample: usize) -> Self {
+        self.config.sample = sample;
+        self
+    }
+
+    /// Measurement mix per session.
+    #[must_use]
+    pub fn mix(mut self, mix: SessionMix) -> Self {
+        self.config.mix = mix;
+        self
+    }
+
+    /// Replace the whole config at once.
+    #[must_use]
+    pub fn config(mut self, config: FleetConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Spread shards over `workers` threads (`<= 1` means sequential).
+    #[must_use]
+    pub fn parallel(mut self, workers: usize) -> Self {
+        self.mode = if workers <= 1 {
+            RunMode::Sequential
+        } else {
+            RunMode::Parallel(workers)
+        };
+        self
+    }
+
+    /// Set the shard execution mode directly.
+    #[must_use]
+    pub fn run_mode(mut self, mode: RunMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Pin the transport backend for the run (restored afterwards).
+    #[must_use]
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = Some(kind);
+        self
+    }
+
+    /// Select what the telemetry plane records.
+    #[must_use]
+    pub fn telemetry(mut self, mode: TelemetryMode) -> Self {
+        self.telemetry = mode;
+        self
+    }
+
+    /// The configured population size (used by smoke tooling to report
+    /// users/sec without re-reading the environment).
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.config.users
+    }
+
+    /// Run the fleet: shard the id range contiguously, drive each shard,
+    /// fold reports and telemetry in shard order.
+    #[must_use]
+    pub fn run(&self) -> FleetRun {
+        let _pin = TransportPin(
+            self.transport
+                .map(|k| TransportKind::override_transport(Some(k))),
+        );
+        let users = self.config.users.max(1);
+        // Never more shards than users — empty shards would be harmless
+        // but wasteful (each builds a world).
+        let shards = (self.config.shards.max(1) as u64).min(users) as usize;
+        let results = run_shards(self.mode, shards, |i| {
+            let lo = users * i as u64 / shards as u64;
+            let hi = users * (i as u64 + 1) / shards as u64;
+            run_fleet_shard(self.seed, &self.config, lo..hi, self.telemetry)
+        });
+        let mut report = FleetReport::new(self.config.sample);
+        let mut snaps = Vec::with_capacity(shards);
+        let mut timings = Vec::with_capacity(shards);
+        for (i, (shard_report, snap, wall_ms)) in results.into_iter().enumerate() {
+            let key = format!("fleet/{i:03}");
+            report.merge(&shard_report);
+            snaps.push((key.clone(), snap));
+            timings.push(FleetShardTiming { key, wall_ms });
+        }
+        FleetRun {
+            report,
+            telemetry: merge_shards(self.telemetry, snaps),
+            timings,
+        }
+    }
+}
+
+/// Restores the previous process-wide transport override when a pinned
+/// run finishes (even on unwind).
+struct TransportPin(Option<Option<TransportKind>>);
+
+impl Drop for TransportPin {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            TransportKind::override_transport(prev);
+        }
+    }
+}
+
+/// The fixed per-country stage every shard builds identically: two eSIM
+/// attachments (capturing the §4.1 provider alternation) plus their
+/// precomputed probe targets.
+struct CountrySlot {
+    endpoints: [Endpoint; 2],
+    rtt_targets: [Option<NodeId>; 2],
+}
+
+/// Offer indices for one destination, split by seller for the purchase
+/// preference draw.
+struct CountryOffers {
+    airalo: Vec<usize>,
+    all: Vec<usize>,
+}
+
+/// Pick an offer deterministically: prefer Airalo's shelf when the user
+/// does (and it can cover the need), then the cheapest per-GB plan that
+/// covers the need, falling back to the biggest plan on the shelf. Ties
+/// break on catalogue order.
+fn choose_offer<'m>(
+    offers: &'m [EsimOffer],
+    shelf: &CountryOffers,
+    prefer_airalo: bool,
+    need_gb: f64,
+) -> Option<&'m EsimOffer> {
+    let pick = |idxs: &[usize]| -> Option<usize> {
+        let covering = idxs
+            .iter()
+            .filter(|&&i| offers[i].data_gb >= need_gb)
+            .min_by(|&&a, &&b| {
+                offers[a]
+                    .per_gb()
+                    .total_cmp(&offers[b].per_gb())
+                    .then(a.cmp(&b))
+            });
+        covering
+            .or_else(|| {
+                idxs.iter().max_by(|&&a, &&b| {
+                    offers[a]
+                        .data_gb
+                        .total_cmp(&offers[b].data_gb)
+                        .then(b.cmp(&a))
+                })
+            })
+            .copied()
+    };
+    if prefer_airalo {
+        if let Some(i) = pick(&shelf.airalo) {
+            return Some(&offers[i]);
+        }
+    }
+    pick(&shelf.all).map(|i| &offers[i])
+}
+
+/// What one session does, drawn from the user's activity stream.
+enum SessionKind {
+    Rtt,
+    Dns,
+    Transfer,
+}
+
+fn draw_kind(rng: &mut SmallRng, mix: SessionMix) -> SessionKind {
+    let roll = rng.gen_range(0..mix.total());
+    if roll < mix.rtt {
+        SessionKind::Rtt
+    } else if roll < mix.rtt + mix.dns {
+        SessionKind::Dns
+    } else {
+        SessionKind::Transfer
+    }
+}
+
+/// Drive one contiguous user range through the stack. Returns the shard's
+/// report, its telemetry snapshot, and its wall-clock milliseconds.
+fn run_fleet_shard(
+    seed: u64,
+    config: &FleetConfig,
+    range: std::ops::Range<u64>,
+    telemetry: TelemetryMode,
+) -> (FleetReport, roam_telemetry::TelemetrySnapshot, f64) {
+    let started = Instant::now();
+    let mut world = World::build(seed);
+    world.net.set_telemetry_mode(telemetry);
+    let market = Market::generate(seed);
+    let countries = world.measured_countries();
+
+    // Stage 1: the fixed endpoint pool, identical in every shard. Attach
+    // first (mutable world), then resolve probe targets (immutable).
+    let mut pool_eps: Vec<[Endpoint; 2]> = Vec::with_capacity(countries.len());
+    for &country in &countries {
+        pool_eps.push([world.attach_esim(country), world.attach_esim(country)]);
+    }
+    let pool: Vec<CountrySlot> = pool_eps
+        .into_iter()
+        .map(|endpoints| {
+            let rtt_targets = [0, 1].map(|i| {
+                world.internet.targets.nearest(
+                    &world.net,
+                    Service::Google,
+                    endpoints[i].att.breakout_city,
+                )
+            });
+            CountrySlot {
+                endpoints,
+                rtt_targets,
+            }
+        })
+        .collect();
+    let shelves: Vec<CountryOffers> = countries
+        .iter()
+        .map(|&c| {
+            let all: Vec<usize> = market
+                .offers()
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.country == c)
+                .map(|(i, _)| i)
+                .collect();
+            let airalo = all
+                .iter()
+                .copied()
+                .filter(|&i| market.offers()[i].provider == market.airalo())
+                .collect();
+            CountryOffers { airalo, all }
+        })
+        .collect();
+    let country_index = |c: Country| {
+        countries
+            .iter()
+            .position(|&x| x == c)
+            .expect("legs only visit measured countries")
+    };
+
+    // Stage 2: stream the users. No per-record buffering — every
+    // observation lands in a sketch, a counter or the reservoir.
+    let mut report = FleetReport::new(config.sample);
+    for uid in range {
+        let profile = synthesize(seed, UserId(uid), &countries, config.days);
+        let mut act = SmallRng::seed_from_u64(flow_seed(seed, &format!("fleet/act/{uid}")));
+        report.count_user(profile.class);
+        world.net.telemetry_mut().add(Counter::FleetUsers, 1);
+        let mut spend_micro = 0u128;
+        for (li, leg) in profile.legs.iter().enumerate() {
+            let ci = country_index(leg.country);
+            let slot = &pool[ci];
+            let prefer_airalo = act.gen_bool(0.6);
+            let offer = choose_offer(
+                market.offers(),
+                &shelves[ci],
+                prefer_airalo,
+                profile.need_gb,
+            )
+            .expect("every measured country has offers");
+            let price = market.price_on_day(offer, leg.arrival_day);
+            spend_micro += (price * 1e6).round() as u128;
+            report.purchases += 1;
+            report.price_per_gb.observe(price / offer.data_gb);
+            world.net.telemetry_mut().add(Counter::FleetPurchases, 1);
+            let which = (uid % 2) as usize;
+            let ep = &slot.endpoints[which];
+            let target = slot.rtt_targets[which];
+            for s in 0..leg.sessions {
+                report.sessions += 1;
+                world.net.telemetry_mut().add(Counter::FleetSessions, 1);
+                let label = format!("fleet/u{uid}/l{li}/s{s}");
+                match draw_kind(&mut act, config.mix) {
+                    SessionKind::Rtt => {
+                        let Some(t) = target else {
+                            report.lost_sessions += 1;
+                            continue;
+                        };
+                        let mut probe = ep.probe(&mut world.net, &label);
+                        match probe.rtt(t) {
+                            Some(sample) => {
+                                report.rtt_probes += 1;
+                                report.rtt_ms.observe(sample.rtt_ms);
+                            }
+                            None => report.lost_sessions += 1,
+                        }
+                    }
+                    SessionKind::Dns => {
+                        match resolve(
+                            &mut world.net,
+                            ep,
+                            &world.internet.targets,
+                            "fleet.airalo.com",
+                            &label,
+                        ) {
+                            Some(r) => {
+                                report.dns_lookups += 1;
+                                report.dns_ms.observe(r.lookup_ms);
+                            }
+                            None => report.lost_sessions += 1,
+                        }
+                    }
+                    SessionKind::Transfer => {
+                        let mb = match profile.class {
+                            TravelerClass::Tourist => act.gen_range(1.0..200.0),
+                            TravelerClass::Business => act.gen_range(5.0..500.0),
+                            TravelerClass::IotDevice => act.gen_range(0.05..1.0),
+                        };
+                        let Some(t) = target else {
+                            report.lost_sessions += 1;
+                            continue;
+                        };
+                        let mut probe = ep.probe(&mut world.net, &label);
+                        let Some(sample) = probe.rtt(t) else {
+                            report.lost_sessions += 1;
+                            continue;
+                        };
+                        let cqi = ep.channel.sample(probe.rng());
+                        // The transfer runs through the selected transport
+                        // to exercise it, but its *duration* is discarded:
+                        // the backends agree only to sub-microsecond
+                        // rounding, and the report must not depend on
+                        // `ROAM_TRANSPORT`. The drawn size is the recorded
+                        // observable.
+                        let _ = probe.transfer_ms(&TransferSpec {
+                            bytes: mb * 1e6,
+                            rtt_ms: sample.rtt_ms,
+                            policy_rate_mbps: ep.effective_down_mbps(cqi),
+                            loss: ep.loss,
+                            setup_rtts: 1.0,
+                            parallel: 1,
+                        });
+                        report.transfers += 1;
+                        report.session_mb.observe(mb);
+                    }
+                }
+            }
+        }
+        report.spend_micro_usd += spend_micro;
+        report.journeys.offer(
+            flow_seed(seed, &format!("fleet/sample/{uid}")),
+            uid,
+            JourneySample {
+                uid,
+                class: profile.class.label(),
+                legs: profile.legs.len() as u32,
+                first: profile.legs[0].country.alpha3(),
+                spend_micro_usd: spend_micro,
+            },
+        );
+    }
+    let snap = world.net.take_telemetry();
+    (report, snap, started.elapsed().as_secs_f64() * 1e3)
+}

@@ -147,9 +147,10 @@ impl Dataset {
         }
     }
 
-    /// A header-only table (what a container exports for a dataset it does
-    /// not hold).
-    fn header_only(self) -> String {
+    /// The header row with its trailing newline, as an owned buffer ready
+    /// to have rows appended — the start of every streamed export.
+    #[must_use]
+    pub fn header_csv(self) -> String {
         let mut out = String::with_capacity(self.header().len() + 1);
         out.push_str(self.header());
         out.push('\n');
@@ -159,14 +160,30 @@ impl Dataset {
 
 /// Anything that can flatten (some of) its records into the canonical CSV
 /// tables. The one export entry point: `data.export(Dataset::Speedtests)`.
+///
+/// The required method is the *streaming* half, [`Exporter::export_rows`]:
+/// it appends rows into a caller-owned buffer, so population-scale callers
+/// (the fleet runner, chunked writers) can emit a table incrementally —
+/// header once via [`Dataset::header_csv`], then rows batch by batch —
+/// without ever materialising the whole table. [`Exporter::export`] is the
+/// buffered convenience built on top; `tests/prop_export_stream.rs` pins
+/// that the two spellings render identical bytes.
 pub trait Exporter {
     /// The datasets this container actually holds records for.
     fn datasets(&self) -> &'static [Dataset];
 
+    /// Append this container's rows for `ds` (no header) onto `out`. A
+    /// dataset outside [`Exporter::datasets`] appends nothing.
+    fn export_rows(&self, ds: Dataset, out: &mut String);
+
     /// The full CSV table for `ds`: header plus one row per record. A
     /// dataset outside [`Exporter::datasets`] yields the header alone, so
     /// artifact layouts stay uniform across container types.
-    fn export(&self, ds: Dataset) -> String;
+    fn export(&self, ds: Dataset) -> String {
+        let mut out = ds.header_csv();
+        self.export_rows(ds, &mut out);
+        out
+    }
 
     /// Every held dataset with its rendered table, in [`Dataset::ALL`]
     /// order.
@@ -189,15 +206,15 @@ impl Exporter for CampaignData {
         ]
     }
 
-    fn export(&self, ds: Dataset) -> String {
+    fn export_rows(&self, ds: Dataset, out: &mut String) {
         match ds {
-            Dataset::Speedtests => speedtest_rows(self),
-            Dataset::Traces => trace_rows(self),
-            Dataset::Cdn => cdn_rows(self),
-            Dataset::Dns => dns_rows(self),
-            Dataset::Videos => video_rows(self),
+            Dataset::Speedtests => speedtest_rows(self, out),
+            Dataset::Traces => trace_rows(self, out),
+            Dataset::Cdn => cdn_rows(self, out),
+            Dataset::Dns => dns_rows(self, out),
+            Dataset::Videos => video_rows(self, out),
             // VoIP bursts live outside CampaignData (see [`VoipRecord`]).
-            Dataset::Voip => ds.header_only(),
+            Dataset::Voip => {}
         }
     }
 }
@@ -207,16 +224,14 @@ impl Exporter for [VoipRecord] {
         &[Dataset::Voip]
     }
 
-    fn export(&self, ds: Dataset) -> String {
-        match ds {
-            Dataset::Voip => voip_rows(self),
-            other => other.header_only(),
+    fn export_rows(&self, ds: Dataset, out: &mut String) {
+        if ds == Dataset::Voip {
+            voip_rows(self, out);
         }
     }
 }
 
-fn speedtest_rows(data: &CampaignData) -> String {
-    let mut out = Dataset::Speedtests.header_only();
+fn speedtest_rows(data: &CampaignData, out: &mut String) {
     for r in &data.speedtests {
         let _ = writeln!(
             out,
@@ -229,11 +244,9 @@ fn speedtest_rows(data: &CampaignData) -> String {
             r.cqi.value()
         );
     }
-    out
 }
 
-fn trace_rows(data: &CampaignData) -> String {
-    let mut out = Dataset::Traces.header_only();
+fn trace_rows(data: &CampaignData, out: &mut String) {
     for r in &data.traces {
         let a = &r.analysis;
         let _ = writeln!(
@@ -253,11 +266,9 @@ fn trace_rows(data: &CampaignData) -> String {
             a.reached
         );
     }
-    out
 }
 
-fn cdn_rows(data: &CampaignData) -> String {
-    let mut out = Dataset::Cdn.header_only();
+fn cdn_rows(data: &CampaignData, out: &mut String) {
     for r in &data.cdns {
         let _ = writeln!(
             out,
@@ -269,11 +280,9 @@ fn cdn_rows(data: &CampaignData) -> String {
             if r.cache_hit { "HIT" } else { "MISS" }
         );
     }
-    out
 }
 
-fn dns_rows(data: &CampaignData) -> String {
-    let mut out = Dataset::Dns.header_only();
+fn dns_rows(data: &CampaignData, out: &mut String) {
     for r in &data.dns {
         let _ = writeln!(
             out,
@@ -285,15 +294,12 @@ fn dns_rows(data: &CampaignData) -> String {
             r.doh
         );
     }
-    out
 }
 
-fn video_rows(data: &CampaignData) -> String {
-    let mut out = Dataset::Videos.header_only();
+fn video_rows(data: &CampaignData, out: &mut String) {
     for r in &data.videos {
         let _ = writeln!(out, "{},{},{}", TagCols(&r.tag), r.resolution, r.rebuffered);
     }
-    out
 }
 
 /// One scored VoIP probe burst with its context tag.
@@ -307,8 +313,7 @@ pub struct VoipRecord {
 
 /// Dead-path bursts report `rtt_ms = jitter_ms = ∞`; those fields are
 /// emitted empty so the table stays parseable.
-fn voip_rows(records: &[VoipRecord]) -> String {
-    let mut out = Dataset::Voip.header_only();
+fn voip_rows(records: &[VoipRecord], out: &mut String) {
     for r in records {
         let v = &r.result;
         let _ = writeln!(
@@ -322,7 +327,6 @@ fn voip_rows(records: &[VoipRecord]) -> String {
             Fin(v.mos)
         );
     }
-    out
 }
 
 /// Speedtests table.

@@ -46,8 +46,6 @@ pub use campaign::{
 pub use cdn::{fetch_jquery, CdnProvider, CdnResult};
 pub use dns::{resolve, DnsResult};
 pub use endpoint::{Endpoint, Probe};
-#[allow(deprecated)]
-pub use export::{cdn_csv, dns_csv, speedtests_csv, traces_csv, videos_csv, voip_csv};
 pub use export::{Dataset, Exporter, VoipRecord};
 pub use parallel::{run_shards, shard_seed, RunMode};
 pub use speedtest::{ookla_speedtest, SpeedtestResult};

@@ -1,0 +1,177 @@
+//! The streamed/buffered export equivalence: `Dataset::header_csv()` plus
+//! record-at-a-time `export_rows` calls must render the exact bytes that
+//! the buffered `export` produces for the same records — for *any* float
+//! payload, including the `inf`/`NaN` values a dead path can report. This
+//! is the contract the fleet path relies on when it emits tables in
+//! chunks instead of materialising them.
+
+use proptest::prelude::*;
+use roam_cellular::{Cqi, Rat, SimType};
+use roam_geo::{City, Country};
+use roam_ipx::RoamingArch;
+use roam_measure::campaign::{CampaignData, DnsRecord, RecordTag, SpeedtestRecord};
+use roam_measure::voip::VoipResult;
+use roam_measure::{Dataset, Exporter, VoipRecord};
+
+/// Any float a measurement could plausibly report — finite values plus
+/// the non-finite ones dead paths produce.
+fn arb_metric() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e6f64..1e6,
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+    ]
+}
+
+fn arb_tag() -> impl Strategy<Value = RecordTag> {
+    (
+        prop_oneof![Just(Country::PAK), Just(Country::USA), Just(Country::DEU)],
+        prop_oneof![Just(SimType::Physical), Just(SimType::Esim)],
+        prop_oneof![
+            Just(RoamingArch::Native),
+            Just(RoamingArch::HomeRouted),
+            Just(RoamingArch::LocalBreakout),
+            Just(RoamingArch::IpxHubBreakout),
+        ],
+        prop_oneof![Just(Rat::Lte), Just(Rat::Nr5g)],
+    )
+        .prop_map(|(country, sim_type, arch, rat)| RecordTag {
+            country,
+            sim_type,
+            arch,
+            rat,
+        })
+}
+
+fn arb_speedtest() -> impl Strategy<Value = SpeedtestRecord> {
+    (
+        arb_tag(),
+        arb_metric(),
+        arb_metric(),
+        arb_metric(),
+        1u32..5,
+        1u8..=15,
+    )
+        .prop_map(
+            |(tag, down_mbps, up_mbps, latency_ms, attempts, cqi)| SpeedtestRecord {
+                tag,
+                down_mbps,
+                up_mbps,
+                latency_ms,
+                attempts,
+                cqi: Cqi::new(cqi),
+            },
+        )
+}
+
+fn arb_dns() -> impl Strategy<Value = DnsRecord> {
+    (arb_tag(), arb_metric(), 1u32..4, any::<bool>()).prop_map(|(tag, lookup_ms, attempts, doh)| {
+        DnsRecord {
+            tag,
+            lookup_ms,
+            attempts,
+            resolver_city: City::Singapore,
+            doh,
+        }
+    })
+}
+
+fn arb_voip() -> impl Strategy<Value = VoipRecord> {
+    (
+        arb_tag(),
+        arb_metric(),
+        arb_metric(),
+        arb_metric(),
+        arb_metric(),
+        arb_metric(),
+    )
+        .prop_map(|(tag, rtt_ms, jitter_ms, loss, r_factor, mos)| VoipRecord {
+            tag,
+            result: VoipResult {
+                rtt_ms,
+                jitter_ms,
+                loss,
+                r_factor,
+                mos,
+            },
+        })
+}
+
+proptest! {
+    #[test]
+    fn streamed_speedtest_export_matches_buffered(
+        records in proptest::collection::vec(arb_speedtest(), 0..40),
+    ) {
+        let whole = CampaignData {
+            speedtests: records.clone(),
+            ..CampaignData::default()
+        };
+        let buffered = whole.export(Dataset::Speedtests);
+
+        // Stream: header once, then one export_rows call per record.
+        let mut streamed = Dataset::Speedtests.header_csv();
+        for r in records {
+            let mut one = CampaignData::default();
+            one.speedtests.push(r);
+            one.export_rows(Dataset::Speedtests, &mut streamed);
+        }
+        prop_assert_eq!(&buffered, &streamed);
+        prop_assert!(!buffered.contains("inf"), "inf leaked: {}", buffered);
+        prop_assert!(!buffered.contains("NaN"), "NaN leaked: {}", buffered);
+    }
+
+    #[test]
+    fn streamed_dns_export_matches_buffered(
+        records in proptest::collection::vec(arb_dns(), 0..40),
+    ) {
+        let whole = CampaignData {
+            dns: records.clone(),
+            ..CampaignData::default()
+        };
+        let buffered = whole.export(Dataset::Dns);
+
+        let mut streamed = Dataset::Dns.header_csv();
+        for r in records {
+            let mut one = CampaignData::default();
+            one.dns.push(r);
+            one.export_rows(Dataset::Dns, &mut streamed);
+        }
+        prop_assert_eq!(&buffered, &streamed);
+        prop_assert!(!buffered.contains("inf") && !buffered.contains("NaN"));
+    }
+
+    #[test]
+    fn streamed_voip_export_matches_buffered(
+        records in proptest::collection::vec(arb_voip(), 0..40),
+    ) {
+        let buffered = records[..].export(Dataset::Voip);
+
+        let mut streamed = Dataset::Voip.header_csv();
+        for r in &records {
+            [*r].export_rows(Dataset::Voip, &mut streamed);
+        }
+        prop_assert_eq!(&buffered, &streamed);
+        prop_assert!(!buffered.contains("inf"), "inf leaked: {}", buffered);
+        prop_assert!(!buffered.contains("NaN"), "NaN leaked: {}", buffered);
+
+        // Rows stay rectangular even when fields go empty.
+        let cols = Dataset::Voip.header().split(',').count();
+        for line in buffered.lines() {
+            prop_assert_eq!(line.split(',').count(), cols, "ragged: {}", line);
+        }
+    }
+
+    #[test]
+    fn unheld_datasets_stream_nothing(records in proptest::collection::vec(arb_voip(), 1..5)) {
+        // A container asked for a dataset it does not hold appends nothing
+        // when streaming and yields a bare header when buffered.
+        let mut out = String::new();
+        records[..].export_rows(Dataset::Speedtests, &mut out);
+        prop_assert!(out.is_empty());
+        prop_assert_eq!(
+            records[..].export(Dataset::Speedtests),
+            Dataset::Speedtests.header_csv()
+        );
+    }
+}

@@ -11,7 +11,10 @@
 //! * **hypothesis tests** — Welch's t-test ("the p-value was 7.65e-5") and
 //!   Levene's test for homogeneity of variances ("p-value of 0.025"), §5.1;
 //! * **special functions** — ln-gamma and the regularized incomplete beta
-//!   function, which give exact t- and F-distribution tail probabilities.
+//!   function, which give exact t- and F-distribution tail probabilities;
+//! * **streaming sketches** — mergeable fixed-bucket quantile sketches and
+//!   deterministic bottom-k reservoirs for population-scale runs where
+//!   buffering every record is off the table (`roam-fleet`).
 //!
 //! All functions take `&[f64]` and make a single defensive pass; NaNs are
 //! rejected explicitly rather than silently poisoning order statistics.
@@ -19,11 +22,13 @@
 pub mod cdf;
 pub mod corr;
 pub mod dist;
+pub mod stream;
 pub mod summary;
 pub mod test;
 
 pub use cdf::Ecdf;
 pub use corr::{pearson, Correlation};
+pub use stream::{KeyedReservoir, QuantileSketch};
 pub use summary::{mean, mean_ci95, median, quantile, stddev, variance, BoxplotSummary, Summary};
 pub use test::{levene_test, welch_t_test, TestResult};
 

@@ -1,0 +1,441 @@
+//! Streaming aggregation: mergeable sketches for population-scale runs.
+//!
+//! The campaign pipeline buffers every record because the paper's tables
+//! need a few thousand rows at most. A fleet of millions of subscribers
+//! cannot work that way: `roam-fleet` streams every observation into the
+//! two structures here and throws the record away. Both are built around
+//! one invariant — **merging is exact and order-free** — so a report
+//! assembled from 1 shard and one assembled from N shards are the same
+//! bytes:
+//!
+//! * [`QuantileSketch`] — fixed log-spaced buckets (integer counts), an
+//!   exact fixed-point sum (micro-units in `i128`, so addition is
+//!   associative, unlike `f64`), and exact min/max. Quantiles are read
+//!   back by geometric interpolation inside a bucket, which bounds the
+//!   relative error by the bucket growth ratio.
+//! * [`KeyedReservoir`] — a bottom-k sample: every candidate carries a
+//!   priority derived from a stable key (user id), and the reservoir
+//!   keeps the k smallest priorities. Unlike classic reservoir sampling
+//!   the outcome does not depend on offer order or partitioning, only on
+//!   the candidate set.
+
+/// A mergeable fixed-bucket quantile sketch over positive values.
+///
+/// Buckets are log-spaced: bucket `i` covers `(bounds[i-1], bounds[i]]`,
+/// with one underflow bucket below `bounds[0]` and one overflow bucket
+/// above the last bound. All merge state is integral (bucket counts,
+/// fixed-point sum) or exact under min/max, so [`QuantileSketch::merge`]
+/// is associative and commutative — the precondition for shard-count
+/// invariant reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    bounds: Vec<f64>,
+    growth: f64,
+    counts: Vec<u64>,
+    count: u64,
+    /// Exact sum in micro-units (value × 1e6, rounded); `i128` keeps
+    /// ~1.7e32 micro-units of headroom, far beyond any fleet run.
+    sum_micro: i128,
+    min: f64,
+    max: f64,
+    /// Non-finite observations rejected (kept so dropped data is visible
+    /// instead of silently vanishing — the CSV exporters' `Fin` rule).
+    dropped: u64,
+}
+
+impl QuantileSketch {
+    /// A sketch with log-spaced bucket bounds from `lo` to at least `hi`,
+    /// `per_decade` buckets per factor of ten. The relative quantile error
+    /// is bounded by the bucket growth `10^(1/per_decade) - 1` (12.2% for
+    /// 10 per decade, 6% for 20).
+    ///
+    /// # Panics
+    /// When `lo`/`hi` are not positive and ordered or `per_decade` is 0.
+    #[must_use]
+    pub fn log_spaced(lo: f64, hi: f64, per_decade: u32) -> Self {
+        assert!(lo > 0.0 && hi > lo && per_decade > 0, "bad sketch config");
+        let growth = 10f64.powf(1.0 / f64::from(per_decade));
+        let mut bounds = vec![lo];
+        while *bounds.last().expect("non-empty") < hi {
+            // Recompute from the exponent instead of compounding, so the
+            // bounds are bit-identical however the sketch is built.
+            bounds.push(lo * growth.powi(bounds.len() as i32));
+        }
+        // One underflow bucket, `bounds.len() - 1` interior steps, one
+        // overflow bucket.
+        let counts = vec![0; bounds.len() + 1];
+        QuantileSketch {
+            bounds,
+            growth,
+            counts,
+            count: 0,
+            sum_micro: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            dropped: 0,
+        }
+    }
+
+    /// The multiplicative bucket growth (error-bound factor).
+    #[must_use]
+    pub fn growth(&self) -> f64 {
+        self.growth
+    }
+
+    /// Record one observation. Non-finite values are counted as dropped,
+    /// never folded into the distribution.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.dropped += 1;
+            return;
+        }
+        let idx = match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => i,              // 0 = underflow, else (bounds[i-1], bounds[i]]
+            None => self.bounds.len(), // overflow
+        };
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_micro += (value * 1e6).round() as i128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations folded in (excluding dropped ones).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Non-finite observations rejected.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exact mean (fixed-point sum over count); 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        (self.sum_micro as f64 / 1e6) / self.count as f64
+    }
+
+    /// Smallest observation (+inf when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Bucket counts: underflow, one per bound step, overflow.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by geometric interpolation
+    /// inside the owning bucket, clamped to the exact min/max. Within the
+    /// configured `[lo, hi]` range the relative error is at most
+    /// `growth - 1`. Returns `None` when the sketch is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        let mut idx = self.counts.len() - 1;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                idx = i;
+                break;
+            }
+        }
+        let est = if idx == 0 {
+            // Underflow bucket: everything here is <= bounds[0].
+            self.bounds[0]
+        } else if idx >= self.bounds.len() {
+            // Overflow bucket: the exact max is the only honest answer.
+            self.max
+        } else {
+            // Geometric midpoint-ish interpolation by rank position.
+            let lo = self.bounds[idx - 1];
+            let hi = self.bounds[idx];
+            let in_bucket = self.counts[idx];
+            let below = cum - in_bucket;
+            let frac = if in_bucket == 0 {
+                1.0
+            } else {
+                (rank - below) as f64 / in_bucket as f64
+            };
+            lo * (hi / lo).powf(frac)
+        };
+        Some(est.clamp(self.min, self.max))
+    }
+
+    /// Fold another sketch into this one. Exact: integer bucket counts,
+    /// fixed-point sums and min/max all merge associatively, so any
+    /// sharding of one observation stream produces identical state.
+    ///
+    /// # Panics
+    /// When the sketches were built with different bucket configurations.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(self.bounds, other.bounds, "sketch bucket config mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micro += other.sum_micro;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.dropped += other.dropped;
+    }
+}
+
+/// Deterministic bottom-k sampling: keeps the `k` candidates with the
+/// smallest `(priority, key)`, independent of offer order or sharding.
+///
+/// The caller derives `priority` from a stable identity (e.g.
+/// `flow_seed(master, "sample/user/<id>")`), so the surviving set is a
+/// uniform-ish pseudo-random sample that every partitioning of the
+/// population agrees on. `key` (the user id itself) breaks priority ties
+/// deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedReservoir<T> {
+    cap: usize,
+    /// Sorted ascending by `(priority, key)`.
+    items: Vec<(u64, u64, T)>,
+}
+
+impl<T: Clone> KeyedReservoir<T> {
+    /// An empty reservoir holding at most `cap` items.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        KeyedReservoir {
+            cap,
+            items: Vec::with_capacity(cap.min(64)),
+        }
+    }
+
+    /// Capacity of the reservoir.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of items currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the reservoir empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Offer one candidate. Kept iff its `(priority, key)` ranks within
+    /// the smallest `cap` seen so far.
+    pub fn offer(&mut self, priority: u64, key: u64, item: T) {
+        if self.cap == 0 {
+            return;
+        }
+        let pos = self
+            .items
+            .partition_point(|(p, k, _)| (*p, *k) < (priority, key));
+        if pos >= self.cap {
+            return;
+        }
+        self.items.insert(pos, (priority, key, item));
+        self.items.truncate(self.cap);
+    }
+
+    /// Fold another reservoir in: union, then keep the `cap` smallest.
+    /// Associative and commutative, like the sketch merge.
+    ///
+    /// # Panics
+    /// When capacities differ — merging would silently change semantics.
+    pub fn merge(&mut self, other: &KeyedReservoir<T>) {
+        assert_eq!(self.cap, other.cap, "reservoir capacity mismatch");
+        for (p, k, item) in &other.items {
+            self.offer(*p, *k, item.clone());
+        }
+    }
+
+    /// The sampled items, in `(priority, key)` order.
+    pub fn items(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(_, _, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: &[f64]) -> QuantileSketch {
+        let mut s = QuantileSketch::log_spaced(1.0, 1000.0, 10);
+        for &v in values {
+            s.observe(v);
+        }
+        s
+    }
+
+    #[test]
+    fn counts_sum_min_max_are_exact() {
+        let s = filled(&[2.0, 20.0, 200.0, 2000.0, 0.5]);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min(), 0.5);
+        assert_eq!(s.max(), 2000.0);
+        assert!((s.mean() - (2.0 + 20.0 + 200.0 + 2000.0 + 0.5) / 5.0).abs() < 1e-9);
+        // Underflow and overflow buckets caught the extremes.
+        assert_eq!(s.buckets()[0], 1);
+        assert_eq!(*s.buckets().last().expect("overflow bucket"), 1);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped_not_folded() {
+        let mut s = filled(&[5.0]);
+        s.observe(f64::INFINITY);
+        s.observe(f64::NAN);
+        s.observe(f64::NEG_INFINITY);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_growth() {
+        // A deterministic long-tailed sample: exponential via inverse CDF.
+        let n = 5000;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                10.0 * -(1.0 - u).ln() // Exp(mean 10), range ~0.001..~85
+            })
+            .collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let s = filled(&values);
+        let tol = s.growth() - 1.0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let exact = crate::quantile(&sorted, q).expect("non-empty");
+            let est = s.quantile(q).expect("non-empty");
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= tol + 1e-9,
+                "q={q}: est={est} exact={exact} rel={rel} tol={tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_matches_exact_cdf_masses() {
+        // Against the exact Ecdf: the sketch's q-quantile must sit at a
+        // point whose empirical CDF mass is within one bucket of q.
+        let values: Vec<f64> = (1..=1000).map(|i| f64::from(i) * 0.37).collect();
+        let s = filled(&values);
+        let ecdf = crate::Ecdf::new(&values).expect("clean sample");
+        for q in [0.05, 0.5, 0.95] {
+            let est = s.quantile(q).expect("non-empty");
+            // Mass strictly below the *next* bucket up must cover q, and
+            // mass at the bucket below must not overshoot it.
+            assert!(ecdf.eval(est * s.growth()) >= q - 1e-9);
+            assert!(ecdf.eval(est / s.growth()) <= q + 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let all: Vec<f64> = (0..500).map(|i| 1.0 + f64::from(i) * 1.7).collect();
+        let whole = filled(&all);
+        let mut merged = filled(&all[..120]);
+        merged.merge(&filled(&all[120..300]));
+        merged.merge(&filled(&all[300..]));
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket config mismatch")]
+    fn merging_mismatched_configs_panics() {
+        let mut a = QuantileSketch::log_spaced(1.0, 10.0, 5);
+        a.merge(&QuantileSketch::log_spaced(1.0, 100.0, 5));
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::log_spaced(1.0, 10.0, 5);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn reservoir_keeps_the_k_smallest_priorities() {
+        let mut r = KeyedReservoir::new(3);
+        for (p, k) in [(50u64, 1u64), (10, 2), (40, 3), (20, 4), (30, 5)] {
+            r.offer(p, k, k);
+        }
+        assert_eq!(r.len(), 3);
+        let kept: Vec<u64> = r.items().copied().collect();
+        assert_eq!(kept, vec![2, 4, 5], "priorities 10, 20, 30 survive");
+    }
+
+    #[test]
+    fn reservoir_is_offer_order_invariant() {
+        let candidates: Vec<(u64, u64)> = (0..40).map(|i| (i * 2_654_435_761 % 1000, i)).collect();
+        let mut forward = KeyedReservoir::new(5);
+        for &(p, k) in &candidates {
+            forward.offer(p, k, k);
+        }
+        let mut backward = KeyedReservoir::new(5);
+        for &(p, k) in candidates.iter().rev() {
+            backward.offer(p, k, k);
+        }
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn reservoir_merge_is_partition_invariant() {
+        let candidates: Vec<(u64, u64)> = (0..60).map(|i| (i * 48_271 % 500, i)).collect();
+        let mut whole = KeyedReservoir::new(7);
+        for &(p, k) in &candidates {
+            whole.offer(p, k, k);
+        }
+        let mut merged = KeyedReservoir::new(7);
+        let mut right = KeyedReservoir::new(7);
+        for &(p, k) in &candidates[..20] {
+            merged.offer(p, k, k);
+        }
+        for &(p, k) in &candidates[20..] {
+            right.offer(p, k, k);
+        }
+        merged.merge(&right);
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn ties_break_on_the_key() {
+        let mut a = KeyedReservoir::new(2);
+        a.offer(5, 9, "late");
+        a.offer(5, 1, "early");
+        a.offer(5, 4, "mid");
+        let kept: Vec<&str> = a.items().copied().collect();
+        assert_eq!(kept, vec!["early", "mid"]);
+    }
+
+    #[test]
+    fn zero_capacity_reservoir_stays_empty() {
+        let mut r = KeyedReservoir::new(0);
+        r.offer(1, 1, ());
+        assert!(r.is_empty());
+    }
+}

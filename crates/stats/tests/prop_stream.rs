@@ -1,0 +1,126 @@
+//! Property tests for the streaming sketches: the merge operations must be
+//! exactly order- and partition-invariant (that is the whole point — it is
+//! what makes `roam-fleet` reports byte-identical across shard counts), and
+//! sketch quantiles must stay within the advertised error bound of the
+//! exact order statistics.
+
+use proptest::prelude::*;
+use roam_stats::{quantile, KeyedReservoir, QuantileSketch};
+
+fn arb_positive_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-2f64..1e5, 1..300)
+}
+
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::log_spaced(1e-2, 1e5, 10);
+    for &v in values {
+        s.observe(v);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn sketch_merge_is_partition_invariant(xs in arb_positive_sample(),
+                                           cut_frac in 0.0f64..=1.0) {
+        let cut = ((xs.len() as f64) * cut_frac) as usize;
+        let whole = sketch_of(&xs);
+        // Left-then-right and right-then-left partitions both reproduce
+        // the single-stream sketch bit for bit.
+        let mut lr = sketch_of(&xs[..cut]);
+        lr.merge(&sketch_of(&xs[cut..]));
+        let mut rl = sketch_of(&xs[cut..]);
+        rl.merge(&sketch_of(&xs[..cut]));
+        prop_assert_eq!(&whole, &lr);
+        prop_assert_eq!(&whole, &rl);
+    }
+
+    #[test]
+    fn sketch_merge_across_many_shards(xs in arb_positive_sample(),
+                                       shards in 1usize..8) {
+        let whole = sketch_of(&xs);
+        let mut merged = QuantileSketch::log_spaced(1e-2, 1e5, 10);
+        for i in 0..shards {
+            let lo = xs.len() * i / shards;
+            let hi = xs.len() * (i + 1) / shards;
+            merged.merge(&sketch_of(&xs[lo..hi]));
+        }
+        prop_assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn sketch_quantiles_respect_the_error_bound(xs in arb_positive_sample(),
+                                                q in 0.0f64..=1.0) {
+        let s = sketch_of(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        // The sketch is rank-based, so the advertised bound is against the
+        // rank-⌈q·n⌉ order statistic (the interpolated `quantile` can sit
+        // arbitrarily far from any observation on tiny wide-spread
+        // samples). Within the configured range the estimate lands in the
+        // same log bucket as that order statistic: one growth factor each
+        // way.
+        let rank = ((q * xs.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1];
+        let est = s.quantile(q).unwrap();
+        let g = s.growth();
+        prop_assert!(est <= exact * g + 1e-9, "est={est} exact={exact}");
+        prop_assert!(est >= exact / g - 1e-9, "est={est} exact={exact}");
+        // And always inside the exact data range.
+        prop_assert!(est >= s.min() - 1e-12 && est <= s.max() + 1e-12);
+        // The interpolated exact quantile is still bracketed by the
+        // sketch's own min/max, which are exact.
+        let interp = quantile(&sorted, q).unwrap();
+        prop_assert!(interp >= s.min() - 1e-12 && interp <= s.max() + 1e-12);
+    }
+
+    #[test]
+    fn sketch_observe_order_is_irrelevant(xs in arb_positive_sample()) {
+        let mut rev = xs.clone();
+        rev.reverse();
+        prop_assert_eq!(sketch_of(&xs), sketch_of(&rev));
+    }
+
+    #[test]
+    fn reservoir_merge_is_partition_invariant(
+        entries in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..120),
+        cap in 1usize..16,
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let cut = ((entries.len() as f64) * cut_frac) as usize;
+        let fill = |slice: &[(u64, u64)]| {
+            let mut r = KeyedReservoir::new(cap);
+            for &(p, k) in slice {
+                r.offer(p, k, (p, k));
+            }
+            r
+        };
+        let whole = fill(&entries);
+        let mut lr = fill(&entries[..cut]);
+        lr.merge(&fill(&entries[cut..]));
+        let mut rl = fill(&entries[cut..]);
+        rl.merge(&fill(&entries[..cut]));
+        prop_assert_eq!(&whole, &lr);
+        prop_assert_eq!(&whole, &rl);
+        prop_assert!(whole.len() <= cap);
+    }
+
+    #[test]
+    fn reservoir_keeps_the_globally_smallest(
+        entries in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..120),
+        cap in 1usize..16,
+    ) {
+        // Deduplicate identities: the reservoir orders by (priority, key)
+        // and duplicate pairs would make "the k smallest" ambiguous.
+        let mut uniq = entries.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let mut r = KeyedReservoir::new(cap);
+        for &(p, k) in &uniq {
+            r.offer(p, k, (p, k));
+        }
+        let kept: Vec<(u64, u64)> = r.items().copied().collect();
+        let expected: Vec<(u64, u64)> = uniq.iter().copied().take(cap).collect();
+        prop_assert_eq!(kept, expected);
+    }
+}

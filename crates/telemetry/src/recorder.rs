@@ -37,11 +37,17 @@ pub enum Counter {
     RecordsEmitted,
     /// Shards merged into the final report, in key order.
     ShardsMerged,
+    /// Synthetic subscribers simulated by a fleet run.
+    FleetUsers,
+    /// Data sessions churned through by fleet subscribers.
+    FleetSessions,
+    /// Marketplace purchases made by fleet subscribers.
+    FleetPurchases,
 }
 
 impl Counter {
     /// Every counter, in render order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 18] = [
         Counter::PacketsSent,
         Counter::PacketsForwarded,
         Counter::PacketsDelivered,
@@ -57,6 +63,9 @@ impl Counter {
         Counter::PlansExecuted,
         Counter::RecordsEmitted,
         Counter::ShardsMerged,
+        Counter::FleetUsers,
+        Counter::FleetSessions,
+        Counter::FleetPurchases,
     ];
 
     /// Stable snake_case name used in the summary report.
@@ -78,6 +87,9 @@ impl Counter {
             Counter::PlansExecuted => "plans_executed",
             Counter::RecordsEmitted => "records_emitted",
             Counter::ShardsMerged => "shards_merged",
+            Counter::FleetUsers => "fleet_users",
+            Counter::FleetSessions => "fleet_sessions",
+            Counter::FleetPurchases => "fleet_purchases",
         }
     }
 }

@@ -39,6 +39,8 @@ jq -n \
     | ($b[0]."netsim/packet_forward".mean_ns) as $fwd
     | ($b[0]."telemetry/sink_noop_1k".mean_ns) as $noop
     | ($b[0]."telemetry/sink_recorder_off_1k".mean_ns) as $roff
+    | ($b[0]."fleet/run_2k_users_sequential".mean_ns) as $fseq
+    | ($b[0]."fleet/run_2k_users_4_shards_parallel".mean_ns) as $fpar
     | {schema: "roamsim-bench-v1",
        host: {cpus: $cpus},
        telemetry: {
@@ -61,7 +63,14 @@ jq -n \
          transfer_engine_stepped_ns: $es,
          engine_over_closed_form: (if $cf != null and $es != null then ($es / $cf) else null end)
        },
+       fleet: {
+         note: "2k-user run timed end-to-end (synthesis, purchases, sessions, sketches); users_per_sec is the population-scale throughput headline; both shardings produce byte-identical reports",
+         run_2k_users_sequential_ns: $fseq,
+         run_2k_users_4_shards_parallel_ns: $fpar,
+         users_per_sec_sequential: (if $fseq != null then (2000 / ($fseq / 1e9)) else null end),
+         users_per_sec_4_shards: (if $fpar != null then (2000 / ($fpar / 1e9)) else null end)
+       },
        benchmarks: $b[0]}' > "$out"
 
 echo "wrote $out"
-jq '.parallel, .engine, .telemetry' "$out"
+jq '.parallel, .engine, .telemetry, .fleet' "$out"

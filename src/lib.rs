@@ -25,6 +25,7 @@
 //! | [`telemetry`] | `roam-telemetry` | deterministic counters/histograms/events (`ROAM_TELEMETRY`) |
 //! | [`econ`] | `roam-econ` | eSIM market, crawler, price analytics |
 //! | [`world`] | `roam-world` | the calibrated 24-country scenario + emnify validation |
+//! | [`fleet`] | `roam-fleet` | population-scale deterministic workload generator (`ROAM_FLEET_*`) |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 pub use roam_cellular as cellular;
 pub use roam_core as core;
 pub use roam_econ as econ;
+pub use roam_fleet as fleet;
 pub use roam_geo as geo;
 pub use roam_ipx as ipx;
 pub use roam_measure as measure;
