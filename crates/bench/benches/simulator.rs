@@ -14,7 +14,7 @@ use roam_geo::Country;
 use roam_measure::Service;
 use roam_netsim::engine::{flow_seed, ClosedFormTransport, EngineSteppedTransport, Transport};
 use roam_netsim::wire::{GtpuHeader, IcmpMessage, Ipv4Header};
-use roam_netsim::{EventQueue, SimTime, TracerouteOpts, TransferSpec};
+use roam_netsim::{EventQueue, FaultSpec, SimTime, TracerouteOpts, TransferSpec};
 use roam_stats::test::LeveneCenter;
 use roam_stats::{levene_test, quantile, welch_t_test, Ecdf};
 use roam_world::World;
@@ -142,6 +142,33 @@ fn bench_netsim(c: &mut Criterion) {
             )
         })
     });
+    g.finish();
+}
+
+/// The fault plane's disabled-path promise, measured: with the schedule
+/// off, a packet walk pays one always-false branch — `ping_faults_off`
+/// must track `netsim/packet_forward` (same work, same numbers; CI gates
+/// the ratio at ≤2%). `ping_faults_heavy` is the same walk consulting a
+/// fully materialised heavy calendar set.
+fn bench_faults(c: &mut Criterion) {
+    let mut g = c.benchmark_group("faults");
+    let ping_under = |g: &mut criterion::BenchmarkGroup<'_>, name: &str, spec: FaultSpec| {
+        let prev = FaultSpec::override_faults(Some(spec));
+        let mut world = World::build(7);
+        let ep = world.attach_esim(Country::PAK);
+        let google = world
+            .internet
+            .targets
+            .nearest(&world.net, Service::Google, ep.att.breakout_city)
+            .expect("google edge");
+        let _ = world.net.route(ep.att.ue, google);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(world.net.ping(ep.att.ue, google)))
+        });
+        FaultSpec::override_faults(prev);
+    };
+    ping_under(&mut g, "ping_faults_off", FaultSpec::off());
+    ping_under(&mut g, "ping_faults_heavy", FaultSpec::heavy());
     g.finish();
 }
 
@@ -351,6 +378,7 @@ criterion_group!(
     bench_world,
     bench_measure,
     bench_netsim,
+    bench_faults,
     bench_campaign,
     bench_telemetry,
     bench_engine,

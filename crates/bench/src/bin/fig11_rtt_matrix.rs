@@ -52,6 +52,7 @@ fn main() {
                 .speedtests
                 .iter()
                 .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
+                .filter(|r| r.status.is_ok())
                 .map(|r| r.latency_ms)
                 .collect();
             println!(
@@ -134,7 +135,7 @@ fn main() {
                 run.data
                     .speedtests
                     .iter()
-                    .filter(|r| r.tag.sim_type == t)
+                    .filter(|r| r.tag.sim_type == t && r.status.is_ok())
                     .map(|r| r.latency_ms),
             )
             .collect()

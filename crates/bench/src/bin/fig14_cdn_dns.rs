@@ -27,6 +27,7 @@ fn main() {
                     r.tag.country == spec.country
                         && r.tag.sim_type == t
                         && r.provider == CdnProvider::Cloudflare
+                        && r.status.is_ok()
                 })
                 .map(|r| r.total_ms)
                 .collect();
@@ -46,6 +47,7 @@ fn main() {
                 r.tag.arch == arch
                     && r.tag.sim_type == SimType::Esim
                     && r.provider == CdnProvider::Cloudflare
+                    && r.status.is_ok()
             })
             .map(|r| r.total_ms)
             .collect();
@@ -71,7 +73,7 @@ fn main() {
                 .data
                 .cdns
                 .iter()
-                .filter(|r| r.tag.country == c && r.tag.sim_type == t)
+                .filter(|r| r.tag.country == c && r.tag.sim_type == t && r.status.is_ok())
                 .map(|r| r.total_ms)
                 .collect();
             Summary::from(&v).map(|s| s.mean).unwrap_or(f64::NAN)
@@ -95,6 +97,7 @@ fn main() {
                 .dns
                 .iter()
                 .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
+                .filter(|r| r.status.is_ok())
                 .map(|r| r.lookup_ms)
                 .collect();
             println!(
@@ -110,7 +113,7 @@ fn main() {
                 .data
                 .dns
                 .iter()
-                .filter(|r| r.tag.country == c && r.tag.sim_type == t)
+                .filter(|r| r.tag.country == c && r.tag.sim_type == t && r.status.is_ok())
                 .map(|r| r.lookup_ms)
                 .collect();
             median(&v).unwrap_or(f64::NAN)
@@ -138,7 +141,8 @@ fn main() {
         .filter(|r| {
             run.esims().any(|e| {
                 e.country == r.tag.country
-                    && e.att.breakout_city.country() == r.resolver_city.country()
+                    && r.resolver_city
+                        .is_some_and(|c| e.att.breakout_city.country() == c.country())
             })
         })
         .count();

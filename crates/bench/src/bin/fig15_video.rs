@@ -28,7 +28,7 @@ fn main() {
                 .videos
                 .iter()
                 .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
-                .map(|r| r.resolution)
+                .filter_map(|r| r.resolution)
                 .collect();
             let n = sessions.len().max(1);
             let share = |res: Resolution| {
@@ -49,7 +49,12 @@ fn main() {
     }
 
     // Global mode + the HR pinning check.
-    let all: Vec<Resolution> = run.data.videos.iter().map(|r| r.resolution).collect();
+    let all: Vec<Resolution> = run
+        .data
+        .videos
+        .iter()
+        .filter_map(|r| r.resolution)
+        .collect();
     let mode = Resolution::LADDER
         .iter()
         .max_by_key(|res| all.iter().filter(|r| r == res).count())
@@ -66,7 +71,7 @@ fn main() {
                 roam_geo::Country::PAK | roam_geo::Country::ARE
             )
         })
-        .filter(|r| r.resolution > Resolution::P720)
+        .filter(|r| r.resolution.is_some_and(|res| res > Resolution::P720))
         .count();
     println!("PAK/ARE sessions above 720p: {hr_1080} (paper: none — b-MNO throttles YouTube)");
 }

@@ -31,6 +31,7 @@ fn main() {
                         r.tag.country == spec.country
                             && r.tag.sim_type == t
                             && r.provider == provider
+                            && r.status.is_ok()
                     })
                     .map(|r| r.total_ms)
                     .collect();
@@ -47,7 +48,10 @@ fn main() {
                 .cdns
                 .iter()
                 .filter(|r| {
-                    r.tag.arch == arch && r.tag.sim_type == SimType::Esim && r.provider == provider
+                    r.tag.arch == arch
+                        && r.tag.sim_type == SimType::Esim
+                        && r.provider == provider
+                        && r.status.is_ok()
                 })
                 .map(|r| r.total_ms)
                 .collect();

@@ -29,7 +29,7 @@ use roam_measure::{
     run_device_campaign, run_shards, run_web_measurement, CampaignData, DeviceCampaignSpec,
     Endpoint, RunMode, WebRecord,
 };
-use roam_netsim::TransportKind;
+use roam_netsim::{FaultSpec, TransportKind};
 use roam_telemetry::{merge_shards, TelemetryMode, TelemetryReport, TelemetrySnapshot};
 use roam_world::{DeviceCountrySpec, World};
 use std::time::Instant;
@@ -221,6 +221,7 @@ pub struct CampaignRunner {
     scale: f64,
     mode: RunMode,
     transport: Option<TransportKind>,
+    faults: Option<FaultSpec>,
     telemetry: TelemetryMode,
 }
 
@@ -234,6 +235,7 @@ impl CampaignRunner {
             scale: 1.0,
             mode: RunMode::Sequential,
             transport: None,
+            faults: None,
             telemetry: TelemetryMode::Off,
         }
     }
@@ -283,6 +285,15 @@ impl CampaignRunner {
         self
     }
 
+    /// Pin the fault schedule for the run, overriding `ROAM_FAULTS`
+    /// (restored when the run finishes). Every shard's world resolves the
+    /// same spec, so all shards see identical fault windows.
+    #[must_use]
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// Select what the run's telemetry plane records.
     #[must_use]
     pub fn telemetry(mut self, mode: TelemetryMode) -> Self {
@@ -290,10 +301,13 @@ impl CampaignRunner {
         self
     }
 
-    fn pin_transport(&self) -> TransportPin {
-        TransportPin(
-            self.transport
-                .map(|k| TransportKind::override_transport(Some(k))),
+    fn pin_transport(&self) -> (TransportPin, FaultsPin) {
+        (
+            TransportPin(
+                self.transport
+                    .map(|k| TransportKind::override_transport(Some(k))),
+            ),
+            FaultsPin(self.faults.map(|s| FaultSpec::override_faults(Some(s)))),
         )
     }
 
@@ -422,6 +436,18 @@ impl Drop for TransportPin {
     fn drop(&mut self) {
         if let Some(prev) = self.0.take() {
             TransportKind::override_transport(prev);
+        }
+    }
+}
+
+/// Restores the previous process-wide fault-spec override when a pinned
+/// run finishes (even on unwind).
+struct FaultsPin(Option<Option<FaultSpec>>);
+
+impl Drop for FaultsPin {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            FaultSpec::override_faults(prev);
         }
     }
 }

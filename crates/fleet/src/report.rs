@@ -9,6 +9,7 @@
 //! RNG streams) and is pinned by `tests/fleet_determinism.rs`.
 
 use crate::population::TravelerClass;
+use roam_measure::DegradationSummary;
 use roam_stats::{KeyedReservoir, QuantileSketch};
 use std::fmt::Write as _;
 
@@ -56,6 +57,10 @@ pub struct FleetReport {
     pub transfers: u64,
     /// Sessions whose probe died on a lossy path.
     pub lost_sessions: u64,
+    /// Fault-plane outcome tally, populated only when a fault schedule is
+    /// active. All-zero (and absent from the render) in undisturbed runs,
+    /// so the off-mode report bytes are unchanged.
+    pub degraded: DegradationSummary,
     /// Probe round-trip times, ms.
     pub rtt_ms: QuantileSketch,
     /// DNS lookup times, ms.
@@ -84,6 +89,7 @@ impl FleetReport {
             dns_lookups: 0,
             transfers: 0,
             lost_sessions: 0,
+            degraded: DegradationSummary::default(),
             rtt_ms: QuantileSketch::log_spaced(0.5, 2_000.0, 10),
             dns_ms: QuantileSketch::log_spaced(0.5, 2_000.0, 10),
             price_per_gb: QuantileSketch::log_spaced(0.05, 500.0, 10),
@@ -116,6 +122,7 @@ impl FleetReport {
         self.dns_lookups += other.dns_lookups;
         self.transfers += other.transfers;
         self.lost_sessions += other.lost_sessions;
+        self.degraded.merge(other.degraded);
         self.rtt_ms.merge(&other.rtt_ms);
         self.dns_ms.merge(&other.dns_ms);
         self.price_per_gb.merge(&other.price_per_gb);
@@ -141,6 +148,14 @@ impl FleetReport {
         let _ = writeln!(out, "  dns_lookups        {}", self.dns_lookups);
         let _ = writeln!(out, "  transfers          {}", self.transfers);
         let _ = writeln!(out, "  lost               {}", self.lost_sessions);
+        if self.degraded != DegradationSummary::default() {
+            let d = &self.degraded;
+            let _ = writeln!(out, "degradation:");
+            let _ = writeln!(out, "  ok                 {}", d.ok);
+            let _ = writeln!(out, "  failover           {}", d.failover);
+            let _ = writeln!(out, "  timeout            {}", d.timeout);
+            let _ = writeln!(out, "  unreachable        {}", d.unreachable);
+        }
         let _ = writeln!(out, "metrics:");
         for (name, s) in [
             ("rtt_ms", &self.rtt_ms),

@@ -27,9 +27,12 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use roam_econ::{EsimOffer, Market};
 use roam_geo::Country;
-use roam_measure::{resolve, run_shards, Endpoint, RunMode, Service};
+use roam_measure::{
+    resolve_checked, run_shards, DegradationSummary, Endpoint, MeasureError, MeasureStatus,
+    RunMode, Service,
+};
 use roam_netsim::engine::flow_seed;
-use roam_netsim::{NodeId, TransferSpec, TransportKind};
+use roam_netsim::{FaultSpec, Network, NodeId, TransferSpec, TransportKind};
 use roam_telemetry::{merge_shards, Counter, Sink, TelemetryMode, TelemetryReport};
 use roam_world::World;
 use std::time::Instant;
@@ -55,6 +58,10 @@ pub struct FleetRun {
     pub telemetry: TelemetryReport,
     /// Per-shard wall time, in merge order (not byte-stable).
     pub timings: Vec<FleetShardTiming>,
+    /// Per-shard fault-plane outcome tallies, in merge order. Deterministic
+    /// for a fixed shard count; the shard-count-invariant total lives in
+    /// `report.degraded`.
+    pub degraded: Vec<(String, DegradationSummary)>,
 }
 
 /// Builder for fleet runs, mirroring `CampaignRunner`: seed in,
@@ -74,6 +81,7 @@ pub struct FleetRunner {
     config: FleetConfig,
     mode: RunMode,
     transport: Option<TransportKind>,
+    faults: Option<FaultSpec>,
     telemetry: TelemetryMode,
 }
 
@@ -87,6 +95,7 @@ impl FleetRunner {
             config: FleetConfig::default(),
             mode: RunMode::Sequential,
             transport: None,
+            faults: None,
             telemetry: TelemetryMode::Off,
         }
     }
@@ -172,6 +181,15 @@ impl FleetRunner {
         self
     }
 
+    /// Pin the fault schedule for the run, overriding `ROAM_FAULTS`
+    /// (restored afterwards). Every shard's world resolves the same spec,
+    /// so fault windows are identical across shard counts.
+    #[must_use]
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// Select what the telemetry plane records.
     #[must_use]
     pub fn telemetry(mut self, mode: TelemetryMode) -> Self {
@@ -194,6 +212,7 @@ impl FleetRunner {
             self.transport
                 .map(|k| TransportKind::override_transport(Some(k))),
         );
+        let _fault_pin = FaultsPin(self.faults.map(|s| FaultSpec::override_faults(Some(s))));
         let users = self.config.users.max(1);
         // Never more shards than users — empty shards would be harmless
         // but wasteful (each builds a world).
@@ -206,16 +225,19 @@ impl FleetRunner {
         let mut report = FleetReport::new(self.config.sample);
         let mut snaps = Vec::with_capacity(shards);
         let mut timings = Vec::with_capacity(shards);
+        let mut degraded = Vec::with_capacity(shards);
         for (i, (shard_report, snap, wall_ms)) in results.into_iter().enumerate() {
             let key = format!("fleet/{i:03}");
             report.merge(&shard_report);
             snaps.push((key.clone(), snap));
+            degraded.push((key.clone(), shard_report.degraded));
             timings.push(FleetShardTiming { key, wall_ms });
         }
         FleetRun {
             report,
             telemetry: merge_shards(self.telemetry, snaps),
             timings,
+            degraded,
         }
     }
 }
@@ -229,6 +251,44 @@ impl Drop for TransportPin {
         if let Some(prev) = self.0.take() {
             TransportKind::override_transport(prev);
         }
+    }
+}
+
+/// Restores the previous process-wide fault-spec override when a pinned
+/// run finishes (even on unwind).
+struct FaultsPin(Option<Option<FaultSpec>>);
+
+impl Drop for FaultsPin {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            FaultSpec::override_faults(prev);
+        }
+    }
+}
+
+/// Tally a successful probe's fault-plane outcome. Gated on the fault
+/// plane being active so undisturbed runs keep an all-zero summary (and
+/// therefore unchanged report bytes).
+fn count_delivered(report: &mut FleetReport, net: &Network, status: MeasureStatus) {
+    if !net.faults_enabled() {
+        return;
+    }
+    if status == MeasureStatus::Failover {
+        report.degraded.failover += 1;
+    } else {
+        report.degraded.ok += 1;
+    }
+}
+
+/// Tally a failed probe. `NoTarget` is a scenario gap, not a fault, and
+/// stays out of the summary just like in campaign records.
+fn count_failed(report: &mut FleetReport, net: &Network, e: &MeasureError) {
+    if matches!(e, MeasureError::NoTarget) || !net.faults_enabled() {
+        return;
+    }
+    match e.status() {
+        MeasureStatus::Timeout => report.degraded.timeout += 1,
+        _ => report.degraded.unreachable += 1,
     }
 }
 
@@ -404,27 +464,35 @@ fn run_fleet_shard(
                             continue;
                         };
                         let mut probe = ep.probe(&mut world.net, &label);
-                        match probe.rtt(t) {
-                            Some(sample) => {
+                        match probe.rtt_checked(t) {
+                            Ok(sample) => {
                                 report.rtt_probes += 1;
                                 report.rtt_ms.observe(sample.rtt_ms);
+                                count_delivered(&mut report, &world.net, sample.status());
                             }
-                            None => report.lost_sessions += 1,
+                            Err(e) => {
+                                report.lost_sessions += 1;
+                                count_failed(&mut report, &world.net, &e);
+                            }
                         }
                     }
                     SessionKind::Dns => {
-                        match resolve(
+                        match resolve_checked(
                             &mut world.net,
                             ep,
                             &world.internet.targets,
                             "fleet.airalo.com",
                             &label,
                         ) {
-                            Some(r) => {
+                            Ok(r) => {
                                 report.dns_lookups += 1;
                                 report.dns_ms.observe(r.lookup_ms);
+                                count_delivered(&mut report, &world.net, r.status);
                             }
-                            None => report.lost_sessions += 1,
+                            Err(e) => {
+                                report.lost_sessions += 1;
+                                count_failed(&mut report, &world.net, &e);
+                            }
                         }
                     }
                     SessionKind::Transfer => {
@@ -438,9 +506,13 @@ fn run_fleet_shard(
                             continue;
                         };
                         let mut probe = ep.probe(&mut world.net, &label);
-                        let Some(sample) = probe.rtt(t) else {
-                            report.lost_sessions += 1;
-                            continue;
+                        let sample = match probe.rtt_checked(t) {
+                            Ok(s) => s,
+                            Err(e) => {
+                                report.lost_sessions += 1;
+                                count_failed(&mut report, &world.net, &e);
+                                continue;
+                            }
                         };
                         let cqi = ep.channel.sample(probe.rng());
                         // The transfer runs through the selected transport
@@ -459,6 +531,7 @@ fn run_fleet_shard(
                         });
                         report.transfers += 1;
                         report.session_mb.observe(mb);
+                        count_delivered(&mut report, &world.net, sample.status());
                     }
                 }
             }

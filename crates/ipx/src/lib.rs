@@ -30,4 +30,4 @@ pub use gtpc::{signalling_bytes_per_attach, Cause, GtpcMessage, GtpcMessageType}
 pub use provider::{
     IpAssignment, PgwProvider, PgwProviderId, PgwSelection, PgwSite, ProviderDirectory,
 };
-pub use session::{attach, AttachParams, Attachment, PeeringQuality};
+pub use session::{attach, try_attach, AttachError, AttachParams, Attachment, PeeringQuality};

@@ -30,9 +30,44 @@ use roam_cellular::{radio_latency_ms, Cqi, Imsi, MnoDirectory, MnoId, Rat};
 use roam_geo::City;
 use roam_netsim::link::{LatencyModel, LinkClass};
 use roam_netsim::wire::GtpuHeader;
-use roam_netsim::{Network, NodeId, NodeKind};
+use roam_netsim::{Network, NodeId, NodeKind, SimTime};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// Why a session could not be established. Scenario-construction bugs and
+/// control-plane codec failures surface as typed errors instead of
+/// panics, so a degraded campaign can record the failure and move on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttachError {
+    /// The private 10.0.0.0/8 session space (65 536 /24s) is used up.
+    SessionSpaceExhausted {
+        /// The session id that did not fit.
+        session_id: u32,
+    },
+    /// A breakout site's address pool does not fit inside its prefix.
+    MalformedSitePool {
+        /// The provider whose site is misconfigured.
+        provider: String,
+    },
+    /// The Create Session exchange produced inconsistent GTP messages.
+    ControlPlane(&'static str),
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::SessionSpaceExhausted { session_id } => {
+                write!(f, "session id space exhausted at {session_id}")
+            }
+            AttachError::MalformedSitePool { provider } => {
+                write!(f, "{provider}: site pool does not fit its prefix")
+            }
+            AttachError::ControlPlane(what) => write!(f, "control plane: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
 
 /// Peering quality between a v-MNO and the organisations carrying its
 /// roaming tunnels, expressed as the circuitousness multiplier applied to
@@ -152,7 +187,8 @@ pub struct Attachment {
 ///
 /// # Panics
 /// Panics if `session_id` exceeds the private addressing capacity, or the
-/// provider's site pool is malformed. These are scenario-construction bugs.
+/// provider's site pool is malformed. These are scenario-construction bugs;
+/// callers that want to degrade instead use [`try_attach`].
 pub fn attach(
     net: &mut Network,
     providers: &ProviderDirectory,
@@ -161,6 +197,26 @@ pub fn attach(
     params: &AttachParams,
     rng: &mut SmallRng,
 ) -> Attachment {
+    match try_attach(net, providers, mnos, peering, params, rng) {
+        Ok(att) => att,
+        Err(e) => panic!("attach: {e}"),
+    }
+}
+
+/// Fallible [`attach`]: the same subgraph construction, but addressing
+/// exhaustion, malformed site pools and control-plane codec mismatches come
+/// back as [`AttachError`] instead of panicking mid-campaign.
+///
+/// # Errors
+/// Returns an [`AttachError`] when the session cannot be established.
+pub fn try_attach(
+    net: &mut Network,
+    providers: &ProviderDirectory,
+    mnos: &MnoDirectory,
+    peering: &PeeringQuality,
+    params: &AttachParams,
+    rng: &mut SmallRng,
+) -> Result<Attachment, AttachError> {
     let provider = providers.get(params.provider);
     let site_idx = provider.select_site(params.b_mno, rng);
     let site = &provider.sites[site_idx];
@@ -168,7 +224,9 @@ pub fn attach(
 
     // --- private addressing for this session -----------------------------
     let s = params.session_id;
-    assert!(s < 65_536, "session id space exhausted");
+    if s >= 65_536 {
+        return Err(AttachError::SessionSpaceExhausted { session_id: s });
+    }
     let priv_ip = |host: u8| Ipv4Addr::new(10, (s >> 8) as u8, (s & 0xFF) as u8, host);
 
     // --- UE, RAN, SGW on the visited side ---------------------------------
@@ -254,7 +312,9 @@ pub fn attach(
     let public_ip = site
         .prefix
         .nth(1 + slot)
-        .expect("pool size bounded by prefix size");
+        .ok_or_else(|| AttachError::MalformedSitePool {
+            provider: provider.name.clone(),
+        })?;
     let cgnat = net.add_node(
         &format!("{label}-{}-cgnat", provider.name),
         NodeKind::CgNat,
@@ -263,6 +323,23 @@ pub fn attach(
     );
     net.set_icmp_responds(cgnat, provider.cgnat_icmp_responds);
     net.link_geo(prev, cgnat, LinkClass::Metro);
+
+    // Failover geography for the fault plane: if this gateway goes dark
+    // mid-session, traffic detours via the provider's next-nearest breakout
+    // site and pays the extra tunnel stretch instead of being dropped.
+    // Single-site providers have nowhere to fail over to.
+    let detour_km = provider
+        .sites
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != site_idx)
+        .map(|(_, alt)| pgw_loc.distance_km(alt.city.location()))
+        .min_by(f64::total_cmp);
+    if let Some(km) = detour_km {
+        let detour_ms = roam_geo::fiber_delay_ms(km) * LinkClass::Tunnel.circuitousness()
+            + LinkClass::Tunnel.processing_ms();
+        net.set_failover(cgnat, SimTime::from_ms(detour_ms));
+    }
 
     // --- control plane: the Create Session exchange ------------------------
     // The SGW asks the selected PGW for a session; the accepting response
@@ -273,28 +350,36 @@ pub fn attach(
         GtpcMessage::create_session_request(s + 1, params.imsi, "internet", sgw_teid, priv_ip(3));
     let pgw_teid = rng.gen::<u32>() | 1;
     let response = GtpcMessage::accept(&request, pgw_teid, priv_ip(10), public_ip);
-    let response = GtpcMessage::decode(&response.encode()).expect("self-encoded response");
-    assert_eq!(
-        response.sequence, request.sequence,
-        "response matches request"
-    );
-    let teid = response.fteid.expect("accepted session has an F-TEID").0;
-    assert_eq!(
-        response.paa,
-        Some(public_ip),
-        "the assigned PDN address is the breakout address"
-    );
+    let response = GtpcMessage::decode(&response.encode())
+        .map_err(|_| AttachError::ControlPlane("create-session response failed to decode"))?;
+    if response.sequence != request.sequence {
+        return Err(AttachError::ControlPlane(
+            "response sequence does not match request",
+        ));
+    }
+    let teid = response
+        .fteid
+        .ok_or(AttachError::ControlPlane("accepted session has no F-TEID"))?
+        .0;
+    if response.paa != Some(public_ip) {
+        return Err(AttachError::ControlPlane(
+            "assigned PDN address is not the breakout address",
+        ));
+    }
     // The data plane then encapsulates toward that endpoint.
     let probe = GtpuHeader::encapsulate(teid, b"first-uplink-packet");
-    let (hdr, _) = GtpuHeader::decapsulate(&probe).expect("self-encapsulated probe");
-    assert_eq!(hdr.teid, teid, "TEID must survive the tunnel");
+    let (hdr, _) = GtpuHeader::decapsulate(&probe)
+        .map_err(|_| AttachError::ControlPlane("self-encapsulated probe failed to decapsulate"))?;
+    if hdr.teid != teid {
+        return Err(AttachError::ControlPlane("TEID did not survive the tunnel"));
+    }
 
     let flow_stamp = roam_netsim::engine::flow_seed(
         net.master_seed(),
         &format!("flow/{label}/{}/{:?}", params.imsi, params.ue_city),
     );
 
-    Attachment {
+    Ok(Attachment {
         ue,
         ran,
         sgw,
@@ -311,7 +396,7 @@ pub fn attach(
         rat: params.rat,
         private_hops: 2 + core_hops, // RAN + SGW + provider core
         flow_stamp,
-    }
+    })
 }
 
 #[cfg(test)]

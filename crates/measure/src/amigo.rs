@@ -302,7 +302,8 @@ impl MeasurementEndpoint {
                         up_mbps: r.up_mbps,
                         latency_ms: r.latency_ms,
                         attempts: r.attempts,
-                        cqi: r.cqi,
+                        cqi: Some(r.cqi),
+                        status: r.status,
                     });
                 } else {
                     server.record_skip(self.id, job, SkipReason::NetworkFailure);
@@ -310,11 +311,19 @@ impl MeasurementEndpoint {
             }
             Instrumentation::Traceroute(service) => {
                 match mtr_run(net, &ep, targets, service, self.jobs_run as u32) {
-                    Some(out) => data.traces.push(TraceRecord {
-                        tag,
-                        service,
-                        analysis: out.analysis,
-                    }),
+                    Some(out) => {
+                        let status = if out.analysis.reached {
+                            crate::error::MeasureStatus::Ok
+                        } else {
+                            crate::error::MeasureStatus::Timeout
+                        };
+                        data.traces.push(TraceRecord {
+                            tag,
+                            service,
+                            analysis: out.analysis,
+                            status,
+                        });
+                    }
                     None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
                 }
             }
@@ -326,6 +335,7 @@ impl MeasurementEndpoint {
                         total_ms: r.total_ms,
                         dns_ms: r.dns_ms,
                         cache_hit: r.cache_hit,
+                        status: r.status,
                     }),
                     None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
                 }
@@ -336,8 +346,9 @@ impl MeasurementEndpoint {
                         tag,
                         lookup_ms: r.lookup_ms,
                         attempts: r.attempts,
-                        resolver_city: r.resolver_city,
+                        resolver_city: Some(r.resolver_city),
                         doh: r.doh,
+                        status: r.status,
                     }),
                     None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
                 }
@@ -345,8 +356,9 @@ impl MeasurementEndpoint {
             Instrumentation::Video => match play_youtube(net, &ep, targets, &label) {
                 Some(r) => data.videos.push(crate::campaign::VideoRecord {
                     tag,
-                    resolution: r.resolution,
+                    resolution: Some(r.resolution),
                     rebuffered: r.rebuffered,
+                    status: r.status,
                 }),
                 None => server.record_skip(self.id, job, SkipReason::NetworkFailure),
             },

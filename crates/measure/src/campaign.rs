@@ -6,13 +6,14 @@
 //! as `<physical SIM> // <Airalo eSIM>`). [`run_web_measurement`] mirrors
 //! §3.1: a volunteer's own phone uploads a DNS check plus a fast.com run.
 
-use crate::cdn::{fetch_jquery, CdnOptions, CdnProvider};
-use crate::dns::resolve;
+use crate::cdn::{fetch_jquery_checked, CdnOptions, CdnProvider};
+use crate::dns::resolve_checked;
 use crate::endpoint::Endpoint;
-use crate::speedtest::ookla_speedtest;
+use crate::error::{MeasureError, MeasureStatus};
+use crate::speedtest::ookla_speedtest_checked;
 use crate::targets::{Service, ServiceTargets};
-use crate::trace::mtr_run;
-use crate::video::{play_youtube, Resolution};
+use crate::trace::mtr_run_checked;
+use crate::video::{play_youtube_checked, Resolution};
 use crate::webtest::fastcom_test;
 use roam_cellular::{Cqi, Rat, SimType};
 use roam_core::PathAnalysis;
@@ -51,16 +52,19 @@ impl RecordTag {
 pub struct SpeedtestRecord {
     /// Context.
     pub tag: RecordTag,
-    /// Downlink, Mbps.
+    /// Downlink, Mbps (`NaN` on a failed run — exported empty).
     pub down_mbps: f64,
-    /// Uplink, Mbps.
+    /// Uplink, Mbps (`NaN` on a failed run).
     pub up_mbps: f64,
-    /// Latency to the selected server, ms.
+    /// Latency to the selected server, ms (`NaN` on a failed run).
     pub latency_ms: f64,
     /// Echo attempts the latency phase consumed (probe loss).
     pub attempts: u32,
-    /// Channel quality during the test.
-    pub cqi: Cqi,
+    /// Channel quality during the test (`None` on a failed run — the test
+    /// never got far enough to sample the channel).
+    pub cqi: Option<Cqi>,
+    /// How the measurement ended.
+    pub status: MeasureStatus,
 }
 
 /// One traceroute record.
@@ -72,6 +76,9 @@ pub struct TraceRecord {
     pub service: Service,
     /// Path decomposition.
     pub analysis: PathAnalysis,
+    /// How the run ended (`timeout` when the walk never reached the
+    /// target).
+    pub status: MeasureStatus,
 }
 
 /// One CDN fetch record.
@@ -81,12 +88,14 @@ pub struct CdnRecord {
     pub tag: RecordTag,
     /// Provider fetched from.
     pub provider: CdnProvider,
-    /// Total download time, ms.
+    /// Total download time, ms (`NaN` on a failed run).
     pub total_ms: f64,
-    /// DNS component, ms.
+    /// DNS component, ms (`NaN` on a failed run).
     pub dns_ms: f64,
     /// Cache state at the edge.
     pub cache_hit: bool,
+    /// How the fetch ended.
+    pub status: MeasureStatus,
 }
 
 /// One DNS lookup record.
@@ -94,14 +103,16 @@ pub struct CdnRecord {
 pub struct DnsRecord {
     /// Context.
     pub tag: RecordTag,
-    /// Lookup time, ms.
+    /// Lookup time, ms (`NaN` on a failed run).
     pub lookup_ms: f64,
     /// Echo attempts the resolver RTT phase consumed.
     pub attempts: u32,
-    /// Resolver city.
-    pub resolver_city: City,
+    /// Resolver city (`None` when the lookup never got an answer).
+    pub resolver_city: Option<City>,
     /// DoH in use?
     pub doh: bool,
+    /// How the lookup ended.
+    pub status: MeasureStatus,
 }
 
 /// One video playback record.
@@ -109,10 +120,12 @@ pub struct DnsRecord {
 pub struct VideoRecord {
     /// Context.
     pub tag: RecordTag,
-    /// Resolution settled on.
-    pub resolution: Resolution,
+    /// Resolution settled on (`None` when playback never started).
+    pub resolution: Option<Resolution>,
     /// Buffer underrun?
     pub rebuffered: bool,
+    /// How the session ended.
+    pub status: MeasureStatus,
 }
 
 /// All records of a campaign (possibly many countries merged).
@@ -140,13 +153,37 @@ impl CampaignData {
         self.videos.extend(other.videos);
     }
 
-    /// Speedtests passing the paper's CQI ≥ 7 filter.
+    /// Speedtests passing the paper's CQI ≥ 7 filter. Failed runs carry no
+    /// CQI and are excluded along with the weak-channel samples.
     #[must_use]
     pub fn filtered_speedtests(&self) -> Vec<&SpeedtestRecord> {
         self.speedtests
             .iter()
-            .filter(|r| r.cqi.passes_quality_filter())
+            .filter(|r| r.cqi.is_some_and(|c| c.passes_quality_filter()))
             .collect()
+    }
+
+    /// Per-status record counts across every dataset: the degraded-run
+    /// summary a campaign reports instead of aborting under faults.
+    #[must_use]
+    pub fn degradation(&self) -> DegradationSummary {
+        let mut d = DegradationSummary::default();
+        for r in &self.speedtests {
+            d.count(r.status);
+        }
+        for r in &self.traces {
+            d.count(r.status);
+        }
+        for r in &self.cdns {
+            d.count(r.status);
+        }
+        for r in &self.dns {
+            d.count(r.status);
+        }
+        for r in &self.videos {
+            d.count(r.status);
+        }
+        d
     }
 
     /// Total records across every dataset.
@@ -163,6 +200,51 @@ impl CampaignData {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Per-status record counts: how degraded a (possibly fault-injected)
+/// run was. Additive — shard summaries merge by summing fields.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationSummary {
+    /// Records measured on the primary path.
+    pub ok: u64,
+    /// Records measured via a failover gateway.
+    pub failover: u64,
+    /// Explicit failure rows: every probe (and retry) lost.
+    pub timeout: u64,
+    /// Explicit failure rows: destination unroutable or silent.
+    pub unreachable: u64,
+}
+
+impl DegradationSummary {
+    fn count(&mut self, status: MeasureStatus) {
+        match status {
+            MeasureStatus::Ok => self.ok += 1,
+            MeasureStatus::Failover => self.failover += 1,
+            MeasureStatus::Timeout => self.timeout += 1,
+            MeasureStatus::Unreachable => self.unreachable += 1,
+        }
+    }
+
+    /// Records that produced no sample.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.timeout + self.unreachable
+    }
+
+    /// Records that touched the fault plane at all (failover or failed).
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        self.failover + self.failed()
+    }
+
+    /// Merge another shard's summary into this one.
+    pub fn merge(&mut self, other: DegradationSummary) {
+        self.ok += other.ok;
+        self.failover += other.failover;
+        self.timeout += other.timeout;
+        self.unreachable += other.unreachable;
     }
 }
 
@@ -278,6 +360,20 @@ pub fn run_measurement(
     }
 }
 
+/// Decide what a failed measurement leaves behind. With the fault plane
+/// active, a network failure becomes an explicit record (status column,
+/// `NaN` metrics) so degraded runs are auditable; [`MeasureError::NoTarget`]
+/// — a gap in the scenario, not the network — stays a silent skip in both
+/// modes, as does everything when faults are off, preserving the campaign's
+/// byte-identical record stream.
+fn failed_status(net: &mut Network, e: &MeasureError) -> Option<MeasureStatus> {
+    if matches!(e, MeasureError::NoTarget) || !net.faults_enabled() {
+        return None;
+    }
+    net.telemetry_mut().add(Counter::MeasurementsFailed, 1);
+    Some(e.status())
+}
+
 fn execute_measurement(
     net: &mut Network,
     ep: &Endpoint,
@@ -288,57 +384,113 @@ fn execute_measurement(
 ) {
     match m {
         PlannedMeasurement::Ookla(i) => {
-            if let Some(r) = ookla_speedtest(net, ep, targets, &format!("ookla/{i}")) {
-                data.speedtests.push(SpeedtestRecord {
+            match ookla_speedtest_checked(net, ep, targets, &format!("ookla/{i}")) {
+                Ok(r) => data.speedtests.push(SpeedtestRecord {
                     tag,
                     down_mbps: r.down_mbps,
                     up_mbps: r.up_mbps,
                     latency_ms: r.latency_ms,
                     attempts: r.attempts,
-                    cqi: r.cqi,
-                });
+                    cqi: Some(r.cqi),
+                    status: r.status,
+                }),
+                Err(e) => {
+                    if let Some(status) = failed_status(net, &e) {
+                        data.speedtests.push(SpeedtestRecord {
+                            tag,
+                            down_mbps: f64::NAN,
+                            up_mbps: f64::NAN,
+                            latency_ms: f64::NAN,
+                            attempts: e.attempts(),
+                            cqi: None,
+                            status,
+                        });
+                    }
+                }
             }
         }
         PlannedMeasurement::Mtr(service, run) => {
-            if let Some(out) = mtr_run(net, ep, targets, service, run) {
+            if let Ok(out) = mtr_run_checked(net, ep, targets, service, run) {
+                let status = if out.analysis.reached {
+                    MeasureStatus::Ok
+                } else {
+                    MeasureStatus::Timeout
+                };
                 data.traces.push(TraceRecord {
                     tag,
                     service,
                     analysis: out.analysis,
+                    status,
                 });
             }
         }
         PlannedMeasurement::Cdn(provider, i) => {
             let label = format!("cdn/{provider:?}/{i}");
-            if let Some(r) = fetch_jquery(net, ep, targets, provider, CdnOptions::default(), &label)
-            {
-                data.cdns.push(CdnRecord {
+            match fetch_jquery_checked(net, ep, targets, provider, CdnOptions::default(), &label) {
+                Ok(r) => data.cdns.push(CdnRecord {
                     tag,
                     provider,
                     total_ms: r.total_ms,
                     dns_ms: r.dns_ms,
                     cache_hit: r.cache_hit,
-                });
+                    status: r.status,
+                }),
+                Err(e) => {
+                    if let Some(status) = failed_status(net, &e) {
+                        data.cdns.push(CdnRecord {
+                            tag,
+                            provider,
+                            total_ms: f64::NAN,
+                            dns_ms: f64::NAN,
+                            cache_hit: false,
+                            status,
+                        });
+                    }
+                }
             }
         }
         PlannedMeasurement::Dns(i) => {
-            if let Some(r) = resolve(net, ep, targets, "test.nextdns.io", &format!("dns/{i}")) {
-                data.dns.push(DnsRecord {
+            match resolve_checked(net, ep, targets, "test.nextdns.io", &format!("dns/{i}")) {
+                Ok(r) => data.dns.push(DnsRecord {
                     tag,
                     lookup_ms: r.lookup_ms,
                     attempts: r.attempts,
-                    resolver_city: r.resolver_city,
+                    resolver_city: Some(r.resolver_city),
                     doh: r.doh,
-                });
+                    status: r.status,
+                }),
+                Err(e) => {
+                    if let Some(status) = failed_status(net, &e) {
+                        data.dns.push(DnsRecord {
+                            tag,
+                            lookup_ms: f64::NAN,
+                            attempts: e.attempts(),
+                            resolver_city: None,
+                            doh: false,
+                            status,
+                        });
+                    }
+                }
             }
         }
         PlannedMeasurement::Video(i) => {
-            if let Some(r) = play_youtube(net, ep, targets, &format!("video/{i}")) {
-                data.videos.push(VideoRecord {
+            match play_youtube_checked(net, ep, targets, &format!("video/{i}")) {
+                Ok(r) => data.videos.push(VideoRecord {
                     tag,
-                    resolution: r.resolution,
+                    resolution: Some(r.resolution),
                     rebuffered: r.rebuffered,
-                });
+                    status: r.status,
+                }),
+                Err(e) => {
+                    if let Some(status) = failed_status(net, &e) {
+                        data.videos.push(VideoRecord {
+                            tag,
+                            resolution: None,
+                            rebuffered: false,
+                            status,
+                        });
+                    }
+                }
             }
         }
     }
@@ -388,7 +540,7 @@ pub fn run_web_measurement(
     targets: &ServiceTargets,
     label: &str,
 ) -> Option<WebRecord> {
-    let dns = resolve(net, ep, targets, "test.nextdns.io", &format!("{label}/dns"))?;
+    let dns = resolve_checked(net, ep, targets, "test.nextdns.io", &format!("{label}/dns")).ok()?;
     let fast = fastcom_test(net, ep, targets, label)?;
     Some(WebRecord {
         country: ep.country,

@@ -6,8 +6,9 @@
 //! cache MISS adds an edge→origin fetch, which is how the Thai physical
 //! SIM's 7.7% MISS rate showed up as an 18% higher median (§5.1).
 
-use crate::dns::resolve;
+use crate::dns::resolve_checked;
 use crate::endpoint::Endpoint;
+use crate::error::{MeasureError, MeasureStatus};
 use crate::targets::{Service, ServiceTargets};
 use rand::Rng;
 use roam_geo::City;
@@ -86,6 +87,8 @@ pub struct CdnResult {
     pub cache_hit: bool,
     /// Edge that served the object.
     pub edge_city: City,
+    /// How the fetch ended (ok, or ok-via-failover on either sub-flow).
+    pub status: MeasureStatus,
 }
 
 /// Per-fetch options.
@@ -112,17 +115,37 @@ pub fn fetch_jquery(
     opts: CdnOptions,
     label: &str,
 ) -> Option<CdnResult> {
-    let dns = resolve(
+    fetch_jquery_checked(net, endpoint, targets, provider, opts, label).ok()
+}
+
+/// [`fetch_jquery`] with typed failure semantics: DNS failures and dead
+/// edges surface as [`MeasureError`]s; a missing edge or resolver in the
+/// scenario is [`MeasureError::NoTarget`].
+///
+/// # Errors
+/// Propagates [`resolve_checked`] and
+/// [`crate::endpoint::Probe::rtt_checked`] failures.
+pub fn fetch_jquery_checked(
+    net: &mut Network,
+    endpoint: &Endpoint,
+    targets: &ServiceTargets,
+    provider: CdnProvider,
+    opts: CdnOptions,
+    label: &str,
+) -> Result<CdnResult, MeasureError> {
+    let dns = resolve_checked(
         net,
         endpoint,
         targets,
         provider.hostname(),
         &format!("{label}/dns"),
     )?;
-    let edge = targets.nearest(net, Service::Cdn(provider), endpoint.att.breakout_city)?;
+    let edge = targets
+        .nearest(net, Service::Cdn(provider), endpoint.att.breakout_city)
+        .ok_or(MeasureError::NoTarget)?;
 
     let mut probe = endpoint.probe(net, label);
-    let rtt = probe.rtt(edge)?;
+    let rtt = probe.rtt_checked(edge)?;
     let cqi = endpoint.channel.sample(probe.rng());
 
     let mut total = dns.lookup_ms
@@ -149,12 +172,17 @@ pub fn fetch_jquery(
         }
     }
 
-    Some(CdnResult {
+    Ok(CdnResult {
         provider,
         total_ms: total,
         dns_ms: dns.lookup_ms,
         cache_hit,
         edge_city: net.node(edge).city,
+        status: if rtt.failover || dns.status == MeasureStatus::Failover {
+            MeasureStatus::Failover
+        } else {
+            MeasureStatus::Ok
+        },
     })
 }
 

@@ -14,6 +14,7 @@
 //! codec, so malformed-response bugs would surface here.
 
 use crate::endpoint::Endpoint;
+use crate::error::{MeasureError, MeasureStatus};
 use crate::targets::ServiceTargets;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -40,6 +41,8 @@ pub struct DnsResult {
     pub doh: bool,
     /// The answer records.
     pub answers: Vec<Ipv4Addr>,
+    /// How the lookup ended (ok, or ok-via-failover).
+    pub status: MeasureStatus,
 }
 
 /// Pick the resolver an endpoint's queries land on.
@@ -82,12 +85,28 @@ pub fn resolve(
     qname: &str,
     label: &str,
 ) -> Option<DnsResult> {
+    resolve_checked(net, endpoint, targets, qname, label).ok()
+}
+
+/// [`resolve`] with typed failure semantics: a scenario without a
+/// resolver is [`MeasureError::NoTarget`]; a blackholed or unreachable
+/// resolver surfaces the probe's error.
+///
+/// # Errors
+/// Propagates [`crate::endpoint::Probe::rtt_checked`] failures.
+pub fn resolve_checked(
+    net: &mut Network,
+    endpoint: &Endpoint,
+    targets: &ServiceTargets,
+    qname: &str,
+    label: &str,
+) -> Result<DnsResult, MeasureError> {
     let mut probe = endpoint.probe(net, label);
     let resolver = {
         let (net_ref, flow) = probe.parts();
-        select_resolver(net_ref, endpoint, targets, flow.rng())?
+        select_resolver(net_ref, endpoint, targets, flow.rng()).ok_or(MeasureError::NoTarget)?
     };
-    let sample = probe.rtt(resolver)?;
+    let sample = probe.rtt_checked(resolver)?;
     let rtt = sample.rtt_ms;
 
     // Encode the query and the response through the real codec.
@@ -121,7 +140,7 @@ pub fn resolve(
         let n = net_ref.node(resolver);
         (n.ip, n.city)
     };
-    Some(DnsResult {
+    Ok(DnsResult {
         lookup_ms: rtt + server_ms + doh_ms,
         attempts: sample.attempts,
         resolver,
@@ -129,6 +148,7 @@ pub fn resolve(
         resolver_city,
         doh,
         answers: decoded.answers,
+        status: sample.status(),
     })
 }
 

@@ -1,13 +1,15 @@
 //! A measurement endpoint: an attached SIM/eSIM plus its policy context,
 //! and the probe API every measurement client opens its flows through.
 
+use crate::error::{MeasureError, MeasureStatus};
 use rand::rngs::SmallRng;
+use rand::Rng;
 use roam_cellular::{phy_rate_mbps, ChannelSampler, Cqi, Rat, SimType};
 use roam_geo::Country;
 use roam_ipx::Attachment;
 use roam_netsim::engine::{flow_seed, Flow, FlowId, Transport, TransportKind};
 use roam_netsim::{
-    Network, NodeId, PingResult, RttSample, Traceroute, TracerouteOpts, TransferSpec,
+    Network, NodeId, PingResult, ProbeError, RttSample, Traceroute, TracerouteOpts, TransferSpec,
 };
 use roam_telemetry::{Counter, Event, EventScope, Hist, Sink};
 
@@ -81,6 +83,37 @@ impl Endpoint {
     }
 }
 
+/// A successful checked RTT measurement (see [`Probe::rtt_checked`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeRtt {
+    /// Round-trip time of the successful echo, ms.
+    pub rtt_ms: f64,
+    /// Echo attempts consumed across every retry round.
+    pub attempts: u32,
+    /// Did the exchange traverse a failover gateway?
+    pub failover: bool,
+}
+
+impl ProbeRtt {
+    /// The status this sample stamps on its record.
+    #[must_use]
+    pub fn status(&self) -> MeasureStatus {
+        if self.failover {
+            MeasureStatus::Failover
+        } else {
+            MeasureStatus::Ok
+        }
+    }
+}
+
+/// Base backoff delay after a fully-lost probe, ms.
+const BACKOFF_BASE_MS: f64 = 200.0;
+/// Extra retry rounds a probe gets when the fault plane is active. Each
+/// round is itself a 3-echo [`Network::rtt_probe`]-style exchange.
+const BACKOFF_ROUNDS: u32 = 2;
+/// A probe (including its backoff waits) never runs longer than this.
+const PROBE_DEADLINE_MS: f64 = 2_000.0;
+
 /// One measurement flow in flight: the endpoint's UE, a private RNG
 /// stream, and the transport that times bulk transfers. All network I/O a
 /// client performs — pings, traceroutes, transfers, server think-time
@@ -108,22 +141,79 @@ impl Probe<'_> {
     /// packet-by-packet, independent of the transport backend, so they are
     /// safe observables for the byte-stable telemetry plane.
     pub fn rtt(&mut self, dst: NodeId) -> Option<RttSample> {
-        let sample = self.net.rtt_probe(self.ue, dst, &mut self.flow);
-        if let Some(s) = sample {
-            self.net.telemetry_mut().observe(Hist::ProbeRttMs, s.rtt_ms);
-            if let Some(label) = &self.ev_label {
-                let ev = Event {
-                    at_ns: 0,
-                    scope: EventScope::Flow(self.flow.id().0),
-                    kind: "rtt",
-                    label: label.clone(),
-                    value: Some(s.rtt_ms),
-                    attempts: Some(s.attempts),
-                };
-                self.net.telemetry_mut().push_event(ev);
+        self.rtt_checked(dst).ok().map(|p| RttSample {
+            rtt_ms: p.rtt_ms,
+            attempts: p.attempts,
+        })
+    }
+
+    /// [`Probe::rtt`] with typed failure semantics and — when the fault
+    /// plane is active — deterministic retry with exponential backoff.
+    ///
+    /// An unroutable or silent destination fails immediately as
+    /// [`MeasureError::Unreachable`]; a fully-lost exchange earns up to
+    /// [`BACKOFF_ROUNDS`] extra rounds, each preceded by a backoff of
+    /// `BACKOFF_BASE_MS · 2^round · (1 + jitter)` with the jitter drawn
+    /// from the flow's own RNG stream, so retry behaviour is a pure
+    /// function of the flow identity. Each retry re-phases against the
+    /// fault calendar, giving it a real chance to escape the burst or
+    /// outage window that ate the previous round. With faults off the
+    /// retry machinery is inert and the draw sequence matches the plain
+    /// 3-echo probe exactly.
+    ///
+    /// # Errors
+    /// [`MeasureError::Unreachable`] for dead destinations,
+    /// [`MeasureError::Timeout`] when every round was lost.
+    pub fn rtt_checked(&mut self, dst: NodeId) -> Result<ProbeRtt, MeasureError> {
+        let failovers_before = self.net.fault_failovers();
+        let rounds = if self.net.faults_enabled() {
+            BACKOFF_ROUNDS
+        } else {
+            0
+        };
+        let mut attempts = 0u32;
+        let mut waited_ms = 0.0;
+        for round in 0..=rounds {
+            match self.net.rtt_probe_checked(self.ue, dst, &mut self.flow) {
+                Ok(s) => {
+                    attempts += s.attempts;
+                    self.net.telemetry_mut().observe(Hist::ProbeRttMs, s.rtt_ms);
+                    if let Some(label) = &self.ev_label {
+                        let ev = Event {
+                            at_ns: 0,
+                            scope: EventScope::Flow(self.flow.id().0),
+                            kind: "rtt",
+                            label: label.clone(),
+                            value: Some(s.rtt_ms),
+                            attempts: Some(attempts),
+                        };
+                        self.net.telemetry_mut().push_event(ev);
+                    }
+                    return Ok(ProbeRtt {
+                        rtt_ms: s.rtt_ms,
+                        attempts,
+                        failover: self.net.fault_failovers() > failovers_before,
+                    });
+                }
+                Err(ProbeError::Lost) => {
+                    attempts += 3;
+                    if round == rounds {
+                        break;
+                    }
+                    let jitter: f64 = self.flow.rng().gen_range(0.0..1.0);
+                    let wait = BACKOFF_BASE_MS * f64::from(1u32 << round) * (1.0 + jitter);
+                    if waited_ms + wait > PROBE_DEADLINE_MS {
+                        break;
+                    }
+                    waited_ms += wait;
+                    self.net.telemetry_mut().add(Counter::ProbeBackoffs, 1);
+                }
+                Err(ProbeError::NoRoute | ProbeError::Silent) => {
+                    return Err(MeasureError::Unreachable);
+                }
             }
         }
-        sample
+        Err(MeasureError::Timeout { attempts })
     }
 
     /// A single echo exchange with `dst`.

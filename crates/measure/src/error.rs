@@ -1,0 +1,152 @@
+//! Typed measurement failures and the export-facing status column.
+//!
+//! Under the fault plane ([`roam_netsim::FaultSpec`]) a measurement can
+//! fail for reasons the paper's field campaign hit daily: a probe eaten by
+//! a burst-lossy link, a breakout gateway mid-outage, a blackholed anycast
+//! resolver. Those outcomes surface as a [`MeasureError`], and campaigns
+//! record them as explicit rows tagged with a [`MeasureStatus`] rather
+//! than silent gaps, so a degraded run is distinguishable from a short one.
+
+use roam_ipx::AttachError;
+
+/// Why a measurement produced no sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureError {
+    /// Every echo — including backoff retry rounds — was lost in transit.
+    Timeout {
+        /// Total echo attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// The destination is unroutable, or it will never answer probes.
+    Unreachable,
+    /// The scenario registered no target for the service. This is a gap in
+    /// the world, not a network failure; campaigns skip it silently.
+    NoTarget,
+    /// Session establishment itself failed.
+    Attach(AttachError),
+}
+
+impl MeasureError {
+    /// The status a record of this failure carries in exports.
+    #[must_use]
+    pub fn status(&self) -> MeasureStatus {
+        match self {
+            MeasureError::Timeout { .. } => MeasureStatus::Timeout,
+            MeasureError::Unreachable | MeasureError::NoTarget | MeasureError::Attach(_) => {
+                MeasureStatus::Unreachable
+            }
+        }
+    }
+
+    /// Echo attempts the failed measurement consumed, when known.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        match self {
+            MeasureError::Timeout { attempts } => *attempts,
+            _ => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Timeout { attempts } => {
+                write!(f, "probe timed out after {attempts} echo attempts")
+            }
+            MeasureError::Unreachable => write!(f, "destination unreachable"),
+            MeasureError::NoTarget => write!(f, "no target registered for the service"),
+            MeasureError::Attach(e) => write!(f, "attach failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeasureError::Attach(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AttachError> for MeasureError {
+    fn from(e: AttachError) -> Self {
+        MeasureError::Attach(e)
+    }
+}
+
+/// The `status` column every exported row carries: how the measurement
+/// behind the record ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MeasureStatus {
+    /// Completed on the primary path.
+    #[default]
+    Ok,
+    /// Completed, but traffic detoured via a failover gateway.
+    Failover,
+    /// All probes (and retries) were lost.
+    Timeout,
+    /// The destination was unroutable or silent.
+    Unreachable,
+}
+
+impl MeasureStatus {
+    /// The stable column value (`ok`/`failover`/`timeout`/`unreachable`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MeasureStatus::Ok => "ok",
+            MeasureStatus::Failover => "failover",
+            MeasureStatus::Timeout => "timeout",
+            MeasureStatus::Unreachable => "unreachable",
+        }
+    }
+
+    /// Did the measurement produce a sample (possibly via failover)?
+    #[must_use]
+    pub fn is_ok(self) -> bool {
+        matches!(self, MeasureStatus::Ok | MeasureStatus::Failover)
+    }
+}
+
+impl std::fmt::Display for MeasureStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_strings_are_stable() {
+        assert_eq!(MeasureStatus::Ok.as_str(), "ok");
+        assert_eq!(MeasureStatus::Failover.as_str(), "failover");
+        assert_eq!(MeasureStatus::Timeout.as_str(), "timeout");
+        assert_eq!(MeasureStatus::Unreachable.as_str(), "unreachable");
+    }
+
+    #[test]
+    fn error_maps_to_status() {
+        assert_eq!(
+            MeasureError::Timeout { attempts: 9 }.status(),
+            MeasureStatus::Timeout
+        );
+        assert_eq!(MeasureError::Timeout { attempts: 9 }.attempts(), 9);
+        assert_eq!(
+            MeasureError::Unreachable.status(),
+            MeasureStatus::Unreachable
+        );
+        assert_eq!(MeasureError::NoTarget.status(), MeasureStatus::Unreachable);
+    }
+
+    #[test]
+    fn ok_and_failover_count_as_samples() {
+        assert!(MeasureStatus::Ok.is_ok());
+        assert!(MeasureStatus::Failover.is_ok());
+        assert!(!MeasureStatus::Timeout.is_ok());
+        assert!(!MeasureStatus::Unreachable.is_ok());
+    }
+}

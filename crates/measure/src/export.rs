@@ -135,15 +135,17 @@ impl Dataset {
     #[must_use]
     pub fn header(self) -> &'static str {
         match self {
-            Dataset::Speedtests => "country,sim,arch,rat,down_mbps,up_mbps,latency_ms,attempts,cqi",
+            Dataset::Speedtests => {
+                "country,sim,arch,rat,down_mbps,up_mbps,latency_ms,attempts,cqi,status"
+            }
             Dataset::Traces => {
                 "country,sim,arch,rat,service,private_len,public_len,pgw_ip,pgw_asn,pgw_city,\
-                 pgw_rtt_ms,final_rtt_ms,private_share,unique_asns,reached"
+                 pgw_rtt_ms,final_rtt_ms,private_share,unique_asns,reached,status"
             }
-            Dataset::Cdn => "country,sim,arch,rat,provider,total_ms,dns_ms,cache",
-            Dataset::Dns => "country,sim,arch,rat,lookup_ms,attempts,resolver_city,doh",
-            Dataset::Videos => "country,sim,arch,rat,resolution,rebuffered",
-            Dataset::Voip => "country,sim,arch,rat,rtt_ms,jitter_ms,loss,r_factor,mos",
+            Dataset::Cdn => "country,sim,arch,rat,provider,total_ms,dns_ms,cache,status",
+            Dataset::Dns => "country,sim,arch,rat,lookup_ms,attempts,resolver_city,doh,status",
+            Dataset::Videos => "country,sim,arch,rat,resolution,rebuffered,status",
+            Dataset::Voip => "country,sim,arch,rat,rtt_ms,jitter_ms,loss,r_factor,mos,status",
         }
     }
 
@@ -235,13 +237,14 @@ fn speedtest_rows(data: &CampaignData, out: &mut String) {
     for r in &data.speedtests {
         let _ = writeln!(
             out,
-            "{},{:.3},{:.3},{:.3},{},{}",
+            "{},{:.3},{:.3},{:.3},{},{},{}",
             TagCols(&r.tag),
             Fin(r.down_mbps),
             Fin(r.up_mbps),
             Fin(r.latency_ms),
             r.attempts,
-            r.cqi.value()
+            Opt(r.cqi.map(|c| c.value())),
+            r.status
         );
     }
 }
@@ -251,7 +254,7 @@ fn trace_rows(data: &CampaignData, out: &mut String) {
         let a = &r.analysis;
         let _ = writeln!(
             out,
-            "{},{:?},{},{},{},{},{},{:.3},{:.3},{:.4},{},{}",
+            "{},{:?},{},{},{},{},{},{:.3},{:.3},{:.4},{},{},{}",
             TagCols(&r.tag),
             r.service,
             a.private_len,
@@ -263,7 +266,8 @@ fn trace_rows(data: &CampaignData, out: &mut String) {
             Opt(a.final_rtt_ms),
             Opt(a.private_share),
             a.unique_public_asns,
-            a.reached
+            a.reached,
+            r.status
         );
     }
 }
@@ -272,12 +276,21 @@ fn cdn_rows(data: &CampaignData, out: &mut String) {
     for r in &data.cdns {
         let _ = writeln!(
             out,
-            "{},{},{:.3},{:.3},{}",
+            "{},{},{:.3},{:.3},{},{}",
             TagCols(&r.tag),
             Csv(r.provider.name()),
-            r.total_ms,
-            r.dns_ms,
-            if r.cache_hit { "HIT" } else { "MISS" }
+            Fin(r.total_ms),
+            Fin(r.dns_ms),
+            if r.status.is_ok() {
+                if r.cache_hit {
+                    "HIT"
+                } else {
+                    "MISS"
+                }
+            } else {
+                ""
+            },
+            r.status
         );
     }
 }
@@ -286,19 +299,27 @@ fn dns_rows(data: &CampaignData, out: &mut String) {
     for r in &data.dns {
         let _ = writeln!(
             out,
-            "{},{:.3},{},{},{}",
+            "{},{:.3},{},{},{},{}",
             TagCols(&r.tag),
             Fin(r.lookup_ms),
             r.attempts,
-            Csv(r.resolver_city.name()),
-            r.doh
+            Csv(r.resolver_city.map(|c| c.name()).unwrap_or("")),
+            r.doh,
+            r.status
         );
     }
 }
 
 fn video_rows(data: &CampaignData, out: &mut String) {
     for r in &data.videos {
-        let _ = writeln!(out, "{},{},{}", TagCols(&r.tag), r.resolution, r.rebuffered);
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            TagCols(&r.tag),
+            Opt(r.resolution),
+            r.rebuffered,
+            r.status
+        );
     }
 }
 
@@ -309,6 +330,8 @@ pub struct VoipRecord {
     pub tag: RecordTag,
     /// The burst's transport metrics and E-model score.
     pub result: VoipResult,
+    /// How the burst ended.
+    pub status: crate::error::MeasureStatus,
 }
 
 /// Dead-path bursts report `rtt_ms = jitter_ms = ∞`; those fields are
@@ -318,13 +341,14 @@ fn voip_rows(records: &[VoipRecord], out: &mut String) {
         let v = &r.result;
         let _ = writeln!(
             out,
-            "{},{:.3},{:.3},{:.4},{:.2},{:.2}",
+            "{},{:.3},{:.3},{:.4},{:.2},{:.2},{}",
             TagCols(&r.tag),
             Fin(v.rtt_ms),
             Fin(v.jitter_ms),
             Fin(v.loss),
             Fin(v.r_factor),
-            Fin(v.mos)
+            Fin(v.mos),
+            r.status
         );
     }
 }
@@ -376,6 +400,7 @@ mod tests {
     use super::*;
     use crate::campaign::{CdnRecord, SpeedtestRecord, TraceRecord, VideoRecord};
     use crate::cdn::CdnProvider;
+    use crate::error::MeasureStatus;
     use crate::targets::Service;
     use crate::video::Resolution;
     use roam_cellular::{Cqi, Rat, SimType};
@@ -400,7 +425,8 @@ mod tests {
             up_mbps: 1.5,
             latency_ms: 361.2,
             attempts: 2,
-            cqi: Cqi::new(11),
+            cqi: Some(Cqi::new(11)),
+            status: MeasureStatus::Ok,
         });
         d.traces.push(TraceRecord {
             tag: tag(),
@@ -417,6 +443,7 @@ mod tests {
                 unique_public_asns: 2,
                 reached: true,
             },
+            status: MeasureStatus::Ok,
         });
         d.cdns.push(CdnRecord {
             tag: tag(),
@@ -424,18 +451,21 @@ mod tests {
             total_ms: 3111.0,
             dns_ms: 390.0,
             cache_hit: true,
+            status: MeasureStatus::Ok,
         });
         d.dns.push(crate::campaign::DnsRecord {
             tag: tag(),
             lookup_ms: 391.5,
             attempts: 1,
-            resolver_city: City::Singapore,
+            resolver_city: Some(City::Singapore),
             doh: false,
+            status: MeasureStatus::Ok,
         });
         d.videos.push(VideoRecord {
             tag: tag(),
-            resolution: Resolution::P720,
+            resolution: Some(Resolution::P720),
             rebuffered: false,
+            status: MeasureStatus::Ok,
         });
         d
     }
@@ -513,11 +543,12 @@ mod tests {
                 r_factor: 0.0,
                 mos: 1.0,
             },
+            status: MeasureStatus::Timeout,
         };
         let csv = [rec].export(Dataset::Voip);
         assert!(!csv.contains("inf"), "non-finite leaked: {csv}");
         let row = csv.lines().nth(1).unwrap();
-        assert_eq!(row, "PAK,esim,HR,4G,,,1.0000,0.00,1.00");
+        assert_eq!(row, "PAK,esim,HR,4G,,,1.0000,0.00,1.00,timeout");
         let header_cols = csv.lines().next().unwrap().split(',').count();
         assert_eq!(row.split(',').count(), header_cols);
         // NaN is swallowed the same way.
@@ -537,6 +568,7 @@ mod tests {
                 r_factor,
                 mos,
             },
+            status: MeasureStatus::Ok,
         };
         let csv = [rec].export(Dataset::Voip);
         let row = csv.lines().nth(1).unwrap();

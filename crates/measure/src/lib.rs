@@ -25,6 +25,7 @@ pub mod campaign;
 pub mod cdn;
 pub mod dns;
 pub mod endpoint;
+pub mod error;
 pub mod export;
 pub mod parallel;
 pub mod speedtest;
@@ -40,18 +41,19 @@ pub use amigo::{
 };
 pub use campaign::{
     run_device_campaign, run_measurement, run_web_measurement, CampaignData, CdnRecord,
-    DeviceCampaignSpec, DnsRecord, PlannedMeasurement, SpeedtestRecord, TraceRecord, VideoRecord,
-    WebRecord,
+    DegradationSummary, DeviceCampaignSpec, DnsRecord, PlannedMeasurement, SpeedtestRecord,
+    TraceRecord, VideoRecord, WebRecord,
 };
-pub use cdn::{fetch_jquery, CdnProvider, CdnResult};
-pub use dns::{resolve, DnsResult};
-pub use endpoint::{Endpoint, Probe};
+pub use cdn::{fetch_jquery, fetch_jquery_checked, CdnProvider, CdnResult};
+pub use dns::{resolve, resolve_checked, DnsResult};
+pub use endpoint::{Endpoint, Probe, ProbeRtt};
+pub use error::{MeasureError, MeasureStatus};
 pub use export::{Dataset, Exporter, VoipRecord};
 pub use parallel::{run_shards, shard_seed, RunMode};
-pub use speedtest::{ookla_speedtest, SpeedtestResult};
+pub use speedtest::{ookla_speedtest, ookla_speedtest_checked, SpeedtestResult};
 pub use suite::{measurement_suite, MeasurementKind};
 pub use targets::{Service, ServiceTargets};
-pub use trace::{mtr, mtr_run, TraceOutcome};
-pub use video::{play_youtube, Resolution, VideoResult};
+pub use trace::{mtr, mtr_run, mtr_run_checked, TraceOutcome};
+pub use video::{play_youtube, play_youtube_checked, Resolution, VideoResult};
 pub use voip::{e_model, voip_probe, VoipResult};
-pub use webtest::{fastcom_test, WebTestResult};
+pub use webtest::{fastcom_test, fastcom_test_checked, WebTestResult};

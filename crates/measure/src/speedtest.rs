@@ -8,6 +8,7 @@
 //! the measurement's own flow.
 
 use crate::endpoint::Endpoint;
+use crate::error::{MeasureError, MeasureStatus};
 use crate::targets::{Service, ServiceTargets};
 use roam_cellular::{Cqi, Rat};
 use roam_geo::City;
@@ -36,6 +37,8 @@ pub struct SpeedtestResult {
     pub cqi: Cqi,
     /// RAT of the attachment.
     pub rat: Rat,
+    /// How the measurement ended (ok, or ok-via-failover).
+    pub status: MeasureStatus,
 }
 
 /// Run a speedtest as the flow named by `label`. `None` when no server is
@@ -46,10 +49,27 @@ pub fn ookla_speedtest(
     targets: &ServiceTargets,
     label: &str,
 ) -> Option<SpeedtestResult> {
+    ookla_speedtest_checked(net, endpoint, targets, label).ok()
+}
+
+/// [`ookla_speedtest`] with typed failure semantics: a missing server is
+/// [`MeasureError::NoTarget`], a dead or fully-lossy path surfaces the
+/// probe's error instead of a silent `None`.
+///
+/// # Errors
+/// Propagates [`crate::endpoint::Probe::rtt_checked`] failures.
+pub fn ookla_speedtest_checked(
+    net: &mut Network,
+    endpoint: &Endpoint,
+    targets: &ServiceTargets,
+    label: &str,
+) -> Result<SpeedtestResult, MeasureError> {
     // Server selection by public-IP geolocation = breakout city.
-    let server = targets.nearest(net, Service::Ookla, endpoint.att.breakout_city)?;
+    let server = targets
+        .nearest(net, Service::Ookla, endpoint.att.breakout_city)
+        .ok_or(MeasureError::NoTarget)?;
     let mut probe = endpoint.probe(net, label);
-    let latency = probe.rtt(server)?;
+    let latency = probe.rtt_checked(server)?;
     let cqi = endpoint.channel.sample(probe.rng());
 
     let down = probe.goodput_mbps(&TransferSpec {
@@ -69,7 +89,7 @@ pub fn ookla_speedtest(
         parallel: 8,
     });
 
-    Some(SpeedtestResult {
+    Ok(SpeedtestResult {
         down_mbps: down,
         up_mbps: up,
         latency_ms: latency.rtt_ms,
@@ -77,6 +97,7 @@ pub fn ookla_speedtest(
         server_city: net.node(server).city,
         cqi,
         rat: endpoint.rat(),
+        status: latency.status(),
     })
 }
 

@@ -1,6 +1,7 @@
 //! `mtr`-style traceroute to a service provider (§4.3, Figs. 6–10, 12).
 
 use crate::endpoint::Endpoint;
+use crate::error::MeasureError;
 use crate::targets::{Service, ServiceTargets};
 use roam_core::{analyze_traceroute, PathAnalysis};
 use roam_netsim::{Network, Traceroute, TracerouteOpts};
@@ -40,12 +41,31 @@ pub fn mtr_run(
     service: Service,
     run: u32,
 ) -> Option<TraceOutcome> {
-    let dst = targets.nearest(net, service, endpoint.att.breakout_city)?;
+    mtr_run_checked(net, endpoint, targets, service, run).ok()
+}
+
+/// [`mtr_run`] with typed failure semantics: a service with no registered
+/// edge is [`MeasureError::NoTarget`]. A traceroute that does not reach
+/// its target is still a valid outcome (the paper's unreached traces are
+/// data, not errors) — `analysis.reached` carries that distinction.
+///
+/// # Errors
+/// [`MeasureError::NoTarget`] when no edge is registered for `service`.
+pub fn mtr_run_checked(
+    net: &mut Network,
+    endpoint: &Endpoint,
+    targets: &ServiceTargets,
+    service: Service,
+    run: u32,
+) -> Result<TraceOutcome, MeasureError> {
+    let dst = targets
+        .nearest(net, service, endpoint.att.breakout_city)
+        .ok_or(MeasureError::NoTarget)?;
     let label = format!("mtr/{service:?}/{run}");
     let mut probe = endpoint.probe(net, &label);
     let traceroute = probe.traceroute(dst, TracerouteOpts::default());
     let analysis = analyze_traceroute(&traceroute, net.registry());
-    Some(TraceOutcome {
+    Ok(TraceOutcome {
         service,
         traceroute,
         analysis,

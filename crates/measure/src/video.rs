@@ -10,6 +10,7 @@
 //! measured bandwidth — that cap is [`crate::endpoint::Endpoint::youtube_cap_mbps`].
 
 use crate::endpoint::Endpoint;
+use crate::error::{MeasureError, MeasureStatus};
 use crate::targets::{Service, ServiceTargets};
 use rand::Rng;
 use roam_netsim::Network;
@@ -79,6 +80,8 @@ pub struct VideoResult {
     pub estimated_bw_mbps: f64,
     /// Whether the buffer ran dry during the session.
     pub rebuffered: bool,
+    /// How the session ended (ok, or ok-via-failover).
+    pub status: MeasureStatus,
 }
 
 /// ABR headroom: a rung is selected only if its bitrate fits under
@@ -93,9 +96,26 @@ pub fn play_youtube(
     targets: &ServiceTargets,
     label: &str,
 ) -> Option<VideoResult> {
-    let edge = targets.nearest(net, Service::YouTube, endpoint.att.breakout_city)?;
+    play_youtube_checked(net, endpoint, targets, label).ok()
+}
+
+/// [`play_youtube`] with typed failure semantics: a missing YouTube edge
+/// is [`MeasureError::NoTarget`]; a dead path surfaces the probe's error.
+///
+/// # Errors
+/// Propagates [`crate::endpoint::Probe::rtt_checked`] failures.
+pub fn play_youtube_checked(
+    net: &mut Network,
+    endpoint: &Endpoint,
+    targets: &ServiceTargets,
+    label: &str,
+) -> Result<VideoResult, MeasureError> {
+    let edge = targets
+        .nearest(net, Service::YouTube, endpoint.att.breakout_city)
+        .ok_or(MeasureError::NoTarget)?;
     let mut probe = endpoint.probe(net, label);
-    let rtt = probe.rtt(edge)?.rtt_ms;
+    let sample = probe.rtt_checked(edge)?;
+    let rtt = sample.rtt_ms;
     let cqi = endpoint.channel.sample(probe.rng());
 
     // Long RTT also hurts the ABR's achievable throughput (chunk fetches
@@ -117,10 +137,11 @@ pub fn play_youtube(
     // Rebuffering when even the chosen rung has <5% headroom.
     let rebuffered = bw < resolution.bitrate_mbps() * 1.05;
 
-    Some(VideoResult {
+    Ok(VideoResult {
         resolution,
         estimated_bw_mbps: bw,
         rebuffered,
+        status: sample.status(),
     })
 }
 

@@ -8,6 +8,7 @@
 //! tomography classification.
 
 use crate::endpoint::Endpoint;
+use crate::error::{MeasureError, MeasureStatus};
 use crate::targets::{Service, ServiceTargets};
 use roam_geo::City;
 use roam_netsim::throughput::TransferSpec;
@@ -28,6 +29,8 @@ pub struct WebTestResult {
     pub server_city: City,
     /// Public IP the server observed (classification input).
     pub public_ip: Ipv4Addr,
+    /// How the test ended (ok, or ok-via-failover).
+    pub status: MeasureStatus,
 }
 
 /// Run the browser speedtest as the flow named by `label`. `None` when no
@@ -38,9 +41,25 @@ pub fn fastcom_test(
     targets: &ServiceTargets,
     label: &str,
 ) -> Option<WebTestResult> {
-    let server = targets.nearest(net, Service::FastCom, endpoint.att.breakout_city)?;
+    fastcom_test_checked(net, endpoint, targets, label).ok()
+}
+
+/// [`fastcom_test`] with typed failure semantics: a missing Netflix edge
+/// is [`MeasureError::NoTarget`]; a dead path surfaces the probe's error.
+///
+/// # Errors
+/// Propagates [`crate::endpoint::Probe::rtt_checked`] failures.
+pub fn fastcom_test_checked(
+    net: &mut Network,
+    endpoint: &Endpoint,
+    targets: &ServiceTargets,
+    label: &str,
+) -> Result<WebTestResult, MeasureError> {
+    let server = targets
+        .nearest(net, Service::FastCom, endpoint.att.breakout_city)
+        .ok_or(MeasureError::NoTarget)?;
     let mut probe = endpoint.probe(net, label);
-    let latency = probe.rtt(server)?;
+    let latency = probe.rtt_checked(server)?;
     let cqi = endpoint.channel.sample(probe.rng());
     let down = probe.goodput_mbps(&TransferSpec {
         bytes: TEST_BYTES,
@@ -50,11 +69,12 @@ pub fn fastcom_test(
         setup_rtts: 3.0, // TCP + TLS from a cold browser context
         parallel: 6,     // fast.com's parallel object fetches
     });
-    Some(WebTestResult {
+    Ok(WebTestResult {
         down_mbps: down,
         latency_ms: latency.rtt_ms,
         server_city: net.node(server).city,
         public_ip: endpoint.att.public_ip,
+        status: latency.status(),
     })
 }
 

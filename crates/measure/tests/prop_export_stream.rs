@@ -11,7 +11,7 @@ use roam_geo::{City, Country};
 use roam_ipx::RoamingArch;
 use roam_measure::campaign::{CampaignData, DnsRecord, RecordTag, SpeedtestRecord};
 use roam_measure::voip::VoipResult;
-use roam_measure::{Dataset, Exporter, VoipRecord};
+use roam_measure::{Dataset, Exporter, MeasureStatus, VoipRecord};
 
 /// Any float a measurement could plausibly report — finite values plus
 /// the non-finite ones dead paths produce.
@@ -21,6 +21,17 @@ fn arb_metric() -> impl Strategy<Value = f64> {
         Just(f64::INFINITY),
         Just(f64::NEG_INFINITY),
         Just(f64::NAN),
+    ]
+}
+
+/// Every status a row can carry, failed ones included — failed rows must
+/// round-trip through both export paths byte-for-byte.
+fn arb_status() -> impl Strategy<Value = MeasureStatus> {
+    prop_oneof![
+        Just(MeasureStatus::Ok),
+        Just(MeasureStatus::Failover),
+        Just(MeasureStatus::Timeout),
+        Just(MeasureStatus::Unreachable),
     ]
 }
 
@@ -51,30 +62,43 @@ fn arb_speedtest() -> impl Strategy<Value = SpeedtestRecord> {
         arb_metric(),
         arb_metric(),
         1u32..5,
-        1u8..=15,
+        (
+            prop_oneof![Just(None), (1u8..=15).prop_map(Some)],
+            arb_status(),
+        ),
     )
         .prop_map(
-            |(tag, down_mbps, up_mbps, latency_ms, attempts, cqi)| SpeedtestRecord {
+            |(tag, down_mbps, up_mbps, latency_ms, attempts, (cqi, status))| SpeedtestRecord {
                 tag,
                 down_mbps,
                 up_mbps,
                 latency_ms,
                 attempts,
-                cqi: Cqi::new(cqi),
+                cqi: cqi.map(Cqi::new),
+                status,
             },
         )
 }
 
 fn arb_dns() -> impl Strategy<Value = DnsRecord> {
-    (arb_tag(), arb_metric(), 1u32..4, any::<bool>()).prop_map(|(tag, lookup_ms, attempts, doh)| {
-        DnsRecord {
-            tag,
-            lookup_ms,
-            attempts,
-            resolver_city: City::Singapore,
-            doh,
-        }
-    })
+    (
+        arb_tag(),
+        arb_metric(),
+        1u32..4,
+        any::<bool>(),
+        prop_oneof![Just(None), Just(Some(City::Singapore))],
+        arb_status(),
+    )
+        .prop_map(
+            |(tag, lookup_ms, attempts, doh, resolver_city, status)| DnsRecord {
+                tag,
+                lookup_ms,
+                attempts,
+                resolver_city,
+                doh,
+                status,
+            },
+        )
 }
 
 fn arb_voip() -> impl Strategy<Value = VoipRecord> {
@@ -84,18 +108,21 @@ fn arb_voip() -> impl Strategy<Value = VoipRecord> {
         arb_metric(),
         arb_metric(),
         arb_metric(),
-        arb_metric(),
+        (arb_metric(), arb_status()),
     )
-        .prop_map(|(tag, rtt_ms, jitter_ms, loss, r_factor, mos)| VoipRecord {
-            tag,
-            result: VoipResult {
-                rtt_ms,
-                jitter_ms,
-                loss,
-                r_factor,
-                mos,
+        .prop_map(
+            |(tag, rtt_ms, jitter_ms, loss, r_factor, (mos, status))| VoipRecord {
+                tag,
+                result: VoipResult {
+                    rtt_ms,
+                    jitter_ms,
+                    loss,
+                    r_factor,
+                    mos,
+                },
+                status,
             },
-        })
+        )
 }
 
 proptest! {

@@ -27,6 +27,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod ip;
 pub mod link;
 pub mod net;
@@ -39,11 +40,12 @@ pub use engine::{
     flow_seed, ClosedFormTransport, EngineSteppedTransport, Flow, FlowId, Transport, TransportKind,
 };
 pub use event::EventQueue;
+pub use faults::{FaultCalendar, FaultPlane, FaultSpec, GilbertElliott, NodeFaultState};
 pub use ip::{is_private, Ipv4Net};
 pub use link::{LatencyModel, Link, LinkClass};
 pub use net::{
-    Network, NodeId, NodeKind, PacketEvent, PacketEventKind, PingResult, RttSample, TraceHop,
-    Traceroute, TracerouteOpts,
+    Network, NodeId, NodeKind, PacketEvent, PacketEventKind, PingResult, ProbeError, RttSample,
+    TraceHop, Traceroute, TracerouteOpts,
 };
 pub use registry::{Asn, IpRegistry, PrefixInfo};
 pub use throughput::{transfer_time_ms, TokenBucket, TransferSpec};

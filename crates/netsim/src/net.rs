@@ -11,6 +11,7 @@
 
 use crate::engine::Flow;
 use crate::event::EventQueue;
+use crate::faults::{FaultPlane, FaultSpec, NodeFaultState};
 use crate::ip::is_private;
 use crate::link::{LatencyModel, Link, LinkClass};
 use crate::registry::IpRegistry;
@@ -70,6 +71,30 @@ pub struct PingResult {
     pub rtt_ms: f64,
 }
 
+/// Why a probe failed, as the network saw it. The measurement layer maps
+/// these onto its typed `MeasureError` so failed rows carry a cause
+/// instead of a silent gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeError {
+    /// No route exists between the endpoints.
+    NoRoute,
+    /// The destination never answers ICMP (silent host) — retrying is
+    /// pointless.
+    Silent,
+    /// The probe (or its reply) was lost on every retry.
+    Lost,
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::NoRoute => write!(f, "no route"),
+            ProbeError::Silent => write!(f, "destination is ICMP-silent"),
+            ProbeError::Lost => write!(f, "probe lost after every retry"),
+        }
+    }
+}
+
 /// An RTT measurement with its probe cost: how many echo attempts the
 /// client needed before one round trip survived. Probe loss is data — the
 /// campaign CSVs report it rather than silently absorbing retries.
@@ -99,10 +124,7 @@ impl TraceHop {
     /// and the one the paper uses for PGW RTT CDFs (Figs. 8–9).
     #[must_use]
     pub fn best_rtt(&self) -> Option<f64> {
-        self.rtts
-            .iter()
-            .copied()
-            .min_by(|a, b| a.partial_cmp(b).expect("no NaN rtts"))
+        self.rtts.iter().copied().min_by(|a, b| a.total_cmp(b))
     }
 
     /// Mean RTT across answered probes — unlike [`TraceHop::best_rtt`],
@@ -260,6 +282,11 @@ pub struct Network {
     /// Reusable scratch for ICMP bodies (encoded before the IP header,
     /// whose `total_len` needs the body length).
     icmp_buf: BytesMut,
+    /// The fault-injection plane: keyed-seed calendars of link flaps,
+    /// gateway outages, DNS blackholes and CG-NAT rebinds, plus the
+    /// failover detours the session layer registers. Disabled (one bool
+    /// check per walk) unless `ROAM_FAULTS` / an override says otherwise.
+    faults: FaultPlane,
 }
 
 /// One packet-level event, recorded when tracing is enabled — the
@@ -358,7 +385,51 @@ impl Network {
             walk_queue: EventQueue::new(),
             pkt_buf: BytesMut::with_capacity(128),
             icmp_buf: BytesMut::with_capacity(64),
+            faults: FaultPlane::new(FaultSpec::current()),
         }
+    }
+
+    /// Swap the fault schedule in place (calendars rebuild lazily). The
+    /// default is whatever [`FaultSpec::current`] said when the network
+    /// was built.
+    pub fn set_faults(&mut self, spec: FaultSpec) {
+        self.faults.set_spec(spec);
+    }
+
+    /// Read access to the fault plane (spec, drop/failover tallies).
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Is the fault plane injecting anything?
+    #[must_use]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.enabled()
+    }
+
+    /// Packets the fault plane has killed so far (dark gateways, DNS
+    /// blackholes, rebind windows). Deterministic and independent of the
+    /// telemetry mode, so clients can classify failures cheaply.
+    #[must_use]
+    pub fn fault_drops(&self) -> u64 {
+        self.faults.drops()
+    }
+
+    /// Failover detours packets have taken so far. Clients snapshot this
+    /// around a probe to tag results that survived via the next-nearest
+    /// gateway.
+    #[must_use]
+    pub fn fault_failovers(&self) -> u64 {
+        self.faults.failovers()
+    }
+
+    /// Register the failover detour for a gateway node: the extra one-way
+    /// delay packets pay when the gateway is dark but the session can
+    /// break out at the next-nearest site. The session layer computes the
+    /// detour from provider geography at attach time.
+    pub fn set_failover(&mut self, node: NodeId, detour: SimTime) {
+        self.faults.set_failover(node.0, detour);
     }
 
     /// The seed this network was built from — the master every flow key
@@ -529,17 +600,20 @@ impl Network {
         if let Some(cached) = self.route_cache.get(&(src.0, dst.0)) {
             return cached.clone();
         }
-        let entry = self.dijkstra(src.0, dst.0).map(|p| {
-            let hop_links = p
+        let entry = self.dijkstra(src.0, dst.0).and_then(|p| {
+            // A hop pair without a shared link means the predecessor map
+            // and adjacency disagree — treat it as unroutable rather than
+            // panicking mid-campaign.
+            let hop_links: Option<Vec<u32>> = p
                 .windows(2)
                 .map(|w| self.best_link_index(w[0], w[1]))
                 .collect();
-            RoutePath {
+            Some(RoutePath {
                 entry: Arc::new(RouteEntry {
                     nodes: p.into_iter().map(NodeId).collect(),
-                    hop_links,
+                    hop_links: hop_links?,
                 }),
-            }
+            })
         });
         self.route_cache.insert((src.0, dst.0), entry.clone());
         entry
@@ -562,7 +636,9 @@ impl Network {
             }
             for &li in &self.adj[u as usize] {
                 let link = &self.links[li as usize];
-                let v = link.other(u).expect("link in adjacency list");
+                let Some(v) = link.other(u) else {
+                    continue; // stale adjacency entry: skip, don't panic
+                };
                 let w = SimTime::from_ms(link.latency.base_ms).as_nanos().max(1);
                 let nd = d.saturating_add(w);
                 if nd < dist[v as usize] {
@@ -585,22 +661,19 @@ impl Network {
         Some(path)
     }
 
-    /// Index of the lowest-latency link joining two adjacent nodes.
-    /// Resolved once per route (the result lives in the route cache's
-    /// `hop_links`), not once per forwarded packet.
-    fn best_link_index(&self, a: u32, b: u32) -> u32 {
+    /// Index of the lowest-latency link joining two adjacent nodes, or
+    /// `None` when they share none. Resolved once per route (the result
+    /// lives in the route cache's `hop_links`), not once per forwarded
+    /// packet.
+    fn best_link_index(&self, a: u32, b: u32) -> Option<u32> {
         self.adj[a as usize]
             .iter()
             .copied()
             .filter(|&li| self.links[li as usize].other(a) == Some(b))
             .min_by(|&x, &y| {
                 let (lx, ly) = (&self.links[x as usize], &self.links[y as usize]);
-                lx.latency
-                    .base_ms
-                    .partial_cmp(&ly.latency.base_ms)
-                    .expect("no NaN")
+                lx.latency.base_ms.total_cmp(&ly.latency.base_ms)
             })
-            .expect("adjacent nodes must share a link")
     }
 
     /// The public address the outside world sees for traffic from `src`
@@ -651,15 +724,28 @@ impl Network {
     /// [`Network::ping`] on a flow's private RNG stream: the result is a
     /// function of the flow, not of whatever ran before it.
     pub fn ping_flow(&mut self, src: NodeId, dst: NodeId, flow: &mut Flow) -> Option<PingResult> {
+        self.ping_flow_checked(src, dst, flow).ok()
+    }
+
+    /// [`Network::ping_flow`] with a typed failure cause instead of a
+    /// silent `None`.
+    pub fn ping_flow_checked(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        flow: &mut Flow,
+    ) -> Result<PingResult, ProbeError> {
         if !self.node(dst).icmp_responds {
-            return None;
+            return Err(ProbeError::Silent);
         }
-        let path = self.route(src, dst)?;
+        let Some(path) = self.route(src, dst) else {
+            return Err(ProbeError::NoRoute);
+        };
         let ident = self.next_ident();
         let mut pkt = std::mem::take(&mut self.pkt_buf);
         let result = self.ping_with(&path, ident, &mut pkt, flow.rng());
         self.pkt_buf = pkt;
-        result
+        result.ok_or(ProbeError::Lost)
     }
 
     fn ping_with(
@@ -826,22 +912,43 @@ impl Network {
     /// attempt count so probe loss surfaces in campaign datasets instead of
     /// being silently swallowed.
     pub fn rtt_probe(&mut self, src: NodeId, dst: NodeId, flow: &mut Flow) -> Option<RttSample> {
+        self.rtt_probe_checked(src, dst, flow).ok()
+    }
+
+    /// [`Network::rtt_probe`] with a typed failure cause. Permanent
+    /// conditions (no route, ICMP-silent destination) return immediately
+    /// — retrying cannot help — but book the same probe cost as a full
+    /// retry burn, matching the untyped path's counter arithmetic.
+    pub fn rtt_probe_checked(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        flow: &mut Flow,
+    ) -> Result<RttSample, ProbeError> {
+        let mut cause = ProbeError::Lost;
         for attempt in 1..=3u32 {
-            if let Some(r) = self.ping_flow(src, dst, flow) {
-                self.telemetry
-                    .add(Counter::EchoAttempts, u64::from(attempt));
-                self.telemetry
-                    .add(Counter::ProbeRetransmits, u64::from(attempt - 1));
-                return Some(RttSample {
-                    rtt_ms: r.rtt_ms,
-                    attempts: attempt,
-                });
+            match self.ping_flow_checked(src, dst, flow) {
+                Ok(r) => {
+                    self.telemetry
+                        .add(Counter::EchoAttempts, u64::from(attempt));
+                    self.telemetry
+                        .add(Counter::ProbeRetransmits, u64::from(attempt - 1));
+                    return Ok(RttSample {
+                        rtt_ms: r.rtt_ms,
+                        attempts: attempt,
+                    });
+                }
+                Err(e @ (ProbeError::NoRoute | ProbeError::Silent)) => {
+                    cause = e;
+                    break;
+                }
+                Err(ProbeError::Lost) => {}
             }
         }
         self.telemetry.add(Counter::EchoAttempts, 3);
         self.telemetry.add(Counter::ProbeRetransmits, 2);
         self.telemetry.add(Counter::ProbesLost, 1);
-        None
+        Err(cause)
     }
 
     // -- internals ---------------------------------------------------------
@@ -948,6 +1055,18 @@ impl Network {
         rng: &mut SmallRng,
     ) -> Option<(bool, SimTime, Option<usize>)> {
         let entry = &*route.entry;
+        let faults_on = self.faults.enabled();
+        // One phase draw per walk from the caller's own stream: different
+        // flows (and retries) land on different regions of the cyclic
+        // fault calendars, the alignment is a pure function of flow
+        // identity, and the draw sequence is untouched when the plane is
+        // off — preserving bit-identical behaviour with `ROAM_FAULTS=off`.
+        let phase = if faults_on {
+            rng.gen_range(0..self.faults.spec().period_ns())
+        } else {
+            0
+        };
+        let master = self.master_seed;
         let mut q = std::mem::take(&mut self.walk_queue);
         q.reset();
         q.schedule(start, 0usize); // the packet leaves the first node
@@ -958,6 +1077,39 @@ impl Network {
                 WalkDir::Reverse => upto - step,
             };
             let here = entry.nodes[phys];
+            // Fault plane: a dark node (gateway outage, DNS blackhole,
+            // rebind window) disposes of the packet before it is
+            // forwarded or delivered there; a dark gateway with a
+            // registered failover detours instead, paying extra delay on
+            // its outgoing hop.
+            let mut detour = SimTime::ZERO;
+            if faults_on && step != 0 {
+                let at = SimTime::from_nanos(phase.wrapping_add(now.as_nanos()));
+                let state = match self.nodes[here.0 as usize].kind {
+                    NodeKind::CgNat => self.faults.cgnat_state(master, here.0, at),
+                    NodeKind::DnsResolver => {
+                        if self.faults.dns_dark(master, here.0, at) {
+                            NodeFaultState::Dark
+                        } else {
+                            NodeFaultState::Up
+                        }
+                    }
+                    _ => NodeFaultState::Up,
+                };
+                match state {
+                    NodeFaultState::Up => {}
+                    NodeFaultState::Failover(d) => {
+                        detour = d;
+                        self.telemetry.add(Counter::FaultFailovers, 1);
+                    }
+                    NodeFaultState::Dark => {
+                        self.telemetry.add(Counter::FaultDrops, 1);
+                        self.record(now, here, PacketEventKind::Dropped);
+                        outcome = Some(None); // the fault ate the packet
+                        break;
+                    }
+                }
+            }
             if step == upto {
                 self.record(now, here, PacketEventKind::Delivered);
                 outcome = Some(Some((true, now, None)));
@@ -986,14 +1138,22 @@ impl Network {
                 WalkDir::Reverse => entry.hop_links[upto - 1 - step],
             };
             let link = &self.links[li as usize];
-            let loss = link.loss;
+            let mut loss = link.loss;
             let latency = link.latency;
+            if faults_on {
+                // A flapping link in its Gilbert–Elliott bad window loses
+                // in bursts: the burst rate replaces the base rate.
+                let at = SimTime::from_nanos(phase.wrapping_add(now.as_nanos()));
+                if let Some(burst) = self.faults.link_burst_loss(master, li, at) {
+                    loss = loss.max(burst);
+                }
+            }
             if loss > 0.0 && rng.gen_bool(loss) {
                 self.record(now, here, PacketEventKind::Dropped);
                 outcome = Some(None); // dropped on this link
                 break;
             }
-            let delay = latency.sample(rng);
+            let delay = latency.sample(rng) + detour;
             q.schedule_after(delay, step + 1);
             if self.telemetry.active() {
                 self.telemetry.add(Counter::CalendarEvents, 1);

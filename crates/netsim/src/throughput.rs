@@ -137,7 +137,11 @@ pub fn transfer_time_ms(spec: &TransferSpec) -> f64 {
     let rate_bytes_per_ms = effective_mbps * 1e6 / 8.0 / 1e3;
     let bdp_bytes = rate_bytes_per_ms * spec.rtt_ms; // bandwidth-delay product
 
-    let mut elapsed = spec.setup_rtts * spec.rtt_ms;
+    // Accumulate on the simulation clock's nanosecond grid, quantising each
+    // phase delta exactly like the event-calendar transport does when it
+    // schedules that phase — the two backends must agree bit-for-bit, not
+    // merely to within a rounding edge of the exporters' 3-decimal output.
+    let mut elapsed = SimTime::from_ms(spec.setup_rtts * spec.rtt_ms);
     let mut remaining = spec.bytes;
     let mut cwnd = streams * INIT_CWND_SEGMENTS * MSS;
 
@@ -148,15 +152,21 @@ pub fn transfer_time_ms(spec: &TransferSpec) -> f64 {
         remaining -= sent;
         if remaining <= 0.0 {
             // Last window: time to first byte of the window + transmission.
-            elapsed += spec.rtt_ms / 2.0 + sent / rate_bytes_per_ms;
-            return elapsed;
+            return elapsed
+                .after(SimTime::from_ms(
+                    spec.rtt_ms / 2.0 + sent / rate_bytes_per_ms,
+                ))
+                .as_ms();
         }
-        elapsed += spec.rtt_ms;
+        elapsed = elapsed.after(SimTime::from_ms(spec.rtt_ms));
         cwnd *= 2.0;
     }
     // Steady state: pipe is full; drain the rest at the effective rate.
-    elapsed += spec.rtt_ms / 2.0 + remaining / rate_bytes_per_ms;
     elapsed
+        .after(SimTime::from_ms(
+            spec.rtt_ms / 2.0 + remaining / rate_bytes_per_ms,
+        ))
+        .as_ms()
 }
 
 /// Achieved goodput in Mbps for a transfer described by `spec`.

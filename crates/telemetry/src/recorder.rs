@@ -43,11 +43,21 @@ pub enum Counter {
     FleetSessions,
     /// Marketplace purchases made by fleet subscribers.
     FleetPurchases,
+    /// Packets killed by the fault plane (dark gateways, DNS blackholes,
+    /// CG-NAT rebind windows).
+    FaultDrops,
+    /// Packets that detoured through a registered failover gateway.
+    FaultFailovers,
+    /// Client-side backoff retries after an exhausted probe burn.
+    ProbeBackoffs,
+    /// Measurements that failed after every retry and were recorded as
+    /// explicit failed rows.
+    MeasurementsFailed,
 }
 
 impl Counter {
     /// Every counter, in render order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 22] = [
         Counter::PacketsSent,
         Counter::PacketsForwarded,
         Counter::PacketsDelivered,
@@ -66,6 +76,10 @@ impl Counter {
         Counter::FleetUsers,
         Counter::FleetSessions,
         Counter::FleetPurchases,
+        Counter::FaultDrops,
+        Counter::FaultFailovers,
+        Counter::ProbeBackoffs,
+        Counter::MeasurementsFailed,
     ];
 
     /// Stable snake_case name used in the summary report.
@@ -90,6 +104,10 @@ impl Counter {
             Counter::FleetUsers => "fleet_users",
             Counter::FleetSessions => "fleet_sessions",
             Counter::FleetPurchases => "fleet_purchases",
+            Counter::FaultDrops => "fault_drops",
+            Counter::FaultFailovers => "fault_failovers",
+            Counter::ProbeBackoffs => "probe_backoffs",
+            Counter::MeasurementsFailed => "measurements_failed",
         }
     }
 }

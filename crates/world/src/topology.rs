@@ -99,7 +99,11 @@ impl PublicInternet {
             "Arelion transit",
             city,
         );
-        let peers: Vec<NodeId> = self.ix.values().copied().collect();
+        // Mesh in node-id order: link indices must not depend on HashMap
+        // iteration order, or the index-keyed fault calendars would pick
+        // different links to flap from one process to the next.
+        let mut peers: Vec<NodeId> = self.ix.values().copied().collect();
+        peers.sort_unstable_by_key(|n| n.0);
         for peer in peers {
             let model = LatencyModel::from_geo(
                 net.node(ix).city.location(),

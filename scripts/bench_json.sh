@@ -41,6 +41,8 @@ jq -n \
     | ($b[0]."telemetry/sink_recorder_off_1k".mean_ns) as $roff
     | ($b[0]."fleet/run_2k_users_sequential".mean_ns) as $fseq
     | ($b[0]."fleet/run_2k_users_4_shards_parallel".mean_ns) as $fpar
+    | ($b[0]."faults/ping_faults_off".mean_ns) as $poff
+    | ($b[0]."faults/ping_faults_heavy".mean_ns) as $pheavy
     | {schema: "roamsim-bench-v1",
        host: {cpus: $cpus},
        telemetry: {
@@ -63,6 +65,14 @@ jq -n \
          transfer_engine_stepped_ns: $es,
          engine_over_closed_form: (if $cf != null and $es != null then ($es / $cf) else null end)
        },
+       faults: {
+         note: "ping with a pinned-off fault spec over the bare packet_forward path gates the disabled-fault-plane overhead (the contract is one always-false branch per walk, <= 1.02); heavy_over_off is what a fully materialised heavy calendar set costs on the same walk",
+         ping_faults_off_ns: $poff,
+         ping_faults_heavy_ns: $pheavy,
+         off_over_bare_ping: (if $poff != null and $fwd != null then ($poff / $fwd) else null end),
+         heavy_over_off: (if $pheavy != null and $poff != null then ($pheavy / $poff) else null end),
+         disabled_overhead_within_2pct: (if $poff != null and $fwd != null then ($poff / $fwd) <= 1.02 else null end)
+       },
        fleet: {
          note: "2k-user run timed end-to-end (synthesis, purchases, sessions, sketches); users_per_sec is the population-scale throughput headline; both shardings produce byte-identical reports",
          run_2k_users_sequential_ns: $fseq,
@@ -73,4 +83,10 @@ jq -n \
        benchmarks: $b[0]}' > "$out"
 
 echo "wrote $out"
-jq '.parallel, .engine, .telemetry, .fleet' "$out"
+jq '.parallel, .engine, .telemetry, .faults, .fleet' "$out"
+
+if [ "$(jq '.faults.disabled_overhead_within_2pct' "$out")" = "false" ]; then
+    echo "WARNING: disabled fault plane costs >2% over the bare ping path" >&2
+    echo "         (faults/ping_faults_off vs netsim/packet_forward)" >&2
+    exit 1
+fi
