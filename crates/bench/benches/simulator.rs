@@ -298,6 +298,73 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// The event calendar under the schedule/pop mixes the simulator actually
+/// produces, on both backends (`wheel` is the default hierarchical timing
+/// wheel, `heap` the classic binary-heap reference). Each iteration
+/// `rewind()`s a long-lived queue — the walk-reuse pattern — so slot and
+/// heap capacity persist and the numbers are steady-state schedule+pop
+/// cost, not allocator churn. `bench_json.sh` reports the wheel/heap
+/// ratio per mix.
+fn bench_event_core(c: &mut Criterion) {
+    use roam_netsim::CalendarKind;
+    let mut g = c.benchmark_group("event_core");
+    for (kind, tag) in [(CalendarKind::Wheel, "wheel"), (CalendarKind::Heap, "heap")] {
+        // Uniform: timers scattered over ~4 ms (Knuth-hashed so insertion
+        // order fights pop order) — the packet-walk steady state.
+        let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+        g.bench_function(&format!("uniform_4k_{tag}"), |b| {
+            b.iter(|| {
+                q.rewind();
+                for i in 0..4_000u32 {
+                    q.schedule(
+                        SimTime::from_nanos(u64::from(i.wrapping_mul(2_654_435_761))),
+                        i,
+                    );
+                }
+                let mut popped = 0u32;
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                black_box(popped)
+            })
+        });
+        // Bursty: 64 instants of 64 same-tick events each — the FIFO
+        // tie-break path (batched fleet sessions land like this).
+        let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+        g.bench_function(&format!("bursty_4k_{tag}"), |b| {
+            b.iter(|| {
+                q.rewind();
+                for i in 0..4_000u32 {
+                    q.schedule(SimTime::from_nanos(u64::from(i / 64) * 1_000_000), i);
+                }
+                let mut popped = 0u32;
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                black_box(popped)
+            })
+        });
+        // Long-tail: exponentially spread timers from 1 ns out to ~9 min,
+        // forcing events through the wheel's upper levels (cascades).
+        let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+        g.bench_function(&format!("longtail_4k_{tag}"), |b| {
+            b.iter(|| {
+                q.rewind();
+                for i in 0..4_000u32 {
+                    let exp = i % 40;
+                    q.schedule(SimTime::from_nanos((1u64 << exp) | u64::from(i)), i);
+                }
+                let mut popped = 0u32;
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                black_box(popped)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_stats(c: &mut Criterion) {
     let mut g = c.benchmark_group("stats");
     let mut rng = SmallRng::seed_from_u64(3);
@@ -382,6 +449,7 @@ criterion_group!(
     bench_campaign,
     bench_telemetry,
     bench_engine,
+    bench_event_core,
     bench_stats,
     bench_econ,
     bench_fleet

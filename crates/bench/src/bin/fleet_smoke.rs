@@ -32,11 +32,14 @@ fn main() {
 
     print!("{}", run.report.render());
 
+    let users_per_sec = users as f64 / wall.max(1e-9);
     eprintln!(
-        "fleet_smoke: {users} users in {wall:.2}s = {:.0} users/sec across {} shard(s)",
-        users as f64 / wall.max(1e-9),
+        "fleet_smoke: {users} users in {wall:.2}s = {users_per_sec:.0} users/sec across {} shard(s)",
         run.timings.len()
     );
+    // Machine-parseable line for the bench_json.sh / CI throughput floor
+    // gate: `sed -n 's/^fleet_smoke_users_per_sec: //p'`.
+    eprintln!("fleet_smoke_users_per_sec: {users_per_sec:.0}");
     for t in &run.timings {
         eprintln!("  {} {:.1} ms", t.key, t.wall_ms);
     }

@@ -71,7 +71,26 @@ pub struct UserProfile {
 /// and nowhere else.
 #[must_use]
 pub fn user_rng(master: u64, id: UserId) -> SmallRng {
-    SmallRng::seed_from_u64(flow_seed(master, &format!("fleet/user/{}", id.0)))
+    // The key is `fleet/user/<id>`; building it on the stack without the
+    // `fmt` machinery matters when this runs once per synthesized user.
+    const PREFIX: &[u8] = b"fleet/user/";
+    let mut buf = [0u8; PREFIX.len() + 20];
+    buf[..PREFIX.len()].copy_from_slice(PREFIX);
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = id.0;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    let n = digits.len() - i;
+    buf[PREFIX.len()..PREFIX.len() + n].copy_from_slice(&digits[i..]);
+    let key = std::str::from_utf8(&buf[..PREFIX.len() + n]).expect("decimal digits are ASCII");
+    SmallRng::seed_from_u64(flow_seed(master, key))
 }
 
 /// Draw a destination: rank-weighted over `countries` with weight

@@ -28,11 +28,11 @@ use rand::{Rng, SeedableRng};
 use roam_econ::{EsimOffer, Market};
 use roam_geo::Country;
 use roam_measure::{
-    resolve_checked, run_shards, DegradationSummary, Endpoint, MeasureError, MeasureStatus,
-    RunMode, Service,
+    resolve_timing, run_shards, DegradationSummary, Endpoint, MeasureError, MeasureStatus,
+    ResolverPlan, RunMode, Service,
 };
 use roam_netsim::engine::flow_seed;
-use roam_netsim::{FaultSpec, Network, NodeId, TransferSpec, TransportKind};
+use roam_netsim::{CalendarKind, FaultSpec, Network, NodeId, TransferSpec, TransportKind};
 use roam_telemetry::{merge_shards, Counter, Sink, TelemetryMode, TelemetryReport};
 use roam_world::World;
 use std::time::Instant;
@@ -208,10 +208,19 @@ impl FleetRunner {
     /// fold reports and telemetry in shard order.
     #[must_use]
     pub fn run(&self) -> FleetRun {
-        let _pin = TransportPin(
-            self.transport
-                .map(|k| TransportKind::override_transport(Some(k))),
-        );
+        // Pin the transport and calendar for the whole run even when they
+        // come from the environment: `TransportKind::current()` runs once
+        // per probe and `CalendarKind::current()` once per transfer, and
+        // with no override installed each call is an `env::var` lookup —
+        // pure overhead at population scale. Snapshotting the resolved
+        // kind into the override turns both into one atomic load, without
+        // changing which backend runs (both knobs are output-invariant).
+        let _pin = TransportPin(Some(TransportKind::override_transport(Some(
+            self.transport.unwrap_or_else(TransportKind::current),
+        ))));
+        let _calendar_pin = CalendarPin(Some(CalendarKind::override_calendar(Some(
+            CalendarKind::current(),
+        ))));
         let _fault_pin = FaultsPin(self.faults.map(|s| FaultSpec::override_faults(Some(s))));
         let users = self.config.users.max(1);
         // Never more shards than users — empty shards would be harmless
@@ -250,6 +259,18 @@ impl Drop for TransportPin {
     fn drop(&mut self) {
         if let Some(prev) = self.0.take() {
             TransportKind::override_transport(prev);
+        }
+    }
+}
+
+/// Restores the previous process-wide calendar override when a pinned
+/// run finishes (even on unwind).
+struct CalendarPin(Option<Option<CalendarKind>>);
+
+impl Drop for CalendarPin {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            CalendarKind::override_calendar(prev);
         }
     }
 }
@@ -294,17 +315,57 @@ fn count_failed(report: &mut FleetReport, net: &Network, e: &MeasureError) {
 
 /// The fixed per-country stage every shard builds identically: two eSIM
 /// attachments (capturing the §4.1 provider alternation) plus their
-/// precomputed probe targets.
+/// precomputed probe targets and resolver plans — everything session-
+/// invariant is resolved here once instead of once per session.
 struct CountrySlot {
     endpoints: [Endpoint; 2],
     rtt_targets: [Option<NodeId>; 2],
+    dns_plans: [ResolverPlan; 2],
 }
 
-/// Offer indices for one destination, split by seller for the purchase
+/// One seller's shelf for a destination, preprocessed for the per-leg
+/// purchase decision: offers sorted by value (per-GB price, catalogue
+/// order breaking ties) so "cheapest plan covering the need" is a short
+/// forward scan with no per-leg divisions, plus the precomputed
+/// biggest-plan fallback.
+struct OfferLane {
+    /// `(data_gb, offer index)` sorted ascending by `(per_gb, index)`.
+    by_value: Vec<(f64, usize)>,
+    /// The biggest plan on the shelf (ties break on catalogue order).
+    biggest: Option<usize>,
+}
+
+impl OfferLane {
+    fn build(offers: &[EsimOffer], idxs: impl Iterator<Item = usize>) -> Self {
+        let mut by_value: Vec<(f64, f64, usize)> = idxs
+            .map(|i| (offers[i].per_gb(), offers[i].data_gb, i))
+            .collect();
+        by_value.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let biggest = by_value
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.2.cmp(&a.2)))
+            .map(|&(_, _, i)| i);
+        OfferLane {
+            by_value: by_value.into_iter().map(|(_, gb, i)| (gb, i)).collect(),
+            biggest,
+        }
+    }
+
+    /// The cheapest per-GB plan covering `need_gb`, else the biggest plan.
+    fn pick(&self, need_gb: f64) -> Option<usize> {
+        self.by_value
+            .iter()
+            .find(|&&(gb, _)| gb >= need_gb)
+            .map(|&(_, i)| i)
+            .or(self.biggest)
+    }
+}
+
+/// Offer lanes for one destination, split by seller for the purchase
 /// preference draw.
 struct CountryOffers {
-    airalo: Vec<usize>,
-    all: Vec<usize>,
+    airalo: OfferLane,
+    all: OfferLane,
 }
 
 /// Pick an offer deterministically: prefer Airalo's shelf when the user
@@ -317,33 +378,29 @@ fn choose_offer<'m>(
     prefer_airalo: bool,
     need_gb: f64,
 ) -> Option<&'m EsimOffer> {
-    let pick = |idxs: &[usize]| -> Option<usize> {
-        let covering = idxs
-            .iter()
-            .filter(|&&i| offers[i].data_gb >= need_gb)
-            .min_by(|&&a, &&b| {
-                offers[a]
-                    .per_gb()
-                    .total_cmp(&offers[b].per_gb())
-                    .then(a.cmp(&b))
-            });
-        covering
-            .or_else(|| {
-                idxs.iter().max_by(|&&a, &&b| {
-                    offers[a]
-                        .data_gb
-                        .total_cmp(&offers[b].data_gb)
-                        .then(b.cmp(&a))
-                })
-            })
-            .copied()
-    };
     if prefer_airalo {
-        if let Some(i) = pick(&shelf.airalo) {
+        if let Some(i) = shelf.airalo.pick(need_gb) {
             return Some(&offers[i]);
         }
     }
-    pick(&shelf.all).map(|i| &offers[i])
+    shelf.all.pick(need_gb).map(|i| &offers[i])
+}
+
+/// Append `v` in decimal without going through the `fmt` machinery —
+/// label derivation is hot enough at population scale that `Display`'s
+/// formatter setup shows up in profiles.
+fn push_dec(buf: &mut String, mut v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    buf.push_str(std::str::from_utf8(&tmp[i..]).expect("decimal digits are ASCII"));
 }
 
 /// What one session does, drawn from the user's activity stream.
@@ -394,27 +451,33 @@ fn run_fleet_shard(
                     endpoints[i].att.breakout_city,
                 )
             });
+            let dns_plans = [0, 1]
+                .map(|i| ResolverPlan::new(&world.net, &endpoints[i], &world.internet.targets));
             CountrySlot {
                 endpoints,
                 rtt_targets,
+                dns_plans,
             }
         })
         .collect();
     let shelves: Vec<CountryOffers> = countries
         .iter()
         .map(|&c| {
-            let all: Vec<usize> = market
+            let on_shelf: Vec<usize> = market
                 .offers()
                 .iter()
                 .enumerate()
                 .filter(|(_, o)| o.country == c)
                 .map(|(i, _)| i)
                 .collect();
-            let airalo = all
-                .iter()
-                .copied()
-                .filter(|&i| market.offers()[i].provider == market.airalo())
-                .collect();
+            let airalo = OfferLane::build(
+                market.offers(),
+                on_shelf
+                    .iter()
+                    .copied()
+                    .filter(|&i| market.offers()[i].provider == market.airalo()),
+            );
+            let all = OfferLane::build(market.offers(), on_shelf.into_iter());
             CountryOffers { airalo, all }
         })
         .collect();
@@ -427,10 +490,22 @@ fn run_fleet_shard(
 
     // Stage 2: stream the users. No per-record buffering — every
     // observation lands in a sketch, a counter or the reservoir.
+    // Transfers batch per user: their durations are discarded (see the
+    // comment at the push site), so the specs accumulate and run through
+    // the transport in one `transfer_ms_batch` call per user.
+    let transport = TransportKind::current().transport();
+    let mut pending_transfers: Vec<TransferSpec> = Vec::new();
+    let mut transfer_out: Vec<f64> = Vec::new();
     let mut report = FleetReport::new(config.sample);
+    // Reusable label buffer: every per-user / per-session key is built by
+    // appending into this one allocation.
+    let mut label = String::with_capacity(48);
     for uid in range {
         let profile = synthesize(seed, UserId(uid), &countries, config.days);
-        let mut act = SmallRng::seed_from_u64(flow_seed(seed, &format!("fleet/act/{uid}")));
+        label.clear();
+        label.push_str("fleet/act/");
+        push_dec(&mut label, uid);
+        let mut act = SmallRng::seed_from_u64(flow_seed(seed, &label));
         report.count_user(profile.class);
         world.net.telemetry_mut().add(Counter::FleetUsers, 1);
         let mut spend_micro = 0u128;
@@ -453,10 +528,20 @@ fn run_fleet_shard(
             let which = (uid % 2) as usize;
             let ep = &slot.endpoints[which];
             let target = slot.rtt_targets[which];
+            // The per-session label only varies in its trailing session
+            // index — build the prefix once per leg.
+            label.clear();
+            label.push_str("fleet/u");
+            push_dec(&mut label, uid);
+            label.push_str("/l");
+            push_dec(&mut label, li as u64);
+            label.push_str("/s");
+            let prefix_len = label.len();
             for s in 0..leg.sessions {
                 report.sessions += 1;
                 world.net.telemetry_mut().add(Counter::FleetSessions, 1);
-                let label = format!("fleet/u{uid}/l{li}/s{s}");
+                label.truncate(prefix_len);
+                push_dec(&mut label, u64::from(s));
                 match draw_kind(&mut act, config.mix) {
                     SessionKind::Rtt => {
                         let Some(t) = target else {
@@ -477,13 +562,7 @@ fn run_fleet_shard(
                         }
                     }
                     SessionKind::Dns => {
-                        match resolve_checked(
-                            &mut world.net,
-                            ep,
-                            &world.internet.targets,
-                            "fleet.airalo.com",
-                            &label,
-                        ) {
+                        match resolve_timing(&mut world.net, ep, &slot.dns_plans[which], &label) {
                             Ok(r) => {
                                 report.dns_lookups += 1;
                                 report.dns_ms.observe(r.lookup_ms);
@@ -520,8 +599,13 @@ fn run_fleet_shard(
                         // the backends agree only to sub-microsecond
                         // rounding, and the report must not depend on
                         // `ROAM_TRANSPORT`. The drawn size is the recorded
-                        // observable.
-                        let _ = probe.transfer_ms(&TransferSpec {
+                        // observable — so the spec only queues here and
+                        // the batch runs once per user.
+                        world
+                            .net
+                            .telemetry_mut()
+                            .add(Counter::TransferBytes, (mb * 1e6) as u64);
+                        pending_transfers.push(TransferSpec {
                             bytes: mb * 1e6,
                             rtt_ms: sample.rtt_ms,
                             policy_rate_mbps: ep.effective_down_mbps(cqi),
@@ -536,9 +620,16 @@ fn run_fleet_shard(
                 }
             }
         }
+        if !pending_transfers.is_empty() {
+            transport.transfer_ms_batch(&pending_transfers, &mut transfer_out);
+            pending_transfers.clear();
+        }
         report.spend_micro_usd += spend_micro;
+        label.clear();
+        label.push_str("fleet/sample/");
+        push_dec(&mut label, uid);
         report.journeys.offer(
-            flow_seed(seed, &format!("fleet/sample/{uid}")),
+            flow_seed(seed, &label),
             uid,
             JourneySample {
                 uid,
@@ -551,4 +642,96 @@ fn run_fleet_shard(
     }
     let snap = world.net.take_telemetry();
     (report, snap, started.elapsed().as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-lane `choose_offer`, kept as the reference model: filter /
+    /// `min_by` / `max_by` straight over the index lists.
+    fn reference_choose<'m>(
+        offers: &'m [EsimOffer],
+        airalo: &[usize],
+        all: &[usize],
+        prefer_airalo: bool,
+        need_gb: f64,
+    ) -> Option<&'m EsimOffer> {
+        let pick = |idxs: &[usize]| -> Option<usize> {
+            let covering = idxs
+                .iter()
+                .filter(|&&i| offers[i].data_gb >= need_gb)
+                .min_by(|&&a, &&b| {
+                    offers[a]
+                        .per_gb()
+                        .total_cmp(&offers[b].per_gb())
+                        .then(a.cmp(&b))
+                });
+            covering
+                .or_else(|| {
+                    idxs.iter().max_by(|&&a, &&b| {
+                        offers[a]
+                            .data_gb
+                            .total_cmp(&offers[b].data_gb)
+                            .then(b.cmp(&a))
+                    })
+                })
+                .copied()
+        };
+        if prefer_airalo {
+            if let Some(i) = pick(airalo) {
+                return Some(&offers[i]);
+            }
+        }
+        pick(all).map(|i| &offers[i])
+    }
+
+    #[test]
+    fn offer_lanes_match_the_reference_scan() {
+        let market = Market::generate(42);
+        let offers = market.offers();
+        for country in roam_geo::Country::MEASURED {
+            let all_idx: Vec<usize> = offers
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.country == country)
+                .map(|(i, _)| i)
+                .collect();
+            let airalo_idx: Vec<usize> = all_idx
+                .iter()
+                .copied()
+                .filter(|&i| offers[i].provider == market.airalo())
+                .collect();
+            let shelf = CountryOffers {
+                airalo: OfferLane::build(offers, airalo_idx.iter().copied()),
+                all: OfferLane::build(offers, all_idx.iter().copied()),
+            };
+            // Sweep needs across and beyond every shelf size, both
+            // preference branches.
+            for tenth_gb in 0..400u32 {
+                let need = f64::from(tenth_gb) / 10.0;
+                for prefer in [false, true] {
+                    let fast = choose_offer(offers, &shelf, prefer, need);
+                    let slow = reference_choose(offers, &airalo_idx, &all_idx, prefer, need);
+                    assert_eq!(
+                        fast.map(|o| o as *const _),
+                        slow.map(|o| o as *const _),
+                        "{country:?} need={need} prefer={prefer}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_lane_yields_no_offer() {
+        let market = Market::generate(7);
+        let offers = market.offers();
+        let shelf = CountryOffers {
+            airalo: OfferLane::build(offers, std::iter::empty()),
+            all: OfferLane::build(offers, std::iter::empty()),
+        };
+        assert!(choose_offer(offers, &shelf, true, 1.0).is_none());
+        assert!(choose_offer(offers, &shelf, false, 1.0).is_none());
+    }
 }

@@ -45,6 +45,63 @@ pub struct DnsResult {
     pub status: MeasureStatus,
 }
 
+/// The precomputed resolver selection for one endpoint: which resolver(s)
+/// its queries can land on, with the anycast pair already ordered by
+/// distance. Everything in [`select_resolver`] except the per-lookup
+/// anycast coin is a pure function of the topology and the endpoint's DNS
+/// mode, so population-scale callers build one plan per endpoint and skip
+/// the per-lookup clone-and-sort of the whole Google site list.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverPlan {
+    choice: ResolverChoice,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ResolverChoice {
+    /// No resolver registered for this mode — every lookup is `NoTarget`.
+    Unreachable,
+    /// A single resolver; no draw is consumed picking it.
+    Fixed(NodeId),
+    /// Nearest and second-nearest anycast sites; each lookup draws the
+    /// instability coin.
+    Anycast(NodeId, NodeId),
+}
+
+impl ResolverPlan {
+    /// Resolve the endpoint's DNS mode against the registry once.
+    #[must_use]
+    pub fn new(net: &Network, endpoint: &Endpoint, targets: &ServiceTargets) -> Self {
+        let choice = match endpoint.att.dns {
+            DnsMode::OperatorResolver => match targets.operator_dns(endpoint.att.b_mno) {
+                Some(n) => ResolverChoice::Fixed(n),
+                None => ResolverChoice::Unreachable,
+            },
+            DnsMode::GooglePublic { .. } => {
+                let ordered = targets.google_dns_by_distance(net, endpoint.att.breakout_city);
+                match ordered.len() {
+                    0 => ResolverChoice::Unreachable,
+                    1 => ResolverChoice::Fixed(ordered[0]),
+                    _ => ResolverChoice::Anycast(ordered[0], ordered[1]),
+                }
+            }
+        };
+        ResolverPlan { choice }
+    }
+
+    /// The resolver one lookup lands on, drawing the anycast coin from the
+    /// flow's stream exactly as [`select_resolver`] does.
+    #[must_use]
+    pub fn pick(&self, rng: &mut SmallRng) -> Option<NodeId> {
+        match self.choice {
+            ResolverChoice::Unreachable => None,
+            ResolverChoice::Fixed(n) => Some(n),
+            ResolverChoice::Anycast(near, next) => {
+                Some(if rng.gen_bool(0.25) { next } else { near })
+            }
+        }
+    }
+}
+
 /// Pick the resolver an endpoint's queries land on.
 ///
 /// Anycast instability: with probability ~0.25 the query lands on the
@@ -58,21 +115,7 @@ pub fn select_resolver(
     targets: &ServiceTargets,
     rng: &mut SmallRng,
 ) -> Option<NodeId> {
-    match endpoint.att.dns {
-        DnsMode::OperatorResolver => targets.operator_dns(endpoint.att.b_mno),
-        DnsMode::GooglePublic { .. } => {
-            let ordered = targets.google_dns_by_distance(net, endpoint.att.breakout_city);
-            match ordered.len() {
-                0 => None,
-                1 => Some(ordered[0]),
-                _ => Some(if rng.gen_bool(0.25) {
-                    ordered[1]
-                } else {
-                    ordered[0]
-                }),
-            }
-        }
-    }
+    ResolverPlan::new(net, endpoint, targets).pick(rng)
 }
 
 /// Resolve `qname` from the endpoint as the flow named by `label`,
@@ -109,16 +152,42 @@ pub fn resolve_checked(
     let sample = probe.rtt_checked(resolver)?;
     let rtt = sample.rtt_ms;
 
+    let doh = matches!(endpoint.att.dns, DnsMode::GooglePublic { doh: true });
+    let (query_id, answer_ip, lookup_ms) = draw_lookup_tail(probe.rng(), rtt, doh);
+
     // Encode the query and the response through the real codec.
-    let rng = probe.rng();
-    let query = DnsMessage::query(rng.gen(), qname);
+    let query = DnsMessage::query(query_id, qname);
     let wire = query.encode();
     let parsed = DnsMessage::decode(&wire).expect("self-encoded query");
-    let answer_ip = Ipv4Addr::new(93, 184, rng.gen(), rng.gen::<u8>().max(1));
     let response = DnsMessage::response(&parsed, vec![answer_ip]);
     let decoded = DnsMessage::decode(&response.encode()).expect("self-encoded response");
 
-    let doh = matches!(endpoint.att.dns, DnsMode::GooglePublic { doh: true });
+    // Only two fields of the node are needed — copy them instead of
+    // cloning the whole node (its name is a heap String) per lookup.
+    let (resolver_ip, resolver_city) = {
+        let (net_ref, _) = probe.parts();
+        let n = net_ref.node(resolver);
+        (n.ip, n.city)
+    };
+    Ok(DnsResult {
+        lookup_ms,
+        attempts: sample.attempts,
+        resolver,
+        resolver_ip,
+        resolver_city,
+        doh,
+        answers: decoded.answers,
+        status: sample.status(),
+    })
+}
+
+/// The draws every lookup makes after its resolver RTT, in order: query
+/// id, two answer octets, server think time, DoH setup coin. Shared by
+/// the full and lean paths so their flow streams cannot drift.
+#[inline]
+fn draw_lookup_tail(rng: &mut SmallRng, rtt: f64, doh: bool) -> (u16, Ipv4Addr, f64) {
+    let query_id: u16 = rng.gen();
+    let answer_ip = Ipv4Addr::new(93, 184, rng.gen(), rng.gen::<u8>().max(1));
     // Server-side resolution work (cache fill, upstream fetch) 2–9 ms.
     let server_ms = 2.0 + rng.gen::<f64>() * 7.0;
     // DoH: TCP + TLS1.3 handshake (2 RTTs) before the query can go out —
@@ -133,21 +202,69 @@ pub fn resolve_checked(
     } else {
         0.0
     };
-    // Only two fields of the node are needed — copy them instead of
-    // cloning the whole node (its name is a heap String) per lookup.
-    let (resolver_ip, resolver_city) = {
-        let (net_ref, _) = probe.parts();
-        let n = net_ref.node(resolver);
-        (n.ip, n.city)
-    };
-    Ok(DnsResult {
-        lookup_ms: rtt + server_ms + doh_ms,
+    (query_id, answer_ip, rtt + server_ms + doh_ms)
+}
+
+/// What the lean resolve path reports: the timing observables and nothing
+/// that needs a node lookup or an allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct DnsTiming {
+    /// Total lookup time, ms — identical to [`DnsResult::lookup_ms`].
+    pub lookup_ms: f64,
+    /// Echo attempts the resolver RTT phase consumed.
+    pub attempts: u32,
+    /// How the lookup ended (ok, or ok-via-failover).
+    pub status: MeasureStatus,
+}
+
+/// The population-scale resolve path: a precomputed [`ResolverPlan`], a
+/// `format_args!` label, and no wire-codec round trip (the query/response
+/// encoding is pure ceremony when nobody reads the answer records — the
+/// lean path draws the *same* query-id and answer octets so the flow's
+/// RNG stream, and therefore `lookup_ms`, is bit-identical to
+/// [`resolve_checked`] with the same label).
+///
+/// # Errors
+/// Exactly [`resolve_checked`]'s: `NoTarget` without a resolver,
+/// otherwise the probe's failure.
+pub fn resolve_timing_args(
+    net: &mut Network,
+    endpoint: &Endpoint,
+    plan: &ResolverPlan,
+    label: std::fmt::Arguments<'_>,
+) -> Result<DnsTiming, MeasureError> {
+    let probe = endpoint.probe_args(net, label);
+    resolve_timing_probe(probe, endpoint, plan)
+}
+
+/// [`resolve_timing_args`] with a plain `&str` label — for callers that
+/// already hold the label bytes (hashing them skips the `fmt` machinery
+/// entirely).
+///
+/// # Errors
+/// Exactly [`resolve_checked`]'s.
+pub fn resolve_timing(
+    net: &mut Network,
+    endpoint: &Endpoint,
+    plan: &ResolverPlan,
+    label: &str,
+) -> Result<DnsTiming, MeasureError> {
+    let probe = endpoint.probe(net, label);
+    resolve_timing_probe(probe, endpoint, plan)
+}
+
+fn resolve_timing_probe(
+    mut probe: crate::endpoint::Probe<'_>,
+    endpoint: &Endpoint,
+    plan: &ResolverPlan,
+) -> Result<DnsTiming, MeasureError> {
+    let resolver = plan.pick(probe.rng()).ok_or(MeasureError::NoTarget)?;
+    let sample = probe.rtt_checked(resolver)?;
+    let doh = matches!(endpoint.att.dns, DnsMode::GooglePublic { doh: true });
+    let (_, _, lookup_ms) = draw_lookup_tail(probe.rng(), sample.rtt_ms, doh);
+    Ok(DnsTiming {
+        lookup_ms,
         attempts: sample.attempts,
-        resolver,
-        resolver_ip,
-        resolver_city,
-        doh,
-        answers: decoded.answers,
         status: sample.status(),
     })
 }
@@ -324,5 +441,49 @@ mod tests {
         let (mut net, ep, _) = world(DnsMode::OperatorResolver);
         let empty = ServiceTargets::new();
         assert!(resolve(&mut net, &ep, &empty, "x.com", "d/0").is_none());
+    }
+
+    #[test]
+    fn lean_path_matches_full_resolve_bit_for_bit() {
+        for dns in [
+            DnsMode::OperatorResolver,
+            DnsMode::GooglePublic { doh: false },
+            DnsMode::GooglePublic { doh: true },
+        ] {
+            let (mut net, ep, targets) = world(dns);
+            let plan = ResolverPlan::new(&net, &ep, &targets);
+            for i in 0..100 {
+                let full = resolve_checked(
+                    &mut net,
+                    &ep,
+                    &targets,
+                    "fleet.airalo.com",
+                    &format!("eq/{i}"),
+                )
+                .unwrap();
+                let lean =
+                    resolve_timing_args(&mut net, &ep, &plan, format_args!("eq/{i}")).unwrap();
+                assert_eq!(
+                    full.lookup_ms.to_bits(),
+                    lean.lookup_ms.to_bits(),
+                    "{dns:?} lookup {i} diverged: {} vs {}",
+                    full.lookup_ms,
+                    lean.lookup_ms
+                );
+                assert_eq!(full.attempts, lean.attempts);
+                assert_eq!(full.status, lean.status);
+            }
+        }
+    }
+
+    #[test]
+    fn lean_path_reports_missing_resolver_as_no_target() {
+        let (mut net, ep, _) = world(DnsMode::OperatorResolver);
+        let empty = ServiceTargets::new();
+        let plan = ResolverPlan::new(&net, &ep, &empty);
+        assert!(matches!(
+            resolve_timing_args(&mut net, &ep, &plan, format_args!("d/0")),
+            Err(MeasureError::NoTarget)
+        ));
     }
 }

@@ -7,11 +7,12 @@ use rand::Rng;
 use roam_cellular::{phy_rate_mbps, ChannelSampler, Cqi, Rat, SimType};
 use roam_geo::Country;
 use roam_ipx::Attachment;
-use roam_netsim::engine::{flow_seed, Flow, FlowId, Transport, TransportKind};
+use roam_netsim::engine::{flow_seed, flow_seed_args, Flow, FlowId, Transport, TransportKind};
 use roam_netsim::{
     Network, NodeId, PingResult, ProbeError, RttSample, Traceroute, TracerouteOpts, TransferSpec,
 };
 use roam_telemetry::{Counter, Event, EventScope, Hist, Sink};
+use std::fmt;
 
 /// Everything a measurement client needs to know about the device it runs
 /// on: the attachment (node handles, breakout, DNS mode) and the resolved
@@ -65,17 +66,39 @@ impl Endpoint {
     /// attachment's flow stamp it determines the flow's entire RNG stream,
     /// so the probe's results do not depend on what ran before it.
     pub fn probe<'n>(&self, net: &'n mut Network, label: &str) -> Probe<'n> {
+        // Hash the label bytes directly — no `fmt` machinery on this path.
+        let seed = flow_seed(self.att.flow_stamp, label);
+        self.probe_seeded(net, seed, || label.to_string())
+    }
+
+    /// [`Endpoint::probe`] taking the label as [`fmt::Arguments`]
+    /// (`format_args!(…)`). The flow seed hashes the formatted bytes
+    /// directly, so `probe_args(net, format_args!("a/{i}"))` opens the
+    /// *same* flow as `probe(net, &format!("a/{i}"))` without the
+    /// per-probe `String` — the hot-loop variant for population-scale
+    /// callers.
+    pub fn probe_args<'n>(&self, net: &'n mut Network, label: fmt::Arguments<'_>) -> Probe<'n> {
+        let seed = flow_seed_args(self.att.flow_stamp, label);
+        self.probe_seeded(net, seed, || label.to_string())
+    }
+
+    fn probe_seeded<'n>(
+        &self,
+        net: &'n mut Network,
+        seed: u64,
+        label: impl FnOnce() -> String,
+    ) -> Probe<'n> {
         net.telemetry_mut().add(Counter::FlowsOpened, 1);
         // The event label is only materialised when the run keeps an event
         // stream — the disabled path must not allocate.
         let ev_label = if net.telemetry().wants_events() {
-            Some(label.to_string())
+            Some(label())
         } else {
             None
         };
         Probe {
             ue: self.att.ue,
-            flow: Flow::open(flow_seed(self.att.flow_stamp, label)),
+            flow: Flow::open(seed),
             transport: TransportKind::current().transport(),
             ev_label,
             net,

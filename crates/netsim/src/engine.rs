@@ -28,11 +28,13 @@
 //! [`TransportKind::override_transport`]; measurement code should resolve
 //! the effective choice through [`TransportKind::current`].
 
-use crate::event::EventQueue;
+use crate::event::{CalendarKind, EventQueue};
 use crate::throughput::{mathis_cap_mbps, TransferSpec, INIT_CWND_SEGMENTS, MSS};
 use crate::time::SimTime;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
+use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Derive a flow's RNG seed from the master seed and its stable key.
@@ -46,10 +48,46 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// in one keyed-seed universe.
 #[must_use]
 pub fn flow_seed(master: u64, key: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
-    for &b in key.as_bytes().iter().chain(&master.to_le_bytes()) {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    let mut h = FNV_OFFSET;
+    fnv_absorb(&mut h, key.as_bytes());
+    fnv_absorb(&mut h, &master.to_le_bytes());
+    splitmix(h)
+}
+
+/// [`flow_seed`] over a *formatted* key without materialising the string:
+/// `flow_seed_args(m, format_args!("fleet/u{uid}"))` hashes the formatted
+/// bytes as they are produced and returns exactly
+/// `flow_seed(m, &format!("fleet/u{uid}"))`. The hot loops (one seed per
+/// user, per session, per fault entity) derive millions of seeds; this
+/// keeps them allocation-free.
+#[must_use]
+pub fn flow_seed_args(master: u64, key: fmt::Arguments<'_>) -> u64 {
+    struct Fnv(u64);
+    impl fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            fnv_absorb(&mut self.0, s.as_bytes());
+            Ok(())
+        }
     }
+    let mut w = Fnv(FNV_OFFSET);
+    fmt::Write::write_fmt(&mut w, key).expect("hashing formatter cannot fail");
+    let mut h = w.0;
+    fnv_absorb(&mut h, &master.to_le_bytes());
+    splitmix(h)
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+#[inline]
+fn fnv_absorb(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h = (*h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+    }
+}
+
+#[inline]
+fn splitmix(h: u64) -> u64 {
     let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -98,6 +136,20 @@ pub trait Transport: Sync {
     /// Completion time of the transfer described by `spec`, milliseconds.
     fn transfer_ms(&self, spec: &TransferSpec) -> f64;
 
+    /// Completion times for a batch of transfers, appended to `out` in
+    /// spec order. Semantically identical to calling
+    /// [`transfer_ms`](Self::transfer_ms) per spec; implementations
+    /// override it to turn the loop into a tight kernel with the
+    /// per-call setup (trait dispatch, calendar rewind) hoisted out —
+    /// the fleet runner times every transfer a user's session plan
+    /// produced through this in one call.
+    fn transfer_ms_batch(&self, specs: &[TransferSpec], out: &mut Vec<f64>) {
+        out.reserve(specs.len());
+        for spec in specs {
+            out.push(self.transfer_ms(spec));
+        }
+    }
+
     /// Short name for logs and benches.
     fn name(&self) -> &'static str;
 
@@ -142,8 +194,19 @@ enum TransferEvent {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineSteppedTransport;
 
-impl Transport for EngineSteppedTransport {
-    fn transfer_ms(&self, spec: &TransferSpec) -> f64 {
+thread_local! {
+    /// The per-thread transfer calendar. A wheel-backed queue owns ~3 KiB
+    /// of slot bookkeeping, far too much to build per transfer; rewinding
+    /// a persistent queue keeps every allocation across the millions of
+    /// transfers a fleet shard times.
+    static TRANSFER_CALENDAR: RefCell<EventQueue<TransferEvent>> =
+        RefCell::new(EventQueue::new());
+}
+
+impl EngineSteppedTransport {
+    /// Step one transfer on a rewound calendar. Factored out so the batch
+    /// path borrows the thread-local queue once for the whole batch.
+    fn step(q: &mut EventQueue<TransferEvent>, spec: &TransferSpec) -> f64 {
         assert!(spec.bytes >= 0.0 && spec.rtt_ms > 0.0 && spec.policy_rate_mbps > 0.0);
         let streams = f64::from(spec.parallel.max(1));
         let effective_mbps = spec
@@ -152,7 +215,6 @@ impl Transport for EngineSteppedTransport {
         let rate_bytes_per_ms = effective_mbps * 1e6 / 8.0 / 1e3;
         let bdp_bytes = rate_bytes_per_ms * spec.rtt_ms;
 
-        let mut q: EventQueue<TransferEvent> = EventQueue::new();
         q.schedule(
             SimTime::from_ms(spec.setup_rtts * spec.rtt_ms),
             TransferEvent::SetupDone,
@@ -189,7 +251,36 @@ impl Transport for EngineSteppedTransport {
                 TransferEvent::Done => break,
             }
         }
-        q.now().as_ms()
+        let ms = q.now().as_ms();
+        q.rewind();
+        ms
+    }
+
+    /// Borrow the thread-local calendar, rebuilt if the process-wide
+    /// calendar kind changed since this thread last timed a transfer.
+    fn with_calendar<R>(f: impl FnOnce(&mut EventQueue<TransferEvent>) -> R) -> R {
+        TRANSFER_CALENDAR.with(|cell| {
+            let mut q = cell.borrow_mut();
+            if q.kind() != CalendarKind::current() {
+                *q = EventQueue::new();
+            }
+            f(&mut q)
+        })
+    }
+}
+
+impl Transport for EngineSteppedTransport {
+    fn transfer_ms(&self, spec: &TransferSpec) -> f64 {
+        Self::with_calendar(|q| Self::step(q, spec))
+    }
+
+    fn transfer_ms_batch(&self, specs: &[TransferSpec], out: &mut Vec<f64>) {
+        Self::with_calendar(|q| {
+            out.reserve(specs.len());
+            for spec in specs {
+                out.push(Self::step(q, spec));
+            }
+        });
     }
 
     fn name(&self) -> &'static str {
@@ -276,6 +367,39 @@ mod tests {
         assert_ne!(flow_seed(7, "flow/a"), flow_seed(8, "flow/a"));
         // SplitMix finalisation spreads adjacent masters.
         assert!(flow_seed(1, "x").abs_diff(flow_seed(2, "x")) > 1 << 32);
+    }
+
+    #[test]
+    fn flow_seed_args_matches_the_string_derivation() {
+        for (master, uid, li) in [(7u64, 0u64, 0usize), (123, 42, 3), (u64::MAX, 999_999, 1)] {
+            assert_eq!(
+                flow_seed_args(master, format_args!("fleet/u{uid}/l{li}/s0")),
+                flow_seed(master, &format!("fleet/u{uid}/l{li}/s0")),
+            );
+        }
+        assert_eq!(
+            flow_seed_args(9, format_args!("flow/a")),
+            flow_seed(9, "flow/a")
+        );
+    }
+
+    #[test]
+    fn batch_transfer_times_match_single_calls() {
+        let specs = [
+            spec(30_000.0, 400.0, 20.0, 0.0, 1),
+            spec(50e6, 40.0, 10.0, 0.0, 1),
+            spec(50e6, 80.0, 100.0, 0.002, 8),
+            spec(0.0, 100.0, 10.0, 0.0, 1),
+        ];
+        for transport in [
+            TransportKind::ClosedForm.transport(),
+            TransportKind::Engine.transport(),
+        ] {
+            let mut batch = Vec::new();
+            transport.transfer_ms_batch(&specs, &mut batch);
+            let singles: Vec<f64> = specs.iter().map(|s| transport.transfer_ms(s)).collect();
+            assert_eq!(batch, singles, "{}", transport.name());
+        }
     }
 
     #[test]

@@ -205,12 +205,137 @@ impl Default for TracerouteOpts {
 /// An immutable resolved route: the node sequence plus, for every
 /// consecutive pair, the index of the link a packet traverses. Shared
 /// behind an [`Arc`] so cache hits and probe loops never copy the path.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug)]
 struct RouteEntry {
     nodes: Vec<NodeId>,
     /// `hop_links[i]` joins `nodes[i]` and `nodes[i + 1]` (the
     /// lowest-latency link when parallel links exist).
     hop_links: Vec<u32>,
+    /// Dense per-hop walk state baked at route-build time.
+    plan: WalkPlan,
+}
+
+impl PartialEq for RouteEntry {
+    fn eq(&self, other: &Self) -> bool {
+        // The plan is derived from (nodes, hop_links) and the link table,
+        // so identity is fully captured by the path itself.
+        self.nodes == other.nodes && self.hop_links == other.hop_links
+    }
+}
+impl Eq for RouteEntry {}
+
+/// The packet walk's hot state in structure-of-arrays form, baked once per
+/// cached route: the walk loop is index-chasing over these dense arrays
+/// instead of pointer-hopping through [`Link`]/[`Node`] structs. Entries
+/// `[i]` describe the link joining path positions `i` and `i + 1`
+/// (`fault_kind` is per *node*, so it has one more element). Any mutation
+/// that can invalidate a plan (new links, [`Network::set_link_loss`])
+/// clears the route cache.
+#[derive(Debug)]
+struct WalkPlan {
+    /// Per-hop deterministic delay, ms.
+    base_ms: Vec<f64>,
+    /// Per-hop jitter bound, ms.
+    jitter_ms: Vec<f64>,
+    /// Per-hop congestion-spike probability.
+    spike_prob: Vec<f64>,
+    /// Per-hop spike magnitude bound, ms.
+    spike_ms: Vec<f64>,
+    /// Per-hop base loss probability.
+    loss: Vec<f64>,
+    /// Per-node fault classification along the path (see [`FaultClass`]).
+    fault_kind: Vec<FaultClass>,
+}
+
+/// How the fault plane treats a node on the walk path — precomputed so the
+/// hot loop matches on a byte instead of re-deriving it from [`NodeKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultClass {
+    /// No fault calendar applies.
+    Plain,
+    /// CG-NAT: rebind/outage calendars with possible failover.
+    CgNat,
+    /// DNS resolver: blackhole calendar.
+    Dns,
+}
+
+impl WalkPlan {
+    fn build(nodes: &[NodeId], hop_links: &[u32], links: &[Link], all: &[Node]) -> Self {
+        let mut plan = WalkPlan {
+            base_ms: Vec::with_capacity(hop_links.len()),
+            jitter_ms: Vec::with_capacity(hop_links.len()),
+            spike_prob: Vec::with_capacity(hop_links.len()),
+            spike_ms: Vec::with_capacity(hop_links.len()),
+            loss: Vec::with_capacity(hop_links.len()),
+            fault_kind: Vec::with_capacity(nodes.len()),
+        };
+        for &li in hop_links {
+            let link = &links[li as usize];
+            plan.base_ms.push(link.latency.base_ms);
+            plan.jitter_ms.push(link.latency.jitter_ms);
+            plan.spike_prob.push(link.latency.spike_prob);
+            plan.spike_ms.push(link.latency.spike_ms);
+            plan.loss.push(link.loss);
+        }
+        for &id in nodes {
+            plan.fault_kind.push(match all[id.0 as usize].kind {
+                NodeKind::CgNat => FaultClass::CgNat,
+                NodeKind::DnsResolver => FaultClass::Dns,
+                _ => FaultClass::Plain,
+            });
+        }
+        plan
+    }
+
+    /// Sample one traversal of hop `i` — exactly [`LatencyModel::sample`]'s
+    /// draw sequence (jitter first, then the spike gate) over the baked
+    /// arrays, so fast and slow walks consume identical RNG streams.
+    /// `inline(always)`: this runs per hop, and the call frame alone is
+    /// measurable at population scale (the `#[inline]` hint was not taken).
+    #[inline(always)]
+    fn sample_ms(&self, i: usize, rng: &mut SmallRng) -> f64 {
+        let jitter = if self.jitter_ms[i] > 0.0 {
+            rng.gen_range(0.0..self.jitter_ms[i])
+        } else {
+            0.0
+        };
+        let spike = if self.spike_prob[i] > 0.0 && rng.gen_bool(self.spike_prob[i]) {
+            rng.gen_range(0.0..self.spike_ms[i].max(f64::MIN_POSITIVE))
+        } else {
+            0.0
+        };
+        self.base_ms[i] + jitter + spike
+    }
+}
+
+/// Hasher for route-cache keys — a `(src, dst)` node-id pair packed into
+/// one word and finished with a SplitMix64 avalanche. The default SipHash
+/// costs more than a packet hop's RNG draws, and the cache is only ever
+/// probed by key (never iterated), so DoS resistance buys nothing here.
+#[derive(Debug, Default, Clone)]
+struct RouteKeyHasher(u64);
+
+type BuildRouteKeyHasher = std::hash::BuildHasherDefault<RouteKeyHasher>;
+
+impl std::hash::Hasher for RouteKeyHasher {
+    fn finish(&self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Not reachable from `(u32, u32)` keys, but keep it correct for
+        // any future key shape.
+        for &b in bytes {
+            self.0 = (self.0 << 8) | u64::from(b);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 << 32) | u64::from(v);
+    }
 }
 
 /// A handle to a cached route. Cheap to clone (it is an [`Arc`] bump) and
@@ -267,7 +392,7 @@ pub struct Network {
     registry: IpRegistry,
     rng: SmallRng,
     master_seed: u64,
-    route_cache: HashMap<(u32, u32), Option<RoutePath>>,
+    route_cache: HashMap<(u32, u32), Option<RoutePath>, BuildRouteKeyHasher>,
     icmp_ident: u16,
     /// The telemetry plane: counters, histograms, events and the packet
     /// story all accumulate here. Disabled by default (one branch per
@@ -379,7 +504,7 @@ impl Network {
             registry: IpRegistry::new(),
             rng: SmallRng::seed_from_u64(seed),
             master_seed: seed,
-            route_cache: HashMap::new(),
+            route_cache: HashMap::default(),
             icmp_ident: 1,
             telemetry: Recorder::off(),
             walk_queue: EventQueue::new(),
@@ -576,10 +701,13 @@ impl Network {
         idx
     }
 
-    /// Set a link's loss probability (fault injection).
+    /// Set a link's loss probability (fault injection). Drops the route
+    /// cache: cached walk plans bake per-hop loss in, and a stale plan
+    /// would keep sampling the old rate.
     pub fn set_link_loss(&mut self, link_idx: usize, loss: f64) {
         assert!((0.0..=1.0).contains(&loss));
         self.links[link_idx].loss = loss;
+        self.route_cache.clear();
     }
 
     /// The IP registry (ipinfo analogue).
@@ -604,14 +732,17 @@ impl Network {
             // A hop pair without a shared link means the predecessor map
             // and adjacency disagree — treat it as unroutable rather than
             // panicking mid-campaign.
-            let hop_links: Option<Vec<u32>> = p
+            let hop_links: Vec<u32> = p
                 .windows(2)
                 .map(|w| self.best_link_index(w[0], w[1]))
-                .collect();
+                .collect::<Option<_>>()?;
+            let nodes: Vec<NodeId> = p.into_iter().map(NodeId).collect();
+            let plan = WalkPlan::build(&nodes, &hop_links, &self.links, &self.nodes);
             Some(RoutePath {
                 entry: Arc::new(RouteEntry {
-                    nodes: p.into_iter().map(NodeId).collect(),
-                    hop_links: hop_links?,
+                    nodes,
+                    hop_links,
+                    plan,
                 }),
             })
         });
@@ -756,6 +887,21 @@ impl Network {
         rng: &mut SmallRng,
     ) -> Option<PingResult> {
         let last = path.len() - 1;
+        // Fast path: with telemetry inactive (no counters, no packet
+        // story) and the path far shorter than the echo TTL of 64 (so
+        // expiry is impossible), the encoded packet bytes are pure
+        // ceremony — the walk's only observable outputs are its RNG draws
+        // and the arrival clock. Walk the baked plan arrays
+        // arithmetically; the draw sequence is identical, so results are
+        // bit-for-bit those of the calendar walk below (pinned by the
+        // `fast_and_slow_ping_walks_agree_exactly` test).
+        if !self.telemetry.active() && last < 64 {
+            let t_fwd = self.walk_fast(path, last, WalkDir::Forward, SimTime::ZERO, rng)?;
+            let t_total = self.walk_fast(path, last, WalkDir::Reverse, t_fwd, rng)?;
+            return Some(PingResult {
+                rtt_ms: t_total.as_ms(),
+            });
+        }
         let (src, dst) = (path[0], path[last]);
         self.build_echo_into(pkt, src, dst, ident, 0, 64);
         let (arrived, t_fwd, _expired_at) =
@@ -1067,8 +1213,14 @@ impl Network {
             0
         };
         let master = self.master_seed;
-        let mut q = std::mem::take(&mut self.walk_queue);
-        q.reset();
+        // `replace` (not `take`): a Default queue would consult
+        // `ROAM_CALENDAR` — an env read per walk. The hollow stand-in is
+        // an unallocated wheel that is never scheduled on.
+        let mut q = std::mem::replace(
+            &mut self.walk_queue,
+            EventQueue::with_kind(crate::event::CalendarKind::Wheel),
+        );
+        q.rewind();
         q.schedule(start, 0usize); // the packet leaves the first node
         let mut outcome: Option<Option<(bool, SimTime, Option<usize>)>> = None;
         while let Some((now, step)) = q.pop() {
@@ -1085,16 +1237,16 @@ impl Network {
             let mut detour = SimTime::ZERO;
             if faults_on && step != 0 {
                 let at = SimTime::from_nanos(phase.wrapping_add(now.as_nanos()));
-                let state = match self.nodes[here.0 as usize].kind {
-                    NodeKind::CgNat => self.faults.cgnat_state(master, here.0, at),
-                    NodeKind::DnsResolver => {
+                let state = match entry.plan.fault_kind[phys] {
+                    FaultClass::CgNat => self.faults.cgnat_state(master, here.0, at),
+                    FaultClass::Dns => {
                         if self.faults.dns_dark(master, here.0, at) {
                             NodeFaultState::Dark
                         } else {
                             NodeFaultState::Up
                         }
                     }
-                    _ => NodeFaultState::Up,
+                    FaultClass::Plain => NodeFaultState::Up,
                 };
                 match state {
                     NodeFaultState::Up => {}
@@ -1133,17 +1285,16 @@ impl Network {
                     }
                 }
             }
-            let li = match dir {
-                WalkDir::Forward => entry.hop_links[step],
-                WalkDir::Reverse => entry.hop_links[upto - 1 - step],
+            let hop = match dir {
+                WalkDir::Forward => step,
+                WalkDir::Reverse => upto - 1 - step,
             };
-            let link = &self.links[li as usize];
-            let mut loss = link.loss;
-            let latency = link.latency;
+            let mut loss = entry.plan.loss[hop];
             if faults_on {
                 // A flapping link in its Gilbert–Elliott bad window loses
                 // in bursts: the burst rate replaces the base rate.
                 let at = SimTime::from_nanos(phase.wrapping_add(now.as_nanos()));
+                let li = entry.hop_links[hop];
                 if let Some(burst) = self.faults.link_burst_loss(master, li, at) {
                     loss = loss.max(burst);
                 }
@@ -1153,7 +1304,7 @@ impl Network {
                 outcome = Some(None); // dropped on this link
                 break;
             }
-            let delay = latency.sample(rng) + detour;
+            let delay = SimTime::from_ms(entry.plan.sample_ms(hop, rng)) + detour;
             q.schedule_after(delay, step + 1);
             if self.telemetry.active() {
                 self.telemetry.add(Counter::CalendarEvents, 1);
@@ -1163,6 +1314,86 @@ impl Network {
         let result = outcome.unwrap_or(Some((false, q.now(), None)));
         self.walk_queue = q;
         result
+    }
+
+    /// The allocation- and packet-free walk: identical RNG draws, fault
+    /// consults and clock arithmetic to [`Network::walk`], minus the
+    /// encoded packet, the event calendar and the telemetry hooks. Valid
+    /// only when telemetry is inactive (there is nothing to record — every
+    /// `record`/`add` in the calendar walk is a no-op) and `upto < 64`
+    /// (the echo TTL cannot expire, so the in-byte decrement is
+    /// unobservable). Returns the arrival time at the far end of the leg,
+    /// or `None` when a lossy link or a dark node ate the packet — the
+    /// fault plane's own drop/failover tallies still advance, because they
+    /// live in [`FaultPlane`], not in telemetry.
+    fn walk_fast(
+        &mut self,
+        route: &RoutePath,
+        upto: usize,
+        dir: WalkDir,
+        start: SimTime,
+        rng: &mut SmallRng,
+    ) -> Option<SimTime> {
+        let entry = &*route.entry;
+        let plan = &entry.plan;
+        let faults_on = self.faults.enabled();
+        // Same per-walk phase draw as the calendar walk.
+        let phase = if faults_on {
+            rng.gen_range(0..self.faults.spec().period_ns())
+        } else {
+            0
+        };
+        let master = self.master_seed;
+        let mut now = start;
+        for step in 0..=upto {
+            let phys = match dir {
+                WalkDir::Forward => step,
+                WalkDir::Reverse => upto - step,
+            };
+            let mut detour = SimTime::ZERO;
+            if faults_on && step != 0 && plan.fault_kind[phys] != FaultClass::Plain {
+                let at = SimTime::from_nanos(phase.wrapping_add(now.as_nanos()));
+                let node = entry.nodes[phys].0;
+                let state = match plan.fault_kind[phys] {
+                    FaultClass::CgNat => self.faults.cgnat_state(master, node, at),
+                    FaultClass::Dns => {
+                        if self.faults.dns_dark(master, node, at) {
+                            NodeFaultState::Dark
+                        } else {
+                            NodeFaultState::Up
+                        }
+                    }
+                    FaultClass::Plain => NodeFaultState::Up,
+                };
+                match state {
+                    NodeFaultState::Up => {}
+                    NodeFaultState::Failover(d) => detour = d,
+                    NodeFaultState::Dark => return None,
+                }
+            }
+            if step == upto {
+                return Some(now);
+            }
+            let hop = match dir {
+                WalkDir::Forward => step,
+                WalkDir::Reverse => upto - 1 - step,
+            };
+            let mut loss = plan.loss[hop];
+            if faults_on {
+                let at = SimTime::from_nanos(phase.wrapping_add(now.as_nanos()));
+                if let Some(burst) = self
+                    .faults
+                    .link_burst_loss(master, entry.hop_links[hop], at)
+                {
+                    loss = loss.max(burst);
+                }
+            }
+            if loss > 0.0 && rng.gen_bool(loss) {
+                return None;
+            }
+            now = now.after(SimTime::from_ms(plan.sample_ms(hop, rng)) + detour);
+        }
+        unreachable!("the loop returns at step == upto")
     }
 }
 
@@ -1491,6 +1722,104 @@ mod tests {
         let s1 = net.rtt_probe(ue, sp, &mut open("p/c"));
         let s2 = net.rtt_probe(ue, sp, &mut open("p/c"));
         assert_eq!(s1, s2);
+    }
+
+    /// A chain with every stochastic feature armed (jitter, spikes, loss)
+    /// — the workload where a draw-order divergence between the fast and
+    /// calendar walks would show immediately.
+    fn spiky_chain() -> (Network, NodeId, NodeId) {
+        let (mut net, ue, sp, _) = chain();
+        net.set_link_loss(0, 0.15);
+        let li = net.link_with(
+            ue,
+            sp,
+            LinkClass::IpxBackbone,
+            LatencyModel::fixed(200.0, 6.0).with_spikes(0.2, 40.0),
+            0.05,
+        );
+        // Make the detour link irrelevant for routing but keep the chain
+        // stochastic end to end.
+        net.set_link_loss(li, 0.05);
+        (net, ue, sp)
+    }
+
+    #[test]
+    fn fast_and_slow_ping_walks_agree_exactly() {
+        use crate::engine::{flow_seed, Flow};
+        use roam_telemetry::TelemetryMode;
+        // Same flows, same network build: telemetry off takes the
+        // arithmetic fast path, Summary mode takes the calendar walk. The
+        // draw sequences must be identical, so every outcome (including
+        // which probes are lost) matches bit for bit.
+        let run = |mode: Option<TelemetryMode>| {
+            let (mut net, ue, sp) = spiky_chain();
+            if let Some(m) = mode {
+                net.set_telemetry_mode(m);
+            }
+            (0..200u32)
+                .map(|i| {
+                    let mut flow = Flow::open(flow_seed(7, &format!("eq/{i}")));
+                    net.ping_flow(ue, sp, &mut flow).map(|r| r.rtt_ms.to_bits())
+                })
+                .collect::<Vec<_>>()
+        };
+        let fast = run(None);
+        let slow = run(Some(TelemetryMode::Summary));
+        assert_eq!(fast, slow);
+        assert!(fast.iter().any(Option::is_some));
+        assert!(fast.iter().any(Option::is_none), "loss must fire at 15%");
+    }
+
+    #[test]
+    fn walk_reuse_never_reallocates_the_calendar() {
+        use roam_telemetry::TelemetryMode;
+        let (mut net, ue, sp, _) = chain();
+        // Telemetry on forces the calendar walk (the allocation-prone
+        // path) and books calendar depth per scheduled hop.
+        net.set_telemetry_mode(TelemetryMode::Summary);
+        // Warm-up: jittered arrival times land in different wheel slots,
+        // and each slot's bucket is allocated lazily on first touch, so
+        // capacity climbs until the walk's reachable slot set is covered.
+        for _ in 0..400 {
+            assert!(net.ping(ue, sp).is_some());
+        }
+        let cap = net.walk_queue.capacity();
+        assert!(cap > 0, "warm walk must have reserved slots");
+        // Steady state: reuse must be allocation-free, walk after walk.
+        for _ in 0..100 {
+            assert!(net.ping(ue, sp).is_some());
+            assert!(net.rtt_ms(ue, sp).is_some());
+            assert_eq!(
+                net.walk_queue.capacity(),
+                cap,
+                "a walk grew the calendar: per-walk allocation"
+            );
+        }
+        // The calendar-depth histogram confirms walks ran through the
+        // event core one in-flight hop at a time: depth stays at 1.
+        let snap = net.take_telemetry();
+        let depth = &snap.hists[Hist::CalendarDepth as usize];
+        assert!(depth.count() > 0, "calendar depth must be booked");
+        assert_eq!(
+            depth.sum(),
+            depth.count() as f64,
+            "walks keep exactly one scheduled arrival in flight"
+        );
+    }
+
+    #[test]
+    fn set_link_loss_invalidates_baked_plans() {
+        let (mut net, ue, sp, _) = chain();
+        let mut ok = 0;
+        for _ in 0..50 {
+            ok += u32::from(net.ping(ue, sp).is_some());
+        }
+        assert_eq!(ok, 50, "lossless chain never drops");
+        // Route is cached now; cranking loss to 1.0 must still take effect.
+        net.set_link_loss(0, 1.0);
+        assert!(net.ping(ue, sp).is_none(), "stale plan kept the old loss");
+        net.set_link_loss(0, 0.0);
+        assert!(net.ping(ue, sp).is_some());
     }
 
     #[test]

@@ -27,7 +27,13 @@ impl SimTime {
         if ms <= 0.0 {
             return SimTime(0);
         }
-        SimTime((ms * 1e6).round() as u64)
+        // Round half away from zero without the libm `round` call — this
+        // runs on every packet hop. Truncate through the integer cast,
+        // then nudge up when the fractional part clears one half; the
+        // cast saturates NaN/huge inputs exactly like `round() as u64`.
+        let ns = ms * 1e6;
+        let whole = ns as u64;
+        SimTime(whole.saturating_add(u64::from(ns - whole as f64 >= 0.5)))
     }
 
     /// Construct from whole seconds.

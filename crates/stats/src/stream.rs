@@ -89,13 +89,23 @@ impl QuantileSketch {
             self.dropped += 1;
             return;
         }
-        let idx = match self.bounds.iter().position(|&b| value <= b) {
-            Some(i) => i,              // 0 = underflow, else (bounds[i-1], bounds[i]]
-            None => self.bounds.len(), // overflow
-        };
+        // Bounds are sorted, so the bucket is a binary search: the first
+        // bound `>= value` (0 = underflow, else `(bounds[i-1], bounds[i]]`,
+        // `len` = overflow). Equivalent to a forward `value <= b` scan.
+        let idx = self.bounds.partition_point(|&b| b < value);
         self.counts[idx] += 1;
         self.count += 1;
-        self.sum_micro += (value * 1e6).round() as i128;
+        // Round half away from zero without the libm `round` call (this
+        // runs once per observation at population scale). `value` is
+        // finite here; magnitudes beyond i64 keep the exact slow path.
+        let micro = value * 1e6;
+        self.sum_micro += if micro.abs() < 9.0e18 {
+            let whole = micro as i64;
+            let frac = micro - whole as f64;
+            i128::from(whole) + i128::from(frac >= 0.5) - i128::from(frac <= -0.5)
+        } else {
+            micro.round() as i128
+        };
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }

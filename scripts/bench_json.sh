@@ -11,6 +11,20 @@ cd "$(dirname "$0")/.."
 
 cargo bench -p roam-bench --offline "$@"
 
+# Population-scale throughput headline: time fleet_smoke itself (the
+# criterion fleet group runs 2k users, too small to expose the hot path).
+# Best-of-three 100k-user runs; the floor gate below fails the script if
+# the host can't sustain ROAM_FLEET_FLOOR users/sec on the default knobs.
+cargo build -q --release --offline -p roam-bench --bin fleet_smoke
+smoke_users=${ROAM_FLEET_BENCH_USERS:-100000}
+floor=${ROAM_FLEET_FLOOR:-250000}
+best_ups=0
+for _ in 1 2 3; do
+    ups=$(ROAM_FLEET_USERS=$smoke_users target/release/fleet_smoke 2>&1 >/dev/null \
+          | sed -n 's/^fleet_smoke_users_per_sec: //p')
+    if [ "${ups%.*}" -gt "${best_ups%.*}" ]; then best_ups=$ups; fi
+done
+
 crit=target/criterion
 out=BENCH_netsim.json
 tmp=$(mktemp)
@@ -30,6 +44,9 @@ done | jq -s 'add // {}' > "$tmp"
 jq -n \
    --slurpfile b "$tmp" \
    --argjson cpus "$(nproc)" \
+   --argjson smoke "$best_ups" \
+   --argjson floor "$floor" \
+   --argjson smoke_users "$smoke_users" \
    '($b[0]."campaign/device_campaign_seq".mean_ns) as $seq
     | ($b[0]."campaign/device_campaign_par4".mean_ns) as $par
     | ($b[0]."engine/transfer_closed_form".mean_ns) as $cf
@@ -43,6 +60,12 @@ jq -n \
     | ($b[0]."fleet/run_2k_users_4_shards_parallel".mean_ns) as $fpar
     | ($b[0]."faults/ping_faults_off".mean_ns) as $poff
     | ($b[0]."faults/ping_faults_heavy".mean_ns) as $pheavy
+    | ($b[0]."event_core/uniform_4k_wheel".mean_ns) as $ecuw
+    | ($b[0]."event_core/uniform_4k_heap".mean_ns) as $ecuh
+    | ($b[0]."event_core/bursty_4k_wheel".mean_ns) as $ecbw
+    | ($b[0]."event_core/bursty_4k_heap".mean_ns) as $ecbh
+    | ($b[0]."event_core/longtail_4k_wheel".mean_ns) as $eclw
+    | ($b[0]."event_core/longtail_4k_heap".mean_ns) as $eclh
     | {schema: "roamsim-bench-v1",
        host: {cpus: $cpus},
        telemetry: {
@@ -73,20 +96,42 @@ jq -n \
          heavy_over_off: (if $pheavy != null and $poff != null then ($pheavy / $poff) else null end),
          disabled_overhead_within_2pct: (if $poff != null and $fwd != null then ($poff / $fwd) <= 1.02 else null end)
        },
+       event_core: {
+         note: "schedule+pop of 4k events on a rewound (capacity-retaining) calendar, per mix; wheel_over_heap < 1.0 means the timing wheel beats the binary heap on that mix",
+         uniform_4k_wheel_ns: $ecuw,
+         uniform_4k_heap_ns: $ecuh,
+         bursty_4k_wheel_ns: $ecbw,
+         bursty_4k_heap_ns: $ecbh,
+         longtail_4k_wheel_ns: $eclw,
+         longtail_4k_heap_ns: $eclh,
+         wheel_over_heap_uniform: (if $ecuw != null and $ecuh != null then ($ecuw / $ecuh) else null end),
+         wheel_over_heap_bursty: (if $ecbw != null and $ecbh != null then ($ecbw / $ecbh) else null end),
+         wheel_over_heap_longtail: (if $eclw != null and $eclh != null then ($eclw / $eclh) else null end)
+       },
        fleet: {
-         note: "2k-user run timed end-to-end (synthesis, purchases, sessions, sketches); users_per_sec is the population-scale throughput headline; both shardings produce byte-identical reports",
+         note: "2k-user run timed end-to-end (synthesis, purchases, sessions, sketches); users_per_sec_smoke is the population-scale throughput headline (best of three 100k-user fleet_smoke runs), gated against floor_users_per_sec; both shardings produce byte-identical reports",
          run_2k_users_sequential_ns: $fseq,
          run_2k_users_4_shards_parallel_ns: $fpar,
          users_per_sec_sequential: (if $fseq != null then (2000 / ($fseq / 1e9)) else null end),
-         users_per_sec_4_shards: (if $fpar != null then (2000 / ($fpar / 1e9)) else null end)
+         users_per_sec_4_shards: (if $fpar != null then (2000 / ($fpar / 1e9)) else null end),
+         users_per_sec_smoke: $smoke,
+         floor_users_per_sec: $floor,
+         smoke_users: $smoke_users,
+         above_floor: ($smoke >= $floor)
        },
        benchmarks: $b[0]}' > "$out"
 
 echo "wrote $out"
-jq '.parallel, .engine, .telemetry, .faults, .fleet' "$out"
+jq '.parallel, .engine, .telemetry, .faults, .event_core, .fleet' "$out"
 
 if [ "$(jq '.faults.disabled_overhead_within_2pct' "$out")" = "false" ]; then
     echo "WARNING: disabled fault plane costs >2% over the bare ping path" >&2
     echo "         (faults/ping_faults_off vs netsim/packet_forward)" >&2
+    exit 1
+fi
+
+if [ "$(jq '.fleet.above_floor' "$out")" = "false" ]; then
+    echo "FAIL: fleet_smoke throughput ${best_ups} users/sec is below the" >&2
+    echo "      floor of ${floor} (override with ROAM_FLEET_FLOOR)" >&2
     exit 1
 fi
