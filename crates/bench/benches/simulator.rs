@@ -439,6 +439,63 @@ fn bench_fleet(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_checkpoint(c: &mut Criterion) {
+    use roam_codec::{Decoder, Frame};
+    use roam_fleet::{checkpoint, FleetRunner, ShardState};
+    use std::io::Write as _;
+
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(10);
+    // A halted 2k-user run leaves a real manifest + 4 shard files behind;
+    // those frames are exactly the unit a production cadence writes per
+    // window and a resume reads back. scripts/bench_json.sh reports the
+    // write/restore latencies from this group.
+    const USERS: u64 = 2_000;
+    let dir = std::env::temp_dir().join(format!("roam-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let halted = FleetRunner::new(11)
+        .users(USERS)
+        .shards(4)
+        .checkpoint_dir(&dir)
+        .checkpoint_every(60 * 100) // one write per 100 users per shard
+        .halt_after(1)
+        .run();
+    assert!(halted.halted, "bench fixture must stop at a checkpoint");
+
+    let bytes = std::fs::read(dir.join(checkpoint::shard_file(0))).expect("shard checkpoint");
+    let (frame, _) = Frame::parse(&bytes).expect("sealed frame");
+    let state = ShardState::decode_fields(&mut Decoder::new(frame.payload)).expect("state");
+    g.bench_function("shard_encode_2k", |b| {
+        b.iter(|| black_box(state.to_frame()))
+    });
+    g.bench_function("shard_decode_2k", |b| {
+        b.iter(|| {
+            let (frame, _) = Frame::parse(black_box(&bytes)).expect("sealed frame");
+            black_box(ShardState::decode_fields(&mut Decoder::new(frame.payload)).expect("state"))
+        })
+    });
+    // The durable write, mirroring the runner's torn-write protocol:
+    // temp file, fsync, rename. Dominated by the fsync on most hosts.
+    g.bench_function("shard_write_2k", |b| {
+        let tmp = dir.join("bench.ckpt.tmp");
+        let dst = dir.join("bench.ckpt");
+        b.iter(|| {
+            let mut f = std::fs::File::create(&tmp).expect("create");
+            f.write_all(&bytes).expect("write");
+            f.sync_all().expect("fsync");
+            std::fs::rename(&tmp, &dst).expect("rename");
+        })
+    });
+    // Everything `FleetRunner::resume` pays before the first user runs:
+    // manifest decode, fingerprint recompute (a full world + market
+    // build), and loading + range-checking all four shard states.
+    g.bench_function("resume_validate_2k", |b| {
+        b.iter(|| black_box(FleetRunner::resume(&dir).expect("halted dir resumes")))
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_wire,
@@ -452,6 +509,7 @@ criterion_group!(
     bench_event_core,
     bench_stats,
     bench_econ,
-    bench_fleet
+    bench_fleet,
+    bench_checkpoint
 );
 criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Population-scale smoke harness for the fleet generator.
 //!
-//! Stdout carries *only* the byte-stable [`FleetReport`] render, so CI can
-//! diff two invocations directly:
+//! Stdout carries *only* the byte-stable [`FleetReport`] render — in
+//! every mode, including worker processes (`ROAM_FLEET_WORKERS`, whose
+//! children talk to the parent over private pipes) and a resumed run —
+//! so CI can diff two invocations directly:
 //!
 //! ```sh
 //! ROAM_FLEET_USERS=100000 ROAM_FLEET_SHARDS=1 fleet_smoke > a.txt
@@ -9,21 +11,59 @@
 //! cmp a.txt b.txt
 //! ```
 //!
-//! Throughput (users/sec) and per-shard wall times go to stderr — they are
-//! real wall-clock measurements and must stay out of the comparable bytes.
+//! Throughput and per-shard wall times go to stderr — they are real
+//! wall-clock measurements and must stay out of the comparable bytes.
+//! The machine-parseable `fleet_smoke_users_per_sec:` gate line is
+//! emitted by [`roam_bench::emit_users_per_sec`], the one place its
+//! format and stream are defined.
+//!
+//! With `ROAM_RESUME=1` the harness resumes the checkpoint directory in
+//! `ROAM_CHECKPOINT_DIR` instead of starting fresh (the kill-and-resume
+//! CI job SIGKILLs a checkpointing run, then re-invokes with this knob).
+//! A stale or damaged directory is refused with the typed
+//! [`roam_fleet::ResumeError`] on stderr and a nonzero exit — never a
+//! silent restart.
 //!
 //! Knobs: `ROAM_FLEET_USERS/SHARDS/DAYS/SAMPLE/MIX`, `ROAM_PARALLEL`,
-//! `ROAM_TRANSPORT`, `ROAM_TELEMETRY`, `ROAM_SEED`.
+//! `ROAM_FLEET_WORKERS`, `ROAM_CHECKPOINT_DIR`, `ROAM_CHECKPOINT_EVERY`,
+//! `ROAM_RESUME`, `ROAM_TRANSPORT`, `ROAM_CALENDAR`, `ROAM_TELEMETRY`,
+//! `ROAM_FAULTS`, `ROAM_SEED`.
+//!
+//! [`FleetReport`]: roam_fleet::FleetReport
 
 use roam_fleet::FleetRunner;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
+fn resume_requested() -> bool {
+    std::env::var("ROAM_RESUME")
+        .map(|v| !matches!(v.trim(), "" | "0" | "false"))
+        .unwrap_or(false)
+}
+
+fn main() -> ExitCode {
     let seed = std::env::var("ROAM_SEED")
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(42);
-    let runner = FleetRunner::from_env(seed);
+    let runner = if resume_requested() {
+        let Some(dir) = std::env::var("ROAM_CHECKPOINT_DIR")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+        else {
+            eprintln!("fleet_smoke: ROAM_RESUME is set but ROAM_CHECKPOINT_DIR is not");
+            return ExitCode::from(2);
+        };
+        match FleetRunner::resume(&dir) {
+            Ok(runner) => runner,
+            Err(err) => {
+                eprintln!("fleet_smoke: refusing to resume {dir}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        FleetRunner::from_env(seed)
+    };
     let users = runner.population();
 
     let started = Instant::now();
@@ -32,14 +72,11 @@ fn main() {
 
     print!("{}", run.report.render());
 
-    let users_per_sec = users as f64 / wall.max(1e-9);
     eprintln!(
-        "fleet_smoke: {users} users in {wall:.2}s = {users_per_sec:.0} users/sec across {} shard(s)",
+        "fleet_smoke: {users} users in {wall:.2}s across {} shard(s)",
         run.timings.len()
     );
-    // Machine-parseable line for the bench_json.sh / CI throughput floor
-    // gate: `sed -n 's/^fleet_smoke_users_per_sec: //p'`.
-    eprintln!("fleet_smoke_users_per_sec: {users_per_sec:.0}");
+    roam_bench::emit_users_per_sec(users, wall);
     for t in &run.timings {
         eprintln!("  {} {:.1} ms", t.key, t.wall_ms);
     }
@@ -47,4 +84,9 @@ fn main() {
     if !telemetry.is_empty() {
         eprint!("{telemetry}");
     }
+    if run.halted {
+        eprintln!("fleet_smoke: run halted by checkpoint policy; resume with ROAM_RESUME=1");
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
 }

@@ -531,6 +531,39 @@ pub fn survey_all_esims(seed: u64, attaches_per_country: u32) -> (World, Vec<Esi
     (run.world, run.observations)
 }
 
+/// Users-per-second throughput for a fleet run, guarded against a zero
+/// wall clock (sub-nanosecond runs report a huge-but-finite rate).
+#[must_use]
+pub fn users_per_sec(users: u64, wall_secs: f64) -> f64 {
+    users as f64 / wall_secs.max(1e-9)
+}
+
+/// The machine-parseable throughput line scraped by the CI
+/// throughput-floor gate and `scripts/bench_json.sh`
+/// (`sed -n 's/^fleet_smoke_users_per_sec: //p'`).
+///
+/// This function is the only place the line is formatted and
+/// [`emit_users_per_sec`] the only place it is emitted — always on
+/// **stderr**. `fleet_smoke`'s stdout carries nothing but the byte-stable
+/// report render so CI can `cmp` two invocations directly; everything
+/// wall-clock-derived belongs on the other stream. Scrapers therefore
+/// redirect as `fleet_smoke 2>&1 >/dev/null | sed …`.
+#[must_use]
+pub fn users_per_sec_line(users: u64, wall_secs: f64) -> String {
+    format!(
+        "fleet_smoke_users_per_sec: {:.0}",
+        users_per_sec(users, wall_secs)
+    )
+}
+
+/// Emit [`users_per_sec_line`] on stderr and return the rate. The single
+/// emission point for the gate line: binaries must not print it
+/// themselves, so the stream contract lives (and is tested) here.
+pub fn emit_users_per_sec(users: u64, wall_secs: f64) -> f64 {
+    eprintln!("{}", users_per_sec_line(users, wall_secs));
+    users_per_sec(users, wall_secs)
+}
+
 /// Format a boxplot row for the text figures.
 #[must_use]
 pub fn boxplot_row(label: &str, values: &[f64]) -> String {
@@ -627,6 +660,25 @@ mod tests {
         let after = TransportKind::override_transport(None);
         TransportKind::override_transport(after);
         assert_eq!(before, after, "pin must restore the previous override");
+    }
+
+    #[test]
+    fn throughput_line_matches_the_ci_scrape_pattern() {
+        assert_eq!(
+            users_per_sec_line(100_000, 2.0),
+            "fleet_smoke_users_per_sec: 50000"
+        );
+        // The CI gate and bench_json.sh scrape stderr with
+        // `sed -n 's/^fleet_smoke_users_per_sec: //p'`; the
+        // prefix-stripped remainder must be a bare integer.
+        let line = users_per_sec_line(123_456, 3.7);
+        let rest = line
+            .strip_prefix("fleet_smoke_users_per_sec: ")
+            .expect("stable prefix");
+        let parsed: u64 = rest.parse().expect("bare integer after the prefix");
+        assert!(parsed > 0);
+        // A zero wall clock must not poison the gate with inf/NaN.
+        assert!(users_per_sec(1, 0.0).is_finite());
     }
 
     #[test]

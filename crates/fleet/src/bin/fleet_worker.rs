@@ -1,0 +1,16 @@
+//! Fleet worker process: one job frame in on stdin, one result frame per
+//! shard out on stdout. Spawned by `FleetRunner` in worker mode — not
+//! meant to be run by hand. Stdout is protocol-only; diagnostics go to
+//! stderr.
+
+use std::io::{stdin, stdout, Write as _};
+
+fn main() {
+    let mut input = stdin().lock();
+    let mut output = stdout().lock();
+    if let Err(msg) = roam_fleet::worker::serve(&mut input, &mut output) {
+        let _ = output.flush();
+        eprintln!("fleet_worker: {msg}");
+        std::process::exit(1);
+    }
+}

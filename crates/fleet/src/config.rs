@@ -90,7 +90,9 @@ impl Default for FleetConfig {
     }
 }
 
-fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+/// Parse an environment variable, treating absent/malformed as `None`
+/// (shared by the `ROAM_FLEET_*` and checkpoint/worker knobs).
+pub(crate) fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
     std::env::var(key).ok()?.trim().parse().ok()
 }
 

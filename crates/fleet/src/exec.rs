@@ -1,0 +1,563 @@
+//! Shard execution: drive one contiguous user range through the full
+//! stack, optionally starting from a checkpoint and writing new ones.
+//!
+//! This is the hot half of the fleet plane (the planner/merger halves
+//! live in [`crate::plan`] and [`crate::merge`]). One call to
+//! [`run_fleet_shard`] owns one shard: it builds the seeded world and
+//! the fixed endpoint pool exactly like every other shard, then streams
+//! its user range into the report. With a [`CheckpointPolicy`] it also
+//! serializes its partial state every `every_days` accumulated sim-days,
+//! at a user boundary (the only point where no batched work is in
+//! flight), so a killed process can resume mid-shard without replaying.
+
+use crate::checkpoint::{self, CheckpointPolicy, ShardState};
+use crate::config::{FleetConfig, SessionMix};
+use crate::population::{synthesize, TravelerClass, UserId};
+use crate::report::{FleetReport, JourneySample};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roam_econ::{EsimOffer, Market};
+use roam_measure::{resolve_timing, Endpoint, MeasureError, MeasureStatus, ResolverPlan, Service};
+use roam_netsim::engine::flow_seed;
+use roam_netsim::{Network, NodeId, TransferSpec, TransportKind};
+use roam_telemetry::{Counter, Sink, TelemetryMode, TelemetrySnapshot};
+use roam_world::World;
+use std::time::Instant;
+
+/// One shard's work order: its index, its user range, and (when
+/// resuming) the partial state to continue from.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardSpec {
+    /// Shard index (stable across runs; names the checkpoint file).
+    pub index: usize,
+    /// First user id (inclusive).
+    pub lo: u64,
+    /// One past the last user id.
+    pub hi: u64,
+    /// Partial state to resume from, if a checkpoint exists.
+    pub resume: Option<ShardState>,
+}
+
+/// What one shard hands back to the merger.
+#[derive(Debug)]
+pub(crate) struct ShardOutcome {
+    /// Shard index, for merge ordering.
+    pub index: usize,
+    /// The shard's aggregates.
+    pub report: FleetReport,
+    /// The shard's telemetry.
+    pub snap: TelemetrySnapshot,
+    /// Wall-clock milliseconds this shard took.
+    pub wall_ms: f64,
+    /// `false` when the shard stopped early because the checkpoint
+    /// policy's `halt_after` tripped (harness use only).
+    pub completed: bool,
+}
+
+/// Tally a successful probe's fault-plane outcome. Gated on the fault
+/// plane being active so undisturbed runs keep an all-zero summary (and
+/// therefore unchanged report bytes).
+fn count_delivered(report: &mut FleetReport, net: &Network, status: MeasureStatus) {
+    if !net.faults_enabled() {
+        return;
+    }
+    if status == MeasureStatus::Failover {
+        report.degraded.failover += 1;
+    } else {
+        report.degraded.ok += 1;
+    }
+}
+
+/// Tally a failed probe. `NoTarget` is a scenario gap, not a fault, and
+/// stays out of the summary just like in campaign records.
+fn count_failed(report: &mut FleetReport, net: &Network, e: &MeasureError) {
+    if matches!(e, MeasureError::NoTarget) || !net.faults_enabled() {
+        return;
+    }
+    match e.status() {
+        MeasureStatus::Timeout => report.degraded.timeout += 1,
+        _ => report.degraded.unreachable += 1,
+    }
+}
+
+/// The fixed per-country stage every shard builds identically: two eSIM
+/// attachments (capturing the §4.1 provider alternation) plus their
+/// precomputed probe targets and resolver plans — everything session-
+/// invariant is resolved here once instead of once per session.
+struct CountrySlot {
+    endpoints: [Endpoint; 2],
+    rtt_targets: [Option<NodeId>; 2],
+    dns_plans: [ResolverPlan; 2],
+}
+
+/// One seller's shelf for a destination, preprocessed for the per-leg
+/// purchase decision: offers sorted by value (per-GB price, catalogue
+/// order breaking ties) so "cheapest plan covering the need" is a short
+/// forward scan with no per-leg divisions, plus the precomputed
+/// biggest-plan fallback.
+struct OfferLane {
+    /// `(data_gb, offer index)` sorted ascending by `(per_gb, index)`.
+    by_value: Vec<(f64, usize)>,
+    /// The biggest plan on the shelf (ties break on catalogue order).
+    biggest: Option<usize>,
+}
+
+impl OfferLane {
+    fn build(offers: &[EsimOffer], idxs: impl Iterator<Item = usize>) -> Self {
+        let mut by_value: Vec<(f64, f64, usize)> = idxs
+            .map(|i| (offers[i].per_gb(), offers[i].data_gb, i))
+            .collect();
+        by_value.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let biggest = by_value
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.2.cmp(&a.2)))
+            .map(|&(_, _, i)| i);
+        OfferLane {
+            by_value: by_value.into_iter().map(|(_, gb, i)| (gb, i)).collect(),
+            biggest,
+        }
+    }
+
+    /// The cheapest per-GB plan covering `need_gb`, else the biggest plan.
+    fn pick(&self, need_gb: f64) -> Option<usize> {
+        self.by_value
+            .iter()
+            .find(|&&(gb, _)| gb >= need_gb)
+            .map(|&(_, i)| i)
+            .or(self.biggest)
+    }
+}
+
+/// Offer lanes for one destination, split by seller for the purchase
+/// preference draw.
+struct CountryOffers {
+    airalo: OfferLane,
+    all: OfferLane,
+}
+
+/// Pick an offer deterministically: prefer Airalo's shelf when the user
+/// does (and it can cover the need), then the cheapest per-GB plan that
+/// covers the need, falling back to the biggest plan on the shelf. Ties
+/// break on catalogue order.
+fn choose_offer<'m>(
+    offers: &'m [EsimOffer],
+    shelf: &CountryOffers,
+    prefer_airalo: bool,
+    need_gb: f64,
+) -> Option<&'m EsimOffer> {
+    if prefer_airalo {
+        if let Some(i) = shelf.airalo.pick(need_gb) {
+            return Some(&offers[i]);
+        }
+    }
+    shelf.all.pick(need_gb).map(|i| &offers[i])
+}
+
+/// Append `v` in decimal without going through the `fmt` machinery —
+/// label derivation is hot enough at population scale that `Display`'s
+/// formatter setup shows up in profiles.
+fn push_dec(buf: &mut String, mut v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    buf.push_str(std::str::from_utf8(&tmp[i..]).expect("decimal digits are ASCII"));
+}
+
+/// What one session does, drawn from the user's activity stream.
+enum SessionKind {
+    Rtt,
+    Dns,
+    Transfer,
+}
+
+fn draw_kind(rng: &mut SmallRng, mix: SessionMix) -> SessionKind {
+    let roll = rng.gen_range(0..mix.total());
+    if roll < mix.rtt {
+        SessionKind::Rtt
+    } else if roll < mix.rtt + mix.dns {
+        SessionKind::Dns
+    } else {
+        SessionKind::Transfer
+    }
+}
+
+/// Drive one shard through the stack.
+///
+/// With `spec.resume` set, the world and endpoint pool are rebuilt from
+/// scratch (cheap, deterministic), the report and telemetry are restored
+/// wholesale from the checkpoint, and the user loop starts at
+/// `next_uid` — because every per-user observable derives from the
+/// user's own keyed RNG stream, the byte stream from there on is
+/// exactly what the uninterrupted run would have produced.
+///
+/// With `ckpt` set, the shard serializes its partial state to
+/// `shard-NNN.ckpt` atomically each time `every_days` sim-days
+/// accumulate, always at a user boundary so the batched-transfer queue
+/// is empty and the report is a clean prefix aggregate.
+pub(crate) fn run_fleet_shard(
+    seed: u64,
+    config: &FleetConfig,
+    spec: ShardSpec,
+    telemetry: TelemetryMode,
+    ckpt: Option<&CheckpointPolicy>,
+) -> ShardOutcome {
+    let started = Instant::now();
+    let mut world = World::build(seed);
+    world.net.set_telemetry_mode(telemetry);
+    let market = Market::generate(seed);
+    let countries = world.measured_countries();
+
+    // Stage 1: the fixed endpoint pool, identical in every shard. Attach
+    // first (mutable world), then resolve probe targets (immutable).
+    let mut pool_eps: Vec<[Endpoint; 2]> = Vec::with_capacity(countries.len());
+    for &country in &countries {
+        pool_eps.push([world.attach_esim(country), world.attach_esim(country)]);
+    }
+    let pool: Vec<CountrySlot> = pool_eps
+        .into_iter()
+        .map(|endpoints| {
+            let rtt_targets = [0, 1].map(|i| {
+                world.internet.targets.nearest(
+                    &world.net,
+                    Service::Google,
+                    endpoints[i].att.breakout_city,
+                )
+            });
+            let dns_plans = [0, 1]
+                .map(|i| ResolverPlan::new(&world.net, &endpoints[i], &world.internet.targets));
+            CountrySlot {
+                endpoints,
+                rtt_targets,
+                dns_plans,
+            }
+        })
+        .collect();
+    let shelves: Vec<CountryOffers> = countries
+        .iter()
+        .map(|&c| {
+            let on_shelf: Vec<usize> = market
+                .offers()
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.country == c)
+                .map(|(i, _)| i)
+                .collect();
+            let airalo = OfferLane::build(
+                market.offers(),
+                on_shelf
+                    .iter()
+                    .copied()
+                    .filter(|&i| market.offers()[i].provider == market.airalo()),
+            );
+            let all = OfferLane::build(market.offers(), on_shelf.into_iter());
+            CountryOffers { airalo, all }
+        })
+        .collect();
+    let country_index = |c: roam_geo::Country| {
+        countries
+            .iter()
+            .position(|&x| x == c)
+            .expect("legs only visit measured countries")
+    };
+
+    // Resume point: restore the prefix aggregates *after* the setup above
+    // so the restored telemetry (which already contains the original
+    // run's setup records) replaces this rebuild's, never duplicates it.
+    let (start_uid, mut report) = match spec.resume {
+        Some(state) => {
+            debug_assert_eq!(
+                state.index, spec.index,
+                "resume state routed to wrong shard"
+            );
+            world.net.telemetry_mut().restore(state.telemetry);
+            (state.next_uid, state.report)
+        }
+        None => (spec.lo, FleetReport::new(config.sample)),
+    };
+
+    // Stage 2: stream the users. No per-record buffering — every
+    // observation lands in a sketch, a counter or the reservoir.
+    // Transfers batch per user: their durations are discarded (see the
+    // comment at the push site), so the specs accumulate and run through
+    // the transport in one `transfer_ms_batch` call per user.
+    let transport = TransportKind::current().transport();
+    let mut pending_transfers: Vec<TransferSpec> = Vec::new();
+    let mut transfer_out: Vec<f64> = Vec::new();
+    // Checkpoint cadence: sim-days accumulated since the last write.
+    // Resets to zero at each write, so a resumed shard naturally starts
+    // a fresh accumulation window.
+    let mut days_acc: u64 = 0;
+    let mut checkpoints_written: u32 = 0;
+    let mut completed = true;
+    // Reusable label buffer: every per-user / per-session key is built by
+    // appending into this one allocation.
+    let mut label = String::with_capacity(48);
+    for uid in start_uid..spec.hi {
+        let profile = synthesize(seed, UserId(uid), &countries, config.days);
+        label.clear();
+        label.push_str("fleet/act/");
+        push_dec(&mut label, uid);
+        let mut act = SmallRng::seed_from_u64(flow_seed(seed, &label));
+        report.count_user(profile.class);
+        world.net.telemetry_mut().add(Counter::FleetUsers, 1);
+        let mut spend_micro = 0u128;
+        for (li, leg) in profile.legs.iter().enumerate() {
+            let ci = country_index(leg.country);
+            let slot = &pool[ci];
+            let prefer_airalo = act.gen_bool(0.6);
+            let offer = choose_offer(
+                market.offers(),
+                &shelves[ci],
+                prefer_airalo,
+                profile.need_gb,
+            )
+            .expect("every measured country has offers");
+            let price = market.price_on_day(offer, leg.arrival_day);
+            spend_micro += (price * 1e6).round() as u128;
+            report.purchases += 1;
+            report.price_per_gb.observe(price / offer.data_gb);
+            world.net.telemetry_mut().add(Counter::FleetPurchases, 1);
+            let which = (uid % 2) as usize;
+            let ep = &slot.endpoints[which];
+            let target = slot.rtt_targets[which];
+            // The per-session label only varies in its trailing session
+            // index — build the prefix once per leg.
+            label.clear();
+            label.push_str("fleet/u");
+            push_dec(&mut label, uid);
+            label.push_str("/l");
+            push_dec(&mut label, li as u64);
+            label.push_str("/s");
+            let prefix_len = label.len();
+            for s in 0..leg.sessions {
+                report.sessions += 1;
+                world.net.telemetry_mut().add(Counter::FleetSessions, 1);
+                label.truncate(prefix_len);
+                push_dec(&mut label, u64::from(s));
+                match draw_kind(&mut act, config.mix) {
+                    SessionKind::Rtt => {
+                        let Some(t) = target else {
+                            report.lost_sessions += 1;
+                            continue;
+                        };
+                        let mut probe = ep.probe(&mut world.net, &label);
+                        match probe.rtt_checked(t) {
+                            Ok(sample) => {
+                                report.rtt_probes += 1;
+                                report.rtt_ms.observe(sample.rtt_ms);
+                                count_delivered(&mut report, &world.net, sample.status());
+                            }
+                            Err(e) => {
+                                report.lost_sessions += 1;
+                                count_failed(&mut report, &world.net, &e);
+                            }
+                        }
+                    }
+                    SessionKind::Dns => {
+                        match resolve_timing(&mut world.net, ep, &slot.dns_plans[which], &label) {
+                            Ok(r) => {
+                                report.dns_lookups += 1;
+                                report.dns_ms.observe(r.lookup_ms);
+                                count_delivered(&mut report, &world.net, r.status);
+                            }
+                            Err(e) => {
+                                report.lost_sessions += 1;
+                                count_failed(&mut report, &world.net, &e);
+                            }
+                        }
+                    }
+                    SessionKind::Transfer => {
+                        let mb = match profile.class {
+                            TravelerClass::Tourist => act.gen_range(1.0..200.0),
+                            TravelerClass::Business => act.gen_range(5.0..500.0),
+                            TravelerClass::IotDevice => act.gen_range(0.05..1.0),
+                        };
+                        let Some(t) = target else {
+                            report.lost_sessions += 1;
+                            continue;
+                        };
+                        let mut probe = ep.probe(&mut world.net, &label);
+                        let sample = match probe.rtt_checked(t) {
+                            Ok(s) => s,
+                            Err(e) => {
+                                report.lost_sessions += 1;
+                                count_failed(&mut report, &world.net, &e);
+                                continue;
+                            }
+                        };
+                        let cqi = ep.channel.sample(probe.rng());
+                        // The transfer runs through the selected transport
+                        // to exercise it, but its *duration* is discarded:
+                        // the backends agree only to sub-microsecond
+                        // rounding, and the report must not depend on
+                        // `ROAM_TRANSPORT`. The drawn size is the recorded
+                        // observable — so the spec only queues here and
+                        // the batch runs once per user.
+                        world
+                            .net
+                            .telemetry_mut()
+                            .add(Counter::TransferBytes, (mb * 1e6) as u64);
+                        pending_transfers.push(TransferSpec {
+                            bytes: mb * 1e6,
+                            rtt_ms: sample.rtt_ms,
+                            policy_rate_mbps: ep.effective_down_mbps(cqi),
+                            loss: ep.loss,
+                            setup_rtts: 1.0,
+                            parallel: 1,
+                        });
+                        report.transfers += 1;
+                        report.session_mb.observe(mb);
+                        count_delivered(&mut report, &world.net, sample.status());
+                    }
+                }
+            }
+        }
+        if !pending_transfers.is_empty() {
+            transport.transfer_ms_batch(&pending_transfers, &mut transfer_out);
+            pending_transfers.clear();
+        }
+        report.spend_micro_usd += spend_micro;
+        label.clear();
+        label.push_str("fleet/sample/");
+        push_dec(&mut label, uid);
+        report.journeys.offer(
+            flow_seed(seed, &label),
+            uid,
+            JourneySample {
+                uid,
+                class: profile.class.label(),
+                legs: profile.legs.len() as u32,
+                first: profile.legs[0].country.alpha3(),
+                spend_micro_usd: spend_micro,
+            },
+        );
+        if let Some(policy) = ckpt {
+            days_acc += u64::from(config.days);
+            // Write at the cadence boundary, but not after the final user:
+            // the shard's own result supersedes a final checkpoint.
+            if days_acc >= policy.every_days && uid + 1 < spec.hi {
+                days_acc = 0;
+                let state = ShardState {
+                    index: spec.index,
+                    next_uid: uid + 1,
+                    report: report.clone(),
+                    telemetry: world.net.telemetry_mut().snapshot().clone(),
+                };
+                checkpoint::write_shard(&policy.dir, &state).expect("checkpoint shard write");
+                checkpoints_written += 1;
+                if policy.halt_after.is_some_and(|n| checkpoints_written >= n) {
+                    completed = false;
+                    break;
+                }
+            }
+        }
+    }
+    let snap = world.net.take_telemetry();
+    ShardOutcome {
+        index: spec.index,
+        report,
+        snap,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roam_econ::Market;
+
+    /// The pre-lane `choose_offer`, kept as the reference model: filter /
+    /// `min_by` / `max_by` straight over the index lists.
+    fn reference_choose<'m>(
+        offers: &'m [EsimOffer],
+        airalo: &[usize],
+        all: &[usize],
+        prefer_airalo: bool,
+        need_gb: f64,
+    ) -> Option<&'m EsimOffer> {
+        let pick = |idxs: &[usize]| -> Option<usize> {
+            let covering = idxs
+                .iter()
+                .filter(|&&i| offers[i].data_gb >= need_gb)
+                .min_by(|&&a, &&b| {
+                    offers[a]
+                        .per_gb()
+                        .total_cmp(&offers[b].per_gb())
+                        .then(a.cmp(&b))
+                });
+            covering
+                .or_else(|| {
+                    idxs.iter().max_by(|&&a, &&b| {
+                        offers[a]
+                            .data_gb
+                            .total_cmp(&offers[b].data_gb)
+                            .then(b.cmp(&a))
+                    })
+                })
+                .copied()
+        };
+        if prefer_airalo {
+            if let Some(i) = pick(airalo) {
+                return Some(&offers[i]);
+            }
+        }
+        pick(all).map(|i| &offers[i])
+    }
+
+    #[test]
+    fn offer_lanes_match_the_reference_scan() {
+        let market = Market::generate(42);
+        let offers = market.offers();
+        for country in roam_geo::Country::MEASURED {
+            let all_idx: Vec<usize> = offers
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.country == country)
+                .map(|(i, _)| i)
+                .collect();
+            let airalo_idx: Vec<usize> = all_idx
+                .iter()
+                .copied()
+                .filter(|&i| offers[i].provider == market.airalo())
+                .collect();
+            let shelf = CountryOffers {
+                airalo: OfferLane::build(offers, airalo_idx.iter().copied()),
+                all: OfferLane::build(offers, all_idx.iter().copied()),
+            };
+            // Sweep needs across and beyond every shelf size, both
+            // preference branches.
+            for tenth_gb in 0..400u32 {
+                let need = f64::from(tenth_gb) / 10.0;
+                for prefer in [false, true] {
+                    let fast = choose_offer(offers, &shelf, prefer, need);
+                    let slow = reference_choose(offers, &airalo_idx, &all_idx, prefer, need);
+                    assert_eq!(
+                        fast.map(|o| o as *const _),
+                        slow.map(|o| o as *const _),
+                        "{country:?} need={need} prefer={prefer}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_lane_yields_no_offer() {
+        let market = Market::generate(7);
+        let offers = market.offers();
+        let shelf = CountryOffers {
+            airalo: OfferLane::build(offers, std::iter::empty()),
+            all: OfferLane::build(offers, std::iter::empty()),
+        };
+        assert!(choose_offer(offers, &shelf, true, 1.0).is_none());
+        assert!(choose_offer(offers, &shelf, false, 1.0).is_none());
+    }
+}

@@ -16,23 +16,36 @@
 //! |----------------|-----------------------------------------------------|
 //! | [`config`]     | sizing knobs + `ROAM_FLEET_*` environment parsing   |
 //! | [`population`] | per-user deterministic synthesis (class, itinerary) |
-//! | [`runner`]     | sharded execution through the full stack            |
+//! | `plan`         | shard work orders + worker striping                 |
+//! | `exec`         | shard execution, checkpoint cadence, resume         |
+//! | [`worker`]     | multi-process backend (job/result frames on pipes)  |
+//! | `merge`        | the shard-order fold into one run                   |
+//! | [`checkpoint`] | durable partial state: manifest + shard files       |
+//! | [`runner`]     | the builder orchestrating all of the above          |
 //! | [`report`]     | exactly-mergeable aggregates + stable render        |
 //!
 //! # Determinism
 //!
 //! [`FleetReport::render`] is byte-identical across `ROAM_PARALLEL`
-//! (worker threads), `ROAM_FLEET_SHARDS` (population partitioning) and
-//! `ROAM_TRANSPORT` (closed-form vs event-engine backend). See the
-//! module docs on [`runner`] for the three-part contract, and
-//! `tests/fleet_determinism.rs` at the workspace root for the pin.
+//! (worker threads), `ROAM_FLEET_WORKERS` (worker processes),
+//! `ROAM_FLEET_SHARDS` (population partitioning), `ROAM_TRANSPORT`
+//! (closed-form vs event-engine backend) and a kill-and-resume through
+//! `ROAM_CHECKPOINT_DIR`. See the module docs on [`runner`] for the
+//! three-part contract, and `tests/fleet_determinism.rs` /
+//! `crates/fleet/tests/checkpoint_resume.rs` for the pins.
 
+pub mod checkpoint;
 pub mod config;
+mod exec;
+mod merge;
+mod plan;
 pub mod population;
 pub mod report;
 pub mod runner;
+pub mod worker;
 
+pub use checkpoint::{Manifest, ResumeError, ShardState, CKPT_VERSION};
 pub use config::{FleetConfig, SessionMix};
 pub use population::{synthesize, user_rng, Leg, TravelerClass, UserId, UserProfile};
 pub use report::{FleetReport, JourneySample};
-pub use runner::{FleetRun, FleetRunner, FleetShardTiming};
+pub use runner::{FleetRun, FleetRunner, FleetShardTiming, DEFAULT_CHECKPOINT_EVERY};

@@ -1,0 +1,109 @@
+//! The planner: turn a population and a shard count into work orders.
+//!
+//! Partitioning is the first leg of the determinism contract — user `u`
+//! always lands in the same shard for a given `(users, shards)` pair, so
+//! checkpoint files and resume states can be routed by shard index alone.
+//! The same contiguous split (`lo = users·i/n`) has been used since the
+//! fleet plane's first version; the planner only centralizes it and
+//! attaches resume states.
+
+use crate::checkpoint::ShardState;
+use crate::exec::ShardSpec;
+
+/// Compute the effective shard count: never more shards than users —
+/// empty shards would be harmless but wasteful (each builds a world).
+#[must_use]
+pub(crate) fn effective_shards(users: u64, shards: usize) -> usize {
+    (shards.max(1) as u64).min(users.max(1)) as usize
+}
+
+/// The contiguous user range of shard `i` of `n`.
+#[must_use]
+pub(crate) fn shard_range(users: u64, i: usize, n: usize) -> (u64, u64) {
+    let lo = users * i as u64 / n as u64;
+    let hi = users * (i as u64 + 1) / n as u64;
+    (lo, hi)
+}
+
+/// Build every shard's work order, routing resume states (if any) to
+/// their shards by index.
+#[must_use]
+pub(crate) fn plan_shards(
+    users: u64,
+    shards: usize,
+    mut resume: Option<Vec<Option<ShardState>>>,
+) -> Vec<ShardSpec> {
+    let n = effective_shards(users, shards);
+    (0..n)
+        .map(|i| {
+            let (lo, hi) = shard_range(users, i, n);
+            ShardSpec {
+                index: i,
+                lo,
+                hi,
+                resume: resume
+                    .as_mut()
+                    .and_then(|states| states.get_mut(i).and_then(std::option::Option::take)),
+            }
+        })
+        .collect()
+}
+
+/// Stripe shard indices across `workers` processes round-robin, so a
+/// slow shard doesn't serialize behind its neighbours on one worker.
+/// Empty stripes are dropped (more workers than shards).
+#[must_use]
+pub(crate) fn stripe(shards: usize, workers: usize) -> Vec<Vec<usize>> {
+    let workers = workers.max(1).min(shards.max(1));
+    let mut stripes = vec![Vec::new(); workers];
+    for i in 0..shards {
+        stripes[i % workers].push(i);
+    }
+    stripes.retain(|s| !s.is_empty());
+    stripes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_the_population_exactly() {
+        for users in [1u64, 2, 9, 10_000, 100_001] {
+            for shards in [1usize, 2, 3, 4, 7, 64] {
+                let plans = plan_shards(users, shards, None);
+                assert_eq!(plans[0].lo, 0);
+                assert_eq!(plans.last().expect("non-empty").hi, users);
+                for w in plans.windows(2) {
+                    assert_eq!(w[0].hi, w[1].lo, "contiguous, no gap or overlap");
+                }
+                assert!(plans.iter().all(|p| p.lo < p.hi), "no empty shards");
+            }
+        }
+    }
+
+    #[test]
+    fn striping_is_round_robin_and_total() {
+        assert_eq!(stripe(5, 2), vec![vec![0, 2, 4], vec![1, 3]]);
+        assert_eq!(stripe(2, 8), vec![vec![0], vec![1]]);
+        let all: Vec<usize> = stripe(9, 4).into_iter().flatten().collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resume_states_route_by_index() {
+        let state = |i: usize| {
+            Some(crate::checkpoint::ShardState {
+                index: i,
+                next_uid: 5,
+                report: crate::report::FleetReport::new(4),
+                telemetry: roam_telemetry::TelemetrySnapshot::default(),
+            })
+        };
+        let plans = plan_shards(10, 2, Some(vec![None, state(1)]));
+        assert!(plans[0].resume.is_none());
+        assert_eq!(plans[1].resume.as_ref().expect("routed").index, 1);
+    }
+}

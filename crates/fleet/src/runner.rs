@@ -1,13 +1,25 @@
-//! The fleet runner: partition the population, drive every subscriber
-//! through the full stack, merge the shards.
+//! The fleet runner: plan the shards, execute them on a backend, merge
+//! the outcomes.
+//!
+//! The runner is the thin orchestration layer over the split pipeline —
+//! [`crate::plan`] (work orders), [`crate::exec`] (shard execution),
+//! [`crate::merge`] (the fold) — and owns backend selection:
+//!
+//! * **In-process** (default): shards run on threads via
+//!   [`run_shards`], `ROAM_PARALLEL` controlling the thread count.
+//! * **Worker processes** (`ROAM_FLEET_WORKERS=N` /
+//!   [`FleetRunner::workers`]): shards stripe across `N` child
+//!   processes that stream partial state back over pipes
+//!   ([`crate::worker`]).
 //!
 //! The determinism contract has three legs:
 //!
 //! 1. **Identical stages.** Every shard builds the same seeded
-//!    [`World`] and attaches the same fixed endpoint pool (two eSIMs per
-//!    measured country, in country order) *before* touching any user, so
-//!    the world RNG and per-country provider alternation are consumed
-//!    identically no matter which user range the shard owns.
+//!    [`roam_world::World`] and attaches the same fixed endpoint pool
+//!    (two eSIMs per measured country, in country order) *before*
+//!    touching any user, so the world RNG and per-country provider
+//!    alternation are consumed identically no matter which user range
+//!    the shard owns.
 //! 2. **Per-user streams.** Everything about user `u` — profile,
 //!    purchases, session mix, measurement flows — derives from
 //!    `flow_seed(master, "fleet/…/u")`, never from execution order.
@@ -16,26 +28,29 @@
 //!    ([`FleetReport::merge`]), so the fold is associative.
 //!
 //! Together these make [`FleetReport::render`] byte-identical across
-//! `ROAM_PARALLEL` (worker count), `ROAM_FLEET_SHARDS` (partitioning)
-//! and `ROAM_TRANSPORT` (only transport-independent observables are
-//! recorded: packet-walk RTTs, resolver lookups, drawn workload sizes).
+//! `ROAM_PARALLEL` (threads), `ROAM_FLEET_WORKERS` (processes),
+//! `ROAM_FLEET_SHARDS` (partitioning), `ROAM_TRANSPORT` and
+//! `ROAM_CALENDAR` — and, with checkpointing on, across a kill and
+//! resume: the per-user streams mean a shard's `next_uid` cursor plus
+//! its mergeable aggregates are its *complete* state.
 
-use crate::config::{FleetConfig, SessionMix};
-use crate::population::{synthesize, TravelerClass, UserId};
-use crate::report::{FleetReport, JourneySample};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use roam_econ::{EsimOffer, Market};
-use roam_geo::Country;
-use roam_measure::{
-    resolve_timing, run_shards, DegradationSummary, Endpoint, MeasureError, MeasureStatus,
-    ResolverPlan, RunMode, Service,
-};
-use roam_netsim::engine::flow_seed;
-use roam_netsim::{CalendarKind, FaultSpec, Network, NodeId, TransferSpec, TransportKind};
-use roam_telemetry::{merge_shards, Counter, Sink, TelemetryMode, TelemetryReport};
-use roam_world::World;
-use std::time::Instant;
+use crate::checkpoint::{self, CheckpointPolicy, Manifest, ResumeError, ShardState};
+use crate::config::{env_parse, FleetConfig, SessionMix};
+use crate::exec::run_fleet_shard;
+use crate::merge::merge_outcomes;
+use crate::plan;
+use crate::report::FleetReport;
+use crate::worker::{self, WorkerJob};
+use roam_codec::CodecError;
+use roam_measure::{run_shards, DegradationSummary, RunMode};
+use roam_netsim::{CalendarKind, FaultSpec, TransportKind};
+use roam_telemetry::{TelemetryMode, TelemetryReport};
+use std::path::PathBuf;
+
+/// Default checkpoint cadence, accumulated sim-days per shard between
+/// writes (`ROAM_CHECKPOINT_EVERY`). At the default 60-day calendar this
+/// checkpoints roughly every 4 000 users per shard.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 250_000;
 
 /// Wall-clock cost of one fleet shard — the only non-deterministic output
 /// of a run, kept outside the byte-stable report.
@@ -62,12 +77,17 @@ pub struct FleetRun {
     /// for a fixed shard count; the shard-count-invariant total lives in
     /// `report.degraded`.
     pub degraded: Vec<(String, DegradationSummary)>,
+    /// `true` when the run stopped early because the checkpoint policy's
+    /// `halt_after` tripped (kill-and-resume harnesses only). A halted
+    /// run's report is a partial aggregate — resume from the checkpoint
+    /// directory to finish it.
+    pub halted: bool,
 }
 
 /// Builder for fleet runs, mirroring `CampaignRunner`: seed in,
-/// builder-style knobs for population, partitioning, workers, transport
-/// and telemetry. None of the knobs except `users`/`days`/`mix`/`sample`
-/// can change the report's bytes.
+/// builder-style knobs for population, partitioning, workers, transport,
+/// checkpointing and telemetry. None of the knobs except
+/// `users`/`days`/`mix`/`sample` can change the report's bytes.
 ///
 /// ```no_run
 /// use roam_fleet::FleetRunner;
@@ -75,7 +95,7 @@ pub struct FleetRun {
 /// let run = FleetRunner::new(42).users(100_000).shards(8).parallel(4).run();
 /// print!("{}", run.report.render());
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FleetRunner {
     seed: u64,
     config: FleetConfig,
@@ -83,6 +103,15 @@ pub struct FleetRunner {
     transport: Option<TransportKind>,
     faults: Option<FaultSpec>,
     telemetry: TelemetryMode,
+    /// `> 0` → shards run in this many `fleet_worker` processes.
+    workers: usize,
+    worker_bin: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+    halt_after: Option<u32>,
+    /// Per-shard resume states, routed by [`plan::plan_shards`]. Only
+    /// set by [`FleetRunner::resume`].
+    resume: Option<Vec<Option<ShardState>>>,
 }
 
 impl FleetRunner {
@@ -97,11 +126,19 @@ impl FleetRunner {
             transport: None,
             faults: None,
             telemetry: TelemetryMode::Off,
+            workers: 0,
+            worker_bin: None,
+            checkpoint_dir: None,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            halt_after: None,
+            resume: None,
         }
     }
 
     /// A runner configured from the environment: population knobs from
-    /// `ROAM_FLEET_*`, workers from `ROAM_PARALLEL`, telemetry from
+    /// `ROAM_FLEET_*`, threads from `ROAM_PARALLEL`, worker processes
+    /// from `ROAM_FLEET_WORKERS`, checkpointing from
+    /// `ROAM_CHECKPOINT_DIR` / `ROAM_CHECKPOINT_EVERY`, telemetry from
     /// `ROAM_TELEMETRY`; the transport resolves per probe from
     /// `ROAM_TRANSPORT`.
     #[must_use]
@@ -110,8 +147,81 @@ impl FleetRunner {
             config: FleetConfig::from_env(),
             mode: RunMode::from_env(),
             telemetry: TelemetryMode::from_env(),
+            workers: env_parse("ROAM_FLEET_WORKERS").unwrap_or(0),
+            checkpoint_dir: std::env::var("ROAM_CHECKPOINT_DIR")
+                .ok()
+                .filter(|s| !s.trim().is_empty())
+                .map(PathBuf::from),
+            checkpoint_every: env_parse("ROAM_CHECKPOINT_EVERY")
+                .unwrap_or(DEFAULT_CHECKPOINT_EVERY),
+            halt_after: env_parse("ROAM_CHECKPOINT_HALT_AFTER"),
             ..FleetRunner::new(seed)
         }
+    }
+
+    /// Rebuild a runner from a checkpoint directory, validating before
+    /// anything runs: the manifest must decode, speak this binary's
+    /// checkpoint version, and carry a world/campaign fingerprint that
+    /// this binary reproduces from the manifest's own knobs. Shard files
+    /// are loaded and range-checked here too — `run()` afterwards cannot
+    /// fail, it just finishes the remaining user ranges.
+    ///
+    /// Execution-shape knobs (threads, worker processes, transport) are
+    /// re-read from the environment — they cannot change the bytes. The
+    /// fault schedule is *not*: the resolved spec stored in the manifest
+    /// is pinned, so the resumed half replays the original schedule even
+    /// if `ROAM_FAULTS` changed in between.
+    ///
+    /// # Errors
+    /// See [`ResumeError`] — every variant is a refusal, never a silent
+    /// restart.
+    pub fn resume(dir: impl Into<PathBuf>) -> Result<FleetRunner, ResumeError> {
+        let dir = dir.into();
+        let manifest = checkpoint::load_manifest(&dir)?;
+        let computed = checkpoint::run_fingerprint(
+            manifest.seed,
+            &manifest.config,
+            manifest.telemetry,
+            &manifest.faults,
+        );
+        if computed != manifest.fingerprint {
+            return Err(ResumeError::FingerprintMismatch {
+                stored: manifest.fingerprint,
+                computed,
+            });
+        }
+        let users = manifest.config.users.max(1);
+        if plan::effective_shards(users, manifest.config.shards) != manifest.shards {
+            return Err(ResumeError::Corrupt(
+                dir.join(checkpoint::MANIFEST_FILE),
+                CodecError::BadValue("shard count"),
+            ));
+        }
+        let mut states = Vec::with_capacity(manifest.shards);
+        for i in 0..manifest.shards {
+            let state = checkpoint::load_shard(&dir, i)?;
+            if let Some(s) = &state {
+                let (lo, hi) = plan::shard_range(users, i, manifest.shards);
+                if s.next_uid < lo || s.next_uid > hi {
+                    return Err(ResumeError::Corrupt(
+                        dir.join(checkpoint::shard_file(i)),
+                        CodecError::BadValue("next_uid out of range"),
+                    ));
+                }
+            }
+            states.push(state);
+        }
+        Ok(FleetRunner {
+            config: manifest.config,
+            mode: RunMode::from_env(),
+            faults: Some(manifest.faults),
+            telemetry: manifest.telemetry,
+            workers: env_parse("ROAM_FLEET_WORKERS").unwrap_or(0),
+            checkpoint_dir: Some(dir),
+            checkpoint_every: manifest.every.max(1),
+            resume: Some(states),
+            ..FleetRunner::new(manifest.seed)
+        })
     }
 
     /// Population size.
@@ -157,6 +267,8 @@ impl FleetRunner {
     }
 
     /// Spread shards over `workers` threads (`<= 1` means sequential).
+    /// Orthogonal to [`FleetRunner::workers`]; with worker processes
+    /// active each process runs its stripe sequentially.
     #[must_use]
     pub fn parallel(mut self, workers: usize) -> Self {
         self.mode = if workers <= 1 {
@@ -171,6 +283,52 @@ impl FleetRunner {
     #[must_use]
     pub fn run_mode(mut self, mode: RunMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Run shards in `n` worker *processes* instead of in-process
+    /// threads (`0` restores the in-process backend). The report bytes
+    /// are identical either way; worker mode buys memory isolation and
+    /// kill-tolerance (with checkpointing, a dead worker loses at most
+    /// one cadence window).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Explicit path to the `fleet_worker` binary, for harnesses that
+    /// know exactly which build to run (otherwise discovery tries
+    /// `ROAM_FLEET_WORKER_BIN`, then siblings of the current
+    /// executable).
+    #[must_use]
+    pub fn worker_bin(mut self, path: impl Into<PathBuf>) -> Self {
+        self.worker_bin = Some(path.into());
+        self
+    }
+
+    /// Write checkpoints into `dir` as the run progresses (and the run
+    /// manifest up front).
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Checkpoint cadence: accumulated sim-days per shard between
+    /// writes.
+    #[must_use]
+    pub fn checkpoint_every(mut self, sim_days: u64) -> Self {
+        self.checkpoint_every = sim_days.max(1);
+        self
+    }
+
+    /// Harness knob: stop each shard after `n` checkpoint writes, as a
+    /// deterministic stand-in for a mid-run SIGKILL. The returned run is
+    /// marked [`FleetRun::halted`].
+    #[must_use]
+    pub fn halt_after(mut self, n: u32) -> Self {
+        self.halt_after = Some(n);
         self
     }
 
@@ -204,50 +362,80 @@ impl FleetRunner {
         self.config.users
     }
 
-    /// Run the fleet: shard the id range contiguously, drive each shard,
-    /// fold reports and telemetry in shard order.
+    /// Run the fleet: plan the shard ranges, execute them on the selected
+    /// backend, fold reports and telemetry in shard order.
     #[must_use]
     pub fn run(&self) -> FleetRun {
-        // Pin the transport and calendar for the whole run even when they
-        // come from the environment: `TransportKind::current()` runs once
-        // per probe and `CalendarKind::current()` once per transfer, and
-        // with no override installed each call is an `env::var` lookup —
-        // pure overhead at population scale. Snapshotting the resolved
-        // kind into the override turns both into one atomic load, without
-        // changing which backend runs (both knobs are output-invariant).
-        let _pin = TransportPin(Some(TransportKind::override_transport(Some(
-            self.transport.unwrap_or_else(TransportKind::current),
-        ))));
-        let _calendar_pin = CalendarPin(Some(CalendarKind::override_calendar(Some(
-            CalendarKind::current(),
-        ))));
-        let _fault_pin = FaultsPin(self.faults.map(|s| FaultSpec::override_faults(Some(s))));
         let users = self.config.users.max(1);
-        // Never more shards than users — empty shards would be harmless
-        // but wasteful (each builds a world).
-        let shards = (self.config.shards.max(1) as u64).min(users) as usize;
-        let results = run_shards(self.mode, shards, |i| {
-            let lo = users * i as u64 / shards as u64;
-            let hi = users * (i as u64 + 1) / shards as u64;
-            run_fleet_shard(self.seed, &self.config, lo..hi, self.telemetry)
+        let shards = plan::effective_shards(users, self.config.shards);
+        // Resolve every output-relevant knob once, up front: the resolved
+        // values go into worker jobs and the checkpoint manifest, so a
+        // resumed or worker-run fleet can never see different ones.
+        let resolved_transport = self.transport.unwrap_or_else(TransportKind::current);
+        let resolved_calendar = CalendarKind::current();
+        let resolved_faults = self.faults.unwrap_or_else(FaultSpec::current);
+        let policy = self.checkpoint_dir.as_ref().map(|dir| CheckpointPolicy {
+            dir: dir.clone(),
+            every_days: self.checkpoint_every.max(1),
+            halt_after: self.halt_after,
         });
-        let mut report = FleetReport::new(self.config.sample);
-        let mut snaps = Vec::with_capacity(shards);
-        let mut timings = Vec::with_capacity(shards);
-        let mut degraded = Vec::with_capacity(shards);
-        for (i, (shard_report, snap, wall_ms)) in results.into_iter().enumerate() {
-            let key = format!("fleet/{i:03}");
-            report.merge(&shard_report);
-            snaps.push((key.clone(), snap));
-            degraded.push((key.clone(), shard_report.degraded));
-            timings.push(FleetShardTiming { key, wall_ms });
+        if let Some(policy) = &policy {
+            let manifest = Manifest {
+                seed: self.seed,
+                fingerprint: checkpoint::run_fingerprint(
+                    self.seed,
+                    &self.config,
+                    self.telemetry,
+                    &resolved_faults,
+                ),
+                shards,
+                every: policy.every_days,
+                config: self.config,
+                telemetry: self.telemetry,
+                faults: resolved_faults,
+            };
+            checkpoint::write_manifest(&policy.dir, &manifest).expect("checkpoint manifest write");
         }
-        FleetRun {
-            report,
-            telemetry: merge_shards(self.telemetry, snaps),
-            timings,
-            degraded,
-        }
+        let plans = plan::plan_shards(users, shards, self.resume.clone());
+        let outcomes = if self.workers > 0 {
+            let job = WorkerJob {
+                seed: self.seed,
+                config: self.config,
+                telemetry: self.telemetry,
+                transport: resolved_transport,
+                calendar: resolved_calendar,
+                faults: resolved_faults,
+                shards: Vec::new(),
+                checkpoint: policy,
+            };
+            worker::run_in_workers(&job, plans, self.workers, self.worker_bin.as_ref())
+        } else {
+            // Pin the transport and calendar for the whole run even when
+            // they come from the environment: `TransportKind::current()`
+            // runs once per probe and `CalendarKind::current()` once per
+            // transfer, and with no override installed each call is an
+            // `env::var` lookup — pure overhead at population scale.
+            // Snapshotting the resolved kind into the override turns both
+            // into one atomic load, without changing which backend runs
+            // (both knobs are output-invariant).
+            let _pin = TransportPin(Some(TransportKind::override_transport(Some(
+                resolved_transport,
+            ))));
+            let _calendar_pin = CalendarPin(Some(CalendarKind::override_calendar(Some(
+                resolved_calendar,
+            ))));
+            let _fault_pin = FaultsPin(self.faults.map(|s| FaultSpec::override_faults(Some(s))));
+            run_shards(self.mode, shards, |i| {
+                run_fleet_shard(
+                    self.seed,
+                    &self.config,
+                    plans[i].clone(),
+                    self.telemetry,
+                    policy.as_ref(),
+                )
+            })
+        };
+        merge_outcomes(self.config.sample, self.telemetry, outcomes)
     }
 }
 
@@ -284,454 +472,5 @@ impl Drop for FaultsPin {
         if let Some(prev) = self.0.take() {
             FaultSpec::override_faults(prev);
         }
-    }
-}
-
-/// Tally a successful probe's fault-plane outcome. Gated on the fault
-/// plane being active so undisturbed runs keep an all-zero summary (and
-/// therefore unchanged report bytes).
-fn count_delivered(report: &mut FleetReport, net: &Network, status: MeasureStatus) {
-    if !net.faults_enabled() {
-        return;
-    }
-    if status == MeasureStatus::Failover {
-        report.degraded.failover += 1;
-    } else {
-        report.degraded.ok += 1;
-    }
-}
-
-/// Tally a failed probe. `NoTarget` is a scenario gap, not a fault, and
-/// stays out of the summary just like in campaign records.
-fn count_failed(report: &mut FleetReport, net: &Network, e: &MeasureError) {
-    if matches!(e, MeasureError::NoTarget) || !net.faults_enabled() {
-        return;
-    }
-    match e.status() {
-        MeasureStatus::Timeout => report.degraded.timeout += 1,
-        _ => report.degraded.unreachable += 1,
-    }
-}
-
-/// The fixed per-country stage every shard builds identically: two eSIM
-/// attachments (capturing the §4.1 provider alternation) plus their
-/// precomputed probe targets and resolver plans — everything session-
-/// invariant is resolved here once instead of once per session.
-struct CountrySlot {
-    endpoints: [Endpoint; 2],
-    rtt_targets: [Option<NodeId>; 2],
-    dns_plans: [ResolverPlan; 2],
-}
-
-/// One seller's shelf for a destination, preprocessed for the per-leg
-/// purchase decision: offers sorted by value (per-GB price, catalogue
-/// order breaking ties) so "cheapest plan covering the need" is a short
-/// forward scan with no per-leg divisions, plus the precomputed
-/// biggest-plan fallback.
-struct OfferLane {
-    /// `(data_gb, offer index)` sorted ascending by `(per_gb, index)`.
-    by_value: Vec<(f64, usize)>,
-    /// The biggest plan on the shelf (ties break on catalogue order).
-    biggest: Option<usize>,
-}
-
-impl OfferLane {
-    fn build(offers: &[EsimOffer], idxs: impl Iterator<Item = usize>) -> Self {
-        let mut by_value: Vec<(f64, f64, usize)> = idxs
-            .map(|i| (offers[i].per_gb(), offers[i].data_gb, i))
-            .collect();
-        by_value.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
-        let biggest = by_value
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.2.cmp(&a.2)))
-            .map(|&(_, _, i)| i);
-        OfferLane {
-            by_value: by_value.into_iter().map(|(_, gb, i)| (gb, i)).collect(),
-            biggest,
-        }
-    }
-
-    /// The cheapest per-GB plan covering `need_gb`, else the biggest plan.
-    fn pick(&self, need_gb: f64) -> Option<usize> {
-        self.by_value
-            .iter()
-            .find(|&&(gb, _)| gb >= need_gb)
-            .map(|&(_, i)| i)
-            .or(self.biggest)
-    }
-}
-
-/// Offer lanes for one destination, split by seller for the purchase
-/// preference draw.
-struct CountryOffers {
-    airalo: OfferLane,
-    all: OfferLane,
-}
-
-/// Pick an offer deterministically: prefer Airalo's shelf when the user
-/// does (and it can cover the need), then the cheapest per-GB plan that
-/// covers the need, falling back to the biggest plan on the shelf. Ties
-/// break on catalogue order.
-fn choose_offer<'m>(
-    offers: &'m [EsimOffer],
-    shelf: &CountryOffers,
-    prefer_airalo: bool,
-    need_gb: f64,
-) -> Option<&'m EsimOffer> {
-    if prefer_airalo {
-        if let Some(i) = shelf.airalo.pick(need_gb) {
-            return Some(&offers[i]);
-        }
-    }
-    shelf.all.pick(need_gb).map(|i| &offers[i])
-}
-
-/// Append `v` in decimal without going through the `fmt` machinery —
-/// label derivation is hot enough at population scale that `Display`'s
-/// formatter setup shows up in profiles.
-fn push_dec(buf: &mut String, mut v: u64) {
-    let mut tmp = [0u8; 20];
-    let mut i = tmp.len();
-    loop {
-        i -= 1;
-        tmp[i] = b'0' + (v % 10) as u8;
-        v /= 10;
-        if v == 0 {
-            break;
-        }
-    }
-    buf.push_str(std::str::from_utf8(&tmp[i..]).expect("decimal digits are ASCII"));
-}
-
-/// What one session does, drawn from the user's activity stream.
-enum SessionKind {
-    Rtt,
-    Dns,
-    Transfer,
-}
-
-fn draw_kind(rng: &mut SmallRng, mix: SessionMix) -> SessionKind {
-    let roll = rng.gen_range(0..mix.total());
-    if roll < mix.rtt {
-        SessionKind::Rtt
-    } else if roll < mix.rtt + mix.dns {
-        SessionKind::Dns
-    } else {
-        SessionKind::Transfer
-    }
-}
-
-/// Drive one contiguous user range through the stack. Returns the shard's
-/// report, its telemetry snapshot, and its wall-clock milliseconds.
-fn run_fleet_shard(
-    seed: u64,
-    config: &FleetConfig,
-    range: std::ops::Range<u64>,
-    telemetry: TelemetryMode,
-) -> (FleetReport, roam_telemetry::TelemetrySnapshot, f64) {
-    let started = Instant::now();
-    let mut world = World::build(seed);
-    world.net.set_telemetry_mode(telemetry);
-    let market = Market::generate(seed);
-    let countries = world.measured_countries();
-
-    // Stage 1: the fixed endpoint pool, identical in every shard. Attach
-    // first (mutable world), then resolve probe targets (immutable).
-    let mut pool_eps: Vec<[Endpoint; 2]> = Vec::with_capacity(countries.len());
-    for &country in &countries {
-        pool_eps.push([world.attach_esim(country), world.attach_esim(country)]);
-    }
-    let pool: Vec<CountrySlot> = pool_eps
-        .into_iter()
-        .map(|endpoints| {
-            let rtt_targets = [0, 1].map(|i| {
-                world.internet.targets.nearest(
-                    &world.net,
-                    Service::Google,
-                    endpoints[i].att.breakout_city,
-                )
-            });
-            let dns_plans = [0, 1]
-                .map(|i| ResolverPlan::new(&world.net, &endpoints[i], &world.internet.targets));
-            CountrySlot {
-                endpoints,
-                rtt_targets,
-                dns_plans,
-            }
-        })
-        .collect();
-    let shelves: Vec<CountryOffers> = countries
-        .iter()
-        .map(|&c| {
-            let on_shelf: Vec<usize> = market
-                .offers()
-                .iter()
-                .enumerate()
-                .filter(|(_, o)| o.country == c)
-                .map(|(i, _)| i)
-                .collect();
-            let airalo = OfferLane::build(
-                market.offers(),
-                on_shelf
-                    .iter()
-                    .copied()
-                    .filter(|&i| market.offers()[i].provider == market.airalo()),
-            );
-            let all = OfferLane::build(market.offers(), on_shelf.into_iter());
-            CountryOffers { airalo, all }
-        })
-        .collect();
-    let country_index = |c: Country| {
-        countries
-            .iter()
-            .position(|&x| x == c)
-            .expect("legs only visit measured countries")
-    };
-
-    // Stage 2: stream the users. No per-record buffering — every
-    // observation lands in a sketch, a counter or the reservoir.
-    // Transfers batch per user: their durations are discarded (see the
-    // comment at the push site), so the specs accumulate and run through
-    // the transport in one `transfer_ms_batch` call per user.
-    let transport = TransportKind::current().transport();
-    let mut pending_transfers: Vec<TransferSpec> = Vec::new();
-    let mut transfer_out: Vec<f64> = Vec::new();
-    let mut report = FleetReport::new(config.sample);
-    // Reusable label buffer: every per-user / per-session key is built by
-    // appending into this one allocation.
-    let mut label = String::with_capacity(48);
-    for uid in range {
-        let profile = synthesize(seed, UserId(uid), &countries, config.days);
-        label.clear();
-        label.push_str("fleet/act/");
-        push_dec(&mut label, uid);
-        let mut act = SmallRng::seed_from_u64(flow_seed(seed, &label));
-        report.count_user(profile.class);
-        world.net.telemetry_mut().add(Counter::FleetUsers, 1);
-        let mut spend_micro = 0u128;
-        for (li, leg) in profile.legs.iter().enumerate() {
-            let ci = country_index(leg.country);
-            let slot = &pool[ci];
-            let prefer_airalo = act.gen_bool(0.6);
-            let offer = choose_offer(
-                market.offers(),
-                &shelves[ci],
-                prefer_airalo,
-                profile.need_gb,
-            )
-            .expect("every measured country has offers");
-            let price = market.price_on_day(offer, leg.arrival_day);
-            spend_micro += (price * 1e6).round() as u128;
-            report.purchases += 1;
-            report.price_per_gb.observe(price / offer.data_gb);
-            world.net.telemetry_mut().add(Counter::FleetPurchases, 1);
-            let which = (uid % 2) as usize;
-            let ep = &slot.endpoints[which];
-            let target = slot.rtt_targets[which];
-            // The per-session label only varies in its trailing session
-            // index — build the prefix once per leg.
-            label.clear();
-            label.push_str("fleet/u");
-            push_dec(&mut label, uid);
-            label.push_str("/l");
-            push_dec(&mut label, li as u64);
-            label.push_str("/s");
-            let prefix_len = label.len();
-            for s in 0..leg.sessions {
-                report.sessions += 1;
-                world.net.telemetry_mut().add(Counter::FleetSessions, 1);
-                label.truncate(prefix_len);
-                push_dec(&mut label, u64::from(s));
-                match draw_kind(&mut act, config.mix) {
-                    SessionKind::Rtt => {
-                        let Some(t) = target else {
-                            report.lost_sessions += 1;
-                            continue;
-                        };
-                        let mut probe = ep.probe(&mut world.net, &label);
-                        match probe.rtt_checked(t) {
-                            Ok(sample) => {
-                                report.rtt_probes += 1;
-                                report.rtt_ms.observe(sample.rtt_ms);
-                                count_delivered(&mut report, &world.net, sample.status());
-                            }
-                            Err(e) => {
-                                report.lost_sessions += 1;
-                                count_failed(&mut report, &world.net, &e);
-                            }
-                        }
-                    }
-                    SessionKind::Dns => {
-                        match resolve_timing(&mut world.net, ep, &slot.dns_plans[which], &label) {
-                            Ok(r) => {
-                                report.dns_lookups += 1;
-                                report.dns_ms.observe(r.lookup_ms);
-                                count_delivered(&mut report, &world.net, r.status);
-                            }
-                            Err(e) => {
-                                report.lost_sessions += 1;
-                                count_failed(&mut report, &world.net, &e);
-                            }
-                        }
-                    }
-                    SessionKind::Transfer => {
-                        let mb = match profile.class {
-                            TravelerClass::Tourist => act.gen_range(1.0..200.0),
-                            TravelerClass::Business => act.gen_range(5.0..500.0),
-                            TravelerClass::IotDevice => act.gen_range(0.05..1.0),
-                        };
-                        let Some(t) = target else {
-                            report.lost_sessions += 1;
-                            continue;
-                        };
-                        let mut probe = ep.probe(&mut world.net, &label);
-                        let sample = match probe.rtt_checked(t) {
-                            Ok(s) => s,
-                            Err(e) => {
-                                report.lost_sessions += 1;
-                                count_failed(&mut report, &world.net, &e);
-                                continue;
-                            }
-                        };
-                        let cqi = ep.channel.sample(probe.rng());
-                        // The transfer runs through the selected transport
-                        // to exercise it, but its *duration* is discarded:
-                        // the backends agree only to sub-microsecond
-                        // rounding, and the report must not depend on
-                        // `ROAM_TRANSPORT`. The drawn size is the recorded
-                        // observable — so the spec only queues here and
-                        // the batch runs once per user.
-                        world
-                            .net
-                            .telemetry_mut()
-                            .add(Counter::TransferBytes, (mb * 1e6) as u64);
-                        pending_transfers.push(TransferSpec {
-                            bytes: mb * 1e6,
-                            rtt_ms: sample.rtt_ms,
-                            policy_rate_mbps: ep.effective_down_mbps(cqi),
-                            loss: ep.loss,
-                            setup_rtts: 1.0,
-                            parallel: 1,
-                        });
-                        report.transfers += 1;
-                        report.session_mb.observe(mb);
-                        count_delivered(&mut report, &world.net, sample.status());
-                    }
-                }
-            }
-        }
-        if !pending_transfers.is_empty() {
-            transport.transfer_ms_batch(&pending_transfers, &mut transfer_out);
-            pending_transfers.clear();
-        }
-        report.spend_micro_usd += spend_micro;
-        label.clear();
-        label.push_str("fleet/sample/");
-        push_dec(&mut label, uid);
-        report.journeys.offer(
-            flow_seed(seed, &label),
-            uid,
-            JourneySample {
-                uid,
-                class: profile.class.label(),
-                legs: profile.legs.len() as u32,
-                first: profile.legs[0].country.alpha3(),
-                spend_micro_usd: spend_micro,
-            },
-        );
-    }
-    let snap = world.net.take_telemetry();
-    (report, snap, started.elapsed().as_secs_f64() * 1e3)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// The pre-lane `choose_offer`, kept as the reference model: filter /
-    /// `min_by` / `max_by` straight over the index lists.
-    fn reference_choose<'m>(
-        offers: &'m [EsimOffer],
-        airalo: &[usize],
-        all: &[usize],
-        prefer_airalo: bool,
-        need_gb: f64,
-    ) -> Option<&'m EsimOffer> {
-        let pick = |idxs: &[usize]| -> Option<usize> {
-            let covering = idxs
-                .iter()
-                .filter(|&&i| offers[i].data_gb >= need_gb)
-                .min_by(|&&a, &&b| {
-                    offers[a]
-                        .per_gb()
-                        .total_cmp(&offers[b].per_gb())
-                        .then(a.cmp(&b))
-                });
-            covering
-                .or_else(|| {
-                    idxs.iter().max_by(|&&a, &&b| {
-                        offers[a]
-                            .data_gb
-                            .total_cmp(&offers[b].data_gb)
-                            .then(b.cmp(&a))
-                    })
-                })
-                .copied()
-        };
-        if prefer_airalo {
-            if let Some(i) = pick(airalo) {
-                return Some(&offers[i]);
-            }
-        }
-        pick(all).map(|i| &offers[i])
-    }
-
-    #[test]
-    fn offer_lanes_match_the_reference_scan() {
-        let market = Market::generate(42);
-        let offers = market.offers();
-        for country in roam_geo::Country::MEASURED {
-            let all_idx: Vec<usize> = offers
-                .iter()
-                .enumerate()
-                .filter(|(_, o)| o.country == country)
-                .map(|(i, _)| i)
-                .collect();
-            let airalo_idx: Vec<usize> = all_idx
-                .iter()
-                .copied()
-                .filter(|&i| offers[i].provider == market.airalo())
-                .collect();
-            let shelf = CountryOffers {
-                airalo: OfferLane::build(offers, airalo_idx.iter().copied()),
-                all: OfferLane::build(offers, all_idx.iter().copied()),
-            };
-            // Sweep needs across and beyond every shelf size, both
-            // preference branches.
-            for tenth_gb in 0..400u32 {
-                let need = f64::from(tenth_gb) / 10.0;
-                for prefer in [false, true] {
-                    let fast = choose_offer(offers, &shelf, prefer, need);
-                    let slow = reference_choose(offers, &airalo_idx, &all_idx, prefer, need);
-                    assert_eq!(
-                        fast.map(|o| o as *const _),
-                        slow.map(|o| o as *const _),
-                        "{country:?} need={need} prefer={prefer}"
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn empty_lane_yields_no_offer() {
-        let market = Market::generate(7);
-        let offers = market.offers();
-        let shelf = CountryOffers {
-            airalo: OfferLane::build(offers, std::iter::empty()),
-            all: OfferLane::build(offers, std::iter::empty()),
-        };
-        assert!(choose_offer(offers, &shelf, true, 1.0).is_none());
-        assert!(choose_offer(offers, &shelf, false, 1.0).is_none());
     }
 }

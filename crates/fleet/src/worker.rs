@@ -1,0 +1,484 @@
+//! The multi-process shard backend: worker processes execute disjoint
+//! shard ranges and stream partial state back over pipes.
+//!
+//! ## Protocol
+//!
+//! One round trip, all sealed [`roam_codec`] frames:
+//!
+//! 1. The parent spawns `fleet_worker` processes, writes one
+//!    [`KIND_JOB`] frame to each worker's stdin, and closes it. The job
+//!    carries everything the worker needs — seed, sizing, telemetry
+//!    mode, the *resolved* transport/calendar/fault knobs (workers never
+//!    consult the environment, so parent and workers can't diverge), its
+//!    striped shard list with per-shard resume states, and the
+//!    checkpoint policy.
+//! 2. The worker runs its shards sequentially and writes one
+//!    [`KIND_RESULT`] frame per shard to stdout, then exits 0.
+//! 3. The parent reads result frames to EOF, checks exit statuses, and
+//!    hands the outcomes to the merger — the same merger the in-process
+//!    backend uses, so `FleetReport::render()` is byte-identical across
+//!    backends.
+//!
+//! Worker stdout carries nothing but result frames; anything human-
+//! readable a worker has to say goes to stderr (inherited from the
+//! parent). That keeps `fleet_smoke`'s stdout-purity contract intact in
+//! worker mode.
+
+use crate::checkpoint::{
+    decode_config, decode_faults, encode_config, encode_faults, telemetry_from_wire,
+    telemetry_to_wire, CheckpointPolicy, ShardState, CKPT_VERSION, KIND_JOB, KIND_RESULT,
+};
+use crate::config::FleetConfig;
+use crate::exec::{run_fleet_shard, ShardOutcome, ShardSpec};
+use crate::report::FleetReport;
+use roam_codec::{CodecError, Decoder, Encoder, Frame};
+use roam_netsim::{CalendarKind, FaultSpec, TransportKind};
+use roam_telemetry::{TelemetryMode, TelemetrySnapshot};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Field tags for the job payload.
+mod job_tag {
+    pub const SEED: u32 = 1;
+    pub const CONFIG: u32 = 2;
+    pub const TELEMETRY: u32 = 3;
+    pub const TRANSPORT: u32 = 4;
+    pub const CALENDAR: u32 = 5;
+    pub const FAULTS: u32 = 6;
+    pub const SHARD: u32 = 7;
+    pub const CKPT_DIR: u32 = 8;
+    pub const CKPT_EVERY: u32 = 9;
+    pub const CKPT_HALT: u32 = 10;
+}
+
+/// Field tags for a shard entry inside a job.
+mod job_shard_tag {
+    pub const INDEX: u32 = 1;
+    pub const LO: u32 = 2;
+    pub const HI: u32 = 3;
+    pub const RESUME: u32 = 4;
+}
+
+/// Field tags for the result payload.
+mod result_tag {
+    pub const INDEX: u32 = 1;
+    pub const REPORT: u32 = 2;
+    pub const TELEMETRY: u32 = 3;
+    pub const WALL_MS: u32 = 4;
+    pub const COMPLETED: u32 = 5;
+}
+
+/// Everything one worker process needs to run its shards.
+#[derive(Debug)]
+pub(crate) struct WorkerJob {
+    pub seed: u64,
+    pub config: FleetConfig,
+    pub telemetry: TelemetryMode,
+    pub transport: TransportKind,
+    pub calendar: CalendarKind,
+    pub faults: FaultSpec,
+    pub shards: Vec<ShardSpec>,
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+impl WorkerJob {
+    fn to_frame(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(job_tag::SEED, self.seed);
+        e.section(job_tag::CONFIG, |se| encode_config(se, &self.config));
+        e.u64(job_tag::TELEMETRY, telemetry_to_wire(self.telemetry));
+        e.u64(
+            job_tag::TRANSPORT,
+            match self.transport {
+                TransportKind::ClosedForm => 0,
+                TransportKind::Engine => 1,
+            },
+        );
+        e.u64(
+            job_tag::CALENDAR,
+            match self.calendar {
+                CalendarKind::Wheel => 0,
+                CalendarKind::Heap => 1,
+            },
+        );
+        e.section(job_tag::FAULTS, |se| encode_faults(se, &self.faults));
+        for shard in &self.shards {
+            e.section(job_tag::SHARD, |se| {
+                se.u64(job_shard_tag::INDEX, shard.index as u64);
+                se.u64(job_shard_tag::LO, shard.lo);
+                se.u64(job_shard_tag::HI, shard.hi);
+                if let Some(state) = &shard.resume {
+                    se.section(job_shard_tag::RESUME, |re| state.encode_fields(re));
+                }
+            });
+        }
+        if let Some(policy) = &self.checkpoint {
+            e.str(job_tag::CKPT_DIR, &policy.dir.to_string_lossy());
+            e.u64(job_tag::CKPT_EVERY, policy.every_days);
+            if let Some(halt) = policy.halt_after {
+                e.u64(job_tag::CKPT_HALT, u64::from(halt));
+            }
+        }
+        e.into_frame(KIND_JOB, CKPT_VERSION)
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(payload);
+        let mut seed = None;
+        let mut config = None;
+        let mut telemetry = TelemetryMode::Off;
+        let mut transport = TransportKind::ClosedForm;
+        let mut calendar = CalendarKind::Wheel;
+        let mut faults = None;
+        let mut shards = Vec::new();
+        let (mut dir, mut every, mut halt) = (None, None, None);
+        while let Some((tag, v)) = d.next_field()? {
+            match tag {
+                job_tag::SEED => seed = Some(v.as_u64(tag)?),
+                job_tag::CONFIG => config = Some(decode_config(&mut v.as_section(tag)?)?),
+                job_tag::TELEMETRY => telemetry = telemetry_from_wire(v.as_u64(tag)?)?,
+                job_tag::TRANSPORT => {
+                    transport = match v.as_u64(tag)? {
+                        0 => TransportKind::ClosedForm,
+                        1 => TransportKind::Engine,
+                        _ => return Err(CodecError::BadValue("transport kind")),
+                    };
+                }
+                job_tag::CALENDAR => {
+                    calendar = match v.as_u64(tag)? {
+                        0 => CalendarKind::Wheel,
+                        1 => CalendarKind::Heap,
+                        _ => return Err(CodecError::BadValue("calendar kind")),
+                    };
+                }
+                job_tag::FAULTS => faults = Some(decode_faults(&mut v.as_section(tag)?)?),
+                job_tag::SHARD => {
+                    let mut sd = v.as_section(tag)?;
+                    let (mut index, mut lo, mut hi, mut resume) = (None, None, None, None);
+                    while let Some((stag, sv)) = sd.next_field()? {
+                        match stag {
+                            job_shard_tag::INDEX => {
+                                index = Some(
+                                    usize::try_from(sv.as_u64(stag)?)
+                                        .map_err(|_| CodecError::BadValue("shard index"))?,
+                                );
+                            }
+                            job_shard_tag::LO => lo = Some(sv.as_u64(stag)?),
+                            job_shard_tag::HI => hi = Some(sv.as_u64(stag)?),
+                            job_shard_tag::RESUME => {
+                                resume =
+                                    Some(ShardState::decode_fields(&mut sv.as_section(stag)?)?);
+                            }
+                            _ => {}
+                        }
+                    }
+                    shards.push(ShardSpec {
+                        index: index.ok_or(CodecError::MissingField("shard index"))?,
+                        lo: lo.ok_or(CodecError::MissingField("shard lo"))?,
+                        hi: hi.ok_or(CodecError::MissingField("shard hi"))?,
+                        resume,
+                    });
+                }
+                job_tag::CKPT_DIR => dir = Some(PathBuf::from(v.as_str(tag)?)),
+                job_tag::CKPT_EVERY => every = Some(v.as_u64(tag)?),
+                job_tag::CKPT_HALT => {
+                    halt = Some(
+                        u32::try_from(v.as_u64(tag)?)
+                            .map_err(|_| CodecError::BadValue("halt_after"))?,
+                    );
+                }
+                _ => {}
+            }
+        }
+        let checkpoint = match (dir, every) {
+            (Some(dir), Some(every_days)) => Some(CheckpointPolicy {
+                dir,
+                every_days,
+                halt_after: halt,
+            }),
+            (None, None) => None,
+            _ => return Err(CodecError::MissingField("checkpoint policy")),
+        };
+        Ok(WorkerJob {
+            seed: seed.ok_or(CodecError::MissingField("seed"))?,
+            config: config.ok_or(CodecError::MissingField("config"))?,
+            telemetry,
+            transport,
+            calendar,
+            faults: faults.ok_or(CodecError::MissingField("faults"))?,
+            shards,
+            checkpoint,
+        })
+    }
+}
+
+fn result_frame(outcome: &ShardOutcome) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(result_tag::INDEX, outcome.index as u64);
+    e.section(result_tag::REPORT, |se| outcome.report.encode_fields(se));
+    e.section(result_tag::TELEMETRY, |se| outcome.snap.encode_fields(se));
+    e.f64(result_tag::WALL_MS, outcome.wall_ms);
+    e.u64(result_tag::COMPLETED, u64::from(outcome.completed));
+    e.into_frame(KIND_RESULT, CKPT_VERSION)
+}
+
+fn decode_result(payload: &[u8]) -> Result<ShardOutcome, CodecError> {
+    let mut d = Decoder::new(payload);
+    let (mut index, mut report, mut snap) = (None, None, None);
+    let mut wall_ms = 0.0;
+    let mut completed = true;
+    while let Some((tag, v)) = d.next_field()? {
+        match tag {
+            result_tag::INDEX => {
+                index = Some(
+                    usize::try_from(v.as_u64(tag)?)
+                        .map_err(|_| CodecError::BadValue("shard index"))?,
+                );
+            }
+            result_tag::REPORT => {
+                report = Some(FleetReport::decode_fields(&mut v.as_section(tag)?)?)
+            }
+            result_tag::TELEMETRY => {
+                snap = Some(TelemetrySnapshot::decode_fields(&mut v.as_section(tag)?)?);
+            }
+            result_tag::WALL_MS => wall_ms = v.as_f64(tag)?,
+            result_tag::COMPLETED => completed = v.as_u64(tag)? != 0,
+            _ => {}
+        }
+    }
+    Ok(ShardOutcome {
+        index: index.ok_or(CodecError::MissingField("result index"))?,
+        report: report.ok_or(CodecError::MissingField("result report"))?,
+        snap: snap.ok_or(CodecError::MissingField("result telemetry"))?,
+        wall_ms,
+        completed,
+    })
+}
+
+/// Locate the worker binary: `ROAM_FLEET_WORKER_BIN`, an explicit
+/// builder override, or `fleet_worker` next to the current executable
+/// (where cargo places sibling bin targets).
+pub(crate) fn find_worker_bin(explicit: Option<&PathBuf>) -> PathBuf {
+    if let Some(path) = explicit {
+        return path.clone();
+    }
+    if let Ok(path) = std::env::var("ROAM_FLEET_WORKER_BIN") {
+        return PathBuf::from(path);
+    }
+    let name = format!("fleet_worker{}", std::env::consts::EXE_SUFFIX);
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(dir) = exe.parent() {
+            let sibling = dir.join(&name);
+            if sibling.exists() {
+                return sibling;
+            }
+            // Test binaries live one level down, in target/<profile>/deps.
+            if let Some(parent) = dir.parent() {
+                let up = parent.join(&name);
+                if up.exists() {
+                    return up;
+                }
+            }
+        }
+    }
+    PathBuf::from(name)
+}
+
+/// Parent side: stripe the shard plans over `workers` processes, ship a
+/// job to each, and collect every shard outcome.
+///
+/// # Panics
+/// When a worker cannot be spawned, dies, exits nonzero, or returns a
+/// protocol-violating stream — a worker failure is unrecoverable for the
+/// run (partial state is only on disk if checkpointing was on).
+pub(crate) fn run_in_workers(
+    job_proto: &WorkerJob,
+    plans: Vec<ShardSpec>,
+    workers: usize,
+    worker_bin: Option<&PathBuf>,
+) -> Vec<ShardOutcome> {
+    let bin = find_worker_bin(worker_bin);
+    let stripes = crate::plan::stripe(plans.len(), workers);
+    let mut plans: Vec<Option<ShardSpec>> = plans.into_iter().map(Some).collect();
+    let mut children: Vec<Child> = Vec::with_capacity(stripes.len());
+    // Spawn all workers and ship their jobs up front; jobs are read
+    // before any worker writes results, so the pipes can't interlock.
+    for stripe in &stripes {
+        let shards: Vec<ShardSpec> = stripe
+            .iter()
+            .map(|&i| plans[i].take().expect("each shard striped once"))
+            .collect();
+        let job = WorkerJob {
+            seed: job_proto.seed,
+            config: job_proto.config,
+            telemetry: job_proto.telemetry,
+            transport: job_proto.transport,
+            calendar: job_proto.calendar,
+            faults: job_proto.faults,
+            shards,
+            checkpoint: job_proto.checkpoint.clone(),
+        };
+        let mut child = Command::new(&bin)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawning fleet worker {}: {e}", bin.display()));
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        stdin
+            .write_all(&job.to_frame())
+            .and_then(|()| stdin.flush())
+            .expect("shipping worker job");
+        drop(stdin); // EOF tells the worker the job is complete.
+        children.push(child);
+    }
+    let mut outcomes = Vec::with_capacity(plans.len());
+    for (child_idx, mut child) in children.into_iter().enumerate() {
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        let expected = stripes[child_idx].len();
+        let mut got = 0;
+        while let Some(bytes) = Frame::read_from(&mut stdout).expect("reading worker results") {
+            let (frame, _) = Frame::parse(&bytes).expect("worker result frame");
+            assert_eq!(frame.kind, KIND_RESULT, "unexpected frame kind from worker");
+            assert_eq!(
+                frame.version, CKPT_VERSION,
+                "worker speaks a different version"
+            );
+            outcomes.push(decode_result(frame.payload).expect("worker result payload"));
+            got += 1;
+        }
+        let status = child.wait().expect("waiting for worker");
+        assert!(
+            status.success(),
+            "fleet worker {child_idx} exited with {status}"
+        );
+        assert_eq!(
+            got, expected,
+            "fleet worker {child_idx} returned {got} of {expected} shard results"
+        );
+    }
+    outcomes
+}
+
+/// Worker side: the whole child process. Reads one job frame from
+/// `input`, pins the job's resolved knobs process-wide (this process
+/// never reads `ROAM_*`), runs its shards sequentially, and writes one
+/// result frame per shard to `output`.
+///
+/// # Errors
+/// An error message when the job stream is malformed; the caller (the
+/// `fleet_worker` binary) reports it on stderr and exits nonzero.
+pub fn serve(
+    input: &mut impl std::io::Read,
+    output: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let bytes = Frame::read_from(input)
+        .map_err(|e| format!("reading job: {e}"))?
+        .ok_or("empty input: expected one job frame")?;
+    let (frame, _) = Frame::parse(&bytes).map_err(|e| format!("parsing job frame: {e}"))?;
+    if frame.kind != KIND_JOB {
+        return Err(format!("expected job frame, got kind {}", frame.kind));
+    }
+    if frame.version != CKPT_VERSION {
+        return Err(format!(
+            "job format v{} unsupported (worker speaks v{})",
+            frame.version, CKPT_VERSION
+        ));
+    }
+    let job = WorkerJob::decode(frame.payload).map_err(|e| format!("decoding job: {e}"))?;
+    // Pin the resolved knobs for the life of the process. No restore
+    // guards: the process exits when the job is done.
+    TransportKind::override_transport(Some(job.transport));
+    CalendarKind::override_calendar(Some(job.calendar));
+    FaultSpec::override_faults(Some(job.faults));
+    for spec in job.shards {
+        let outcome = run_fleet_shard(
+            job.seed,
+            &job.config,
+            spec,
+            job.telemetry,
+            job.checkpoint.as_ref(),
+        );
+        output
+            .write_all(&result_frame(&outcome))
+            .and_then(|()| output.flush())
+            .map_err(|e| format!("writing shard result: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_round_trips_through_its_frame() {
+        let job = WorkerJob {
+            seed: 42,
+            config: FleetConfig::default(),
+            telemetry: TelemetryMode::Summary,
+            transport: TransportKind::Engine,
+            calendar: CalendarKind::Heap,
+            faults: FaultSpec::heavy(),
+            shards: vec![
+                ShardSpec {
+                    index: 0,
+                    lo: 0,
+                    hi: 50,
+                    resume: None,
+                },
+                ShardSpec {
+                    index: 2,
+                    lo: 100,
+                    hi: 150,
+                    resume: Some(ShardState {
+                        index: 2,
+                        next_uid: 120,
+                        report: FleetReport::new(4),
+                        telemetry: TelemetrySnapshot::default(),
+                    }),
+                },
+            ],
+            checkpoint: Some(CheckpointPolicy {
+                dir: PathBuf::from("/tmp/ckpt"),
+                every_days: 9000,
+                halt_after: Some(1),
+            }),
+        };
+        let frame = job.to_frame();
+        let (parsed, _) = Frame::parse(&frame).expect("job frame parses");
+        assert_eq!(parsed.kind, KIND_JOB);
+        let back = WorkerJob::decode(parsed.payload).expect("job decodes");
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.transport, TransportKind::Engine);
+        assert_eq!(back.calendar, CalendarKind::Heap);
+        assert_eq!(back.shards.len(), 2);
+        assert_eq!(
+            back.shards[1].resume.as_ref().expect("resume").next_uid,
+            120
+        );
+        let policy = back.checkpoint.expect("policy");
+        assert_eq!(policy.every_days, 9000);
+        assert_eq!(policy.halt_after, Some(1));
+    }
+
+    #[test]
+    fn result_round_trips_through_its_frame() {
+        let outcome = ShardOutcome {
+            index: 3,
+            report: FleetReport::new(2),
+            snap: TelemetrySnapshot::default(),
+            wall_ms: 12.5,
+            completed: false,
+        };
+        let frame = result_frame(&outcome);
+        let (parsed, _) = Frame::parse(&frame).expect("result frame parses");
+        assert_eq!(parsed.kind, KIND_RESULT);
+        let back = decode_result(parsed.payload).expect("result decodes");
+        assert_eq!(back.index, 3);
+        assert_eq!(back.report, outcome.report);
+        assert!((back.wall_ms - 12.5).abs() < f64::EPSILON);
+        assert!(!back.completed);
+    }
+}

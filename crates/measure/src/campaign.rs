@@ -246,6 +246,33 @@ impl DegradationSummary {
         self.timeout += other.timeout;
         self.unreachable += other.unreachable;
     }
+
+    /// Write the summary's fields into `e` (roam-codec wire form; tags
+    /// 1–4 = ok/failover/timeout/unreachable, see DESIGN.md §11).
+    pub fn encode_fields(&self, e: &mut roam_codec::Encoder) {
+        e.u64(1, self.ok);
+        e.u64(2, self.failover);
+        e.u64(3, self.timeout);
+        e.u64(4, self.unreachable);
+    }
+
+    /// Rebuild a summary from fields written by
+    /// [`DegradationSummary::encode_fields`]. Absent fields decode as 0
+    /// (the summary is additive, so zero is the honest default) and
+    /// unknown tags are skipped.
+    pub fn decode_fields(d: &mut roam_codec::Decoder) -> Result<Self, roam_codec::CodecError> {
+        let mut out = DegradationSummary::default();
+        while let Some((tag, v)) = d.next_field()? {
+            match tag {
+                1 => out.ok = v.as_u64(tag)?,
+                2 => out.failover = v.as_u64(tag)?,
+                3 => out.timeout = v.as_u64(tag)?,
+                4 => out.unreachable = v.as_u64(tag)?,
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Per-country sample counts, `(physical SIM, eSIM)` — the Table 4 format.

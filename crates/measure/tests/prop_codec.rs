@@ -1,0 +1,52 @@
+//! Property tests for the degradation summary's wire form: the fold that
+//! tells a degraded run from a healthy one must survive checkpoint files
+//! and worker pipes exactly, and decoded shard summaries must merge like
+//! the in-memory originals (including the all-zero empty summary).
+
+use proptest::prelude::*;
+use roam_codec::{Decoder, Encoder};
+use roam_measure::DegradationSummary;
+
+fn arb_summary() -> impl Strategy<Value = DegradationSummary> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+    )
+        .prop_map(|(ok, failover, timeout, unreachable)| DegradationSummary {
+            ok,
+            failover,
+            timeout,
+            unreachable,
+        })
+}
+
+fn round_trip(s: &DegradationSummary) -> DegradationSummary {
+    let mut e = Encoder::new();
+    s.encode_fields(&mut e);
+    let bytes = e.into_bytes();
+    DegradationSummary::decode_fields(&mut Decoder::new(&bytes)).expect("clean round trip")
+}
+
+proptest! {
+    #[test]
+    fn summary_round_trip_is_identity(s in arb_summary()) {
+        prop_assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn decoded_summaries_merge_like_in_memory_ones(a in arb_summary(), b in arb_summary()) {
+        let mut mem = a;
+        mem.merge(b);
+        let mut wire = round_trip(&a);
+        wire.merge(round_trip(&b));
+        prop_assert_eq!(wire, mem);
+        // The empty summary is the merge identity on both sides of the
+        // wire.
+        let empty = round_trip(&DegradationSummary::default());
+        let mut with_empty = wire;
+        with_empty.merge(empty);
+        prop_assert_eq!(with_empty, mem);
+    }
+}

@@ -288,6 +288,170 @@ impl<T: Clone> KeyedReservoir<T> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Wire form: both structures checkpoint to disk and stream across worker
+// pipes in the roam-codec field format. Encoding is verbatim state (the
+// bounds vector itself, not the construction parameters), so a decoded
+// sketch is field-for-field — and therefore merge- and render- —
+// identical to the one that was encoded.
+// ---------------------------------------------------------------------
+
+use roam_codec::{CodecError, Decoder, Encoder};
+
+/// Field tags for [`QuantileSketch`] (see DESIGN.md §11 tag tables).
+mod sketch_tag {
+    pub const BOUND: u32 = 1; // repeated f64
+    pub const GROWTH: u32 = 2; // f64
+    pub const BUCKET: u32 = 3; // repeated u64 (underflow..overflow)
+    pub const COUNT: u32 = 4; // u64
+    pub const SUM_MICRO: u32 = 5; // i128
+    pub const MIN: u32 = 6; // f64 (+inf when empty)
+    pub const MAX: u32 = 7; // f64 (-inf when empty)
+    pub const DROPPED: u32 = 8; // u64
+}
+
+impl QuantileSketch {
+    /// Write every field of the sketch into `e` (no frame, no section —
+    /// the caller chooses the envelope).
+    pub fn encode_fields(&self, e: &mut Encoder) {
+        for &b in &self.bounds {
+            e.f64(sketch_tag::BOUND, b);
+        }
+        e.f64(sketch_tag::GROWTH, self.growth);
+        for &c in &self.counts {
+            e.u64(sketch_tag::BUCKET, c);
+        }
+        e.u64(sketch_tag::COUNT, self.count);
+        e.i128(sketch_tag::SUM_MICRO, self.sum_micro);
+        e.f64(sketch_tag::MIN, self.min);
+        e.f64(sketch_tag::MAX, self.max);
+        e.u64(sketch_tag::DROPPED, self.dropped);
+    }
+
+    /// Rebuild a sketch from fields written by
+    /// [`QuantileSketch::encode_fields`]. Unknown tags are skipped
+    /// (forward compatibility); missing required fields and impossible
+    /// bucket shapes are loud errors.
+    pub fn decode_fields(d: &mut Decoder) -> Result<Self, CodecError> {
+        let mut bounds = Vec::new();
+        let mut counts = Vec::new();
+        let mut growth = None;
+        let mut count = None;
+        let mut sum_micro = None;
+        let mut min = None;
+        let mut max = None;
+        let mut dropped = None;
+        while let Some((tag, v)) = d.next_field()? {
+            match tag {
+                sketch_tag::BOUND => bounds.push(v.as_f64(tag)?),
+                sketch_tag::GROWTH => growth = Some(v.as_f64(tag)?),
+                sketch_tag::BUCKET => counts.push(v.as_u64(tag)?),
+                sketch_tag::COUNT => count = Some(v.as_u64(tag)?),
+                sketch_tag::SUM_MICRO => sum_micro = Some(v.as_i128(tag)?),
+                sketch_tag::MIN => min = Some(v.as_f64(tag)?),
+                sketch_tag::MAX => max = Some(v.as_f64(tag)?),
+                sketch_tag::DROPPED => dropped = Some(v.as_u64(tag)?),
+                _ => {}
+            }
+        }
+        if bounds.is_empty() {
+            return Err(CodecError::MissingField("sketch bounds"));
+        }
+        if counts.len() != bounds.len() + 1 {
+            return Err(CodecError::BadValue("sketch bucket count"));
+        }
+        Ok(QuantileSketch {
+            bounds,
+            growth: growth.ok_or(CodecError::MissingField("sketch growth"))?,
+            counts,
+            count: count.ok_or(CodecError::MissingField("sketch count"))?,
+            sum_micro: sum_micro.ok_or(CodecError::MissingField("sketch sum_micro"))?,
+            min: min.ok_or(CodecError::MissingField("sketch min"))?,
+            max: max.ok_or(CodecError::MissingField("sketch max"))?,
+            dropped: dropped.ok_or(CodecError::MissingField("sketch dropped"))?,
+        })
+    }
+}
+
+/// Field tags for [`KeyedReservoir`].
+mod reservoir_tag {
+    pub const CAP: u32 = 1; // u64
+    pub const ENTRY: u32 = 2; // repeated section
+    pub const PRIORITY: u32 = 1; // u64, inside ENTRY
+    pub const KEY: u32 = 2; // u64, inside ENTRY
+    pub const ITEM: u32 = 3; // section, inside ENTRY (caller-defined)
+}
+
+impl<T: Clone> KeyedReservoir<T> {
+    /// Write the reservoir into `e`; `item` encodes each sample's payload
+    /// into its own section (the reservoir is generic, so the element
+    /// schema belongs to the caller).
+    pub fn encode_fields_with(&self, e: &mut Encoder, item: impl Fn(&mut Encoder, &T)) {
+        e.u64(reservoir_tag::CAP, self.cap as u64);
+        for (p, k, t) in &self.items {
+            e.section(reservoir_tag::ENTRY, |s| {
+                s.u64(reservoir_tag::PRIORITY, *p);
+                s.u64(reservoir_tag::KEY, *k);
+                s.section(reservoir_tag::ITEM, |se| item(se, t));
+            });
+        }
+    }
+
+    /// Rebuild a reservoir from fields written by
+    /// [`KeyedReservoir::encode_fields_with`]; `item` decodes each
+    /// payload section. The `(priority, key)` sort invariant is verified,
+    /// not trusted.
+    pub fn decode_fields_with(
+        d: &mut Decoder,
+        item: impl Fn(&mut Decoder) -> Result<T, CodecError>,
+    ) -> Result<Self, CodecError> {
+        let mut cap = None;
+        let mut items: Vec<(u64, u64, T)> = Vec::new();
+        while let Some((tag, v)) = d.next_field()? {
+            match tag {
+                reservoir_tag::CAP => {
+                    cap = Some(
+                        usize::try_from(v.as_u64(tag)?)
+                            .map_err(|_| CodecError::BadValue("reservoir cap"))?,
+                    );
+                }
+                reservoir_tag::ENTRY => {
+                    let mut s = v.as_section(tag)?;
+                    let mut priority = None;
+                    let mut key = None;
+                    let mut payload = None;
+                    while let Some((t2, v2)) = s.next_field()? {
+                        match t2 {
+                            reservoir_tag::PRIORITY => priority = Some(v2.as_u64(t2)?),
+                            reservoir_tag::KEY => key = Some(v2.as_u64(t2)?),
+                            reservoir_tag::ITEM => {
+                                let mut se = v2.as_section(t2)?;
+                                payload = Some(item(&mut se)?);
+                            }
+                            _ => {}
+                        }
+                    }
+                    let p = priority.ok_or(CodecError::MissingField("reservoir priority"))?;
+                    let k = key.ok_or(CodecError::MissingField("reservoir key"))?;
+                    let t = payload.ok_or(CodecError::MissingField("reservoir item"))?;
+                    if let Some((lp, lk, _)) = items.last() {
+                        if (*lp, *lk) >= (p, k) {
+                            return Err(CodecError::BadValue("reservoir order"));
+                        }
+                    }
+                    items.push((p, k, t));
+                }
+                _ => {}
+            }
+        }
+        let cap = cap.ok_or(CodecError::MissingField("reservoir cap"))?;
+        if items.len() > cap {
+            return Err(CodecError::BadValue("reservoir size"));
+        }
+        Ok(KeyedReservoir { cap, items })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,5 +611,53 @@ mod tests {
         let mut r = KeyedReservoir::new(0);
         r.offer(1, 1, ());
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn sketch_round_trips_through_the_codec() {
+        for values in [&[][..], &[2.0, 0.01, 9999.0, 17.5][..]] {
+            let s = filled(values);
+            let mut e = Encoder::new();
+            s.encode_fields(&mut e);
+            let bytes = e.into_bytes();
+            let back =
+                QuantileSketch::decode_fields(&mut Decoder::new(&bytes)).expect("clean round trip");
+            assert_eq!(s, back);
+        }
+    }
+
+    #[test]
+    fn sketch_decode_rejects_malformed_state() {
+        let s = filled(&[3.0]);
+        let mut e = Encoder::new();
+        s.encode_fields(&mut e);
+        // Drop one bucket field: counts.len() != bounds.len() + 1.
+        let mut skewed = Encoder::new();
+        s.encode_fields(&mut skewed);
+        let mut bytes = skewed.into_bytes();
+        bytes.truncate(bytes.len() - 2); // chop the trailing dropped field
+        assert!(QuantileSketch::decode_fields(&mut Decoder::new(&bytes)).is_err());
+        // Empty input: required fields missing.
+        assert_eq!(
+            QuantileSketch::decode_fields(&mut Decoder::new(&[])).unwrap_err(),
+            CodecError::MissingField("sketch bounds")
+        );
+    }
+
+    #[test]
+    fn reservoir_round_trips_through_the_codec() {
+        let mut r = KeyedReservoir::new(3);
+        for (p, k) in [(50u64, 1u64), (10, 2), (40, 3), (20, 4)] {
+            r.offer(p, k, k * 11);
+        }
+        let mut e = Encoder::new();
+        r.encode_fields_with(&mut e, |se, item| se.u64(1, *item));
+        let bytes = e.into_bytes();
+        let back = KeyedReservoir::decode_fields_with(&mut Decoder::new(&bytes), |se| {
+            let (tag, v) = se.next_field()?.ok_or(CodecError::MissingField("item"))?;
+            v.as_u64(tag)
+        })
+        .expect("clean round trip");
+        assert_eq!(r, back);
     }
 }

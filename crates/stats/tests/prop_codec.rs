@@ -1,0 +1,117 @@
+//! Property tests for the streaming sketches' wire form: a sketch or
+//! reservoir that travels encode→decode (a checkpoint file, a worker
+//! pipe) must come back *field-for-field* identical — and, the property
+//! that checkpoint/resume actually rests on, merging decoded shards must
+//! produce exactly the same state as merging the in-memory originals.
+//! Non-finite observations and empty aggregates are part of the domain:
+//! the sketch records non-finite values in `dropped` and an empty sketch
+//! carries ±inf min/max, all of which must survive the round trip.
+
+use proptest::prelude::*;
+use roam_codec::{CodecError, Decoder, Encoder};
+use roam_stats::{KeyedReservoir, QuantileSketch};
+
+fn arb_observation() -> impl Strategy<Value = f64> {
+    // Finite arm repeated for weight: non-finite values stay a minority
+    // of each stream, as in a real run, but every case still sees some.
+    prop_oneof![
+        1e-3f64..1e6,
+        1e-3f64..1e6,
+        1e-3f64..1e6,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::log_spaced(1e-2, 1e5, 10);
+    for &v in values {
+        s.observe(v);
+    }
+    s
+}
+
+fn round_trip_sketch(s: &QuantileSketch) -> QuantileSketch {
+    let mut e = Encoder::new();
+    s.encode_fields(&mut e);
+    let bytes = e.into_bytes();
+    QuantileSketch::decode_fields(&mut Decoder::new(&bytes)).expect("clean round trip")
+}
+
+fn round_trip_reservoir(r: &KeyedReservoir<u64>) -> KeyedReservoir<u64> {
+    let mut e = Encoder::new();
+    r.encode_fields_with(&mut e, |se, item| se.u64(1, *item));
+    let bytes = e.into_bytes();
+    KeyedReservoir::decode_fields_with(&mut Decoder::new(&bytes), |se| {
+        let (tag, v) = se.next_field()?.ok_or(CodecError::MissingField("item"))?;
+        v.as_u64(tag)
+    })
+    .expect("clean round trip")
+}
+
+proptest! {
+    #[test]
+    fn sketch_round_trip_is_identity(
+        xs in proptest::collection::vec(arb_observation(), 0..200),
+    ) {
+        let s = sketch_of(&xs);
+        prop_assert_eq!(&round_trip_sketch(&s), &s);
+    }
+
+    #[test]
+    fn decoded_sketch_shards_merge_like_in_memory_shards(
+        xs in proptest::collection::vec(arb_observation(), 0..200),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let cut = ((xs.len() as f64) * cut_frac) as usize;
+        let left = sketch_of(&xs[..cut]);
+        let right = sketch_of(&xs[cut..]);
+        // In-memory merge of the live shards...
+        let mut mem = left.clone();
+        mem.merge(&right);
+        // ...equals the merge of shards that crossed the wire.
+        let mut wire = round_trip_sketch(&left);
+        wire.merge(&round_trip_sketch(&right));
+        prop_assert_eq!(&wire, &mem);
+        // And equals the single-stream sketch (partition invariance
+        // survives serialization).
+        prop_assert_eq!(&wire, &sketch_of(&xs));
+    }
+
+    #[test]
+    fn reservoir_round_trip_is_identity(
+        entries in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..120),
+        cap in 0usize..16,
+    ) {
+        let mut r = KeyedReservoir::new(cap);
+        for &(p, k) in &entries {
+            r.offer(p, k, p ^ k);
+        }
+        prop_assert_eq!(&round_trip_reservoir(&r), &r);
+    }
+
+    #[test]
+    fn decoded_reservoir_shards_merge_like_in_memory_shards(
+        entries in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..120),
+        cap in 1usize..16,
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let cut = ((entries.len() as f64) * cut_frac) as usize;
+        let fill = |slice: &[(u64, u64)]| {
+            let mut r = KeyedReservoir::new(cap);
+            for &(p, k) in slice {
+                r.offer(p, k, p ^ k);
+            }
+            r
+        };
+        let left = fill(&entries[..cut]);
+        let right = fill(&entries[cut..]);
+        let mut mem = left.clone();
+        mem.merge(&right);
+        let mut wire = round_trip_reservoir(&left);
+        wire.merge(&round_trip_reservoir(&right));
+        prop_assert_eq!(&wire, &mem);
+        prop_assert_eq!(&wire, &fill(&entries));
+    }
+}

@@ -466,6 +466,25 @@ impl Recorder {
     pub fn take(&mut self) -> TelemetrySnapshot {
         std::mem::take(&mut self.snap)
     }
+
+    /// The state accumulated so far, without draining it — what the
+    /// checkpoint layer serializes mid-run while the recorder keeps
+    /// accumulating.
+    #[must_use]
+    pub fn snapshot(&self) -> &TelemetrySnapshot {
+        &self.snap
+    }
+
+    /// Replace the recorder's accumulated state with `snap` — the resume
+    /// half of checkpointing. The histogram `sum` fields are plain `f64`
+    /// accumulated sequentially, so bit-identical resumed reports require
+    /// *continuing* the original accumulation order from its exact state;
+    /// restoring the snapshot and appending achieves that, where merging
+    /// a restored snapshot with a separately-accumulated partial would
+    /// not (float addition is not associative).
+    pub fn restore(&mut self, snap: TelemetrySnapshot) {
+        self.snap = snap;
+    }
 }
 
 impl Sink for Recorder {
@@ -493,6 +512,202 @@ impl Sink for Recorder {
     #[inline]
     fn active(&self) -> bool {
         self.mode.enabled() || self.trace_packets
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire form: snapshots checkpoint to disk and cross worker pipes in the
+// roam-codec field format. Everything round-trips verbatim — counters,
+// bucket vectors, the sequentially-accumulated float sums (as exact bit
+// patterns) and the full event stream — so a restored snapshot is
+// indistinguishable from the one that was taken.
+// ---------------------------------------------------------------------
+
+use roam_codec::{CodecError, Decoder, Encoder};
+
+/// Event kinds this build can decode. `Event::kind` is a `&'static str`,
+/// so decoding maps wire text back through this table instead of leaking
+/// arbitrary strings; an unknown kind is a schema-drift error, caught
+/// loudly.
+const KNOWN_KINDS: [&str; 5] = ["rtt", "traceroute", "measurement", "plan", "shard"];
+
+fn intern_kind(s: &str) -> Result<&'static str, CodecError> {
+    KNOWN_KINDS
+        .iter()
+        .find(|k| **k == s)
+        .copied()
+        .ok_or(CodecError::BadValue("event kind"))
+}
+
+/// Field tags for [`TelemetrySnapshot`] and its parts (DESIGN.md §11).
+mod snap_tag {
+    pub const COUNTER: u32 = 1; // repeated u64, Counter::ALL order
+    pub const HIST: u32 = 2; // repeated section, Hist::ALL order
+    pub const EVENT: u32 = 3; // repeated section, recording order
+
+    pub const HIST_SERIES: u32 = 1; // u64, Hist discriminant
+    pub const HIST_BUCKET: u32 = 2; // repeated u64
+    pub const HIST_COUNT: u32 = 3; // u64
+    pub const HIST_SUM: u32 = 4; // f64 (exact bits)
+
+    pub const EV_AT_NS: u32 = 1; // u64
+    pub const EV_FLOW: u32 = 2; // u64 (scope, exclusive with EV_SHARD)
+    pub const EV_SHARD: u32 = 3; // str (scope, exclusive with EV_FLOW)
+    pub const EV_KIND: u32 = 4; // str, one of KNOWN_KINDS
+    pub const EV_LABEL: u32 = 5; // str
+    pub const EV_VALUE: u32 = 6; // f64, optional
+    pub const EV_ATTEMPTS: u32 = 7; // u64, optional
+}
+
+impl Histogram {
+    fn encode_fields(&self, e: &mut Encoder) {
+        e.u64(snap_tag::HIST_SERIES, self.series as u64);
+        for &c in &self.counts {
+            e.u64(snap_tag::HIST_BUCKET, c);
+        }
+        e.u64(snap_tag::HIST_COUNT, self.count);
+        e.f64(snap_tag::HIST_SUM, self.sum);
+    }
+
+    fn decode_fields(d: &mut Decoder) -> Result<Self, CodecError> {
+        let mut series = None;
+        let mut counts = Vec::new();
+        let mut count = None;
+        let mut sum = None;
+        while let Some((tag, v)) = d.next_field()? {
+            match tag {
+                snap_tag::HIST_SERIES => {
+                    let idx = v.as_u64(tag)?;
+                    series = Some(
+                        *Hist::ALL
+                            .get(idx as usize)
+                            .ok_or(CodecError::BadValue("histogram series"))?,
+                    );
+                }
+                snap_tag::HIST_BUCKET => counts.push(v.as_u64(tag)?),
+                snap_tag::HIST_COUNT => count = Some(v.as_u64(tag)?),
+                snap_tag::HIST_SUM => sum = Some(v.as_f64(tag)?),
+                _ => {}
+            }
+        }
+        let series = series.ok_or(CodecError::MissingField("histogram series"))?;
+        if counts.len() != series.bounds().len() + 1 {
+            return Err(CodecError::BadValue("histogram bucket count"));
+        }
+        Ok(Histogram {
+            series,
+            counts,
+            count: count.ok_or(CodecError::MissingField("histogram count"))?,
+            sum: sum.ok_or(CodecError::MissingField("histogram sum"))?,
+        })
+    }
+}
+
+impl Event {
+    fn encode_fields(&self, e: &mut Encoder) {
+        e.u64(snap_tag::EV_AT_NS, self.at_ns);
+        match &self.scope {
+            EventScope::Flow(id) => e.u64(snap_tag::EV_FLOW, *id),
+            EventScope::Shard(key) => e.str(snap_tag::EV_SHARD, key),
+        }
+        e.str(snap_tag::EV_KIND, self.kind);
+        e.str(snap_tag::EV_LABEL, &self.label);
+        if let Some(v) = self.value {
+            e.f64(snap_tag::EV_VALUE, v);
+        }
+        if let Some(a) = self.attempts {
+            e.u64(snap_tag::EV_ATTEMPTS, u64::from(a));
+        }
+    }
+
+    fn decode_fields(d: &mut Decoder) -> Result<Self, CodecError> {
+        let mut at_ns = None;
+        let mut scope = None;
+        let mut kind = None;
+        let mut label = None;
+        let mut value = None;
+        let mut attempts = None;
+        while let Some((tag, v)) = d.next_field()? {
+            match tag {
+                snap_tag::EV_AT_NS => at_ns = Some(v.as_u64(tag)?),
+                snap_tag::EV_FLOW => scope = Some(EventScope::Flow(v.as_u64(tag)?)),
+                snap_tag::EV_SHARD => scope = Some(EventScope::Shard(v.as_str(tag)?.to_string())),
+                snap_tag::EV_KIND => kind = Some(intern_kind(v.as_str(tag)?)?),
+                snap_tag::EV_LABEL => label = Some(v.as_str(tag)?.to_string()),
+                snap_tag::EV_VALUE => value = Some(v.as_f64(tag)?),
+                snap_tag::EV_ATTEMPTS => {
+                    attempts = Some(
+                        u32::try_from(v.as_u64(tag)?)
+                            .map_err(|_| CodecError::BadValue("event attempts"))?,
+                    );
+                }
+                _ => {}
+            }
+        }
+        Ok(Event {
+            at_ns: at_ns.ok_or(CodecError::MissingField("event at_ns"))?,
+            scope: scope.ok_or(CodecError::MissingField("event scope"))?,
+            kind: kind.ok_or(CodecError::MissingField("event kind"))?,
+            label: label.ok_or(CodecError::MissingField("event label"))?,
+            value,
+            attempts,
+        })
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Write the snapshot's fields into `e` (no frame, no section — the
+    /// caller chooses the envelope).
+    pub fn encode_fields(&self, e: &mut Encoder) {
+        for &c in &self.counters {
+            e.u64(snap_tag::COUNTER, c);
+        }
+        for h in &self.hists {
+            e.section(snap_tag::HIST, |s| h.encode_fields(s));
+        }
+        for ev in &self.events {
+            e.section(snap_tag::EVENT, |s| ev.encode_fields(s));
+        }
+    }
+
+    /// Rebuild a snapshot from fields written by
+    /// [`TelemetrySnapshot::encode_fields`]. Counter and histogram
+    /// cardinality must match this build exactly — a snapshot from a
+    /// build with different observables is stale, not mergeable.
+    pub fn decode_fields(d: &mut Decoder) -> Result<Self, CodecError> {
+        let mut counters = Vec::new();
+        let mut hists = Vec::new();
+        let mut events = Vec::new();
+        while let Some((tag, v)) = d.next_field()? {
+            match tag {
+                snap_tag::COUNTER => counters.push(v.as_u64(tag)?),
+                snap_tag::HIST => {
+                    let mut s = v.as_section(tag)?;
+                    hists.push(Histogram::decode_fields(&mut s)?);
+                }
+                snap_tag::EVENT => {
+                    let mut s = v.as_section(tag)?;
+                    events.push(Event::decode_fields(&mut s)?);
+                }
+                _ => {}
+            }
+        }
+        let counters: [u64; Counter::ALL.len()] = counters
+            .try_into()
+            .map_err(|_| CodecError::BadValue("counter cardinality"))?;
+        if hists.len() != Hist::ALL.len()
+            || hists
+                .iter()
+                .zip(Hist::ALL.iter())
+                .any(|(h, &want)| h.series != want)
+        {
+            return Err(CodecError::BadValue("histogram cardinality"));
+        }
+        Ok(TelemetrySnapshot {
+            counters,
+            hists,
+            events,
+        })
     }
 }
 
@@ -624,5 +839,110 @@ mod tests {
         s.add(Counter::PacketsSent, 1);
         s.observe(Hist::ProbeRttMs, 1.0);
         assert!(!s.active());
+    }
+
+    fn busy_snapshot() -> TelemetrySnapshot {
+        let mut r = Recorder::new(TelemetryMode::Jsonl);
+        r.add(Counter::PacketsSent, 41);
+        r.add(Counter::FleetUsers, 7);
+        r.observe(Hist::ProbeRttMs, 12.5);
+        r.observe(Hist::ProbeRttMs, 0.25);
+        r.observe(Hist::TraceHops, 9.0);
+        r.push_event(Event {
+            at_ns: 77,
+            scope: EventScope::Flow(0xFEED),
+            kind: "rtt",
+            label: "fleet/u1/l0/s2".into(),
+            value: Some(12.5),
+            attempts: Some(2),
+        });
+        r.push_event(Event {
+            at_ns: 0,
+            scope: EventScope::Shard("fleet/003".into()),
+            kind: "shard",
+            label: "merge".into(),
+            value: Some(f64::NAN),
+            attempts: None,
+        });
+        r.take()
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_codec() {
+        for snap in [TelemetrySnapshot::default(), busy_snapshot()] {
+            let mut e = Encoder::new();
+            snap.encode_fields(&mut e);
+            let bytes = e.into_bytes();
+            let back = TelemetrySnapshot::decode_fields(&mut Decoder::new(&bytes))
+                .expect("clean round trip");
+            // NaN != NaN under PartialEq, so compare the float bits.
+            assert_eq!(back.counters, snap.counters);
+            assert_eq!(back.hists.len(), snap.hists.len());
+            for (a, b) in back.hists.iter().zip(&snap.hists) {
+                assert_eq!(a.series, b.series);
+                assert_eq!(a.counts, b.counts);
+                assert_eq!(a.count, b.count);
+                assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+            }
+            assert_eq!(back.events.len(), snap.events.len());
+            for (a, b) in back.events.iter().zip(&snap.events) {
+                assert_eq!((a.at_ns, &a.scope, a.kind), (b.at_ns, &b.scope, b.kind));
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.value.map(f64::to_bits), b.value.map(f64::to_bits));
+                assert_eq!(a.attempts, b.attempts);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_foreign_cardinalities() {
+        let mut e = Encoder::new();
+        busy_snapshot().encode_fields(&mut e);
+        let mut extra = e.into_bytes();
+        // Append one more counter field: cardinality no longer matches.
+        let mut tail = Encoder::new();
+        tail.u64(snap_tag::COUNTER, 1);
+        extra.extend_from_slice(&tail.into_bytes());
+        assert_eq!(
+            TelemetrySnapshot::decode_fields(&mut Decoder::new(&extra)).unwrap_err(),
+            CodecError::BadValue("counter cardinality")
+        );
+    }
+
+    #[test]
+    fn unknown_event_kinds_fail_loudly() {
+        let mut snap = Encoder::new();
+        snap.section(snap_tag::EVENT, |s| {
+            s.u64(snap_tag::EV_AT_NS, 1);
+            s.u64(snap_tag::EV_FLOW, 2);
+            s.str(snap_tag::EV_KIND, "from-the-future");
+            s.str(snap_tag::EV_LABEL, "x");
+        });
+        let bytes = snap.into_bytes();
+        assert_eq!(
+            TelemetrySnapshot::decode_fields(&mut Decoder::new(&bytes)).unwrap_err(),
+            CodecError::BadValue("event kind")
+        );
+    }
+
+    #[test]
+    fn restore_continues_accumulation_in_place() {
+        let mut r = Recorder::new(TelemetryMode::Summary);
+        r.add(Counter::FlowsOpened, 2);
+        r.observe(Hist::ProbeRttMs, 1.5);
+        let checkpoint = r.take();
+
+        let mut resumed = Recorder::new(TelemetryMode::Summary);
+        resumed.restore(checkpoint);
+        resumed.add(Counter::FlowsOpened, 1);
+        resumed.observe(Hist::ProbeRttMs, 2.5);
+
+        let mut straight = Recorder::new(TelemetryMode::Summary);
+        straight.add(Counter::FlowsOpened, 2);
+        straight.observe(Hist::ProbeRttMs, 1.5);
+        straight.add(Counter::FlowsOpened, 1);
+        straight.observe(Hist::ProbeRttMs, 2.5);
+
+        assert_eq!(resumed.take(), straight.take());
     }
 }

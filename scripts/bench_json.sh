@@ -13,17 +13,29 @@ cargo bench -p roam-bench --offline "$@"
 
 # Population-scale throughput headline: time fleet_smoke itself (the
 # criterion fleet group runs 2k users, too small to expose the hot path).
-# Best-of-three 100k-user runs; the floor gate below fails the script if
-# the host can't sustain ROAM_FLEET_FLOOR users/sec on the default knobs.
+# Best-of-three 100k-user runs, on the default knobs and on both shard
+# backends — worker threads (ROAM_PARALLEL=4) and worker processes
+# (ROAM_FLEET_WORKERS=4) — all gated against ROAM_FLEET_FLOOR below.
+# The gate line is on stderr (roam_bench::emit_users_per_sec), hence the
+# `2>&1 >/dev/null` redirect.
 cargo build -q --release --offline -p roam-bench --bin fleet_smoke
+cargo build -q --release --offline -p roam-fleet --bin fleet_worker
+export ROAM_FLEET_WORKER_BIN=target/release/fleet_worker
 smoke_users=${ROAM_FLEET_BENCH_USERS:-100000}
 floor=${ROAM_FLEET_FLOOR:-250000}
-best_ups=0
-for _ in 1 2 3; do
-    ups=$(ROAM_FLEET_USERS=$smoke_users target/release/fleet_smoke 2>&1 >/dev/null \
-          | sed -n 's/^fleet_smoke_users_per_sec: //p')
-    if [ "${ups%.*}" -gt "${best_ups%.*}" ]; then best_ups=$ups; fi
-done
+
+best_of_three() {
+    local best=0 ups
+    for _ in 1 2 3; do
+        ups=$(env "$@" ROAM_FLEET_USERS="$smoke_users" target/release/fleet_smoke 2>&1 >/dev/null \
+              | sed -n 's/^fleet_smoke_users_per_sec: //p')
+        if [ "${ups%.*}" -gt "${best%.*}" ]; then best=$ups; fi
+    done
+    echo "$best"
+}
+best_ups=$(best_of_three ROAM_FLEET_WORKERS=0)
+best_threads=$(best_of_three ROAM_PARALLEL=4)
+best_workers=$(best_of_three ROAM_FLEET_WORKERS=4)
 
 crit=target/criterion
 out=BENCH_netsim.json
@@ -45,6 +57,8 @@ jq -n \
    --slurpfile b "$tmp" \
    --argjson cpus "$(nproc)" \
    --argjson smoke "$best_ups" \
+   --argjson smoke_threads "$best_threads" \
+   --argjson smoke_workers "$best_workers" \
    --argjson floor "$floor" \
    --argjson smoke_users "$smoke_users" \
    '($b[0]."campaign/device_campaign_seq".mean_ns) as $seq
@@ -66,6 +80,10 @@ jq -n \
     | ($b[0]."event_core/bursty_4k_heap".mean_ns) as $ecbh
     | ($b[0]."event_core/longtail_4k_wheel".mean_ns) as $eclw
     | ($b[0]."event_core/longtail_4k_heap".mean_ns) as $eclh
+    | ($b[0]."checkpoint/shard_encode_2k".mean_ns) as $cke
+    | ($b[0]."checkpoint/shard_decode_2k".mean_ns) as $ckd
+    | ($b[0]."checkpoint/shard_write_2k".mean_ns) as $ckw
+    | ($b[0]."checkpoint/resume_validate_2k".mean_ns) as $ckr
     | {schema: "roamsim-bench-v1",
        host: {cpus: $cpus},
        telemetry: {
@@ -109,20 +127,32 @@ jq -n \
          wheel_over_heap_longtail: (if $eclw != null and $eclh != null then ($eclw / $eclh) else null end)
        },
        fleet: {
-         note: "2k-user run timed end-to-end (synthesis, purchases, sessions, sketches); users_per_sec_smoke is the population-scale throughput headline (best of three 100k-user fleet_smoke runs), gated against floor_users_per_sec; both shardings produce byte-identical reports",
+         note: "2k-user run timed end-to-end (synthesis, purchases, sessions, sketches); users_per_sec_smoke is the population-scale throughput headline (best of three 100k-user fleet_smoke runs), gated against floor_users_per_sec on both backends; _threads4 spreads shards over 4 threads, _workers4 over 4 worker processes (pipes + codec frames), and workers4_over_threads4 is the process-backend tax (or win) — every mode produces byte-identical reports",
          run_2k_users_sequential_ns: $fseq,
          run_2k_users_4_shards_parallel_ns: $fpar,
          users_per_sec_sequential: (if $fseq != null then (2000 / ($fseq / 1e9)) else null end),
          users_per_sec_4_shards: (if $fpar != null then (2000 / ($fpar / 1e9)) else null end),
          users_per_sec_smoke: $smoke,
+         users_per_sec_smoke_threads4: $smoke_threads,
+         users_per_sec_smoke_workers4: $smoke_workers,
+         workers4_over_threads4: (if $smoke_threads > 0 then ($smoke_workers / $smoke_threads) else null end),
          floor_users_per_sec: $floor,
          smoke_users: $smoke_users,
-         above_floor: ($smoke >= $floor)
+         above_floor: ($smoke >= $floor),
+         above_floor_workers: ($smoke_workers >= $floor)
+       },
+       checkpoint: {
+         note: "shard checkpoint frame for a 500-user shard state: encode (codec only), decode (parse + integrity hash + field decode), write (temp + fsync + rename, the torn-write protocol), and resume_validate (everything FleetRunner::resume pays before the first user: manifest decode, fingerprint recompute incl. world+market build, all shard loads)",
+         shard_encode_2k_ns: $cke,
+         shard_decode_2k_ns: $ckd,
+         shard_write_2k_ns: $ckw,
+         resume_validate_2k_ns: $ckr,
+         write_over_encode: (if $ckw != null and $cke != null then ($ckw / $cke) else null end)
        },
        benchmarks: $b[0]}' > "$out"
 
 echo "wrote $out"
-jq '.parallel, .engine, .telemetry, .faults, .event_core, .fleet' "$out"
+jq '.parallel, .engine, .telemetry, .faults, .event_core, .fleet, .checkpoint' "$out"
 
 if [ "$(jq '.faults.disabled_overhead_within_2pct' "$out")" = "false" ]; then
     echo "WARNING: disabled fault plane costs >2% over the bare ping path" >&2
@@ -133,5 +163,11 @@ fi
 if [ "$(jq '.fleet.above_floor' "$out")" = "false" ]; then
     echo "FAIL: fleet_smoke throughput ${best_ups} users/sec is below the" >&2
     echo "      floor of ${floor} (override with ROAM_FLEET_FLOOR)" >&2
+    exit 1
+fi
+
+if [ "$(jq '.fleet.above_floor_workers' "$out")" = "false" ]; then
+    echo "FAIL: fleet_smoke worker-process throughput ${best_workers} users/sec" >&2
+    echo "      is below the floor of ${floor} (override with ROAM_FLEET_FLOOR)" >&2
     exit 1
 fi
