@@ -6,10 +6,17 @@
 //! roaming eSIMs 78.8% slow (≤15 Mbps) / 4.5% fast (≥30) vs physical 31.9%
 //! / 48%; eSIM uplink crushed only in Pakistan and Georgia; IHBO ≈ HR on
 //! throughput.
+//!
+//! The device half runs as streaming queries over the campaign's columnar
+//! `Speedtests` table: one export walk builds the column pages, and every
+//! figure panel is a filter (`country`/`sim`/CQI) + `values` scan over the
+//! chunks — no per-panel record re-walks.
 
 use roam_bench::{boxplot_row, run_device, run_web};
-use roam_cellular::SimType;
+use roam_cellular::Cqi;
+use roam_columnar::{Query, Table};
 use roam_geo::Country;
+use roam_measure::{ColumnarSink, Dataset, Exporter};
 use roam_stats::{mean_ci95, median};
 
 fn main() {
@@ -72,47 +79,49 @@ fn main() {
 
     // ---- (b)+(c) device campaign ------------------------------------------
     let run = run_device(2024, 0.4);
+    let mut sink = ColumnarSink::new();
+    run.data.export_rows(Dataset::Speedtests, &mut sink);
+    let speed = sink
+        .into_table(Dataset::Speedtests)
+        .expect("device campaign records speedtests");
+    // The paper's quality filter: CQI ≥ 7 (failed runs carry a null CQI
+    // and never pass, matching `filtered_speedtests`).
+    let filtered = || -> Query<'_, Table> {
+        Query::new(&speed).u32_ge("cqi", u32::from(Cqi::QPSK_THRESHOLD.value()))
+    };
     println!("\nFigure 13b/c — Ookla down/up by country (CQI ≥ 7 only)\n");
     for spec in roam_world::World::device_campaign_specs() {
-        for (label, t) in [("SIM", SimType::Physical), ("eSIM", SimType::Esim)] {
-            let down: Vec<f64> = run
-                .data
-                .filtered_speedtests()
-                .iter()
-                .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
-                .map(|r| r.down_mbps)
-                .collect();
-            let up: Vec<f64> = run
-                .data
-                .filtered_speedtests()
-                .iter()
-                .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
-                .map(|r| r.up_mbps)
-                .collect();
+        for (label, sim) in [("SIM", "sim"), ("eSIM", "esim")] {
+            let of = |metric: &str| {
+                filtered()
+                    .eq("country", spec.country.alpha3())
+                    .eq("sim", sim)
+                    .values(metric)
+            };
             println!(
                 "down {}",
-                boxplot_row(&format!("{} {label}", spec.country.alpha3()), &down)
+                boxplot_row(
+                    &format!("{} {label}", spec.country.alpha3()),
+                    &of("down_mbps")
+                )
             );
-            println!("up   {}", boxplot_row("", &up));
+            println!("up   {}", boxplot_row("", &of("up_mbps")));
         }
     }
 
     // Slow/fast buckets, roaming countries only (§5.1 / SpeedTest index).
-    let native = [Country::KOR, Country::THA];
-    let bucket = |t: SimType| -> (f64, f64, usize) {
-        let v: Vec<f64> = run
-            .data
-            .filtered_speedtests()
-            .iter()
-            .filter(|r| r.tag.sim_type == t && !native.contains(&r.tag.country))
-            .map(|r| r.down_mbps)
-            .collect();
+    let native = [Country::KOR.alpha3(), Country::THA.alpha3()];
+    let bucket = |sim: &str| -> (f64, f64, usize) {
+        let v = filtered()
+            .eq("sim", sim)
+            .none_of("country", &native)
+            .values("down_mbps");
         let slow = v.iter().filter(|x| **x <= 15.0).count() as f64 / v.len() as f64;
         let fast = v.iter().filter(|x| **x >= 30.0).count() as f64 / v.len() as f64;
         (slow * 100.0, fast * 100.0, v.len())
     };
-    let (es, ef, en) = bucket(SimType::Esim);
-    let (ss, sf, sn) = bucket(SimType::Physical);
+    let (es, ef, en) = bucket("esim");
+    let (ss, sf, sn) = bucket("sim");
     println!("\nroaming-country downlink buckets:");
     println!(
         "  eSIM: {es:.1}% slow (≤15), {ef:.1}% fast (≥30), n={en} \
@@ -126,13 +135,10 @@ fn main() {
         (Country::GEO, 31.7),
         (Country::DEU, 22.7),
     ] {
-        let v: Vec<f64> = run
-            .data
-            .filtered_speedtests()
-            .iter()
-            .filter(|r| r.tag.country == c && r.tag.sim_type == SimType::Esim)
-            .map(|r| r.down_mbps)
-            .collect();
+        let v = filtered()
+            .eq("country", c.alpha3())
+            .eq("sim", "esim")
+            .values("down_mbps");
         if let Ok((m, ci)) = mean_ci95(&v) {
             println!(
                 "  {} eSIM 5G mean: {m:.1} ± {ci:.2} Mbps (paper: {paper})",

@@ -5,32 +5,49 @@
 //! CDN; IHBO averages 1316 ms on Cloudflare — worse than native (306/514)
 //! but far better than HR (3203/1781); HR DNS +610%/+517% medians; IHBO
 //! DNS +103%…+616% (DoH-inflated Google resolvers near the PGW).
+//!
+//! Both panels run as streaming queries over the campaign's columnar `Cdn`
+//! and `Dns` tables: one export walk per dataset builds the column pages,
+//! then every figure row is a filter + `values` scan over the chunks.
+//! Delivered records are `status ∈ {ok, failover}` — the columnar spelling
+//! of `MeasureStatus::is_ok`.
 
 use roam_bench::{boxplot_row, run_device};
 use roam_cellular::SimType;
+use roam_columnar::{Query, Table};
 use roam_geo::Country;
 use roam_ipx::RoamingArch;
-use roam_measure::CdnProvider;
+use roam_measure::{ColumnarSink, Dataset, Exporter};
 use roam_stats::{median, Summary};
+
+/// `MeasureStatus::is_ok` as a status-column filter.
+const DELIVERED: [&str; 2] = ["ok", "failover"];
 
 fn main() {
     let run = run_device(2024, 0.4);
+    let mut sink = ColumnarSink::new();
+    run.data.export_rows(Dataset::Cdn, &mut sink);
+    run.data.export_rows(Dataset::Dns, &mut sink);
+    let tables = sink.into_tables();
+    let table = |ds: Dataset| -> &Table {
+        tables
+            .iter()
+            .find(|(d, _)| *d == ds)
+            .map(|(_, t)| t)
+            .expect("exported above")
+    };
+    let cdn = table(Dataset::Cdn);
+    let dns = table(Dataset::Dns);
 
     println!("Figure 14a — Cloudflare jquery.min.js download time (ms)\n");
     for spec in roam_world::World::device_campaign_specs() {
-        for (label, t) in [("SIM", SimType::Physical), ("eSIM", SimType::Esim)] {
-            let v: Vec<f64> = run
-                .data
-                .cdns
-                .iter()
-                .filter(|r| {
-                    r.tag.country == spec.country
-                        && r.tag.sim_type == t
-                        && r.provider == CdnProvider::Cloudflare
-                        && r.status.is_ok()
-                })
-                .map(|r| r.total_ms)
-                .collect();
+        for (label, sim) in [("SIM", "sim"), ("eSIM", "esim")] {
+            let v = Query::new(cdn)
+                .eq("country", spec.country.alpha3())
+                .eq("sim", sim)
+                .eq("provider", "Cloudflare")
+                .any_of("status", &DELIVERED)
+                .values("total_ms");
             println!(
                 "{}",
                 boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v)
@@ -39,18 +56,12 @@ fn main() {
     }
 
     let cf_mean = |arch: RoamingArch| -> f64 {
-        let v: Vec<f64> = run
-            .data
-            .cdns
-            .iter()
-            .filter(|r| {
-                r.tag.arch == arch
-                    && r.tag.sim_type == SimType::Esim
-                    && r.provider == CdnProvider::Cloudflare
-                    && r.status.is_ok()
-            })
-            .map(|r| r.total_ms)
-            .collect();
+        let v = Query::new(cdn)
+            .eq("arch", arch.label())
+            .eq("sim", "esim")
+            .eq("provider", "Cloudflare")
+            .any_of("status", &DELIVERED)
+            .values("total_ms");
         Summary::from(&v).map(|s| s.mean).unwrap_or(f64::NAN)
     };
     println!("\nCloudflare mean by eSIM architecture:");
@@ -68,17 +79,15 @@ fn main() {
     );
 
     let pct = |c: Country| -> f64 {
-        let m = |t: SimType| {
-            let v: Vec<f64> = run
-                .data
-                .cdns
-                .iter()
-                .filter(|r| r.tag.country == c && r.tag.sim_type == t && r.status.is_ok())
-                .map(|r| r.total_ms)
-                .collect();
+        let m = |sim: &str| {
+            let v = Query::new(cdn)
+                .eq("country", c.alpha3())
+                .eq("sim", sim)
+                .any_of("status", &DELIVERED)
+                .values("total_ms");
             Summary::from(&v).map(|s| s.mean).unwrap_or(f64::NAN)
         };
-        (m(SimType::Esim) / m(SimType::Physical) - 1.0) * 100.0
+        (m("esim") / m("sim") - 1.0) * 100.0
     };
     println!(
         "\nall-CDN eSIM-over-SIM increases: PAK +{:.0}% (paper +481%), \
@@ -91,15 +100,12 @@ fn main() {
 
     println!("\nFigure 14b — DNS lookup times (ms)\n");
     for spec in roam_world::World::device_campaign_specs() {
-        for (label, t) in [("SIM", SimType::Physical), ("eSIM", SimType::Esim)] {
-            let v: Vec<f64> = run
-                .data
-                .dns
-                .iter()
-                .filter(|r| r.tag.country == spec.country && r.tag.sim_type == t)
-                .filter(|r| r.status.is_ok())
-                .map(|r| r.lookup_ms)
-                .collect();
+        for (label, sim) in [("SIM", "sim"), ("eSIM", "esim")] {
+            let v = Query::new(dns)
+                .eq("country", spec.country.alpha3())
+                .eq("sim", sim)
+                .any_of("status", &DELIVERED)
+                .values("lookup_ms");
             println!(
                 "{}",
                 boxplot_row(&format!("{} {label}", spec.country.alpha3()), &v)
@@ -108,17 +114,15 @@ fn main() {
     }
 
     let dns_increase = |c: Country| -> f64 {
-        let m = |t: SimType| {
-            let v: Vec<f64> = run
-                .data
-                .dns
-                .iter()
-                .filter(|r| r.tag.country == c && r.tag.sim_type == t && r.status.is_ok())
-                .map(|r| r.lookup_ms)
-                .collect();
+        let m = |sim: &str| {
+            let v = Query::new(dns)
+                .eq("country", c.alpha3())
+                .eq("sim", sim)
+                .any_of("status", &DELIVERED)
+                .values("lookup_ms");
             median(&v).unwrap_or(f64::NAN)
         };
-        (m(SimType::Esim) / m(SimType::Physical) - 1.0) * 100.0
+        (m("esim") / m("sim") - 1.0) * 100.0
     };
     println!(
         "\nmedian DNS increases, eSIM over SIM: PAK +{:.0}% (paper +610%), \
@@ -130,6 +134,8 @@ fn main() {
     );
 
     // Resolver placement for IHBO sessions (the 74% same-country figure).
+    // This one stays on the records: the geographic join against the
+    // endpoint pool (City → Country) lives outside the dataset schema.
     let ihbo_dns: Vec<&roam_measure::DnsRecord> = run
         .data
         .dns

@@ -4,16 +4,77 @@
 //! Paper anchors: Airhub $2.3 … Keepgo $16.2; MobiMatter ~60% cheaper than
 //! Airalo with more offers (5% vs 3%); local SIMs have the lowest $/GB but
 //! a higher total outlay.
+//!
+//! The comparison runs as streaming queries over a columnar offer table:
+//! the crawl snapshot flattens once into `(provider, country, per_gb)`
+//! column pages, and each provider's per-country medians come from one
+//! filtered `group_values` scan over the chunks (keys ascend in country
+//! order, matching the analytics module's `BTreeMap<Country>` walk).
 
-use roam_econ::{local_sim_offers, provider_comparison, Crawler, Market, Vantage};
-use roam_stats::median;
+use roam_columnar::{field, CellValue, ColKind, ColumnarSource, Query, Schema, TableBuilder};
+use roam_econ::{local_sim_offers, Crawler, Market, Vantage};
+use roam_stats::{median, Ecdf};
+
+/// A provider's Fig.-17 row, assembled from the columnar scans (the
+/// query-engine counterpart of `roam_econ::ProviderSummary`).
+struct ProviderRow {
+    name: String,
+    countries: usize,
+    offer_share: f64,
+    median_per_gb: f64,
+    cdf: Ecdf,
+}
 
 fn main() {
     let market = Market::generate(2024);
     let snap = Crawler::new(Vantage::NewJersey).crawl(&market, 76);
 
+    // Flatten the snapshot into column pages. Countries store as their
+    // discriminant, so ascending group keys are ascending `Country` order.
+    let mut b = TableBuilder::new(Schema::new(vec![
+        field("provider", ColKind::U32),
+        field("country", ColKind::U32),
+        field("per_gb", ColKind::F64 { prec: 2 }),
+    ]));
+    for r in &snap.records {
+        b.push_row(&[
+            CellValue::U32(Some(r.offer.provider.0)),
+            CellValue::U32(Some(r.offer.country as u32)),
+            CellValue::F64(Some(r.per_gb())),
+        ]);
+    }
+    let offers = b.finish();
+    let total = offers.rows() as f64;
+
     println!("Figure 17 — median $/GB per country, provider comparison (2024-05-01)\n");
-    let cmp = provider_comparison(&market, &snap, 60);
+    let min_countries = 60;
+    let mut cmp: Vec<ProviderRow> = Vec::new();
+    for pid in 0..market.provider_count() {
+        let q = Query::new(&offers).u32_eq("provider", pid as u32);
+        let groups = q.group_values("country", "per_gb");
+        if groups.len() < min_countries {
+            continue;
+        }
+        let medians: Vec<f64> = groups
+            .iter()
+            .map(|g| median(&g.value).expect("non-empty country bucket"))
+            .collect();
+        cmp.push(ProviderRow {
+            name: market
+                .provider(roam_econ::ProviderId(pid as u32))
+                .name
+                .clone(),
+            countries: groups.len(),
+            offer_share: q.count() as f64 / total,
+            median_per_gb: median(&medians).expect("non-empty"),
+            cdf: Ecdf::new(&medians).expect("non-empty"),
+        });
+    }
+    cmp.sort_by(|a, b| {
+        a.median_per_gb
+            .partial_cmp(&b.median_per_gb)
+            .expect("no NaN")
+    });
     for p in &cmp {
         let pts: Vec<String> = [0.25, 0.5, 0.75]
             .iter()

@@ -24,16 +24,49 @@
 //! [`roam_fleet::ResumeError`] on stderr and a nonzero exit — never a
 //! silent restart.
 //!
+//! `ROAM_FLEET_EXPORT=csv:<path>` or `columnar:<path>` attaches a
+//! session [`DataSink`](roam_measure::DataSink) to the run and writes
+//! the streamed `sessions` dataset to `<path>` — as the CSV table or as
+//! a sealed columnar frame. The export rides the in-process backend
+//! only (the sink contract), so it refuses `ROAM_FLEET_WORKERS` > 0 and
+//! resumed runs. Stdout bytes are unaffected either way.
+//!
 //! Knobs: `ROAM_FLEET_USERS/SHARDS/DAYS/SAMPLE/MIX`, `ROAM_PARALLEL`,
 //! `ROAM_FLEET_WORKERS`, `ROAM_CHECKPOINT_DIR`, `ROAM_CHECKPOINT_EVERY`,
 //! `ROAM_RESUME`, `ROAM_TRANSPORT`, `ROAM_CALENDAR`, `ROAM_TELEMETRY`,
-//! `ROAM_FAULTS`, `ROAM_SEED`.
+//! `ROAM_FAULTS`, `ROAM_SEED`, `ROAM_FLEET_EXPORT`.
 //!
 //! [`FleetReport`]: roam_fleet::FleetReport
 
 use roam_fleet::FleetRunner;
+use roam_measure::{ColumnarSink, Dataset, MemorySink, SharedSink};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// The parsed `ROAM_FLEET_EXPORT` knob: which rendering, and where.
+enum ExportSpec {
+    Csv(String),
+    Columnar(String),
+}
+
+fn export_spec() -> Result<Option<ExportSpec>, String> {
+    let Some(raw) = std::env::var("ROAM_FLEET_EXPORT")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+    else {
+        return Ok(None);
+    };
+    match raw.split_once(':') {
+        Some(("csv", path)) if !path.is_empty() => Ok(Some(ExportSpec::Csv(path.to_string()))),
+        Some(("columnar", path)) if !path.is_empty() => {
+            Ok(Some(ExportSpec::Columnar(path.to_string())))
+        }
+        _ => Err(format!(
+            "ROAM_FLEET_EXPORT={raw:?} — expected csv:<path> or columnar:<path>"
+        )),
+    }
+}
 
 fn resume_requested() -> bool {
     std::env::var("ROAM_RESUME")
@@ -66,9 +99,57 @@ fn main() -> ExitCode {
     };
     let users = runner.population();
 
+    let spec = match export_spec() {
+        Ok(spec) => spec,
+        Err(msg) => {
+            eprintln!("fleet_smoke: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if spec.is_some() && resume_requested() {
+        eprintln!("fleet_smoke: ROAM_FLEET_EXPORT cannot ride a resumed run (sink contract)");
+        return ExitCode::from(2);
+    }
+    let csv_sink = Arc::new(Mutex::new(MemorySink::new()));
+    let col_sink = Arc::new(Mutex::new(ColumnarSink::new()));
+    let runner = match &spec {
+        None => runner,
+        Some(ExportSpec::Csv(_)) => runner.sink(csv_sink.clone() as SharedSink),
+        Some(ExportSpec::Columnar(_)) => runner.sink(col_sink.clone() as SharedSink),
+    };
+
     let started = Instant::now();
     let run = runner.run();
     let wall = started.elapsed().as_secs_f64();
+
+    match &spec {
+        None => {}
+        Some(ExportSpec::Csv(path)) => {
+            let sink = csv_sink.lock().expect("export sink poisoned");
+            let table = sink
+                .table(Dataset::Sessions)
+                .map(str::to_owned)
+                .unwrap_or_else(|| Dataset::Sessions.header_csv());
+            drop(sink);
+            if let Err(err) = std::fs::write(path, table) {
+                eprintln!("fleet_smoke: writing {path}: {err}");
+                return ExitCode::from(2);
+            }
+            eprintln!("fleet_smoke: wrote sessions CSV to {path}");
+        }
+        Some(ExportSpec::Columnar(path)) => {
+            let sink = std::mem::take(&mut *col_sink.lock().expect("export sink poisoned"));
+            let frame = sink
+                .into_table(Dataset::Sessions)
+                .map(|t| t.to_frame())
+                .unwrap_or_default();
+            if let Err(err) = std::fs::write(path, frame) {
+                eprintln!("fleet_smoke: writing {path}: {err}");
+                return ExitCode::from(2);
+            }
+            eprintln!("fleet_smoke: wrote sessions frame to {path}");
+        }
+    }
 
     print!("{}", run.report.render());
 

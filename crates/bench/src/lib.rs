@@ -27,7 +27,7 @@ use roam_core::EsimObservation;
 use roam_geo::{City, Country};
 use roam_measure::{
     run_device_campaign, run_shards, run_web_measurement, CampaignData, DeviceCampaignSpec,
-    Endpoint, RunMode, WebRecord,
+    Endpoint, Exporter, RunMode, SharedSink, WebRecord,
 };
 use roam_netsim::{FaultSpec, TransportKind};
 use roam_telemetry::{merge_shards, TelemetryMode, TelemetryReport, TelemetrySnapshot};
@@ -215,7 +215,7 @@ pub struct SurveyRun {
 /// None of the knobs can change a campaign's bytes — shards merge in
 /// shard-key order and the transports agree on every recorded observable —
 /// so the builder only chooses cost and reporting, never results.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct CampaignRunner {
     seed: u64,
     scale: f64,
@@ -223,6 +223,21 @@ pub struct CampaignRunner {
     transport: Option<TransportKind>,
     faults: Option<FaultSpec>,
     telemetry: TelemetryMode,
+    sink: Option<SharedSink>,
+}
+
+impl std::fmt::Debug for CampaignRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignRunner")
+            .field("seed", &self.seed)
+            .field("scale", &self.scale)
+            .field("mode", &self.mode)
+            .field("transport", &self.transport)
+            .field("faults", &self.faults)
+            .field("telemetry", &self.telemetry)
+            .field("sink", &self.sink.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 impl CampaignRunner {
@@ -237,6 +252,7 @@ impl CampaignRunner {
             transport: None,
             faults: None,
             telemetry: TelemetryMode::Off,
+            sink: None,
         }
     }
 
@@ -301,6 +317,18 @@ impl CampaignRunner {
         self
     }
 
+    /// Attach a [`DataSink`]: after a device campaign ([`CampaignRunner::run`])
+    /// merges its shards, every held dataset's rows stream through the sink
+    /// in [`Exporter::datasets`] order — the same walk `export`/`export_all`
+    /// use, so a CSV sink sees the historical bytes and a columnar sink the
+    /// same rows as typed pages. The sink is shared (`Arc<Mutex<…>>`) so the
+    /// caller keeps a handle to drain after the run.
+    #[must_use]
+    pub fn sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     fn pin_transport(&self) -> (TransportPin, FaultsPin) {
         (
             TransportPin(
@@ -336,6 +364,12 @@ impl CampaignRunner {
             shards.push(shard);
         }
         let telemetry = merge_shards(self.telemetry, snaps);
+        if let Some(sink) = &self.sink {
+            let mut sink = sink.lock().expect("campaign sink poisoned");
+            for &ds in data.datasets() {
+                data.export_rows(ds, &mut *sink);
+            }
+        }
         DeviceCampaignRun {
             shards,
             data,
@@ -452,25 +486,10 @@ impl Drop for FaultsPin {
     }
 }
 
-/// Run the device campaign with explicit knobs.
-#[deprecated(note = "use `CampaignRunner::new(seed).scale(scale).run_mode(mode).run()`")]
-#[must_use]
-pub fn run_device_mode(seed: u64, scale: f64, mode: RunMode) -> DeviceCampaignRun {
-    CampaignRunner::new(seed).scale(scale).run_mode(mode).run()
-}
-
 /// [`CampaignRunner::run`] with every knob taken from the environment.
 #[must_use]
 pub fn run_device(seed: u64, scale: f64) -> DeviceCampaignRun {
     CampaignRunner::from_env(seed).scale(scale).run()
-}
-
-/// Run the web campaign with an explicit worker mode.
-#[deprecated(note = "use `CampaignRunner::new(seed).run_mode(mode).run_web()`")]
-#[must_use]
-pub fn run_web_mode(seed: u64, mode: RunMode) -> (World, Vec<(Country, Vec<WebRecord>, Endpoint)>) {
-    let run = CampaignRunner::new(seed).run_mode(mode).run_web();
-    (run.world, run.results)
 }
 
 /// [`CampaignRunner::run_web`] with every knob taken from the environment,
@@ -507,20 +526,6 @@ pub fn observations_for(world: &World, endpoints: &[Endpoint]) -> Vec<EsimObserv
         }
     }
     by_country.into_values().collect()
-}
-
-/// Run the eSIM survey with an explicit worker mode.
-#[deprecated(note = "use `CampaignRunner::new(seed).run_mode(mode).run_survey(n)`")]
-#[must_use]
-pub fn survey_all_esims_mode(
-    seed: u64,
-    attaches_per_country: u32,
-    mode: RunMode,
-) -> (World, Vec<EsimObservation>) {
-    let run = CampaignRunner::new(seed)
-        .run_mode(mode)
-        .run_survey(attaches_per_country);
-    (run.world, run.observations)
 }
 
 /// [`CampaignRunner::run_survey`] with every knob taken from the
@@ -623,11 +628,27 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_mode_wrappers_still_deliver() {
-        #[allow(deprecated)]
-        let run = run_device_mode(5, 0.02, RunMode::Sequential);
-        let new = CampaignRunner::new(5).scale(0.02).run();
-        assert_eq!(run.data.len(), new.data.len());
+    fn runner_sink_streams_the_merged_campaign() {
+        use roam_measure::{Dataset, MemorySink};
+        use std::sync::{Arc, Mutex};
+        let sink = Arc::new(Mutex::new(MemorySink::new()));
+        let run = CampaignRunner::new(5)
+            .scale(0.02)
+            .sink(sink.clone() as SharedSink)
+            .run();
+        let sink = Arc::try_unwrap(sink)
+            .expect("runner dropped its handle")
+            .into_inner()
+            .unwrap();
+        // The sink saw exactly the bytes the buffered export renders.
+        assert_eq!(
+            sink.table(Dataset::Speedtests),
+            Some(run.data.export(Dataset::Speedtests).as_str())
+        );
+        assert_eq!(
+            sink.table(Dataset::Videos),
+            Some(run.data.export(Dataset::Videos).as_str())
+        );
     }
 
     #[test]

@@ -14,9 +14,11 @@ use crate::checkpoint::{self, CheckpointPolicy, ShardState};
 use crate::config::{FleetConfig, SessionMix};
 use crate::population::{synthesize, TravelerClass, UserId};
 use crate::report::{FleetReport, JourneySample};
+use crate::sink::{SessionKind, SessionRecord};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use roam_econ::{EsimOffer, Market};
+use roam_measure::campaign::RecordTag;
 use roam_measure::{resolve_timing, Endpoint, MeasureError, MeasureStatus, ResolverPlan, Service};
 use roam_netsim::engine::flow_seed;
 use roam_netsim::{Network, NodeId, TransferSpec, TransportKind};
@@ -52,6 +54,9 @@ pub(crate) struct ShardOutcome {
     /// `false` when the shard stopped early because the checkpoint
     /// policy's `halt_after` tripped (harness use only).
     pub completed: bool,
+    /// Per-session export records, in session order (empty unless the
+    /// run carries a sink — see [`crate::FleetRunner::sink`]).
+    pub sessions: Vec<SessionRecord>,
 }
 
 /// Tally a successful probe's fault-plane outcome. Gated on the fault
@@ -170,11 +175,28 @@ fn push_dec(buf: &mut String, mut v: u64) {
     buf.push_str(std::str::from_utf8(&tmp[i..]).expect("decimal digits are ASCII"));
 }
 
-/// What one session does, drawn from the user's activity stream.
-enum SessionKind {
-    Rtt,
-    Dns,
-    Transfer,
+/// The export tag of a fleet endpoint — the same four context columns
+/// every campaign record carries.
+fn session_tag(ep: &Endpoint) -> RecordTag {
+    RecordTag {
+        country: ep.country,
+        sim_type: ep.sim_type,
+        arch: ep.att.arch,
+        rat: ep.rat(),
+    }
+}
+
+/// A metric-free session record; delivered sessions fill in their one
+/// metric with struct-update syntax at the push site.
+fn session_record(ep: &Endpoint, kind: SessionKind, status: MeasureStatus) -> SessionRecord {
+    SessionRecord {
+        tag: session_tag(ep),
+        kind,
+        rtt_ms: None,
+        lookup_ms: None,
+        mb: None,
+        status,
+    }
 }
 
 fn draw_kind(rng: &mut SmallRng, mix: SessionMix) -> SessionKind {
@@ -201,12 +223,18 @@ fn draw_kind(rng: &mut SmallRng, mix: SessionMix) -> SessionKind {
 /// `shard-NNN.ckpt` atomically each time `every_days` sim-days
 /// accumulate, always at a user boundary so the batched-transfer queue
 /// is empty and the report is a clean prefix aggregate.
+///
+/// With `record_sessions` set, every measurement session additionally
+/// lands in the outcome's [`SessionRecord`] buffer (delivered sessions
+/// with their metric, failed sessions with status only; `NoTarget` is
+/// a scenario gap and stays out, matching the degradation tallies).
 pub(crate) fn run_fleet_shard(
     seed: u64,
     config: &FleetConfig,
     spec: ShardSpec,
     telemetry: TelemetryMode,
     ckpt: Option<&CheckpointPolicy>,
+    record_sessions: bool,
 ) -> ShardOutcome {
     let started = Instant::now();
     let mut world = World::build(seed);
@@ -296,6 +324,7 @@ pub(crate) fn run_fleet_shard(
     let mut days_acc: u64 = 0;
     let mut checkpoints_written: u32 = 0;
     let mut completed = true;
+    let mut sessions: Vec<SessionRecord> = Vec::new();
     // Reusable label buffer: every per-user / per-session key is built by
     // appending into this one allocation.
     let mut label = String::with_capacity(48);
@@ -353,10 +382,19 @@ pub(crate) fn run_fleet_shard(
                                 report.rtt_probes += 1;
                                 report.rtt_ms.observe(sample.rtt_ms);
                                 count_delivered(&mut report, &world.net, sample.status());
+                                if record_sessions {
+                                    sessions.push(SessionRecord {
+                                        rtt_ms: Some(sample.rtt_ms),
+                                        ..session_record(ep, SessionKind::Rtt, sample.status())
+                                    });
+                                }
                             }
                             Err(e) => {
                                 report.lost_sessions += 1;
                                 count_failed(&mut report, &world.net, &e);
+                                if record_sessions && !matches!(e, MeasureError::NoTarget) {
+                                    sessions.push(session_record(ep, SessionKind::Rtt, e.status()));
+                                }
                             }
                         }
                     }
@@ -366,10 +404,19 @@ pub(crate) fn run_fleet_shard(
                                 report.dns_lookups += 1;
                                 report.dns_ms.observe(r.lookup_ms);
                                 count_delivered(&mut report, &world.net, r.status);
+                                if record_sessions {
+                                    sessions.push(SessionRecord {
+                                        lookup_ms: Some(r.lookup_ms),
+                                        ..session_record(ep, SessionKind::Dns, r.status)
+                                    });
+                                }
                             }
                             Err(e) => {
                                 report.lost_sessions += 1;
                                 count_failed(&mut report, &world.net, &e);
+                                if record_sessions && !matches!(e, MeasureError::NoTarget) {
+                                    sessions.push(session_record(ep, SessionKind::Dns, e.status()));
+                                }
                             }
                         }
                     }
@@ -389,6 +436,13 @@ pub(crate) fn run_fleet_shard(
                             Err(e) => {
                                 report.lost_sessions += 1;
                                 count_failed(&mut report, &world.net, &e);
+                                if record_sessions && !matches!(e, MeasureError::NoTarget) {
+                                    sessions.push(session_record(
+                                        ep,
+                                        SessionKind::Transfer,
+                                        e.status(),
+                                    ));
+                                }
                                 continue;
                             }
                         };
@@ -415,6 +469,12 @@ pub(crate) fn run_fleet_shard(
                         report.transfers += 1;
                         report.session_mb.observe(mb);
                         count_delivered(&mut report, &world.net, sample.status());
+                        if record_sessions {
+                            sessions.push(SessionRecord {
+                                mb: Some(mb),
+                                ..session_record(ep, SessionKind::Transfer, sample.status())
+                            });
+                        }
                     }
                 }
             }
@@ -466,6 +526,7 @@ pub(crate) fn run_fleet_shard(
         snap,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
         completed,
+        sessions,
     }
 }
 

@@ -23,6 +23,7 @@
 //! | [`checkpoint`] | durable partial state: manifest + shard files       |
 //! | [`runner`]     | the builder orchestrating all of the above          |
 //! | [`report`]     | exactly-mergeable aggregates + stable render        |
+//! | [`sink`]       | per-session records for the `Dataset::Sessions` export |
 //!
 //! # Determinism
 //!
@@ -42,6 +43,7 @@ mod plan;
 pub mod population;
 pub mod report;
 pub mod runner;
+pub mod sink;
 pub mod worker;
 
 pub use checkpoint::{Manifest, ResumeError, ShardState, CKPT_VERSION};
@@ -49,3 +51,4 @@ pub use config::{FleetConfig, SessionMix};
 pub use population::{synthesize, user_rng, Leg, TravelerClass, UserId, UserProfile};
 pub use report::{FleetReport, JourneySample};
 pub use runner::{FleetRun, FleetRunner, FleetShardTiming, DEFAULT_CHECKPOINT_EVERY};
+pub use sink::{SessionKind, SessionRecord, SessionRows};

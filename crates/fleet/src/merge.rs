@@ -60,6 +60,7 @@ mod tests {
             snap: TelemetrySnapshot::default(),
             wall_ms: 1.0,
             completed,
+            sessions: Vec::new(),
         }
     }
 

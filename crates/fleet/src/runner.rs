@@ -42,7 +42,7 @@ use crate::plan;
 use crate::report::FleetReport;
 use crate::worker::{self, WorkerJob};
 use roam_codec::CodecError;
-use roam_measure::{run_shards, DegradationSummary, RunMode};
+use roam_measure::{run_shards, Dataset, DegradationSummary, Exporter, RunMode, SharedSink};
 use roam_netsim::{CalendarKind, FaultSpec, TransportKind};
 use roam_telemetry::{TelemetryMode, TelemetryReport};
 use std::path::PathBuf;
@@ -95,7 +95,7 @@ pub struct FleetRun {
 /// let run = FleetRunner::new(42).users(100_000).shards(8).parallel(4).run();
 /// print!("{}", run.report.render());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FleetRunner {
     seed: u64,
     config: FleetConfig,
@@ -112,6 +112,28 @@ pub struct FleetRunner {
     /// Per-shard resume states, routed by [`plan::plan_shards`]. Only
     /// set by [`FleetRunner::resume`].
     resume: Option<Vec<Option<ShardState>>>,
+    /// Per-session export sink (see [`FleetRunner::sink`]).
+    sink: Option<SharedSink>,
+}
+
+impl std::fmt::Debug for FleetRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRunner")
+            .field("seed", &self.seed)
+            .field("config", &self.config)
+            .field("mode", &self.mode)
+            .field("transport", &self.transport)
+            .field("faults", &self.faults)
+            .field("telemetry", &self.telemetry)
+            .field("workers", &self.workers)
+            .field("worker_bin", &self.worker_bin)
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("halt_after", &self.halt_after)
+            .field("resume", &self.resume)
+            .field("sink", &self.sink.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 impl FleetRunner {
@@ -132,6 +154,7 @@ impl FleetRunner {
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             halt_after: None,
             resume: None,
+            sink: None,
         }
     }
 
@@ -355,6 +378,20 @@ impl FleetRunner {
         self
     }
 
+    /// Stream one [`Dataset::Sessions`] row per measurement session
+    /// into `sink`, in shard-index order after the shards finish (rows
+    /// within a shard keep session order, so the stream is identical
+    /// across thread counts). The report bytes are unaffected.
+    ///
+    /// In-process backend only: `run()` asserts `workers == 0` and no
+    /// checkpoint directory, since records cross neither process
+    /// boundaries nor checkpoint files.
+    #[must_use]
+    pub fn sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// The configured population size (used by smoke tooling to report
     /// users/sec without re-reading the environment).
     #[must_use]
@@ -366,6 +403,16 @@ impl FleetRunner {
     /// backend, fold reports and telemetry in shard order.
     #[must_use]
     pub fn run(&self) -> FleetRun {
+        if self.sink.is_some() {
+            assert!(
+                self.workers == 0,
+                "session sink requires the in-process backend (workers == 0)"
+            );
+            assert!(
+                self.checkpoint_dir.is_none(),
+                "session sink is incompatible with checkpointing"
+            );
+        }
         let users = self.config.users.max(1);
         let shards = plan::effective_shards(users, self.config.shards);
         // Resolve every output-relevant knob once, up front: the resolved
@@ -432,9 +479,25 @@ impl FleetRunner {
                     plans[i].clone(),
                     self.telemetry,
                     policy.as_ref(),
+                    self.sink.is_some(),
                 )
             })
         };
+        if let Some(sink) = &self.sink {
+            // Stream in shard-index order (sessions within a shard are
+            // already in session order), locking once for the whole walk
+            // so rows never interleave with another exporter's.
+            let mut outcomes = outcomes;
+            outcomes.sort_by_key(|o| o.index);
+            let mut sink = sink.lock().expect("fleet sink poisoned");
+            for outcome in &mut outcomes {
+                crate::sink::SessionRows(&outcome.sessions)
+                    .export_rows(Dataset::Sessions, &mut *sink);
+                outcome.sessions = Vec::new();
+            }
+            drop(sink);
+            return merge_outcomes(self.config.sample, self.telemetry, outcomes);
+        }
         merge_outcomes(self.config.sample, self.telemetry, outcomes)
     }
 }

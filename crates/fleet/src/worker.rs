@@ -253,6 +253,9 @@ fn decode_result(payload: &[u8]) -> Result<ShardOutcome, CodecError> {
         snap: snap.ok_or(CodecError::MissingField("result telemetry"))?,
         wall_ms,
         completed,
+        // Session streaming needs the in-process backend (the runner
+        // asserts it), so worker results never carry records.
+        sessions: Vec::new(),
     })
 }
 
@@ -399,6 +402,7 @@ pub fn serve(
             spec,
             job.telemetry,
             job.checkpoint.as_ref(),
+            false,
         );
         output
             .write_all(&result_frame(&outcome))
@@ -471,6 +475,7 @@ mod tests {
             snap: TelemetrySnapshot::default(),
             wall_ms: 12.5,
             completed: false,
+            sessions: Vec::new(),
         };
         let frame = result_frame(&outcome);
         let (parsed, _) = Frame::parse(&frame).expect("result frame parses");

@@ -51,7 +51,10 @@ pub use dns::{
 };
 pub use endpoint::{Endpoint, Probe, ProbeRtt};
 pub use error::{MeasureError, MeasureStatus};
-pub use export::{Dataset, Exporter, VoipRecord};
+pub use export::{
+    status_code, tag_cells, CellValue, ColumnarSink, DataSink, Dataset, Exporter, MemorySink,
+    SharedSink, VoipRecord, BOOL_LABELS, STATUS_LABELS,
+};
 pub use parallel::{run_shards, shard_seed, RunMode};
 pub use speedtest::{ookla_speedtest, ookla_speedtest_checked, SpeedtestResult};
 pub use suite::{measurement_suite, MeasurementKind};

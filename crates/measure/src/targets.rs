@@ -29,6 +29,28 @@ pub enum Service {
     Cdn(CdnProvider),
 }
 
+impl Service {
+    /// The service's name as it appears in exported datasets — identical
+    /// to the `Debug` rendering the CSV emitters have always used, so the
+    /// columnar `service` dictionary and the historical CSV column hold
+    /// the same strings (pinned by a test).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Service::Google => "Google",
+            Service::Facebook => "Facebook",
+            Service::YouTube => "YouTube",
+            Service::Ookla => "Ookla",
+            Service::FastCom => "FastCom",
+            Service::Cdn(CdnProvider::Cloudflare) => "Cdn(Cloudflare)",
+            Service::Cdn(CdnProvider::GoogleCdn) => "Cdn(GoogleCdn)",
+            Service::Cdn(CdnProvider::JsDelivr) => "Cdn(JsDelivr)",
+            Service::Cdn(CdnProvider::JQuery) => "Cdn(JQuery)",
+            Service::Cdn(CdnProvider::MicrosoftAjax) => "Cdn(MicrosoftAjax)",
+        }
+    }
+}
+
 /// Registry of service nodes, plus DNS resolvers.
 #[derive(Debug, Default)]
 pub struct ServiceTargets {
@@ -196,5 +218,26 @@ mod tests {
         t.set_operator_dns(roam_cellular::MnoId(4), r);
         assert_eq!(t.operator_dns(roam_cellular::MnoId(4)), Some(r));
         assert!(t.operator_dns(roam_cellular::MnoId(5)).is_none());
+    }
+
+    #[test]
+    fn service_names_match_the_debug_rendering() {
+        // The trace CSV has always written `{:?}`; `name()` must stay
+        // byte-identical so columnar dictionaries agree with old exports.
+        let all = [
+            Service::Google,
+            Service::Facebook,
+            Service::YouTube,
+            Service::Ookla,
+            Service::FastCom,
+            Service::Cdn(CdnProvider::Cloudflare),
+            Service::Cdn(CdnProvider::GoogleCdn),
+            Service::Cdn(CdnProvider::JsDelivr),
+            Service::Cdn(CdnProvider::JQuery),
+            Service::Cdn(CdnProvider::MicrosoftAjax),
+        ];
+        for s in all {
+            assert_eq!(s.name(), format!("{s:?}"));
+        }
     }
 }

@@ -1,0 +1,274 @@
+//! The columnar/CSV equivalence contract: for every dataset, rows pushed
+//! through a [`ColumnarSink`] must re-render the exact bytes the CSV
+//! export produces — and survive a seal/parse round trip through a
+//! `roam-codec` frame unchanged. This covers the awkward cases the CSV
+//! dialect pins down: non-finite floats (null in pages, empty fields in
+//! CSV), failed rows with empty metrics, and free-text dictionary labels
+//! that need quoting.
+
+use proptest::prelude::*;
+use roam_cellular::{Cqi, Rat, SimType};
+use roam_columnar::{
+    csv_header, field, push_csv_field, render_csv, CellValue, ColKind, Query, Schema, Table,
+    TableBuilder, TableView,
+};
+use roam_geo::{City, Country};
+use roam_ipx::RoamingArch;
+use roam_measure::campaign::{CampaignData, DnsRecord, RecordTag, SpeedtestRecord};
+use roam_measure::voip::VoipResult;
+use roam_measure::{Dataset, Exporter, MeasureStatus, VoipRecord};
+
+/// Any float a measurement could plausibly report — finite values plus
+/// the non-finite ones dead paths produce.
+fn arb_metric() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e6f64..1e6,
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+    ]
+}
+
+/// Every status a row can carry, failed ones included.
+fn arb_status() -> impl Strategy<Value = MeasureStatus> {
+    prop_oneof![
+        Just(MeasureStatus::Ok),
+        Just(MeasureStatus::Failover),
+        Just(MeasureStatus::Timeout),
+        Just(MeasureStatus::Unreachable),
+    ]
+}
+
+fn arb_tag() -> impl Strategy<Value = RecordTag> {
+    (
+        prop_oneof![Just(Country::PAK), Just(Country::USA), Just(Country::DEU)],
+        prop_oneof![Just(SimType::Physical), Just(SimType::Esim)],
+        prop_oneof![
+            Just(RoamingArch::Native),
+            Just(RoamingArch::HomeRouted),
+            Just(RoamingArch::LocalBreakout),
+            Just(RoamingArch::IpxHubBreakout),
+        ],
+        prop_oneof![Just(Rat::Lte), Just(Rat::Nr5g)],
+    )
+        .prop_map(|(country, sim_type, arch, rat)| RecordTag {
+            country,
+            sim_type,
+            arch,
+            rat,
+        })
+}
+
+fn arb_speedtest() -> impl Strategy<Value = SpeedtestRecord> {
+    (
+        arb_tag(),
+        arb_metric(),
+        arb_metric(),
+        arb_metric(),
+        1u32..5,
+        (
+            prop_oneof![Just(None), (1u8..=15).prop_map(Some)],
+            arb_status(),
+        ),
+    )
+        .prop_map(
+            |(tag, down_mbps, up_mbps, latency_ms, attempts, (cqi, status))| SpeedtestRecord {
+                tag,
+                down_mbps,
+                up_mbps,
+                latency_ms,
+                attempts,
+                cqi: cqi.map(Cqi::new),
+                status,
+            },
+        )
+}
+
+fn arb_dns() -> impl Strategy<Value = DnsRecord> {
+    (
+        arb_tag(),
+        arb_metric(),
+        1u32..4,
+        any::<bool>(),
+        prop_oneof![Just(None), Just(Some(City::Singapore))],
+        arb_status(),
+    )
+        .prop_map(
+            |(tag, lookup_ms, attempts, doh, resolver_city, status)| DnsRecord {
+                tag,
+                lookup_ms,
+                attempts,
+                resolver_city,
+                doh,
+                status,
+            },
+        )
+}
+
+fn arb_voip() -> impl Strategy<Value = VoipRecord> {
+    (
+        arb_tag(),
+        arb_metric(),
+        arb_metric(),
+        arb_metric(),
+        arb_metric(),
+        (arb_metric(), arb_status()),
+    )
+        .prop_map(
+            |(tag, rtt_ms, jitter_ms, loss, r_factor, (mos, status))| VoipRecord {
+                tag,
+                result: VoipResult {
+                    rtt_ms,
+                    jitter_ms,
+                    loss,
+                    r_factor,
+                    mos,
+                },
+                status,
+            },
+        )
+}
+
+/// The columnar table's CSV rendering (header + pages), plus the same
+/// after a seal/parse round trip — both must equal `expected_csv`.
+fn assert_table_matches(table: &Table, expected_csv: &str) {
+    let mut direct = csv_header(table);
+    render_csv(table, &mut direct);
+    assert_eq!(&direct, expected_csv, "owned table render diverged");
+
+    let frame = table.to_frame();
+    let view = TableView::parse_frame(&frame).expect("sealed frame parses");
+    let mut round = csv_header(&view);
+    render_csv(&view, &mut round);
+    assert_eq!(&round, expected_csv, "frame round trip diverged");
+}
+
+proptest! {
+    #[test]
+    fn columnar_speedtests_equal_csv(
+        records in proptest::collection::vec(arb_speedtest(), 0..40),
+    ) {
+        let whole = CampaignData {
+            speedtests: records,
+            ..CampaignData::default()
+        };
+        let csv = whole.export(Dataset::Speedtests);
+        let tables = whole.export_tables();
+        let (_, table) = tables
+            .iter()
+            .find(|(ds, _)| *ds == Dataset::Speedtests)
+            .expect("export_tables registers every held dataset");
+        assert_table_matches(table, &csv);
+        prop_assert!(!csv.contains("inf") && !csv.contains("NaN"));
+    }
+
+    #[test]
+    fn columnar_dns_equals_csv(
+        records in proptest::collection::vec(arb_dns(), 0..40),
+    ) {
+        let whole = CampaignData {
+            dns: records,
+            ..CampaignData::default()
+        };
+        let csv = whole.export(Dataset::Dns);
+        let tables = whole.export_tables();
+        let (_, table) = tables
+            .iter()
+            .find(|(ds, _)| *ds == Dataset::Dns)
+            .expect("export_tables registers every held dataset");
+        assert_table_matches(table, &csv);
+    }
+
+    #[test]
+    fn columnar_voip_equals_csv(
+        records in proptest::collection::vec(arb_voip(), 0..40),
+    ) {
+        let csv = records[..].export(Dataset::Voip);
+        let tables = records[..].export_tables();
+        let (_, table) = tables
+            .iter()
+            .find(|(ds, _)| *ds == Dataset::Voip)
+            .expect("slice exporters hold exactly the voip dataset");
+        assert_table_matches(table, &csv);
+
+        // Rows stay rectangular even when every metric goes empty.
+        let cols = Dataset::Voip.header().split(',').count();
+        let mut rendered = csv_header(table);
+        render_csv(table, &mut rendered);
+        for line in rendered.lines().skip(1) {
+            prop_assert_eq!(line.split(',').count(), cols, "ragged: {}", line);
+        }
+    }
+
+    /// Free-text dictionary labels — commas, quotes, repeats, nulls —
+    /// must round-trip through dict pages and render with the exact
+    /// quoting the row-streaming CSV sink uses.
+    #[test]
+    fn dict_free_text_round_trips(
+        cities in proptest::collection::vec(
+            prop_oneof![Just(None), "[a-z ,\"]{0,12}".prop_map(Some)],
+            0..50,
+        ),
+    ) {
+        let mut b = TableBuilder::new(Schema::new(vec![field("city", ColKind::Dict)]));
+        for c in &cities {
+            b.push_row(&[CellValue::Str(c.as_deref())]);
+        }
+        let table = b.finish();
+
+        let mut expected = String::from("city\n");
+        for c in &cities {
+            if let Some(s) = c {
+                push_csv_field(&mut expected, s);
+            }
+            expected.push('\n');
+        }
+        assert_table_matches(&table, &expected);
+
+        // The query engine hands the original strings back, row for row.
+        let frame = table.to_frame();
+        let view = TableView::parse_frame(&frame).expect("sealed frame parses");
+        let labels = Query::new(&view).labels("city");
+        prop_assert_eq!(
+            labels,
+            cities.iter().map(Option::as_deref).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Schema and CSV header are two views of the same declaration: the
+/// header's column names must equal the schema's field names, in order,
+/// for every dataset — and stay stable across releases (the artifact
+/// directories depend on them).
+#[test]
+fn schema_and_header_agree_for_every_dataset() {
+    for ds in Dataset::ALL {
+        let names: Vec<&str> = ds
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(
+            ds.header().split(',').collect::<Vec<_>>(),
+            names,
+            "{ds:?}: header/schema drift"
+        );
+        assert_eq!(ds.header_csv(), format!("{}\n", ds.header()), "{ds:?}");
+
+        // Every dataset carries the four context columns up front and a
+        // trailing status enum.
+        assert_eq!(&names[..4], &["country", "sim", "arch", "rat"], "{ds:?}");
+        assert_eq!(names.last(), Some(&"status"), "{ds:?}");
+        match &ds.schema().fields().last().expect("non-empty").kind {
+            ColKind::Enum(labels) => {
+                assert_eq!(
+                    labels,
+                    &["ok", "failover", "timeout", "unreachable"],
+                    "{ds:?}"
+                )
+            }
+            other => panic!("{ds:?}: status column is {other:?}, not an enum"),
+        }
+    }
+}

@@ -2,26 +2,50 @@
 //! both the local physical SIM and the Airalo eSIM, alternating between
 //! them, exactly like §3.2 — then the §5.1 comparison on the results.
 //!
-//! The campaign runs through [`CampaignRunner`]: seed in, builder knobs
-//! for scale / workers / telemetry, merged records out. The knobs choose
-//! cost and reporting only — the records are the same bytes either way.
+//! The campaign runs through [`CampaignRunner`] with a columnar
+//! [`DataSink`](roamsim::measure::DataSink) attached: as the shards merge,
+//! every record streams into typed column pages, and all the statistics
+//! below are filter + `values` scans over those chunks — no per-question
+//! record re-walks, no buffered CSV. The paper's CQI ≥ 7 quality filter is
+//! the `u32_ge("cqi", 7)` spelling of `filtered_speedtests`.
 //!
 //! ```sh
 //! cargo run --release --example device_campaign
 //! ```
 
+use std::sync::{Arc, Mutex};
+
 use roam_bench::CampaignRunner;
+use roamsim::cellular::Cqi;
+use roamsim::columnar::{Query, Table};
 use roamsim::geo::Country;
+use roamsim::measure::{ColumnarSink, Dataset, SharedSink};
 use roamsim::stats::{welch_t_test, Summary};
 use roamsim::telemetry::TelemetryMode;
 
 fn main() {
+    // The sink rides along with the run: the builder knobs still choose
+    // cost and reporting only, and the streamed rows are the same bytes
+    // the buffered export would have rendered.
+    let sink = Arc::new(Mutex::new(ColumnarSink::new()));
     let run = CampaignRunner::new(7)
         .scale(0.4)
         .parallel(4)
         .telemetry(TelemetryMode::Summary)
+        .sink(sink.clone() as SharedSink)
         .run();
-    let all = &run.data;
+    let speed = Arc::try_unwrap(sink)
+        .expect("runner releases its sink handle after run()")
+        .into_inner()
+        .expect("sink not poisoned")
+        .into_table(Dataset::Speedtests)
+        .expect("device campaigns record speedtests");
+
+    // The paper's quality filter: failed runs carry a null CQI and never
+    // pass, so this matches `CampaignData::filtered_speedtests` exactly.
+    let filtered = || -> Query<'_, Table> {
+        Query::new(&speed).u32_ge("cqi", u32::from(Cqi::QPSK_THRESHOLD.value()))
+    };
     let countries = [
         Country::PAK,
         Country::ARE,
@@ -35,42 +59,29 @@ fn main() {
         "ctry", "kind", "down Mbps", "up Mbps", "latency ms", "n"
     );
     for country in countries {
-        for sim_type in [
-            roamsim::cellular::SimType::Physical,
-            roamsim::cellular::SimType::Esim,
-        ] {
-            let rows: Vec<f64> = all
-                .filtered_speedtests()
-                .iter()
-                .filter(|r| r.tag.country == country && r.tag.sim_type == sim_type)
-                .map(|r| r.down_mbps)
-                .collect();
-            let ups: Vec<f64> = all
-                .filtered_speedtests()
-                .iter()
-                .filter(|r| r.tag.country == country && r.tag.sim_type == sim_type)
-                .map(|r| r.up_mbps)
-                .collect();
-            let lats: Vec<f64> = all
-                .speedtests
-                .iter()
-                .filter(|r| r.tag.country == country && r.tag.sim_type == sim_type)
-                .map(|r| r.latency_ms)
-                .collect();
-            if rows.is_empty() {
+        for (label, sim) in [("SIM", "sim"), ("eSIM", "esim")] {
+            let of = |metric: &str| {
+                filtered()
+                    .eq("country", country.alpha3())
+                    .eq("sim", sim)
+                    .values(metric)
+            };
+            let downs = of("down_mbps");
+            // Latency is reported unfiltered, like the paper's RTT panels.
+            let lats = Query::new(&speed)
+                .eq("country", country.alpha3())
+                .eq("sim", sim)
+                .values("latency_ms");
+            if downs.is_empty() {
                 continue;
             }
-            let d = Summary::from(&rows).expect("non-empty");
-            let u = Summary::from(&ups).expect("non-empty");
+            let d = Summary::from(&downs).expect("non-empty");
+            let u = Summary::from(&of("up_mbps")).expect("non-empty");
             let l = Summary::from(&lats).expect("non-empty");
             println!(
                 "{:<6} {:>4}  {:>12.1} {:>12.1}  {:>12.1} {:>12}",
                 country.alpha3(),
-                if sim_type == roamsim::cellular::SimType::Esim {
-                    "eSIM"
-                } else {
-                    "SIM"
-                },
+                label,
                 d.median,
                 u.median,
                 l.median,
@@ -80,23 +91,13 @@ fn main() {
     }
 
     // The paper's headline test: physical vs eSIM RTT in roaming countries.
-    let sim_rtt: Vec<f64> = all
-        .speedtests
-        .iter()
-        .filter(|r| {
-            r.tag.sim_type == roamsim::cellular::SimType::Physical && r.tag.country != Country::KOR
-        })
-        .map(|r| r.latency_ms)
-        .collect();
-    let esim_rtt: Vec<f64> = all
-        .speedtests
-        .iter()
-        .filter(|r| {
-            r.tag.sim_type == roamsim::cellular::SimType::Esim && r.tag.country != Country::KOR
-        })
-        .map(|r| r.latency_ms)
-        .collect();
-    let t = welch_t_test(&sim_rtt, &esim_rtt).expect("enough samples");
+    let rtt = |sim: &str| {
+        Query::new(&speed)
+            .eq("sim", sim)
+            .none_of("country", &[Country::KOR.alpha3()])
+            .values("latency_ms")
+    };
+    let t = welch_t_test(&rtt("sim"), &rtt("esim")).expect("enough samples");
     println!(
         "\nWelch t-test, SIM vs eSIM RTT in roaming countries: t = {:.2}, p = {:.2e} \
          ({}significant)",

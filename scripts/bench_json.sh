@@ -37,6 +37,21 @@ best_ups=$(best_of_three ROAM_FLEET_WORKERS=0)
 best_threads=$(best_of_three ROAM_PARALLEL=4)
 best_workers=$(best_of_three ROAM_FLEET_WORKERS=4)
 
+# Export + analyze end-to-end: the columnar sink/frame/query pipeline
+# against CSV render + re-parse on the same streamed session table
+# (export_bench is best-of-three per phase internally, and asserts both
+# pipelines compute the same answer). The speedup gate keeps the
+# columnar path honest: it must stay >= ROAM_EXPORT_FLOOR x CSV end to
+# end, at the same 100k-user scale as the throughput gate.
+cargo build -q --release --offline -p roam-bench --bin export_bench
+export_floor=${ROAM_EXPORT_FLOOR:-2.0}
+eb=$(ROAM_FLEET_USERS="$smoke_users" target/release/export_bench 2>&1 >/dev/null)
+eb_csv_mbps=$(sed -n 's/^export_bench_csv_mb_per_sec: //p' <<<"$eb")
+eb_col_mbps=$(sed -n 's/^export_bench_columnar_mb_per_sec: //p' <<<"$eb")
+eb_export_sp=$(sed -n 's/^export_bench_export_speedup: //p' <<<"$eb")
+eb_analyze_sp=$(sed -n 's/^export_bench_analyze_speedup: //p' <<<"$eb")
+eb_total_sp=$(sed -n 's/^export_bench_speedup: //p' <<<"$eb")
+
 crit=target/criterion
 out=BENCH_netsim.json
 tmp=$(mktemp)
@@ -61,6 +76,12 @@ jq -n \
    --argjson smoke_workers "$best_workers" \
    --argjson floor "$floor" \
    --argjson smoke_users "$smoke_users" \
+   --argjson eb_csv_mbps "$eb_csv_mbps" \
+   --argjson eb_col_mbps "$eb_col_mbps" \
+   --argjson eb_export_sp "$eb_export_sp" \
+   --argjson eb_analyze_sp "$eb_analyze_sp" \
+   --argjson eb_total_sp "$eb_total_sp" \
+   --argjson export_floor "$export_floor" \
    '($b[0]."campaign/device_campaign_seq".mean_ns) as $seq
     | ($b[0]."campaign/device_campaign_par4".mean_ns) as $par
     | ($b[0]."engine/transfer_closed_form".mean_ns) as $cf
@@ -141,6 +162,16 @@ jq -n \
          above_floor: ($smoke >= $floor),
          above_floor_workers: ($smoke_workers >= $floor)
        },
+       export: {
+         note: "the session table streamed from one fleet run, exported and analyzed both ways: CSV render + text re-parse vs columnar frame seal + zero-copy view + streaming query; export_speedup and analyze_speedup are per-phase CSV-over-columnar time ratios, speedup is end to end (export + analyze), gated against floor_speedup",
+         csv_mb_per_sec: $eb_csv_mbps,
+         columnar_mb_per_sec: $eb_col_mbps,
+         export_speedup: $eb_export_sp,
+         analyze_speedup: $eb_analyze_sp,
+         speedup: $eb_total_sp,
+         floor_speedup: $export_floor,
+         above_floor: ($eb_total_sp >= $export_floor)
+       },
        checkpoint: {
          note: "shard checkpoint frame for a 500-user shard state: encode (codec only), decode (parse + integrity hash + field decode), write (temp + fsync + rename, the torn-write protocol), and resume_validate (everything FleetRunner::resume pays before the first user: manifest decode, fingerprint recompute incl. world+market build, all shard loads)",
          shard_encode_2k_ns: $cke,
@@ -152,7 +183,7 @@ jq -n \
        benchmarks: $b[0]}' > "$out"
 
 echo "wrote $out"
-jq '.parallel, .engine, .telemetry, .faults, .event_core, .fleet, .checkpoint' "$out"
+jq '.parallel, .engine, .telemetry, .faults, .event_core, .fleet, .export, .checkpoint' "$out"
 
 if [ "$(jq '.faults.disabled_overhead_within_2pct' "$out")" = "false" ]; then
     echo "WARNING: disabled fault plane costs >2% over the bare ping path" >&2
@@ -169,5 +200,11 @@ fi
 if [ "$(jq '.fleet.above_floor_workers' "$out")" = "false" ]; then
     echo "FAIL: fleet_smoke worker-process throughput ${best_workers} users/sec" >&2
     echo "      is below the floor of ${floor} (override with ROAM_FLEET_FLOOR)" >&2
+    exit 1
+fi
+
+if [ "$(jq '.export.above_floor' "$out")" = "false" ]; then
+    echo "FAIL: columnar export+analyze is only ${eb_total_sp}x the CSV path," >&2
+    echo "      below the floor of ${export_floor}x (override with ROAM_EXPORT_FLOOR)" >&2
     exit 1
 fi

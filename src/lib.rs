@@ -15,6 +15,7 @@
 //!
 //! | module | crate | what it is |
 //! |---|---|---|
+//! | [`columnar`] | `roam-columnar` | zero-copy column pages + streaming query engine |
 //! | [`geo`] | `roam-geo` | geodesy, country/city gazetteer |
 //! | [`stats`] | `roam-stats` | quantiles, CDFs, Welch t, Levene |
 //! | [`netsim`] | `roam-netsim` | packet-level network simulator (wire formats, TTL/ICMP, CG-NAT, throughput) |
@@ -48,6 +49,7 @@
 //! ```
 
 pub use roam_cellular as cellular;
+pub use roam_columnar as columnar;
 pub use roam_core as core;
 pub use roam_econ as econ;
 pub use roam_fleet as fleet;
