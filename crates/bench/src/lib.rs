@@ -569,6 +569,30 @@ pub fn emit_users_per_sec(users: u64, wall_secs: f64) -> f64 {
     users_per_sec(users, wall_secs)
 }
 
+/// The machine-parseable agent throughput line scraped by the CI
+/// service-floor gate and `scripts/bench_json.sh`
+/// (`sed -n 's/^service_events_per_sec: //p'`).
+///
+/// A *service event* is one unit of agent work: a scheduler job fire
+/// (cohort tick, vantage probe, or fault-calendar advance) or one
+/// session record flowing through the bounded export queue. Like the
+/// fleet gate line, it lives on **stderr** — `service_smoke`'s stdout
+/// carries nothing but the byte-stable agent report.
+#[must_use]
+pub fn service_events_per_sec_line(events: u64, wall_secs: f64) -> String {
+    format!(
+        "service_events_per_sec: {:.0}",
+        events as f64 / wall_secs.max(1e-9)
+    )
+}
+
+/// Emit [`service_events_per_sec_line`] on stderr and return the rate.
+/// The single emission point, mirroring [`emit_users_per_sec`].
+pub fn emit_service_events_per_sec(events: u64, wall_secs: f64) -> f64 {
+    eprintln!("{}", service_events_per_sec_line(events, wall_secs));
+    events as f64 / wall_secs.max(1e-9)
+}
+
 /// Format a boxplot row for the text figures.
 #[must_use]
 pub fn boxplot_row(label: &str, values: &[f64]) -> String {

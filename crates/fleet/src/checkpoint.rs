@@ -47,6 +47,10 @@ pub const KIND_SHARD: u16 = 2;
 pub const KIND_JOB: u16 = 3;
 /// Frame kind of a shard result (worker stdout → parent).
 pub const KIND_RESULT: u16 = 4;
+/// Frame kind of a service agent's checkpoint (`roam-service`). The kind
+/// lives in this registry so every checkpoint-plane frame kind is
+/// declared in one place.
+pub const KIND_AGENT: u16 = 5;
 
 /// File name of the run manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.ckpt";
@@ -506,8 +510,9 @@ pub(crate) fn load_shard(dir: &Path, index: usize) -> Result<Option<ShardState>,
 
 /// Write `frame` to `path` atomically: a sibling temp file first, then a
 /// rename over the target. A kill at any point leaves either the previous
-/// file or the new one, never a torn frame.
-pub(crate) fn write_atomic(path: &Path, frame: &[u8]) -> std::io::Result<()> {
+/// file or the new one, never a torn frame. Public because the service
+/// agent's checkpoint (`roam-service`) writes through the same plane.
+pub fn write_atomic(path: &Path, frame: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("ckpt.tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -518,7 +523,8 @@ pub(crate) fn write_atomic(path: &Path, frame: &[u8]) -> std::io::Result<()> {
 }
 
 /// Read and unseal one checkpoint file, enforcing frame kind and version.
-pub(crate) fn read_frame(path: &Path, kind: u16) -> Result<Vec<u8>, ResumeError> {
+/// Public for the same reason as [`write_atomic`].
+pub fn read_frame(path: &Path, kind: u16) -> Result<Vec<u8>, ResumeError> {
     let bytes = std::fs::read(path).map_err(|e| ResumeError::Io(path.to_path_buf(), e))?;
     let (frame, used) =
         Frame::parse(&bytes).map_err(|e| ResumeError::Corrupt(path.to_path_buf(), e))?;

@@ -14,6 +14,7 @@
 //!
 //! | module         | role                                                |
 //! |----------------|-----------------------------------------------------|
+//! | [`batch`]      | cohort batches: arbitrary uid ranges for roam-service |
 //! | [`config`]     | sizing knobs + `ROAM_FLEET_*` environment parsing   |
 //! | [`population`] | per-user deterministic synthesis (class, itinerary) |
 //! | `plan`         | shard work orders + worker striping                 |
@@ -35,6 +36,7 @@
 //! three-part contract, and `tests/fleet_determinism.rs` /
 //! `crates/fleet/tests/checkpoint_resume.rs` for the pins.
 
+pub mod batch;
 pub mod checkpoint;
 pub mod config;
 mod exec;
@@ -46,9 +48,12 @@ pub mod runner;
 pub mod sink;
 pub mod worker;
 
+pub use batch::{BatchRun, UserBatch};
 pub use checkpoint::{Manifest, ResumeError, ShardState, CKPT_VERSION};
 pub use config::{FleetConfig, SessionMix};
 pub use population::{synthesize, user_rng, Leg, TravelerClass, UserId, UserProfile};
 pub use report::{FleetReport, JourneySample};
-pub use runner::{FleetRun, FleetRunner, FleetShardTiming, DEFAULT_CHECKPOINT_EVERY};
+pub use runner::{
+    FleetConfigError, FleetRun, FleetRunner, FleetShardTiming, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use sink::{SessionKind, SessionRecord, SessionRows};

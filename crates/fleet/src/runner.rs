@@ -84,6 +84,49 @@ pub struct FleetRun {
     pub halted: bool,
 }
 
+/// A contradiction between [`FleetRunner`] builder knobs, detected by
+/// [`FleetRunner::try_run`] before any shard executes.
+///
+/// Every variant is a *configuration* refusal (the analogue of
+/// [`ResumeError`] for the builder): nothing has run, nothing was
+/// written, and the fix is always to drop one of the two knobs named by
+/// the variant. [`FleetRunner::run`] panics with the same message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// [`FleetRunner::sink`] combined with [`FleetRunner::workers`]:
+    /// session records never cross the worker-process pipe protocol
+    /// (only mergeable aggregates do), so the sink would silently
+    /// observe an empty stream.
+    SinkWithWorkers {
+        /// The configured worker-process count (> 0).
+        workers: usize,
+    },
+    /// [`FleetRunner::sink`] combined with
+    /// [`FleetRunner::checkpoint_dir`]: streamed rows are not part of
+    /// the checkpoint plane, so a kill + resume would replay aggregates
+    /// exactly while the sink silently lost every pre-kill row.
+    SinkWithCheckpoint,
+}
+
+impl std::fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetConfigError::SinkWithWorkers { workers } => write!(
+                f,
+                "session sink requires the in-process backend (workers == 0); \
+                 got workers == {workers}"
+            ),
+            FleetConfigError::SinkWithCheckpoint => write!(
+                f,
+                "session sink is incompatible with checkpointing: streamed rows \
+                 are not replayed on resume"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
 /// Builder for fleet runs, mirroring `CampaignRunner`: seed in,
 /// builder-style knobs for population, partitioning, workers, transport,
 /// checkpointing and telemetry. None of the knobs except
@@ -399,20 +442,50 @@ impl FleetRunner {
         self.config.users
     }
 
+    /// Check the builder knobs for contradictions without running
+    /// anything — the validation [`FleetRunner::try_run`] performs.
+    ///
+    /// # Errors
+    /// See [`FleetConfigError`]; every variant names the two knobs that
+    /// conflict.
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.sink.is_some() {
+            if self.workers > 0 {
+                return Err(FleetConfigError::SinkWithWorkers {
+                    workers: self.workers,
+                });
+            }
+            if self.checkpoint_dir.is_some() {
+                return Err(FleetConfigError::SinkWithCheckpoint);
+            }
+        }
+        Ok(())
+    }
+
     /// Run the fleet: plan the shard ranges, execute them on the selected
     /// backend, fold reports and telemetry in shard order.
+    ///
+    /// Panics on a contradictory configuration — use
+    /// [`FleetRunner::try_run`] to get the refusal as a typed
+    /// [`FleetConfigError`] instead.
     #[must_use]
     pub fn run(&self) -> FleetRun {
-        if self.sink.is_some() {
-            assert!(
-                self.workers == 0,
-                "session sink requires the in-process backend (workers == 0)"
-            );
-            assert!(
-                self.checkpoint_dir.is_none(),
-                "session sink is incompatible with checkpointing"
-            );
+        match self.try_run() {
+            Ok(run) => run,
+            Err(err) => panic!("{err}"),
         }
+    }
+
+    /// Run the fleet, refusing contradictory configurations with a typed
+    /// [`FleetConfigError`] instead of a panic. Services embedding the
+    /// runner (roam-service, long-running agents) use this so a bad knob
+    /// combination surfaces as a recoverable error before any shard
+    /// executes.
+    ///
+    /// # Errors
+    /// See [`FleetConfigError`].
+    pub fn try_run(&self) -> Result<FleetRun, FleetConfigError> {
+        self.validate()?;
         let users = self.config.users.max(1);
         let shards = plan::effective_shards(users, self.config.shards);
         // Resolve every output-relevant knob once, up front: the resolved
@@ -496,9 +569,9 @@ impl FleetRunner {
                 outcome.sessions = Vec::new();
             }
             drop(sink);
-            return merge_outcomes(self.config.sample, self.telemetry, outcomes);
+            return Ok(merge_outcomes(self.config.sample, self.telemetry, outcomes));
         }
-        merge_outcomes(self.config.sample, self.telemetry, outcomes)
+        Ok(merge_outcomes(self.config.sample, self.telemetry, outcomes))
     }
 }
 

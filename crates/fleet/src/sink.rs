@@ -52,7 +52,7 @@ impl SessionKind {
 /// sessions keep their tag and kind but carry no metric — the sink
 /// renders those fields empty (CSV) or null (columnar), exactly like
 /// a failed campaign record.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionRecord {
     /// Context of the endpoint the session ran on.
     pub tag: RecordTag,

@@ -10,7 +10,7 @@
 //! * the sink refuses execution shapes that cannot carry records
 //!   (worker processes, checkpointing).
 
-use roam_fleet::FleetRunner;
+use roam_fleet::{FleetConfigError, FleetRunner};
 use roam_measure::{ColumnarSink, Dataset, MemorySink, SharedSink};
 use std::sync::{Arc, Mutex};
 
@@ -104,4 +104,42 @@ fn sink_refuses_checkpointing() {
         .checkpoint_dir("/tmp/roam-sink-refuses-checkpointing")
         .sink(sink)
         .run();
+}
+
+#[test]
+fn try_run_returns_typed_config_errors() {
+    // The same contradictions `run()` panics on come back as typed,
+    // matchable values from `try_run()`, before anything executes.
+    let sink: SharedSink = Arc::new(Mutex::new(MemorySink::new()));
+    let err = runner(2, 1)
+        .workers(3)
+        .sink(sink)
+        .try_run()
+        .err()
+        .expect("sink + workers must refuse");
+    assert_eq!(err, FleetConfigError::SinkWithWorkers { workers: 3 });
+    assert!(err.to_string().contains("workers == 3"), "{err}");
+
+    let sink: SharedSink = Arc::new(Mutex::new(MemorySink::new()));
+    let err = runner(2, 1)
+        .checkpoint_dir("/tmp/roam-sink-try-run-checkpointing")
+        .sink(sink)
+        .try_run()
+        .err()
+        .expect("sink + checkpointing must refuse");
+    assert_eq!(err, FleetConfigError::SinkWithCheckpoint);
+    // Nothing ran and nothing was written: the refusal is pre-flight.
+    assert!(!std::path::Path::new("/tmp/roam-sink-try-run-checkpointing").exists());
+}
+
+#[test]
+fn validate_accepts_compatible_shapes() {
+    let sink: SharedSink = Arc::new(Mutex::new(MemorySink::new()));
+    assert_eq!(runner(2, 2).sink(sink).validate(), Ok(()));
+    // Workers + checkpointing without a sink is the supported
+    // kill-tolerant shape.
+    assert_eq!(
+        runner(2, 1).workers(2).checkpoint_dir("/tmp/x").validate(),
+        Ok(())
+    );
 }

@@ -153,8 +153,11 @@ struct Slot<E> {
 /// * every overflow event's quantised time differs from the cursor above
 ///   the horizon, so overflow events are strictly later than every slotted
 ///   event — overflow only needs consulting when the wheel drains empty;
-/// * `current` holds the events of the slot the cursor sits in, sorted by
-///   `(at, seq)` descending so the next event pops from the back.
+/// * `current` holds the events of the slot the cursor sits in (plus any
+///   events scheduled behind the cursor after a peek cascaded it forward
+///   — see `place`), sorted by `(at, seq)` descending so the next event
+///   pops from the back; every slotted event is later than everything in
+///   `current`.
 #[derive(Debug)]
 struct Wheel<E> {
     /// `LEVELS * SLOTS` buckets, allocated lazily on first schedule so an
@@ -206,6 +209,19 @@ impl<E> Wheel<E> {
     }
 
     fn place(&mut self, entry: Slot<E>) {
+        if entry.at < self.cursor {
+            // Behind the cursor: legal when the caller schedules after a
+            // peek already cascaded the wheel forward (peek must expose
+            // the next slotted event, but the event being placed now is
+            // earlier and still in the future of the last *pop*). The
+            // slot walk can no longer reach this time, so the entry
+            // joins `current`, which always drains before the wheel
+            // advances again — `(at, seq)` order is preserved.
+            let key = (entry.at, entry.seq);
+            let pos = self.current.partition_point(|s| (s.at, s.seq) > key);
+            self.current.insert(pos, entry);
+            return;
+        }
         match self.level_for(entry.at) {
             None => {
                 // The cursor's own slot: keep `current` sorted descending.
@@ -426,6 +442,30 @@ impl<E> EventQueue<E> {
         self.rewind();
     }
 
+    /// Timestamp and payload of the next event without popping it — the
+    /// clock does not advance and the pending set is unchanged. Takes
+    /// `&mut self` because the wheel may need to cascade far slots down
+    /// to expose its next event (a pure rearrangement; `(time, seq)`
+    /// order is unaffected). The service scheduler uses this to look at
+    /// the next fire time before deciding whether to advance the clock.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.peek().map(|entry| {
+                let Reverse((at, _)) = entry.key;
+                (at, &entry.event)
+            }),
+            Backend::Wheel(wheel) => {
+                if wheel.current.is_empty() {
+                    wheel.advance();
+                }
+                wheel
+                    .current
+                    .last()
+                    .map(|slot| (SimTime::from_nanos(slot.at), &slot.event))
+            }
+        }
+    }
+
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let (at, event) = match &mut self.backend {
@@ -642,6 +682,66 @@ mod tests {
             }
         }
         assert!(heap.pop().is_none());
+    }
+
+    #[test]
+    fn peek_matches_pop_without_consuming() {
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            assert!(q.peek().is_none(), "{kind:?}");
+            // Spread across slots, levels, and the overflow list, with a
+            // same-instant tie, so the wheel has to cascade to peek.
+            let times: Vec<u64> = vec![
+                5 * 1_000_000,
+                1_000_000,
+                1_000_000,
+                1 << (GRAIN_BITS + 2 * SLOT_BITS),
+                1 << (GRAIN_BITS + 6 * SLOT_BITS),
+            ];
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), i);
+            }
+            let before = q.len();
+            while !q.is_empty() {
+                let now_before = q.now();
+                let (peek_at, &peek_ev) = q.peek().expect("non-empty queue peeks");
+                assert_eq!(q.now(), now_before, "{kind:?}: peek moved the clock");
+                let (at, ev) = q.pop().unwrap();
+                assert_eq!((peek_at, peek_ev), (at, ev), "{kind:?}");
+            }
+            assert_eq!(before, times.len());
+            assert!(q.peek().is_none());
+        }
+    }
+
+    #[test]
+    fn scheduling_behind_a_peeked_cursor_keeps_time_order() {
+        // A recurring-job pattern: drain an instant, peek (the wheel
+        // cascades its cursor to the next occupied slot — possibly far
+        // ahead), then schedule the next recurrence *earlier* than the
+        // peeked time. Both backends must deliver in time order anyway.
+        const DAY: u64 = 86_400_000_000_000;
+        let mut orders: Vec<Vec<(u64, u32)>> = Vec::new();
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::ZERO, 0u32); // daily job, fires at 0
+            q.schedule(SimTime::from_nanos(7 * DAY), 1u32); // weekly job
+            let mut order = Vec::new();
+            while let Some((at, ev)) = q.pop() {
+                order.push((at.as_nanos() / DAY, ev));
+                let t = at.as_nanos();
+                if ev == 0 && t < 10 * DAY {
+                    // Peek first — on the wheel this cascades the cursor
+                    // up to the weekly entry before the daily one lands.
+                    let _ = q.peek();
+                    q.schedule(SimTime::from_nanos(t + DAY), 0u32);
+                }
+            }
+            let sorted_ok = order.windows(2).all(|w| w[0].0 <= w[1].0);
+            assert!(sorted_ok, "{kind:?} delivered out of order: {order:?}");
+            orders.push(order);
+        }
+        assert_eq!(orders[0], orders[1], "backends disagree on order");
     }
 
     #[test]

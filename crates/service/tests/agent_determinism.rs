@@ -1,0 +1,72 @@
+//! The agent's byte-identity boundary: report, session stream and soak
+//! table are invariant across thread modes and queue capacities.
+
+use roam_measure::{Dataset, MemorySink, RunMode};
+use roam_service::{Agent, Horizon, Outcome, ServiceConfig};
+use std::sync::{Arc, Mutex};
+
+fn small() -> ServiceConfig {
+    ServiceConfig {
+        users: 120,
+        cohorts: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Run a small agent for `days` and return (report, sessions csv, soak frame).
+fn run_once(mode: RunMode, queue_cap: usize, days: u64) -> (String, String, Vec<u8>) {
+    let mut config = small();
+    config.queue_cap = queue_cap;
+    let mem = Arc::new(Mutex::new(MemorySink::default()));
+    let mut agent = Agent::new(11, config).unwrap().mode(mode).sink(mem.clone());
+    let run = agent.run(Horizon::SimDays(days), None).unwrap();
+    assert_eq!(run.outcome, Outcome::Completed);
+    let tables = mem.lock().unwrap().clone().into_tables();
+    let sessions = tables
+        .into_iter()
+        .find(|(ds, _)| *ds == Dataset::Sessions)
+        .map(|(_, csv)| csv)
+        .unwrap_or_default();
+    (run.render(), sessions, run.soak_frame())
+}
+
+#[test]
+fn report_stream_and_soak_are_mode_and_queue_invariant() {
+    let base = run_once(RunMode::Sequential, 8_192, 14);
+    assert!(base.0.contains("jobs_fired"), "report renders:\n{}", base.0);
+    assert!(
+        base.1.lines().count() > 1,
+        "session stream is non-empty: {} lines",
+        base.1.lines().count()
+    );
+    for (mode, cap) in [
+        (RunMode::Parallel(4), 8_192),
+        (RunMode::Sequential, 3),
+        (RunMode::Parallel(2), 1),
+    ] {
+        let other = run_once(mode, cap, 14);
+        assert_eq!(base.0, other.0, "report drifted under {mode:?}/cap={cap}");
+        assert_eq!(base.1, other.1, "sessions drifted under {mode:?}/cap={cap}");
+        assert_eq!(base.2, other.2, "soak drifted under {mode:?}/cap={cap}");
+    }
+}
+
+#[test]
+fn until_idle_drains_after_every_cohort_expires() {
+    let mut config = small();
+    config.ttl_ticks = 2;
+    let mut agent = Agent::new(5, config).unwrap();
+    let run = agent.run(Horizon::UntilIdle, None).unwrap();
+    assert_eq!(run.outcome, Outcome::Completed);
+    assert!(run.cohorts.iter().all(|c| c.expired && c.live() == 0));
+    // Two ticks per cohort: the second lands on day 7, after which the
+    // probe and calendar jobs retire; nothing fires past that instant.
+    assert_eq!(run.clock.as_nanos(), 7 * 86_400_000_000_000);
+}
+
+#[test]
+fn until_idle_without_a_ttl_is_refused() {
+    let mut agent = Agent::new(5, small()).unwrap();
+    let err = agent.run(Horizon::UntilIdle, None).err().expect("refused");
+    assert!(err.to_string().contains("TTL"), "{err}");
+}

@@ -1,0 +1,220 @@
+//! Scheduler contracts, property-tested the way the calendar backends
+//! are (`prop_event_order.rs`):
+//!
+//! * **Pop order** — arbitrary register/cancel/advance scripts deliver
+//!   fires in strict `(sim-time, registration-order)` order, exactly
+//!   matching a naive reference model over the job table.
+//! * **Stream isolation** — registering and cancelling an interloper job
+//!   never perturbs any other job's fire times, indices, or RNG seeds:
+//!   a fire's seed is a pure function of `(master, job id, fire index)`.
+
+use proptest::prelude::*;
+use roam_netsim::SimTime;
+use roam_service::task::{days, fire_seed_of, Fire, JobHandle, Scheduler};
+
+const DAY: u64 = 86_400_000_000_000;
+
+/// One scripted action against the scheduler.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Register a job at `now + first_days`, recurring every
+    /// `period_days` (None = one-shot).
+    Register {
+        first_days: u64,
+        period_days: Option<u64>,
+    },
+    /// Cancel the `n`-th registered job (mod live registrations).
+    Cancel(usize),
+    /// Deliver one batch.
+    Advance,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Small day offsets force same-instant collisions across jobs;
+        // period 0 encodes a one-shot job.
+        ((0u64..4), (0u64..4)).prop_map(|(first_days, period)| Op::Register {
+            first_days,
+            period_days: (period > 0).then_some(period),
+        }),
+        (0usize..8).prop_map(Op::Cancel),
+        Just(Op::Advance),
+        Just(Op::Advance),
+        Just(Op::Advance),
+    ]
+}
+
+/// The reference model: a plain job table popped by linear scan.
+#[derive(Default)]
+struct Model {
+    /// Per job in registration order: (next fire ns, period ns, fires).
+    jobs: Vec<(Option<u64>, Option<u64>, u64)>,
+}
+
+impl Model {
+    /// Deliver the next batch: all live jobs at the minimum pending
+    /// instant, in registration order.
+    fn pop_batch(&mut self) -> Option<(u64, Vec<(usize, u64)>)> {
+        let at = self.jobs.iter().filter_map(|(next, _, _)| *next).min()?;
+        let mut fires = Vec::new();
+        for (seq, job) in self.jobs.iter_mut().enumerate() {
+            if job.0 == Some(at) {
+                fires.push((seq, job.2));
+                job.2 += 1;
+                job.0 = job.1.map(|p| at + p);
+            }
+        }
+        Some((at, fires))
+    }
+}
+
+/// Replay `ops`, then drain every remaining fire up to a fixed horizon;
+/// returns the delivered fires as `(job id, at ns, index, seed)`. Every
+/// scripted job registers up-front at an absolute time (registration
+/// bases must not depend on calendar consumption, which the interloper
+/// legitimately skews); the script phase then interleaves cancels and
+/// batch deliveries. When `interloper` is set, one extra daily job
+/// registers first and cancels halfway through the script, and the
+/// final drain makes both fire sequences complete over the horizon.
+fn run_script(ops: &[Op], interloper: bool) -> Vec<(String, u64, u64, u64)> {
+    let mut sched = Scheduler::new(0xD1CE);
+    let mut intruder: Option<JobHandle> = None;
+    if interloper {
+        intruder = Some(sched.register("intruder", SimTime::ZERO, Some(days(1))));
+    }
+    let mut handles: Vec<JobHandle> = Vec::new();
+    for (k, op) in ops.iter().enumerate() {
+        if let Op::Register {
+            first_days,
+            period_days,
+        } = op
+        {
+            let id = format!("job/{k}");
+            let h = sched.register(&id, days(*first_days), period_days.map(days));
+            handles.push(h);
+        }
+    }
+    let mut delivered = Vec::new();
+    let mut fires: Vec<Fire> = Vec::new();
+    let half = ops.len() / 2;
+    let deliver = |sched: &Scheduler, fires: &[Fire], out: &mut Vec<(String, u64, u64, u64)>| {
+        for f in fires {
+            out.push((
+                sched.job_id(f.job).to_string(),
+                f.at.as_nanos(),
+                f.index,
+                sched.fire_seed(f),
+            ));
+        }
+    };
+    for (step, op) in ops.iter().enumerate() {
+        if interloper && step == half {
+            sched.cancel(intruder.unwrap());
+        }
+        match op {
+            Op::Register { .. } => {}
+            Op::Cancel(n) => {
+                if !handles.is_empty() {
+                    sched.cancel(handles[n % handles.len()]);
+                }
+            }
+            Op::Advance => {
+                if sched.pop_batch(&mut fires).is_some() {
+                    deliver(&sched, &fires, &mut delivered);
+                }
+            }
+        }
+    }
+    // Drain to the horizon so both passes see every shared job's full
+    // fire sequence, regardless of how script-phase batches interleaved.
+    while let Some(at) = sched.next_fire() {
+        if at > days(90) {
+            break;
+        }
+        sched.pop_batch(&mut fires);
+        deliver(&sched, &fires, &mut delivered);
+    }
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The scheduler and the naive model deliver identical fire
+    /// sequences: same batch instants, same registration-order ranks,
+    /// same per-job fire indices.
+    #[test]
+    fn fires_match_the_reference_model(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut sched = Scheduler::new(7);
+        let mut model = Model::default();
+        let mut handles: Vec<JobHandle> = Vec::new();
+        let mut fires: Vec<Fire> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Register { first_days, period_days } => {
+                    let id = format!("job/{}", handles.len());
+                    // Registrations must not predate the consumed calendar
+                    // (sched.now() can sit past the last delivered batch
+                    // after stale entries were discarded).
+                    let first = sched.now().as_nanos() + first_days * DAY;
+                    let h = sched.register(&id, SimTime::from_nanos(first), period_days.map(days));
+                    prop_assert_eq!(h.index(), model.jobs.len());
+                    model.jobs.push((Some(first), period_days.map(|d| d * DAY), 0));
+                    handles.push(h);
+                }
+                Op::Cancel(n) => {
+                    if !handles.is_empty() {
+                        let k = n % handles.len();
+                        sched.cancel(handles[k]);
+                        model.jobs[k].0 = None;
+                    }
+                }
+                Op::Advance => {
+                    let got = sched.pop_batch(&mut fires);
+                    let want = model.pop_batch();
+                    match (got, &want) {
+                        (None, None) => {}
+                        (Some(at), Some((wat, wfires))) => {
+                            prop_assert_eq!(at.as_nanos(), *wat, "batch instant diverged");
+                            let got_fires: Vec<(usize, u64)> =
+                                fires.iter().map(|f| (f.job.index(), f.index)).collect();
+                            prop_assert_eq!(&got_fires, wfires, "batch contents diverged");
+                        }
+                        (g, w) => prop_assert!(false, "presence diverged: {g:?} vs {w:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// An interloper job registering first and cancelling mid-script
+    /// never changes what any other job's stream *is*: per job, the
+    /// noisy run's fire sequence (times, indices, seeds) is a prefix of
+    /// the clean run's — shorter only when a script cancel landed while
+    /// the interloper had skewed batch progress, never different. And
+    /// every seed is the advertised pure function of (master, id, index).
+    #[test]
+    fn other_jobs_streams_survive_register_and_cancel(ops in proptest::collection::vec(op(), 1..60)) {
+        let clean = run_script(&ops, false);
+        let noisy = run_script(&ops, true);
+        let mut by_id: std::collections::BTreeMap<&str, (Vec<_>, Vec<_>)> = Default::default();
+        for (id, at, index, seed) in &clean {
+            by_id.entry(id).or_default().0.push((*at, *index, *seed));
+        }
+        for (id, at, index, seed) in &noisy {
+            if id != "intruder" {
+                by_id.entry(id).or_default().1.push((*at, *index, *seed));
+            }
+        }
+        for (id, (clean_seq, noisy_seq)) in &by_id {
+            prop_assert!(
+                noisy_seq.len() <= clean_seq.len()
+                    && clean_seq[..noisy_seq.len()] == noisy_seq[..],
+                "interloper perturbed {id}: clean {clean_seq:?} vs noisy {noisy_seq:?}"
+            );
+        }
+        for (id, _, index, seed) in &clean {
+            prop_assert_eq!(*seed, fire_seed_of(0xD1CE, id, *index), "seed not a pure function");
+        }
+    }
+}

@@ -255,7 +255,12 @@ impl<T: Clone> KeyedReservoir<T> {
     }
 
     /// Offer one candidate. Kept iff its `(priority, key)` ranks within
-    /// the smallest `cap` seen so far.
+    /// the smallest `cap` seen so far. Re-offering a key already held is
+    /// a no-op: keys identify deterministic items (a key's payload is
+    /// always the same bytes), so recurring runs that revisit a
+    /// population — the service agent ticking the same cohort week after
+    /// week — fold into the same sample instead of flooding it with
+    /// duplicates.
     pub fn offer(&mut self, priority: u64, key: u64, item: T) {
         if self.cap == 0 {
             return;
@@ -264,6 +269,13 @@ impl<T: Clone> KeyedReservoir<T> {
             .items
             .partition_point(|(p, k, _)| (*p, *k) < (priority, key));
         if pos >= self.cap {
+            return;
+        }
+        if self
+            .items
+            .get(pos)
+            .is_some_and(|(p, k, _)| (*p, *k) == (priority, key))
+        {
             return;
         }
         self.items.insert(pos, (priority, key, item));
@@ -561,6 +573,26 @@ mod tests {
         assert_eq!(r.len(), 3);
         let kept: Vec<u64> = r.items().copied().collect();
         assert_eq!(kept, vec![2, 4, 5], "priorities 10, 20, 30 survive");
+    }
+
+    #[test]
+    fn reservoir_offers_are_idempotent_per_key() {
+        let mut once = KeyedReservoir::new(4);
+        let mut thrice = KeyedReservoir::new(4);
+        for (p, k) in [(10u64, 1u64), (20, 2), (30, 3)] {
+            once.offer(p, k, k);
+            for _ in 0..3 {
+                thrice.offer(p, k, k);
+            }
+        }
+        assert_eq!(once, thrice, "re-offering a held key is a no-op");
+        assert_eq!(once.len(), 3);
+        // Re-offers also never evict distinct keys out the bottom.
+        once.offer(40, 4, 4);
+        thrice.offer(40, 4, 4);
+        thrice.offer(10, 1, 1);
+        assert_eq!(once, thrice);
+        assert_eq!(once.len(), 4);
     }
 
     #[test]

@@ -53,11 +53,18 @@ pub enum Counter {
     /// Measurements that failed after every retry and were recorded as
     /// explicit failed rows.
     MeasurementsFailed,
+    /// Scheduler jobs fired by the service agent's virtual clock.
+    ServiceJobFires,
+    /// Cohort arrivals + departures applied by service churn ticks.
+    ServiceCohortChurn,
+    /// Bounded-queue flushes the service export stage pushed into its
+    /// sink (each one a backpressure drain, never a drop).
+    ServiceSinkFlushes,
 }
 
 impl Counter {
     /// Every counter, in render order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::PacketsSent,
         Counter::PacketsForwarded,
         Counter::PacketsDelivered,
@@ -80,6 +87,9 @@ impl Counter {
         Counter::FaultFailovers,
         Counter::ProbeBackoffs,
         Counter::MeasurementsFailed,
+        Counter::ServiceJobFires,
+        Counter::ServiceCohortChurn,
+        Counter::ServiceSinkFlushes,
     ];
 
     /// Stable snake_case name used in the summary report.
@@ -108,6 +118,9 @@ impl Counter {
             Counter::FaultFailovers => "fault_failovers",
             Counter::ProbeBackoffs => "probe_backoffs",
             Counter::MeasurementsFailed => "measurements_failed",
+            Counter::ServiceJobFires => "service_job_fires",
+            Counter::ServiceCohortChurn => "service_cohort_churn",
+            Counter::ServiceSinkFlushes => "service_sink_flushes",
         }
     }
 }

@@ -1,0 +1,94 @@
+//! A drifting-fault soak: the long-running agent rides out eight
+//! sim-weeks on a hostile network (`FaultSpec::heavy`), and the
+//! streaming query engine then asks the degradation-over-time question
+//! directly of the soak table — per sim-week latency quantiles and
+//! failure mix, no row re-walks.
+//!
+//! The agent's vantage probes tag every observation with its sim-week
+//! (`w0`, `w1`, ...), so "is service getting worse?" is one
+//! `group_sketch` over the sealed frame. The run itself is the usual
+//! deterministic artifact: same seed, same knobs — same bytes, faults
+//! and all.
+//!
+//! ```sh
+//! cargo run --release --example service_soak
+//! ```
+
+use roamsim::columnar::{Query, TableView};
+use roamsim::netsim::FaultSpec;
+use roamsim::service::{Agent, Horizon, ServiceConfig};
+
+fn main() {
+    // Pin the hostile schedule process-wide (the `ROAM_FAULTS=heavy`
+    // spelling), and restore whatever was installed when we're done.
+    let prev = FaultSpec::override_faults(Some(FaultSpec::heavy()));
+
+    let config = ServiceConfig {
+        users: 600,
+        cohorts: 3,
+        probes: 6,
+        ..ServiceConfig::default()
+    };
+    let mut agent = Agent::new(11, config).expect("sizing validates");
+    let run = agent
+        .run(Horizon::SimDays(8 * 7), None)
+        .expect("horizon is finite");
+    FaultSpec::override_faults(prev);
+
+    println!(
+        "soaked {} sim-days under heavy faults: {} job fires, {} soak rows",
+        run.clock.as_nanos() / roamsim::service::task::DAY_NS,
+        run.fires,
+        run.soak.len()
+    );
+
+    // Seal the soak table and query the frame in place.
+    let frame = run.soak_frame();
+    let view = TableView::parse_frame(&frame).expect("sealed frames round-trip");
+
+    // Degradation over time: RTT quantiles per sim-week. Blackholed and
+    // dark-window probes carry no latency, so the sketch sees only the
+    // sessions that completed — the failure mix below covers the rest.
+    println!("\nweekly RTT among completed probes (drifting-fault soak):");
+    println!(
+        "  {:<6} {:>9} {:>9} {:>9}",
+        "week", "p50 ms", "p90 ms", "probes"
+    );
+    for g in Query::new(&view)
+        .eq("kind", "rtt")
+        .group_sketch("week", "ms", 1.0, 60_000.0, 16)
+    {
+        let (Some(p50), Some(p90)) = (g.value.quantile(0.5), g.value.quantile(0.9)) else {
+            continue;
+        };
+        println!(
+            "  {:<6} {:>9.1} {:>9.1} {:>9}",
+            g.key.label(),
+            p50,
+            p90,
+            g.value.count()
+        );
+    }
+
+    // The failure mix, over the same frame: how many probes each week
+    // never produced a latency at all.
+    println!("\nprobe status mix across the soak:");
+    for g in Query::new(&view).group_count("status") {
+        println!("  {:<16} {:>6}", g.key.label(), g.value);
+    }
+
+    // Byte-identity survives the fault plane: replaying the identical
+    // soak yields the identical frame.
+    let prev = FaultSpec::override_faults(Some(FaultSpec::heavy()));
+    let mut replay = Agent::new(11, config).expect("sizing validates");
+    let rerun = replay
+        .run(Horizon::SimDays(8 * 7), None)
+        .expect("horizon is finite");
+    FaultSpec::override_faults(prev);
+    assert_eq!(frame, rerun.soak_frame());
+    assert_eq!(run.render(), rerun.render());
+    println!(
+        "\nreplay reproduced the soak frame byte-for-byte ({} bytes)",
+        frame.len()
+    );
+}

@@ -43,6 +43,19 @@ best_workers=$(best_of_three ROAM_FLEET_WORKERS=4)
 # pipelines compute the same answer). The speedup gate keeps the
 # columnar path honest: it must stay >= ROAM_EXPORT_FLOOR x CSV end to
 # end, at the same 100k-user scale as the throughput gate.
+# The long-running agent end-to-end: scheduler fires + bounded-queue
+# session streaming over a 30-sim-day horizon (service_smoke). Best of
+# three, gated against ROAM_SERVICE_FLOOR events/sec below.
+cargo build -q --release --offline -p roam-bench --bin service_smoke
+service_days=${ROAM_SERVICE_BENCH_DAYS:-30}
+service_floor=${ROAM_SERVICE_FLOOR:-20000}
+best_eps=0
+for _ in 1 2 3; do
+    eps=$(ROAM_SERVICE_BENCH_DAYS="$service_days" target/release/service_smoke 2>&1 >/dev/null \
+          | sed -n 's/^service_events_per_sec: //p')
+    if [ "${eps%.*}" -gt "${best_eps%.*}" ]; then best_eps=$eps; fi
+done
+
 cargo build -q --release --offline -p roam-bench --bin export_bench
 export_floor=${ROAM_EXPORT_FLOOR:-2.0}
 eb=$(ROAM_FLEET_USERS="$smoke_users" target/release/export_bench 2>&1 >/dev/null)
@@ -82,6 +95,9 @@ jq -n \
    --argjson eb_analyze_sp "$eb_analyze_sp" \
    --argjson eb_total_sp "$eb_total_sp" \
    --argjson export_floor "$export_floor" \
+   --argjson service_eps "$best_eps" \
+   --argjson service_floor "$service_floor" \
+   --argjson service_days "$service_days" \
    '($b[0]."campaign/device_campaign_seq".mean_ns) as $seq
     | ($b[0]."campaign/device_campaign_par4".mean_ns) as $par
     | ($b[0]."engine/transfer_closed_form".mean_ns) as $cf
@@ -162,6 +178,13 @@ jq -n \
          above_floor: ($smoke >= $floor),
          above_floor_workers: ($smoke_workers >= $floor)
        },
+       service: {
+         note: "the measurement agent run end-to-end for a 30-sim-day horizon on default sizing: an event is one scheduler job fire (cohort tick, vantage probe, fault advance) or one session record through the bounded export queue; best of three service_smoke runs, gated against floor_events_per_sec",
+         events_per_sec: $service_eps,
+         sim_days: $service_days,
+         floor_events_per_sec: $service_floor,
+         above_floor: ($service_eps >= $service_floor)
+       },
        export: {
          note: "the session table streamed from one fleet run, exported and analyzed both ways: CSV render + text re-parse vs columnar frame seal + zero-copy view + streaming query; export_speedup and analyze_speedup are per-phase CSV-over-columnar time ratios, speedup is end to end (export + analyze), gated against floor_speedup",
          csv_mb_per_sec: $eb_csv_mbps,
@@ -183,7 +206,7 @@ jq -n \
        benchmarks: $b[0]}' > "$out"
 
 echo "wrote $out"
-jq '.parallel, .engine, .telemetry, .faults, .event_core, .fleet, .export, .checkpoint' "$out"
+jq '.parallel, .engine, .telemetry, .faults, .event_core, .fleet, .service, .export, .checkpoint' "$out"
 
 if [ "$(jq '.faults.disabled_overhead_within_2pct' "$out")" = "false" ]; then
     echo "WARNING: disabled fault plane costs >2% over the bare ping path" >&2
@@ -200,6 +223,12 @@ fi
 if [ "$(jq '.fleet.above_floor_workers' "$out")" = "false" ]; then
     echo "FAIL: fleet_smoke worker-process throughput ${best_workers} users/sec" >&2
     echo "      is below the floor of ${floor} (override with ROAM_FLEET_FLOOR)" >&2
+    exit 1
+fi
+
+if [ "$(jq '.service.above_floor' "$out")" = "false" ]; then
+    echo "FAIL: service_smoke throughput ${best_eps} events/sec is below the" >&2
+    echo "      floor of ${service_floor} (override with ROAM_SERVICE_FLOOR)" >&2
     exit 1
 fi
 

@@ -57,6 +57,7 @@ pub use roam_geo as geo;
 pub use roam_ipx as ipx;
 pub use roam_measure as measure;
 pub use roam_netsim as netsim;
+pub use roam_service as service;
 pub use roam_stats as stats;
 pub use roam_telemetry as telemetry;
 pub use roam_world as world;
