@@ -34,7 +34,10 @@
 //! Knobs: `ROAM_FLEET_USERS/SHARDS/DAYS/SAMPLE/MIX`, `ROAM_PARALLEL`,
 //! `ROAM_FLEET_WORKERS`, `ROAM_CHECKPOINT_DIR`, `ROAM_CHECKPOINT_EVERY`,
 //! `ROAM_RESUME`, `ROAM_TRANSPORT`, `ROAM_CALENDAR`, `ROAM_TELEMETRY`,
-//! `ROAM_FAULTS`, `ROAM_SEED`, `ROAM_FLEET_EXPORT`.
+//! `ROAM_FAULTS`, `ROAM_SEED`, `ROAM_FLEET_EXPORT`, and the worker
+//! chaos/supervision plane: `ROAM_WORKER_FAULTS`, `ROAM_WORKER_RETRIES`,
+//! `ROAM_WORKER_DEADLINE_MS` (recovery work is reported on stderr as
+//! `fleet_smoke_worker_restarts: N (...)`; stdout bytes never change).
 //!
 //! [`FleetReport`]: roam_fleet::FleetReport
 
@@ -158,6 +161,15 @@ fn main() -> ExitCode {
         run.timings.len()
     );
     roam_bench::emit_users_per_sec(users, wall);
+    // Supervision is invisible in stdout by contract; surface the
+    // recovery work on stderr so chaos CI can assert it happened.
+    let sup = &run.supervision;
+    if sup.respawns + sup.retries + sup.quarantined > 0 || !sup.errors.is_empty() {
+        eprintln!(
+            "fleet_smoke_worker_restarts: {} (retries {}, quarantined {}, stalls {}, protocol {})",
+            sup.respawns, sup.retries, sup.quarantined, sup.stalls, sup.protocol_errors
+        );
+    }
     for t in &run.timings {
         eprintln!("  {} {:.1} ms", t.key, t.wall_ms);
     }

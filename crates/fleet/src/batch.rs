@@ -115,6 +115,7 @@ impl UserBatch {
                     lo,
                     hi,
                     resume: None,
+                    attempt: 0,
                 },
                 self.telemetry,
                 None,

@@ -10,6 +10,12 @@
 //! | `shard-NNN.ckpt`| [`KIND_SHARD`]    | one shard's partial state: next   |
 //! |                 |                   | user id, report, telemetry        |
 //!
+//! The same kind registry also covers the frames that never touch disk:
+//! [`KIND_JOB`] (parent → worker stdin), [`KIND_RESULT`] and
+//! [`KIND_HEARTBEAT`] (worker stdout → parent, see
+//! [`supervisor`](crate::supervisor)), and [`KIND_AGENT`]
+//! (`roam-service`'s `agent.ckpt`).
+//!
 //! The **fingerprint** is the stale-checkpoint tripwire: a hash over the
 //! seeded world, the generated market, and every knob that can reach the
 //! report bytes. [`FleetRunner::resume`](crate::FleetRunner::resume)
@@ -51,6 +57,11 @@ pub const KIND_RESULT: u16 = 4;
 /// lives in this registry so every checkpoint-plane frame kind is
 /// declared in one place.
 pub const KIND_AGENT: u16 = 5;
+/// Frame kind of a worker liveness heartbeat (worker stdout → parent):
+/// emitted before each shard so the supervisor can tell a long shard
+/// from a stalled worker and knows which shard an in-flight death
+/// should be charged to.
+pub const KIND_HEARTBEAT: u16 = 6;
 
 /// File name of the run manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.ckpt";

@@ -38,6 +38,12 @@ pub(crate) struct ShardSpec {
     pub hi: u64,
     /// Partial state to resume from, if a checkpoint exists.
     pub resume: Option<ShardState>,
+    /// Execution attempt, counted from 0. Supervision metadata only: it
+    /// keys the worker-fault injection draws (`ROAM_WORKER_FAULTS`) so a
+    /// retried shard re-rolls its chaos, and it never reaches
+    /// [`run_fleet_shard`]'s outputs — a shard's outcome is a pure
+    /// function of `(seed, config, index, lo, hi, resume)`.
+    pub attempt: u32,
 }
 
 /// What one shard hands back to the merger.

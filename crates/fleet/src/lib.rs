@@ -20,6 +20,7 @@
 //! | `plan`         | shard work orders + worker striping                 |
 //! | `exec`         | shard execution, checkpoint cadence, resume         |
 //! | [`worker`]     | multi-process backend (job/result frames on pipes)  |
+//! | [`supervisor`] | worker crash recovery, retry/quarantine, chaos plane |
 //! | `merge`        | the shard-order fold into one run                   |
 //! | [`checkpoint`] | durable partial state: manifest + shard files       |
 //! | [`runner`]     | the builder orchestrating all of the above          |
@@ -46,6 +47,7 @@ pub mod population;
 pub mod report;
 pub mod runner;
 pub mod sink;
+pub mod supervisor;
 pub mod worker;
 
 pub use batch::{BatchRun, UserBatch};
@@ -54,6 +56,10 @@ pub use config::{FleetConfig, SessionMix};
 pub use population::{synthesize, user_rng, Leg, TravelerClass, UserId, UserProfile};
 pub use report::{FleetReport, JourneySample};
 pub use runner::{
-    FleetConfigError, FleetRun, FleetRunner, FleetShardTiming, DEFAULT_CHECKPOINT_EVERY,
+    FleetConfigError, FleetError, FleetRun, FleetRunner, FleetShardTiming, DEFAULT_CHECKPOINT_EVERY,
 };
 pub use sink::{SessionKind, SessionRecord, SessionRows};
+pub use supervisor::{
+    InjectedFault, ProtocolViolation, SupervisionStats, SupervisorPolicy, WorkerError,
+    WorkerFaultSpec, DEFAULT_WORKER_DEADLINE_MS, DEFAULT_WORKER_RETRIES,
+};

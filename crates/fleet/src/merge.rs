@@ -43,6 +43,9 @@ pub(crate) fn merge_outcomes(
         timings,
         degraded,
         halted,
+        // The merger never sees recovery work; the runner fills this in
+        // for supervised worker runs.
+        supervision: crate::supervisor::SupervisionStats::default(),
     }
 }
 

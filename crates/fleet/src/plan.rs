@@ -44,6 +44,7 @@ pub(crate) fn plan_shards(
                 resume: resume
                     .as_mut()
                     .and_then(|states| states.get_mut(i).and_then(std::option::Option::take)),
+                attempt: 0,
             }
         })
         .collect()

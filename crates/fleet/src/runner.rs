@@ -40,7 +40,10 @@ use crate::exec::run_fleet_shard;
 use crate::merge::merge_outcomes;
 use crate::plan;
 use crate::report::FleetReport;
-use crate::worker::{self, WorkerJob};
+use crate::supervisor::{
+    self, CalendarPin, FaultsPin, SupervisionStats, SupervisorPolicy, TransportPin, WorkerFaultSpec,
+};
+use crate::worker::WorkerJob;
 use roam_codec::CodecError;
 use roam_measure::{run_shards, Dataset, DegradationSummary, Exporter, RunMode, SharedSink};
 use roam_netsim::{CalendarKind, FaultSpec, TransportKind};
@@ -82,6 +85,11 @@ pub struct FleetRun {
     /// run's report is a partial aggregate — resume from the checkpoint
     /// directory to finish it.
     pub halted: bool,
+    /// What the supervision plane did (worker backend only): respawns,
+    /// retries, quarantines and the typed failure history. All-zero for
+    /// in-process runs and for worker runs that needed no recovery —
+    /// and deliberately outside the byte-stable report either way.
+    pub supervision: SupervisionStats,
 }
 
 /// A contradiction between [`FleetRunner`] builder knobs, detected by
@@ -127,6 +135,56 @@ impl std::fmt::Display for FleetConfigError {
 
 impl std::error::Error for FleetConfigError {}
 
+/// Everything [`FleetRunner::try_run`] can refuse with, as a typed
+/// value: configuration contradictions (detected before anything runs)
+/// and checkpoint-plane I/O failures (detected before any shard
+/// executes — the manifest is written up front). Worker failures are
+/// *not* here: the supervisor recovers them (respawn, retry,
+/// quarantine-to-in-process), so a supervised run that starts always
+/// completes.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The builder knobs contradict each other; see [`FleetConfigError`].
+    Config(FleetConfigError),
+    /// Writing the run manifest into the checkpoint directory failed —
+    /// the durable plane is sick, and running anyway would produce a
+    /// run that silently cannot be resumed.
+    Checkpoint {
+        /// The checkpoint directory that refused the write.
+        dir: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Config(err) => err.fmt(f),
+            FleetError::Checkpoint { dir, source } => write!(
+                f,
+                "checkpoint manifest write into {} failed: {source}",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Config(err) => Some(err),
+            FleetError::Checkpoint { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<FleetConfigError> for FleetError {
+    fn from(err: FleetConfigError) -> Self {
+        FleetError::Config(err)
+    }
+}
+
 /// Builder for fleet runs, mirroring `CampaignRunner`: seed in,
 /// builder-style knobs for population, partitioning, workers, transport,
 /// checkpointing and telemetry. None of the knobs except
@@ -149,6 +207,15 @@ pub struct FleetRunner {
     /// `> 0` → shards run in this many `fleet_worker` processes.
     workers: usize,
     worker_bin: Option<PathBuf>,
+    /// Worker-fault injection spec override; `None` follows
+    /// `ROAM_WORKER_FAULTS`.
+    worker_faults: Option<WorkerFaultSpec>,
+    /// Per-shard retry budget override; `None` follows
+    /// `ROAM_WORKER_RETRIES`.
+    worker_retries: Option<u32>,
+    /// Worker stall deadline override (ms); `None` follows
+    /// `ROAM_WORKER_DEADLINE_MS`.
+    worker_deadline_ms: Option<u64>,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: u64,
     halt_after: Option<u32>,
@@ -170,6 +237,9 @@ impl std::fmt::Debug for FleetRunner {
             .field("telemetry", &self.telemetry)
             .field("workers", &self.workers)
             .field("worker_bin", &self.worker_bin)
+            .field("worker_faults", &self.worker_faults)
+            .field("worker_retries", &self.worker_retries)
+            .field("worker_deadline_ms", &self.worker_deadline_ms)
             .field("checkpoint_dir", &self.checkpoint_dir)
             .field("checkpoint_every", &self.checkpoint_every)
             .field("halt_after", &self.halt_after)
@@ -193,6 +263,9 @@ impl FleetRunner {
             telemetry: TelemetryMode::Off,
             workers: 0,
             worker_bin: None,
+            worker_faults: None,
+            worker_retries: None,
+            worker_deadline_ms: None,
             checkpoint_dir: None,
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             halt_after: None,
@@ -214,6 +287,8 @@ impl FleetRunner {
             mode: RunMode::from_env(),
             telemetry: TelemetryMode::from_env(),
             workers: env_parse("ROAM_FLEET_WORKERS").unwrap_or(0),
+            worker_retries: env_parse("ROAM_WORKER_RETRIES"),
+            worker_deadline_ms: env_parse("ROAM_WORKER_DEADLINE_MS"),
             checkpoint_dir: std::env::var("ROAM_CHECKPOINT_DIR")
                 .ok()
                 .filter(|s| !s.trim().is_empty())
@@ -283,6 +358,8 @@ impl FleetRunner {
             faults: Some(manifest.faults),
             telemetry: manifest.telemetry,
             workers: env_parse("ROAM_FLEET_WORKERS").unwrap_or(0),
+            worker_retries: env_parse("ROAM_WORKER_RETRIES"),
+            worker_deadline_ms: env_parse("ROAM_WORKER_DEADLINE_MS"),
             checkpoint_dir: Some(dir),
             checkpoint_every: manifest.every.max(1),
             resume: Some(states),
@@ -370,6 +447,35 @@ impl FleetRunner {
     #[must_use]
     pub fn worker_bin(mut self, path: impl Into<PathBuf>) -> Self {
         self.worker_bin = Some(path.into());
+        self
+    }
+
+    /// Pin the worker-fault injection spec for the run, overriding
+    /// `ROAM_WORKER_FAULTS`. Injection sabotages worker *executions*
+    /// (crash, stall, torn frame, nonzero exit); the supervisor
+    /// recovers every one, so the report bytes cannot change — that
+    /// invariant is exactly what the chaos harness exists to pin.
+    #[must_use]
+    pub fn worker_faults(mut self, spec: WorkerFaultSpec) -> Self {
+        self.worker_faults = Some(spec);
+        self
+    }
+
+    /// Per-shard retry budget before a shard is quarantined to
+    /// in-process execution (`ROAM_WORKER_RETRIES`).
+    #[must_use]
+    pub fn worker_retries(mut self, retries: u32) -> Self {
+        self.worker_retries = Some(retries);
+        self
+    }
+
+    /// Worker stall deadline, wall milliseconds with no frame from the
+    /// child before the supervisor declares it stalled and respawns it
+    /// (`ROAM_WORKER_DEADLINE_MS`). Must exceed the longest single
+    /// shard, since the worker only heartbeats *between* shards.
+    #[must_use]
+    pub fn worker_deadline_ms(mut self, ms: u64) -> Self {
+        self.worker_deadline_ms = Some(ms.max(1));
         self
     }
 
@@ -465,9 +571,9 @@ impl FleetRunner {
     /// Run the fleet: plan the shard ranges, execute them on the selected
     /// backend, fold reports and telemetry in shard order.
     ///
-    /// Panics on a contradictory configuration — use
-    /// [`FleetRunner::try_run`] to get the refusal as a typed
-    /// [`FleetConfigError`] instead.
+    /// Panics on a contradictory configuration or a sick checkpoint
+    /// directory — use [`FleetRunner::try_run`] to get the refusal as a
+    /// typed [`FleetError`] instead.
     #[must_use]
     pub fn run(&self) -> FleetRun {
         match self.try_run() {
@@ -476,15 +582,22 @@ impl FleetRunner {
         }
     }
 
-    /// Run the fleet, refusing contradictory configurations with a typed
-    /// [`FleetConfigError`] instead of a panic. Services embedding the
-    /// runner (roam-service, long-running agents) use this so a bad knob
-    /// combination surfaces as a recoverable error before any shard
+    /// Run the fleet, refusing contradictory configurations and
+    /// checkpoint-plane I/O failures with a typed [`FleetError`] instead
+    /// of a panic. Services embedding the runner (roam-service,
+    /// long-running agents) use this so a bad knob combination or a sick
+    /// durable sink surfaces as a recoverable error before any shard
     /// executes.
     ///
+    /// Worker failures never surface here: with `workers > 0` the
+    /// [`crate::supervisor`] recovers crashes, stalls, nonzero exits and
+    /// protocol violations by respawn + deterministic retry, falling
+    /// back to in-process execution for shards past their retry budget.
+    /// What the supervisor did is reported in [`FleetRun::supervision`].
+    ///
     /// # Errors
-    /// See [`FleetConfigError`].
-    pub fn try_run(&self) -> Result<FleetRun, FleetConfigError> {
+    /// See [`FleetError`].
+    pub fn try_run(&self) -> Result<FleetRun, FleetError> {
         self.validate()?;
         let users = self.config.users.max(1);
         let shards = plan::effective_shards(users, self.config.shards);
@@ -514,10 +627,15 @@ impl FleetRunner {
                 telemetry: self.telemetry,
                 faults: resolved_faults,
             };
-            checkpoint::write_manifest(&policy.dir, &manifest).expect("checkpoint manifest write");
+            checkpoint::write_manifest(&policy.dir, &manifest).map_err(|source| {
+                FleetError::Checkpoint {
+                    dir: policy.dir.clone(),
+                    source,
+                }
+            })?;
         }
         let plans = plan::plan_shards(users, shards, self.resume.clone());
-        let outcomes = if self.workers > 0 {
+        if self.workers > 0 {
             let job = WorkerJob {
                 seed: self.seed,
                 config: self.config,
@@ -525,11 +643,39 @@ impl FleetRunner {
                 transport: resolved_transport,
                 calendar: resolved_calendar,
                 faults: resolved_faults,
+                worker_faults: self.worker_faults.unwrap_or_else(WorkerFaultSpec::current),
+                deadline_ms: self
+                    .worker_deadline_ms
+                    .unwrap_or_else(|| SupervisorPolicy::from_env().deadline_ms)
+                    .max(1),
                 shards: Vec::new(),
                 checkpoint: policy,
             };
-            worker::run_in_workers(&job, plans, self.workers, self.worker_bin.as_ref())
-        } else {
+            let supervisor_policy = SupervisorPolicy {
+                retries: self
+                    .worker_retries
+                    .unwrap_or_else(|| SupervisorPolicy::from_env().retries),
+                deadline_ms: job.deadline_ms,
+            };
+            let supervised = supervisor::supervise(
+                &job,
+                plans,
+                self.workers,
+                self.worker_bin.as_ref(),
+                supervisor_policy,
+            );
+            let mut run = merge_outcomes(self.config.sample, self.telemetry, supervised.outcomes);
+            // Fold the supervisor's own counters in only when recovery
+            // actually happened: a clean worker run must stay
+            // telemetry-byte-identical to an in-process run (the
+            // worker_mode tests pin exactly that).
+            if supervised.stats.recovered() {
+                run.telemetry.absorb(supervised.snap);
+            }
+            run.supervision = supervised.stats;
+            return Ok(run);
+        }
+        let outcomes = {
             // Pin the transport and calendar for the whole run even when
             // they come from the environment: `TransportKind::current()`
             // runs once per probe and `CalendarKind::current()` once per
@@ -538,13 +684,9 @@ impl FleetRunner {
             // Snapshotting the resolved kind into the override turns both
             // into one atomic load, without changing which backend runs
             // (both knobs are output-invariant).
-            let _pin = TransportPin(Some(TransportKind::override_transport(Some(
-                resolved_transport,
-            ))));
-            let _calendar_pin = CalendarPin(Some(CalendarKind::override_calendar(Some(
-                resolved_calendar,
-            ))));
-            let _fault_pin = FaultsPin(self.faults.map(|s| FaultSpec::override_faults(Some(s))));
+            let _pin = TransportPin::install(resolved_transport);
+            let _calendar_pin = CalendarPin::install(resolved_calendar);
+            let _fault_pin = self.faults.map(FaultsPin::install);
             run_shards(self.mode, shards, |i| {
                 run_fleet_shard(
                     self.seed,
@@ -572,41 +714,5 @@ impl FleetRunner {
             return Ok(merge_outcomes(self.config.sample, self.telemetry, outcomes));
         }
         Ok(merge_outcomes(self.config.sample, self.telemetry, outcomes))
-    }
-}
-
-/// Restores the previous process-wide transport override when a pinned
-/// run finishes (even on unwind).
-struct TransportPin(Option<Option<TransportKind>>);
-
-impl Drop for TransportPin {
-    fn drop(&mut self) {
-        if let Some(prev) = self.0.take() {
-            TransportKind::override_transport(prev);
-        }
-    }
-}
-
-/// Restores the previous process-wide calendar override when a pinned
-/// run finishes (even on unwind).
-struct CalendarPin(Option<Option<CalendarKind>>);
-
-impl Drop for CalendarPin {
-    fn drop(&mut self) {
-        if let Some(prev) = self.0.take() {
-            CalendarKind::override_calendar(prev);
-        }
-    }
-}
-
-/// Restores the previous process-wide fault-spec override when a pinned
-/// run finishes (even on unwind).
-struct FaultsPin(Option<Option<FaultSpec>>);
-
-impl Drop for FaultsPin {
-    fn drop(&mut self) {
-        if let Some(prev) = self.0.take() {
-            FaultSpec::override_faults(prev);
-        }
     }
 }

@@ -1,0 +1,1161 @@
+//! The worker-fleet supervision plane: crash recovery, deterministic
+//! retry, and the worker-fault chaos harness.
+//!
+//! The paper's campaigns run on flaky vantage points — resident probes
+//! and mobile clients that die, stall and reconnect constantly. The
+//! worker backend inherits that failure surface: a `fleet_worker` child
+//! can crash mid-shard, wedge, exit nonzero, or hand back a torn stdout
+//! stream. This module makes every one of those a *recovery event*
+//! instead of a run-aborting panic.
+//!
+//! ## Why recovery cannot change the bytes
+//!
+//! A shard is a pure function of `(seed, config, ShardSpec)` — see
+//! [`run_fleet_shard`]. Re-executing a shard on a fresh child (or on the
+//! parent itself) therefore produces a byte-identical
+//! [`ShardOutcome`], and the merge fold orders by shard index, not by
+//! arrival. The supervisor exploits exactly this: it never tries to
+//! salvage a dying child's partial work, it re-dispatches the shard and
+//! lets determinism do the rest. Heavy chaos runs end byte-identical to
+//! clean runs by construction.
+//!
+//! ## The state machine
+//!
+//! Each child slot cycles through `spawned → streaming → (done | dead)`:
+//!
+//! * **Liveness** is tracked by exit status plus a sim-progress
+//!   heartbeat frame ([`KIND_HEARTBEAT`]) the worker emits before each
+//!   shard. The heartbeat names the shard, so an in-flight death is
+//!   charged to the right retry budget.
+//! * **Detection** covers four failure classes: *crash* (killed by a
+//!   signal), *nonzero exit*, *stall* (no frame within
+//!   `ROAM_WORKER_DEADLINE_MS` of the last one), and *protocol
+//!   violation* (truncated stream, integrity-hash failure, wrong frame
+//!   kind/version, result for an unassigned shard).
+//! * **Recovery** respawns the slot's child with its unfinished shards
+//!   (capped exponential backoff between respawns) and charges one
+//!   retry to the shard that was in flight.
+//! * **Escalation**: a shard that exhausts `ROAM_WORKER_RETRIES`
+//!   attempts — or a child that dies repeatedly before announcing any
+//!   shard — is *quarantined*: its range runs in-process on the parent,
+//!   which cannot crash-loop. Supervised runs therefore always
+//!   complete.
+//!
+//! ## The chaos plane
+//!
+//! [`WorkerFaultSpec`] (`ROAM_WORKER_FAULTS=off|light|heavy|key=value`)
+//! mirrors [`FaultSpec`](roam_netsim::FaultSpec): presets or a custom
+//! `crash=…,stall=…,torn=…,exit=…` spec. Injection decisions are keyed
+//! draws over `(seed, shard index, attempt)` — never wall clock — so a
+//! chaos run is exactly reproducible and a retried attempt re-rolls its
+//! fate. The faults execute *inside the worker* (abort mid-shard, sleep
+//! past the deadline, truncate or bit-flip a result frame, exit
+//! nonzero); the parent supervises them like any real-world failure.
+
+use crate::exec::{run_fleet_shard, ShardOutcome, ShardSpec};
+use crate::worker::{self, WorkerEvent, WorkerJob};
+use roam_codec::CodecError;
+use roam_netsim::engine::flow_seed;
+use roam_netsim::{CalendarKind, FaultSpec, TransportKind};
+use roam_telemetry::{Counter, Recorder, Sink as _, TelemetrySnapshot};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Default per-shard retry budget (`ROAM_WORKER_RETRIES`): attempts
+/// beyond the first before the shard is quarantined to the parent.
+pub const DEFAULT_WORKER_RETRIES: u32 = 3;
+
+/// Default stall deadline (`ROAM_WORKER_DEADLINE_MS`): a worker that
+/// produces no frame for this long is declared stalled and killed.
+pub const DEFAULT_WORKER_DEADLINE_MS: u64 = 30_000;
+
+/// Consecutive child deaths *before any heartbeat* that quarantine the
+/// slot's whole remaining stripe — the guard against a child that
+/// cannot even start (missing binary, immediate abort), where no
+/// per-shard budget would ever be charged.
+const CHILD_STRIKES: u32 = 3;
+
+/// First respawn backoff; doubles per consecutive failure of a slot.
+const BACKOFF_BASE_MS: u64 = 25;
+
+/// Respawn backoff cap.
+const BACKOFF_CAP_MS: u64 = 400;
+
+// ---------------------------------------------------------------------
+// The deterministic worker-fault injection spec.
+// ---------------------------------------------------------------------
+
+/// What fraction of shard attempts a worker sabotages, per failure
+/// class. Mirrors [`FaultSpec`](roam_netsim::FaultSpec): presets
+/// ([`WorkerFaultSpec::off`]/[`light`](WorkerFaultSpec::light)/
+/// [`heavy`](WorkerFaultSpec::heavy)), a `key=value` custom parser, an
+/// environment knob (`ROAM_WORKER_FAULTS`) and a process-wide override.
+///
+/// Each probability is evaluated per `(shard, attempt)` with one keyed
+/// uniform draw, cumulatively: `crash`, then `stall`, then `torn`, then
+/// `exit`. Probabilities summing past 1.0 starve the later classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerFaultSpec {
+    /// P(abort mid-shard) — the worker dies by signal after announcing
+    /// the shard, before producing its result.
+    pub crash: f64,
+    /// P(stall) — the worker sleeps past the supervisor's deadline and
+    /// then aborts; the parent must detect and kill it.
+    pub stall: f64,
+    /// P(torn frame) — the worker computes the shard but writes a
+    /// corrupted result frame (truncated, or one payload byte flipped so
+    /// the integrity hash fails) and exits 0.
+    pub torn: f64,
+    /// P(nonzero exit) — the worker exits 1 after announcing the shard.
+    pub exit: f64,
+}
+
+impl WorkerFaultSpec {
+    /// The disabled plane: no draws, no sabotage.
+    #[must_use]
+    pub fn off() -> Self {
+        WorkerFaultSpec {
+            crash: 0.0,
+            stall: 0.0,
+            torn: 0.0,
+            exit: 0.0,
+        }
+    }
+
+    /// Occasional worker trouble: the level a mostly-healthy probe
+    /// fleet shows.
+    #[must_use]
+    pub fn light() -> Self {
+        WorkerFaultSpec {
+            crash: 0.05,
+            stall: 0.02,
+            torn: 0.04,
+            exit: 0.05,
+        }
+    }
+
+    /// A hostile fleet: most shard attempts are sabotaged one way or
+    /// another. Supervised runs must still complete byte-identically.
+    #[must_use]
+    pub fn heavy() -> Self {
+        WorkerFaultSpec {
+            crash: 0.25,
+            stall: 0.10,
+            torn: 0.20,
+            exit: 0.15,
+        }
+    }
+
+    /// Is any injection class active?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.crash > 0.0 || self.stall > 0.0 || self.torn > 0.0 || self.exit > 0.0
+    }
+
+    /// Parse a custom spec: comma-separated `key=value` pairs over a
+    /// base of [`WorkerFaultSpec::off`]. Keys: `crash`, `stall`,
+    /// `torn`, `exit`; each value a probability in `[0, 1]`. `None`
+    /// when a key is unknown or a value is out of range.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut spec = WorkerFaultSpec::off();
+        for pair in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = pair.split_once('=')?;
+            let v: f64 = value.trim().parse().ok()?;
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return None;
+            }
+            match key.trim() {
+                "crash" => spec.crash = v,
+                "stall" => spec.stall = v,
+                "torn" => spec.torn = v,
+                "exit" => spec.exit = v,
+                _ => return None,
+            }
+        }
+        Some(spec)
+    }
+
+    /// Read the spec from `ROAM_WORKER_FAULTS`: `off`/unset/empty
+    /// disable injection, `light` and `heavy` select the presets,
+    /// anything else parses as a custom spec. Read per call (never
+    /// cached) so tests can flip it mid-process.
+    ///
+    /// # Panics
+    /// On an unparseable custom spec — a misspelt knob should fail
+    /// loudly at startup, not silently run the happy path.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("ROAM_WORKER_FAULTS") {
+            Err(_) => WorkerFaultSpec::off(),
+            Ok(v) => match v.trim() {
+                "" | "off" => WorkerFaultSpec::off(),
+                "light" => WorkerFaultSpec::light(),
+                "heavy" => WorkerFaultSpec::heavy(),
+                other => WorkerFaultSpec::parse(other)
+                    .unwrap_or_else(|| panic!("ROAM_WORKER_FAULTS: unparseable spec {other:?}")),
+            },
+        }
+    }
+
+    /// Install (or clear, with `None`) a process-wide override that
+    /// takes precedence over `ROAM_WORKER_FAULTS`. Returns the previous
+    /// override so callers can restore it.
+    pub fn override_worker_faults(spec: Option<WorkerFaultSpec>) -> Option<WorkerFaultSpec> {
+        let mut slot = match WORKER_FAULTS_OVERRIDE.lock() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        std::mem::replace(&mut slot, spec)
+    }
+
+    /// The effective spec for this call: the process-wide override if
+    /// installed, otherwise whatever `ROAM_WORKER_FAULTS` says.
+    #[must_use]
+    pub fn current() -> Self {
+        let slot = match WORKER_FAULTS_OVERRIDE.lock() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slot.unwrap_or_else(WorkerFaultSpec::from_env)
+    }
+
+    /// The injected fate of one `(shard, attempt)` execution: one keyed
+    /// uniform draw against the cumulative class probabilities. Pure in
+    /// `(seed, shard, attempt)`, so parent and worker — and any two
+    /// runs — agree on every sabotage decision.
+    #[must_use]
+    pub fn decide(&self, seed: u64, shard: usize, attempt: u32) -> Option<InjectedFault> {
+        if !self.enabled() {
+            return None;
+        }
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let key = flow_seed(seed, &format!("wfault/s{shard}/a{attempt}"));
+        let mut rng = SmallRng::seed_from_u64(key);
+        let u: f64 = rng.gen();
+        let mut edge = self.crash;
+        if u < edge {
+            return Some(InjectedFault::Crash);
+        }
+        edge += self.stall;
+        if u < edge {
+            return Some(InjectedFault::Stall);
+        }
+        edge += self.torn;
+        if u < edge {
+            // A second draw splits the torn class: truncate the frame
+            // or flip one payload byte (integrity-hash failure).
+            return Some(if rng.gen::<bool>() {
+                InjectedFault::TornTruncate
+            } else {
+                InjectedFault::TornBitflip
+            });
+        }
+        edge += self.exit;
+        if u < edge {
+            return Some(InjectedFault::ExitNonzero);
+        }
+        None
+    }
+}
+
+/// `Some(spec)` = override installed, `None` = follow the environment.
+static WORKER_FAULTS_OVERRIDE: std::sync::Mutex<Option<WorkerFaultSpec>> =
+    std::sync::Mutex::new(None);
+
+/// One injected worker sabotage, decided by [`WorkerFaultSpec::decide`]
+/// and executed by the worker's serve loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Abort (die by signal) after the heartbeat, before the result.
+    Crash,
+    /// Sleep past the parent's deadline, then abort.
+    Stall,
+    /// Write only a prefix of the sealed result frame, then exit 0.
+    TornTruncate,
+    /// Flip one payload byte of the sealed result frame (the integrity
+    /// hash catches it), then exit 0.
+    TornBitflip,
+    /// Exit 1 after the heartbeat, before the result.
+    ExitNonzero,
+}
+
+// ---------------------------------------------------------------------
+// Policy and error taxonomy.
+// ---------------------------------------------------------------------
+
+/// The supervisor's escalation policy, resolved once per run.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorPolicy {
+    /// Per-shard retry budget: attempts beyond the first before the
+    /// shard is quarantined (`ROAM_WORKER_RETRIES`).
+    pub retries: u32,
+    /// Stall deadline in wall milliseconds (`ROAM_WORKER_DEADLINE_MS`).
+    pub deadline_ms: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            retries: DEFAULT_WORKER_RETRIES,
+            deadline_ms: DEFAULT_WORKER_DEADLINE_MS,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// Resolve the policy from `ROAM_WORKER_RETRIES` /
+    /// `ROAM_WORKER_DEADLINE_MS`, with the documented defaults.
+    #[must_use]
+    pub fn from_env() -> Self {
+        SupervisorPolicy {
+            retries: crate::config::env_parse("ROAM_WORKER_RETRIES")
+                .unwrap_or(DEFAULT_WORKER_RETRIES),
+            deadline_ms: crate::config::env_parse("ROAM_WORKER_DEADLINE_MS")
+                .unwrap_or(DEFAULT_WORKER_DEADLINE_MS)
+                .max(1),
+        }
+    }
+}
+
+/// A protocol violation on a worker's result stream — every way the
+/// bytes coming back over the pipe can be wrong, as a typed value. The
+/// parent treats each as a recovery event (kill, respawn, retry), never
+/// as a panic and never as silently-accepted data.
+#[derive(Debug)]
+pub enum ProtocolViolation {
+    /// The stream ended (or errored) mid-frame.
+    Truncated(String),
+    /// A frame failed to unseal: bad magic, integrity-hash mismatch,
+    /// short header — see [`CodecError`].
+    Frame(CodecError),
+    /// A sealed frame of a kind the result protocol does not speak.
+    WrongKind(u16),
+    /// A sealed frame from an incompatible payload-format version.
+    WrongVersion(u16),
+    /// A result/heartbeat payload that does not decode.
+    Payload(CodecError),
+    /// A result for a shard this child does not own (or already
+    /// delivered).
+    UnexpectedShard(usize),
+    /// The child exited cleanly before delivering its whole stripe.
+    MissingResults {
+        /// Results delivered before the stream ended.
+        got: usize,
+        /// Results the stripe owed.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolViolation::Truncated(what) => write!(f, "truncated result stream: {what}"),
+            ProtocolViolation::Frame(e) => write!(f, "unsealable frame: {e}"),
+            ProtocolViolation::WrongKind(kind) => write!(f, "unexpected frame kind {kind}"),
+            ProtocolViolation::WrongVersion(v) => write!(f, "unsupported frame version {v}"),
+            ProtocolViolation::Payload(e) => write!(f, "undecodable payload: {e}"),
+            ProtocolViolation::UnexpectedShard(index) => {
+                write!(f, "result for unassigned shard {index}")
+            }
+            ProtocolViolation::MissingResults { got, expected } => {
+                write!(f, "clean exit after {got} of {expected} shard results")
+            }
+        }
+    }
+}
+
+/// One supervised worker failure: what went wrong, on which child, and
+/// (when a heartbeat had announced one) which shard was in flight.
+/// Every variant is a recovery event — the supervisor respawns and
+/// retries; the taxonomy exists so telemetry, logs and tests can name
+/// the cause precisely.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// The child process could not be spawned.
+    Spawn {
+        /// Child slot index.
+        child: usize,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// Writing the job frame to the child's stdin failed (typically a
+    /// broken pipe from a child that died during startup).
+    JobShip {
+        /// Child slot index.
+        child: usize,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The child was killed by a signal.
+    Crashed {
+        /// Child slot index.
+        child: usize,
+        /// Shard in flight when it died, if a heartbeat announced one.
+        shard: Option<usize>,
+        /// The exit status, rendered (`signal: 6 (SIGABRT)` etc.).
+        status: String,
+    },
+    /// The child exited with a nonzero code.
+    NonZeroExit {
+        /// Child slot index.
+        child: usize,
+        /// Shard in flight when it exited, if announced.
+        shard: Option<usize>,
+        /// The exit code.
+        code: i32,
+    },
+    /// The child produced no frame within the deadline.
+    Stalled {
+        /// Child slot index.
+        child: usize,
+        /// Shard in flight when it stalled, if announced.
+        shard: Option<usize>,
+        /// The deadline it blew, milliseconds.
+        deadline_ms: u64,
+    },
+    /// The child's result stream violated the frame protocol.
+    Protocol {
+        /// Child slot index.
+        child: usize,
+        /// Shard in flight when the stream went bad, if announced.
+        shard: Option<usize>,
+        /// The violation.
+        cause: ProtocolViolation,
+    },
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shard = |s: &Option<usize>| match s {
+            Some(i) => format!(" (shard {i} in flight)"),
+            None => String::new(),
+        };
+        match self {
+            WorkerError::Spawn { child, source } => {
+                write!(f, "worker {child}: spawn failed: {source}")
+            }
+            WorkerError::JobShip { child, source } => {
+                write!(f, "worker {child}: shipping job failed: {source}")
+            }
+            WorkerError::Crashed {
+                child,
+                shard: s,
+                status,
+            } => write!(f, "worker {child}: crashed [{status}]{}", shard(s)),
+            WorkerError::NonZeroExit {
+                child,
+                shard: s,
+                code,
+            } => write!(f, "worker {child}: exited with code {code}{}", shard(s)),
+            WorkerError::Stalled {
+                child,
+                shard: s,
+                deadline_ms,
+            } => write!(
+                f,
+                "worker {child}: no frame within {deadline_ms} ms{}",
+                shard(s)
+            ),
+            WorkerError::Protocol {
+                child,
+                shard: s,
+                cause,
+            } => write!(f, "worker {child}: protocol violation: {cause}{}", shard(s)),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkerError::Spawn { source, .. } | WorkerError::JobShip { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What the supervision plane did during a run: respawns, retries,
+/// quarantines, and the full failure history. Deliberately *outside*
+/// the byte-stable report — recovery work never changes the bytes, so
+/// it must not live in them.
+#[derive(Debug, Default)]
+pub struct SupervisionStats {
+    /// Child processes respawned after a failure.
+    pub respawns: u64,
+    /// Shard attempts charged to a retry budget.
+    pub retries: u64,
+    /// Shards quarantined to in-process execution.
+    pub quarantined: u64,
+    /// Stall deadlines tripped.
+    pub stalls: u64,
+    /// Protocol violations on result streams.
+    pub protocol_errors: u64,
+    /// Heartbeat frames received.
+    pub heartbeats: u64,
+    /// Every supervised failure, in detection order.
+    pub errors: Vec<WorkerError>,
+}
+
+impl SupervisionStats {
+    /// Did the run need any recovery at all? (Heartbeats alone are
+    /// normal operation.)
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.respawns > 0 || self.retries > 0 || self.quarantined > 0 || !self.errors.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Restore guards for the process-wide knob overrides (shared with the
+// runner's in-process backend).
+// ---------------------------------------------------------------------
+
+/// Restores the previous process-wide transport override on drop (even
+/// on unwind).
+pub(crate) struct TransportPin(Option<Option<TransportKind>>);
+
+impl TransportPin {
+    pub(crate) fn install(kind: TransportKind) -> Self {
+        TransportPin(Some(TransportKind::override_transport(Some(kind))))
+    }
+}
+
+impl Drop for TransportPin {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            TransportKind::override_transport(prev);
+        }
+    }
+}
+
+/// Restores the previous process-wide calendar override on drop.
+pub(crate) struct CalendarPin(Option<Option<CalendarKind>>);
+
+impl CalendarPin {
+    pub(crate) fn install(kind: CalendarKind) -> Self {
+        CalendarPin(Some(CalendarKind::override_calendar(Some(kind))))
+    }
+}
+
+impl Drop for CalendarPin {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            CalendarKind::override_calendar(prev);
+        }
+    }
+}
+
+/// Restores the previous process-wide fault-spec override on drop.
+pub(crate) struct FaultsPin(Option<Option<FaultSpec>>);
+
+impl FaultsPin {
+    pub(crate) fn install(spec: FaultSpec) -> Self {
+        FaultsPin(Some(FaultSpec::override_faults(Some(spec))))
+    }
+}
+
+impl Drop for FaultsPin {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            FaultSpec::override_faults(prev);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The supervisor.
+// ---------------------------------------------------------------------
+
+/// An event from one child's reader thread, tagged with the slot and
+/// its spawn generation so frames from a killed child's drained pipe
+/// can't be mistaken for its replacement's.
+struct Tagged {
+    slot: usize,
+    generation: u64,
+    event: WorkerEvent,
+}
+
+/// One child slot: the live process (if any), its reader generation,
+/// and its remaining work.
+struct Slot {
+    child: Option<Child>,
+    generation: u64,
+    /// Shard indices still owed by this slot, in dispatch order.
+    queue: VecDeque<usize>,
+    /// The shard the last heartbeat announced, until its result lands.
+    announced: Option<usize>,
+    /// Wall instant of the last frame (or spawn).
+    last_event: Instant,
+    /// Consecutive deaths with no shard in flight (startup failures,
+    /// between-shard crashes) — the cannot-make-progress detector. Only
+    /// a delivered result resets it; heartbeats alone prove nothing.
+    strikes: u32,
+    /// Consecutive failures of any kind, for backoff scaling. Reset by
+    /// a delivered result.
+    failures: u32,
+}
+
+/// What `supervise` hands back to the runner.
+pub(crate) struct Supervised {
+    pub outcomes: Vec<ShardOutcome>,
+    pub stats: SupervisionStats,
+    /// The supervisor's own telemetry (restart/retry/quarantine
+    /// counters), for the runner to absorb when recovery occurred.
+    pub snap: TelemetrySnapshot,
+}
+
+/// Run `plans` across `workers` supervised child processes and return
+/// every shard outcome. Infallible by escalation: any shard the worker
+/// fleet cannot finish within its retry budget runs in-process on the
+/// parent, so a supervised run always completes — and completes with
+/// the same bytes, because shards are pure.
+pub(crate) fn supervise(
+    job_proto: &WorkerJob,
+    plans: Vec<ShardSpec>,
+    workers: usize,
+    worker_bin: Option<&PathBuf>,
+    policy: SupervisorPolicy,
+) -> Supervised {
+    let bin = worker::find_worker_bin(worker_bin);
+    let total = plans.len();
+    let stripes = crate::plan::stripe(total, workers);
+    let specs: BTreeMap<usize, ShardSpec> = plans.into_iter().map(|p| (p.index, p)).collect();
+    let mut attempts: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut outcomes: BTreeMap<usize, ShardOutcome> = BTreeMap::new();
+    let mut quarantine: Vec<usize> = Vec::new();
+    let mut stats = SupervisionStats::default();
+    let mut tel = Recorder::new(job_proto.telemetry);
+
+    let (tx, rx) = mpsc::channel::<Tagged>();
+    let mut slots: Vec<Slot> = stripes
+        .iter()
+        .map(|stripe| Slot {
+            child: None,
+            generation: 0,
+            queue: stripe.iter().copied().collect(),
+            announced: None,
+            last_event: Instant::now(),
+            strikes: 0,
+            failures: 0,
+        })
+        .collect();
+
+    // First wave of spawns.
+    for (slot_idx, slot) in slots.iter_mut().enumerate() {
+        spawn_slot(
+            slot_idx,
+            slot,
+            job_proto,
+            &specs,
+            &attempts,
+            &bin,
+            &tx,
+            &mut stats,
+            &mut quarantine,
+        );
+    }
+
+    let deadline = Duration::from_millis(policy.deadline_ms);
+    let tick = Duration::from_millis(policy.deadline_ms.clamp(4, 800) / 4);
+    while slots.iter().any(|s| s.child.is_some()) {
+        match rx.recv_timeout(tick) {
+            Ok(tagged) => {
+                let slot_idx = tagged.slot;
+                if tagged.generation != slots[slot_idx].generation
+                    || slots[slot_idx].child.is_none()
+                {
+                    continue; // stale frame from a replaced child
+                }
+                slots[slot_idx].last_event = Instant::now();
+                match tagged.event {
+                    WorkerEvent::Heartbeat { shard, attempt } => {
+                        // A heartbeat must announce a shard this child
+                        // owns, at exactly the attempt number we
+                        // dispatched — anything else is a confused or
+                        // stale child talking on a fresh pipe.
+                        let expected = attempts.get(&shard).copied().unwrap_or(0);
+                        if slots[slot_idx].queue.contains(&shard) && attempt == expected {
+                            stats.heartbeats += 1;
+                            slots[slot_idx].announced = Some(shard);
+                        } else {
+                            fail_slot(
+                                slot_idx,
+                                &mut slots[slot_idx],
+                                FailureKind::Protocol(ProtocolViolation::UnexpectedShard(shard)),
+                                job_proto,
+                                &specs,
+                                &mut attempts,
+                                &bin,
+                                &tx,
+                                &mut stats,
+                                &mut quarantine,
+                                policy,
+                            );
+                        }
+                    }
+                    WorkerEvent::Result(outcome) => {
+                        let index = outcome.index;
+                        let owned = slots[slot_idx].queue.contains(&index);
+                        if owned && !outcomes.contains_key(&index) {
+                            outcomes.insert(index, *outcome);
+                            slots[slot_idx].queue.retain(|&i| i != index);
+                            if slots[slot_idx].announced == Some(index) {
+                                slots[slot_idx].announced = None;
+                            }
+                            slots[slot_idx].failures = 0;
+                            slots[slot_idx].strikes = 0;
+                        } else {
+                            fail_slot(
+                                slot_idx,
+                                &mut slots[slot_idx],
+                                FailureKind::Protocol(ProtocolViolation::UnexpectedShard(index)),
+                                job_proto,
+                                &specs,
+                                &mut attempts,
+                                &bin,
+                                &tx,
+                                &mut stats,
+                                &mut quarantine,
+                                policy,
+                            );
+                        }
+                    }
+                    WorkerEvent::Violation(cause) => {
+                        fail_slot(
+                            slot_idx,
+                            &mut slots[slot_idx],
+                            FailureKind::Protocol(cause),
+                            job_proto,
+                            &specs,
+                            &mut attempts,
+                            &bin,
+                            &tx,
+                            &mut stats,
+                            &mut quarantine,
+                            policy,
+                        );
+                    }
+                    WorkerEvent::Eof => {
+                        handle_eof(
+                            slot_idx,
+                            &mut slots[slot_idx],
+                            job_proto,
+                            &specs,
+                            &mut attempts,
+                            &bin,
+                            &tx,
+                            &mut stats,
+                            &mut quarantine,
+                            policy,
+                        );
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            // We hold `tx`, so the channel can't disconnect; treat it
+            // as a spurious wakeup if it somehow does.
+            Err(mpsc::RecvTimeoutError::Disconnected) => {}
+        }
+        // Stall sweep: any live child silent past the deadline is dead
+        // to us.
+        for (slot_idx, slot) in slots.iter_mut().enumerate() {
+            if slot.child.is_some() && slot.last_event.elapsed() > deadline {
+                stats.stalls += 1;
+                fail_slot(
+                    slot_idx,
+                    slot,
+                    FailureKind::Stalled,
+                    job_proto,
+                    &specs,
+                    &mut attempts,
+                    &bin,
+                    &tx,
+                    &mut stats,
+                    &mut quarantine,
+                    policy,
+                );
+            }
+        }
+    }
+
+    // Escalation floor: quarantined shards run in-process under the
+    // job's resolved knobs — the parent cannot crash-loop, and the
+    // shard function is the exact one the workers run, so the bytes
+    // cannot differ.
+    if !quarantine.is_empty() {
+        let _transport = TransportPin::install(job_proto.transport);
+        let _calendar = CalendarPin::install(job_proto.calendar);
+        let _faults = FaultsPin::install(job_proto.faults);
+        quarantine.sort_unstable();
+        quarantine.dedup();
+        for index in quarantine {
+            let Some(spec) = specs.get(&index) else {
+                continue;
+            };
+            if outcomes.contains_key(&index) {
+                continue;
+            }
+            stats.quarantined += 1;
+            let outcome = run_fleet_shard(
+                job_proto.seed,
+                &job_proto.config,
+                spec.clone(),
+                job_proto.telemetry,
+                job_proto.checkpoint.as_ref(),
+                false,
+            );
+            outcomes.insert(index, outcome);
+        }
+    }
+
+    tel.add(Counter::WorkerRestarts, stats.respawns);
+    tel.add(Counter::WorkerRetries, stats.retries);
+    tel.add(Counter::WorkerQuarantines, stats.quarantined);
+    Supervised {
+        outcomes: outcomes.into_values().collect(),
+        stats,
+        snap: tel.take(),
+    }
+}
+
+/// Which failure class a slot death belongs to (startup failures never
+/// reach `fail_slot` — `spawn_slot` strikes and retries them in place).
+enum FailureKind {
+    /// Child still running but condemned: stall deadline blown.
+    Stalled,
+    /// Result stream violated the protocol.
+    Protocol(ProtocolViolation),
+    /// Child is gone; classify from its exit status.
+    Exited(Option<i32>, String),
+}
+
+/// Spawn (or respawn) `slot`'s child with its remaining shards. On
+/// startup failure the slot takes a strike and retries after backoff in
+/// place; past the strike budget its whole stripe is quarantined.
+#[allow(clippy::too_many_arguments)]
+fn spawn_slot(
+    slot_idx: usize,
+    slot: &mut Slot,
+    job_proto: &WorkerJob,
+    specs: &BTreeMap<usize, ShardSpec>,
+    attempts: &BTreeMap<usize, u32>,
+    bin: &Path,
+    tx: &mpsc::Sender<Tagged>,
+    stats: &mut SupervisionStats,
+    quarantine: &mut Vec<usize>,
+) {
+    loop {
+        if slot.queue.is_empty() {
+            slot.child = None;
+            return;
+        }
+        let shards: Vec<ShardSpec> = slot
+            .queue
+            .iter()
+            .filter_map(|i| specs.get(i))
+            .map(|spec| ShardSpec {
+                attempt: attempts.get(&spec.index).copied().unwrap_or(0),
+                ..spec.clone()
+            })
+            .collect();
+        let job = WorkerJob {
+            seed: job_proto.seed,
+            config: job_proto.config,
+            telemetry: job_proto.telemetry,
+            transport: job_proto.transport,
+            calendar: job_proto.calendar,
+            faults: job_proto.faults,
+            worker_faults: job_proto.worker_faults,
+            deadline_ms: job_proto.deadline_ms,
+            shards,
+            checkpoint: job_proto.checkpoint.clone(),
+        };
+        slot.generation += 1;
+        slot.announced = None;
+        slot.last_event = Instant::now();
+        let startup = (|| -> Result<Child, WorkerError> {
+            let mut child = Command::new(bin)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|source| WorkerError::Spawn {
+                    child: slot_idx,
+                    source,
+                })?;
+            let ship = child.stdin.take().map_or(
+                Err(std::io::Error::other("no piped stdin")),
+                |mut stdin| {
+                    stdin
+                        .write_all(&job.to_frame())
+                        .and_then(|()| stdin.flush())
+                },
+            );
+            if let Err(source) = ship {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(WorkerError::JobShip {
+                    child: slot_idx,
+                    source,
+                });
+            }
+            Ok(child)
+        })();
+        match startup {
+            Ok(mut child) => {
+                if let Some(stdout) = child.stdout.take() {
+                    let tx = tx.clone();
+                    let generation = slot.generation;
+                    std::thread::spawn(move || {
+                        worker::read_worker_stream(stdout, |event| {
+                            let _ = tx.send(Tagged {
+                                slot: slot_idx,
+                                generation,
+                                event,
+                            });
+                        });
+                    });
+                    slot.child = Some(child);
+                    return;
+                }
+                // No pipe to read: unusable child.
+                let _ = child.kill();
+                let _ = child.wait();
+                record_failure(
+                    WorkerError::Spawn {
+                        child: slot_idx,
+                        source: std::io::Error::other("no piped stdout"),
+                    },
+                    stats,
+                );
+            }
+            Err(err) => record_failure(err, stats),
+        }
+        // Startup failed: strike, maybe quarantine, maybe retry after
+        // backoff.
+        slot.strikes += 1;
+        slot.failures += 1;
+        if slot.strikes >= CHILD_STRIKES {
+            quarantine.extend(slot.queue.drain(..));
+            slot.child = None;
+            return;
+        }
+        backoff(slot.failures);
+        stats.respawns += 1;
+    }
+}
+
+/// Record one supervised failure (stderr note + history). The stderr
+/// line keeps worker-mode diagnostics observable in harness runs
+/// without touching stdout's protocol/report purity.
+fn record_failure(err: WorkerError, stats: &mut SupervisionStats) {
+    eprintln!("fleet supervisor: {err}; recovering");
+    if matches!(err, WorkerError::Protocol { .. }) {
+        stats.protocol_errors += 1;
+    }
+    stats.errors.push(err);
+}
+
+/// Capped exponential backoff before a respawn.
+fn backoff(consecutive_failures: u32) {
+    let exp = consecutive_failures.saturating_sub(1).min(8);
+    let ms = (BACKOFF_BASE_MS << exp).min(BACKOFF_CAP_MS);
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+/// A child's stdout reached EOF: a clean finish if its queue is empty
+/// and it exited 0, a failure otherwise.
+#[allow(clippy::too_many_arguments)]
+fn handle_eof(
+    slot_idx: usize,
+    slot: &mut Slot,
+    job_proto: &WorkerJob,
+    specs: &BTreeMap<usize, ShardSpec>,
+    attempts: &mut BTreeMap<usize, u32>,
+    bin: &Path,
+    tx: &mpsc::Sender<Tagged>,
+    stats: &mut SupervisionStats,
+    quarantine: &mut Vec<usize>,
+    policy: SupervisorPolicy,
+) {
+    let status = match slot.child.take() {
+        Some(mut child) => child.wait(),
+        None => return,
+    };
+    let (code, rendered) = match status {
+        Ok(s) => (s.code(), s.to_string()),
+        Err(e) => (None, format!("wait failed: {e}")),
+    };
+    if code == Some(0) && slot.queue.is_empty() {
+        return; // clean finish
+    }
+    let kind = if code == Some(0) {
+        FailureKind::Protocol(ProtocolViolation::MissingResults {
+            got: 0, // the remaining queue length tells the real story
+            expected: slot.queue.len(),
+        })
+    } else {
+        FailureKind::Exited(code, rendered)
+    };
+    fail_slot(
+        slot_idx, slot, kind, job_proto, specs, attempts, bin, tx, stats, quarantine, policy,
+    );
+}
+
+/// Condemn a slot's child: kill it, charge the in-flight shard's retry
+/// budget (or strike a child that never got going), quarantine anything
+/// over budget, and respawn the remainder after a capped backoff.
+#[allow(clippy::too_many_arguments)]
+fn fail_slot(
+    slot_idx: usize,
+    slot: &mut Slot,
+    kind: FailureKind,
+    job_proto: &WorkerJob,
+    specs: &BTreeMap<usize, ShardSpec>,
+    attempts: &mut BTreeMap<usize, u32>,
+    bin: &Path,
+    tx: &mpsc::Sender<Tagged>,
+    stats: &mut SupervisionStats,
+    quarantine: &mut Vec<usize>,
+    policy: SupervisorPolicy,
+) {
+    // Make sure the child is gone and reaped; the respawn (if any)
+    // bumps the generation so frames still draining from the dead
+    // child's pipe are ignored.
+    if let Some(mut child) = slot.child.take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let in_flight = slot.announced.take();
+    let err = match kind {
+        FailureKind::Stalled => WorkerError::Stalled {
+            child: slot_idx,
+            shard: in_flight,
+            deadline_ms: policy.deadline_ms,
+        },
+        FailureKind::Protocol(cause) => WorkerError::Protocol {
+            child: slot_idx,
+            shard: in_flight,
+            cause,
+        },
+        FailureKind::Exited(Some(code), _) => WorkerError::NonZeroExit {
+            child: slot_idx,
+            shard: in_flight,
+            code,
+        },
+        FailureKind::Exited(None, status) => WorkerError::Crashed {
+            child: slot_idx,
+            shard: in_flight,
+            status,
+        },
+    };
+    record_failure(err, stats);
+    slot.failures += 1;
+
+    if let Some(shard) = in_flight {
+        // The heartbeat told us exactly which shard the failure should
+        // be charged to.
+        let count = attempts.entry(shard).or_insert(0);
+        *count += 1;
+        stats.retries += 1;
+        if *count > policy.retries {
+            slot.queue.retain(|&i| i != shard);
+            quarantine.push(shard);
+        }
+    } else {
+        // Died before announcing anything: strike the child. Past the
+        // budget, nothing about this stripe is salvageable by respawn.
+        slot.strikes += 1;
+        if slot.strikes >= CHILD_STRIKES {
+            quarantine.extend(slot.queue.drain(..));
+        }
+    }
+
+    if slot.queue.is_empty() {
+        slot.child = None;
+        return;
+    }
+    backoff(slot.failures);
+    stats.respawns += 1;
+    spawn_slot(
+        slot_idx, slot, job_proto, specs, attempts, bin, tx, stats, quarantine,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_mirrors_the_fault_plane_knob() {
+        assert_eq!(WorkerFaultSpec::parse(""), Some(WorkerFaultSpec::off()));
+        let spec = WorkerFaultSpec::parse("crash=0.5, torn=0.25").expect("valid spec");
+        assert!((spec.crash - 0.5).abs() < f64::EPSILON);
+        assert!((spec.torn - 0.25).abs() < f64::EPSILON);
+        assert!(spec.stall.abs() < f64::EPSILON);
+        assert!(WorkerFaultSpec::parse("crash=1.5").is_none(), "rate > 1");
+        assert!(WorkerFaultSpec::parse("flap=0.1").is_none(), "unknown key");
+        assert!(WorkerFaultSpec::parse("crash").is_none(), "missing value");
+    }
+
+    #[test]
+    fn decisions_are_keyed_and_attempt_sensitive() {
+        let spec = WorkerFaultSpec {
+            crash: 0.5,
+            stall: 0.0,
+            torn: 0.3,
+            exit: 0.1,
+        };
+        for shard in 0..16usize {
+            for attempt in 0..4u32 {
+                let a = spec.decide(42, shard, attempt);
+                let b = spec.decide(42, shard, attempt);
+                assert_eq!(a, b, "same key, same fate");
+            }
+        }
+        // Across shards and attempts the fates must actually vary —
+        // otherwise a retry could never escape its sabotage.
+        let fates: Vec<Option<InjectedFault>> =
+            (0..64).map(|shard| spec.decide(7, shard, 0)).collect();
+        assert!(fates.iter().any(Option::is_some), "some sabotage at 90%");
+        assert!(fates.iter().any(Option::is_none), "some clean runs too");
+        assert!(
+            (0..8).any(|s| spec.decide(7, s, 0) != spec.decide(7, s, 1)),
+            "attempts re-roll"
+        );
+    }
+
+    #[test]
+    fn off_spec_never_injects() {
+        let spec = WorkerFaultSpec::off();
+        assert!(!spec.enabled());
+        for shard in 0..32 {
+            assert_eq!(spec.decide(1, shard, 0), None);
+        }
+    }
+
+    #[test]
+    fn worker_errors_name_child_shard_and_cause() {
+        let err = WorkerError::Protocol {
+            child: 2,
+            shard: Some(5),
+            cause: ProtocolViolation::WrongKind(99),
+        };
+        let text = err.to_string();
+        assert!(text.contains("worker 2"), "{text}");
+        assert!(text.contains("shard 5"), "{text}");
+        assert!(text.contains("kind 99"), "{text}");
+        let stall = WorkerError::Stalled {
+            child: 0,
+            shard: None,
+            deadline_ms: 1500,
+        };
+        assert!(stall.to_string().contains("1500 ms"));
+    }
+}

@@ -12,31 +12,44 @@
 //!    consult the environment, so parent and workers can't diverge), its
 //!    striped shard list with per-shard resume states, and the
 //!    checkpoint policy.
-//! 2. The worker runs its shards sequentially and writes one
-//!    [`KIND_RESULT`] frame per shard to stdout, then exits 0.
-//! 3. The parent reads result frames to EOF, checks exit statuses, and
-//!    hands the outcomes to the merger — the same merger the in-process
-//!    backend uses, so `FleetReport::render()` is byte-identical across
-//!    backends.
+//! 2. The worker runs its shards sequentially. Before each shard it
+//!    writes one [`KIND_HEARTBEAT`] frame (shard index + attempt) so
+//!    the supervising parent can tell a long shard from a stalled
+//!    worker — and knows which shard to charge when the child dies
+//!    mid-flight. Each finished shard becomes one [`KIND_RESULT`]
+//!    frame; the worker exits 0 when its stripe is done.
+//! 3. The parent's [`crate::supervisor`] reads the stream, classifies
+//!    every deviation (crash, nonzero exit, stall, protocol violation)
+//!    as a typed [`crate::supervisor::WorkerError`], and recovers by
+//!    respawn + re-dispatch. Outcomes feed the same merger the
+//!    in-process backend uses, so `FleetReport::render()` is
+//!    byte-identical across backends — and across recoveries, because
+//!    a shard is a pure function of `(seed, config, spec)`.
 //!
-//! Worker stdout carries nothing but result frames; anything human-
+//! Worker stdout carries nothing but protocol frames; anything human-
 //! readable a worker has to say goes to stderr (inherited from the
 //! parent). That keeps `fleet_smoke`'s stdout-purity contract intact in
 //! worker mode.
+//!
+//! The worker side also hosts the chaos half of the supervision story:
+//! when the job's [`WorkerFaultSpec`] is active, a keyed draw per
+//! `(shard, attempt)` decides whether this execution crashes, stalls,
+//! tears its result frame, or exits nonzero — see
+//! [`crate::supervisor`] for the spec and the recovery contract.
 
 use crate::checkpoint::{
     decode_config, decode_faults, encode_config, encode_faults, telemetry_from_wire,
-    telemetry_to_wire, CheckpointPolicy, ShardState, CKPT_VERSION, KIND_JOB, KIND_RESULT,
+    telemetry_to_wire, CheckpointPolicy, ShardState, CKPT_VERSION, KIND_HEARTBEAT, KIND_JOB,
+    KIND_RESULT,
 };
 use crate::config::FleetConfig;
 use crate::exec::{run_fleet_shard, ShardOutcome, ShardSpec};
 use crate::report::FleetReport;
+use crate::supervisor::{InjectedFault, ProtocolViolation, WorkerFaultSpec};
 use roam_codec::{CodecError, Decoder, Encoder, Frame};
 use roam_netsim::{CalendarKind, FaultSpec, TransportKind};
 use roam_telemetry::{TelemetryMode, TelemetrySnapshot};
-use std::io::Write as _;
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
 
 /// Field tags for the job payload.
 mod job_tag {
@@ -50,6 +63,8 @@ mod job_tag {
     pub const CKPT_DIR: u32 = 8;
     pub const CKPT_EVERY: u32 = 9;
     pub const CKPT_HALT: u32 = 10;
+    pub const WORKER_FAULTS: u32 = 11;
+    pub const DEADLINE_MS: u32 = 12;
 }
 
 /// Field tags for a shard entry inside a job.
@@ -58,6 +73,21 @@ mod job_shard_tag {
     pub const LO: u32 = 2;
     pub const HI: u32 = 3;
     pub const RESUME: u32 = 4;
+    pub const ATTEMPT: u32 = 5;
+}
+
+/// Field tags for the worker-fault section of a job.
+mod wfault_tag {
+    pub const CRASH: u32 = 1;
+    pub const STALL: u32 = 2;
+    pub const TORN: u32 = 3;
+    pub const EXIT: u32 = 4;
+}
+
+/// Field tags for a heartbeat payload.
+mod heartbeat_tag {
+    pub const SHARD: u32 = 1;
+    pub const ATTEMPT: u32 = 2;
 }
 
 /// Field tags for the result payload.
@@ -78,12 +108,19 @@ pub(crate) struct WorkerJob {
     pub transport: TransportKind,
     pub calendar: CalendarKind,
     pub faults: FaultSpec,
+    /// The resolved worker-fault injection spec — shipped in the job
+    /// (like every other knob) so parent and workers cannot diverge on
+    /// which executions get sabotaged.
+    pub worker_faults: WorkerFaultSpec,
+    /// The supervisor's stall deadline, so an injected stall knows how
+    /// long it must sleep to be detected rather than merely slow.
+    pub deadline_ms: u64,
     pub shards: Vec<ShardSpec>,
     pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl WorkerJob {
-    fn to_frame(&self) -> Vec<u8> {
+    pub(crate) fn to_frame(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.u64(job_tag::SEED, self.seed);
         e.section(job_tag::CONFIG, |se| encode_config(se, &self.config));
@@ -103,6 +140,15 @@ impl WorkerJob {
             },
         );
         e.section(job_tag::FAULTS, |se| encode_faults(se, &self.faults));
+        if self.worker_faults.enabled() {
+            e.section(job_tag::WORKER_FAULTS, |se| {
+                se.f64(wfault_tag::CRASH, self.worker_faults.crash);
+                se.f64(wfault_tag::STALL, self.worker_faults.stall);
+                se.f64(wfault_tag::TORN, self.worker_faults.torn);
+                se.f64(wfault_tag::EXIT, self.worker_faults.exit);
+            });
+        }
+        e.u64(job_tag::DEADLINE_MS, self.deadline_ms);
         for shard in &self.shards {
             e.section(job_tag::SHARD, |se| {
                 se.u64(job_shard_tag::INDEX, shard.index as u64);
@@ -110,6 +156,9 @@ impl WorkerJob {
                 se.u64(job_shard_tag::HI, shard.hi);
                 if let Some(state) = &shard.resume {
                     se.section(job_shard_tag::RESUME, |re| state.encode_fields(re));
+                }
+                if shard.attempt > 0 {
+                    se.u64(job_shard_tag::ATTEMPT, u64::from(shard.attempt));
                 }
             });
         }
@@ -123,7 +172,7 @@ impl WorkerJob {
         e.into_frame(KIND_JOB, CKPT_VERSION)
     }
 
-    fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+    pub(crate) fn decode(payload: &[u8]) -> Result<Self, CodecError> {
         let mut d = Decoder::new(payload);
         let mut seed = None;
         let mut config = None;
@@ -131,6 +180,8 @@ impl WorkerJob {
         let mut transport = TransportKind::ClosedForm;
         let mut calendar = CalendarKind::Wheel;
         let mut faults = None;
+        let mut worker_faults = WorkerFaultSpec::off();
+        let mut deadline_ms = crate::supervisor::DEFAULT_WORKER_DEADLINE_MS;
         let mut shards = Vec::new();
         let (mut dir, mut every, mut halt) = (None, None, None);
         while let Some((tag, v)) = d.next_field()? {
@@ -153,9 +204,23 @@ impl WorkerJob {
                     };
                 }
                 job_tag::FAULTS => faults = Some(decode_faults(&mut v.as_section(tag)?)?),
+                job_tag::WORKER_FAULTS => {
+                    let mut wd = v.as_section(tag)?;
+                    while let Some((wtag, wv)) = wd.next_field()? {
+                        match wtag {
+                            wfault_tag::CRASH => worker_faults.crash = wv.as_f64(wtag)?,
+                            wfault_tag::STALL => worker_faults.stall = wv.as_f64(wtag)?,
+                            wfault_tag::TORN => worker_faults.torn = wv.as_f64(wtag)?,
+                            wfault_tag::EXIT => worker_faults.exit = wv.as_f64(wtag)?,
+                            _ => {}
+                        }
+                    }
+                }
+                job_tag::DEADLINE_MS => deadline_ms = v.as_u64(tag)?,
                 job_tag::SHARD => {
                     let mut sd = v.as_section(tag)?;
                     let (mut index, mut lo, mut hi, mut resume) = (None, None, None, None);
+                    let mut attempt = 0u32;
                     while let Some((stag, sv)) = sd.next_field()? {
                         match stag {
                             job_shard_tag::INDEX => {
@@ -170,6 +235,10 @@ impl WorkerJob {
                                 resume =
                                     Some(ShardState::decode_fields(&mut sv.as_section(stag)?)?);
                             }
+                            job_shard_tag::ATTEMPT => {
+                                attempt = u32::try_from(sv.as_u64(stag)?)
+                                    .map_err(|_| CodecError::BadValue("shard attempt"))?;
+                            }
                             _ => {}
                         }
                     }
@@ -178,6 +247,7 @@ impl WorkerJob {
                         lo: lo.ok_or(CodecError::MissingField("shard lo"))?,
                         hi: hi.ok_or(CodecError::MissingField("shard hi"))?,
                         resume,
+                        attempt,
                     });
                 }
                 job_tag::CKPT_DIR => dir = Some(PathBuf::from(v.as_str(tag)?)),
@@ -207,10 +277,47 @@ impl WorkerJob {
             transport,
             calendar,
             faults: faults.ok_or(CodecError::MissingField("faults"))?,
+            worker_faults,
+            deadline_ms,
             shards,
             checkpoint,
         })
     }
+}
+
+/// Seal one heartbeat frame: "I am alive and about to run `shard`
+/// (attempt `attempt`)". Emitted before each shard so the supervisor
+/// can distinguish a long shard from a stalled worker and knows which
+/// shard an in-flight death should be charged to.
+fn heartbeat_frame(shard: usize, attempt: u32) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(heartbeat_tag::SHARD, shard as u64);
+    e.u64(heartbeat_tag::ATTEMPT, u64::from(attempt));
+    e.into_frame(KIND_HEARTBEAT, CKPT_VERSION)
+}
+
+fn decode_heartbeat(payload: &[u8]) -> Result<(usize, u32), CodecError> {
+    let mut d = Decoder::new(payload);
+    let (mut shard, mut attempt) = (None, 0u32);
+    while let Some((tag, v)) = d.next_field()? {
+        match tag {
+            heartbeat_tag::SHARD => {
+                shard = Some(
+                    usize::try_from(v.as_u64(tag)?)
+                        .map_err(|_| CodecError::BadValue("heartbeat shard"))?,
+                );
+            }
+            heartbeat_tag::ATTEMPT => {
+                attempt = u32::try_from(v.as_u64(tag)?)
+                    .map_err(|_| CodecError::BadValue("heartbeat attempt"))?;
+            }
+            _ => {}
+        }
+    }
+    Ok((
+        shard.ok_or(CodecError::MissingField("heartbeat shard"))?,
+        attempt,
+    ))
 }
 
 fn result_frame(outcome: &ShardOutcome) -> Vec<u8> {
@@ -288,90 +395,101 @@ pub(crate) fn find_worker_bin(explicit: Option<&PathBuf>) -> PathBuf {
     PathBuf::from(name)
 }
 
-/// Parent side: stripe the shard plans over `workers` processes, ship a
-/// job to each, and collect every shard outcome.
-///
-/// # Panics
-/// When a worker cannot be spawned, dies, exits nonzero, or returns a
-/// protocol-violating stream — a worker failure is unrecoverable for the
-/// run (partial state is only on disk if checkpointing was on).
-pub(crate) fn run_in_workers(
-    job_proto: &WorkerJob,
-    plans: Vec<ShardSpec>,
-    workers: usize,
-    worker_bin: Option<&PathBuf>,
-) -> Vec<ShardOutcome> {
-    let bin = find_worker_bin(worker_bin);
-    let stripes = crate::plan::stripe(plans.len(), workers);
-    let mut plans: Vec<Option<ShardSpec>> = plans.into_iter().map(Some).collect();
-    let mut children: Vec<Child> = Vec::with_capacity(stripes.len());
-    // Spawn all workers and ship their jobs up front; jobs are read
-    // before any worker writes results, so the pipes can't interlock.
-    for stripe in &stripes {
-        let shards: Vec<ShardSpec> = stripe
-            .iter()
-            .map(|&i| plans[i].take().expect("each shard striped once"))
-            .collect();
-        let job = WorkerJob {
-            seed: job_proto.seed,
-            config: job_proto.config,
-            telemetry: job_proto.telemetry,
-            transport: job_proto.transport,
-            calendar: job_proto.calendar,
-            faults: job_proto.faults,
-            shards,
-            checkpoint: job_proto.checkpoint.clone(),
-        };
-        let mut child = Command::new(&bin)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .unwrap_or_else(|e| panic!("spawning fleet worker {}: {e}", bin.display()));
-        let mut stdin = child.stdin.take().expect("piped stdin");
-        stdin
-            .write_all(&job.to_frame())
-            .and_then(|()| stdin.flush())
-            .expect("shipping worker job");
-        drop(stdin); // EOF tells the worker the job is complete.
-        children.push(child);
+/// One decoded, protocol-conformant frame from a worker's stdout.
+#[derive(Debug)]
+pub(crate) enum WorkerFrame {
+    /// The worker is alive and about to run `shard` (attempt `attempt`).
+    Heartbeat { shard: usize, attempt: u32 },
+    /// One finished shard.
+    Result(Box<ShardOutcome>),
+}
+
+/// Decode one framed message from a worker's result stream, refusing
+/// every malformation with a typed [`ProtocolViolation`]: unsealable
+/// bytes (bad magic, truncated header, integrity-hash mismatch),
+/// version skew, frame kinds outside the result protocol, and payloads
+/// that do not decode. The supervisor turns any violation into a
+/// kill + respawn + retry; nothing here panics and nothing corrupt is
+/// ever silently accepted.
+pub(crate) fn parse_worker_frame(bytes: &[u8]) -> Result<WorkerFrame, ProtocolViolation> {
+    let (frame, _) = Frame::parse(bytes).map_err(ProtocolViolation::Frame)?;
+    if frame.version != CKPT_VERSION {
+        return Err(ProtocolViolation::WrongVersion(frame.version));
     }
-    let mut outcomes = Vec::with_capacity(plans.len());
-    for (child_idx, mut child) in children.into_iter().enumerate() {
-        let mut stdout = child.stdout.take().expect("piped stdout");
-        let expected = stripes[child_idx].len();
-        let mut got = 0;
-        while let Some(bytes) = Frame::read_from(&mut stdout).expect("reading worker results") {
-            let (frame, _) = Frame::parse(&bytes).expect("worker result frame");
-            assert_eq!(frame.kind, KIND_RESULT, "unexpected frame kind from worker");
-            assert_eq!(
-                frame.version, CKPT_VERSION,
-                "worker speaks a different version"
-            );
-            outcomes.push(decode_result(frame.payload).expect("worker result payload"));
-            got += 1;
+    match frame.kind {
+        KIND_RESULT => decode_result(frame.payload)
+            .map(|outcome| WorkerFrame::Result(Box::new(outcome)))
+            .map_err(ProtocolViolation::Payload),
+        KIND_HEARTBEAT => decode_heartbeat(frame.payload)
+            .map(|(shard, attempt)| WorkerFrame::Heartbeat { shard, attempt })
+            .map_err(ProtocolViolation::Payload),
+        other => Err(ProtocolViolation::WrongKind(other)),
+    }
+}
+
+/// One liveness/progress event on a worker's stdout, as the
+/// supervisor's reader thread sees it.
+#[derive(Debug)]
+pub(crate) enum WorkerEvent {
+    /// The worker announced a shard. The supervisor cross-checks both
+    /// fields against what it dispatched: an unowned shard or a stale
+    /// attempt number means a confused child.
+    Heartbeat { shard: usize, attempt: u32 },
+    /// The worker delivered a shard outcome.
+    Result(Box<ShardOutcome>),
+    /// The stream broke protocol; reading stopped here.
+    Violation(ProtocolViolation),
+    /// The stream ended cleanly (worker closed stdout).
+    Eof,
+}
+
+/// Drain one worker's stdout into events: frames while the stream is
+/// healthy, exactly one terminal [`WorkerEvent::Violation`] or
+/// [`WorkerEvent::Eof`] at the end. Runs on a supervisor reader thread;
+/// the emit callback forwards into the supervisor's event channel.
+pub(crate) fn read_worker_stream(mut input: impl std::io::Read, mut emit: impl FnMut(WorkerEvent)) {
+    loop {
+        match Frame::read_from(&mut input) {
+            Ok(None) => {
+                emit(WorkerEvent::Eof);
+                return;
+            }
+            Ok(Some(bytes)) => match parse_worker_frame(&bytes) {
+                Ok(WorkerFrame::Heartbeat { shard, attempt }) => {
+                    emit(WorkerEvent::Heartbeat { shard, attempt });
+                }
+                Ok(WorkerFrame::Result(outcome)) => emit(WorkerEvent::Result(outcome)),
+                Err(violation) => {
+                    emit(WorkerEvent::Violation(violation));
+                    return;
+                }
+            },
+            Err(e) => {
+                emit(WorkerEvent::Violation(ProtocolViolation::Truncated(
+                    e.to_string(),
+                )));
+                return;
+            }
         }
-        let status = child.wait().expect("waiting for worker");
-        assert!(
-            status.success(),
-            "fleet worker {child_idx} exited with {status}"
-        );
-        assert_eq!(
-            got, expected,
-            "fleet worker {child_idx} returned {got} of {expected} shard results"
-        );
     }
-    outcomes
 }
 
 /// Worker side: the whole child process. Reads one job frame from
 /// `input`, pins the job's resolved knobs process-wide (this process
-/// never reads `ROAM_*`), runs its shards sequentially, and writes one
-/// result frame per shard to `output`.
+/// never reads `ROAM_*`), then runs its shards sequentially — one
+/// heartbeat frame before each shard, one result frame after.
+///
+/// When the job carries an active [`WorkerFaultSpec`], the keyed draw
+/// for each `(shard, attempt)` may sabotage the execution instead:
+/// abort mid-shard, sleep past the supervisor's deadline, tear the
+/// result frame (truncate it or flip a byte so the integrity hash
+/// fails), or exit nonzero. The sabotage always happens *after* the
+/// heartbeat, so the parent can charge the right shard's retry budget.
 ///
 /// # Errors
-/// An error message when the job stream is malformed; the caller (the
-/// `fleet_worker` binary) reports it on stderr and exits nonzero.
+/// An error message when the job stream is malformed (or an injected
+/// nonzero-exit fault fired); the caller (the `fleet_worker` binary)
+/// reports it on stderr and exits nonzero.
 pub fn serve(
     input: &mut impl std::io::Read,
     output: &mut impl std::io::Write,
@@ -396,6 +514,32 @@ pub fn serve(
     CalendarKind::override_calendar(Some(job.calendar));
     FaultSpec::override_faults(Some(job.faults));
     for spec in job.shards {
+        let (index, attempt) = (spec.index, spec.attempt);
+        output
+            .write_all(&heartbeat_frame(index, attempt))
+            .and_then(|()| output.flush())
+            .map_err(|e| format!("writing heartbeat: {e}"))?;
+        let fault = job.worker_faults.decide(job.seed, index, attempt);
+        match fault {
+            Some(InjectedFault::Crash) => {
+                // Die by signal with the shard announced but unfinished
+                // — indistinguishable from a real mid-shard crash.
+                std::process::abort();
+            }
+            Some(InjectedFault::ExitNonzero) => {
+                return Err(format!(
+                    "worker-fault injection: nonzero exit on shard {index} attempt {attempt}"
+                ));
+            }
+            Some(InjectedFault::Stall) => {
+                // Sleep long enough that the parent's deadline *must*
+                // trip, then abort in case nobody kills us.
+                let ms = job.deadline_ms + job.deadline_ms.min(2_000) + 250;
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                std::process::abort();
+            }
+            _ => {}
+        }
         let outcome = run_fleet_shard(
             job.seed,
             &job.config,
@@ -404,8 +548,34 @@ pub fn serve(
             job.checkpoint.as_ref(),
             false,
         );
+        let mut frame = result_frame(&outcome);
+        match fault {
+            Some(InjectedFault::TornTruncate) => {
+                // Half a frame, then a clean exit: the parent sees a
+                // truncated stream from a 0-exit child.
+                frame.truncate(frame.len() / 2);
+                output
+                    .write_all(&frame)
+                    .and_then(|()| output.flush())
+                    .map_err(|e| format!("writing torn result: {e}"))?;
+                return Ok(());
+            }
+            Some(InjectedFault::TornBitflip) => {
+                // Flip the frame's last byte (hash trailer): the frame
+                // arrives whole but fails its integrity check.
+                if let Some(last) = frame.last_mut() {
+                    *last ^= 0x40;
+                }
+                output
+                    .write_all(&frame)
+                    .and_then(|()| output.flush())
+                    .map_err(|e| format!("writing torn result: {e}"))?;
+                return Ok(());
+            }
+            _ => {}
+        }
         output
-            .write_all(&result_frame(&outcome))
+            .write_all(&frame)
             .and_then(|()| output.flush())
             .map_err(|e| format!("writing shard result: {e}"))?;
     }
@@ -425,12 +595,15 @@ mod tests {
             transport: TransportKind::Engine,
             calendar: CalendarKind::Heap,
             faults: FaultSpec::heavy(),
+            worker_faults: WorkerFaultSpec::light(),
+            deadline_ms: 12_345,
             shards: vec![
                 ShardSpec {
                     index: 0,
                     lo: 0,
                     hi: 50,
                     resume: None,
+                    attempt: 0,
                 },
                 ShardSpec {
                     index: 2,
@@ -442,6 +615,7 @@ mod tests {
                         report: FleetReport::new(4),
                         telemetry: TelemetrySnapshot::default(),
                     }),
+                    attempt: 3,
                 },
             ],
             checkpoint: Some(CheckpointPolicy {
@@ -457,7 +631,11 @@ mod tests {
         assert_eq!(back.seed, 42);
         assert_eq!(back.transport, TransportKind::Engine);
         assert_eq!(back.calendar, CalendarKind::Heap);
+        assert_eq!(back.worker_faults, WorkerFaultSpec::light());
+        assert_eq!(back.deadline_ms, 12_345);
         assert_eq!(back.shards.len(), 2);
+        assert_eq!(back.shards[0].attempt, 0);
+        assert_eq!(back.shards[1].attempt, 3);
         assert_eq!(
             back.shards[1].resume.as_ref().expect("resume").next_uid,
             120
@@ -485,5 +663,104 @@ mod tests {
         assert_eq!(back.report, outcome.report);
         assert!((back.wall_ms - 12.5).abs() < f64::EPSILON);
         assert!(!back.completed);
+    }
+
+    #[test]
+    fn heartbeat_round_trips_and_parses_as_worker_frame() {
+        let frame = heartbeat_frame(7, 2);
+        match parse_worker_frame(&frame).expect("heartbeat parses") {
+            WorkerFrame::Heartbeat { shard, attempt } => {
+                assert_eq!(shard, 7);
+                assert_eq!(attempt, 2);
+            }
+            WorkerFrame::Result(_) => panic!("heartbeat decoded as result"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_a_typed_refusal() {
+        let mut e = Encoder::new();
+        e.u64(1, 9);
+        let frame = e.into_frame(999, CKPT_VERSION);
+        assert!(matches!(
+            parse_worker_frame(&frame),
+            Err(ProtocolViolation::WrongKind(999))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_a_typed_refusal() {
+        let frame = heartbeat_frame(0, 0);
+        // Re-seal the same payload under a future payload version.
+        let (parsed, _) = Frame::parse(&frame).expect("parses");
+        let future = Frame::seal(KIND_HEARTBEAT, CKPT_VERSION + 1, parsed.payload);
+        assert!(matches!(
+            parse_worker_frame(&future),
+            Err(ProtocolViolation::WrongVersion(v)) if v == CKPT_VERSION + 1
+        ));
+    }
+
+    fn sample_result_frame() -> Vec<u8> {
+        result_frame(&ShardOutcome {
+            index: 1,
+            report: FleetReport::new(2),
+            snap: TelemetrySnapshot::default(),
+            wall_ms: 3.5,
+            completed: true,
+            sessions: Vec::new(),
+        })
+    }
+
+    proptest::proptest! {
+        /// Satellite contract: every truncation of a sealed result
+        /// frame is a typed refusal — never a panic, never silently
+        /// accepted data.
+        #[test]
+        fn any_truncation_is_refused(cut in 0usize..10_000) {
+            let frame = sample_result_frame();
+            let cut = cut % frame.len(); // strictly shorter than whole
+            proptest::prop_assert!(parse_worker_frame(&frame[..cut]).is_err());
+        }
+
+        /// Every single-bit flip anywhere in the frame is refused: the
+        /// integrity hash covers header and payload, and flipping the
+        /// hash trailer itself breaks the match from the other side.
+        #[test]
+        fn any_bitflip_is_refused(pos in 0usize..10_000, bit in 0u8..8) {
+            let mut frame = sample_result_frame();
+            let pos = pos % frame.len();
+            frame[pos] ^= 1 << bit;
+            proptest::prop_assert!(parse_worker_frame(&frame).is_err());
+        }
+
+        /// Frames of a kind outside the worker protocol are refused
+        /// even when perfectly sealed. (Kinds 0–6 are the checkpoint
+        /// registry; the worker protocol speaks only RESULT and
+        /// HEARTBEAT, so everything above the registry must bounce.)
+        #[test]
+        fn any_unknown_kind_is_refused(kind in 7u16..u16::MAX) {
+            let mut e = Encoder::new();
+            e.u64(1, 1);
+            let frame = e.into_frame(kind, CKPT_VERSION);
+            proptest::prop_assert!(matches!(
+                parse_worker_frame(&frame),
+                Err(ProtocolViolation::WrongKind(k)) if k == kind
+            ));
+        }
+
+        /// The intact frame always parses — the refusals above are
+        /// about corruption, not about an over-strict decoder.
+        #[test]
+        fn intact_frames_always_parse(index in 0usize..64, wall in 0.0f64..1e6) {
+            let frame = result_frame(&ShardOutcome {
+                index,
+                report: FleetReport::new(2),
+                snap: TelemetrySnapshot::default(),
+                wall_ms: wall,
+                completed: true,
+                sessions: Vec::new(),
+            });
+            proptest::prop_assert!(parse_worker_frame(&frame).is_ok());
+        }
     }
 }

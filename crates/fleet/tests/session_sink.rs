@@ -117,7 +117,13 @@ fn try_run_returns_typed_config_errors() {
         .try_run()
         .err()
         .expect("sink + workers must refuse");
-    assert_eq!(err, FleetConfigError::SinkWithWorkers { workers: 3 });
+    assert!(
+        matches!(
+            err,
+            roam_fleet::FleetError::Config(FleetConfigError::SinkWithWorkers { workers: 3 })
+        ),
+        "{err:?}"
+    );
     assert!(err.to_string().contains("workers == 3"), "{err}");
 
     let sink: SharedSink = Arc::new(Mutex::new(MemorySink::new()));
@@ -127,7 +133,13 @@ fn try_run_returns_typed_config_errors() {
         .try_run()
         .err()
         .expect("sink + checkpointing must refuse");
-    assert_eq!(err, FleetConfigError::SinkWithCheckpoint);
+    assert!(
+        matches!(
+            err,
+            roam_fleet::FleetError::Config(FleetConfigError::SinkWithCheckpoint)
+        ),
+        "{err:?}"
+    );
     // Nothing ran and nothing was written: the refusal is pre-flight.
     assert!(!std::path::Path::new("/tmp/roam-sink-try-run-checkpointing").exists());
 }

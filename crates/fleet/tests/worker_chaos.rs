@@ -1,0 +1,200 @@
+//! The worker-fault chaos plane contract: a supervised fleet run under
+//! injected worker faults — crashes, stalls, torn result frames,
+//! spurious nonzero exits — and under *external* SIGKILLs must end in
+//! exactly the bytes of a clean run. Recovery is real work (respawns,
+//! retries, quarantines, all visible in [`SupervisionStats`]) but never
+//! observable in the report: shards are pure functions of
+//! `(seed, spec)`, so a re-run shard is the shard.
+//!
+//! [`SupervisionStats`]: roam_fleet::SupervisionStats
+
+use roam_fleet::{FleetRunner, WorkerFaultSpec};
+use roam_netsim::{FaultSpec, TransportKind};
+use roam_telemetry::TelemetryMode;
+
+const SEED: u64 = 47;
+const USERS: u64 = 600;
+const DAYS: u32 = 8;
+const SHARDS: usize = 6;
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_fleet_worker")
+}
+
+fn base() -> FleetRunner {
+    FleetRunner::new(SEED)
+        .users(USERS)
+        .shards(SHARDS)
+        .days(DAYS)
+        .telemetry(TelemetryMode::Summary)
+}
+
+/// Heavy injected chaos across both transport backends and an active
+/// netsim fault plane: every recovery path may fire (crash, stall,
+/// torn frame, nonzero exit, retry, quarantine) and the report must
+/// still be byte-identical to the clean in-process run.
+#[test]
+fn heavy_chaos_is_byte_identical_to_a_clean_run() {
+    for (transport, faults) in [
+        (TransportKind::ClosedForm, None),
+        (TransportKind::Engine, Some(FaultSpec::heavy())),
+    ] {
+        let mut clean = base().transport(transport);
+        let mut chaotic = base()
+            .transport(transport)
+            .workers(3)
+            .worker_bin(worker_bin())
+            .worker_faults(WorkerFaultSpec::heavy())
+            .worker_deadline_ms(1_500);
+        if let Some(spec) = faults {
+            clean = clean.faults(spec);
+            chaotic = chaotic.faults(spec);
+        }
+        let clean = clean.run();
+        let chaotic = chaotic.run();
+        assert_eq!(
+            chaotic.report.render(),
+            clean.report.render(),
+            "heavy worker chaos ({transport:?}) must not change a byte of the report"
+        );
+        assert_eq!(
+            chaotic.report.degraded, clean.report.degraded,
+            "fault-plane tallies survive worker recovery"
+        );
+        assert!(
+            chaotic.supervision.recovered(),
+            "heavy chaos exercised at least one recovery path: {:?}",
+            chaotic.supervision
+        );
+        assert!(clean.supervision.errors.is_empty());
+    }
+}
+
+/// `crash = 1.0`: every dispatch of every shard dies. The retry budget
+/// drains, every shard lands in quarantine, and the in-process fallback
+/// still produces the clean bytes — `supervise` is infallible.
+#[test]
+fn total_crash_chaos_quarantines_every_shard_and_still_finishes() {
+    let clean = base().run();
+    let doomed = base()
+        .workers(2)
+        .worker_bin(worker_bin())
+        .worker_faults(WorkerFaultSpec {
+            crash: 1.0,
+            stall: 0.0,
+            torn: 0.0,
+            exit: 0.0,
+        })
+        .worker_retries(1)
+        .run();
+    assert_eq!(doomed.report.render(), clean.report.render());
+    assert_eq!(
+        doomed.supervision.quarantined, SHARDS as u64,
+        "every shard fell through to the in-process fallback: {:?}",
+        doomed.supervision
+    );
+    assert!(
+        doomed.supervision.errors.len() as u64 >= doomed.supervision.quarantined,
+        "each quarantine is backed by typed errors"
+    );
+}
+
+/// Torn frames only: children complete their shards, then corrupt the
+/// result frame on the way out (truncation or bit-flip) and exit 0 —
+/// the "clean exit, dirty pipe" case. The parent must detect every
+/// corruption by hash/length, retry, and converge on the clean bytes.
+#[test]
+fn torn_frames_are_detected_and_retried() {
+    let clean = base().run();
+    let torn = base()
+        .workers(2)
+        .worker_bin(worker_bin())
+        .worker_faults(WorkerFaultSpec {
+            crash: 0.0,
+            stall: 0.0,
+            torn: 0.6,
+            exit: 0.0,
+        })
+        .run();
+    assert_eq!(torn.report.render(), clean.report.render());
+    assert!(
+        torn.supervision.protocol_errors > 0,
+        "a 60% torn rate over {SHARDS} shards fires at least once: {:?}",
+        torn.supervision
+    );
+}
+
+/// External violence: a sibling thread SIGKILLs live `fleet_worker`
+/// children while the run is in flight. Whatever the kills land on —
+/// mid-shard, between shards, before the job frame ships — the
+/// supervisor respawns or quarantines and the bytes never change.
+#[test]
+#[cfg(unix)]
+fn external_sigkills_are_byte_identical() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let clean = base().run();
+
+    // /proc scan for our direct children running the worker binary.
+    fn child_workers() -> Vec<u32> {
+        let me = std::process::id().to_string();
+        let mut pids = Vec::new();
+        let Ok(entries) = std::fs::read_dir("/proc") else {
+            return pids;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+                continue;
+            };
+            let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+                continue;
+            };
+            // stat: "pid (comm) state ppid ..." — comm may hold spaces
+            // and parens, so split on the *last* closing paren.
+            let Some((head, tail)) = stat.rsplit_once(')') else {
+                continue;
+            };
+            let comm_is_worker = head.contains("(fleet_worker");
+            let ppid = tail.split_whitespace().nth(1);
+            if comm_is_worker && ppid == Some(me.as_str()) {
+                pids.push(pid);
+            }
+        }
+        pids
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let killer_stop = stop.clone();
+    let killer = std::thread::spawn(move || {
+        let mut kills = 0u32;
+        while !killer_stop.load(Ordering::Relaxed) && kills < 6 {
+            for pid in child_workers() {
+                let _ = std::process::Command::new("kill")
+                    .args(["-9", &pid.to_string()])
+                    .status();
+                kills += 1;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(60));
+        }
+        kills
+    });
+
+    let brutal = base().workers(2).worker_bin(worker_bin()).run();
+    stop.store(true, Ordering::Relaxed);
+    let kills = killer.join().expect("killer thread");
+
+    assert_eq!(
+        brutal.report.render(),
+        clean.report.render(),
+        "{kills} external SIGKILLs must not change a byte"
+    );
+    if kills > 0 {
+        assert!(
+            brutal.supervision.respawns > 0 || brutal.supervision.quarantined > 0,
+            "kills landed, so recovery ran: {:?}",
+            brutal.supervision
+        );
+    }
+}

@@ -67,6 +67,50 @@ pub enum Outcome {
     Drained,
 }
 
+/// Why a run refused to start or could not continue. Export-plane
+/// sickness is deliberately *not* here: a failing sink parks its error
+/// in [`AgentRun::sink_error`] so the drain and the final checkpoint
+/// still happen.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The configuration refused pre-flight (nothing ran).
+    Config(ServiceConfigError),
+    /// The agent checkpoint could not be written. The run stops here:
+    /// continuing would silently widen the window a crash loses.
+    Checkpoint {
+        /// Checkpoint directory the write targeted.
+        dir: PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Config(e) => write!(f, "{e}"),
+            ServiceError::Checkpoint { dir, source } => {
+                write!(f, "agent checkpoint in {}: {source}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Config(e) => Some(e),
+            ServiceError::Checkpoint { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<ServiceConfigError> for ServiceError {
+    fn from(e: ServiceConfigError) -> Self {
+        ServiceError::Config(e)
+    }
+}
+
 /// What a fire does — parallel to the scheduler's registration order.
 #[derive(Debug, Clone, Copy)]
 enum JobKind {
@@ -124,6 +168,10 @@ pub struct Agent {
     sink: Option<BoundedSink>,
     #[allow(clippy::type_complexity)]
     sync_hook: Option<Box<dyn FnMut() -> std::io::Result<u64>>>,
+    /// First export-sync failure, sticky for the rest of the run. While
+    /// set, `export_bytes` freezes at the last offset a successful sync
+    /// reported, so checkpoints keep recording an honest durable prefix.
+    sink_error: Option<String>,
     tel: Recorder,
     world: World,
     pool: Vec<VantageSlot>,
@@ -267,6 +315,7 @@ impl Agent {
             last_ckpt_day: 0,
             sink: None,
             sync_hook: None,
+            sink_error: None,
             tel: Recorder::new(telemetry),
             world,
             pool,
@@ -314,14 +363,16 @@ impl Agent {
 
     /// Run to `horizon`, checking `halt` between batches: when it flips,
     /// the queue drains, a final checkpoint is written, and the run
-    /// returns [`Outcome::Drained`].
+    /// returns [`Outcome::Drained`]. A sick export sink does not stop
+    /// the run (see [`AgentRun::sink_error`]); an unwritable checkpoint
+    /// does, as a typed [`ServiceError::Checkpoint`].
     pub fn run(
         &mut self,
         horizon: Horizon,
         halt: Option<&AtomicBool>,
-    ) -> Result<AgentRun, ServiceConfigError> {
+    ) -> Result<AgentRun, ServiceError> {
         if horizon == Horizon::UntilIdle && self.config.ttl_ticks == 0 {
-            return Err(ServiceConfigError::UntilIdleNeedsTtl);
+            return Err(ServiceConfigError::UntilIdleNeedsTtl.into());
         }
         let _pin = FaultsPin::install(self.faults);
         let horizon_end = match horizon {
@@ -331,7 +382,7 @@ impl Agent {
         let mut fires: Vec<Fire> = Vec::new();
         loop {
             if halt.is_some_and(|h| h.load(Ordering::Relaxed)) {
-                self.write_checkpoint();
+                self.write_checkpoint()?;
                 return Ok(self.finish(Outcome::Drained));
             }
             let Some(next) = self.sched.next_fire() else {
@@ -349,7 +400,7 @@ impl Agent {
                 let day = at.as_nanos() / DAY_NS;
                 if day >= self.last_ckpt_day + self.config.ckpt_days {
                     self.last_ckpt_day = day;
-                    self.write_checkpoint();
+                    self.write_checkpoint()?;
                 }
             }
             if horizon == Horizon::UntilIdle && self.cohorts.iter().all(|c| c.expired) {
@@ -520,9 +571,7 @@ impl Agent {
 
     fn snapshot_state(&mut self) -> AgentState {
         self.drain_sink();
-        if let Some(hook) = &mut self.sync_hook {
-            self.export_bytes = hook().expect("export sync at checkpoint");
-        }
+        self.sync_export();
         AgentState {
             seed: self.seed,
             config: self.config,
@@ -539,20 +588,38 @@ impl Agent {
         }
     }
 
-    fn write_checkpoint(&mut self) {
+    /// Run the durable-sync hook, tolerating a sick sink: on failure
+    /// the first error is parked (sticky) and `export_bytes` keeps the
+    /// last offset a *successful* sync reported — the honest durable
+    /// prefix a resume can truncate to.
+    fn sync_export(&mut self) {
+        if let Some(hook) = &mut self.sync_hook {
+            match hook() {
+                Ok(bytes) => self.export_bytes = bytes,
+                Err(e) => {
+                    if self.sink_error.is_none() {
+                        eprintln!("roam-service agent: export sink sick: {e}; draining without it");
+                        self.sink_error = Some(e.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    fn write_checkpoint(&mut self) -> Result<(), ServiceError> {
         let Some(dir) = self.ckpt_dir.clone() else {
             // No checkpoint plane configured: a halt still drains.
             self.drain_sink();
-            return;
+            return Ok(());
         };
         let state = self.snapshot_state();
-        state.save(&dir).expect("agent checkpoint write");
+        state
+            .save(&dir)
+            .map_err(|source| ServiceError::Checkpoint { dir, source })
     }
 
     fn finish(&mut self, outcome: Outcome) -> AgentRun {
-        if let Some(hook) = &mut self.sync_hook {
-            self.export_bytes = hook().expect("export sync at finish");
-        }
+        self.sync_export();
         let mut telemetry = TelemetryReport::new(self.telemetry_mode);
         telemetry.absorb(self.world.net.take_telemetry());
         telemetry.absorb(self.tel.take());
@@ -568,6 +635,7 @@ impl Agent {
             soak: self.soak.clone(),
             report: self.report.clone(),
             telemetry,
+            sink_error: self.sink_error.clone(),
         }
     }
 }
@@ -619,6 +687,11 @@ pub struct AgentRun {
     pub report: FleetReport,
     /// Diagnostics (never part of the byte-identity boundary).
     pub telemetry: TelemetryReport,
+    /// First export-sync failure, if the sink went sick mid-run. The
+    /// report and checkpoints are still complete — only the streamed
+    /// CSV past `export_bytes` is missing — so callers decide whether
+    /// that is fatal (the agent binary exits 74).
+    pub sink_error: Option<String>,
 }
 
 impl AgentRun {

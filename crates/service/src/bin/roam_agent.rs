@@ -19,7 +19,9 @@
 //! `soak.frame` + `soak.csv` (per-vantage soak table, sim-week keyed),
 //! `report.txt` (the fixed-layout agent report, also printed to
 //! stdout). Exit status: 0 completed, 75 drained-on-signal (resume to
-//! continue), 1 error.
+//! continue), 74 the export sink went sick mid-run (the report and
+//! checkpoint are complete; `sessions.csv` stops at the durable
+//! offset), 1 error.
 
 use roam_measure::{Dataset, SharedSink};
 use roam_service::{Agent, AgentState, CsvFile, Horizon, Outcome, ServiceConfig};
@@ -170,14 +172,20 @@ fn main() {
         std::fs::write(&path, bytes).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
     }
     print!("{report}");
-    match run.outcome {
-        Outcome::Completed => {}
-        Outcome::Drained => {
-            eprintln!(
-                "roam_agent: drained on signal at sim-day {}; resume with the same checkpoint dir",
-                run.clock.as_nanos() / roam_service::task::DAY_NS
-            );
+    if let Outcome::Drained = run.outcome {
+        eprintln!(
+            "roam_agent: drained on signal at sim-day {}; resume with the same checkpoint dir",
+            run.clock.as_nanos() / roam_service::task::DAY_NS
+        );
+        if run.sink_error.is_none() {
             exit(75);
         }
+    }
+    if let Some(err) = &run.sink_error {
+        eprintln!(
+            "roam_agent: export sink went sick mid-run ({err}); sessions.csv is durable up to byte {}",
+            run.export_bytes
+        );
+        exit(74);
     }
 }

@@ -13,6 +13,12 @@
 //! single-dataset CSV file that counts every byte it accepts, so the
 //! agent checkpoint can record a durable offset and a resumed process
 //! can truncate back to exactly the synced prefix.
+//!
+//! A write failure never aborts a drain mid-flight: [`CsvFile`] goes
+//! *sick* (sticky) — further rows become no-ops and [`CsvFile::sync`]
+//! returns the stored error — so the agent can still cut a final
+//! checkpoint at the last durable offset and surface the failure as a
+//! typed value instead of a panic.
 
 use roam_fleet::{SessionRecord, SessionRows};
 use roam_measure::{DataSink, Dataset, Exporter, SharedSink};
@@ -100,6 +106,10 @@ pub struct CsvFile {
     line: String,
     pending: Vec<u8>,
     bytes: u64,
+    /// First write failure, sticky: once set, rows no-op and `sync`
+    /// keeps returning it. `bytes` stops advancing at the same instant,
+    /// so a checkpoint cut afterwards records the last honest offset.
+    sick: Option<std::io::Error>,
 }
 
 /// Flush the write buffer once it holds this much.
@@ -115,6 +125,7 @@ impl CsvFile {
             line: String::with_capacity(96),
             pending: Vec::with_capacity(PENDING_FLUSH + 256),
             bytes: 0,
+            sick: None,
         };
         let header = ds.header_csv();
         sink.pending.extend_from_slice(header.as_bytes());
@@ -146,6 +157,7 @@ impl CsvFile {
             line: String::with_capacity(96),
             pending: Vec::with_capacity(PENDING_FLUSH + 256),
             bytes,
+            sick: None,
         })
     }
 
@@ -155,28 +167,59 @@ impl CsvFile {
         self.bytes
     }
 
+    /// The first write failure, if the sink has gone sick. Sticky:
+    /// stays set until the sink is dropped.
+    #[must_use]
+    pub fn sick_error(&self) -> Option<&std::io::Error> {
+        self.sick.as_ref()
+    }
+
     /// Write the buffer through and fsync; returns the durable offset.
+    /// A sick sink returns its stored error (and keeps it) instead of
+    /// pretending the offset advanced.
     pub fn sync(&mut self) -> std::io::Result<u64> {
+        if let Some(e) = &self.sick {
+            return Err(std::io::Error::new(e.kind(), e.to_string()));
+        }
         if !self.pending.is_empty() {
-            self.file.write_all(&self.pending)?;
+            if let Err(e) = self.file.write_all(&self.pending) {
+                return Err(self.go_sick(e));
+            }
             self.pending.clear();
         }
-        self.file.sync_data()?;
+        if let Err(e) = self.file.sync_data() {
+            return Err(self.go_sick(e));
+        }
         Ok(self.bytes)
+    }
+
+    /// Enter the sticky failure state: drop the unwritable buffer and
+    /// roll `bytes` back to the durable prefix so checkpoints record an
+    /// honest offset. Returns a copy of the error for the caller.
+    fn go_sick(&mut self, e: std::io::Error) -> std::io::Error {
+        let copy = std::io::Error::new(e.kind(), e.to_string());
+        self.bytes -= self.pending.len() as u64;
+        self.pending.clear();
+        self.sick = Some(e);
+        copy
     }
 }
 
 impl DataSink for CsvFile {
     fn row(&mut self, ds: Dataset, cells: &[roam_measure::CellValue<'_>]) {
         debug_assert_eq!(ds, self.ds, "CsvFile is single-dataset");
+        if self.sick.is_some() {
+            return; // sticky: the first failure already froze the offset
+        }
         self.line.clear();
         self.line.row(ds, cells);
         self.pending.extend_from_slice(self.line.as_bytes());
         self.bytes += self.line.len() as u64;
         if self.pending.len() >= PENDING_FLUSH {
-            self.file
-                .write_all(&self.pending)
-                .expect("session csv write");
+            if let Err(e) = self.file.write_all(&self.pending) {
+                self.go_sick(e);
+                return;
+            }
             self.pending.clear();
         }
     }
@@ -278,5 +321,31 @@ mod tests {
         // A checkpoint ahead of the file is a refusal, not a restart.
         assert!(CsvFile::resume(&path, Dataset::Sessions, total + 10).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A full device (`/dev/full` reports `ENOSPC` on every write) must
+    /// flip the sink sick, not panic: rows become no-ops, the byte
+    /// counter freezes at the durable prefix (here zero — nothing ever
+    /// landed), and every `sync` after the first failure returns the
+    /// same stored error.
+    #[test]
+    #[cfg(unix)]
+    fn write_failure_goes_sticky_instead_of_panicking() {
+        let dev_full = Path::new("/dev/full");
+        if !dev_full.exists() {
+            return; // minimal container without /dev/full
+        }
+        let mut sink = CsvFile::create(dev_full, Dataset::Sessions).unwrap();
+        // Push well past the pending-flush threshold: the internal
+        // flush hits ENOSPC and must go sick, not panic.
+        let records: Vec<SessionRecord> = (0..20_000).map(|i| rec(f64::from(i))).collect();
+        SessionRows(&records).export_rows(Dataset::Sessions, &mut sink);
+        assert!(sink.sick_error().is_some(), "ENOSPC must stick");
+        assert_eq!(sink.bytes(), 0, "no byte was ever durable");
+        let before = sink.bytes();
+        SessionRows(&[rec(1.0)]).export_rows(Dataset::Sessions, &mut sink);
+        assert_eq!(sink.bytes(), before, "sick sink no-ops new rows");
+        assert!(sink.sync().is_err(), "sync reports the stored error");
+        assert!(sink.sync().is_err(), "and keeps reporting it (sticky)");
     }
 }

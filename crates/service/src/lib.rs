@@ -39,7 +39,7 @@ pub mod config;
 pub mod export;
 pub mod task;
 
-pub use agent::{Agent, AgentRun, Horizon, Outcome};
+pub use agent::{Agent, AgentRun, Horizon, Outcome, ServiceError};
 pub use checkpoint::{AgentState, SoakRow, AGENT_FILE};
 pub use cohort::{Cohort, COHORT_STRIDE};
 pub use config::{ServiceConfig, ServiceConfigError};

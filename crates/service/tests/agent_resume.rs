@@ -1,9 +1,11 @@
 //! The kill/resume split: a run cut at a checkpoint and resumed must
 //! reproduce the uninterrupted run's report, session stream and soak
-//! table byte-for-byte.
+//! table byte-for-byte. Plus the failure half of the contract: a sick
+//! export plane must not cost the final checkpoint.
 
 use roam_measure::{Dataset, MemorySink, RunMode};
-use roam_service::{Agent, AgentState, Horizon, ServiceConfig};
+use roam_service::{Agent, AgentState, Horizon, Outcome, ServiceConfig};
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 
 fn sessions_of(mem: &Arc<Mutex<MemorySink>>) -> String {
@@ -49,4 +51,42 @@ fn a_run_split_at_a_checkpoint_matches_the_straight_run() {
     assert_eq!(run_a.soak_frame(), run_b.soak_frame());
     assert_eq!(sessions_of(&mem_a), sessions_of(&mem_b));
     assert_eq!(run_a.fires, run_b.fires, "fire counts are cumulative");
+}
+
+/// A SIGTERM drain with a *sick* export plane (every durable sync
+/// fails) must still write the final checkpoint and come back as a
+/// typed outcome — never a panic mid-drain. The sink failure rides
+/// along in `AgentRun::sink_error` and the recorded durable offset
+/// stays at the last successful sync (here: zero).
+#[test]
+fn halt_with_a_sick_sink_still_cuts_the_final_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("roam-sick-sink-ckpt-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = ServiceConfig {
+        users: 40,
+        cohorts: 2,
+        ..ServiceConfig::default()
+    };
+    let mem = Arc::new(Mutex::new(MemorySink::default()));
+    let mut agent = Agent::new(9, config)
+        .unwrap()
+        .sink(mem)
+        .sync_hook(|| Err(std::io::Error::other("disk on fire")))
+        .checkpoint(dir.clone());
+    // Halt pre-set: the very first loop iteration takes the drain path.
+    let halt = AtomicBool::new(true);
+    let run = agent.run(Horizon::SimDays(30), Some(&halt)).unwrap();
+    assert_eq!(run.outcome, Outcome::Drained);
+    let err = run.sink_error.as_deref().expect("sync failure surfaced");
+    assert!(err.contains("disk on fire"), "{err}");
+    assert_eq!(run.export_bytes, 0, "no sync ever succeeded");
+    assert!(
+        dir.join(roam_service::AGENT_FILE).exists(),
+        "the final checkpoint was still written"
+    );
+    // And the frame is loadable: the sick sink cost the CSV tail, not
+    // the resume path.
+    let state = AgentState::load(&dir).unwrap().expect("frame present");
+    assert_eq!(state.export_bytes, 0);
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -60,11 +60,21 @@ pub enum Counter {
     /// Bounded-queue flushes the service export stage pushed into its
     /// sink (each one a backpressure drain, never a drop).
     ServiceSinkFlushes,
+    /// Fleet worker processes respawned by the supervisor after a
+    /// crash, stall, nonzero exit or protocol violation.
+    WorkerRestarts,
+    /// Shard attempts re-dispatched after the worker running them died
+    /// mid-shard (each retry re-executes a pure function of
+    /// `(seed, shard)`, so the report bytes cannot change).
+    WorkerRetries,
+    /// Shards that exhausted their retry budget and fell back to
+    /// in-process execution on the parent.
+    WorkerQuarantines,
 }
 
 impl Counter {
     /// Every counter, in render order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 28] = [
         Counter::PacketsSent,
         Counter::PacketsForwarded,
         Counter::PacketsDelivered,
@@ -90,6 +100,9 @@ impl Counter {
         Counter::ServiceJobFires,
         Counter::ServiceCohortChurn,
         Counter::ServiceSinkFlushes,
+        Counter::WorkerRestarts,
+        Counter::WorkerRetries,
+        Counter::WorkerQuarantines,
     ];
 
     /// Stable snake_case name used in the summary report.
@@ -121,6 +134,9 @@ impl Counter {
             Counter::ServiceJobFires => "service_job_fires",
             Counter::ServiceCohortChurn => "service_cohort_churn",
             Counter::ServiceSinkFlushes => "service_sink_flushes",
+            Counter::WorkerRestarts => "worker_restarts",
+            Counter::WorkerRetries => "worker_retries",
+            Counter::WorkerQuarantines => "worker_quarantines",
         }
     }
 }

@@ -37,6 +37,24 @@ best_ups=$(best_of_three ROAM_FLEET_WORKERS=0)
 best_threads=$(best_of_three ROAM_PARALLEL=4)
 best_workers=$(best_of_three ROAM_FLEET_WORKERS=4)
 
+# Crash-recovery cost: the same harness under a 50% worker-crash chaos
+# plane, against a clean run of the same shape. Restarts come from the
+# fleet_smoke_worker_restarts stderr line; ms_per_restart bundles
+# detection + backoff + respawn + shard re-execution and is
+# informational (wall-clock noise can even make it negative), not a
+# gate — the gates are byte identity (ci/worker_chaos.sh) and the
+# supervised-throughput floor below.
+recovery_users=${ROAM_RECOVERY_BENCH_USERS:-20000}
+rec_env=(ROAM_FLEET_USERS="$recovery_users" ROAM_FLEET_SHARDS=8 ROAM_FLEET_WORKERS=2)
+rec_clean_start=$(date +%s%N)
+env "${rec_env[@]}" target/release/fleet_smoke >/dev/null 2>&1
+rec_clean_ns=$(( $(date +%s%N) - rec_clean_start ))
+rec_start=$(date +%s%N)
+rec_err=$(env "${rec_env[@]}" ROAM_WORKER_FAULTS="crash=0.5" target/release/fleet_smoke 2>&1 >/dev/null)
+rec_chaos_ns=$(( $(date +%s%N) - rec_start ))
+rec_restarts=$(sed -n 's/^fleet_smoke_worker_restarts: \([0-9]*\).*/\1/p' <<<"$rec_err")
+rec_restarts=${rec_restarts:-0}
+
 # Export + analyze end-to-end: the columnar sink/frame/query pipeline
 # against CSV render + re-parse on the same streamed session table
 # (export_bench is best-of-three per phase internally, and asserts both
@@ -98,6 +116,10 @@ jq -n \
    --argjson service_eps "$best_eps" \
    --argjson service_floor "$service_floor" \
    --argjson service_days "$service_days" \
+   --argjson rec_clean_ns "$rec_clean_ns" \
+   --argjson rec_chaos_ns "$rec_chaos_ns" \
+   --argjson rec_restarts "$rec_restarts" \
+   --argjson rec_users "$recovery_users" \
    '($b[0]."campaign/device_campaign_seq".mean_ns) as $seq
     | ($b[0]."campaign/device_campaign_par4".mean_ns) as $par
     | ($b[0]."engine/transfer_closed_form".mean_ns) as $cf
@@ -195,6 +217,20 @@ jq -n \
          floor_speedup: $export_floor,
          above_floor: ($eb_total_sp >= $export_floor)
        },
+       supervision: {
+         note: "the worker backend is always supervised now (heartbeat frames between shards, one reader thread per child, liveness sweep, generation-tagged events); the gate holds supervised worker throughput within 2% of the worker-backend floor recorded before supervision landed",
+         users_per_sec_supervised_workers4: $smoke_workers,
+         pre_supervision_floor: $floor,
+         within_2pct_of_floor: ($smoke_workers >= 0.98 * $floor)
+       },
+       recovery: {
+         note: "one fleet_smoke shape run clean and under ROAM_WORKER_FAULTS=crash=0.5 (2 supervised workers, 8 shards); restarts from the fleet_smoke_worker_restarts stderr line; ms_per_restart = wall delta / restarts, informational only — it bundles crash detection, backoff, respawn and shard re-execution, and wall noise can push it negative",
+         users: $rec_users,
+         clean_ns: $rec_clean_ns,
+         chaos_ns: $rec_chaos_ns,
+         worker_restarts: $rec_restarts,
+         ms_per_restart: (if $rec_restarts > 0 then (($rec_chaos_ns - $rec_clean_ns) / $rec_restarts / 1e6) else null end)
+       },
        checkpoint: {
          note: "shard checkpoint frame for a 500-user shard state: encode (codec only), decode (parse + integrity hash + field decode), write (temp + fsync + rename, the torn-write protocol), and resume_validate (everything FleetRunner::resume pays before the first user: manifest decode, fingerprint recompute incl. world+market build, all shard loads)",
          shard_encode_2k_ns: $cke,
@@ -206,7 +242,7 @@ jq -n \
        benchmarks: $b[0]}' > "$out"
 
 echo "wrote $out"
-jq '.parallel, .engine, .telemetry, .faults, .event_core, .fleet, .service, .export, .checkpoint' "$out"
+jq '.parallel, .engine, .telemetry, .faults, .event_core, .fleet, .service, .export, .supervision, .recovery, .checkpoint' "$out"
 
 if [ "$(jq '.faults.disabled_overhead_within_2pct' "$out")" = "false" ]; then
     echo "WARNING: disabled fault plane costs >2% over the bare ping path" >&2
@@ -223,6 +259,14 @@ fi
 if [ "$(jq '.fleet.above_floor_workers' "$out")" = "false" ]; then
     echo "FAIL: fleet_smoke worker-process throughput ${best_workers} users/sec" >&2
     echo "      is below the floor of ${floor} (override with ROAM_FLEET_FLOOR)" >&2
+    exit 1
+fi
+
+if [ "$(jq '.supervision.within_2pct_of_floor' "$out")" = "false" ]; then
+    echo "FAIL: supervised worker throughput ${best_workers} users/sec fell more" >&2
+    echo "      than 2% below the worker-backend floor of ${floor} — the" >&2
+    echo "      supervision plane (heartbeats, reader threads, liveness sweep)" >&2
+    echo "      is costing real throughput (override with ROAM_FLEET_FLOOR)" >&2
     exit 1
 fi
 
